@@ -1,0 +1,111 @@
+// Command experiments regenerates the paper's evaluation figures (§IV).
+// Each figure prints the same rows/series the paper reports, annotated with
+// the paper's headline numbers for side-by-side comparison.
+//
+// Usage:
+//
+//	experiments -fig all              # every figure at experiment scale
+//	experiments -fig 5                # just the Fig 5 peak-workload series
+//	experiments -fig 7 -fast          # quicker (less accurate) model fits
+//	experiments -fig all -paper       # full 599k-particle paper scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"picpredict"
+	"picpredict/internal/figures"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		fig    = flag.String("fig", "all", "figure: all, 1a, 1b, 5, 6, 7, 8, 9, 10a, 10b, sim, speed")
+		paper  = flag.Bool("paper", false, "run at the paper's full scale (599,257 particles; slow)")
+		fast   = flag.Bool("fast", false, "fast (less accurate) model training")
+		np     = flag.Int("np", 0, "override particle count")
+		steps  = flag.Int("steps", 0, "override iteration count")
+		report = flag.String("report", "", "write a markdown report of every experiment to this file")
+	)
+	flag.Parse()
+
+	spec := picpredict.HeleShaw()
+	if *paper {
+		spec = picpredict.HeleShawFull()
+	}
+	if *np > 0 {
+		spec = spec.WithParticles(*np)
+	}
+	if *steps > 0 {
+		spec = spec.WithSteps(*steps)
+	}
+	runner := figures.NewRunner(figures.Config{Spec: spec, FastModels: *fast}, os.Stdout)
+
+	if *report != "" {
+		out, err := os.Create(*report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runner.Report(out); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *report)
+		return
+	}
+
+	type figFn struct {
+		name string
+		run  func() error
+	}
+	all := []figFn{
+		{"1a", func() error { _, err := runner.Fig1a(4096); return err }},
+		{"1b", func() error { _, err := runner.Fig1b(nil); return err }},
+		{"5", func() error { _, err := runner.Fig5(); return err }},
+		{"6", func() error { _, err := runner.Fig6(); return err }},
+		{"7", func() error { _, err := runner.Fig7(); return err }},
+		{"8", func() error { _, err := runner.Fig8(); return err }},
+		{"9", func() error { _, err := runner.Fig9(); return err }},
+		{"10a", func() error { _, err := runner.Fig10a(nil); return err }},
+		{"10b", func() error { _, err := runner.Fig10b(nil); return err }},
+		{"sim", func() error { _, err := runner.Simulate(); return err }},
+		{"speed", func() error { _, err := runner.Speed(4176); return err }},
+		{"sampling", func() error { _, err := runner.Sampling(nil); return err }},
+		{"ablation", func() error { _, err := runner.SplitAblation(); return err }},
+		{"mappers", func() error { _, err := runner.Mappers(); return err }},
+	}
+
+	want := strings.Split(*fig, ",")
+	ran := 0
+	for _, f := range all {
+		if !selected(want, f.name) {
+			continue
+		}
+		if err := f.run(); err != nil {
+			log.Fatalf("fig %s: %v", f.name, err)
+		}
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("no figure matches %q; use -fig all or one of 1a,1b,5,6,7,8,9,10a,10b,sim,speed,sampling,ablation,mappers", *fig)
+	}
+	fmt.Printf("\nregenerated %d experiment(s); see EXPERIMENTS.md for paper-vs-measured records\n", ran)
+}
+
+func selected(want []string, name string) bool {
+	for _, w := range want {
+		w = strings.TrimSpace(w)
+		if w == "all" || strings.EqualFold(w, name) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestSelected(t *testing.T) {
+	if !selected([]string{"all"}, "5") {
+		t.Error("all does not select 5")
+	}
+	if !selected([]string{"1a", " 5 "}, "5") {
+		t.Error("trimmed name not selected")
+	}
+	if !selected([]string{"10A"}, "10a") {
+		t.Error("case-insensitive match failed")
+	}
+	if selected([]string{"5"}, "6") {
+		t.Error("wrong figure selected")
+	}
+}

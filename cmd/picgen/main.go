@@ -1,0 +1,106 @@
+// Command picgen runs a PIC application scenario and writes the sampled
+// particle trace — the input artefact of the prediction framework.
+//
+// Usage:
+//
+//	picgen -scenario hele-shaw -out trace.bin
+//	picgen -scenario hele-shaw -np 5000 -steps 500 -sample 50 -out small.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"picpredict"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("picgen: ")
+
+	var (
+		scenarioName = flag.String("scenario", "hele-shaw", "scenario: hele-shaw, hele-shaw-paper, uniform, gaussian, shock-tube")
+		out          = flag.String("out", "trace.bin", "output trace file")
+		np           = flag.Int("np", 0, "override particle count")
+		steps        = flag.Int("steps", 0, "override iteration count")
+		sample       = flag.Int("sample", 0, "override sampling interval (iterations)")
+		seed         = flag.Int64("seed", 0, "override random seed")
+		filter       = flag.Float64("filter", 0, "override projection filter size")
+		gzipped      = flag.Bool("gzip", false, "gzip-compress the trace (readers decompress transparently)")
+	)
+	flag.Parse()
+
+	spec, err := scenarioByName(*scenarioName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *np > 0 {
+		spec = spec.WithParticles(*np)
+	}
+	if *steps > 0 {
+		spec = spec.WithSteps(*steps)
+	}
+	if *sample > 0 {
+		spec = spec.WithSampleEvery(*sample)
+	}
+	if *seed != 0 {
+		spec = spec.WithSeed(*seed)
+	}
+	if *filter > 0 {
+		spec = spec.WithFilterRadius(*filter)
+	}
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	fmt.Printf("running %s: %d particles, %d elements (N=%d), %d iterations, sampling every %d\n",
+		spec.Name(), spec.NumParticles(), spec.NumElements(), spec.GridN(), spec.Steps(), spec.SampleEvery())
+	start := time.Now()
+	if *gzipped {
+		tr, err := spec.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteCompressed(f); err != nil {
+			log.Fatal(err)
+		}
+	} else if err := spec.WriteTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%.1f MB) in %v\n", *out, float64(info.Size())/1e6, time.Since(start).Round(time.Millisecond))
+	e := spec.Elements()
+	fmt.Printf("for element/hilbert mapping pass: -elements %d,%d,%d -n %d\n", e[0], e[1], e[2], spec.GridN())
+}
+
+func scenarioByName(name string) (picpredict.Scenario, error) {
+	switch name {
+	case "hele-shaw":
+		return picpredict.HeleShaw(), nil
+	case "hele-shaw-paper":
+		return picpredict.HeleShawFull(), nil
+	case "uniform":
+		return picpredict.UniformScenario(), nil
+	case "gaussian":
+		return picpredict.GaussianScenario(), nil
+	case "shock-tube":
+		return picpredict.ShockTubeScenario(), nil
+	default:
+		return picpredict.Scenario{}, fmt.Errorf("unknown scenario %q", name)
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestScenarioByName(t *testing.T) {
+	for _, name := range []string{"hele-shaw", "hele-shaw-paper", "uniform", "gaussian", "shock-tube"} {
+		s, err := scenarioByName(name)
+		if err != nil {
+			t.Errorf("scenarioByName(%q): %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("scenario %q invalid: %v", name, err)
+		}
+	}
+	if _, err := scenarioByName("bogus"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

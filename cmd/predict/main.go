@@ -1,0 +1,160 @@
+// Command predict runs the full prediction pipeline end-to-end: it reads a
+// particle trace, trains kernel performance models (Model Generator),
+// synthesises workloads at one or more processor counts (Dynamic Workload
+// Generator), and replays them through the system-level simulator
+// (Simulation Platform), reporting predicted execution time and model
+// accuracy per configuration.
+//
+// Usage:
+//
+//	predict -trace trace.bin -ranks 1044,2088,4176,8352 -filter 0.00428 -total-elements 16384 -n 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"picpredict"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("predict: ")
+
+	var (
+		traceFile = flag.String("trace", "", "input particle trace (this or -workload is required)")
+		wlFile    = flag.String("workload", "", "pre-generated workload file (wlgen -save); skips workload generation")
+		ranksCSV  = flag.String("ranks", "1044,2088,4176,8352", "processor counts, comma separated")
+		mappingF  = flag.String("mapping", "bin", "mapping algorithm: element, bin, hilbert")
+		filter    = flag.Float64("filter", 0.00428, "projection filter size")
+		totalEl   = flag.Int("total-elements", 16384, "total spectral elements of the application")
+		gridN     = flag.Float64("n", 4, "grid resolution per element")
+		filterEl  = flag.Float64("filter-elements", 0, "filter size in element widths (default derived)")
+		machine   = flag.String("machine", "quartz", "target system: quartz, vulcan, titan")
+		noise     = flag.Float64("noise", 0.105, "synthetic testbed noise for accuracy evaluation")
+		fast      = flag.Bool("fast", false, "fast (less accurate) model training")
+		wallclock = flag.Bool("wallclock", false, "train models against wall-clock kernel executions")
+	)
+	flag.Parse()
+	if *traceFile == "" && *wlFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ranksList, err := parseRanks(*ranksCSV)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tr *picpredict.Trace
+	var savedWl *picpredict.Workload
+	if *wlFile != "" {
+		f, err := os.Open(*wlFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		savedWl, err = picpredict.ReadWorkload(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ranksList = []int{savedWl.Ranks()}
+		fmt.Printf("workload: R=%d, %d frames\n", savedWl.Ranks(), savedWl.Frames())
+	} else {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tr, err = picpredict.ReadTrace(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d particles, %d frames\n", tr.NumParticles(), tr.Frames())
+	}
+
+	fmt.Println("training kernel performance models (Model Generator)...")
+	models, err := picpredict.TrainModels(picpredict.TrainOptions{
+		Seed: 1, Fast: *fast, WallClock: *wallclock,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range models.Formulas() {
+		fmt.Println("  ", s)
+	}
+
+	fe := *filterEl
+	if fe == 0 {
+		// Default the model-space filter size to one element width; pass
+		// -filter-elements to match the application configuration exactly.
+		fe = 1
+	}
+	mspec, err := picpredict.MachineByName(*machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("target system: %s (latency %.2g s, bandwidth %.3g B/s)\n",
+		mspec.Name, mspec.LatencySec, mspec.BandwidthBps)
+	platform, err := picpredict.NewPlatform(models, picpredict.PlatformOptions{
+		TotalElements: *totalEl,
+		N:             *gridN,
+		Filter:        fe,
+		Machine:       &mspec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%8s %14s %14s %14s %10s\n", "R", "predicted (s)", "compute (s)", "comm (s)", "MAPE")
+	for i, ranks := range ranksList {
+		wl := savedWl
+		if wl == nil {
+			wl, err = tr.GenerateWorkload(picpredict.WorkloadOptions{
+				Ranks:        ranks,
+				Mapping:      picpredict.MappingKind(*mappingF),
+				FilterRadius: *filter,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		pred, err := platform.SimulateBSP(wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var comp, comm float64
+		for k := range pred.Compute {
+			comp += pred.Compute[k]
+			comm += pred.Comm[k]
+		}
+		acc, err := platform.KernelAccuracy(wl, *noise, int64(7+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %14.5g %14.5g %14.5g %9.2f%%\n",
+			ranks, pred.Total, comp, comm, picpredict.MeanAccuracy(acc))
+	}
+}
+
+func parseRanks(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		r, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("-ranks: %v", err)
+		}
+		if r <= 0 {
+			return nil, fmt.Errorf("-ranks: %d is not positive", r)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-ranks: empty list")
+	}
+	return out, nil
+}

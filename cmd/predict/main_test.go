@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestParseRanks(t *testing.T) {
+	got, err := parseRanks("1044, 2088,4176")
+	if err != nil || len(got) != 3 || got[0] != 1044 || got[2] != 4176 {
+		t.Errorf("parseRanks = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-5", "abc", "10,x"} {
+		if _, err := parseRanks(bad); err == nil {
+			t.Errorf("parseRanks(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Command wlgen is the Dynamic Workload Generator CLI: it mimics a particle
+// mapping algorithm on a particle trace and reports the synthesised
+// per-processor workload — computation matrix statistics, communication
+// volume, resource utilization, and (for bin mapping) bin counts.
+//
+// Usage:
+//
+//	wlgen -trace trace.bin -ranks 1044 -mapping bin -filter 0.00428
+//	wlgen -trace trace.bin -ranks 4096 -mapping element -elements 128,128,1 -n 4 -heatmap heat.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"picpredict"
+	"picpredict/internal/config"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wlgen: ")
+
+	var (
+		traceFile = flag.String("trace", "", "input particle trace (required)")
+		cfgFile   = flag.String("config", "", "JSON configuration file (flags override its values)")
+		ranks     = flag.Int("ranks", 1044, "processor count R")
+		mappingF  = flag.String("mapping", "bin", "mapping algorithm: element, bin, hilbert")
+		filter    = flag.Float64("filter", 0, "projection filter size (ghosts + bin threshold)")
+		relaxed   = flag.Bool("relaxed", false, "relax the processor-count limit on bin splitting")
+		midpoint  = flag.Bool("midpoint", false, "use midpoint planar cuts instead of median")
+		elements  = flag.String("elements", "", "element grid ex,ey,ez (element/hilbert mapping)")
+		gridN     = flag.Int("n", 4, "grid resolution per element")
+		heatmap   = flag.String("heatmap", "", "write the computation matrix as CSV to this file")
+		commCSV   = flag.String("commcsv", "", "write the communication matrix as CSV to this file")
+		save      = flag.String("save", "", "save the full workload (binary) for later simulation")
+		ascii     = flag.Bool("ascii", false, "render an ASCII heat map to stdout")
+		series    = flag.Bool("series", false, "print the per-interval peak/busy/migration series")
+	)
+	flag.Parse()
+	if *traceFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := picpredict.ReadTrace(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *cfgFile != "" {
+		cf, err := config.LoadPath(*cfgFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cf.ApplyMesh(tr)
+		// Flags explicitly set on the command line override the file.
+		set := map[string]bool{}
+		flag.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+		if !set["ranks"] {
+			*ranks = cf.Ranks
+		}
+		if !set["mapping"] {
+			*mappingF = cf.Mapping
+		}
+		if !set["filter"] {
+			*filter = cf.FilterRadius
+		}
+		if !set["relaxed"] {
+			*relaxed = cf.RelaxedBins
+		}
+		if !set["midpoint"] {
+			*midpoint = cf.MidpointSplit
+		}
+	}
+	if *elements != "" {
+		ex, ey, ez, err := parseElements(*elements)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr.WithMesh(ex, ey, ez, *gridN)
+	}
+	fmt.Printf("trace: %d particles, %d frames, sampled every %d iterations\n",
+		tr.NumParticles(), tr.Frames(), tr.SampleEvery())
+
+	start := time.Now()
+	wl, err := tr.GenerateWorkload(picpredict.WorkloadOptions{
+		Ranks:         *ranks,
+		Mapping:       picpredict.MappingKind(*mappingF),
+		FilterRadius:  *filter,
+		RelaxedBins:   *relaxed,
+		MidpointSplit: *midpoint,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload generated for R=%d (%s mapping) in %v\n",
+		wl.Ranks(), *mappingF, time.Since(start).Round(time.Millisecond))
+
+	u := wl.Utilization()
+	if d, err := wl.Distribution(); err == nil {
+		fmt.Printf("busiest interval %d: min/p50/p90/p99/max = %d/%d/%d/%d/%d, gini %.2f\n",
+			d.Frame, d.Min, d.P50, d.P90, d.P99, d.Max, d.Gini)
+	}
+	fmt.Printf("peak particles/processor:  %d\n", wl.Peak())
+	fmt.Printf("ghost peak:                %d\n", wl.GhostPeak())
+	fmt.Printf("load imbalance (max/mean): %.1f\n", wl.Imbalance())
+	fmt.Printf("resource utilization:      %.2f%% mean, %.2f%% ever-busy\n", 100*u.Mean, 100*u.Ever)
+	if bins := wl.MaxBins(); bins > 0 {
+		fmt.Printf("max bins:                  %d\n", bins)
+	}
+	var totalMig int64
+	for _, m := range wl.MigrationsPerFrame() {
+		totalMig += m
+	}
+	fmt.Printf("total particle migrations: %d\n", totalMig)
+
+	if *series {
+		fmt.Printf("\n%10s %10s %10s %12s\n", "iteration", "peak", "busy", "migrations")
+		peaks := wl.PeakPerFrame()
+		busy := wl.NonZeroRanksPerFrame()
+		mig := wl.MigrationsPerFrame()
+		for k, it := range wl.Iterations() {
+			fmt.Printf("%10d %10d %10d %12d\n", it, peaks[k], busy[k], mig[k])
+		}
+	}
+	if *ascii {
+		if err := wl.RenderHeatmap(os.Stdout, 32, 72); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *heatmap != "" {
+		if err := writeFile(*heatmap, wl.WriteHeatmapCSV); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("heat map written to %s\n", *heatmap)
+	}
+	if *commCSV != "" {
+		if err := writeFile(*commCSV, wl.WriteCommCSV); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("communication matrix written to %s\n", *commCSV)
+	}
+	if *save != "" {
+		if err := writeFile(*save, wl.Write); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workload saved to %s\n", *save)
+	}
+}
+
+// writeFile creates path and streams fn's output into it.
+func writeFile(path string, fn func(io.Writer) error) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+func parseElements(s string) (ex, ey, ez int, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("-elements wants ex,ey,ez, got %q", s)
+	}
+	dims := make([]int, 3)
+	for i, p := range parts {
+		dims[i], err = strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("-elements component %d: %v", i, err)
+		}
+	}
+	return dims[0], dims[1], dims[2], nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestParseElements(t *testing.T) {
+	ex, ey, ez, err := parseElements("128, 64,1")
+	if err != nil || ex != 128 || ey != 64 || ez != 1 {
+		t.Errorf("parseElements = %d,%d,%d, %v", ex, ey, ez, err)
+	}
+	for _, bad := range []string{"", "1,2", "1,2,3,4", "a,b,c"} {
+		if _, _, _, err := parseElements(bad); err == nil {
+			t.Errorf("parseElements(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Instrumented-application model training: the paper's §II-B workflow.
+//
+// "To build performance models, we instrument the source code and benchmark
+// key computation kernels of PIC application for various input parameter
+// combinations." This example does exactly that: it runs the real PIC
+// solver with per-phase wall-clock timing across a configuration sweep,
+// fits one model per kernel (linear or symbolic regression), and prints the
+// discovered closed forms next to their deterministic synthetic-testbed
+// counterparts.
+//
+// Run with:
+//
+//	go run ./examples/apptrain
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"picpredict"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("benchmarking the instrumented PIC application (per-phase wall-clock timing)...")
+	start := time.Now()
+	appModels, err := picpredict.TrainModelsFromApp(picpredict.AppTrainOptions{
+		Np:     []int{1000, 4000, 16000},
+		N:      []int{3, 5},
+		Filter: []float64{0.5, 1.5},
+		Seed:   7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %v\n\nmodels fitted to the measured application (this host):\n", time.Since(start).Round(time.Millisecond))
+	for _, f := range appModels.Formulas() {
+		fmt.Println("  ", f)
+	}
+
+	fmt.Println("\nfor contrast, the deterministic synthetic-testbed models:")
+	synModels, err := picpredict.TrainModels(picpredict.TrainOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range synModels.Formulas() {
+		fmt.Println("  ", f)
+	}
+
+	// Both model sets drive the same simulation platform.
+	fmt.Println("\npredicting a 256-rank Hele-Shaw run with the app-trained models:")
+	spec := picpredict.HeleShaw().WithParticles(5000).WithElements(64, 64, 1).WithSteps(600)
+	trace, err := spec.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := trace.GenerateWorkload(picpredict.WorkloadOptions{
+		Ranks: 256, Mapping: picpredict.MappingBin, FilterRadius: spec.FilterRadius(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform, err := picpredict.NewPlatform(appModels, picpredict.PlatformOptions{
+		TotalElements: spec.NumElements(),
+		N:             float64(spec.GridN()),
+		Filter:        spec.FilterInElements(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := platform.SimulateBSP(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted particle-solver time: %.4g s (simulated utilization %.1f%%)\n",
+		pred.Total, 100*pred.MeanUtilization())
+	fmt.Println("unlike the synthetic testbed, these predictions model THIS machine (§II-B).")
+}

@@ -1,0 +1,86 @@
+// Hele-Shaw scalability prediction: the paper's §IV-B study.
+//
+// A single trace of the Hele-Shaw case study predicts the peak particle
+// workload at 1044, 2088, 4176 and 8352 processors, revealing that the
+// bin-size threshold caps useful parallelism: the relaxed bin count gives
+// the optimal processor count, beyond which adding processors cannot
+// improve the particle-solver's critical path.
+//
+// Run with:
+//
+//	go run ./examples/heleshaw            # experiment scale (~15 s)
+//	go run ./examples/heleshaw -quick     # shrunken demo (~1 s)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"picpredict"
+)
+
+func main() {
+	log.SetFlags(0)
+	quick := flag.Bool("quick", false, "run a shrunken (less faithful) configuration")
+	flag.Parse()
+
+	spec := picpredict.HeleShaw()
+	rankSets := []int{1044, 2088, 4176, 8352}
+	if *quick {
+		spec = spec.
+			WithParticles(3000).
+			WithElements(64, 64, 1).
+			WithSteps(400).
+			WithFilterRadius(0.011).
+			WithBurst(0.0012, 1) // shock arrives earlier in the short run
+		rankSets = []int{128, 256, 512}
+	}
+
+	fmt.Printf("running %s (%d particles, %d iterations)...\n", spec.Name(), spec.NumParticles(), spec.Steps())
+	trace, err := spec.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Strong-scaling prediction: peak particles per processor per config.
+	fmt.Printf("\npeak particles per processor (bin mapping):\n%10s", "iteration")
+	for _, r := range rankSets {
+		fmt.Printf(" %9s", fmt.Sprintf("R=%d", r))
+	}
+	fmt.Println()
+	peaks := make(map[int][]int64, len(rankSets))
+	for _, ranks := range rankSets {
+		wl, err := trace.GenerateWorkload(picpredict.WorkloadOptions{
+			Ranks:        ranks,
+			Mapping:      picpredict.MappingBin,
+			FilterRadius: spec.FilterRadius(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		peaks[ranks] = wl.PeakPerFrame()
+	}
+	for k, it := range trace.Iterations() {
+		fmt.Printf("%10d", it)
+		for _, r := range rankSets {
+			fmt.Printf(" %9d", peaks[r][k])
+		}
+		fmt.Println()
+	}
+
+	// The optimal processor count: relax the rank limit and let the
+	// threshold alone decide the bin count (Fig 6).
+	relaxed, err := trace.GenerateWorkload(picpredict.WorkloadOptions{
+		Ranks:        trace.NumParticles(),
+		Mapping:      picpredict.MappingBin,
+		FilterRadius: spec.FilterRadius(),
+		RelaxedBins:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbins over the run: %v\n", relaxed.BinsPerFrame())
+	fmt.Printf("maximum bins = optimal processor count for this problem: %d\n", relaxed.MaxBins())
+	fmt.Println("scaling beyond this count cannot improve the particle solver (paper §IV-B).")
+}

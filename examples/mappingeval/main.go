@@ -1,0 +1,90 @@
+// Mapping-algorithm evaluation: the paper's §IV-C study.
+//
+// The prediction framework acts as a test-bed for particle mapping
+// strategies: given one trace, it evaluates element-based, bin-based, and
+// Hilbert-order mapping side by side — peak workload, resource utilization,
+// migration traffic — without implementing any of them inside a parallel
+// application.
+//
+// Run with:
+//
+//	go run ./examples/mappingeval
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"picpredict"
+)
+
+func main() {
+	log.SetFlags(0)
+	ranks := flag.Int("ranks", 256, "processor count to evaluate at")
+	flag.Parse()
+
+	spec := picpredict.HeleShaw().
+		WithParticles(6000).
+		WithElements(64, 64, 1).
+		WithSteps(800).
+		WithFilterRadius(0.008)
+	fmt.Printf("evaluating mapping algorithms on %s at R=%d\n\n", spec.Name(), *ranks)
+	trace, err := spec.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		mapping  picpredict.MappingKind
+		peak     int64
+		ghost    int64
+		ruMean   float64
+		imb      float64
+		migTotal int64
+	}
+	var rows []row
+	for _, mapping := range []picpredict.MappingKind{
+		picpredict.MappingElement,
+		picpredict.MappingBin,
+		picpredict.MappingHilbert,
+	} {
+		opts := picpredict.WorkloadOptions{
+			Ranks:        *ranks,
+			Mapping:      mapping,
+			FilterRadius: spec.FilterRadius(),
+		}
+		if mapping == picpredict.MappingHilbert {
+			// The Hilbert mapper answers no ghost queries; evaluate its
+			// computation distribution only.
+			opts.FilterRadius = 0
+		}
+		wl, err := trace.GenerateWorkload(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var mig int64
+		for _, m := range wl.MigrationsPerFrame() {
+			mig += m
+		}
+		rows = append(rows, row{
+			mapping:  mapping,
+			peak:     wl.Peak(),
+			ghost:    wl.GhostPeak(),
+			ruMean:   100 * wl.Utilization().Mean,
+			imb:      wl.Imbalance(),
+			migTotal: mig,
+		})
+	}
+
+	fmt.Printf("%10s %8s %8s %10s %11s %12s\n", "mapping", "peak", "ghosts", "RU mean", "imbalance", "migrations")
+	for _, r := range rows {
+		fmt.Printf("%10s %8d %8d %9.1f%% %11.1f %12d\n",
+			r.mapping, r.peak, r.ghost, r.ruMean, r.imb, r.migTotal)
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  element — perfect locality, catastrophic peak for a clustered bed (paper Fig 8)")
+	fmt.Println("  bin     — near-balanced counts, ghost traffic pays for decoupled locality (paper §III-C)")
+	fmt.Println("  hilbert — exact count balance with approximate locality (paper ref [10])")
+}

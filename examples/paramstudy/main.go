@@ -1,0 +1,98 @@
+// Projection-filter parameter study: the paper's §IV-D performance-tuning
+// workflow.
+//
+// The projection filter size controls how far a particle's influence
+// spreads on the grid. It cuts both ways: a larger filter creates more
+// ghost particles (higher create_ghost_particles cost), while a smaller
+// filter lowers the threshold bin size, allowing more bins — a higher
+// optimal processor count. The framework quantifies both effects from one
+// trace so users can pick the trade-off between simulation fidelity and
+// performance.
+//
+// Run with:
+//
+//	go run ./examples/paramstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"picpredict"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	spec := picpredict.HeleShaw().
+		WithParticles(6000).
+		WithElements(64, 64, 1).
+		WithSteps(600)
+	base := spec.FilterRadius()
+	fmt.Printf("parameter study on %s: projection filter ∈ [%.4g, %.4g]\n\n", spec.Name(), base/2, base*4)
+
+	trace, err := spec.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("training kernel models (Model Generator)...")
+	models, err := picpredict.TrainModels(picpredict.TrainOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	elemWidth := 1.0 / 64 // domain width over elements per axis
+	const ranks = 256
+	fmt.Printf("\n%12s %10s %12s %14s %22s\n",
+		"filter", "max bins", "peak ghosts", "ghosts/frame", "create_ghosts time (s)")
+	for _, mult := range []float64{0.5, 1, 2, 3, 4} {
+		filter := base * mult
+		// Bin growth at this threshold (relaxed — Fig 10a).
+		relaxed, err := trace.GenerateWorkload(picpredict.WorkloadOptions{
+			Ranks:        trace.NumParticles(),
+			Mapping:      picpredict.MappingBin,
+			FilterRadius: filter,
+			RelaxedBins:  true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Ghost load at this filter (Fig 10b).
+		wl, err := trace.GenerateWorkload(picpredict.WorkloadOptions{
+			Ranks:        ranks,
+			Mapping:      picpredict.MappingBin,
+			FilterRadius: filter,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ghostsPerFrame int64
+		if tg := wl.TotalGhosts(); len(tg) > 0 {
+			for _, g := range tg {
+				ghostsPerFrame += g
+			}
+			ghostsPerFrame /= int64(len(tg))
+		}
+		// Peak-rank kernel-time prediction from the fitted model.
+		var peakNp, peakNgp int64
+		for k := 0; k < wl.Frames(); k++ {
+			for r := 0; r < wl.Ranks(); r++ {
+				if np := wl.At(r, k); np > peakNp {
+					peakNp, peakNgp = np, wl.GhostAt(r, k)
+				}
+			}
+		}
+		t, err := models.Predict("create_ghost_particles",
+			float64(peakNp), float64(peakNgp),
+			float64(spec.NumElements())/ranks, float64(spec.GridN()), filter/elemWidth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12.4g %10d %12d %14d %22.3g\n",
+			filter, relaxed.MaxBins(), wl.GhostPeak(), ghostsPerFrame, t)
+	}
+
+	fmt.Println("\nsmaller filters → more bins (more usable processors);")
+	fmt.Println("larger filters → more ghost particles → costlier create_ghost_particles (paper Fig 10).")
+}

@@ -1,0 +1,73 @@
+// Quickstart: the minimal end-to-end use of the prediction framework.
+//
+// It runs a small Hele-Shaw PIC simulation to obtain a particle trace, then
+// uses the Dynamic Workload Generator to predict — without any further
+// simulation — how the particle workload distributes across 64 and 256
+// processors under both mapping algorithms.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"picpredict"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Define the application scenario: a scaled-down Hele-Shaw case
+	//    study (dense particle bed dispersed by a shock).
+	spec := picpredict.HeleShaw().
+		WithParticles(5000).
+		WithElements(64, 64, 1).
+		WithSteps(600).
+		WithSampleEvery(100)
+	fmt.Printf("scenario %s: %d particles on %d spectral elements\n",
+		spec.Name(), spec.NumParticles(), spec.NumElements())
+
+	// 2. Run the PIC application once and sample a particle trace.
+	trace, err := spec.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d frames sampled every %d iterations\n\n", trace.Frames(), trace.SampleEvery())
+
+	// 3. Generate workloads for several system sizes from that ONE trace —
+	//    no re-simulation needed, because particle movement is independent
+	//    of the processor count.
+	fmt.Printf("%8s %10s %16s %16s %12s\n", "R", "mapping", "peak particles", "RU (mean)", "imbalance")
+	for _, ranks := range []int{64, 256} {
+		for _, mapping := range []picpredict.MappingKind{picpredict.MappingElement, picpredict.MappingBin} {
+			wl, err := trace.GenerateWorkload(picpredict.WorkloadOptions{
+				Ranks:        ranks,
+				Mapping:      mapping,
+				FilterRadius: spec.FilterRadius(),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			u := wl.Utilization()
+			fmt.Printf("%8d %10s %16d %15.1f%% %12.1f\n",
+				ranks, mapping, wl.Peak(), 100*u.Mean, wl.Imbalance())
+		}
+	}
+
+	// 4. Visualise how the irregular workload evolves (Fig 1a style).
+	fmt.Println("\nworkload heat map (element mapping, 64 ranks):")
+	wl, err := trace.GenerateWorkload(picpredict.WorkloadOptions{
+		Ranks:   64,
+		Mapping: picpredict.MappingElement,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := wl.RenderHeatmap(os.Stdout, 16, 48); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+// Shock-tube migration study: the Euler-solver gas phase end-to-end.
+//
+// A Sod-style shock (solved by the built-in compressible Euler solver, not
+// an analytic flow) sweeps a particle curtain down the tube. Unlike the
+// Hele-Shaw bed — where the irregularity is *where* particles sit — this
+// workload is dominated by *migration*: the whole curtain crosses processor
+// boundaries, filling the communication matrix P_comm. The example prints
+// the migration series and the busiest processor-pair transfers per
+// interval.
+//
+// Run with:
+//
+//	go run ./examples/shocktube
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"picpredict"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	spec := picpredict.ShockTubeScenario()
+	fmt.Printf("running %s: %d particles, Euler-solver gas phase\n", spec.Name(), spec.NumParticles())
+	trace, err := spec.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const ranks = 64
+	wl, err := trace.GenerateWorkload(picpredict.WorkloadOptions{
+		Ranks:        ranks,
+		Mapping:      picpredict.MappingElement, // locality-preserving: migration visible
+		FilterRadius: spec.FilterRadius(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nmigration per interval (element mapping, R=%d):\n", ranks)
+	fmt.Printf("%10s %12s %10s  %s\n", "iteration", "migrations", "busy", "busiest transfer")
+	mig := wl.MigrationsPerFrame()
+	busy := wl.NonZeroRanksPerFrame()
+	for k, it := range wl.Iterations() {
+		var top picpredict.CommEntry
+		for _, e := range wl.CommAt(k) {
+			if e.Count > top.Count {
+				top = e
+			}
+		}
+		desc := "-"
+		if top.Count > 0 {
+			desc = fmt.Sprintf("rank %d → %d: %d particles", top.Src, top.Dst, top.Count)
+		}
+		fmt.Printf("%10d %12d %10d  %s\n", it, mig[k], busy[k], desc)
+	}
+
+	var total int64
+	for _, m := range mig {
+		total += m
+	}
+	fmt.Printf("\ntotal particle migrations: %d (%.1f%% of the population per interval on average)\n",
+		total, 100*float64(total)/float64(trace.NumParticles()*(wl.Frames()-1)))
+	fmt.Println("the curtain's coherent downstream motion makes element mapping pay in P_comm,")
+	fmt.Println("not (only) in load imbalance — the other face of PIC irregularity (§II-A).")
+}

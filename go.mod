@@ -1,0 +1,3 @@
+module picpredict
+
+go 1.22

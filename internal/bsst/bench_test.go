@@ -1,0 +1,48 @@
+package bsst
+
+import (
+	"testing"
+
+	"picpredict/internal/kernels"
+)
+
+func benchPlatform(b *testing.B) *Platform {
+	b.Helper()
+	ms, err := kernels.Train(kernels.NewSynthetic(0.02, 99), kernels.TrainOptions{Seed: 1, Fast: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &Platform{Models: ms, Machine: Quartz(), N: 5, Filter: 2, TotalElements: 4096}
+}
+
+// Ablation: the discrete-event engine vs the closed-form BSP recurrence on
+// identical workloads.
+func BenchmarkSimulateEventEngine(b *testing.B) {
+	p := benchPlatform(b)
+	wl := clusterWorkload(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Simulate(wl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateBSP(b *testing.B) {
+	p := benchPlatform(b)
+	wl := clusterWorkload(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SimulateBSP(wl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIterTime(b *testing.B) {
+	p := benchPlatform(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.IterTime(int64(i%5000), int64(i%500), 256)
+	}
+}

@@ -1,0 +1,186 @@
+package bsst
+
+import (
+	"container/heap"
+	"fmt"
+
+	"picpredict/internal/core"
+)
+
+// The discrete-event engine. Components are processor ranks; each sampling
+// interval is one bulk-synchronous superstep:
+//
+//	IterStart(k)      — all ranks begin computing with their frame-k load;
+//	ComputeDone(k, r) — rank r finishes computing and emits its outgoing
+//	                    particle-migration and ghost-update messages;
+//	MsgArrive(k, d)   — a message lands on rank d;
+//	barrier           — when every rank has finished and every message has
+//	                    arrived, interval k ends and IterStart(k+1) fires
+//	                    at the current maximum clock (PIC iterations are
+//	                    globally synchronised by the fluid solve).
+type eventKind uint8
+
+const (
+	evComputeDone eventKind = iota
+	evMsgArrive
+)
+
+type event struct {
+	time float64
+	kind eventKind
+	rank int
+	seq  int // FIFO tie-break for determinism
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Simulate replays a generated workload through the event engine and
+// returns the predicted execution profile.
+func (p *Platform) Simulate(wl *core.Workload) (*Prediction, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if wl.RealComp.Frames() == 0 {
+		return nil, fmt.Errorf("bsst: empty workload")
+	}
+	ranks := wl.Ranks
+	sampleEvery := wl.SampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	pred := &Prediction{Ranks: ranks, RankBusy: make([]float64, ranks)}
+	clock := 0.0
+	var q eventQueue
+	seq := 0
+	push := func(t float64, k eventKind, r int) {
+		heap.Push(&q, event{time: t, kind: k, rank: r, seq: seq})
+		seq++
+	}
+	for k := 0; k < wl.RealComp.Frames(); k++ {
+		// Superstep k starts at the barrier time `clock`. Pre-group the
+		// interval's messages by sender so each ComputeDone event emits
+		// its own messages in O(out-degree) rather than scanning the full
+		// communication matrix.
+		type outMsg struct {
+			dst  int
+			time float64
+		}
+		outbox := make(map[int][]outMsg)
+		for _, e := range wl.RealComm.At(k).Entries() {
+			outbox[e.Src] = append(outbox[e.Src], outMsg{dst: e.Dst, time: p.Machine.transferTime(e.Count)})
+		}
+		if wl.GhostComm != nil {
+			for _, e := range wl.GhostComm.At(k).Entries() {
+				t := float64(sampleEvery) * p.Machine.transferTime(e.Count)
+				outbox[e.Src] = append(outbox[e.Src], outMsg{dst: e.Dst, time: t})
+			}
+		}
+
+		q = q[:0]
+		computeEnd := make([]float64, ranks)
+		var maxCompute float64
+		for r := 0; r < ranks; r++ {
+			np, ngp := frameCounts(wl, r, k)
+			c := float64(sampleEvery) * p.IterTime(np, ngp, ranks)
+			computeEnd[r] = clock + c
+			pred.RankBusy[r] += c
+			if c > maxCompute {
+				maxCompute = c
+			}
+			push(computeEnd[r], evComputeDone, r)
+		}
+		intervalEnd := clock
+		for len(q) > 0 {
+			ev := heap.Pop(&q).(event)
+			if ev.time > intervalEnd {
+				intervalEnd = ev.time
+			}
+			if ev.kind != evComputeDone {
+				continue
+			}
+			// Emit this rank's outgoing messages for the interval:
+			// migrations recorded into frame k, and the interval's ghost
+			// updates (re-sent every iteration of the superstep).
+			for _, m := range outbox[ev.rank] {
+				push(ev.time+m.time, evMsgArrive, m.dst)
+			}
+		}
+		wall := intervalEnd - clock
+		pred.IntervalWall = append(pred.IntervalWall, wall)
+		pred.Compute = append(pred.Compute, maxCompute)
+		pred.Comm = append(pred.Comm, wall-maxCompute)
+		clock = intervalEnd
+	}
+	pred.Total = clock
+	return pred, nil
+}
+
+// SimulateBSP computes the same superstep recurrence in closed form:
+// interval wall time = max over ranks of
+//
+//	max(compute_r, max over senders s→r (compute_s + msgTime(s, r))).
+//
+// It is algebraically identical to the event engine (the tests verify
+// equality) and is the path used for large rank counts.
+func (p *Platform) SimulateBSP(wl *core.Workload) (*Prediction, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if wl.RealComp.Frames() == 0 {
+		return nil, fmt.Errorf("bsst: empty workload")
+	}
+	ranks := wl.Ranks
+	sampleEvery := wl.SampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	pred := &Prediction{Ranks: ranks, RankBusy: make([]float64, ranks)}
+	compute := make([]float64, ranks)
+	for k := 0; k < wl.RealComp.Frames(); k++ {
+		var maxCompute float64
+		for r := 0; r < ranks; r++ {
+			np, ngp := frameCounts(wl, r, k)
+			compute[r] = float64(sampleEvery) * p.IterTime(np, ngp, ranks)
+			pred.RankBusy[r] += compute[r]
+			if compute[r] > maxCompute {
+				maxCompute = compute[r]
+			}
+		}
+		wall := maxCompute
+		for _, e := range wl.RealComm.At(k).Entries() {
+			if t := compute[e.Src] + p.Machine.transferTime(e.Count); t > wall {
+				wall = t
+			}
+		}
+		if wl.GhostComm != nil {
+			for _, e := range wl.GhostComm.At(k).Entries() {
+				t := compute[e.Src] + float64(sampleEvery)*p.Machine.transferTime(e.Count)
+				if t > wall {
+					wall = t
+				}
+			}
+		}
+		pred.IntervalWall = append(pred.IntervalWall, wall)
+		pred.Compute = append(pred.Compute, maxCompute)
+		pred.Comm = append(pred.Comm, wall-maxCompute)
+		pred.Total += wall
+	}
+	return pred, nil
+}

@@ -1,0 +1,104 @@
+package bsst
+
+import (
+	"fmt"
+
+	"picpredict/internal/core"
+	"picpredict/internal/kernels"
+	"picpredict/internal/metrics"
+)
+
+// KernelAccuracy evaluates each kernel model's MAPE against a testbed
+// measurer over the per-rank per-interval workloads of wl — the methodology
+// behind Fig 7: predict every kernel's execution time on every processor
+// throughout the run and compare with the measured time. Idle ranks
+// (no particles) are skipped, as on the real machine their kernel
+// invocations vanish in launch overhead.
+func (p *Platform) KernelAccuracy(wl *core.Workload, testbed kernels.Measurer) (map[string]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, 5)
+	for _, k := range kernels.All() {
+		var predicted, actual []float64
+		for frame := 0; frame < wl.RealComp.Frames(); frame++ {
+			for r := 0; r < wl.Ranks; r++ {
+				np, ngp := frameCounts(wl, r, frame)
+				if np == 0 {
+					continue
+				}
+				w := p.workloadAt(np, ngp, wl.Ranks)
+				predicted = append(predicted, p.Models[k.Name].Predict(w.Features()))
+				actual = append(actual, testbed.Measure(k, w))
+			}
+		}
+		if len(actual) == 0 {
+			return nil, fmt.Errorf("bsst: workload has no busy ranks to evaluate %s on", k.Name)
+		}
+		mape, err := metrics.MAPE(predicted, actual)
+		if err != nil {
+			return nil, fmt.Errorf("bsst: %s: %w", k.Name, err)
+		}
+		out[k.Name] = mape
+	}
+	return out, nil
+}
+
+// MeanAccuracy averages per-kernel MAPEs into the single figure the paper
+// headlines (8.42 %).
+func MeanAccuracy(perKernel map[string]float64) float64 {
+	if len(perKernel) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range perKernel {
+		sum += v
+	}
+	return sum / float64(len(perKernel))
+}
+
+// EndToEndAccuracy compares the platform's predicted total execution time
+// with a "testbed" total obtained by replaying the same workload through
+// measured (noisy) kernel times, returning (predicted, measured, error%).
+func (p *Platform) EndToEndAccuracy(wl *core.Workload, testbed kernels.Measurer) (predicted, measured, errPct float64, err error) {
+	pred, err := p.SimulateBSP(wl)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	sampleEvery := wl.SampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	for k := 0; k < wl.RealComp.Frames(); k++ {
+		var maxCompute float64
+		for r := 0; r < wl.Ranks; r++ {
+			np, ngp := frameCounts(wl, r, k)
+			w := p.workloadAt(np, ngp, wl.Ranks)
+			var c float64
+			for _, kn := range kernels.All() {
+				c += testbed.Measure(kn, w)
+			}
+			c *= float64(sampleEvery)
+			if c > maxCompute {
+				maxCompute = c
+			}
+		}
+		measured += maxCompute
+	}
+	predicted = 0
+	for k := range pred.Compute {
+		predicted += pred.Compute[k]
+	}
+	if measured == 0 {
+		return predicted, measured, 0, fmt.Errorf("bsst: zero measured time")
+	}
+	errPct = 100 * abs(predicted-measured) / measured
+	return predicted, measured, errPct, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,80 @@
+// Package bsst is the Simulation Platform of the prediction framework
+// (§II-C): a coarse-grained system-level simulator in the spirit of BE-SST.
+// It advances a per-processor simulation clock by kernel times obtained
+// from the fitted performance models evaluated at the Dynamic Workload
+// Generator's per-rank workload, and exchanges message events costed by a
+// latency/bandwidth machine model. Both a discrete-event engine and an
+// equivalent bulk-synchronous fast path are provided; the tests verify they
+// agree, and the experiments use the fast path at large rank counts.
+package bsst
+
+// Machine is the target-system model: the interconnect parameters and the
+// per-particle payload that turn communication-matrix counts into message
+// times.
+type Machine struct {
+	// Name labels the system.
+	Name string
+	// Latency is the per-message latency in seconds.
+	Latency float64
+	// Bandwidth is the link bandwidth in bytes per second.
+	Bandwidth float64
+	// BytesPerParticle is the payload of one particle record (position,
+	// velocity, properties — "each particle has a specific amount of data
+	// associated with it", §II-A).
+	BytesPerParticle float64
+}
+
+// Quartz returns a machine model representative of LLNL's Quartz (§IV-A):
+// Intel Xeon E5 nodes on a 100 Gb/s Intel Omni-Path fabric.
+func Quartz() Machine {
+	return Machine{
+		Name:             "quartz",
+		Latency:          1.5e-6,
+		Bandwidth:        12.5e9, // 100 Gb/s Omni-Path
+		BytesPerParticle: 96,     // 3×pos + 3×vel + props, double precision
+	}
+}
+
+// Vulcan returns a machine model representative of LLNL's Vulcan (the
+// BlueGene/Q system of Fig 1 and ref [9]): a 5-D torus with low latency
+// but modest per-link bandwidth.
+func Vulcan() Machine {
+	return Machine{
+		Name:             "vulcan",
+		Latency:          2.5e-6,
+		Bandwidth:        2.0e9, // 2 GB/s per BG/Q link
+		BytesPerParticle: 96,
+	}
+}
+
+// Titan returns a machine model representative of ORNL's Titan (ref [15]):
+// Gemini interconnect.
+func Titan() Machine {
+	return Machine{
+		Name:             "titan",
+		Latency:          1.4e-6,
+		Bandwidth:        8.0e9,
+		BytesPerParticle: 96,
+	}
+}
+
+// ByName returns a machine preset: quartz, vulcan, or titan.
+func ByName(name string) (Machine, bool) {
+	switch name {
+	case "quartz", "":
+		return Quartz(), true
+	case "vulcan":
+		return Vulcan(), true
+	case "titan":
+		return Titan(), true
+	}
+	return Machine{}, false
+}
+
+// transferTime is the cost of moving n particles in one message.
+func (m Machine) transferTime(n int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return m.Latency + float64(n)*m.BytesPerParticle/m.Bandwidth
+}

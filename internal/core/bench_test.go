@@ -1,0 +1,44 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"picpredict/internal/geom"
+	"picpredict/internal/mapping"
+)
+
+// BenchmarkGeneratorFrame measures per-frame workload generation without
+// ghost queries — the core §II speed-claim machinery.
+func BenchmarkGeneratorFrame(b *testing.B) {
+	benchGeneratorFrame(b, 0)
+}
+
+// BenchmarkGeneratorFrameWithGhosts includes ghost-particle workload
+// generation.
+func BenchmarkGeneratorFrameWithGhosts(b *testing.B) {
+	benchGeneratorFrame(b, 0.01)
+}
+
+func benchGeneratorFrame(b *testing.B, filter float64) {
+	const np = 50000
+	rng := rand.New(rand.NewSource(5))
+	pos := make([]geom.Vec3, np)
+	for i := range pos {
+		pos[i] = geom.V(rng.Float64(), rng.Float64(), 0)
+	}
+	gen, err := NewGenerator(Config{
+		Mapper:       mapping.NewBinMapper(1024, 0.01),
+		FilterRadius: filter,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := gen.Frame(i*100, pos); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(np, "particles/frame")
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"picpredict/internal/geom"
+	"picpredict/internal/mapping"
+	"picpredict/internal/sparse"
+	"picpredict/internal/trace"
+)
+
+// Config is the Dynamic Workload Generator's configuration file (§II-A): the
+// system configuration (processor count, carried by the Mapper) plus the
+// application configuration relevant to workload synthesis.
+type Config struct {
+	// Mapper is the particle mapping algorithm to mimic.
+	Mapper mapping.Mapper
+	// FilterRadius is the projection filter size; it controls ghost
+	// particle creation. Zero disables ghost workload generation.
+	FilterRadius float64
+	// Ghosts answers ghost-rank queries. If nil, the Mapper is used when
+	// it implements mapping.GhostSource; otherwise ghost matrices are not
+	// produced even with a positive FilterRadius.
+	Ghosts mapping.GhostSource
+}
+
+// Workload is the generator's output: computation and communication
+// matrices for real and ghost particles.
+type Workload struct {
+	// Ranks is the processor count R the workload was generated for.
+	Ranks int
+	// NumParticles is N_p, constant across the trace.
+	NumParticles int
+	// SampleEvery is the iteration distance between consecutive frames.
+	SampleEvery int
+
+	// RealComp[r][k]: real particles residing on rank r at interval k.
+	RealComp *CompMatrix
+	// GhostComp[r][k]: ghost particles materialised on rank r at interval
+	// k. Nil when ghost generation is disabled.
+	GhostComp *CompMatrix
+	// RealComm.At(k): particles that moved between rank pairs between
+	// intervals k−1 and k (interval 0 is empty).
+	RealComm *sparse.Series
+	// GhostComm.At(k): ghost copies sent from home ranks to ghost ranks
+	// at interval k (ghosts are re-created every interval, so this is
+	// per-frame, not per-transition). Nil when ghosts are disabled.
+	GhostComm *sparse.Series
+}
+
+// Generator synthesises a Workload from trace frames. Feed frames in order
+// with Frame, then call Finish. A Generator is single-use.
+type Generator struct {
+	cfg    Config
+	ghosts mapping.GhostSource
+
+	wl       *Workload
+	prev     []int // rank of each particle in the previous frame
+	cur      []int
+	ghostBuf []int
+	frames   int
+	finished bool
+}
+
+// NewGenerator validates cfg and prepares a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Mapper == nil {
+		return nil, errors.New("core: Config.Mapper is required")
+	}
+	if cfg.Mapper.Ranks() <= 0 {
+		return nil, fmt.Errorf("core: mapper reports %d ranks", cfg.Mapper.Ranks())
+	}
+	if cfg.FilterRadius < 0 {
+		return nil, fmt.Errorf("core: negative filter radius %g", cfg.FilterRadius)
+	}
+	g := &Generator{cfg: cfg}
+	if cfg.FilterRadius > 0 {
+		if cfg.Ghosts != nil {
+			g.ghosts = cfg.Ghosts
+		} else if gs, ok := cfg.Mapper.(mapping.GhostSource); ok {
+			g.ghosts = gs
+		}
+	}
+	r := cfg.Mapper.Ranks()
+	g.wl = &Workload{
+		Ranks:    r,
+		RealComp: NewCompMatrix(r),
+		RealComm: sparse.NewSeries(r),
+	}
+	if g.ghosts != nil {
+		g.wl.GhostComp = NewCompMatrix(r)
+		g.wl.GhostComm = sparse.NewSeries(r)
+	}
+	return g, nil
+}
+
+// Frame processes one trace frame: it mimics the mapping algorithm to find
+// each particle's residing processor R_p, updates the computation counters,
+// and, by comparing with the previous frame's assignment, the communication
+// counters (§II-A).
+func (g *Generator) Frame(iteration int, pos []geom.Vec3) error {
+	if g.finished {
+		return errors.New("core: Frame after Finish")
+	}
+	if g.frames == 0 {
+		g.wl.NumParticles = len(pos)
+		g.prev = make([]int, len(pos))
+		g.cur = make([]int, len(pos))
+	} else if len(pos) != g.wl.NumParticles {
+		return fmt.Errorf("core: frame %d has %d particles, first frame had %d",
+			g.frames, len(pos), g.wl.NumParticles)
+	}
+
+	if err := g.cfg.Mapper.Assign(g.cur, pos); err != nil {
+		return fmt.Errorf("core: frame %d: %w", g.frames, err)
+	}
+
+	// Computation load (real particles).
+	comp := g.wl.RealComp.AppendFrame(iteration)
+	for _, r := range g.cur {
+		comp[r]++
+	}
+
+	// Communication load (real particles): R_p changed between intervals.
+	comm := g.wl.RealComm.Append()
+	if g.frames > 0 {
+		for i, r := range g.cur {
+			if p := g.prev[i]; p != r {
+				if err := comm.Add(p, r, 1); err != nil {
+					return fmt.Errorf("core: frame %d: %w", g.frames, err)
+				}
+			}
+		}
+	}
+
+	// Ghost workload: per frame, every particle materialises a ghost on
+	// each foreign rank its projection filter touches; the ghost copy is
+	// particle data sent home→ghost this interval.
+	if g.ghosts != nil {
+		gcomp := g.wl.GhostComp.AppendFrame(iteration)
+		gcomm := g.wl.GhostComm.Append()
+		for i, p := range pos {
+			home := g.cur[i]
+			g.ghostBuf = g.ghosts.GhostRanks(g.ghostBuf[:0], p, g.cfg.FilterRadius, home)
+			for _, r := range g.ghostBuf {
+				gcomp[r]++
+				if err := gcomm.Add(home, r, 1); err != nil {
+					return fmt.Errorf("core: frame %d: %w", g.frames, err)
+				}
+			}
+		}
+	}
+
+	g.prev, g.cur = g.cur, g.prev
+	g.frames++
+	return nil
+}
+
+// Finish finalises and returns the workload. Frame may not be called again.
+func (g *Generator) Finish() (*Workload, error) {
+	if g.finished {
+		return nil, errors.New("core: Finish called twice")
+	}
+	g.finished = true
+	its := g.wl.RealComp.Iterations()
+	if len(its) >= 2 {
+		g.wl.SampleEvery = its[1] - its[0]
+	}
+	if err := g.wl.RealComp.Validate(); err != nil {
+		return nil, err
+	}
+	return g.wl, nil
+}
+
+// Run streams every frame of a trace through the generator and finishes.
+// It is the one-call path from a trace file to a workload.
+func Run(cfg Config, r *trace.Reader) (*Workload, error) {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]geom.Vec3, r.Header().NumParticles)
+	for {
+		it, err := r.Next(buf)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Frame(it, buf); err != nil {
+			return nil, err
+		}
+	}
+	return g.Finish()
+}
+
+// RunFrames feeds in-memory frames (iterations[i] paired with
+// positions[i*np:(i+1)*np]) through a generator — the path used when the
+// trace was just produced by a simulation and is still in memory.
+func RunFrames(cfg Config, iterations []int, positions []geom.Vec3, np int) (*Workload, error) {
+	if np <= 0 {
+		return nil, fmt.Errorf("core: non-positive particle count %d", np)
+	}
+	if len(positions) != len(iterations)*np {
+		return nil, fmt.Errorf("core: %d positions for %d frames × %d particles",
+			len(positions), len(iterations), np)
+	}
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for k, it := range iterations {
+		if err := g.Frame(it, positions[k*np:(k+1)*np]); err != nil {
+			return nil, err
+		}
+	}
+	return g.Finish()
+}

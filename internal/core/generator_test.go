@@ -1,0 +1,275 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"picpredict/internal/geom"
+	"picpredict/internal/mapping"
+	"picpredict/internal/mesh"
+	"picpredict/internal/trace"
+)
+
+// fixture: 4×4×1 mesh over [0,4]×[0,4]×[0,1] on 4 ranks (quadrants).
+func quadSetup(t *testing.T) (*mesh.Mesh, *mesh.Decomposition, *mapping.ElementMapper) {
+	t.Helper()
+	m, err := mesh.New(geom.Box(geom.V(0, 0, 0), geom.V(4, 4, 1)), 4, 4, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := mesh.Decompose(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, d, mapping.NewElementMapper(m, d)
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{}); err == nil {
+		t.Error("nil mapper accepted")
+	}
+	_, _, em := quadSetup(t)
+	if _, err := NewGenerator(Config{Mapper: em, FilterRadius: -1}); err == nil {
+		t.Error("negative filter accepted")
+	}
+	if _, err := NewGenerator(Config{Mapper: mapping.NewBinMapper(0, 1)}); err == nil {
+		t.Error("zero-rank mapper accepted")
+	}
+}
+
+func TestGeneratorComputationMatrix(t *testing.T) {
+	m, d, em := quadSetup(t)
+	g, err := NewGenerator(Config{Mapper: em})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame 0: three particles in the low-x low-y quadrant, one elsewhere.
+	f0 := []geom.Vec3{
+		{X: 0.5, Y: 0.5, Z: 0.5},
+		{X: 1.5, Y: 1.5, Z: 0.5},
+		{X: 0.5, Y: 1.5, Z: 0.5},
+		{X: 3.5, Y: 3.5, Z: 0.5},
+	}
+	if err := g.Frame(0, f0); err != nil {
+		t.Fatal(err)
+	}
+	// Frame 1: particle 0 crosses to the high-x high-y quadrant.
+	f1 := append([]geom.Vec3(nil), f0...)
+	f1[0] = geom.V(3.5, 3.2, 0.5)
+	if err := g.Frame(100, f1); err != nil {
+		t.Fatal(err)
+	}
+	wl, err := g.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if wl.Ranks != 4 || wl.NumParticles != 4 || wl.SampleEvery != 100 {
+		t.Fatalf("workload meta: %+v", wl)
+	}
+	// Frame 0 counts match the decomposition's view.
+	r00 := d.RankOf(m.ElementAt(f0[0]))
+	r03 := d.RankOf(m.ElementAt(f0[3]))
+	if got := wl.RealComp.At(r00, 0); got != 3 {
+		t.Errorf("rank %d frame 0 = %d, want 3", r00, got)
+	}
+	if got := wl.RealComp.At(r03, 0); got != 1 {
+		t.Errorf("rank %d frame 0 = %d, want 1", r03, got)
+	}
+	// Totals are invariant.
+	for k, tot := range wl.RealComp.TotalPerFrame() {
+		if tot != 4 {
+			t.Errorf("frame %d total = %d", k, tot)
+		}
+	}
+	// Communication: exactly one particle moved, from r00's quadrant to r03's.
+	if got := wl.RealComm.At(0).Total(); got != 0 {
+		t.Errorf("interval 0 comm = %d, want 0", got)
+	}
+	c1 := wl.RealComm.At(1)
+	if got := c1.Total(); got != 1 {
+		t.Errorf("interval 1 comm total = %d, want 1", got)
+	}
+	if got := c1.Get(r00, r03); got != 1 {
+		t.Errorf("comm[%d][%d] = %d, want 1", r00, r03, got)
+	}
+}
+
+func TestGeneratorGhostMatrices(t *testing.T) {
+	_, _, em := quadSetup(t)
+	g, err := NewGenerator(Config{Mapper: em, FilterRadius: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A particle at the exact centre touches all four quadrants.
+	f := []geom.Vec3{{X: 2, Y: 2, Z: 0.5}, {X: 0.4, Y: 0.4, Z: 0.5}}
+	if err := g.Frame(0, f); err != nil {
+		t.Fatal(err)
+	}
+	wl, err := g.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.GhostComp == nil || wl.GhostComm == nil {
+		t.Fatal("ghost matrices missing")
+	}
+	// Centre particle creates 3 ghosts (its home rank excluded); corner
+	// particle creates none (0.8 < distance to any quadrant boundary at
+	// (0.4,0.4) is 1.6... its ball stays inside its quadrant).
+	var totalGhosts int64
+	for _, v := range wl.GhostComp.Frame(0) {
+		totalGhosts += v
+	}
+	if totalGhosts != 3 {
+		t.Errorf("total ghosts = %d, want 3", totalGhosts)
+	}
+	if got := wl.GhostComm.At(0).Total(); got != 3 {
+		t.Errorf("ghost comm total = %d, want 3", got)
+	}
+	// Every ghost transfer originates from the centre particle's home rank.
+	for _, e := range wl.GhostComm.At(0).Entries() {
+		if e.Src == e.Dst {
+			t.Errorf("self ghost transfer: %+v", e)
+		}
+	}
+}
+
+func TestGeneratorGhostsDisabled(t *testing.T) {
+	_, _, em := quadSetup(t)
+	g, err := NewGenerator(Config{Mapper: em, FilterRadius: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Frame(0, []geom.Vec3{{X: 2, Y: 2, Z: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	wl, err := g.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.GhostComp != nil || wl.GhostComm != nil {
+		t.Error("ghost matrices produced with zero filter")
+	}
+}
+
+func TestGeneratorBinMapperGhosts(t *testing.T) {
+	bm := mapping.NewBinMapper(4, 0.0)
+	g, err := NewGenerator(Config{Mapper: bm, FilterRadius: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two tight clusters; bins will separate them.
+	var f []geom.Vec3
+	for i := 0; i < 8; i++ {
+		f = append(f, geom.V(0.1*float64(i), 0, 0))
+	}
+	if err := g.Frame(0, f); err != nil {
+		t.Fatal(err)
+	}
+	wl, err := g.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.GhostComp == nil {
+		t.Fatal("bin mapper ghosts missing")
+	}
+	// Particles near bin boundaries must create at least one ghost.
+	var total int64
+	for _, v := range wl.GhostComp.Frame(0) {
+		total += v
+	}
+	if total == 0 {
+		t.Error("no ghosts across adjacent bins")
+	}
+}
+
+func TestGeneratorFrameSizeMismatch(t *testing.T) {
+	_, _, em := quadSetup(t)
+	g, _ := NewGenerator(Config{Mapper: em})
+	if err := g.Frame(0, make([]geom.Vec3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Frame(100, make([]geom.Vec3, 3)); err == nil {
+		t.Error("particle count change accepted")
+	}
+}
+
+func TestGeneratorLifecycle(t *testing.T) {
+	_, _, em := quadSetup(t)
+	g, _ := NewGenerator(Config{Mapper: em})
+	if err := g.Frame(0, []geom.Vec3{{X: 1, Y: 1, Z: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Frame(100, []geom.Vec3{{X: 1, Y: 1, Z: 0.5}}); err == nil {
+		t.Error("Frame after Finish accepted")
+	}
+	if _, err := g.Finish(); err == nil {
+		t.Error("double Finish accepted")
+	}
+}
+
+func TestRunFromTrace(t *testing.T) {
+	m, _, em := quadSetup(t)
+	// Build a small trace in memory.
+	var buf bytes.Buffer
+	h := trace.Header{NumParticles: 2, SampleEvery: 50, Domain: m.Domain()}
+	w, err := trace.NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w.WriteFrame(0, []geom.Vec3{{X: 0.5, Y: 0.5, Z: 0.5}, {X: 3.5, Y: 0.5, Z: 0.5}})
+	_ = w.WriteFrame(50, []geom.Vec3{{X: 0.5, Y: 3.5, Z: 0.5}, {X: 3.5, Y: 0.5, Z: 0.5}})
+	_ = w.Flush()
+
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := Run(Config{Mapper: em}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.RealComp.Frames() != 2 || wl.NumParticles != 2 || wl.SampleEvery != 50 {
+		t.Fatalf("workload: %+v", wl)
+	}
+	if got := wl.RealComm.At(1).Total(); got != 1 {
+		t.Errorf("one particle moved, comm total = %d", got)
+	}
+}
+
+func TestRunFramesValidation(t *testing.T) {
+	_, _, em := quadSetup(t)
+	if _, err := RunFrames(Config{Mapper: em}, []int{0}, make([]geom.Vec3, 3), 2); err == nil {
+		t.Error("mismatched positions accepted")
+	}
+	if _, err := RunFrames(Config{Mapper: em}, nil, nil, 0); err == nil {
+		t.Error("zero particle count accepted")
+	}
+}
+
+func TestWorkloadIndependentOfRankCountForBins(t *testing.T) {
+	// The same trace generates workloads at several R values without any
+	// re-simulation — the core scalability-prediction property (§II). With
+	// a binding threshold the peak workload must match across R.
+	var positions []geom.Vec3
+	iters := []int{0, 100, 200}
+	for f := 0; f < len(iters); f++ {
+		for i := 0; i < 200; i++ {
+			positions = append(positions, geom.V(float64(i%20)*0.05+float64(f)*0.01, float64(i/20)*0.05, 0))
+		}
+	}
+	peakAt := func(r int) int64 {
+		cfg := Config{Mapper: mapping.NewBinMapper(r, 0.4)}
+		wl, err := RunFrames(cfg, iters, positions, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wl.RealComp.Peak()
+	}
+	if p64, p128 := peakAt(64), peakAt(128); p64 != p128 {
+		t.Errorf("threshold-bound peak differs across R: %d vs %d", p64, p128)
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"picpredict/internal/sparse"
+)
+
+// Workload serialisation: the Dynamic Workload Generator's outputs can be
+// saved once and replayed through the Simulation Platform many times (the
+// paper's BE-SST integration consumes exactly these matrices). The format
+// is little-endian binary:
+//
+//	magic "PICWKL01"
+//	ranks uint32 | frames uint32 | numParticles uint64 | sampleEvery uint32 |
+//	flags uint32 (bit0: ghost matrices present)
+//	iterations  int64 × frames
+//	realComp    int64 × frames × ranks
+//	realComm    per frame: count uint32, then (src uint32, dst uint32, n int64)×
+//	[ghostComp  like realComp]
+//	[ghostComm  like realComm]
+const workloadMagic = "PICWKL01"
+
+// Write serialises the workload to w.
+func (wl *Workload) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(workloadMagic); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	frames := wl.RealComp.Frames()
+	var flags uint32
+	if wl.GhostComp != nil {
+		flags |= 1
+	}
+	for _, v := range []uint32{uint32(wl.Ranks), uint32(frames)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(wl.NumParticles)); err != nil {
+		return err
+	}
+	for _, v := range []uint32{uint32(wl.SampleEvery), flags} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	its := make([]int64, frames)
+	for i, it := range wl.RealComp.Iterations() {
+		its[i] = int64(it)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, its); err != nil {
+		return err
+	}
+	if err := writeComp(bw, wl.RealComp); err != nil {
+		return err
+	}
+	if err := writeComm(bw, wl.RealComm); err != nil {
+		return err
+	}
+	if wl.GhostComp != nil {
+		if err := writeComp(bw, wl.GhostComp); err != nil {
+			return err
+		}
+		if err := writeComm(bw, wl.GhostComm); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeComp(w io.Writer, c *CompMatrix) error {
+	for k := 0; k < c.Frames(); k++ {
+		if err := binary.Write(w, binary.LittleEndian, c.Frame(k)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeComm(w io.Writer, s *sparse.Series) error {
+	for k := 0; k < s.Frames(); k++ {
+		es := s.At(k).Entries()
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(es))); err != nil {
+			return err
+		}
+		for _, e := range es {
+			if err := binary.Write(w, binary.LittleEndian, uint32(e.Src)); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, uint32(e.Dst)); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, e.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadWorkload parses a workload previously serialised with Write.
+func ReadWorkload(r io.Reader) (*Workload, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(workloadMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if string(magic) != workloadMagic {
+		return nil, fmt.Errorf("core: bad magic %q (not a workload file)", magic)
+	}
+	var ranks, frames, sampleEvery, flags uint32
+	var np uint64
+	for _, dst := range []any{&ranks, &frames} {
+		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+			return nil, err
+		}
+	}
+	if err := binary.Read(br, binary.LittleEndian, &np); err != nil {
+		return nil, err
+	}
+	for _, dst := range []any{&sampleEvery, &flags} {
+		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+			return nil, err
+		}
+	}
+	if ranks == 0 || frames == 0 {
+		return nil, errors.New("core: workload file has zero ranks or frames")
+	}
+	its := make([]int64, frames)
+	if err := binary.Read(br, binary.LittleEndian, its); err != nil {
+		return nil, err
+	}
+	wl := &Workload{
+		Ranks:        int(ranks),
+		NumParticles: int(np),
+		SampleEvery:  int(sampleEvery),
+	}
+	var err error
+	wl.RealComp, err = readComp(br, int(ranks), its)
+	if err != nil {
+		return nil, err
+	}
+	wl.RealComm, err = readComm(br, int(ranks), int(frames))
+	if err != nil {
+		return nil, err
+	}
+	if flags&1 != 0 {
+		wl.GhostComp, err = readComp(br, int(ranks), its)
+		if err != nil {
+			return nil, err
+		}
+		wl.GhostComm, err = readComm(br, int(ranks), int(frames))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return wl, nil
+}
+
+func readComp(r io.Reader, ranks int, its []int64) (*CompMatrix, error) {
+	c := NewCompMatrix(ranks)
+	for _, it := range its {
+		row := c.AppendFrame(int(it))
+		if err := binary.Read(r, binary.LittleEndian, row); err != nil {
+			return nil, fmt.Errorf("core: reading computation matrix: %w", err)
+		}
+	}
+	return c, nil
+}
+
+func readComm(r io.Reader, ranks, frames int) (*sparse.Series, error) {
+	s := sparse.NewSeries(ranks)
+	for k := 0; k < frames; k++ {
+		m := s.Append()
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("core: reading communication matrix: %w", err)
+		}
+		for i := uint32(0); i < n; i++ {
+			var src, dst uint32
+			var count int64
+			if err := binary.Read(r, binary.LittleEndian, &src); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(r, binary.LittleEndian, &dst); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+				return nil, err
+			}
+			if err := m.Add(int(src), int(dst), count); err != nil {
+				return nil, fmt.Errorf("core: workload file entry out of range: %w", err)
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"picpredict/internal/mapping"
+)
+
+func TestWorkloadWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	its, pos := randomTrace(rng, 150, 4)
+	wl, err := RunFrames(Config{
+		Mapper:       mapping.NewBinMapper(24, 0.05),
+		FilterRadius: 0.05,
+	}, its, pos, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := wl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if back.Ranks != wl.Ranks || back.NumParticles != wl.NumParticles || back.SampleEvery != wl.SampleEvery {
+		t.Fatalf("metadata: %+v vs %+v", back, wl)
+	}
+	if back.RealComp.Frames() != wl.RealComp.Frames() {
+		t.Fatalf("frames: %d vs %d", back.RealComp.Frames(), wl.RealComp.Frames())
+	}
+	for k := 0; k < wl.RealComp.Frames(); k++ {
+		if back.RealComp.Iterations()[k] != wl.RealComp.Iterations()[k] {
+			t.Fatalf("iteration %d differs", k)
+		}
+		for r := 0; r < wl.Ranks; r++ {
+			if back.RealComp.At(r, k) != wl.RealComp.At(r, k) {
+				t.Fatalf("comp[%d][%d] differs", r, k)
+			}
+			if back.GhostComp.At(r, k) != wl.GhostComp.At(r, k) {
+				t.Fatalf("ghost comp[%d][%d] differs", r, k)
+			}
+		}
+		a, b := wl.RealComm.At(k).Entries(), back.RealComm.At(k).Entries()
+		if len(a) != len(b) {
+			t.Fatalf("comm entries frame %d: %d vs %d", k, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("comm entry %d/%d differs: %+v vs %+v", k, i, a[i], b[i])
+			}
+		}
+		if wl.GhostComm.At(k).Total() != back.GhostComm.At(k).Total() {
+			t.Fatalf("ghost comm total frame %d differs", k)
+		}
+	}
+}
+
+func TestWorkloadWriteReadNoGhosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	its, pos := randomTrace(rng, 80, 3)
+	wl, err := RunFrames(Config{Mapper: mapping.NewBinMapper(8, 0)}, its, pos, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := wl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.GhostComp != nil || back.GhostComm != nil {
+		t.Error("ghost matrices materialised from ghost-free file")
+	}
+}
+
+func TestReadWorkloadErrors(t *testing.T) {
+	if _, err := ReadWorkload(bytes.NewReader([]byte("BADMAGIC and more"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadWorkload(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Truncated file: valid magic + header then nothing.
+	var buf bytes.Buffer
+	buf.WriteString(workloadMagic)
+	buf.Write(make([]byte, 8)) // partial header
+	if _, err := ReadWorkload(&buf); err == nil {
+		t.Error("truncated header accepted")
+	}
+}

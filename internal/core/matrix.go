@@ -1,0 +1,156 @@
+// Package core implements the paper's primary contribution, the Dynamic
+// Workload Generator (§II-A): it mimics a particle mapping algorithm on a
+// particle trace to synthesise, for any processor count, the per-processor
+// particle workload over the whole run — without executing the application.
+//
+// Outputs are the Computation matrix P_comp (R×T: particles residing on each
+// rank at each sampling interval) and the Communication matrix P_comm
+// (R×R×T, sparse: particles moving between rank pairs between consecutive
+// intervals), each produced separately for real and ghost particles.
+package core
+
+import "fmt"
+
+// CompMatrix is the Computation matrix P_comp: an R×T array of particle
+// counts, with P_comp[r][k] the number of particles residing on rank r at
+// sampling interval k. Storage is frame-major.
+type CompMatrix struct {
+	ranks      int
+	iterations []int   // application iteration of each frame
+	data       []int64 // frame-major: frame k occupies data[k*ranks:(k+1)*ranks]
+}
+
+// NewCompMatrix returns an empty matrix for ranks processors.
+func NewCompMatrix(ranks int) *CompMatrix {
+	return &CompMatrix{ranks: ranks}
+}
+
+// Ranks returns R.
+func (c *CompMatrix) Ranks() int { return c.ranks }
+
+// Frames returns the number of recorded intervals T.
+func (c *CompMatrix) Frames() int { return len(c.iterations) }
+
+// Iterations returns the application iteration number of every frame.
+func (c *CompMatrix) Iterations() []int { return c.iterations }
+
+// AppendFrame adds an interval sampled at the given application iteration
+// and returns its mutable per-rank counts (length R, zero-initialised).
+func (c *CompMatrix) AppendFrame(iteration int) []int64 {
+	c.iterations = append(c.iterations, iteration)
+	start := len(c.data)
+	c.data = append(c.data, make([]int64, c.ranks)...)
+	return c.data[start : start+c.ranks]
+}
+
+// At returns P_comp[rank][frame].
+func (c *CompMatrix) At(rank, frame int) int64 {
+	return c.data[frame*c.ranks+rank]
+}
+
+// Frame returns the per-rank counts of interval k. The slice aliases the
+// matrix storage.
+func (c *CompMatrix) Frame(k int) []int64 {
+	return c.data[k*c.ranks : (k+1)*c.ranks]
+}
+
+// PeakPerFrame returns, for every interval, the largest per-rank count —
+// the critical-path workload series of Fig 5.
+func (c *CompMatrix) PeakPerFrame() []int64 {
+	out := make([]int64, c.Frames())
+	for k := range out {
+		var peak int64
+		for _, v := range c.Frame(k) {
+			if v > peak {
+				peak = v
+			}
+		}
+		out[k] = peak
+	}
+	return out
+}
+
+// Peak returns the largest entry of the whole matrix (the paper's "maximum
+// number of particles per processor", Fig 5/8).
+func (c *CompMatrix) Peak() int64 {
+	var peak int64
+	for _, v := range c.data {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// TotalPerFrame returns the total particle count of every interval (a
+// consistency invariant: for real particles it must equal N_p every frame).
+func (c *CompMatrix) TotalPerFrame() []int64 {
+	out := make([]int64, c.Frames())
+	for k := range out {
+		var t int64
+		for _, v := range c.Frame(k) {
+			t += v
+		}
+		out[k] = t
+	}
+	return out
+}
+
+// NonZeroRanksPerFrame returns, for every interval, the number of ranks
+// holding at least one particle (Fig 1(b)).
+func (c *CompMatrix) NonZeroRanksPerFrame() []int {
+	out := make([]int, c.Frames())
+	for k := range out {
+		n := 0
+		for _, v := range c.Frame(k) {
+			if v > 0 {
+				n++
+			}
+		}
+		out[k] = n
+	}
+	return out
+}
+
+// RanksEverNonZero returns how many ranks held at least one particle at any
+// point in the run (Fig 9's "processors containing at least one particle
+// during the entire simulation").
+func (c *CompMatrix) RanksEverNonZero() int {
+	if c.ranks == 0 {
+		return 0
+	}
+	seen := make([]bool, c.ranks)
+	for k := 0; k < c.Frames(); k++ {
+		for r, v := range c.Frame(k) {
+			if v > 0 {
+				seen[r] = true
+			}
+		}
+	}
+	n := 0
+	for _, s := range seen {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// RankSeries returns the workload of one rank across all intervals — one
+// row of the heat map of Fig 1(a).
+func (c *CompMatrix) RankSeries(rank int) []int64 {
+	out := make([]int64, c.Frames())
+	for k := range out {
+		out[k] = c.At(rank, k)
+	}
+	return out
+}
+
+// Validate checks internal consistency.
+func (c *CompMatrix) Validate() error {
+	if len(c.data) != len(c.iterations)*c.ranks {
+		return fmt.Errorf("core: comp matrix has %d entries for %d frames × %d ranks",
+			len(c.data), len(c.iterations), c.ranks)
+	}
+	return nil
+}

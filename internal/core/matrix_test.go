@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+)
+
+func filled(t *testing.T) *CompMatrix {
+	t.Helper()
+	c := NewCompMatrix(3)
+	f0 := c.AppendFrame(0)
+	copy(f0, []int64{5, 0, 0})
+	f1 := c.AppendFrame(100)
+	copy(f1, []int64{3, 2, 0})
+	f2 := c.AppendFrame(200)
+	copy(f2, []int64{0, 4, 1})
+	return c
+}
+
+func TestCompMatrixAccessors(t *testing.T) {
+	c := filled(t)
+	if c.Ranks() != 3 || c.Frames() != 3 {
+		t.Fatalf("Ranks/Frames = %d/%d", c.Ranks(), c.Frames())
+	}
+	if got := c.At(1, 2); got != 4 {
+		t.Errorf("At(1,2) = %d", got)
+	}
+	if got := c.Frame(1); got[0] != 3 || got[1] != 2 {
+		t.Errorf("Frame(1) = %v", got)
+	}
+	its := c.Iterations()
+	if len(its) != 3 || its[2] != 200 {
+		t.Errorf("Iterations = %v", its)
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompMatrixPeaks(t *testing.T) {
+	c := filled(t)
+	peaks := c.PeakPerFrame()
+	want := []int64{5, 3, 4}
+	for i := range want {
+		if peaks[i] != want[i] {
+			t.Errorf("PeakPerFrame[%d] = %d, want %d", i, peaks[i], want[i])
+		}
+	}
+	if c.Peak() != 5 {
+		t.Errorf("Peak = %d", c.Peak())
+	}
+}
+
+func TestCompMatrixTotals(t *testing.T) {
+	c := filled(t)
+	for k, tot := range c.TotalPerFrame() {
+		if tot != 5 {
+			t.Errorf("TotalPerFrame[%d] = %d, want 5", k, tot)
+		}
+	}
+}
+
+func TestCompMatrixNonZeroRanks(t *testing.T) {
+	c := filled(t)
+	nz := c.NonZeroRanksPerFrame()
+	want := []int{1, 2, 2}
+	for i := range want {
+		if nz[i] != want[i] {
+			t.Errorf("NonZeroRanksPerFrame[%d] = %d, want %d", i, nz[i], want[i])
+		}
+	}
+	if got := c.RanksEverNonZero(); got != 3 {
+		t.Errorf("RanksEverNonZero = %d, want 3", got)
+	}
+}
+
+func TestCompMatrixRankSeries(t *testing.T) {
+	c := filled(t)
+	s := c.RankSeries(0)
+	want := []int64{5, 3, 0}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("RankSeries(0)[%d] = %d, want %d", i, s[i], want[i])
+		}
+	}
+}
+
+func TestCompMatrixEmpty(t *testing.T) {
+	c := NewCompMatrix(4)
+	if c.Frames() != 0 || c.Peak() != 0 || c.RanksEverNonZero() != 0 {
+		t.Error("empty matrix not empty")
+	}
+	if len(c.PeakPerFrame()) != 0 {
+		t.Error("empty PeakPerFrame not empty")
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"picpredict/internal/geom"
+	"picpredict/internal/mapping"
+)
+
+// randomTrace builds a frame-major random walk of np particles over frames
+// steps inside the unit box.
+func randomTrace(rng *rand.Rand, np, frames int) ([]int, []geom.Vec3) {
+	its := make([]int, frames)
+	pos := make([]geom.Vec3, 0, np*frames)
+	cur := make([]geom.Vec3, np)
+	for i := range cur {
+		cur[i] = geom.V(rng.Float64(), rng.Float64(), rng.Float64()*0.01)
+	}
+	for f := 0; f < frames; f++ {
+		its[f] = f * 100
+		for i := range cur {
+			cur[i] = cur[i].Add(geom.V((rng.Float64()-0.5)*0.1, (rng.Float64()-0.5)*0.1, 0))
+			cur[i] = cur[i].Clamp(geom.V(0, 0, 0), geom.V(1, 1, 0.01))
+		}
+		pos = append(pos, cur...)
+	}
+	return its, pos
+}
+
+// TestPropertyTotalsConserved: for any random trace, rank count, and
+// threshold, every frame's computation-matrix total equals N_p.
+func TestPropertyTotalsConserved(t *testing.T) {
+	f := func(seed int64, ranksRaw uint8, thrRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 1 + int(ranksRaw)%64
+		threshold := float64(thrRaw) / 512 // 0 .. 0.5
+		np := 20 + rng.Intn(200)
+		frames := 2 + rng.Intn(4)
+		its, pos := randomTrace(rng, np, frames)
+		wl, err := RunFrames(Config{
+			Mapper:       mapping.NewBinMapper(ranks, threshold),
+			FilterRadius: 0.02,
+		}, its, pos, np)
+		if err != nil {
+			return false
+		}
+		for _, tot := range wl.RealComp.TotalPerFrame() {
+			if tot != int64(np) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMigrationsBounded: per interval, migrations cannot exceed N_p,
+// and interval 0 has none.
+func TestPropertyMigrationsBounded(t *testing.T) {
+	f := func(seed int64, ranksRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 2 + int(ranksRaw)%32
+		np := 20 + rng.Intn(150)
+		its, pos := randomTrace(rng, np, 4)
+		wl, err := RunFrames(Config{Mapper: mapping.NewBinMapper(ranks, 0)}, its, pos, np)
+		if err != nil {
+			return false
+		}
+		mig := wl.RealComm.TotalPerFrame()
+		if mig[0] != 0 {
+			return false
+		}
+		for _, m := range mig {
+			if m < 0 || m > int64(np) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCommMatchesAssignments: the communication matrix must agree
+// exactly with a direct recount of rank changes between frames.
+func TestPropertyCommMatchesAssignments(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		ranks := 2 + rng.Intn(16)
+		np := 30 + rng.Intn(100)
+		its, pos := randomTrace(rng, np, 3)
+		bm := mapping.NewBinMapper(ranks, 0)
+		wl, err := RunFrames(Config{Mapper: bm}, its, pos, np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Recompute assignments independently (same deterministic mapper).
+		check := mapping.NewBinMapper(ranks, 0)
+		prev := make([]int, np)
+		cur := make([]int, np)
+		for k := 0; k < 3; k++ {
+			if err := check.Assign(cur, pos[k*np:(k+1)*np]); err != nil {
+				t.Fatal(err)
+			}
+			if k > 0 {
+				var want int64
+				for i := range cur {
+					if cur[i] != prev[i] {
+						want++
+					}
+				}
+				if got := wl.RealComm.At(k).Total(); got != want {
+					t.Fatalf("trial %d frame %d: comm total %d, recount %d", trial, k, got, want)
+				}
+			}
+			prev, cur = cur, prev
+		}
+	}
+}
+
+// TestPropertyGhostCompMatchesComm: every ghost materialisation is one
+// home→ghost transfer, so the ghost computation and communication totals
+// must match per frame.
+func TestPropertyGhostCompMatchesComm(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 10; trial++ {
+		ranks := 2 + rng.Intn(16)
+		np := 30 + rng.Intn(100)
+		its, pos := randomTrace(rng, np, 3)
+		wl, err := RunFrames(Config{
+			Mapper:       mapping.NewBinMapper(ranks, 0.05),
+			FilterRadius: 0.05,
+		}, its, pos, np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 3; k++ {
+			var compTotal int64
+			for _, v := range wl.GhostComp.Frame(k) {
+				compTotal += v
+			}
+			if commTotal := wl.GhostComm.At(k).Total(); commTotal != compTotal {
+				t.Fatalf("trial %d frame %d: ghost comp %d != ghost comm %d", trial, k, compTotal, commTotal)
+			}
+		}
+	}
+}

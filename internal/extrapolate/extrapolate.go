@@ -1,0 +1,147 @@
+// Package extrapolate synthesises a high-particle-count trace from a
+// low-fidelity run — the paper's §VI future-work item ("incorporating
+// trace extrapolation ... to generate representative high-scale particle
+// trace from a low-fidelity execution"), built to cut trace-collection
+// cost for large problems.
+//
+// The method: every synthetic particle adopts one source particle as its
+// donor and follows the donor's trajectory with a fixed spatial offset
+// drawn once from an isotropic Gaussian scaled to the local inter-particle
+// spacing. Keeping the offset constant over time preserves temporal
+// coherence (synthetic particles migrate between processors exactly when
+// their neighbourhood does), while the spatial jitter fills in density
+// between samples, so the workload distribution of the synthetic trace
+// matches a genuinely larger run of the same flow to first order.
+package extrapolate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"picpredict/internal/geom"
+)
+
+// Options tunes the extrapolation.
+type Options struct {
+	// Factor is the particle multiplication factor (≥ 1): the output has
+	// Factor × Np particles.
+	Factor int
+	// Spread scales the jitter relative to the estimated local
+	// inter-particle spacing; the default (when 0) is 1.0. Larger values
+	// smooth density; smaller values clone trajectories more literally.
+	Spread float64
+	// Seed drives donor selection and jitter.
+	Seed int64
+	// Clamp, when non-empty, clamps synthetic positions into the box
+	// (normally the trace domain, so jitter cannot push particles
+	// outside the grid).
+	Clamp geom.AABB
+}
+
+// Frames expands frame-major positions (frame k occupies
+// positions[k*np:(k+1)*np]) into a synthetic set with opts.Factor× the
+// particles, returning the new frame-major slice.
+func Frames(positions []geom.Vec3, np int, opts Options) ([]geom.Vec3, error) {
+	if np <= 0 {
+		return nil, fmt.Errorf("extrapolate: non-positive particle count %d", np)
+	}
+	if len(positions)%np != 0 {
+		return nil, fmt.Errorf("extrapolate: %d positions not a multiple of %d particles", len(positions), np)
+	}
+	if opts.Factor < 1 {
+		return nil, fmt.Errorf("extrapolate: factor %d < 1", opts.Factor)
+	}
+	frames := len(positions) / np
+	if frames == 0 {
+		return nil, fmt.Errorf("extrapolate: empty trace")
+	}
+	spread := opts.Spread
+	if spread == 0 {
+		spread = 1.0
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Estimate the local spacing from the first frame: the bed is
+	// approximately planar (Hele-Shaw) or volumetric; use the bounding-box
+	// measure per particle along each non-degenerate axis.
+	first := positions[:np]
+	box := geom.BoundingBox(first)
+	sigma := spacingEstimate(box, np)
+
+	outNp := np * opts.Factor
+	out := make([]geom.Vec3, frames*outNp)
+
+	// Per-synthetic-particle donor and offset, fixed across frames.
+	donors := make([]int, outNp)
+	offsets := make([]geom.Vec3, outNp)
+	for i := 0; i < outNp; i++ {
+		if i < np {
+			donors[i] = i // originals survive verbatim (zero offset)
+			continue
+		}
+		donors[i] = rng.Intn(np)
+		offsets[i] = geom.V(
+			rng.NormFloat64()*sigma.X*spread,
+			rng.NormFloat64()*sigma.Y*spread,
+			rng.NormFloat64()*sigma.Z*spread,
+		)
+	}
+	doClamp := opts.Clamp != (geom.AABB{}) && !opts.Clamp.Empty()
+	for k := 0; k < frames; k++ {
+		src := positions[k*np : (k+1)*np]
+		dst := out[k*outNp : (k+1)*outNp]
+		for i := 0; i < outNp; i++ {
+			p := src[donors[i]].Add(offsets[i])
+			if doClamp {
+				p = p.Clamp(opts.Clamp.Lo, opts.Clamp.Hi)
+			}
+			dst[i] = p
+		}
+	}
+	return out, nil
+}
+
+// spacingEstimate returns per-axis inter-particle spacing estimates for np
+// particles occupying box, treating near-degenerate axes (thin Hele-Shaw
+// gaps) separately so jitter stays in proportion.
+func spacingEstimate(box geom.AABB, np int) geom.Vec3 {
+	e := box.Extent()
+	// Count non-degenerate dimensions (axis longer than 5% of the max).
+	maxE := math.Max(e.X, math.Max(e.Y, e.Z))
+	if maxE == 0 {
+		return geom.Vec3{}
+	}
+	dims := 0
+	for _, x := range []float64{e.X, e.Y, e.Z} {
+		if x > 0.05*maxE {
+			dims++
+		}
+	}
+	if dims == 0 {
+		dims = 1
+	}
+	// Spacing along active axes from the dims-dimensional density.
+	active := math.Pow(activeMeasure(e, maxE)/float64(np), 1/float64(dims))
+	spacing := geom.Vec3{}
+	for a := 0; a < 3; a++ {
+		if x := e.Axis(a); x > 0.05*maxE {
+			spacing = spacing.WithAxis(a, active)
+		} else {
+			// Degenerate axis: jitter within the thin extent.
+			spacing = spacing.WithAxis(a, x/2)
+		}
+	}
+	return spacing
+}
+
+// activeMeasure is the product of non-degenerate extents.
+func activeMeasure(e geom.Vec3, maxE float64) float64 {
+	m := 1.0
+	for _, x := range []float64{e.X, e.Y, e.Z} {
+		if x > 0.05*maxE {
+			m *= x
+		}
+	}
+	return m
+}

@@ -1,0 +1,155 @@
+package extrapolate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"picpredict/internal/geom"
+)
+
+// makeTrace builds a 2-frame trace: a cluster that translates in x.
+func makeTrace(np int) []geom.Vec3 {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]geom.Vec3, 0, 2*np)
+	base := make([]geom.Vec3, np)
+	for i := range base {
+		base[i] = geom.V(rng.Float64()*0.2, rng.Float64()*0.2, 0.005)
+	}
+	out = append(out, base...)
+	for _, p := range base {
+		out = append(out, p.Add(geom.V(0.3, 0, 0)))
+	}
+	return out
+}
+
+func TestFramesValidation(t *testing.T) {
+	if _, err := Frames(nil, 0, Options{Factor: 2}); err == nil {
+		t.Error("zero particles accepted")
+	}
+	if _, err := Frames(make([]geom.Vec3, 7), 2, Options{Factor: 2}); err == nil {
+		t.Error("ragged trace accepted")
+	}
+	if _, err := Frames(make([]geom.Vec3, 4), 2, Options{Factor: 0}); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	if _, err := Frames(nil, 2, Options{Factor: 2}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestFramesScalesParticleCount(t *testing.T) {
+	const np = 200
+	in := makeTrace(np)
+	out, err := Frames(in, np, Options{Factor: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2*4*np {
+		t.Fatalf("output positions = %d, want %d", len(out), 2*4*np)
+	}
+	// Originals survive verbatim in each frame.
+	for k := 0; k < 2; k++ {
+		for i := 0; i < np; i++ {
+			if out[k*4*np+i] != in[k*np+i] {
+				t.Fatalf("frame %d original %d altered", k, i)
+			}
+		}
+	}
+}
+
+func TestFramesPreservesDistributionShape(t *testing.T) {
+	const np = 500
+	in := makeTrace(np)
+	out, err := Frames(in, np, Options{Factor: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame-1 centroid and spread match the source's (scaled population).
+	srcC, srcS := stats(in[np:])
+	dstC, dstS := stats(out[4*np:])
+	if srcC.Sub(dstC).Norm() > 0.02 {
+		t.Errorf("centroid moved: %v vs %v", srcC, dstC)
+	}
+	if math.Abs(srcS-dstS) > 0.3*srcS {
+		t.Errorf("spread changed: %v vs %v", srcS, dstS)
+	}
+}
+
+func stats(pos []geom.Vec3) (geom.Vec3, float64) {
+	var c geom.Vec3
+	for _, p := range pos {
+		c = c.Add(p)
+	}
+	c = c.Scale(1 / float64(len(pos)))
+	s := 0.0
+	for _, p := range pos {
+		s += p.Sub(c).Norm2()
+	}
+	return c, math.Sqrt(s / float64(len(pos)))
+}
+
+func TestFramesTemporalCoherence(t *testing.T) {
+	// A synthetic particle follows its donor: displacement between frames
+	// equals the donor's displacement exactly.
+	const np = 100
+	in := makeTrace(np)
+	out, err := Frames(in, np, Options{Factor: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outNp := 3 * np
+	for i := np; i < outNp; i++ { // synthetic particles
+		d := out[outNp+i].Sub(out[i])
+		if d.Sub(geom.V(0.3, 0, 0)).Norm() > 1e-12 {
+			t.Fatalf("synthetic %d displacement %v, want donor's (0.3,0,0)", i, d)
+		}
+	}
+}
+
+func TestFramesClamp(t *testing.T) {
+	const np = 100
+	in := makeTrace(np)
+	box := geom.Box(geom.V(0, 0, 0), geom.V(0.5, 0.2, 0.01))
+	out, err := Frames(in, np, Options{Factor: 8, Seed: 5, Spread: 5, Clamp: box})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range out {
+		if !box.ContainsClosed(p) {
+			t.Fatalf("position %d outside clamp: %v", i, p)
+		}
+	}
+}
+
+func TestFramesDeterministic(t *testing.T) {
+	const np = 100
+	in := makeTrace(np)
+	a, err := Frames(in, np, Options{Factor: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Frames(in, np, Options{Factor: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func TestFramesFactorOne(t *testing.T) {
+	const np = 50
+	in := makeTrace(np)
+	out, err := Frames(in, np, Options{Factor: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("factor 1 altered position %d", i)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"picpredict"
+)
+
+// SamplingRow is one sampling-rate setting of the §II-D study.
+type SamplingRow struct {
+	// Keep is the downsampling factor (1 = the original trace).
+	Keep int
+	// SampleEvery is the resulting iteration distance between frames.
+	SampleEvery int
+	// Peak is the run-peak particles/processor seen at this rate.
+	Peak int64
+	// PeakErrPct is the relative deviation of Peak from the full-rate value.
+	PeakErrPct float64
+	// MissedMigrationsPct is the fraction of full-rate migrations the
+	// coarser trace no longer observes (round trips between samples).
+	MissedMigrationsPct float64
+}
+
+// Sampling quantifies the §II-D trade-off ("low sampling frequency would
+// reduce the file size, but would not accurately capture particle
+// movement"): workloads generated from progressively downsampled traces are
+// compared against the full-rate workload.
+func (r *Runner) Sampling(keeps []int) ([]SamplingRow, error) {
+	if len(keeps) == 0 {
+		keeps = []int{1, 2, 4, 8}
+	}
+	tr, err := r.Trace()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(r.out, "\n== §II-D: sampling-frequency sensitivity ==\n")
+	fmt.Fprintf(r.out, "%6s %12s %8s %10s %18s\n", "keep", "sample every", "peak", "peak err", "missed migrations")
+	opts := picpredict.WorkloadOptions{
+		Ranks:        r.cfg.Ranks[0],
+		Mapping:      picpredict.MappingBin,
+		FilterRadius: r.cfg.Spec.FilterRadius(),
+	}
+	var rows []SamplingRow
+	var fullPeak int64
+	var fullMig float64
+	for _, keep := range keeps {
+		sub, err := tr.Downsample(keep)
+		if err != nil {
+			return nil, err
+		}
+		wl, err := sub.GenerateWorkload(opts)
+		if err != nil {
+			return nil, err
+		}
+		var mig float64
+		for _, m := range wl.MigrationsPerFrame() {
+			mig += float64(m)
+		}
+		row := SamplingRow{Keep: keep, SampleEvery: sub.SampleEvery(), Peak: wl.Peak()}
+		if keep == keeps[0] {
+			fullPeak, fullMig = row.Peak, mig
+		}
+		if fullPeak > 0 {
+			row.PeakErrPct = 100 * math.Abs(float64(row.Peak-fullPeak)) / float64(fullPeak)
+		}
+		if fullMig > 0 {
+			row.MissedMigrationsPct = 100 * (1 - mig/fullMig)
+			if row.MissedMigrationsPct < 0 {
+				row.MissedMigrationsPct = 0
+			}
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(r.out, "%6d %12d %8d %9.2f%% %17.1f%%\n",
+			row.Keep, row.SampleEvery, row.Peak, row.PeakErrPct, row.MissedMigrationsPct)
+	}
+	fmt.Fprintf(r.out, "paper §II-D: coarser sampling misses particle movement; peaks stay robust, migration counts degrade\n")
+	return rows, nil
+}
+
+// AblationRow compares the two bin split policies at one rank count.
+type AblationRow struct {
+	Ranks                          int
+	MedianPeak, MidpointPeak       int64
+	MedianImbalance, MidpointImbal float64
+}
+
+// SplitAblation contrasts median (count-balancing) and midpoint (spatial)
+// planar cuts — the design choice DESIGN.md calls out for ablation.
+func (r *Runner) SplitAblation() ([]AblationRow, error) {
+	if _, err := r.Trace(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(r.out, "\n== Ablation: bin split policy (median vs midpoint) ==\n")
+	fmt.Fprintf(r.out, "%8s %12s %14s %12s %14s\n", "R", "median peak", "median imbal", "midpt peak", "midpt imbal")
+	var rows []AblationRow
+	for _, ranks := range r.cfg.Ranks {
+		med, err := r.workload(picpredict.WorkloadOptions{
+			Ranks: ranks, Mapping: picpredict.MappingBin, FilterRadius: r.cfg.Spec.FilterRadius(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		mid, err := r.workload(picpredict.WorkloadOptions{
+			Ranks: ranks, Mapping: picpredict.MappingBin, FilterRadius: r.cfg.Spec.FilterRadius(),
+			MidpointSplit: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{
+			Ranks:           ranks,
+			MedianPeak:      med.Peak(),
+			MidpointPeak:    mid.Peak(),
+			MedianImbalance: med.Imbalance(),
+			MidpointImbal:   mid.Imbalance(),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(r.out, "%8d %12d %14.1f %12d %14.1f\n",
+			row.Ranks, row.MedianPeak, row.MedianImbalance, row.MidpointPeak, row.MidpointImbal)
+	}
+	fmt.Fprintf(r.out, "median cuts balance counts; midpoint cuts track space (CMT-nek uses medians)\n")
+	return rows, nil
+}
+
+// MapperRow is one mapping algorithm's summary at the first rank count.
+type MapperRow struct {
+	Mapping   picpredict.MappingKind
+	Peak      int64
+	RUMeanPct float64
+	Imbalance float64
+	Migrated  int64
+}
+
+// Mappers evaluates every available mapping algorithm on the scenario trace
+// at the first rank configuration — the framework's "test-bed for quick
+// evaluation of any new mapping strategy" use case (§II-D).
+func (r *Runner) Mappers() ([]MapperRow, error) {
+	if _, err := r.Trace(); err != nil {
+		return nil, err
+	}
+	ranks := r.cfg.Ranks[0]
+	fmt.Fprintf(r.out, "\n== Mapping-algorithm test-bed, R=%d ==\n", ranks)
+	fmt.Fprintf(r.out, "%10s %10s %10s %11s %12s\n", "mapping", "peak", "RU mean", "imbalance", "migrations")
+	var rows []MapperRow
+	for _, mk := range []picpredict.MappingKind{
+		picpredict.MappingElement,
+		picpredict.MappingBin,
+		picpredict.MappingHilbert,
+		picpredict.MappingWeighted,
+		picpredict.MappingOhHelp,
+	} {
+		opts := picpredict.WorkloadOptions{Ranks: ranks, Mapping: mk}
+		if mk == picpredict.MappingElement || mk == picpredict.MappingBin {
+			opts.FilterRadius = r.cfg.Spec.FilterRadius()
+		}
+		wl, err := r.workload(opts)
+		if err != nil {
+			return nil, err
+		}
+		var mig int64
+		for _, m := range wl.MigrationsPerFrame() {
+			mig += m
+		}
+		row := MapperRow{
+			Mapping:   mk,
+			Peak:      wl.Peak(),
+			RUMeanPct: 100 * wl.Utilization().Mean,
+			Imbalance: wl.Imbalance(),
+			Migrated:  mig,
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(r.out, "%10s %10d %9.1f%% %11.1f %12d\n", row.Mapping, row.Peak, row.RUMeanPct, row.Imbalance, row.Migrated)
+	}
+	fmt.Fprintf(r.out, "the framework evaluates mapping strategies without any parallel implementation (§II-D)\n")
+	return rows, nil
+}

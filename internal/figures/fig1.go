@@ -1,0 +1,92 @@
+package figures
+
+import (
+	"fmt"
+
+	"picpredict"
+)
+
+// Fig1aResult summarises the particle-distribution heat map.
+type Fig1aResult struct {
+	Ranks       int
+	Peak        int64
+	IdlePercent float64 // run-average idle processors
+	EverPercent float64 // processors ever holding a particle
+}
+
+// Fig1a renders the heat map of particle distribution across processors
+// under element-based mapping (paper: 4096 processors on Vulcan; white
+// patches are processors with no particles).
+func (r *Runner) Fig1a(ranks int) (*Fig1aResult, error) {
+	if ranks <= 0 {
+		ranks = 4096
+	}
+	if _, err := r.Trace(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(r.out, "\n== Fig 1(a): particle-distribution heat map, element mapping, R=%d ==\n", ranks)
+	wl, err := r.workload(picpredict.WorkloadOptions{Ranks: ranks, Mapping: picpredict.MappingElement})
+	if err != nil {
+		return nil, err
+	}
+	if err := wl.RenderHeatmap(r.out, 32, 72); err != nil {
+		return nil, err
+	}
+	u := wl.Utilization()
+	res := &Fig1aResult{
+		Ranks:       ranks,
+		Peak:        wl.Peak(),
+		IdlePercent: 100 * (1 - u.Mean),
+		EverPercent: 100 * u.Ever,
+	}
+	fmt.Fprintf(r.out, "peak particles/processor: %d; idle processors (run average): %.1f%%\n", res.Peak, res.IdlePercent)
+	fmt.Fprintf(r.out, "paper: white patches dominate — 81%% of processors idle on average\n")
+	return res, nil
+}
+
+// Fig1bRow is one processor configuration of Fig 1(b).
+type Fig1bRow struct {
+	Ranks          int
+	MeanNonZero    float64
+	MeanNonZeroPct float64
+	IdlePct        float64
+}
+
+// Fig1b reports, per processor configuration, how many processors hold a
+// non-zero particle workload under element mapping, and the run-average
+// idle percentage (paper: ≈81 % idle on average).
+func (r *Runner) Fig1b(rankSets []int) ([]Fig1bRow, error) {
+	if len(rankSets) == 0 {
+		rankSets = []int{512, 1024, 2048, 4096}
+	}
+	if _, err := r.Trace(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(r.out, "\n== Fig 1(b): processors with non-zero particles, element mapping ==\n")
+	fmt.Fprintf(r.out, "%8s %18s %12s %10s\n", "R", "busy procs (mean)", "busy %", "idle %")
+	var rows []Fig1bRow
+	var idleSum float64
+	for _, ranks := range rankSets {
+		wl, err := r.workload(picpredict.WorkloadOptions{Ranks: ranks, Mapping: picpredict.MappingElement})
+		if err != nil {
+			return nil, err
+		}
+		nz := wl.NonZeroRanksPerFrame()
+		sum := 0.0
+		for _, n := range nz {
+			sum += float64(n)
+		}
+		mean := sum / float64(len(nz))
+		row := Fig1bRow{
+			Ranks:          ranks,
+			MeanNonZero:    mean,
+			MeanNonZeroPct: 100 * mean / float64(ranks),
+			IdlePct:        100 * (1 - mean/float64(ranks)),
+		}
+		rows = append(rows, row)
+		idleSum += row.IdlePct
+		fmt.Fprintf(r.out, "%8d %18.1f %11.2f%% %9.2f%%\n", row.Ranks, row.MeanNonZero, row.MeanNonZeroPct, row.IdlePct)
+	}
+	fmt.Fprintf(r.out, "average idle: %.1f%% (paper: 81%% on average)\n", idleSum/float64(len(rows)))
+	return rows, nil
+}

@@ -1,0 +1,117 @@
+package figures
+
+import (
+	"fmt"
+
+	"picpredict"
+)
+
+// Fig10aRow is one projection-filter setting of Fig 10(a).
+type Fig10aRow struct {
+	// Filter is the projection filter size (absolute length).
+	Filter float64
+	// MaxBins is the maximum bin count generated during the run with the
+	// processor limit relaxed.
+	MaxBins int
+}
+
+// Fig10a reproduces the filter/bin-count trade-off: the maximum number of
+// particle bins for different projection filter sizes. The filter is the
+// threshold bin size, so smaller filters allow more bins — a higher
+// optimal processor count (paper Fig 10a).
+func (r *Runner) Fig10a(filters []float64) ([]Fig10aRow, error) {
+	base := r.cfg.Spec.FilterRadius()
+	if len(filters) == 0 {
+		filters = []float64{0.5 * base, base, 2 * base, 3 * base, 4 * base}
+	}
+	tr, err := r.Trace()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(r.out, "\n== Fig 10(a): max particle bins vs projection filter size ==\n")
+	fmt.Fprintf(r.out, "%12s %10s\n", "filter", "max bins")
+	var rows []Fig10aRow
+	for _, f := range filters {
+		wl, err := r.workload(picpredict.WorkloadOptions{
+			Ranks:        tr.NumParticles(),
+			Mapping:      picpredict.MappingBin,
+			FilterRadius: f,
+			RelaxedBins:  true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := Fig10aRow{Filter: f, MaxBins: wl.MaxBins()}
+		rows = append(rows, row)
+		fmt.Fprintf(r.out, "%12.4g %10d\n", row.Filter, row.MaxBins)
+	}
+	fmt.Fprintf(r.out, "paper: smaller filters -> lower threshold -> more bins\n")
+	return rows, nil
+}
+
+// Fig10bRow is one projection-filter setting of Fig 10(b).
+type Fig10bRow struct {
+	// Filter is the projection filter size (absolute length), and
+	// FilterElems the same in element widths (the model's unit).
+	Filter, FilterElems float64
+	// PeakGhosts is the largest per-rank ghost count the filter induces.
+	PeakGhosts int64
+	// KernelTime is the predicted create_ghost_particles execution time at
+	// the peak-workload rank.
+	KernelTime float64
+}
+
+// Fig10b reproduces the create_ghost_particles cost figure: the kernel's
+// execution time for different projection filter sizes, evaluated at the
+// peak-workload processor (paper Fig 10b: significant growth at larger
+// filters).
+func (r *Runner) Fig10b(filters []float64) ([]Fig10bRow, error) {
+	base := r.cfg.Spec.FilterRadius()
+	if len(filters) == 0 {
+		filters = []float64{0.5 * base, base, 2 * base, 3 * base, 4 * base}
+	}
+	if _, err := r.Trace(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(r.out, "\n== Fig 10(b): create_ghost_particles time vs projection filter size ==\n")
+	fmt.Fprintf(r.out, "%12s %12s %14s\n", "filter", "peak ghosts", "kernel time")
+	ms, err := r.Models()
+	if err != nil {
+		return nil, err
+	}
+	ranks := r.cfg.Ranks[0]
+	elemWidth := base / r.cfg.Spec.FilterInElements() // domain width of one element
+	var rows []Fig10bRow
+	for _, f := range filters {
+		wl, err := r.workload(picpredict.WorkloadOptions{
+			Ranks:        ranks,
+			Mapping:      picpredict.MappingBin,
+			FilterRadius: f,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Peak-workload rank: evaluate the kernel model at its Np/Ngp.
+		var peakNp, peakNgp int64
+		for k := 0; k < wl.Frames(); k++ {
+			for rank := 0; rank < wl.Ranks(); rank++ {
+				if np := wl.At(rank, k); np > peakNp {
+					peakNp, peakNgp = np, wl.GhostAt(rank, k)
+				}
+			}
+		}
+		fElems := f / elemWidth
+		t, err := ms.Predict("create_ghost_particles",
+			float64(peakNp), float64(peakNgp),
+			float64(r.cfg.Spec.NumElements())/float64(ranks),
+			float64(r.cfg.Spec.GridN()), fElems)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig10bRow{Filter: f, FilterElems: fElems, PeakGhosts: wl.GhostPeak(), KernelTime: t}
+		rows = append(rows, row)
+		fmt.Fprintf(r.out, "%12.4g %12d %13.3gs\n", row.Filter, row.PeakGhosts, row.KernelTime)
+	}
+	fmt.Fprintf(r.out, "paper: significant execution-time increase for larger filter sizes\n")
+	return rows, nil
+}

@@ -1,0 +1,125 @@
+package figures
+
+import (
+	"fmt"
+
+	"picpredict"
+)
+
+// Fig5Result holds the peak-workload series per processor configuration.
+type Fig5Result struct {
+	Iterations []int
+	// PeakByRanks[R][k] is the peak particles/processor at interval k for
+	// processor count R.
+	PeakByRanks map[int][]int64
+	// EarlyEqualAcrossRanks reports whether the early-phase peaks are
+	// identical for every R (the bin-threshold plateau the paper found for
+	// the first 7800 iterations).
+	EarlyEqualAcrossRanks bool
+	// DipAfterFirstRanks reports whether, late in the run, the smallest R
+	// shows a strictly higher peak than the larger ones (the dip when R
+	// crosses the maximum bin count).
+	DipAfterFirstRanks bool
+}
+
+// Fig5 reproduces the scalability-prediction figure: the maximum number of
+// particles per processor over the run for each processor configuration,
+// under bin-based mapping with the projection-filter bin-size threshold.
+func (r *Runner) Fig5() (*Fig5Result, error) {
+	tr, err := r.Trace()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(r.out, "\n== Fig 5: peak particles/processor vs iteration, bin mapping ==\n")
+	res := &Fig5Result{
+		Iterations:  tr.Iterations(),
+		PeakByRanks: make(map[int][]int64, len(r.cfg.Ranks)),
+	}
+	for _, ranks := range r.cfg.Ranks {
+		wl, err := r.workload(picpredict.WorkloadOptions{
+			Ranks:        ranks,
+			Mapping:      picpredict.MappingBin,
+			FilterRadius: r.cfg.Spec.FilterRadius(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.PeakByRanks[ranks] = wl.PeakPerFrame()
+	}
+
+	fmt.Fprintf(r.out, "%10s", "iteration")
+	for _, ranks := range r.cfg.Ranks {
+		fmt.Fprintf(r.out, " %9s", fmt.Sprintf("R=%d", ranks))
+	}
+	fmt.Fprintln(r.out)
+	for k, it := range res.Iterations {
+		fmt.Fprintf(r.out, "%10d", it)
+		for _, ranks := range r.cfg.Ranks {
+			fmt.Fprintf(r.out, " %9d", res.PeakByRanks[ranks][k])
+		}
+		fmt.Fprintln(r.out)
+	}
+
+	// Shape checks: early plateau across all R, late dip beyond the first R.
+	early := len(res.Iterations) / 4
+	if early < 1 {
+		early = 1
+	}
+	res.EarlyEqualAcrossRanks = true
+	for k := 0; k < early; k++ {
+		first := res.PeakByRanks[r.cfg.Ranks[0]][k]
+		for _, ranks := range r.cfg.Ranks[1:] {
+			if res.PeakByRanks[ranks][k] != first {
+				res.EarlyEqualAcrossRanks = false
+			}
+		}
+	}
+	last := len(res.Iterations) - 1
+	res.DipAfterFirstRanks = true
+	firstPeak := res.PeakByRanks[r.cfg.Ranks[0]][last]
+	for _, ranks := range r.cfg.Ranks[1:] {
+		if res.PeakByRanks[ranks][last] >= firstPeak {
+			res.DipAfterFirstRanks = false
+		}
+	}
+	fmt.Fprintf(r.out, "early peaks identical across R: %v (paper: yes, bin-size threshold caps bins below R)\n",
+		res.EarlyEqualAcrossRanks)
+	fmt.Fprintf(r.out, "late dip beyond R=%d: %v (paper: yes, bins exceed %d late in the run)\n",
+		r.cfg.Ranks[0], res.DipAfterFirstRanks, r.cfg.Ranks[0])
+	return res, nil
+}
+
+// Fig6Result holds the bin-growth series.
+type Fig6Result struct {
+	Iterations []int
+	Bins       []int
+	MaxBins    int
+}
+
+// Fig6 reproduces the bin-growth figure: the number of particle bins
+// generated per interval with the processor-count limit relaxed. The
+// maximum is the upper limit on useful processor count — the optimal
+// processor count for the problem (paper: 1104).
+func (r *Runner) Fig6() (*Fig6Result, error) {
+	tr, err := r.Trace()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(r.out, "\n== Fig 6: particle bins over the run (relaxed processor limit) ==\n")
+	wl, err := r.workload(picpredict.WorkloadOptions{
+		Ranks:        tr.NumParticles(), // effectively unbounded
+		Mapping:      picpredict.MappingBin,
+		FilterRadius: r.cfg.Spec.FilterRadius(),
+		RelaxedBins:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Iterations: tr.Iterations(), Bins: wl.BinsPerFrame(), MaxBins: wl.MaxBins()}
+	fmt.Fprintf(r.out, "%10s %8s\n", "iteration", "bins")
+	for k, it := range res.Iterations {
+		fmt.Fprintf(r.out, "%10d %8d\n", it, res.Bins[k])
+	}
+	fmt.Fprintf(r.out, "max bins = optimal processor count: %d (paper: 1104)\n", res.MaxBins)
+	return res, nil
+}

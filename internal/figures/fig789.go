@@ -1,0 +1,157 @@
+package figures
+
+import (
+	"fmt"
+
+	"picpredict"
+)
+
+// Fig7Result holds kernel-model accuracy per processor configuration.
+type Fig7Result struct {
+	// MAPE[R][kernel] is the model MAPE (percent) at processor count R.
+	MAPE map[int]map[string]float64
+	// Mean is the grand average across kernels and configurations — the
+	// paper's headline 8.42 %.
+	Mean float64
+	// Peak is the worst per-kernel-per-configuration MAPE (paper: 17.7 %).
+	Peak float64
+}
+
+// Fig7 reproduces the model-accuracy figure: MAPE of each CMT-nek kernel
+// model against the (synthetic) testbed across the per-rank per-interval
+// workloads of every processor configuration.
+func (r *Runner) Fig7() (*Fig7Result, error) {
+	if _, err := r.Trace(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(r.out, "\n== Fig 7: kernel-model MAPE per processor configuration ==\n")
+	platform, err := r.platform()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{MAPE: make(map[int]map[string]float64)}
+	names := picpredict.KernelNames()
+	fmt.Fprintf(r.out, "%8s", "R")
+	for _, n := range names {
+		fmt.Fprintf(r.out, " %22s", n)
+	}
+	fmt.Fprintln(r.out)
+	count, sum := 0, 0.0
+	for i, ranks := range r.cfg.Ranks {
+		wl, err := r.workload(picpredict.WorkloadOptions{
+			Ranks:        ranks,
+			Mapping:      picpredict.MappingBin,
+			FilterRadius: r.cfg.Spec.FilterRadius(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		acc, err := platform.KernelAccuracy(wl, r.cfg.Noise, r.cfg.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		res.MAPE[ranks] = acc
+		fmt.Fprintf(r.out, "%8d", ranks)
+		for _, n := range names {
+			fmt.Fprintf(r.out, " %21.2f%%", acc[n])
+			sum += acc[n]
+			count++
+			if acc[n] > res.Peak {
+				res.Peak = acc[n]
+			}
+		}
+		fmt.Fprintln(r.out)
+	}
+	res.Mean = sum / float64(count)
+	fmt.Fprintf(r.out, "average MAPE %.2f%% (paper: 8.42%%), peak %.2f%% (paper: 17.7%%)\n", res.Mean, res.Peak)
+	return res, nil
+}
+
+// Fig8Row compares mapping peaks at one processor count.
+type Fig8Row struct {
+	Ranks       int
+	ElementPeak int64
+	BinPeak     int64
+	Ratio       float64
+}
+
+// Fig8 reproduces the algorithm-evaluation figure: peak particle workload
+// under element-based vs bin-based mapping per processor configuration
+// (paper: bin mapping reduces the peak by about two orders of magnitude).
+func (r *Runner) Fig8() ([]Fig8Row, error) {
+	if _, err := r.Trace(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(r.out, "\n== Fig 8: peak particle workload, element vs bin mapping ==\n")
+	fmt.Fprintf(r.out, "%8s %14s %10s %8s\n", "R", "element peak", "bin peak", "ratio")
+	var rows []Fig8Row
+	for _, ranks := range r.cfg.Ranks {
+		elem, err := r.workload(picpredict.WorkloadOptions{Ranks: ranks, Mapping: picpredict.MappingElement})
+		if err != nil {
+			return nil, err
+		}
+		bin, err := r.workload(picpredict.WorkloadOptions{
+			Ranks: ranks, Mapping: picpredict.MappingBin, FilterRadius: r.cfg.Spec.FilterRadius(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := Fig8Row{
+			Ranks:       ranks,
+			ElementPeak: elem.Peak(),
+			BinPeak:     bin.Peak(),
+			Ratio:       float64(elem.Peak()) / float64(bin.Peak()),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(r.out, "%8d %14d %10d %8.1fx\n", row.Ranks, row.ElementPeak, row.BinPeak, row.Ratio)
+	}
+	fmt.Fprintf(r.out, "paper: roughly two orders of magnitude reduction with bin mapping\n")
+	return rows, nil
+}
+
+// Fig9Result compares resource utilization of the two mappings.
+type Fig9Result struct {
+	Ranks          int
+	ElementMeanPct float64
+	ElementEverPct float64
+	BinMeanPct     float64
+	BinEverPct     float64
+	ElementBusy    int // ranks ever busy
+	BinBusy        int
+}
+
+// Fig9 reproduces the processor-utilization figure at the first processor
+// configuration (paper, R=1044: bin mapping 584 busy processors ≈ 56 %,
+// element mapping ≈ 0.68 %).
+func (r *Runner) Fig9() (*Fig9Result, error) {
+	ranks := r.cfg.Ranks[0]
+	if _, err := r.Trace(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(r.out, "\n== Fig 9: processor utilization, R=%d ==\n", ranks)
+	elem, err := r.workload(picpredict.WorkloadOptions{Ranks: ranks, Mapping: picpredict.MappingElement})
+	if err != nil {
+		return nil, err
+	}
+	bin, err := r.workload(picpredict.WorkloadOptions{
+		Ranks: ranks, Mapping: picpredict.MappingBin, FilterRadius: r.cfg.Spec.FilterRadius(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	ue, ub := elem.Utilization(), bin.Utilization()
+	res := &Fig9Result{
+		Ranks:          ranks,
+		ElementMeanPct: 100 * ue.Mean,
+		ElementEverPct: 100 * ue.Ever,
+		BinMeanPct:     100 * ub.Mean,
+		BinEverPct:     100 * ub.Ever,
+		ElementBusy:    int(ue.Ever*float64(ranks) + 0.5),
+		BinBusy:        int(ub.Ever*float64(ranks) + 0.5),
+	}
+	fmt.Fprintf(r.out, "%10s %16s %16s\n", "mapping", "RU mean", "RU ever-busy")
+	fmt.Fprintf(r.out, "%10s %15.2f%% %9.2f%% (%d procs)\n", "element", res.ElementMeanPct, res.ElementEverPct, res.ElementBusy)
+	fmt.Fprintf(r.out, "%10s %15.2f%% %9.2f%% (%d procs)\n", "bin", res.BinMeanPct, res.BinEverPct, res.BinBusy)
+	fmt.Fprintf(r.out, "paper: 0.68%% -> 56.13%% mean RU; 4 vs 584 busy processors at R=1044\n")
+	return res, nil
+}

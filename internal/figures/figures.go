@@ -1,0 +1,140 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (§IV). Each Fig* method prints the rows/series the paper
+// reports and returns the headline numbers so tests and benchmarks can
+// assert the reproduced *shape*: who wins, by what order of magnitude, and
+// where the crossovers fall. cmd/experiments is a thin flag wrapper around
+// this package; the root bench harness drives the same code.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"picpredict"
+)
+
+// Config parameterises a reproduction run.
+type Config struct {
+	// Spec is the case-study scenario; zero value means the experiment-
+	// scale Hele-Shaw study.
+	Spec picpredict.Scenario
+	// Ranks are the processor configurations; default {1044, 2088, 4176,
+	// 8352} (§IV-B).
+	Ranks []int
+	// Noise is the synthetic-testbed relative noise (default 0.105,
+	// calibrated to the paper's ≈8.4 % MAPE regime).
+	Noise float64
+	// Seed drives testbed noise during evaluation.
+	Seed int64
+	// FastModels shrinks symbolic-regression budgets (smoke tests only).
+	FastModels bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Spec == (picpredict.Scenario{}) {
+		c.Spec = picpredict.HeleShaw()
+	}
+	if len(c.Ranks) == 0 {
+		c.Ranks = []int{1044, 2088, 4176, 8352}
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.105
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	return c
+}
+
+// Runner executes figures against one scenario run, caching the trace,
+// workloads, and trained models across figures.
+type Runner struct {
+	cfg Config
+	out io.Writer
+
+	trace     *picpredict.Trace
+	traceTime time.Duration
+	models    *picpredict.Models
+	workloads map[workloadKey]*picpredict.Workload
+}
+
+type workloadKey struct {
+	ranks    int
+	mapping  picpredict.MappingKind
+	filter   float64
+	relaxed  bool
+	midpoint bool
+}
+
+// NewRunner prepares a runner writing its tables to out.
+func NewRunner(cfg Config, out io.Writer) *Runner {
+	return &Runner{cfg: cfg.withDefaults(), out: out, workloads: make(map[workloadKey]*picpredict.Workload)}
+}
+
+// Trace runs the PIC application once (cached) and returns its trace.
+func (r *Runner) Trace() (*picpredict.Trace, error) {
+	if r.trace == nil {
+		start := time.Now()
+		tr, err := r.cfg.Spec.Run()
+		if err != nil {
+			return nil, err
+		}
+		r.trace = tr
+		r.traceTime = time.Since(start)
+		fmt.Fprintf(r.out, "# scenario %s: %d particles, %d elements, %d frames (app run %.1fs)\n",
+			r.cfg.Spec.Name(), tr.NumParticles(), r.cfg.Spec.NumElements(), tr.Frames(), r.traceTime.Seconds())
+	}
+	return r.trace, nil
+}
+
+// workload returns (cached) the workload for the given options.
+func (r *Runner) workload(opts picpredict.WorkloadOptions) (*picpredict.Workload, error) {
+	key := workloadKey{
+		ranks: opts.Ranks, mapping: opts.Mapping, filter: opts.FilterRadius,
+		relaxed: opts.RelaxedBins, midpoint: opts.MidpointSplit,
+	}
+	if wl, ok := r.workloads[key]; ok {
+		return wl, nil
+	}
+	tr, err := r.Trace()
+	if err != nil {
+		return nil, err
+	}
+	wl, err := tr.GenerateWorkload(opts)
+	if err != nil {
+		return nil, err
+	}
+	r.workloads[key] = wl
+	return wl, nil
+}
+
+// ClearWorkloadCache drops cached workloads so the next figure regenerates
+// them — used by the benchmarks to time real workload generation while
+// keeping the (expensive, deterministic) trace and models cached.
+func (r *Runner) ClearWorkloadCache() { clear(r.workloads) }
+
+// Models trains (cached) the kernel performance models.
+func (r *Runner) Models() (picpredict.Models, error) {
+	if r.models == nil {
+		ms, err := picpredict.TrainModels(picpredict.TrainOptions{Seed: 1, Fast: r.cfg.FastModels})
+		if err != nil {
+			return picpredict.Models{}, err
+		}
+		r.models = &ms
+	}
+	return *r.models, nil
+}
+
+// platform assembles the simulation platform for the scenario.
+func (r *Runner) platform() (*picpredict.Platform, error) {
+	ms, err := r.Models()
+	if err != nil {
+		return nil, err
+	}
+	return picpredict.NewPlatform(ms, picpredict.PlatformOptions{
+		TotalElements: r.cfg.Spec.NumElements(),
+		N:             float64(r.cfg.Spec.GridN()),
+		Filter:        r.cfg.Spec.FilterInElements(),
+	})
+}

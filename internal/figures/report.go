@@ -1,0 +1,152 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"picpredict"
+)
+
+// Report runs every experiment and writes a self-contained markdown report
+// with paper-vs-measured tables — a regenerated EXPERIMENTS.md for the
+// configured scenario. The runner's text output still streams to its
+// regular writer; the report is structured data only.
+func (r *Runner) Report(w io.Writer) error {
+	tr, err := r.Trace()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Experiment report — %s\n\n", r.cfg.Spec.Name())
+	fmt.Fprintf(w, "Generated %s. Scenario: %d particles, %d elements, %d frames; processor configurations %v.\n\n",
+		time.Now().Format(time.RFC3339), tr.NumParticles(), r.cfg.Spec.NumElements(), tr.Frames(), r.cfg.Ranks)
+
+	f1a, err := r.Fig1a(4096)
+	if err != nil {
+		return err
+	}
+	f1b, err := r.Fig1b(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Fig 1 — element-mapping idleness\n\n")
+	fmt.Fprintf(w, "| metric | paper | measured |\n|---|---|---|\n")
+	fmt.Fprintf(w, "| idle processors, run average | 81%% | %.1f%% (R=%d) |\n", f1a.IdlePercent, f1a.Ranks)
+	fmt.Fprintf(w, "| peak particles/processor | — | %d |\n\n", f1a.Peak)
+	fmt.Fprintf(w, "| R | busy procs (mean) | idle %% |\n|---|---|---|\n")
+	for _, row := range f1b {
+		fmt.Fprintf(w, "| %d | %.1f | %.2f%% |\n", row.Ranks, row.MeanNonZero, row.IdlePct)
+	}
+	fmt.Fprintln(w)
+
+	f5, err := r.Fig5()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Fig 5 — peak particles/processor vs iteration (bin mapping)\n\n")
+	fmt.Fprintf(w, "| claim | paper | measured |\n|---|---|---|\n")
+	fmt.Fprintf(w, "| early peaks identical across R | yes | %v |\n", f5.EarlyEqualAcrossRanks)
+	fmt.Fprintf(w, "| dip beyond R=%d late in the run | yes | %v |\n\n", r.cfg.Ranks[0], f5.DipAfterFirstRanks)
+	fmt.Fprintf(w, "| iteration |")
+	ranksSorted := append([]int(nil), r.cfg.Ranks...)
+	sort.Ints(ranksSorted)
+	for _, ranks := range ranksSorted {
+		fmt.Fprintf(w, " R=%d |", ranks)
+	}
+	fmt.Fprintf(w, "\n|---|")
+	for range ranksSorted {
+		fmt.Fprintf(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for k, it := range f5.Iterations {
+		fmt.Fprintf(w, "| %d |", it)
+		for _, ranks := range ranksSorted {
+			fmt.Fprintf(w, " %d |", f5.PeakByRanks[ranks][k])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+
+	f6, err := r.Fig6()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Fig 6 — bin growth (relaxed)\n\n")
+	fmt.Fprintf(w, "| metric | paper | measured |\n|---|---|---|\n")
+	fmt.Fprintf(w, "| max bins = optimal processor count | 1104 | %d |\n\n", f6.MaxBins)
+
+	f7, err := r.Fig7()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Fig 7 — kernel-model MAPE\n\n")
+	fmt.Fprintf(w, "| metric | paper | measured |\n|---|---|---|\n")
+	fmt.Fprintf(w, "| average MAPE | 8.42%% | %.2f%% |\n", f7.Mean)
+	fmt.Fprintf(w, "| peak MAPE | 17.7%% | %.2f%% |\n\n", f7.Peak)
+	fmt.Fprintf(w, "| R |")
+	for _, n := range picpredict.KernelNames() {
+		fmt.Fprintf(w, " %s |", n)
+	}
+	fmt.Fprintf(w, "\n|---|")
+	for range picpredict.KernelNames() {
+		fmt.Fprintf(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, ranks := range ranksSorted {
+		fmt.Fprintf(w, "| %d |", ranks)
+		for _, n := range picpredict.KernelNames() {
+			fmt.Fprintf(w, " %.2f%% |", f7.MAPE[ranks][n])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+
+	f8, err := r.Fig8()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Fig 8 — element vs bin peak workload\n\n")
+	fmt.Fprintf(w, "| R | element peak | bin peak | ratio |\n|---|---|---|---|\n")
+	for _, row := range f8 {
+		fmt.Fprintf(w, "| %d | %d | %d | %.1f× |\n", row.Ranks, row.ElementPeak, row.BinPeak, row.Ratio)
+	}
+	fmt.Fprintf(w, "\nPaper: ≈two orders of magnitude at the low configurations; the ratio narrows as R grows.\n\n")
+
+	f9, err := r.Fig9()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Fig 9 — resource utilization (R=%d)\n\n", f9.Ranks)
+	fmt.Fprintf(w, "| mapping | paper RU | measured RU (mean) | busy procs |\n|---|---|---|---|\n")
+	fmt.Fprintf(w, "| element | 0.68%% | %.2f%% | %d |\n", f9.ElementMeanPct, f9.ElementBusy)
+	fmt.Fprintf(w, "| bin | 56.13%% | %.2f%% | %d |\n\n", f9.BinMeanPct, f9.BinBusy)
+
+	f10a, err := r.Fig10a(nil)
+	if err != nil {
+		return err
+	}
+	f10b, err := r.Fig10b(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Fig 10 — projection-filter study\n\n")
+	fmt.Fprintf(w, "| filter | max bins | peak ghosts | create_ghost_particles time |\n|---|---|---|---|\n")
+	for i := range f10a {
+		fmt.Fprintf(w, "| %.4g | %d | %d | %.3g s |\n",
+			f10a[i].Filter, f10a[i].MaxBins, f10b[i].PeakGhosts, f10b[i].KernelTime)
+	}
+	fmt.Fprintln(w)
+
+	sim, err := r.Simulate()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## End-to-end simulation\n\n")
+	fmt.Fprintf(w, "| R | predicted total (s) | compute (s) | comm (s) | error vs testbed |\n|---|---|---|---|---|\n")
+	for _, row := range sim {
+		fmt.Fprintf(w, "| %d | %.4g | %.4g | %.4g | %.2f%% |\n", row.Ranks, row.Total, row.Compute, row.Comm, row.ErrPct)
+	}
+	fmt.Fprintf(w, "\nPaper: scaling beyond the bin plateau does not improve the particle solver.\n")
+	return nil
+}

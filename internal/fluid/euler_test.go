@@ -1,0 +1,236 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"picpredict/internal/geom"
+)
+
+func tube(t *testing.T, n int) *EulerSolver {
+	t.Helper()
+	g, err := geom.NewGrid(geom.Box(geom.V(0, 0, 0), geom.V(1, 0.1, 0.1)), n, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewEulerSolver(g, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewEulerSolverValidation(t *testing.T) {
+	g, _ := geom.NewGrid(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)), 2, 2, 2)
+	if _, err := NewEulerSolver(g, 1.0); err == nil {
+		t.Error("gamma=1 accepted")
+	}
+}
+
+func TestUniformStateIsSteady(t *testing.T) {
+	s := tube(t, 16)
+	want := Prim{Rho: 1.2, U: geom.V(0, 0, 0), P: 101325}
+	for id := 0; id < s.Grid.Len(); id++ {
+		s.SetState(id, want)
+	}
+	for i := 0; i < 20; i++ {
+		s.Step(s.StableDt())
+	}
+	for id := 0; id < s.Grid.Len(); id++ {
+		got := s.State(id)
+		if math.Abs(got.Rho-want.Rho) > 1e-9 || math.Abs(got.P-want.P) > 1e-6*want.P {
+			t.Fatalf("cell %d drifted: %+v", id, got)
+		}
+	}
+}
+
+func TestSodShockTube(t *testing.T) {
+	s := tube(t, 200)
+	left := Prim{Rho: 1, P: 1}
+	right := Prim{Rho: 0.125, P: 0.1}
+	s.InitRiemann(0, 0.5, left, right)
+	s.Advance(0.2)
+
+	// Sample densities along the tube.
+	rho := make([]float64, s.Grid.Nx)
+	for i := 0; i < s.Grid.Nx; i++ {
+		rho[i] = s.State(s.Grid.Index(i, 0, 0)).Rho
+	}
+	// Left end still undisturbed, right end still undisturbed.
+	if math.Abs(rho[2]-1) > 0.02 {
+		t.Errorf("left state disturbed: rho=%v", rho[2])
+	}
+	if math.Abs(rho[len(rho)-3]-0.125) > 0.02 {
+		t.Errorf("right state disturbed: rho=%v", rho[len(rho)-3])
+	}
+	// The exact Sod solution at t=0.2 has a contact at x≈0.685 with
+	// rho≈0.426 upstream and a shock at x≈0.850 with post-shock
+	// rho≈0.266. First-order Rusanov smears these, so check loosely.
+	atX := func(x float64) float64 { return rho[int(x*float64(s.Grid.Nx))] }
+	if v := atX(0.6); v < 0.30 || v > 0.55 {
+		t.Errorf("rho(0.6) = %v, want ≈0.426", v)
+	}
+	if v := atX(0.80); v < 0.15 || v > 0.35 {
+		t.Errorf("rho(0.80) = %v, want ≈0.266", v)
+	}
+	// Density is monotonically non-increasing through the rarefaction fan
+	// region (0.1 .. 0.45).
+	for i := int(0.1 * 200); i < int(0.45*200)-1; i++ {
+		if rho[i+1] > rho[i]+1e-6 {
+			t.Errorf("density not monotone in rarefaction at cell %d: %v -> %v", i, rho[i], rho[i+1])
+			break
+		}
+	}
+	// Fluid moves rightward between the waves.
+	if u := s.State(s.Grid.Index(120, 0, 0)).U.X; u <= 0 {
+		t.Errorf("post-wave velocity = %v, want > 0", u)
+	}
+}
+
+func TestConservationWithWalls(t *testing.T) {
+	s := tube(t, 64)
+	s.InitRiemann(0, 0.5, Prim{Rho: 2, P: 2}, Prim{Rho: 0.5, P: 0.4})
+	m0, e0 := s.TotalMass(), s.TotalEnergy()
+	s.Advance(0.5) // long enough for waves to reflect off walls
+	m1, e1 := s.TotalMass(), s.TotalEnergy()
+	if rel := math.Abs(m1-m0) / m0; rel > 1e-10 {
+		t.Errorf("mass not conserved: %v -> %v (rel %v)", m0, m1, rel)
+	}
+	if rel := math.Abs(e1-e0) / e0; rel > 1e-10 {
+		t.Errorf("energy not conserved: %v -> %v (rel %v)", e0, e1, rel)
+	}
+}
+
+func TestEulerSolverAsFlow(t *testing.T) {
+	s := tube(t, 32)
+	s.InitRiemann(0, 0.5, Prim{Rho: 1, P: 1}, Prim{Rho: 0.125, P: 0.1})
+	var f Flow = s
+	f.Advance(0.05)
+	if s.Time() < 0.05-1e-12 {
+		t.Errorf("Advance stopped at %v", s.Time())
+	}
+	// Between the waves the gas moves right.
+	if v := f.Velocity(geom.V(0.55, 0.05, 0.05)); v.X <= 0 {
+		t.Errorf("velocity at 0.55 = %v, want rightward", v)
+	}
+	// Outside the domain: zero.
+	if v := f.Velocity(geom.V(5, 5, 5)); v != (geom.Vec3{}) {
+		t.Errorf("outside velocity = %v", v)
+	}
+}
+
+func TestEuler2DSymmetry(t *testing.T) {
+	// A centred high-pressure disc in a square domain must stay symmetric
+	// under x<->y reflection.
+	g, err := geom.NewGrid(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 0.1)), 24, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewEulerSolver(g, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < g.Len(); id++ {
+		c := g.CellCenter(id)
+		p := Prim{Rho: 1, P: 0.1}
+		if c.Sub(geom.V(0.5, 0.5, 0.05)).Norm() < 0.2 {
+			p = Prim{Rho: 2, P: 2}
+		}
+		s.SetState(id, p)
+	}
+	s.Advance(0.05)
+	for i := 0; i < g.Nx; i++ {
+		for j := 0; j < g.Ny; j++ {
+			a := s.State(g.Index(i, j, 0))
+			b := s.State(g.Index(j, i, 0))
+			if math.Abs(a.Rho-b.Rho) > 1e-9 {
+				t.Fatalf("symmetry broken at (%d,%d): %v vs %v", i, j, a.Rho, b.Rho)
+			}
+		}
+	}
+}
+
+func TestStableDtInfiniteForColdGas(t *testing.T) {
+	s := tube(t, 4)
+	// zero pressure, zero velocity => no waves
+	for id := 0; id < s.Grid.Len(); id++ {
+		s.SetState(id, Prim{Rho: 1, P: 0})
+	}
+	if dt := s.StableDt(); !math.IsInf(dt, 1) {
+		t.Errorf("StableDt = %v, want +Inf", dt)
+	}
+	s.Advance(1) // must terminate
+	if s.Time() != 1 {
+		t.Errorf("Time = %v", s.Time())
+	}
+}
+
+// sodL1Error integrates the Sod problem to t=0.2 and returns the L1 density
+// error against reference values of the exact solution at a few probe
+// points.
+func sodL1Error(t *testing.T, n int, muscl bool) float64 {
+	t.Helper()
+	s := tube(t, n)
+	s.MUSCL = muscl
+	s.InitRiemann(0, 0.5, Prim{Rho: 1, P: 1}, Prim{Rho: 0.125, P: 0.1})
+	s.Advance(0.2)
+	// Exact Sod densities at t=0.2 (rarefaction fan spans x≈0.26–0.49,
+	// contact at x≈0.685, shock at x≈0.850).
+	probes := []struct{ x, rho float64 }{
+		{0.30, 0.877}, {0.60, 0.426}, {0.75, 0.266}, {0.80, 0.266},
+	}
+	sum := 0.0
+	for _, p := range probes {
+		i := int(p.x * float64(n))
+		sum += math.Abs(s.State(s.Grid.Index(i, 0, 0)).Rho - p.rho)
+	}
+	return sum / float64(len(probes))
+}
+
+func TestMUSCLSharperThanFirstOrder(t *testing.T) {
+	first := sodL1Error(t, 200, false)
+	second := sodL1Error(t, 200, true)
+	if second >= first {
+		t.Errorf("MUSCL error %v not below first-order %v", second, first)
+	}
+}
+
+func TestMUSCLConservation(t *testing.T) {
+	s := tube(t, 64)
+	s.MUSCL = true
+	s.InitRiemann(0, 0.5, Prim{Rho: 2, P: 2}, Prim{Rho: 0.5, P: 0.4})
+	m0, e0 := s.TotalMass(), s.TotalEnergy()
+	s.Advance(0.5)
+	m1, e1 := s.TotalMass(), s.TotalEnergy()
+	if rel := math.Abs(m1-m0) / m0; rel > 1e-10 {
+		t.Errorf("MUSCL mass not conserved: rel %v", rel)
+	}
+	if rel := math.Abs(e1-e0) / e0; rel > 1e-10 {
+		t.Errorf("MUSCL energy not conserved: rel %v", rel)
+	}
+}
+
+func TestMUSCLNoNewExtrema(t *testing.T) {
+	// The minmod limiter must keep density within the initial bounds.
+	s := tube(t, 128)
+	s.MUSCL = true
+	s.InitRiemann(0, 0.5, Prim{Rho: 1, P: 1}, Prim{Rho: 0.125, P: 0.1})
+	s.Advance(0.2)
+	for i := 0; i < 128; i++ {
+		rho := s.State(s.Grid.Index(i, 0, 0)).Rho
+		if rho > 1+1e-9 || rho < 0.125-1e-9 {
+			t.Fatalf("density %v outside [0.125, 1] at cell %d", rho, i)
+		}
+	}
+}
+
+func TestMinmod(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{1, 2, 1}, {2, 1, 1}, {-1, -3, -1}, {-3, -1, -1}, {1, -1, 0}, {0, 5, 0}, {-2, 0, 0},
+	}
+	for _, c := range cases {
+		if got := minmod(c.a, c.b); got != c.want {
+			t.Errorf("minmod(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package fluid provides the Eulerian gas-phase substrate of the PIC
+// application: a FlowField abstraction that yields fluid velocity at any
+// point and time, with two implementations — closed-form analytic flows
+// (fast, deterministic; used by the scenario drivers to generate traces) and
+// a compressible Euler finite-volume solver (the "fluid-solver phase" of
+// §III-A, solving the Euler equations of gas dynamics on the grid).
+package fluid
+
+import (
+	"math"
+
+	"picpredict/internal/geom"
+)
+
+// Flow yields the gas velocity field seen by the particle solver. Advance
+// must be called with non-decreasing times; Velocity then reports the field
+// at the most recently advanced time.
+type Flow interface {
+	// Advance moves the flow state to absolute time t.
+	Advance(t float64)
+	// Velocity returns the fluid velocity at point p at the current time.
+	Velocity(p geom.Vec3) geom.Vec3
+}
+
+// Uniform is a constant, time-invariant velocity field.
+type Uniform struct {
+	U geom.Vec3
+}
+
+// Advance implements Flow; a uniform field has no state.
+func (Uniform) Advance(float64) {}
+
+// Velocity implements Flow.
+func (u Uniform) Velocity(geom.Vec3) geom.Vec3 { return u.U }
+
+// DiaphragmBurst models the gas release of the Hele-Shaw case study
+// (§IV-A): a high-pressure reservoir under a diaphragm bursts at t = 0 and
+// drives a decaying source flow that disperses the particle bed radially
+// outward in the x–y plane (the Hele-Shaw cell is quasi-2D).
+//
+// The velocity is that of a planar source at Origin with a time-decaying
+// strength plus a uniform axial jet that pushes the bed away from the
+// diaphragm:
+//
+//	u(p, t) = A(t) · (p − Origin)_xy / (|p − Origin|²_xy + Core²)  +  A(t)/Amp · Jet
+//	A(t)    = 0                                  for t < Delay
+//	A(t)    = Amp · Decay / (t − Delay + Decay)  for t ≥ Delay
+//
+// Delay models the shock's travel time from the diaphragm to the bed: the
+// gas is quiescent until the wave arrives, then the source switches on and
+// decays hyperbolically, so the particle cloud holds still, expands quickly,
+// and asymptotically slows — exactly the structure behind the paper's Fig 6
+// (bin plateau during the first 7800 iterations, growth, second plateau).
+type DiaphragmBurst struct {
+	// Origin is the burst centre (diaphragm location).
+	Origin geom.Vec3
+	// Amp is the initial source strength (area per time for the planar source).
+	Amp float64
+	// Decay is the hyperbolic decay time constant.
+	Decay float64
+	// Core regularises the source singularity; use a length comparable to
+	// the initial bed size.
+	Core float64
+	// Delay is the shock arrival time; the flow is zero before it.
+	Delay float64
+	// Jet is an additional uniform velocity direction (usually +y, away
+	// from the diaphragm) whose magnitude follows the same decay law.
+	Jet geom.Vec3
+
+	t float64
+}
+
+// Advance implements Flow.
+func (d *DiaphragmBurst) Advance(t float64) { d.t = t }
+
+// Velocity implements Flow.
+func (d *DiaphragmBurst) Velocity(p geom.Vec3) geom.Vec3 {
+	if d.t < d.Delay {
+		return geom.Vec3{}
+	}
+	a := d.Amp * d.Decay / (d.t - d.Delay + d.Decay)
+	r := p.Sub(d.Origin)
+	r.Z = 0 // planar source: no motion across the thin Hele-Shaw gap
+	denom := r.Norm2() + d.Core*d.Core
+	v := r.Scale(a / denom)
+	return v.Add(d.Jet.Scale(a / d.Amp))
+}
+
+// BedDilation models the bulk dispersal of a particle bed by shock loading
+// (the Hele-Shaw air-blast of §IV-A): after the shock reaches the bed at
+// t = Delay, the gas expands the bed self-similarly about Origin in the
+// x–y plane with a hyperbolically decaying rate:
+//
+//	u(p, t) = A(t) · (p − Origin)_xy
+//	A(t)    = 0                                  for t < Delay
+//	A(t)    = Amp · Decay / (t − Delay + Decay)  for t ≥ Delay
+//
+// Unlike a point source, dilation preserves the (uniform) bed density while
+// the particle boundary grows — the regime in which bin-based mapping's
+// leaf bins stay count-balanced and the maximum bin count tracks the bed
+// area, reproducing the paper's Fig 5/6 plateau–growth–plateau structure.
+type BedDilation struct {
+	// Origin is the dilation centre.
+	Origin geom.Vec3
+	// Amp is the initial expansion rate (per unit time).
+	Amp float64
+	// Decay is the hyperbolic decay time constant.
+	Decay float64
+	// Delay is the shock arrival time; the flow is zero before it.
+	Delay float64
+
+	t float64
+}
+
+// Advance implements Flow.
+func (d *BedDilation) Advance(t float64) { d.t = t }
+
+// Velocity implements Flow.
+func (d *BedDilation) Velocity(p geom.Vec3) geom.Vec3 {
+	if d.t < d.Delay {
+		return geom.Vec3{}
+	}
+	a := d.Amp * d.Decay / (d.t - d.Delay + d.Decay)
+	r := p.Sub(d.Origin)
+	r.Z = 0 // planar: no motion across the thin Hele-Shaw gap
+	return r.Scale(a)
+}
+
+// Vortex is a solid-body-rotation field around an axis through Center
+// parallel to z, useful for tests: particles advected by it stay at constant
+// radius, giving an exactly known trajectory.
+type Vortex struct {
+	Center geom.Vec3
+	Omega  float64 // angular velocity (rad per time)
+}
+
+// Advance implements Flow.
+func (Vortex) Advance(float64) {}
+
+// Velocity implements Flow.
+func (v Vortex) Velocity(p geom.Vec3) geom.Vec3 {
+	r := p.Sub(v.Center)
+	return geom.V(-v.Omega*r.Y, v.Omega*r.X, 0)
+}
+
+// Decaying wraps a Flow and scales its velocity by exp(−t/Tau); it is used
+// in tests and by scenarios that need a flow to shut off smoothly.
+type Decaying struct {
+	Inner Flow
+	Tau   float64
+
+	t float64
+}
+
+// Advance implements Flow.
+func (d *Decaying) Advance(t float64) {
+	d.t = t
+	d.Inner.Advance(t)
+}
+
+// Velocity implements Flow.
+func (d *Decaying) Velocity(p geom.Vec3) geom.Vec3 {
+	return d.Inner.Velocity(p).Scale(math.Exp(-d.t / d.Tau))
+}

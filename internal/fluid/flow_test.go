@@ -1,0 +1,132 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"picpredict/internal/geom"
+)
+
+func TestUniformFlow(t *testing.T) {
+	var f Flow = Uniform{U: geom.V(1, 2, 3)}
+	f.Advance(10)
+	if got := f.Velocity(geom.V(5, 5, 5)); got != geom.V(1, 2, 3) {
+		t.Errorf("Velocity = %v", got)
+	}
+}
+
+func TestDiaphragmBurstGeometry(t *testing.T) {
+	d := &DiaphragmBurst{
+		Origin: geom.V(0, 0, 0),
+		Amp:    1, Decay: 1, Core: 0.1,
+	}
+	d.Advance(0)
+	// Flow points radially away from origin in the x-y plane.
+	v := d.Velocity(geom.V(1, 0, 0))
+	if v.X <= 0 || v.Y != 0 || v.Z != 0 {
+		t.Errorf("velocity at +x = %v, want outward radial", v)
+	}
+	v2 := d.Velocity(geom.V(-1, 0, 0))
+	if v2.X >= 0 {
+		t.Errorf("velocity at -x = %v, want outward radial", v2)
+	}
+	// Planar: z offset must not create z velocity or change magnitude.
+	v3 := d.Velocity(geom.V(1, 0, 0.5))
+	if v3.Z != 0 || math.Abs(v3.X-v.X) > 1e-15 {
+		t.Errorf("planar invariance violated: %v vs %v", v3, v)
+	}
+}
+
+func TestDiaphragmBurstDecays(t *testing.T) {
+	d := &DiaphragmBurst{Origin: geom.Vec3{}, Amp: 2, Decay: 0.5, Core: 0.1}
+	p := geom.V(1, 1, 0)
+	d.Advance(0)
+	v0 := d.Velocity(p).Norm()
+	d.Advance(5)
+	v5 := d.Velocity(p).Norm()
+	if v5 >= v0 {
+		t.Errorf("flow did not decay: |v(0)|=%v |v(5)|=%v", v0, v5)
+	}
+	// Hyperbolic decay: A(5)/A(0) = Decay/(5+Decay).
+	want := 0.5 / 5.5
+	if got := v5 / v0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("decay ratio = %v, want %v", got, want)
+	}
+}
+
+func TestDiaphragmBurstJet(t *testing.T) {
+	d := &DiaphragmBurst{Origin: geom.Vec3{}, Amp: 1, Decay: 1, Core: 1, Jet: geom.V(0, 3, 0)}
+	d.Advance(0)
+	// At the origin the source term vanishes; only the jet remains.
+	v := d.Velocity(geom.Vec3{})
+	if math.Abs(v.Y-3) > 1e-12 || v.X != 0 {
+		t.Errorf("jet velocity at origin = %v, want (0,3,0)", v)
+	}
+}
+
+func TestVortexTangential(t *testing.T) {
+	vx := Vortex{Center: geom.V(0, 0, 0), Omega: 2}
+	v := vx.Velocity(geom.V(1, 0, 0))
+	if v != geom.V(0, 2, 0) {
+		t.Errorf("Velocity = %v, want (0,2,0)", v)
+	}
+	// Velocity is perpendicular to radius everywhere.
+	p := geom.V(0.3, -0.8, 0.1)
+	r := p.Sub(vx.Center)
+	r.Z = 0
+	if dot := vx.Velocity(p).Dot(r); math.Abs(dot) > 1e-12 {
+		t.Errorf("v·r = %v, want 0", dot)
+	}
+}
+
+func TestDecayingWrapper(t *testing.T) {
+	d := &Decaying{Inner: Uniform{U: geom.V(1, 0, 0)}, Tau: 2}
+	d.Advance(0)
+	if got := d.Velocity(geom.Vec3{}).X; math.Abs(got-1) > 1e-12 {
+		t.Errorf("v(0) = %v", got)
+	}
+	d.Advance(2)
+	if got := d.Velocity(geom.Vec3{}).X; math.Abs(got-math.Exp(-1)) > 1e-12 {
+		t.Errorf("v(2) = %v, want e^-1", got)
+	}
+}
+
+func TestBedDilation(t *testing.T) {
+	d := &BedDilation{Origin: geom.V(0.5, 0.5, 0), Amp: 2, Decay: 1, Delay: 3}
+	// Quiescent before the shock arrives.
+	d.Advance(1)
+	if v := d.Velocity(geom.V(0.7, 0.5, 0)); v != (geom.Vec3{}) {
+		t.Errorf("pre-delay velocity = %v", v)
+	}
+	// At arrival: v = Amp·(p−c), planar.
+	d.Advance(3)
+	v := d.Velocity(geom.V(0.7, 0.5, 0.5))
+	if math.Abs(v.X-2*0.2) > 1e-12 || v.Y != 0 || v.Z != 0 {
+		t.Errorf("arrival velocity = %v, want (0.4,0,0)", v)
+	}
+	// Hyperbolic decay after arrival.
+	d.Advance(4)
+	v4 := d.Velocity(geom.V(0.7, 0.5, 0))
+	want := 2 * 1.0 / (4 - 3 + 1) * 0.2
+	if math.Abs(v4.X-want) > 1e-12 {
+		t.Errorf("decayed velocity = %v, want %v", v4.X, want)
+	}
+	// Dilation: velocity proportional to radius (self-similar expansion).
+	vNear := d.Velocity(geom.V(0.6, 0.5, 0)).X
+	vFar := d.Velocity(geom.V(0.9, 0.5, 0)).X
+	if math.Abs(vFar-4*vNear) > 1e-12 {
+		t.Errorf("velocity not linear in radius: %v vs %v", vNear, vFar)
+	}
+}
+
+func TestDiaphragmBurstDelay(t *testing.T) {
+	d := &DiaphragmBurst{Origin: geom.Vec3{}, Amp: 1, Decay: 1, Core: 0.1, Delay: 5}
+	d.Advance(4.9)
+	if v := d.Velocity(geom.V(1, 0, 0)); v != (geom.Vec3{}) {
+		t.Errorf("pre-delay velocity = %v", v)
+	}
+	d.Advance(5)
+	if v := d.Velocity(geom.V(1, 0, 0)); v.X <= 0 {
+		t.Errorf("post-delay velocity = %v", v)
+	}
+}

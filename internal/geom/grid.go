@@ -1,0 +1,184 @@
+package geom
+
+import "fmt"
+
+// Grid describes a regular Cartesian partition of a box into Nx×Ny×Nz cells.
+// It supplies the index arithmetic used both by the spectral-element mesh
+// (cells are elements) and by the intra-element grid points.
+type Grid struct {
+	Domain     AABB
+	Nx, Ny, Nz int
+	// cell size, cached
+	dx, dy, dz float64
+}
+
+// NewGrid constructs a grid over domain with the given cell counts.
+func NewGrid(domain AABB, nx, ny, nz int) (*Grid, error) {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("geom: grid dimensions must be positive, got %d×%d×%d", nx, ny, nz)
+	}
+	if domain.Empty() {
+		return nil, fmt.Errorf("geom: grid domain %v is empty", domain)
+	}
+	e := domain.Extent()
+	return &Grid{
+		Domain: domain,
+		Nx:     nx, Ny: ny, Nz: nz,
+		dx: e.X / float64(nx),
+		dy: e.Y / float64(ny),
+		dz: e.Z / float64(nz),
+	}, nil
+}
+
+// Len returns the total number of cells.
+func (g *Grid) Len() int { return g.Nx * g.Ny * g.Nz }
+
+// CellSize returns the dimensions of a single cell.
+func (g *Grid) CellSize() Vec3 { return Vec3{g.dx, g.dy, g.dz} }
+
+// Index converts (i, j, k) cell coordinates to a flat cell id using
+// x-fastest ordering.
+func (g *Grid) Index(i, j, k int) int { return i + g.Nx*(j+g.Ny*k) }
+
+// Coords converts a flat cell id back to (i, j, k) cell coordinates.
+func (g *Grid) Coords(id int) (i, j, k int) {
+	i = id % g.Nx
+	j = (id / g.Nx) % g.Ny
+	k = id / (g.Nx * g.Ny)
+	return
+}
+
+// Locate returns the flat id of the cell containing p, or -1 when p lies
+// outside the grid domain. Points exactly on the high boundary are assigned
+// to the last cell so that particles sitting on the domain edge stay valid.
+func (g *Grid) Locate(p Vec3) int {
+	i, ok := g.axisCell(p.X, g.Domain.Lo.X, g.dx, g.Nx)
+	if !ok {
+		return -1
+	}
+	j, ok := g.axisCell(p.Y, g.Domain.Lo.Y, g.dy, g.Ny)
+	if !ok {
+		return -1
+	}
+	k, ok := g.axisCell(p.Z, g.Domain.Lo.Z, g.dz, g.Nz)
+	if !ok {
+		return -1
+	}
+	return g.Index(i, j, k)
+}
+
+func (g *Grid) axisCell(x, lo, d float64, n int) (int, bool) {
+	if d <= 0 {
+		return 0, n == 1 // degenerate flat axis: single cell
+	}
+	t := (x - lo) / d
+	if t < 0 {
+		return 0, false
+	}
+	c := int(t)
+	if c >= n {
+		// On (or numerically past) the high face: accept only exact edge.
+		if x <= lo+d*float64(n) {
+			return n - 1, true
+		}
+		return 0, false
+	}
+	return c, true
+}
+
+// CellBox returns the AABB of cell id.
+func (g *Grid) CellBox(id int) AABB {
+	i, j, k := g.Coords(id)
+	lo := Vec3{
+		g.Domain.Lo.X + float64(i)*g.dx,
+		g.Domain.Lo.Y + float64(j)*g.dy,
+		g.Domain.Lo.Z + float64(k)*g.dz,
+	}
+	return AABB{Lo: lo, Hi: lo.Add(Vec3{g.dx, g.dy, g.dz})}
+}
+
+// CellCenter returns the centre point of cell id.
+func (g *Grid) CellCenter(id int) Vec3 {
+	i, j, k := g.Coords(id)
+	return Vec3{
+		g.Domain.Lo.X + (float64(i)+0.5)*g.dx,
+		g.Domain.Lo.Y + (float64(j)+0.5)*g.dy,
+		g.Domain.Lo.Z + (float64(k)+0.5)*g.dz,
+	}
+}
+
+// CellsInSphere appends to dst the ids of every cell whose box intersects
+// the ball (c, radius), and returns the extended slice. The search visits
+// only the cells inside the ball's bounding box, so cost scales with the
+// ball volume rather than the grid size. Per-axis squared distances to the
+// candidate cell intervals are computed once per axis, keeping the per-cell
+// work to two additions and a compare — this query runs once per particle
+// per step in both projection and ghost generation.
+func (g *Grid) CellsInSphere(dst []int, c Vec3, radius float64) []int {
+	if radius < 0 {
+		return dst
+	}
+	ilo, jlo, klo := g.clampCoords(c.Sub(Vec3{radius, radius, radius}))
+	ihi, jhi, khi := g.clampCoords(c.Add(Vec3{radius, radius, radius}))
+	r2 := radius * radius
+	// Small fixed buffers keep the common case (a filter ball spanning a
+	// few cells) allocation-free.
+	var bx, by, bz [16]float64
+	dx2 := g.axisDist2s(bx[:0], c.X, g.Domain.Lo.X, g.dx, ilo, ihi)
+	dy2 := g.axisDist2s(by[:0], c.Y, g.Domain.Lo.Y, g.dy, jlo, jhi)
+	dz2 := g.axisDist2s(bz[:0], c.Z, g.Domain.Lo.Z, g.dz, klo, khi)
+	for k := klo; k <= khi; k++ {
+		dkz := dz2[k-klo]
+		for j := jlo; j <= jhi; j++ {
+			djk := dy2[j-jlo] + dkz
+			if djk > r2 {
+				continue
+			}
+			base := g.Nx * (j + g.Ny*k)
+			for i := ilo; i <= ihi; i++ {
+				if dx2[i-ilo]+djk <= r2 {
+					dst = append(dst, base+i)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// axisDist2s appends to buf the squared distance from x to each cell
+// interval [lo+i·d, lo+(i+1)·d] for i in [ilo, ihi].
+func (g *Grid) axisDist2s(buf []float64, x, lo, d float64, ilo, ihi int) []float64 {
+	for i := ilo; i <= ihi; i++ {
+		cellLo := lo + float64(i)*d
+		buf = append(buf, axisDist2(x, cellLo, cellLo+d))
+	}
+	return buf
+}
+
+func (g *Grid) clampCoords(p Vec3) (i, j, k int) {
+	i = clampInt(g.cellFloor(p.X, g.Domain.Lo.X, g.dx), 0, g.Nx-1)
+	j = clampInt(g.cellFloor(p.Y, g.Domain.Lo.Y, g.dy), 0, g.Ny-1)
+	k = clampInt(g.cellFloor(p.Z, g.Domain.Lo.Z, g.dz), 0, g.Nz-1)
+	return
+}
+
+func (g *Grid) cellFloor(x, lo, d float64) int {
+	if d <= 0 {
+		return 0
+	}
+	t := (x - lo) / d
+	if t < 0 {
+		return -1
+	}
+	return int(t)
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,154 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustGrid(t *testing.T, d AABB, nx, ny, nz int) *Grid {
+	t.Helper()
+	g, err := NewGrid(d, nx, ny, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGridValidation(t *testing.T) {
+	d := Box(V(0, 0, 0), V(1, 1, 1))
+	if _, err := NewGrid(d, 0, 1, 1); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	if _, err := NewGrid(d, 1, -2, 1); err == nil {
+		t.Error("negative dimension accepted")
+	}
+	if _, err := NewGrid(EmptyBox(), 1, 1, 1); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+func TestGridIndexCoordsRoundTrip(t *testing.T) {
+	g := mustGrid(t, Box(V(0, 0, 0), V(1, 1, 1)), 4, 5, 6)
+	if g.Len() != 120 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	for id := 0; id < g.Len(); id++ {
+		i, j, k := g.Coords(id)
+		if got := g.Index(i, j, k); got != id {
+			t.Fatalf("round trip %d -> (%d,%d,%d) -> %d", id, i, j, k, got)
+		}
+	}
+}
+
+func TestGridLocate(t *testing.T) {
+	g := mustGrid(t, Box(V(0, 0, 0), V(4, 4, 4)), 4, 4, 4)
+	cases := []struct {
+		p    Vec3
+		want int
+	}{
+		{V(0.5, 0.5, 0.5), g.Index(0, 0, 0)},
+		{V(3.5, 3.5, 3.5), g.Index(3, 3, 3)},
+		{V(0, 0, 0), g.Index(0, 0, 0)},
+		{V(4, 4, 4), g.Index(3, 3, 3)}, // exact high edge maps to last cell
+		{V(1, 2, 3), g.Index(1, 2, 3)},
+		{V(-0.1, 1, 1), -1},
+		{V(4.1, 1, 1), -1},
+	}
+	for _, c := range cases {
+		if got := g.Locate(c.p); got != c.want {
+			t.Errorf("Locate(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestGridCellBoxTilesDomain(t *testing.T) {
+	g := mustGrid(t, Box(V(-1, 0, 2), V(3, 2, 4)), 3, 2, 2)
+	var total float64
+	for id := 0; id < g.Len(); id++ {
+		total += g.CellBox(id).Volume()
+	}
+	want := g.Domain.Volume()
+	if d := total - want; d > 1e-9 || d < -1e-9 {
+		t.Errorf("cells volume %v != domain volume %v", total, want)
+	}
+}
+
+func TestGridLocateConsistentWithCellBox(t *testing.T) {
+	g := mustGrid(t, Box(V(-2, -2, -2), V(2, 2, 2)), 5, 3, 4)
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n < 500; n++ {
+		p := V(rng.Float64()*4-2, rng.Float64()*4-2, rng.Float64()*4-2)
+		id := g.Locate(p)
+		if id < 0 {
+			t.Fatalf("Locate(%v) = -1 for in-domain point", p)
+		}
+		if !g.CellBox(id).ContainsClosed(p) {
+			t.Fatalf("cell %d box %v does not contain %v", id, g.CellBox(id), p)
+		}
+	}
+}
+
+func TestGridCellsInSphere(t *testing.T) {
+	g := mustGrid(t, Box(V(0, 0, 0), V(8, 8, 8)), 8, 8, 8)
+	// Small ball entirely inside one cell.
+	ids := g.CellsInSphere(nil, V(0.5, 0.5, 0.5), 0.2)
+	if len(ids) != 1 || ids[0] != g.Index(0, 0, 0) {
+		t.Errorf("small ball ids = %v", ids)
+	}
+	// Ball centred on a vertex touches 8 cells.
+	ids = g.CellsInSphere(nil, V(4, 4, 4), 0.4)
+	if len(ids) != 8 {
+		t.Errorf("vertex ball found %d cells, want 8", len(ids))
+	}
+	// Each returned cell really intersects.
+	for _, id := range ids {
+		if !g.CellBox(id).IntersectsSphere(V(4, 4, 4), 0.4) {
+			t.Errorf("cell %d reported but does not intersect", id)
+		}
+	}
+	// Exhaustive check against brute force.
+	c, r := V(2.3, 5.1, 6.7), 1.9
+	got := map[int]bool{}
+	for _, id := range g.CellsInSphere(nil, c, r) {
+		got[id] = true
+	}
+	for id := 0; id < g.Len(); id++ {
+		want := g.CellBox(id).IntersectsSphere(c, r)
+		if got[id] != want {
+			t.Errorf("cell %d: CellsInSphere=%v brute=%v", id, got[id], want)
+		}
+	}
+	// Ball outside the domain near the edge still clamps safely.
+	ids = g.CellsInSphere(nil, V(-1, -1, -1), 0.5)
+	if len(ids) != 0 {
+		t.Errorf("outside ball returned %v", ids)
+	}
+	if got := g.CellsInSphere(nil, V(1, 1, 1), -1); len(got) != 0 {
+		t.Errorf("negative radius returned %v", got)
+	}
+}
+
+func TestGridFlatAxis(t *testing.T) {
+	// Quasi-2D Hele-Shaw style grid: single cell in z.
+	g := mustGrid(t, Box(V(0, 0, 0), V(4, 4, 0.1)), 4, 4, 1)
+	id := g.Locate(V(1.5, 2.5, 0.05))
+	if id != g.Index(1, 2, 0) {
+		t.Errorf("Locate = %d", id)
+	}
+}
+
+func TestGridCellSizeAndCenter(t *testing.T) {
+	g := mustGrid(t, Box(V(0, 0, 0), V(4, 2, 1)), 4, 2, 1)
+	if got := g.CellSize(); got != V(1, 1, 1) {
+		t.Errorf("CellSize = %v", got)
+	}
+	if got := g.CellCenter(g.Index(2, 1, 0)); got != V(2.5, 1.5, 0.5) {
+		t.Errorf("CellCenter = %v", got)
+	}
+	// CellCenter agrees with CellBox.Center for every cell.
+	for id := 0; id < g.Len(); id++ {
+		if g.CellCenter(id) != g.CellBox(id).Center() {
+			t.Fatalf("centre mismatch at cell %d", id)
+		}
+	}
+}

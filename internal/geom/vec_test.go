@@ -1,0 +1,100 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Max(1, math.Abs(a)+math.Abs(b)) }
+
+func TestVecArithmetic(t *testing.T) {
+	v := V(1, 2, 3)
+	w := V(4, -5, 6)
+	if got := v.Add(w); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Mul(w); got != V(4, -10, 18) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := v.Dot(w); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestVecNorm(t *testing.T) {
+	v := V(3, 4, 0)
+	if !almostEq(v.Norm(), 5) {
+		t.Errorf("Norm = %v, want 5", v.Norm())
+	}
+	if !almostEq(v.Norm2(), 25) {
+		t.Errorf("Norm2 = %v, want 25", v.Norm2())
+	}
+	if !almostEq(v.Dist(V(0, 0, 0)), 5) {
+		t.Errorf("Dist = %v, want 5", v.Dist(V(0, 0, 0)))
+	}
+}
+
+func TestVecAxis(t *testing.T) {
+	v := V(7, 8, 9)
+	for a, want := range []float64{7, 8, 9} {
+		if got := v.Axis(a); got != want {
+			t.Errorf("Axis(%d) = %v, want %v", a, got, want)
+		}
+	}
+	if got := v.WithAxis(1, -1); got != V(7, -1, 9) {
+		t.Errorf("WithAxis = %v", got)
+	}
+}
+
+func TestVecAxisPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Axis(3) did not panic")
+		}
+	}()
+	V(0, 0, 0).Axis(3)
+}
+
+func TestVecMinMaxClamp(t *testing.T) {
+	v := V(1, 5, -2)
+	w := V(3, 2, 0)
+	if got := v.Min(w); got != V(1, 2, -2) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := v.Max(w); got != V(3, 5, 0) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := V(10, -10, 0.5).Clamp(V(0, 0, 0), V(1, 1, 1)); got != V(1, 0, 0.5) {
+		t.Errorf("Clamp = %v", got)
+	}
+}
+
+func TestVecAddSubRoundTripProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		v, w := V(ax, ay, az), V(bx, by, bz)
+		got := v.Add(w).Sub(w)
+		// floating point: require closeness, not equality
+		return got.Sub(v).Norm() <= 1e-9*(1+v.Norm()+w.Norm())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecDotSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		v, w := V(ax, ay, az), V(bx, by, bz)
+		a, b := v.Dot(w), w.Dot(v)
+		return a == b || (math.IsNaN(a) && math.IsNaN(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"picpredict/internal/fluid"
+	"picpredict/internal/geom"
+	"picpredict/internal/mesh"
+	"picpredict/internal/particle"
+	"picpredict/internal/pic"
+)
+
+// The instrumented-application path of the Model Generator (§II-B: "we
+// instrument the source code and benchmark key computation kernels of PIC
+// application for various input parameter combinations"): instead of the
+// synthetic kernel bodies, AppSamples runs the real PIC solver with
+// per-phase timing across a configuration sweep and records one Sample per
+// kernel per configuration — with the workload parameters as actually
+// realised (ghost counts are measured, not prescribed).
+
+// AppBenchConfig drives instrumented-application benchmarking.
+type AppBenchConfig struct {
+	// Np lists the particle counts to benchmark.
+	Np []int
+	// N lists the per-element grid resolutions.
+	N []int
+	// Filter lists the projection filter sizes in element widths.
+	Filter []float64
+	// ElementsPerAxis sizes the (square, quasi-2D) benchmark mesh; the
+	// default (when 0) is 32.
+	ElementsPerAxis int
+	// Ranks is the decomposition used by create_ghost_particles; the
+	// default is 16.
+	Ranks int
+	// StepsPerSample averages each measurement over this many solver
+	// iterations after one warm-up step; the default is 3.
+	StepsPerSample int
+	// Seed drives particle placement.
+	Seed int64
+}
+
+func (c AppBenchConfig) withDefaults() AppBenchConfig {
+	if len(c.Np) == 0 {
+		c.Np = []int{1000, 4000, 16000}
+	}
+	if len(c.N) == 0 {
+		c.N = []int{3, 5}
+	}
+	if len(c.Filter) == 0 {
+		c.Filter = []float64{0.5, 1.5}
+	}
+	if c.ElementsPerAxis <= 0 {
+		c.ElementsPerAxis = 32
+	}
+	if c.Ranks <= 0 {
+		c.Ranks = 16
+	}
+	if c.StepsPerSample <= 0 {
+		c.StepsPerSample = 3
+	}
+	return c
+}
+
+// AppSamples benchmarks the instrumented PIC application over the full
+// cross-product of the configuration sweep and returns per-kernel samples
+// ready for TrainFromSamples.
+func AppSamples(cfg AppBenchConfig) (map[string][]Sample, error) {
+	cfg = cfg.withDefaults()
+	out := make(map[string][]Sample, 5)
+	for _, np := range cfg.Np {
+		for _, n := range cfg.N {
+			for _, filter := range cfg.Filter {
+				smps, err := benchAppConfig(cfg, np, n, filter)
+				if err != nil {
+					return nil, err
+				}
+				for name, s := range smps {
+					out[name] = append(out[name], s)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// benchAppConfig measures one (Np, N, filter) configuration.
+func benchAppConfig(cfg AppBenchConfig, np, n int, filterElems float64) (map[string]Sample, error) {
+	e := cfg.ElementsPerAxis
+	domain := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 0.01))
+	m, err := mesh.New(domain, e, e, 1, n)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: app bench mesh: %w", err)
+	}
+	elemWidth := 1.0 / float64(e)
+	absFilter := filterElems * elemWidth
+
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(np)*7 + int64(n)*131 + int64(filterElems*1000)))
+	ps := particle.New(np)
+	for i := 0; i < np; i++ {
+		ps.Add(int64(i), geom.V(rng.Float64(), rng.Float64(), rng.Float64()*0.01), geom.Vec3{}, 1e-4, 1200)
+	}
+	params := pic.Params{
+		Dt:              0.01,
+		FilterRadius:    absFilter,
+		Mu:              1.8e-5,
+		WallRestitution: 0.5,
+	}
+	flow := &fluid.DiaphragmBurst{Origin: domain.Center(), Amp: 0.001, Decay: 1, Core: 0.05}
+	solver, err := pic.NewSolver(m, flow, ps, params)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: app bench solver: %w", err)
+	}
+	decomp, err := mesh.Decompose(m, cfg.Ranks)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: app bench decomposition: %w", err)
+	}
+
+	// Warm-up step (caches, allocator), then timed steps.
+	solver.StepInstrumented()
+	var interp, eqsolve, push, project, ghosts float64
+	var ngpTotal int
+	for s := 0; s < cfg.StepsPerSample; s++ {
+		t := solver.StepInstrumented()
+		interp += t.Interpolation.Seconds()
+		eqsolve += t.EqSolver.Seconds() + t.Collisions.Seconds()
+		push += t.Pusher.Seconds()
+		project += t.Projection.Seconds()
+		_, total, elapsed := solver.TimedCreateGhostParticles(decomp)
+		ghosts += elapsed.Seconds()
+		ngpTotal += total
+	}
+	div := float64(cfg.StepsPerSample)
+	// Realised workload: Ngp is measured from the run, not prescribed.
+	w := Workload{
+		Np:     float64(np),
+		Ngp:    float64(ngpTotal) / div,
+		Nel:    float64(m.NumElements()),
+		N:      float64(n),
+		Filter: filterElems,
+	}
+	return map[string]Sample{
+		Interpolation.Name: {W: w, Time: interp / div},
+		EqSolver.Name:      {W: w, Time: eqsolve / div},
+		Pusher.Name:        {W: w, Time: push / div},
+		Projection.Name:    {W: w, Time: project / div},
+		CreateGhosts.Name:  {W: w, Time: ghosts / div},
+	}, nil
+}

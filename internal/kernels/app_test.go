@@ -1,0 +1,131 @@
+package kernels
+
+import (
+	"testing"
+
+	"picpredict/internal/perfmodel"
+)
+
+func TestAppSamplesShape(t *testing.T) {
+	cfg := AppBenchConfig{
+		Np:              []int{500, 2000},
+		N:               []int{3},
+		Filter:          []float64{0.5, 1.5},
+		ElementsPerAxis: 16,
+		StepsPerSample:  2,
+		Seed:            1,
+	}
+	samples, err := AppSamples(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("kernels sampled: %d", len(samples))
+	}
+	for _, k := range All() {
+		smps := samples[k.Name]
+		if len(smps) != 4 { // 2 Np × 1 N × 2 Filter
+			t.Fatalf("%s: %d samples, want 4", k.Name, len(smps))
+		}
+		for _, s := range smps {
+			if s.Time < 0 {
+				t.Errorf("%s: negative time %v", k.Name, s.Time)
+			}
+			if s.W.Np <= 0 || s.W.Nel != 256 {
+				t.Errorf("%s: workload %+v", k.Name, s.W)
+			}
+		}
+	}
+	// Realised ghost counts grow with the filter (same Np, N).
+	cg := samples[CreateGhosts.Name]
+	if cg[1].W.Ngp <= cg[0].W.Ngp {
+		t.Errorf("ghosts did not grow with filter: %v vs %v", cg[0].W.Ngp, cg[1].W.Ngp)
+	}
+}
+
+func TestAppSamplesTimesScaleWithNp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark")
+	}
+	cfg := AppBenchConfig{
+		Np:              []int{1000, 16000},
+		N:               []int{4},
+		Filter:          []float64{1},
+		ElementsPerAxis: 24,
+		StepsPerSample:  3,
+		Seed:            2,
+	}
+	samples, err := AppSamples(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pusher is strictly per-particle work: 16× the particles must
+	// cost clearly more (allow big slack for wall-clock noise).
+	push := samples[Pusher.Name]
+	if push[1].Time < 3*push[0].Time {
+		t.Errorf("pusher time did not scale with Np: %v -> %v", push[0].Time, push[1].Time)
+	}
+}
+
+func TestTrainFromAppSamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock training")
+	}
+	samples, err := AppSamples(AppBenchConfig{
+		Np:              []int{500, 2000, 8000},
+		N:               []int{3, 5},
+		Filter:          []float64{0.5, 1.5},
+		ElementsPerAxis: 24,
+		StepsPerSample:  3,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := TrainFromSamples(samples, TrainOptions{Seed: 4, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 5 {
+		t.Fatalf("models: %d", len(models))
+	}
+	// Each model fits its own training data within wall-clock-noise bounds
+	// and predicts more time for more particles.
+	for name, model := range models {
+		smps := samples[name]
+		var x [][]float64
+		var y []float64
+		for _, s := range smps {
+			x = append(x, s.W.Features())
+			y = append(y, s.Time)
+		}
+		mape, err := perfmodel.EvalMAPE(model, x, y)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if mape > 60 {
+			t.Errorf("%s: training-data MAPE %.1f%% (model %s)", name, mape, model)
+		}
+		small := model.Predict(Workload{Np: 500, Ngp: 50, Nel: 576, N: 4, Filter: 1}.Features())
+		large := model.Predict(Workload{Np: 50000, Ngp: 5000, Nel: 576, N: 4, Filter: 1}.Features())
+		if large <= small {
+			t.Errorf("%s: prediction not increasing in Np (%v vs %v)", name, small, large)
+		}
+	}
+}
+
+func TestTrainFromSamplesEmpty(t *testing.T) {
+	if _, err := FitKernel("projection", nil, TrainOptions{}); err == nil {
+		t.Error("empty samples accepted")
+	}
+}
+
+func TestAppBenchConfigDefaults(t *testing.T) {
+	c := AppBenchConfig{}.withDefaults()
+	if len(c.Np) == 0 || len(c.N) == 0 || len(c.Filter) == 0 {
+		t.Error("sweep defaults missing")
+	}
+	if c.ElementsPerAxis != 32 || c.Ranks != 16 || c.StepsPerSample != 3 {
+		t.Errorf("defaults: %+v", c)
+	}
+}

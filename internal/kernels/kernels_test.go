@@ -1,0 +1,156 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestAllKernelsNamedAndPositive(t *testing.T) {
+	w := Workload{Np: 1000, Ngp: 100, Nel: 50, N: 5, Filter: 2}
+	seen := map[string]bool{}
+	for _, k := range All() {
+		if k.Name == "" || seen[k.Name] {
+			t.Errorf("kernel name %q missing or duplicated", k.Name)
+		}
+		seen[k.Name] = true
+		if c := k.TrueCost(w); c <= 0 || math.IsNaN(c) {
+			t.Errorf("%s: TrueCost = %v", k.Name, c)
+		}
+		if c := k.TrueCost(Workload{}); c <= 0 {
+			t.Errorf("%s: zero-workload cost = %v, want small positive overhead", k.Name, c)
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("kernel count = %d, want 5", len(seen))
+	}
+}
+
+func TestByName(t *testing.T) {
+	k, err := ByName("projection")
+	if err != nil || k.Name != "projection" {
+		t.Errorf("ByName(projection) = %v, %v", k.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestCostMonotonicity(t *testing.T) {
+	base := Workload{Np: 1000, Ngp: 200, Nel: 50, N: 5, Filter: 2}
+	for _, k := range All() {
+		more := base
+		more.Np *= 2
+		if k.TrueCost(more) <= k.TrueCost(base) {
+			t.Errorf("%s: cost not increasing in Np", k.Name)
+		}
+	}
+	// Filter-size sensitivity: projection and ghost creation grow with
+	// filter, pusher does not (Fig 10b's create_ghost_particles focus).
+	big := base
+	big.Filter = 6
+	if Projection.TrueCost(big) <= Projection.TrueCost(base) {
+		t.Error("projection cost not increasing in filter")
+	}
+	if CreateGhosts.TrueCost(big) <= CreateGhosts.TrueCost(base) {
+		t.Error("create_ghost_particles cost not increasing in filter")
+	}
+	if Pusher.TrueCost(big) != Pusher.TrueCost(base) {
+		t.Error("pusher cost depends on filter")
+	}
+	// Ghost sensitivity: create_ghost_particles and projection grow with
+	// Ngp.
+	gp := base
+	gp.Ngp *= 10
+	if CreateGhosts.TrueCost(gp) <= CreateGhosts.TrueCost(base) {
+		t.Error("create_ghost_particles not increasing in Ngp")
+	}
+	if Projection.TrueCost(gp) <= Projection.TrueCost(base) {
+		t.Error("projection not increasing in Ngp")
+	}
+}
+
+func TestSyntheticMeasurerDeterministicAndCalibrated(t *testing.T) {
+	w := Workload{Np: 5000, Ngp: 500, Nel: 100, N: 5, Filter: 2}
+	a := NewSynthetic(0.105, 42)
+	b := NewSynthetic(0.105, 42)
+	for i := 0; i < 10; i++ {
+		if a.Measure(Pusher, w) != b.Measure(Pusher, w) {
+			t.Fatal("synthetic measurer not deterministic")
+		}
+	}
+	// Mean absolute relative deviation ≈ sigma·sqrt(2/π) ≈ 8.4 %.
+	m := NewSynthetic(0.105, 7)
+	sum, n := 0.0, 5000
+	truth := Pusher.TrueCost(w)
+	for i := 0; i < n; i++ {
+		sum += math.Abs(m.Measure(Pusher, w)-truth) / truth
+	}
+	mad := sum / float64(n)
+	if mad < 0.06 || mad > 0.11 {
+		t.Errorf("mean abs deviation = %v, want ≈0.084", mad)
+	}
+}
+
+func TestSyntheticMeasurerNeverNegative(t *testing.T) {
+	m := NewSynthetic(2.0, 3) // absurd noise
+	w := Workload{Np: 10}
+	for i := 0; i < 1000; i++ {
+		if v := m.Measure(Pusher, w); v <= 0 {
+			t.Fatalf("measurement %d not positive: %v", i, v)
+		}
+	}
+}
+
+func TestGenerateSweep(t *testing.T) {
+	s := Sweep{
+		Np:     []float64{100, 1000},
+		Ngp:    []float64{0, 50},
+		Filter: []float64{1, 2, 3},
+	}
+	out := Generate(Projection, NewSynthetic(0.05, 1), s)
+	if len(out) != 2*2*3 {
+		t.Fatalf("samples = %d, want 12", len(out))
+	}
+	for _, smp := range out {
+		if smp.Time <= 0 {
+			t.Errorf("non-positive time %v for %+v", smp.Time, smp.W)
+		}
+	}
+	// Unswept dimensions default to zero.
+	if out[0].W.Nel != 0 || out[0].W.N != 0 {
+		t.Errorf("unswept dims non-zero: %+v", out[0].W)
+	}
+}
+
+func TestFeaturesMatchNames(t *testing.T) {
+	w := Workload{Np: 1, Ngp: 2, Nel: 3, N: 4, Filter: 5}
+	f := w.Features()
+	names := FeatureNames()
+	if len(f) != len(names) {
+		t.Fatalf("features %d names %d", len(f), len(names))
+	}
+	want := []float64{1, 2, 3, 4, 5}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Errorf("feature %s = %v, want %v", names[i], f[i], want[i])
+		}
+	}
+}
+
+func TestWallClockMeasuresScaling(t *testing.T) {
+	wc := &WallClock{MinDuration: 2 * time.Millisecond}
+	small := wc.Measure(Pusher, Workload{Np: 1000})
+	large := wc.Measure(Pusher, Workload{Np: 100000})
+	if large <= small {
+		t.Errorf("wall clock: 100k particles (%v) not slower than 1k (%v)", large, small)
+	}
+}
+
+func TestExecReturnsChecksum(t *testing.T) {
+	for _, k := range All() {
+		if v := k.Exec(Workload{Np: 100, Ngp: 10, Nel: 5, N: 3, Filter: 1}); v == 0 || math.IsNaN(v) {
+			t.Errorf("%s: Exec checksum = %v", k.Name, v)
+		}
+	}
+}

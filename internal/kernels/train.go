@@ -1,0 +1,131 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"picpredict/internal/perfmodel"
+)
+
+// DefaultSweep returns the benchmarking campaign used to train the CMT-nek
+// kernel models: workload parameter combinations spanning the ranges the
+// Hele-Shaw study visits (§IV-A "benchmarked for multiple parameter
+// combinations").
+func DefaultSweep() Sweep {
+	return Sweep{
+		Np:     []float64{0, 10, 50, 200, 1000, 5000, 20000, 60000},
+		Ngp:    []float64{0, 10, 100, 1000, 5000},
+		Nel:    []float64{16, 64, 256},
+		N:      []float64{3, 4, 5, 7, 9},
+		Filter: []float64{0.5, 1, 2, 3, 5},
+	}
+}
+
+// TrainOptions tunes model training.
+type TrainOptions struct {
+	// Sweep is the benchmark campaign; zero value takes DefaultSweep.
+	Sweep Sweep
+	// Seed drives symbolic-regression randomness.
+	Seed int64
+	// Fast shrinks the symbolic search for quick tests.
+	Fast bool
+}
+
+// Models maps kernel name → fitted performance model over the feature order
+// of Workload.Features.
+type Models map[string]perfmodel.Model
+
+// Train runs the Model Generator (§II-B) for every kernel: it benchmarks
+// each kernel over the sweep with the given measurer and fits a model —
+// linear regression over a polynomial basis where that suffices
+// (single-dominant-parameter kernels) and symbolic regression for the
+// multi-parameter kernels, exactly the split the paper describes.
+func Train(m Measurer, opts TrainOptions) (Models, error) {
+	sweep := opts.Sweep
+	if len(sweep.Np) == 0 && len(sweep.Ngp) == 0 && len(sweep.Nel) == 0 && len(sweep.N) == 0 && len(sweep.Filter) == 0 {
+		sweep = DefaultSweep()
+	}
+	out := make(Models, 5)
+	for _, k := range All() {
+		model, err := trainOne(k, m, sweep, opts)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: training %s: %w", k.Name, err)
+		}
+		out[k.Name] = model
+	}
+	return out, nil
+}
+
+func trainOne(k Kernel, m Measurer, sweep Sweep, opts TrainOptions) (perfmodel.Model, error) {
+	// Restrict the sweep to the parameters that matter per kernel, so the
+	// training grid stays compact and the fits stay identifiable.
+	s := sweep
+	switch k.Name {
+	case Pusher.Name, EqSolver.Name:
+		s = Sweep{Np: sweep.Np}
+	case Interpolation.Name:
+		s = Sweep{Np: sweep.Np, N: sweep.N}
+	case Projection.Name:
+		s = Sweep{Np: sweep.Np, Ngp: sweep.Ngp, N: sweep.N, Filter: sweep.Filter}
+	case CreateGhosts.Name:
+		s = Sweep{Np: sweep.Np, Ngp: sweep.Ngp, Filter: sweep.Filter}
+	}
+	return FitKernel(k.Name, Generate(k, m, s), opts)
+}
+
+// TrainFromSamples fits one model per kernel from externally collected
+// benchmark samples — the path used when the samples come from the
+// instrumented application (AppSamples) rather than the synthetic kernel
+// bodies. Kernels without samples are absent from the result.
+func TrainFromSamples(samples map[string][]Sample, opts TrainOptions) (Models, error) {
+	out := make(Models, len(samples))
+	for name, smps := range samples {
+		model, err := FitKernel(name, smps, opts)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: training %s: %w", name, err)
+		}
+		out[name] = model
+	}
+	return out, nil
+}
+
+// FitKernel fits the model for one kernel from benchmark samples, choosing
+// linear regression for the single-parameter kernels and symbolic
+// regression for the multi-parameter ones (§II-B's split).
+func FitKernel(name string, samples []Sample, opts TrainOptions) (perfmodel.Model, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("kernels: no samples for %s", name)
+	}
+	x := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, smp := range samples {
+		x[i] = smp.W.Features()
+		y[i] = smp.Time
+	}
+
+	names := FeatureNames()
+	switch name {
+	case Pusher.Name:
+		// Single-parameter, linear in N_p: plain linear regression (§IV-A).
+		basis := []perfmodel.BasisFunc{func(v []float64) float64 { return v[0] }}
+		return perfmodel.FitLinearRelative(x, y, basis, []string{"Np"})
+	case EqSolver.Name:
+		// Single parameter with a mild non-linearity: linear regression
+		// over an augmented basis.
+		basis := []perfmodel.BasisFunc{
+			func(v []float64) float64 { return v[0] },
+			func(v []float64) float64 { return v[0] * math.Log1p(v[0]) },
+		}
+		return perfmodel.FitLinearRelative(x, y, basis, []string{"Np", "Np·log1p(Np)"})
+	default:
+		// Multi-parameter kernels: symbolic regression (§II-B).
+		so := perfmodel.SymbolicOptions{
+			Seed:         opts.Seed + int64(len(name)),
+			FeatureNames: names,
+		}
+		if opts.Fast {
+			so.Population, so.Generations, so.Restarts = 200, 60, 3
+		}
+		return perfmodel.FitSymbolic(x, y, so)
+	}
+}

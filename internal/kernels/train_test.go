@@ -1,0 +1,71 @@
+package kernels
+
+import (
+	"testing"
+
+	"picpredict/internal/perfmodel"
+)
+
+func trainFast(t *testing.T, sigma float64) Models {
+	t.Helper()
+	ms, err := Train(NewSynthetic(sigma, 99), TrainOptions{Seed: 1, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func TestTrainProducesAllModels(t *testing.T) {
+	ms := trainFast(t, 0.02)
+	for _, k := range All() {
+		if ms[k.Name] == nil {
+			t.Errorf("no model for %s", k.Name)
+		}
+	}
+	if len(ms) != 5 {
+		t.Errorf("model count = %d", len(ms))
+	}
+}
+
+func TestTrainedModelsAccurate(t *testing.T) {
+	// Low-noise training: every model must track its kernel's true cost
+	// closely on a validation grid distinct from the training sweep.
+	ms := trainFast(t, 0.02)
+	valid := Sweep{
+		Np:     []float64{75, 700, 9000, 40000},
+		Ngp:    []float64{25, 600, 2500},
+		N:      []float64{4, 6, 8},
+		Filter: []float64{0.8, 2.5, 4},
+	}
+	for _, k := range All() {
+		samples := Generate(k, noiseless{}, valid)
+		var x [][]float64
+		var y []float64
+		for _, s := range samples {
+			x = append(x, s.W.Features())
+			y = append(y, s.Time)
+		}
+		mape, err := perfmodel.EvalMAPE(ms[k.Name], x, y)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if mape > 20 {
+			t.Errorf("%s: validation MAPE %.1f%% (model %s)", k.Name, mape, ms[k.Name])
+		}
+	}
+}
+
+// noiseless measures the exact true cost.
+type noiseless struct{}
+
+func (noiseless) Measure(k Kernel, w Workload) float64 { return k.TrueCost(w) }
+
+func TestTrainPusherIsLinearModel(t *testing.T) {
+	ms := trainFast(t, 0.02)
+	if _, ok := ms[Pusher.Name].(*perfmodel.LinearModel); !ok {
+		t.Errorf("pusher model is %T, want LinearModel (single-parameter → linear regression)", ms[Pusher.Name])
+	}
+	if _, ok := ms[Projection.Name].(*perfmodel.SymbolicModel); !ok {
+		t.Errorf("projection model is %T, want SymbolicModel (multi-parameter → symbolic regression)", ms[Projection.Name])
+	}
+}

@@ -1,0 +1,31 @@
+package kernels
+
+import "time"
+
+// WallClock measures kernels by actually executing their representative
+// bodies and timing them — the path a user takes to train models against a
+// real machine instead of the synthetic testbed. Each measurement runs the
+// body enough times to exceed MinDuration, amortising timer resolution.
+type WallClock struct {
+	// MinDuration is the minimum total execution time per measurement;
+	// the default (when zero) is 1 ms.
+	MinDuration time.Duration
+
+	sink float64 // defeats dead-code elimination
+}
+
+// Measure implements Measurer; it returns the mean wall-clock seconds of
+// one kernel execution at workload w.
+func (wc *WallClock) Measure(k Kernel, w Workload) float64 {
+	minDur := wc.MinDuration
+	if minDur <= 0 {
+		minDur = time.Millisecond
+	}
+	reps := 0
+	start := time.Now()
+	for time.Since(start) < minDur {
+		wc.sink += k.Exec(w)
+		reps++
+	}
+	return time.Since(start).Seconds() / float64(reps)
+}

@@ -1,0 +1,97 @@
+package mapping
+
+import (
+	"math"
+
+	"picpredict/internal/geom"
+)
+
+// binIndex is a uniform-grid spatial index over bin bounding boxes,
+// rebuilt after every Assign. Cells bucket the indices of bins whose box
+// overlaps them; a sphere query visits only the cells its bounding cube
+// touches. Duplicate candidates are possible (a bin can span cells) and are
+// deduplicated by the caller's rank-set logic.
+type binIndex struct {
+	origin     geom.Vec3
+	cell       float64
+	nx, ny, nz int
+	buckets    [][]int32
+}
+
+// buildBinIndex sizes the grid so the average cell holds a handful of bins.
+func buildBinIndex(bins []Bin) *binIndex {
+	box := geom.EmptyBox()
+	for _, b := range bins {
+		box = box.Union(b.Box)
+	}
+	if box.Empty() {
+		return &binIndex{cell: 1, nx: 1, ny: 1, nz: 1, buckets: make([][]int32, 1)}
+	}
+	ext := box.Extent()
+	// Target roughly one bin per cell in the occupied plane.
+	target := math.Sqrt(math.Max(ext.X*ext.Y, 1e-300) / math.Max(float64(len(bins)), 1))
+	cell := math.Max(target, 1e-9)
+	idx := &binIndex{origin: box.Lo, cell: cell}
+	idx.nx = gridDim(ext.X, cell)
+	idx.ny = gridDim(ext.Y, cell)
+	idx.nz = gridDim(ext.Z, cell)
+	idx.buckets = make([][]int32, idx.nx*idx.ny*idx.nz)
+	for i, b := range bins {
+		ilo, jlo, klo := idx.cellOf(b.Box.Lo)
+		ihi, jhi, khi := idx.cellOf(b.Box.Hi)
+		for k := klo; k <= khi; k++ {
+			for j := jlo; j <= jhi; j++ {
+				for ii := ilo; ii <= ihi; ii++ {
+					c := ii + idx.nx*(j+idx.ny*k)
+					idx.buckets[c] = append(idx.buckets[c], int32(i))
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func gridDim(ext, cell float64) int {
+	n := int(ext/cell) + 1
+	if n < 1 {
+		n = 1
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	return n
+}
+
+// cellOf returns the clamped cell coordinates containing p.
+func (idx *binIndex) cellOf(p geom.Vec3) (i, j, k int) {
+	i = clampDim(int((p.X-idx.origin.X)/idx.cell), idx.nx)
+	j = clampDim(int((p.Y-idx.origin.Y)/idx.cell), idx.ny)
+	k = clampDim(int((p.Z-idx.origin.Z)/idx.cell), idx.nz)
+	return
+}
+
+func clampDim(x, n int) int {
+	if x < 0 {
+		return 0
+	}
+	if x >= n {
+		return n - 1
+	}
+	return x
+}
+
+// candidates appends the indices of bins possibly intersecting the ball
+// (pos, radius); duplicates possible.
+func (idx *binIndex) candidates(dst []int32, pos geom.Vec3, radius float64) []int32 {
+	r := geom.V(radius, radius, radius)
+	ilo, jlo, klo := idx.cellOf(pos.Sub(r))
+	ihi, jhi, khi := idx.cellOf(pos.Add(r))
+	for k := klo; k <= khi; k++ {
+		for j := jlo; j <= jhi; j++ {
+			for i := ilo; i <= ihi; i++ {
+				dst = append(dst, idx.buckets[i+idx.nx*(j+idx.ny*k)]...)
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,297 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"picpredict/internal/geom"
+)
+
+// SplitPolicy selects where the recursive planar cut places its plane.
+type SplitPolicy int
+
+const (
+	// SplitMedian cuts at the median particle coordinate, halving the
+	// particle count — CMT-nek's choice, optimising load balance.
+	SplitMedian SplitPolicy = iota
+	// SplitMidpoint cuts at the spatial midpoint of the bin box — cheaper
+	// per cut but can leave skewed counts; kept for the ablation study.
+	SplitMidpoint
+)
+
+// String implements fmt.Stringer.
+func (p SplitPolicy) String() string {
+	switch p {
+	case SplitMedian:
+		return "median"
+	case SplitMidpoint:
+		return "midpoint"
+	default:
+		return fmt.Sprintf("SplitPolicy(%d)", int(p))
+	}
+}
+
+// Bin is one leaf of the recursive planar cut: a set of particles with its
+// tight bounding box.
+type Bin struct {
+	// Box is the tight bounding box of the bin's particles.
+	Box geom.AABB
+	// Count is the number of particles in the bin.
+	Count int
+	// Rank is the processor the bin is assigned to.
+	Rank int
+}
+
+// BinMapper implements bin-based mapping (§III-C): each frame, the particle
+// boundary (bounding box of all particles) is recursively partitioned by
+// planar cuts until either every bin's size has reached the threshold bin
+// size or the number of bins equals the processor count; bins are then
+// distributed to processors.
+//
+// The threshold bin size is the projection filter size (§IV-D): cutting
+// below the filter support would only create bins whose particles interact
+// across the cut anyway.
+type BinMapper struct {
+	// NumRanks is the processor count R; at most this many bins are
+	// created unless Relaxed is set.
+	NumRanks int
+	// Threshold is the minimum bin extent (threshold bin size); a bin
+	// whose longest side is at or below it is never split further.
+	Threshold float64
+	// Relaxed removes the processor-count termination so the cut runs to
+	// the threshold alone. The paper uses this mode ("we have relaxed the
+	// processor count limitation") to find the maximum useful processor
+	// count for a problem (Fig 6); relaxed bins are assigned to ranks
+	// round-robin.
+	Relaxed bool
+	// Policy selects the cut placement; the zero value is SplitMedian.
+	Policy SplitPolicy
+
+	// results of the most recent Assign
+	lastBins []Bin
+
+	// scratch
+	perm      []int
+	seenRanks map[int]struct{}
+	index     *binIndex // ghost-query accelerator, rebuilt per Assign
+	candBuf   []int32
+}
+
+// NewBinMapper constructs a bin mapper for ranks processors with the given
+// threshold bin size.
+func NewBinMapper(ranks int, threshold float64) *BinMapper {
+	return &BinMapper{NumRanks: ranks, Threshold: threshold}
+}
+
+// Name implements Mapper.
+func (*BinMapper) Name() string { return "bin" }
+
+// Ranks implements Mapper.
+func (bm *BinMapper) Ranks() int { return bm.NumRanks }
+
+// Bins returns the bins produced by the most recent Assign call. The slice
+// is reused across calls.
+func (bm *BinMapper) Bins() []Bin { return bm.lastBins }
+
+// NumBins returns the number of bins produced by the most recent Assign.
+func (bm *BinMapper) NumBins() int { return len(bm.lastBins) }
+
+// binRange is a work-queue item: a contiguous range of bm.perm plus its box.
+type binRange struct {
+	lo, hi int // perm[lo:hi]
+	box    geom.AABB
+	seq    int // creation order, for deterministic output ordering
+}
+
+// Assign implements Mapper.
+func (bm *BinMapper) Assign(dst []int, pos []geom.Vec3) error {
+	if len(dst) != len(pos) {
+		return fmt.Errorf("mapping: dst length %d != positions %d", len(dst), len(pos))
+	}
+	if bm.NumRanks <= 0 {
+		return fmt.Errorf("mapping: bin mapper needs positive rank count, got %d", bm.NumRanks)
+	}
+	if bm.Threshold < 0 {
+		return fmt.Errorf("mapping: negative threshold %g", bm.Threshold)
+	}
+	bm.lastBins = bm.lastBins[:0]
+	bm.index = nil // bins change; the ghost index rebuilds lazily
+	if len(pos) == 0 {
+		return nil
+	}
+	if cap(bm.perm) < len(pos) {
+		bm.perm = make([]int, len(pos))
+	}
+	perm := bm.perm[:len(pos)]
+	for i := range perm {
+		perm[i] = i
+	}
+
+	maxBins := bm.NumRanks
+	if bm.Relaxed {
+		maxBins = len(pos) // effectively unlimited
+	}
+	// Breadth-first recursive planar cut: bins split in creation order, so
+	// the partition deepens level by level, as in CMT-nek's recursive
+	// decomposition. Bins already at the threshold bin size (or holding a
+	// single particle) are final and move to done.
+	//
+	// The processor-count termination is checked at *level boundaries*:
+	// once a level starts, it completes, so the final bin count may land
+	// between R and 2R. When it exceeds R, bins fold onto processors
+	// round-robin by creation order — which pairs the earliest-retired
+	// (densest) bins with the deepest (sparsest) ones. This is the
+	// mechanism behind the paper's Fig 5 dip: as soon as the particle
+	// boundary grows enough that the threshold yields more bins than
+	// processors, the smallest configuration must co-locate bins and its
+	// peak workload rises above the larger configurations'.
+	seq := 0
+	var done []binRange
+	queue := []binRange{{lo: 0, hi: len(pos), box: geom.BoundingBox(pos), seq: seq}}
+	head := 0
+	levelEnd := len(queue)
+	for head < len(queue) {
+		if head == levelEnd {
+			// Level boundary: stop deepening once the bin count has
+			// reached the processor budget.
+			if len(done)+(len(queue)-head) >= maxBins {
+				break
+			}
+			levelEnd = len(queue)
+		}
+		top := queue[head]
+		head++
+		if top.box.MaxExtent() <= bm.Threshold || top.hi-top.lo < 2 {
+			done = append(done, top)
+			continue
+		}
+		l, r := bm.split(top, pos, perm)
+		seq++
+		l.seq = seq
+		seq++
+		r.seq = seq
+		queue = append(queue, l, r)
+	}
+
+	// Stable bin order: sort by creation sequence for determinism, then
+	// assign ranks round-robin (1:1 while bins ≤ R).
+	bins := append(done, queue[head:]...)
+	sort.Slice(bins, func(a, b int) bool { return bins[a].seq < bins[b].seq })
+	for i, b := range bins {
+		rank := i % bm.NumRanks
+		for _, pi := range perm[b.lo:b.hi] {
+			dst[pi] = rank
+		}
+		bm.lastBins = append(bm.lastBins, Bin{Box: b.box, Count: b.hi - b.lo, Rank: rank})
+	}
+	return nil
+}
+
+// split cuts bin b into two halves by a planar cut along the longest axis
+// of its (tight) box, reordering perm[lo:hi] so each half is contiguous.
+// Median cuts use a deterministic quickselect — O(n) per cut instead of a
+// full sort — which partitions by the composite key (coordinate, index), so
+// the resulting half-sets are identical to what a stable sort would give.
+func (bm *BinMapper) split(b binRange, pos []geom.Vec3, perm []int) (binRange, binRange) {
+	axis := b.box.LongestAxis()
+	seg := perm[b.lo:b.hi]
+	var cut int
+	switch bm.Policy {
+	case SplitMidpoint:
+		mid := b.box.Center().Axis(axis)
+		cut = partitionByValue(seg, pos, axis, mid)
+		if cut == 0 || cut == len(seg) {
+			cut = len(seg) / 2 // degenerate midpoint: fall back to median
+			selectK(seg, pos, axis, cut)
+		}
+	default: // SplitMedian
+		cut = len(seg) / 2
+		selectK(seg, pos, axis, cut)
+	}
+	mkRange := func(lo, hi int) binRange {
+		box := geom.EmptyBox()
+		for _, pi := range perm[lo:hi] {
+			box = box.Extend(pos[pi])
+		}
+		return binRange{lo: lo, hi: hi, box: box}
+	}
+	return mkRange(b.lo, b.lo+cut), mkRange(b.lo+cut, b.hi)
+}
+
+// keyLess orders particles by (coordinate along axis, particle index) — a
+// strict total order, so selection is unambiguous even with coincident
+// particles.
+func keyLess(pos []geom.Vec3, axis, a, b int) bool {
+	ca, cb := pos[a].Axis(axis), pos[b].Axis(axis)
+	if ca != cb {
+		return ca < cb
+	}
+	return a < b
+}
+
+// selectK rearranges seg so its k smallest elements (by keyLess) occupy
+// seg[:k]. Iterative quickselect with median-of-three pivots; deterministic
+// because the key order is total.
+func selectK(seg []int, pos []geom.Vec3, axis, k int) {
+	lo, hi := 0, len(seg) // working window [lo, hi)
+	for hi-lo > 1 {
+		if k <= lo || k >= hi {
+			return
+		}
+		// Median-of-three pivot on the window.
+		mid := lo + (hi-lo)/2
+		a, b, c := seg[lo], seg[mid], seg[hi-1]
+		pivot := medianOf3(pos, axis, a, b, c)
+		// Three-way partition around the pivot key.
+		lt, i, gt := lo, lo, hi
+		for i < gt {
+			switch {
+			case keyLess(pos, axis, seg[i], pivot):
+				seg[lt], seg[i] = seg[i], seg[lt]
+				lt++
+				i++
+			case keyLess(pos, axis, pivot, seg[i]):
+				gt--
+				seg[i], seg[gt] = seg[gt], seg[i]
+			default: // equal (total order: only the pivot element itself)
+				i++
+			}
+		}
+		switch {
+		case k < lt:
+			hi = lt
+		case k >= gt:
+			lo = gt
+		default:
+			return // k lands in the equal band: done
+		}
+	}
+}
+
+func medianOf3(pos []geom.Vec3, axis, a, b, c int) int {
+	if keyLess(pos, axis, b, a) {
+		a, b = b, a
+	}
+	if keyLess(pos, axis, c, b) {
+		b = c
+		if keyLess(pos, axis, b, a) {
+			b = a
+		}
+	}
+	return b
+}
+
+// partitionByValue moves elements with coordinate < v to the front of seg
+// and returns their count.
+func partitionByValue(seg []int, pos []geom.Vec3, axis int, v float64) int {
+	cut := 0
+	for i := range seg {
+		if pos[seg[i]].Axis(axis) < v {
+			seg[cut], seg[i] = seg[i], seg[cut]
+			cut++
+		}
+	}
+	return cut
+}
+
+var _ Mapper = (*BinMapper)(nil)

@@ -1,0 +1,353 @@
+package mapping
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"picpredict/internal/geom"
+)
+
+func randomCloud(n int, seed int64, box geom.AABB) []geom.Vec3 {
+	rng := rand.New(rand.NewSource(seed))
+	e := box.Extent()
+	pos := make([]geom.Vec3, n)
+	for i := range pos {
+		pos[i] = box.Lo.Add(geom.V(rng.Float64()*e.X, rng.Float64()*e.Y, rng.Float64()*e.Z))
+	}
+	return pos
+}
+
+func TestBinMapperBalances(t *testing.T) {
+	bm := NewBinMapper(8, 0.0)
+	pos := randomCloud(800, 1, geom.Box(geom.V(0, 0, 0), geom.V(4, 4, 1)))
+	dst := make([]int, len(pos))
+	if err := bm.Assign(dst, pos); err != nil {
+		t.Fatal(err)
+	}
+	if bm.NumBins() != 8 {
+		t.Fatalf("NumBins = %d, want 8", bm.NumBins())
+	}
+	counts := make([]int, 8)
+	for _, r := range dst {
+		counts[r]++
+	}
+	for r, c := range counts {
+		if c < 80 || c > 120 { // perfect is 100; median cuts keep it tight
+			t.Errorf("rank %d holds %d particles, want ≈100", r, c)
+		}
+	}
+}
+
+func TestBinMapperThresholdStopsSplitting(t *testing.T) {
+	// A tiny cloud with a huge threshold never splits: one bin even with
+	// many ranks — the bin-size-threshold behaviour behind Fig 5.
+	bm := NewBinMapper(64, 10.0)
+	pos := randomCloud(500, 2, geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 0.1)))
+	dst := make([]int, len(pos))
+	if err := bm.Assign(dst, pos); err != nil {
+		t.Fatal(err)
+	}
+	if bm.NumBins() != 1 {
+		t.Errorf("NumBins = %d, want 1 (threshold exceeds cloud size)", bm.NumBins())
+	}
+	for _, r := range dst {
+		if r != 0 {
+			t.Fatalf("rank %d assigned from single bin", r)
+		}
+	}
+}
+
+func TestBinMapperThresholdBinsIndependentOfRanks(t *testing.T) {
+	// With threshold-limited cuts, the bin count (and hence the peak
+	// workload) is the same for any sufficiently large rank count — the
+	// flat region of Fig 5.
+	pos := randomCloud(2000, 3, geom.Box(geom.V(0, 0, 0), geom.V(2, 2, 0.1)))
+	peak := func(ranks int) (int, int) {
+		bm := NewBinMapper(ranks, 0.5)
+		dst := make([]int, len(pos))
+		if err := bm.Assign(dst, pos); err != nil {
+			t.Fatal(err)
+		}
+		counts := map[int]int{}
+		for _, r := range dst {
+			counts[r]++
+		}
+		maxC := 0
+		for _, c := range counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		return bm.NumBins(), maxC
+	}
+	bins1, peak1 := peak(1000)
+	bins2, peak2 := peak(2000)
+	if bins1 >= 1000 {
+		t.Fatalf("threshold did not limit bins: %d", bins1)
+	}
+	if bins1 != bins2 || peak1 != peak2 {
+		t.Errorf("bins/peak changed with ranks: (%d,%d) vs (%d,%d)", bins1, peak1, bins2, peak2)
+	}
+}
+
+func TestBinMapperRelaxedExceedsRanks(t *testing.T) {
+	pos := randomCloud(4000, 4, geom.Box(geom.V(0, 0, 0), geom.V(8, 8, 0.1)))
+	bm := NewBinMapper(4, 0.5)
+	bm.Relaxed = true
+	dst := make([]int, len(pos))
+	if err := bm.Assign(dst, pos); err != nil {
+		t.Fatal(err)
+	}
+	if bm.NumBins() <= 4 {
+		t.Errorf("relaxed NumBins = %d, want > ranks", bm.NumBins())
+	}
+	// Round-robin rank assignment stays within range.
+	for _, r := range dst {
+		if r < 0 || r >= 4 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+func TestBinMapperBinBoxThreshold(t *testing.T) {
+	pos := randomCloud(3000, 5, geom.Box(geom.V(0, 0, 0), geom.V(4, 4, 0.1)))
+	bm := NewBinMapper(3000, 0.8) // rank limit out of the way
+	dst := make([]int, len(pos))
+	if err := bm.Assign(dst, pos); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bm.Bins() {
+		if b.Box.MaxExtent() > 0.8+1e-9 {
+			// A parent bin is only split while ABOVE threshold, so leaves
+			// may exceed it only if they were unsplittable (1 particle).
+			if b.Count > 1 {
+				t.Errorf("bin %d extent %v exceeds threshold with %d particles", i, b.Box.MaxExtent(), b.Count)
+			}
+		}
+	}
+}
+
+func TestBinMapperCountsConsistent(t *testing.T) {
+	pos := randomCloud(777, 6, geom.Box(geom.V(0, 0, 0), geom.V(4, 4, 1)))
+	bm := NewBinMapper(16, 0)
+	dst := make([]int, len(pos))
+	if err := bm.Assign(dst, pos); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range bm.Bins() {
+		total += b.Count
+		if b.Count == 0 {
+			t.Error("empty bin produced")
+		}
+	}
+	if total != len(pos) {
+		t.Errorf("bin counts sum to %d, want %d", total, len(pos))
+	}
+	// dst agrees with bin ranks.
+	counts := map[int]int{}
+	for _, r := range dst {
+		counts[r]++
+	}
+	binCounts := map[int]int{}
+	for _, b := range bm.Bins() {
+		binCounts[b.Rank] += b.Count
+	}
+	for r, c := range counts {
+		if binCounts[r] != c {
+			t.Errorf("rank %d: dst says %d, bins say %d", r, c, binCounts[r])
+		}
+	}
+}
+
+func TestBinMapperFewParticles(t *testing.T) {
+	bm := NewBinMapper(16, 0)
+	pos := []geom.Vec3{{X: 1, Y: 1, Z: 0}, {X: 2, Y: 2, Z: 0}, {X: 3, Y: 1, Z: 0}}
+	dst := make([]int, 3)
+	if err := bm.Assign(dst, pos); err != nil {
+		t.Fatal(err)
+	}
+	if bm.NumBins() != 3 {
+		t.Errorf("NumBins = %d, want 3 (one per particle)", bm.NumBins())
+	}
+	if err := bm.Assign(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if bm.NumBins() != 0 {
+		t.Errorf("empty frame NumBins = %d", bm.NumBins())
+	}
+}
+
+func TestBinMapperIdenticalPositions(t *testing.T) {
+	bm := NewBinMapper(8, 0)
+	pos := make([]geom.Vec3, 50)
+	for i := range pos {
+		pos[i] = geom.V(1, 1, 1)
+	}
+	dst := make([]int, 50)
+	if err := bm.Assign(dst, pos); err != nil {
+		t.Fatal(err)
+	}
+	// Coincident particles form one zero-extent bin.
+	if bm.NumBins() != 1 {
+		t.Errorf("NumBins = %d, want 1", bm.NumBins())
+	}
+}
+
+func TestBinMapperDeterministic(t *testing.T) {
+	pos := randomCloud(500, 7, geom.Box(geom.V(0, 0, 0), geom.V(4, 4, 1)))
+	a := NewBinMapper(16, 0.2)
+	b := NewBinMapper(16, 0.2)
+	da, db := make([]int, 500), make([]int, 500)
+	if err := a.Assign(da, pos); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Assign(db, pos); err != nil {
+		t.Fatal(err)
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func TestBinMapperMidpointPolicy(t *testing.T) {
+	pos := randomCloud(1000, 8, geom.Box(geom.V(0, 0, 0), geom.V(4, 4, 1)))
+	bm := NewBinMapper(8, 0)
+	bm.Policy = SplitMidpoint
+	dst := make([]int, len(pos))
+	if err := bm.Assign(dst, pos); err != nil {
+		t.Fatal(err)
+	}
+	if bm.NumBins() != 8 {
+		t.Fatalf("NumBins = %d", bm.NumBins())
+	}
+	// Midpoint splits still produce non-empty bins.
+	for i, b := range bm.Bins() {
+		if b.Count == 0 {
+			t.Errorf("bin %d empty under midpoint policy", i)
+		}
+	}
+	// Counts are generally less balanced than median, but all particles
+	// must still be assigned.
+	total := 0
+	for _, b := range bm.Bins() {
+		total += b.Count
+	}
+	if total != len(pos) {
+		t.Errorf("midpoint total = %d", total)
+	}
+}
+
+func TestBinMapperValidation(t *testing.T) {
+	if err := NewBinMapper(0, 1).Assign(nil, nil); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if err := NewBinMapper(4, -1).Assign(nil, nil); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if err := NewBinMapper(4, 1).Assign(make([]int, 1), make([]geom.Vec3, 2)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestBinMapperPeakDropsWithMoreRanks(t *testing.T) {
+	// Without a binding threshold, doubling ranks should roughly halve the
+	// peak count — the post-dip regime of Fig 5.
+	pos := randomCloud(4096, 9, geom.Box(geom.V(0, 0, 0), geom.V(8, 8, 0.1)))
+	peakFor := func(r int) int {
+		bm := NewBinMapper(r, 0)
+		dst := make([]int, len(pos))
+		if err := bm.Assign(dst, pos); err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, r)
+		for _, x := range dst {
+			counts[x]++
+		}
+		maxC := 0
+		for _, c := range counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		return maxC
+	}
+	p8, p16 := peakFor(8), peakFor(16)
+	ratio := float64(p8) / float64(p16)
+	if math.Abs(ratio-2) > 0.6 {
+		t.Errorf("peak ratio 8→16 ranks = %v, want ≈2", ratio)
+	}
+}
+
+func TestSelectKMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		pos := make([]geom.Vec3, n)
+		for i := range pos {
+			// Coarse quantisation forces many duplicate coordinates.
+			pos[i] = geom.V(float64(rng.Intn(5)), float64(rng.Intn(5)), 0)
+		}
+		axis := rng.Intn(2)
+		k := rng.Intn(n + 1)
+
+		seg := make([]int, n)
+		for i := range seg {
+			seg[i] = i
+		}
+		rng.Shuffle(n, func(i, j int) { seg[i], seg[j] = seg[j], seg[i] })
+		selectK(seg, pos, axis, k)
+
+		sorted := make([]int, n)
+		for i := range sorted {
+			sorted[i] = i
+		}
+		sort.Slice(sorted, func(a, b int) bool { return keyLess(pos, axis, sorted[a], sorted[b]) })
+
+		want := map[int]bool{}
+		for _, idx := range sorted[:k] {
+			want[idx] = true
+		}
+		for _, idx := range seg[:k] {
+			if !want[idx] {
+				t.Fatalf("trial %d: selectK front set differs from sort (n=%d k=%d axis=%d)", trial, n, k, axis)
+			}
+		}
+	}
+}
+
+func TestPartitionByValue(t *testing.T) {
+	pos := []geom.Vec3{{X: 3}, {X: 1}, {X: 4}, {X: 1}, {X: 5}}
+	seg := []int{0, 1, 2, 3, 4}
+	cut := partitionByValue(seg, pos, 0, 3)
+	if cut != 2 {
+		t.Fatalf("cut = %d, want 2", cut)
+	}
+	for _, i := range seg[:cut] {
+		if pos[i].X >= 3 {
+			t.Errorf("front element %d has X=%v", i, pos[i].X)
+		}
+	}
+	for _, i := range seg[cut:] {
+		if pos[i].X < 3 {
+			t.Errorf("back element %d has X=%v", i, pos[i].X)
+		}
+	}
+}
+
+func TestBinMapperMetadata(t *testing.T) {
+	bm := NewBinMapper(7, 0.5)
+	if bm.Name() != "bin" || bm.Ranks() != 7 {
+		t.Errorf("Name/Ranks = %q/%d", bm.Name(), bm.Ranks())
+	}
+	if SplitMedian.String() != "median" || SplitMidpoint.String() != "midpoint" {
+		t.Errorf("policy strings: %q, %q", SplitMedian, SplitMidpoint)
+	}
+	if s := SplitPolicy(9).String(); s != "SplitPolicy(9)" {
+		t.Errorf("unknown policy string %q", s)
+	}
+}

@@ -1,0 +1,70 @@
+package mapping
+
+import (
+	"picpredict/internal/geom"
+	"picpredict/internal/mesh"
+)
+
+// GhostSource is implemented by mappers that can also answer ghost-particle
+// queries: given a particle, which ranks other than its home hold domain
+// data inside its projection filter radius? The Dynamic Workload Generator
+// uses it to build the ghost-particle computation and communication
+// matrices. Queries are made after Assign for the same frame, so mappers
+// may answer from per-frame state (bin boxes, for instance).
+type GhostSource interface {
+	// GhostRanks appends the ghost ranks of a particle at pos with home
+	// rank home to dst and returns the extended slice (no duplicates,
+	// home excluded).
+	GhostRanks(dst []int, pos geom.Vec3, radius float64, home int) []int
+}
+
+// GhostRanks implements GhostSource for element-based mapping: ghost ranks
+// are the owners of the spectral elements the filter ball touches. The
+// query object is created lazily on first use.
+func (em *ElementMapper) GhostRanks(dst []int, pos geom.Vec3, radius float64, home int) []int {
+	if em.owners == nil {
+		em.owners = mesh.NewSphereOwners(em.Mesh, em.Decomp)
+	}
+	return em.owners.Ranks(dst, pos, radius, home)
+}
+
+// GhostRanks implements GhostSource for bin-based mapping: with
+// particle–grid locality decoupled, a particle's influence reaches the
+// ranks whose bin regions its filter ball intersects — the particles in
+// those bins need the overlapping grid data (§III-C: "transferring
+// associated grid data between the processors"). Answers are based on the
+// bins of the most recent Assign call, accelerated by a uniform-grid index
+// over bin boxes so each query touches only nearby bins (workload
+// generation runs millions of these queries per trace).
+func (bm *BinMapper) GhostRanks(dst []int, pos geom.Vec3, radius float64, home int) []int {
+	if radius <= 0 || len(bm.lastBins) == 0 {
+		return dst
+	}
+	if bm.index == nil {
+		bm.index = buildBinIndex(bm.lastBins)
+	}
+	if bm.seenRanks == nil {
+		bm.seenRanks = make(map[int]struct{}, 8)
+	}
+	clear(bm.seenRanks)
+	bm.candBuf = bm.index.candidates(bm.candBuf[:0], pos, radius)
+	for _, bi := range bm.candBuf {
+		b := &bm.lastBins[bi]
+		if b.Rank == home {
+			continue
+		}
+		if _, dup := bm.seenRanks[b.Rank]; dup {
+			continue
+		}
+		if b.Box.IntersectsSphere(pos, radius) {
+			bm.seenRanks[b.Rank] = struct{}{}
+			dst = append(dst, b.Rank)
+		}
+	}
+	return dst
+}
+
+var (
+	_ GhostSource = (*ElementMapper)(nil)
+	_ GhostSource = (*BinMapper)(nil)
+)

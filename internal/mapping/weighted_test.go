@@ -1,0 +1,121 @@
+package mapping
+
+import (
+	"testing"
+
+	"picpredict/internal/geom"
+	"picpredict/internal/mesh"
+)
+
+func weightedFixture(t *testing.T, ranks int) (*mesh.Mesh, *WeightedElementMapper) {
+	t.Helper()
+	m, err := mesh.New(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 0.01)), 16, 16, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, NewWeightedElementMapper(m, ranks)
+}
+
+func TestWeightedMapperBasics(t *testing.T) {
+	_, wm := weightedFixture(t, 4)
+	if wm.Name() != "weighted" || wm.Ranks() != 4 {
+		t.Fatalf("Name/Ranks = %q/%d", wm.Name(), wm.Ranks())
+	}
+	if err := wm.Assign(make([]int, 1), make([]geom.Vec3, 2)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := &WeightedElementMapper{NumRanks: 0}
+	if err := bad.Assign(make([]int, 1), make([]geom.Vec3, 1)); err == nil {
+		t.Error("zero ranks accepted")
+	}
+}
+
+func TestWeightedMapperBalancesClusteredLoad(t *testing.T) {
+	// All particles in one corner: element mapping would put them on one
+	// rank; weighted mapping shrinks that rank's element share instead.
+	_, wm := weightedFixture(t, 8)
+	pos := randomCloud(4000, 17, geom.Box(geom.V(0, 0, 0), geom.V(0.12, 0.12, 0.01)))
+	dst := make([]int, len(pos))
+	if err := wm.Assign(dst, pos); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 8)
+	for _, r := range dst {
+		if r < 0 || r >= 8 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	// Not perfectly balanced (grid weight + element granularity), but far
+	// below the all-on-one-rank 4000.
+	if maxC > 1600 {
+		t.Errorf("peak %d of 4000; weighted mapping did not balance", maxC)
+	}
+}
+
+func TestWeightedMapperLocality(t *testing.T) {
+	// Same-element particles always share a rank.
+	_, wm := weightedFixture(t, 4)
+	pos := []geom.Vec3{
+		{X: 0.01, Y: 0.01, Z: 0.005},
+		{X: 0.05, Y: 0.05, Z: 0.005}, // same element (1/16 = 0.0625 wide)
+	}
+	dst := make([]int, 2)
+	if err := wm.Assign(dst, pos); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != dst[1] {
+		t.Errorf("same-element particles on ranks %v", dst)
+	}
+}
+
+func TestWeightedMapperLazyRebalance(t *testing.T) {
+	_, wm := weightedFixture(t, 8)
+	dst := make([]int, 2000)
+	cloudA := randomCloud(2000, 18, geom.Box(geom.V(0, 0, 0), geom.V(0.2, 0.2, 0.01)))
+	if err := wm.Assign(dst, cloudA); err != nil {
+		t.Fatal(err)
+	}
+	if wm.Rebalances != 1 {
+		t.Fatalf("initial Rebalances = %d, want 1", wm.Rebalances)
+	}
+	// Nearly identical frame: partition reused, no rebalance.
+	if err := wm.Assign(dst, cloudA); err != nil {
+		t.Fatal(err)
+	}
+	if wm.Rebalances != 1 {
+		t.Errorf("unchanged frame triggered rebalance (%d)", wm.Rebalances)
+	}
+	// The cloud jumps to the opposite corner: the stale partition
+	// concentrates load, forcing a rebalance.
+	cloudB := randomCloud(2000, 19, geom.Box(geom.V(0.8, 0.8, 0), geom.V(1, 1, 0.01)))
+	if err := wm.Assign(dst, cloudB); err != nil {
+		t.Fatal(err)
+	}
+	if wm.Rebalances != 2 {
+		t.Errorf("relocated cloud did not trigger rebalance (%d)", wm.Rebalances)
+	}
+}
+
+func TestWeightedMapperCoversAllRanks(t *testing.T) {
+	// With uniform particles, every rank receives elements and particles.
+	_, wm := weightedFixture(t, 8)
+	pos := randomCloud(4000, 20, geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 0.01)))
+	dst := make([]int, len(pos))
+	if err := wm.Assign(dst, pos); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, r := range dst {
+		seen[r] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("only %d of 8 ranks busy under uniform load", len(seen))
+	}
+}

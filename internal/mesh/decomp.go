@@ -1,0 +1,143 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"picpredict/internal/geom"
+)
+
+// Decomposition assigns every spectral element to a processor rank.
+type Decomposition struct {
+	// Ranks is the number of processors R.
+	Ranks int
+	// Owner[e] is the rank owning element e.
+	Owner []int
+	// ElementsOf[r] lists the elements owned by rank r, in ascending order.
+	ElementsOf [][]int
+	// boxes[r] is the bounding box of rank r's element set, cached for
+	// ghost-particle queries.
+	boxes []geom.AABB
+}
+
+// Decompose distributes the mesh elements across ranks processors using
+// recursive coordinate bisection: the element set is recursively split with
+// a planar cut along the longest axis of its bounding box, balancing element
+// counts on each side proportionally to the number of ranks assigned to each
+// half. The result keeps each rank's elements spatially compact, which is
+// the property CMT-nek's recursive-bisection decomposition optimises for.
+func Decompose(m *Mesh, ranks int) (*Decomposition, error) {
+	if ranks <= 0 {
+		return nil, fmt.Errorf("mesh: rank count must be positive, got %d", ranks)
+	}
+	n := m.NumElements()
+	d := &Decomposition{
+		Ranks:      ranks,
+		Owner:      make([]int, n),
+		ElementsOf: make([][]int, ranks),
+		boxes:      make([]geom.AABB, ranks),
+	}
+	elems := make([]int, n)
+	for i := range elems {
+		elems[i] = i
+	}
+	centers := make([]geom.Vec3, n)
+	for i := range centers {
+		centers[i] = m.Elements.CellCenter(i)
+	}
+	bisect(m, elems, centers, 0, ranks, d.Owner)
+	for e, r := range d.Owner {
+		d.ElementsOf[r] = append(d.ElementsOf[r], e)
+	}
+	for r := range d.ElementsOf {
+		sort.Ints(d.ElementsOf[r])
+		box := geom.EmptyBox()
+		for _, e := range d.ElementsOf[r] {
+			box = box.Union(m.ElementBox(e))
+		}
+		d.boxes[r] = box
+	}
+	return d, nil
+}
+
+// bisect assigns ranks [rank0, rank0+nranks) to the given element subset.
+func bisect(m *Mesh, elems []int, centers []geom.Vec3, rank0, nranks int, owner []int) {
+	if nranks == 1 || len(elems) == 0 {
+		for _, e := range elems {
+			owner[e] = rank0
+		}
+		return
+	}
+	// Bounding box of the subset's element centers picks the cut axis.
+	box := geom.EmptyBox()
+	for _, e := range elems {
+		box = box.Extend(centers[e])
+	}
+	axis := box.LongestAxis()
+	sort.Slice(elems, func(a, b int) bool {
+		ca, cb := centers[elems[a]].Axis(axis), centers[elems[b]].Axis(axis)
+		if ca != cb {
+			return ca < cb
+		}
+		return elems[a] < elems[b] // deterministic tie-break
+	})
+	loRanks := nranks / 2
+	hiRanks := nranks - loRanks
+	// Split elements proportionally to the rank counts so uneven rank
+	// splits (odd R) still balance element counts per rank.
+	cut := len(elems) * loRanks / nranks
+	bisect(m, elems[:cut], centers, rank0, loRanks, owner)
+	bisect(m, elems[cut:], centers, rank0+loRanks, hiRanks, owner)
+}
+
+// RankOf returns the rank owning element e.
+func (d *Decomposition) RankOf(e int) int { return d.Owner[e] }
+
+// NumElementsOf returns how many elements rank r owns (the paper's per-
+// processor N_el).
+func (d *Decomposition) NumElementsOf(r int) int { return len(d.ElementsOf[r]) }
+
+// RankBox returns the bounding box of rank r's element set. Ranks owning no
+// elements report an empty box.
+func (d *Decomposition) RankBox(r int) geom.AABB { return d.boxes[r] }
+
+// RanksInSphere appends to dst every rank whose element-set bounding box
+// intersects the ball (c, radius), excluding rank `exclude` (pass -1 to
+// exclude none), and returns the extended slice.
+//
+// This conservative query over rank boxes is refined by callers that need
+// exact element-level tests; for compact recursive-bisection partitions the
+// boxes overlap little, so the overestimate is small.
+func (d *Decomposition) RanksInSphere(dst []int, c geom.Vec3, radius float64, exclude int) []int {
+	for r, box := range d.boxes {
+		if r == exclude {
+			continue
+		}
+		if box.IntersectsSphere(c, radius) {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// Imbalance returns max/mean element count across ranks, a load-balance
+// figure of merit for the fluid (element) workload. A perfectly balanced
+// decomposition returns 1.
+func (d *Decomposition) Imbalance() float64 {
+	if d.Ranks == 0 {
+		return 0
+	}
+	maxN, total := 0, 0
+	for r := 0; r < d.Ranks; r++ {
+		n := len(d.ElementsOf[r])
+		total += n
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(d.Ranks)
+	return float64(maxN) / mean
+}

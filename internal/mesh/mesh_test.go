@@ -1,0 +1,69 @@
+package mesh
+
+import (
+	"testing"
+
+	"picpredict/internal/geom"
+)
+
+func unitDomain() geom.AABB { return geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)) }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(unitDomain(), 2, 2, 2, 0); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := New(unitDomain(), 0, 2, 2, 4); err == nil {
+		t.Error("ex=0 accepted")
+	}
+	if _, err := New(geom.EmptyBox(), 2, 2, 2, 4); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+func TestMeshCounts(t *testing.T) {
+	m, err := New(unitDomain(), 3, 4, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumElements(); got != 60 {
+		t.Errorf("NumElements = %d", got)
+	}
+	if got := m.NumGridPoints(); got != 60*216 {
+		t.Errorf("NumGridPoints = %d", got)
+	}
+	if m.Domain() != unitDomain() {
+		t.Errorf("Domain = %v", m.Domain())
+	}
+}
+
+func TestElementAt(t *testing.T) {
+	m, err := New(unitDomain(), 4, 4, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := m.ElementAt(geom.V(0.3, 0.7, 0.5))
+	if id != m.Elements.Index(1, 2, 0) {
+		t.Errorf("ElementAt = %d", id)
+	}
+	if got := m.ElementAt(geom.V(-1, 0, 0)); got != -1 {
+		t.Errorf("out-of-domain ElementAt = %d", got)
+	}
+}
+
+func TestElementsInSphereMatchesBoxes(t *testing.T) {
+	m, err := New(unitDomain(), 8, 8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, r := geom.V(0.41, 0.53, 0.12), 0.2
+	got := map[int]bool{}
+	for _, e := range m.ElementsInSphere(nil, c, r) {
+		got[e] = true
+	}
+	for e := 0; e < m.NumElements(); e++ {
+		want := m.ElementBox(e).IntersectsSphere(c, r)
+		if got[e] != want {
+			t.Errorf("element %d: got %v want %v", e, got[e], want)
+		}
+	}
+}

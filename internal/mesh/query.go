@@ -1,0 +1,48 @@
+package mesh
+
+import "picpredict/internal/geom"
+
+// SphereOwners answers "which ranks own grid data within radius r of this
+// point?" — the spatial query behind ghost-particle creation. It walks the
+// elements intersecting the ball and maps them to owner ranks, so cost
+// scales with the ball volume rather than with the rank count, which keeps
+// workload generation fast at thousands of ranks.
+//
+// A SphereOwners reuses internal buffers and is not safe for concurrent use.
+type SphereOwners struct {
+	m *Mesh
+	d *Decomposition
+
+	elemBuf []int
+	seen    map[int]struct{}
+}
+
+// NewSphereOwners creates a query object for the given mesh and
+// decomposition.
+func NewSphereOwners(m *Mesh, d *Decomposition) *SphereOwners {
+	return &SphereOwners{m: m, d: d, seen: make(map[int]struct{}, 8)}
+}
+
+// Ranks appends to dst every rank (≠ exclude; pass -1 to exclude none)
+// owning at least one element that intersects the ball (pos, radius), and
+// returns the extended slice. The result has no duplicates; order is
+// unspecified.
+func (q *SphereOwners) Ranks(dst []int, pos geom.Vec3, radius float64, exclude int) []int {
+	if radius <= 0 {
+		return dst
+	}
+	q.elemBuf = q.m.ElementsInSphere(q.elemBuf[:0], pos, radius)
+	clear(q.seen)
+	for _, e := range q.elemBuf {
+		r := q.d.RankOf(e)
+		if r == exclude {
+			continue
+		}
+		if _, dup := q.seen[r]; dup {
+			continue
+		}
+		q.seen[r] = struct{}{}
+		dst = append(dst, r)
+	}
+	return dst
+}

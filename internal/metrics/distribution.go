@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"picpredict/internal/core"
+)
+
+// Distribution summarises how particle load spreads across processors at
+// the busiest interval — the numbers behind "one processor carries X while
+// the median carries Y" readings of the Fig 1/8 heat maps.
+type Distribution struct {
+	// Frame is the busiest interval (largest peak).
+	Frame int
+	// Min, P50, P90, P99 and Max are per-rank particle counts at that
+	// interval.
+	Min, P50, P90, P99, Max int64
+	// Mean is the average per-rank count at that interval.
+	Mean float64
+	// Gini is the Gini coefficient of the per-rank load distribution at
+	// that interval: 0 is perfectly equal, values near 1 mean a handful
+	// of processors carry everything.
+	Gini float64
+}
+
+// LoadDistribution computes the per-rank load distribution at the busiest
+// interval of a computation matrix.
+func LoadDistribution(c *core.CompMatrix) (Distribution, error) {
+	if c.Frames() == 0 || c.Ranks() == 0 {
+		return Distribution{}, fmt.Errorf("metrics: empty computation matrix")
+	}
+	// Busiest interval by peak.
+	peaks := c.PeakPerFrame()
+	frame := 0
+	for k, p := range peaks {
+		if p > peaks[frame] {
+			frame = k
+		}
+	}
+	loads := append([]int64(nil), c.Frame(frame)...)
+	sort.Slice(loads, func(i, j int) bool { return loads[i] < loads[j] })
+	n := len(loads)
+	q := func(p float64) int64 {
+		i := int(p * float64(n-1))
+		return loads[i]
+	}
+	var total int64
+	for _, v := range loads {
+		total += v
+	}
+	d := Distribution{
+		Frame: frame,
+		Min:   loads[0],
+		P50:   q(0.50),
+		P90:   q(0.90),
+		P99:   q(0.99),
+		Max:   loads[n-1],
+		Mean:  float64(total) / float64(n),
+	}
+	d.Gini = gini(loads, total)
+	return d, nil
+}
+
+// gini computes the Gini coefficient of a sorted non-negative sample.
+func gini(sorted []int64, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	n := float64(len(sorted))
+	var weighted float64
+	for i, v := range sorted {
+		weighted += float64(i+1) * float64(v)
+	}
+	return (2*weighted)/(n*float64(total)) - (n+1)/n
+}

@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"picpredict/internal/core"
+)
+
+// WriteHeatmapCSV emits a computation matrix as rank-major CSV (one row per
+// rank, one column per sampling interval) — the data behind the Fig 1(a)
+// heat map, ready for any plotting tool.
+func WriteHeatmapCSV(w io.Writer, c *core.CompMatrix) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprint(bw, "rank"); err != nil {
+		return err
+	}
+	for _, it := range c.Iterations() {
+		if _, err := fmt.Fprintf(bw, ",iter%d", it); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw); err != nil {
+		return err
+	}
+	for r := 0; r < c.Ranks(); r++ {
+		if _, err := fmt.Fprintf(bw, "%d", r); err != nil {
+			return err
+		}
+		for k := 0; k < c.Frames(); k++ {
+			if _, err := fmt.Fprintf(bw, ",%d", c.At(r, k)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// heatRamp maps intensities 0..1 to ASCII shades, darkest last.
+var heatRamp = []byte(" .:-=+*#%@")
+
+// RenderHeatmapASCII draws a terminal heat map of a computation matrix,
+// down-sampling ranks to at most maxRows rows and intervals to at most
+// maxCols columns (cells aggregate by max). White space is zero workload —
+// the white patches of Fig 1(a).
+func RenderHeatmapASCII(w io.Writer, c *core.CompMatrix, maxRows, maxCols int) error {
+	if maxRows <= 0 || maxCols <= 0 {
+		return fmt.Errorf("metrics: heatmap dimensions must be positive, got %d×%d", maxRows, maxCols)
+	}
+	if c.Ranks() == 0 || c.Frames() == 0 {
+		_, err := fmt.Fprintln(w, "(empty workload)")
+		return err
+	}
+	rows := min(maxRows, c.Ranks())
+	cols := min(maxCols, c.Frames())
+	cells := make([]int64, rows*cols)
+	var peak int64
+	for r := 0; r < c.Ranks(); r++ {
+		row := r * rows / c.Ranks()
+		for k := 0; k < c.Frames(); k++ {
+			col := k * cols / c.Frames()
+			v := c.At(r, k)
+			if v > cells[row*cols+col] {
+				cells[row*cols+col] = v
+			}
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "ranks ↓ (%d) × intervals → (%d), peak %d particles\n", c.Ranks(), c.Frames(), peak)
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			v := cells[row*cols+col]
+			idx := 0
+			if peak > 0 && v > 0 {
+				idx = 1 + int(float64(v)/float64(peak)*float64(len(heatRamp)-2))
+				if idx >= len(heatRamp) {
+					idx = len(heatRamp) - 1
+				}
+			}
+			if err := bw.WriteByte(heatRamp[idx]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

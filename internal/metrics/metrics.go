@@ -1,0 +1,127 @@
+// Package metrics provides the evaluation metrics used throughout the
+// paper: Mean Absolute Percentage Error for model/prediction accuracy
+// (§IV-B), resource-utilization and load-imbalance figures for workload
+// distributions (§II-A, Fig 9), and heat-map rendering of computation
+// matrices (Fig 1a).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"picpredict/internal/core"
+)
+
+// MAPE returns the Mean Absolute Percentage Error (in percent) between
+// predicted and actual values. Pairs whose actual value is zero are skipped
+// (percentage error is undefined there); if every pair is skipped, MAPE
+// returns an error.
+func MAPE(predicted, actual []float64) (float64, error) {
+	if len(predicted) != len(actual) {
+		return 0, fmt.Errorf("metrics: %d predictions for %d actuals", len(predicted), len(actual))
+	}
+	sum, n := 0.0, 0
+	for i := range actual {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs((predicted[i] - actual[i]) / actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("metrics: no non-zero actual values among %d pairs", len(actual))
+	}
+	return 100 * sum / float64(n), nil
+}
+
+// MAE returns the mean absolute error between predicted and actual values.
+func MAE(predicted, actual []float64) (float64, error) {
+	if len(predicted) != len(actual) {
+		return 0, fmt.Errorf("metrics: %d predictions for %d actuals", len(predicted), len(actual))
+	}
+	if len(actual) == 0 {
+		return 0, fmt.Errorf("metrics: empty input")
+	}
+	sum := 0.0
+	for i := range actual {
+		sum += math.Abs(predicted[i] - actual[i])
+	}
+	return sum / float64(len(actual)), nil
+}
+
+// RMSE returns the root-mean-square error between predicted and actual.
+func RMSE(predicted, actual []float64) (float64, error) {
+	if len(predicted) != len(actual) {
+		return 0, fmt.Errorf("metrics: %d predictions for %d actuals", len(predicted), len(actual))
+	}
+	if len(actual) == 0 {
+		return 0, fmt.Errorf("metrics: empty input")
+	}
+	sum := 0.0
+	for i := range actual {
+		d := predicted[i] - actual[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(actual))), nil
+}
+
+// ResourceUtilization is the paper's RU metric: the fraction of processors
+// doing particle work. Two variants are reported:
+//
+//   - Mean: the per-interval fraction of ranks with ≥1 particle, averaged
+//     over the run ("processors having at least one or more particles on
+//     average during the simulation", §II-A — the 0.68 % / 56.13 % numbers).
+//   - Ever: the fraction of ranks that held a particle at any point
+//     (Fig 9's "during the entire simulation" view).
+type ResourceUtilization struct {
+	Mean float64
+	Ever float64
+}
+
+// Utilization computes RU from a computation matrix.
+func Utilization(c *core.CompMatrix) ResourceUtilization {
+	if c.Ranks() == 0 || c.Frames() == 0 {
+		return ResourceUtilization{}
+	}
+	nz := c.NonZeroRanksPerFrame()
+	sum := 0.0
+	for _, n := range nz {
+		sum += float64(n) / float64(c.Ranks())
+	}
+	return ResourceUtilization{
+		Mean: sum / float64(len(nz)),
+		Ever: float64(c.RanksEverNonZero()) / float64(c.Ranks()),
+	}
+}
+
+// Imbalance returns the load-imbalance factor max/mean of the busiest
+// interval of a computation matrix: 1 is perfectly balanced; R means one
+// rank does all the work.
+func Imbalance(c *core.CompMatrix) float64 {
+	worst := 0.0
+	for k := 0; k < c.Frames(); k++ {
+		var peak, total int64
+		for _, v := range c.Frame(k) {
+			total += v
+			if v > peak {
+				peak = v
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		mean := float64(total) / float64(c.Ranks())
+		if f := float64(peak) / mean; f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// IdleFraction returns the run-average fraction of ranks with zero particle
+// workload — the paper's "81 % of the processors, on average, remained
+// idle" headline for element mapping (Fig 1b).
+func IdleFraction(c *core.CompMatrix) float64 {
+	u := Utilization(c)
+	return 1 - u.Mean
+}

@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"picpredict/internal/core"
+)
+
+func TestMAPE(t *testing.T) {
+	got, err := MAPE([]float64{110, 90}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-12 {
+		t.Errorf("MAPE = %v, want 10", got)
+	}
+}
+
+func TestMAPESkipsZeroActuals(t *testing.T) {
+	got, err := MAPE([]float64{5, 110}, []float64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-12 {
+		t.Errorf("MAPE = %v, want 10 (zero actual skipped)", got)
+	}
+	if _, err := MAPE([]float64{1}, []float64{0}); err == nil {
+		t.Error("all-zero actuals accepted")
+	}
+}
+
+func TestMAPEErrors(t *testing.T) {
+	if _, err := MAPE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestMAEAndRMSE(t *testing.T) {
+	mae, err := MAE([]float64{1, 3}, []float64{2, 1})
+	if err != nil || mae != 1.5 {
+		t.Errorf("MAE = %v, %v", mae, err)
+	}
+	rmse, err := RMSE([]float64{1, 3}, []float64{2, 1})
+	if err != nil || math.Abs(rmse-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("RMSE = %v, %v", rmse, err)
+	}
+	if _, err := MAE(nil, nil); err == nil {
+		t.Error("empty MAE accepted")
+	}
+	if _, err := RMSE([]float64{1}, nil); err == nil {
+		t.Error("mismatched RMSE accepted")
+	}
+}
+
+func buildComp(t *testing.T, frames [][]int64) *core.CompMatrix {
+	t.Helper()
+	c := core.NewCompMatrix(len(frames[0]))
+	for k, f := range frames {
+		copy(c.AppendFrame(k*100), f)
+	}
+	return c
+}
+
+func TestUtilization(t *testing.T) {
+	// 4 ranks; frame 0: one busy; frame 1: two busy (a different one).
+	c := buildComp(t, [][]int64{
+		{5, 0, 0, 0},
+		{0, 3, 2, 0},
+	})
+	u := Utilization(c)
+	if math.Abs(u.Mean-(0.25+0.5)/2) > 1e-12 {
+		t.Errorf("Mean RU = %v", u.Mean)
+	}
+	if math.Abs(u.Ever-0.75) > 1e-12 {
+		t.Errorf("Ever RU = %v", u.Ever)
+	}
+	if idle := IdleFraction(c); math.Abs(idle-(1-u.Mean)) > 1e-12 {
+		t.Errorf("IdleFraction = %v", idle)
+	}
+}
+
+func TestUtilizationEmpty(t *testing.T) {
+	if u := Utilization(core.NewCompMatrix(4)); u.Mean != 0 || u.Ever != 0 {
+		t.Errorf("empty utilization = %+v", u)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	// Frame 0 perfectly balanced; frame 1 one rank does all 8.
+	c := buildComp(t, [][]int64{
+		{2, 2, 2, 2},
+		{8, 0, 0, 0},
+	})
+	if got := Imbalance(c); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Imbalance = %v, want 4", got)
+	}
+	empty := buildComp(t, [][]int64{{0, 0, 0, 0}})
+	if got := Imbalance(empty); got != 0 {
+		t.Errorf("all-zero Imbalance = %v", got)
+	}
+}
+
+func TestWriteHeatmapCSV(t *testing.T) {
+	c := buildComp(t, [][]int64{
+		{1, 0},
+		{0, 7},
+	})
+	var buf bytes.Buffer
+	if err := WriteHeatmapCSV(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d: %q", len(lines), buf.String())
+	}
+	if lines[0] != "rank,iter0,iter100" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,1,0" || lines[2] != "1,0,7" {
+		t.Errorf("rows = %q, %q", lines[1], lines[2])
+	}
+}
+
+func TestRenderHeatmapASCII(t *testing.T) {
+	c := buildComp(t, [][]int64{
+		{10, 0, 0, 0},
+		{0, 0, 0, 10},
+	})
+	var buf bytes.Buffer
+	if err := RenderHeatmapASCII(&buf, c, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "peak 10") {
+		t.Errorf("missing peak annotation: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+2 { // header + 2 frame-rows... rows=min(4, frames=2)? rows from ranks
+		t.Logf("heatmap:\n%s", out)
+	}
+	// Busiest cells use the darkest shade; zero cells are spaces.
+	if !strings.Contains(out, "@") {
+		t.Errorf("peak cell not darkest: %q", out)
+	}
+}
+
+func TestRenderHeatmapASCIIEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderHeatmapASCII(&buf, core.NewCompMatrix(4), 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Errorf("empty matrix output = %q", buf.String())
+	}
+	if err := RenderHeatmapASCII(&buf, core.NewCompMatrix(4), 0, 10); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+func TestLoadDistribution(t *testing.T) {
+	c := buildComp(t, [][]int64{
+		{1, 1, 1, 1}, // balanced frame
+		{8, 0, 0, 0}, // busiest frame: everything on one rank
+	})
+	d, err := LoadDistribution(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Frame != 1 {
+		t.Errorf("busiest frame = %d, want 1", d.Frame)
+	}
+	if d.Min != 0 || d.Max != 8 || d.Mean != 2 {
+		t.Errorf("distribution: %+v", d)
+	}
+	// All-on-one-rank of 4: Gini = (n-1)/n = 0.75.
+	if math.Abs(d.Gini-0.75) > 1e-12 {
+		t.Errorf("Gini = %v, want 0.75", d.Gini)
+	}
+	if _, err := LoadDistribution(core.NewCompMatrix(4)); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestGiniUniformIsZero(t *testing.T) {
+	c := buildComp(t, [][]int64{{5, 5, 5, 5}})
+	d, err := LoadDistribution(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Gini) > 1e-12 {
+		t.Errorf("uniform Gini = %v, want 0", d.Gini)
+	}
+	if d.P50 != 5 || d.P90 != 5 || d.P99 != 5 {
+		t.Errorf("uniform percentiles: %+v", d)
+	}
+}

@@ -1,0 +1,102 @@
+// Package particle provides structure-of-arrays storage for the Lagrangian
+// particle population of a PIC simulation. SoA layout keeps the hot loops
+// (interpolation, push, projection) cache-friendly and lets the trace writer
+// stream raw position arrays without per-particle marshalling.
+package particle
+
+import (
+	"fmt"
+
+	"picpredict/internal/geom"
+)
+
+// Set holds the state of N particles in structure-of-arrays form. All slices
+// have identical length. The zero value is an empty, ready-to-use set.
+type Set struct {
+	// ID is a stable per-particle identifier that survives reordering.
+	ID []int64
+	// Pos and Vel are particle positions and velocities.
+	Pos []geom.Vec3
+	Vel []geom.Vec3
+	// Diameter and Density define particle mass and drag response.
+	Diameter []float64
+	Density  []float64
+}
+
+// New returns a Set with capacity reserved for n particles.
+func New(n int) *Set {
+	return &Set{
+		ID:       make([]int64, 0, n),
+		Pos:      make([]geom.Vec3, 0, n),
+		Vel:      make([]geom.Vec3, 0, n),
+		Diameter: make([]float64, 0, n),
+		Density:  make([]float64, 0, n),
+	}
+}
+
+// Len returns the number of particles in the set.
+func (s *Set) Len() int { return len(s.Pos) }
+
+// Add appends one particle and returns its index.
+func (s *Set) Add(id int64, pos, vel geom.Vec3, diameter, density float64) int {
+	s.ID = append(s.ID, id)
+	s.Pos = append(s.Pos, pos)
+	s.Vel = append(s.Vel, vel)
+	s.Diameter = append(s.Diameter, diameter)
+	s.Density = append(s.Density, density)
+	return s.Len() - 1
+}
+
+// Swap exchanges particles i and j.
+func (s *Set) Swap(i, j int) {
+	s.ID[i], s.ID[j] = s.ID[j], s.ID[i]
+	s.Pos[i], s.Pos[j] = s.Pos[j], s.Pos[i]
+	s.Vel[i], s.Vel[j] = s.Vel[j], s.Vel[i]
+	s.Diameter[i], s.Diameter[j] = s.Diameter[j], s.Diameter[i]
+	s.Density[i], s.Density[j] = s.Density[j], s.Density[i]
+}
+
+// RemoveSwap removes particle i by swapping the last particle into its slot.
+// Order is not preserved; IDs remain valid handles.
+func (s *Set) RemoveSwap(i int) {
+	last := s.Len() - 1
+	s.Swap(i, last)
+	s.ID = s.ID[:last]
+	s.Pos = s.Pos[:last]
+	s.Vel = s.Vel[:last]
+	s.Diameter = s.Diameter[:last]
+	s.Density = s.Density[:last]
+}
+
+// Mass returns the mass of particle i (sphere volume × density).
+func (s *Set) Mass(i int) float64 {
+	d := s.Diameter[i]
+	return s.Density[i] * (4.0 / 3.0) * pi * (d / 2) * (d / 2) * (d / 2)
+}
+
+const pi = 3.141592653589793
+
+// Bounds returns the tight bounding box of all particle positions; the
+// paper's bin-based mapping calls this the "particle boundary".
+func (s *Set) Bounds() geom.AABB { return geom.BoundingBox(s.Pos) }
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	c := New(s.Len())
+	c.ID = append(c.ID, s.ID...)
+	c.Pos = append(c.Pos, s.Pos...)
+	c.Vel = append(c.Vel, s.Vel...)
+	c.Diameter = append(c.Diameter, s.Diameter...)
+	c.Density = append(c.Density, s.Density...)
+	return c
+}
+
+// Validate checks internal slice-length consistency.
+func (s *Set) Validate() error {
+	n := s.Len()
+	if len(s.ID) != n || len(s.Vel) != n || len(s.Diameter) != n || len(s.Density) != n {
+		return fmt.Errorf("particle: inconsistent SoA lengths id=%d pos=%d vel=%d dia=%d rho=%d",
+			len(s.ID), n, len(s.Vel), len(s.Diameter), len(s.Density))
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package particle
+
+import (
+	"math"
+	"testing"
+
+	"picpredict/internal/geom"
+)
+
+func TestAddLen(t *testing.T) {
+	s := New(4)
+	if s.Len() != 0 {
+		t.Fatalf("new set Len = %d", s.Len())
+	}
+	i := s.Add(7, geom.V(1, 2, 3), geom.V(0, 0, 1), 0.1, 1000)
+	if i != 0 || s.Len() != 1 {
+		t.Fatalf("Add returned %d, Len %d", i, s.Len())
+	}
+	if s.ID[0] != 7 || s.Pos[0] != geom.V(1, 2, 3) {
+		t.Errorf("stored particle wrong: id=%d pos=%v", s.ID[0], s.Pos[0])
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveSwap(t *testing.T) {
+	s := New(3)
+	s.Add(0, geom.V(0, 0, 0), geom.Vec3{}, 1, 1)
+	s.Add(1, geom.V(1, 0, 0), geom.Vec3{}, 1, 1)
+	s.Add(2, geom.V(2, 0, 0), geom.Vec3{}, 1, 1)
+	s.RemoveSwap(0)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	ids := map[int64]bool{s.ID[0]: true, s.ID[1]: true}
+	if !ids[1] || !ids[2] || ids[0] {
+		t.Errorf("remaining ids = %v", s.ID)
+	}
+	// Removing the last element.
+	s.RemoveSwap(s.Len() - 1)
+	if s.Len() != 1 {
+		t.Fatalf("Len after second remove = %d", s.Len())
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMass(t *testing.T) {
+	s := New(1)
+	s.Add(0, geom.Vec3{}, geom.Vec3{}, 2, 3) // r=1, rho=3
+	want := 3 * (4.0 / 3.0) * math.Pi
+	if got := s.Mass(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mass = %v, want %v", got, want)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	s := New(2)
+	if !s.Bounds().Empty() {
+		t.Error("empty set bounds not empty")
+	}
+	s.Add(0, geom.V(1, 5, -1), geom.Vec3{}, 1, 1)
+	s.Add(1, geom.V(-2, 0, 4), geom.Vec3{}, 1, 1)
+	b := s.Bounds()
+	if b.Lo != geom.V(-2, 0, -1) || b.Hi != geom.V(1, 5, 4) {
+		t.Errorf("Bounds = %v", b)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := New(1)
+	s.Add(0, geom.V(1, 1, 1), geom.V(2, 2, 2), 0.5, 100)
+	c := s.Clone()
+	c.Pos[0] = geom.V(9, 9, 9)
+	c.Add(1, geom.Vec3{}, geom.Vec3{}, 1, 1)
+	if s.Pos[0] != geom.V(1, 1, 1) || s.Len() != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	s := New(1)
+	s.Add(0, geom.Vec3{}, geom.Vec3{}, 1, 1)
+	s.ID = append(s.ID, 99) // corrupt
+	if err := s.Validate(); err == nil {
+		t.Error("Validate accepted corrupted set")
+	}
+}

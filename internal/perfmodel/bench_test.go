@@ -1,0 +1,54 @@
+package perfmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(n int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		np := rng.Float64() * 1e4
+		g := 2 + rng.Float64()*8
+		x[i] = []float64{np, g}
+		y[i] = 2e-6 + 2e-9*np*g*g*g
+	}
+	return x, y
+}
+
+// Ablation: symbolic regression vs linear regression fitting cost.
+func BenchmarkFitSymbolic(b *testing.B) {
+	x, y := benchData(200)
+	opts := SymbolicOptions{Seed: 3, Population: 150, Generations: 30, Restarts: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitSymbolic(x, y, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitLinearPoly(b *testing.B) {
+	x, y := benchData(200)
+	basis, names := PolyBasis([]string{"Np", "N"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitLinearRelative(x, y, basis, names); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymbolicPredict(b *testing.B) {
+	x, y := benchData(200)
+	m, err := FitSymbolic(x, y, SymbolicOptions{Seed: 3, Population: 150, Generations: 30, Restarts: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Predict(x[i%len(x)])
+	}
+}

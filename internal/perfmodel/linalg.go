@@ -1,0 +1,51 @@
+package perfmodel
+
+import (
+	"errors"
+	"math"
+)
+
+// solveLinearSystem solves A·x = b in place by Gaussian elimination with
+// partial pivoting. A is row-major n×n. It returns an error on a (nearly)
+// singular system.
+func solveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("perfmodel: bad system dimensions")
+	}
+	for col := 0; col < n; col++ {
+		// Pivot: largest |a[row][col]| for row >= col.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for row := col + 1; row < n; row++ {
+			if v := math.Abs(a[row][col]); v > best {
+				best, pivot = v, row
+			}
+		}
+		if best < 1e-14 {
+			return nil, errors.New("perfmodel: singular normal equations (degenerate or collinear features)")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for row := col + 1; row < n; row++ {
+			f := a[row][col] * inv
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[row][k] -= f * a[col][k]
+			}
+			b[row] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for row := n - 1; row >= 0; row-- {
+		sum := b[row]
+		for k := row + 1; k < n; k++ {
+			sum -= a[row][k] * x[k]
+		}
+		x[row] = sum / a[row][row]
+	}
+	return x, nil
+}

@@ -1,0 +1,201 @@
+// Package perfmodel implements the Model Generator (§II-B): it turns
+// benchmark training data into analytical performance models expressed in
+// workload parameters. Single-parameter behaviours fit well with linear
+// regression; multi-parameter kernels use symbolic regression by genetic
+// programming (refs [13], [14]), which discovers non-linear parameter
+// couplings (N_p·N³ and the like) that fixed polynomial bases miss.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Model predicts a kernel execution time from a workload feature vector.
+type Model interface {
+	// Predict returns the modelled time for feature vector x.
+	Predict(x []float64) float64
+	// String renders the closed-form model.
+	String() string
+}
+
+// LinearModel is y = w₀ + Σ wᵢ·φᵢ(x) over a fixed basis.
+type LinearModel struct {
+	// Weights[0] is the intercept; Weights[i+1] pairs with Basis[i].
+	Weights []float64
+	// Basis holds the basis functions; nil means the raw features.
+	Basis []BasisFunc
+	// Names labels basis terms for String.
+	Names []string
+}
+
+// BasisFunc maps a raw feature vector to one basis value.
+type BasisFunc func(x []float64) float64
+
+// Predict implements Model.
+func (m *LinearModel) Predict(x []float64) float64 {
+	y := m.Weights[0]
+	for i, b := range m.Basis {
+		y += m.Weights[i+1] * b(x)
+	}
+	return y
+}
+
+// String implements Model.
+func (m *LinearModel) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%.4g", m.Weights[0])
+	for i := range m.Basis {
+		name := fmt.Sprintf("phi%d", i)
+		if i < len(m.Names) {
+			name = m.Names[i]
+		}
+		fmt.Fprintf(&sb, " + %.4g·%s", m.Weights[i+1], name)
+	}
+	return sb.String()
+}
+
+// RawBasis returns identity basis functions (and names) for d features.
+func RawBasis(names []string) ([]BasisFunc, []string) {
+	fs := make([]BasisFunc, len(names))
+	for i := range names {
+		i := i
+		fs[i] = func(x []float64) float64 { return x[i] }
+	}
+	return fs, append([]string(nil), names...)
+}
+
+// PolyBasis returns the degree-2 polynomial basis over d features: every
+// raw feature plus all pairwise products (including squares).
+func PolyBasis(names []string) ([]BasisFunc, []string) {
+	fs, ns := RawBasis(names)
+	d := len(names)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			i, j := i, j
+			fs = append(fs, func(x []float64) float64 { return x[i] * x[j] })
+			ns = append(ns, names[i]+"·"+names[j])
+		}
+	}
+	return fs, ns
+}
+
+// FitLinear fits a least-squares linear model over the given basis. X is
+// the raw feature matrix (one row per sample); y the measured times. A tiny
+// ridge term keeps nearly-collinear bases solvable.
+func FitLinear(x [][]float64, y []float64, basis []BasisFunc, names []string) (*LinearModel, error) {
+	return fitLinearWeighted(x, y, basis, names, nil)
+}
+
+// FitLinearRelative fits a linear model minimising *relative* squared error
+// (each residual divided by the sample's magnitude). Performance models are
+// judged by MAPE, where a microsecond of error on a microsecond kernel
+// matters as much as a millisecond on a millisecond one; plain least
+// squares would fit only the largest samples.
+func FitLinearRelative(x [][]float64, y []float64, basis []BasisFunc, names []string) (*LinearModel, error) {
+	if len(y) == 0 {
+		return nil, fmt.Errorf("perfmodel: empty training set")
+	}
+	floor := relFloor(y)
+	w := make([]float64, len(y))
+	for i, v := range y {
+		d := math.Abs(v)
+		if d < floor {
+			d = floor
+		}
+		w[i] = 1 / (d * d)
+	}
+	return fitLinearWeighted(x, y, basis, names, w)
+}
+
+// relFloor returns the magnitude floor used for relative weighting: a small
+// fraction of the mean magnitude, so near-zero samples cannot dominate.
+func relFloor(y []float64) float64 {
+	m := 0.0
+	for _, v := range y {
+		m += math.Abs(v)
+	}
+	m /= float64(len(y))
+	if m == 0 {
+		return 1
+	}
+	return 1e-3 * m
+}
+
+func fitLinearWeighted(x [][]float64, y []float64, basis []BasisFunc, names []string, weights []float64) (*LinearModel, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("perfmodel: %d samples for %d targets", len(x), len(y))
+	}
+	p := len(basis) + 1 // + intercept
+	if len(x) < p {
+		return nil, fmt.Errorf("perfmodel: %d samples cannot identify %d parameters", len(x), p)
+	}
+	// Design matrix row for a sample.
+	row := func(xi []float64, dst []float64) {
+		dst[0] = 1
+		for j, b := range basis {
+			dst[j+1] = b(xi)
+		}
+	}
+	// Weighted normal equations AᵀWA w = AᵀWy with ridge regularisation.
+	ata := make([][]float64, p)
+	for i := range ata {
+		ata[i] = make([]float64, p)
+	}
+	aty := make([]float64, p)
+	buf := make([]float64, p)
+	for s := range x {
+		row(x[s], buf)
+		ws := 1.0
+		if weights != nil {
+			ws = weights[s]
+		}
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				ata[i][j] += ws * buf[i] * buf[j]
+			}
+			aty[i] += ws * buf[i] * y[s]
+		}
+	}
+	ridge := 1e-12 * traceOf(ata)
+	if ridge <= 0 {
+		ridge = 1e-12
+	}
+	for i := 0; i < p; i++ {
+		ata[i][i] += ridge
+	}
+	w, err := solveLinearSystem(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+	return &LinearModel{Weights: w, Basis: basis, Names: names}, nil
+}
+
+func traceOf(a [][]float64) float64 {
+	t := 0.0
+	for i := range a {
+		t += a[i][i]
+	}
+	return t / float64(len(a))
+}
+
+// EvalMAPE returns the model's Mean Absolute Percentage Error (percent)
+// against a validation set, skipping zero targets.
+func EvalMAPE(m Model, x [][]float64, y []float64) (float64, error) {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0, fmt.Errorf("perfmodel: bad validation set (%d, %d)", len(x), len(y))
+	}
+	sum, n := 0.0, 0
+	for i := range x {
+		if y[i] == 0 {
+			continue
+		}
+		sum += math.Abs((m.Predict(x[i]) - y[i]) / y[i])
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("perfmodel: all validation targets zero")
+	}
+	return 100 * sum / float64(n), nil
+}

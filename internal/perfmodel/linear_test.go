@@ -1,0 +1,170 @@
+package perfmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveLinearSystem(t *testing.T) {
+	a := [][]float64{
+		{2, 1, 0},
+		{1, 3, 1},
+		{0, 1, 4},
+	}
+	// x = (1, 2, 3) => b = (4, 10, 14)
+	b := []float64{4, 10, 14}
+	x, err := solveLinearSystem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinearSystemSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := solveLinearSystem(a, []float64{1, 2}); err == nil {
+		t.Error("singular system accepted")
+	}
+	if _, err := solveLinearSystem(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+}
+
+func TestSolveLinearSystemNeedsPivoting(t *testing.T) {
+	// Zero on the first diagonal forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	x, err := solveLinearSystem(a, []float64{5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-5) > 1e-12 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestFitLinearRecoversExactLaw(t *testing.T) {
+	// y = 3 + 2·a − 5·b, noiseless.
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x = append(x, []float64{a, b})
+		y = append(y, 3+2*a-5*b)
+	}
+	basis, names := RawBasis([]string{"a", "b"})
+	m, err := FitLinear(x, y, basis, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-3) > 1e-6 || math.Abs(m.Weights[1]-2) > 1e-6 || math.Abs(m.Weights[2]+5) > 1e-6 {
+		t.Errorf("weights = %v", m.Weights)
+	}
+	mape, err := EvalMAPE(m, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mape > 1e-6 {
+		t.Errorf("MAPE = %v on noiseless data", mape)
+	}
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFitLinearPolyBasisCapturesProducts(t *testing.T) {
+	// y = 1 + a·b requires the degree-2 basis.
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 80; i++ {
+		a, b := rng.Float64()*4, rng.Float64()*4
+		x = append(x, []float64{a, b})
+		y = append(y, 1+a*b)
+	}
+	rawB, rawN := RawBasis([]string{"a", "b"})
+	raw, err := FitLinear(x, y, rawB, rawN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polyB, polyN := PolyBasis([]string{"a", "b"})
+	poly, err := FitLinear(x, y, polyB, polyN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawErr, _ := EvalMAPE(raw, x, y)
+	polyErr, _ := EvalMAPE(poly, x, y)
+	if polyErr > 1e-6 {
+		t.Errorf("poly basis MAPE = %v on exact quadratic", polyErr)
+	}
+	if rawErr < 10*polyErr+1 {
+		t.Errorf("raw basis unexpectedly good: %v vs %v", rawErr, polyErr)
+	}
+}
+
+func TestFitLinearValidation(t *testing.T) {
+	basis, names := RawBasis([]string{"a"})
+	if _, err := FitLinear(nil, nil, basis, names); err == nil {
+		t.Error("empty training set accepted")
+	}
+	// Fewer samples than parameters.
+	if _, err := FitLinear([][]float64{{1}}, []float64{1}, basis, names); err == nil {
+		t.Error("underdetermined fit accepted")
+	}
+}
+
+func TestEvalMAPEErrors(t *testing.T) {
+	basis, names := RawBasis([]string{"a"})
+	m, err := FitLinear([][]float64{{1}, {2}, {3}}, []float64{1, 2, 3}, basis, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalMAPE(m, nil, nil); err == nil {
+		t.Error("empty validation accepted")
+	}
+	if _, err := EvalMAPE(m, [][]float64{{1}}, []float64{0}); err == nil {
+		t.Error("all-zero targets accepted")
+	}
+}
+
+func TestPolyBasisSize(t *testing.T) {
+	fs, ns := PolyBasis([]string{"a", "b", "c"})
+	// 3 raw + 6 pairs (aa ab ac bb bc cc) = 9.
+	if len(fs) != 9 || len(ns) != 9 {
+		t.Errorf("basis size = %d/%d, want 9", len(fs), len(ns))
+	}
+}
+
+func TestFitLinearRelativeHandlesScaleSpread(t *testing.T) {
+	// Samples spanning four decades: absolute least squares sacrifices the
+	// small samples; relative fitting keeps MAPE low everywhere.
+	rng := rand.New(rand.NewSource(8))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 120; i++ {
+		a := math.Pow(10, rng.Float64()*4) // 1 .. 10^4
+		x = append(x, []float64{a})
+		y = append(y, 2e-6+3e-8*a*a) // quadratic law, huge dynamic range
+	}
+	basis, names := PolyBasis([]string{"a"})
+	rel, err := FitLinearRelative(x, y, basis, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relMAPE, err := EvalMAPE(rel, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relMAPE > 1 {
+		t.Errorf("relative fit MAPE = %v%% on exact law", relMAPE)
+	}
+	if _, err := FitLinearRelative(nil, nil, basis, names); err == nil {
+		t.Error("empty training set accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package pic
+
+import (
+	"math/rand"
+	"testing"
+
+	"picpredict/internal/fluid"
+	"picpredict/internal/geom"
+	"picpredict/internal/mesh"
+	"picpredict/internal/particle"
+)
+
+func benchSolver(b *testing.B, pusher PusherKind, collisions bool) *Solver {
+	b.Helper()
+	m, err := mesh.New(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 0.01)), 64, 64, 1, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	ps := particle.New(10000)
+	for i := 0; i < 10000; i++ {
+		ps.Add(int64(i), geom.V(0.4+rng.Float64()*0.2, 0.4+rng.Float64()*0.2, rng.Float64()*0.01),
+			geom.Vec3{}, 1e-4, 1200)
+	}
+	params := Params{
+		Dt:              0.01,
+		FilterRadius:    0.01,
+		Mu:              1.8e-5,
+		Pusher:          pusher,
+		Collisions:      collisions,
+		WallRestitution: 0.5,
+	}
+	if collisions {
+		params.CollisionStiffness = 1e-4
+	}
+	flow := &fluid.DiaphragmBurst{Origin: geom.V(0.5, 0.5, 0), Amp: 0.001, Decay: 1, Core: 0.02}
+	s, err := NewSolver(m, flow, ps, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// Ablation: pusher order.
+func BenchmarkSolverStepEuler(b *testing.B) {
+	s := benchSolver(b, PushEuler, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	b.ReportMetric(float64(s.Particles.Len()), "particles")
+}
+
+func BenchmarkSolverStepRK2(b *testing.B) {
+	s := benchSolver(b, PushRK2, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkSolverStepWithCollisions(b *testing.B) {
+	s := benchSolver(b, PushEuler, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkInterpolatorVelocity(b *testing.B) {
+	m, err := mesh.New(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 0.01)), 64, 64, 1, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ip := NewInterpolator(m, fluid.Vortex{Center: geom.V(0.5, 0.5, 0), Omega: 1})
+	ip.BeginStep()
+	rng := rand.New(rand.NewSource(4))
+	pts := make([]geom.Vec3, 1024)
+	for i := range pts {
+		pts[i] = geom.V(rng.Float64(), rng.Float64(), rng.Float64()*0.01)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ip.Velocity(pts[i%len(pts)])
+	}
+}
+
+func BenchmarkCreateGhostParticles(b *testing.B) {
+	s := benchSolver(b, PushEuler, false)
+	d, err := mesh.Decompose(s.Mesh, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = s.CreateGhostParticles(d)
+	}
+}

@@ -1,0 +1,111 @@
+package pic
+
+import (
+	"math"
+
+	"picpredict/internal/geom"
+	"picpredict/internal/particle"
+)
+
+// collider computes soft-sphere particle–particle collision forces with a
+// uniform-grid broad phase. CMT-nek adds collision forces to the fluid
+// forces when solving Eq. 2 (§III-A); this is the same model at the fidelity
+// the workload study needs: an O(N) neighbour search plus a linear-spring
+// normal force.
+type collider struct {
+	cellSize float64
+	cells    map[cellKey][]int
+	// scratch accelerations, reused between steps
+	acc []geom.Vec3
+}
+
+type cellKey struct{ i, j, k int32 }
+
+func newCollider() *collider { return &collider{cells: make(map[cellKey][]int)} }
+
+func (c *collider) key(p geom.Vec3) cellKey {
+	return cellKey{
+		i: int32(floorDiv(p.X, c.cellSize)),
+		j: int32(floorDiv(p.Y, c.cellSize)),
+		k: int32(floorDiv(p.Z, c.cellSize)),
+	}
+}
+
+func floorDiv(x, d float64) int {
+	t := x / d
+	i := int(t)
+	if t < 0 && float64(i) != t {
+		i--
+	}
+	return i
+}
+
+// Forces returns per-particle collision accelerations for set s using a
+// linear spring of the given stiffness on pair overlap. The returned slice
+// is reused across calls; callers must not retain it.
+func (c *collider) Forces(s *particle.Set, stiffness float64) []geom.Vec3 {
+	n := s.Len()
+	if cap(c.acc) < n {
+		c.acc = make([]geom.Vec3, n)
+	}
+	acc := c.acc[:n]
+	for i := range acc {
+		acc[i] = geom.Vec3{}
+	}
+	if n == 0 {
+		return acc
+	}
+	// Broad-phase cell size: largest diameter (pairs farther apart than
+	// the sum of radii ≤ 2·maxRadius = maxDiameter cannot touch).
+	maxD := 0.0
+	for i := 0; i < n; i++ {
+		if s.Diameter[i] > maxD {
+			maxD = s.Diameter[i]
+		}
+	}
+	if maxD <= 0 {
+		return acc
+	}
+	c.cellSize = maxD
+	clear(c.cells)
+	for i := 0; i < n; i++ {
+		k := c.key(s.Pos[i])
+		c.cells[k] = append(c.cells[k], i)
+	}
+	// Narrow phase: visit each particle's 27-cell neighbourhood, applying
+	// each pair once (i < j).
+	for i := 0; i < n; i++ {
+		ki := c.key(s.Pos[i])
+		for dk := int32(-1); dk <= 1; dk++ {
+			for dj := int32(-1); dj <= 1; dj++ {
+				for di := int32(-1); di <= 1; di++ {
+					neigh := cellKey{ki.i + di, ki.j + dj, ki.k + dk}
+					for _, j := range c.cells[neigh] {
+						if j <= i {
+							continue
+						}
+						c.pair(s, i, j, stiffness, acc)
+					}
+				}
+			}
+		}
+	}
+	return acc
+}
+
+// pair applies the spring force between particles i and j if they overlap.
+func (c *collider) pair(s *particle.Set, i, j int, stiffness float64, acc []geom.Vec3) {
+	d := s.Pos[j].Sub(s.Pos[i])
+	dist2 := d.Norm2()
+	touch := (s.Diameter[i] + s.Diameter[j]) / 2
+	if dist2 >= touch*touch || dist2 == 0 {
+		return
+	}
+	dist := math.Sqrt(dist2)
+	overlap := touch - dist
+	dir := d.Scale(1 / dist)
+	f := dir.Scale(stiffness * overlap) // force magnitude, Newton-wise
+	// Equal and opposite; convert to acceleration by each particle's mass.
+	acc[i] = acc[i].Sub(f.Scale(1 / s.Mass(i)))
+	acc[j] = acc[j].Add(f.Scale(1 / s.Mass(j)))
+}

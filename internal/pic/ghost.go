@@ -1,0 +1,37 @@
+package pic
+
+import (
+	"picpredict/internal/geom"
+	"picpredict/internal/mesh"
+)
+
+// GhostFinder identifies, for a particle at a given position, the set of
+// processor ranks other than its home rank whose grid domain lies within the
+// projection filter radius. On each such rank the application materialises a
+// ghost particle (the create_ghost_particles kernel of §IV-D): a copy whose
+// influence is felt on grid points local to that rank even though the
+// particle itself resides elsewhere.
+type GhostFinder struct {
+	q *mesh.SphereOwners
+}
+
+// NewGhostFinder creates a finder for the given mesh and element
+// decomposition.
+func NewGhostFinder(m *mesh.Mesh, d *mesh.Decomposition) *GhostFinder {
+	return &GhostFinder{q: mesh.NewSphereOwners(m, d)}
+}
+
+// Ranks appends to dst every rank (≠ home; pass home = -1 to exclude none)
+// owning at least one element that intersects the ball (pos, radius), and
+// returns the extended slice. The result has no duplicates; order is not
+// specified. Internal buffers are reused, so Ranks is not safe for
+// concurrent use on one finder.
+func (g *GhostFinder) Ranks(dst []int, pos geom.Vec3, radius float64, home int) []int {
+	return g.q.Ranks(dst, pos, radius, home)
+}
+
+// Count returns the number of ghost ranks for a particle without
+// accumulating them.
+func (g *GhostFinder) Count(pos geom.Vec3, radius float64, home int) int {
+	return len(g.Ranks(nil, pos, radius, home))
+}

@@ -1,0 +1,115 @@
+package pic
+
+import (
+	"time"
+
+	"picpredict/internal/geom"
+	"picpredict/internal/mesh"
+)
+
+// StepTimings are wall-clock measurements of one instrumented solver
+// iteration, one entry per kernel of the PIC solver loop (§III-A). They are
+// the training data of the Model Generator when benchmarking the real
+// application rather than the synthetic kernel bodies.
+type StepTimings struct {
+	// FluidAdvance is the gas-phase (fluid-solver) time.
+	FluidAdvance time.Duration
+	// Collisions is the particle–particle collision force time (zero when
+	// collisions are disabled).
+	Collisions time.Duration
+	// Interpolation is the grid→particle phase.
+	Interpolation time.Duration
+	// EqSolver is the momentum-equation phase.
+	EqSolver time.Duration
+	// Pusher is the position-update phase.
+	Pusher time.Duration
+	// Projection is the particle→grid phase.
+	Projection time.Duration
+}
+
+// StepInstrumented runs one solver iteration with the per-particle phases
+// executed as separate passes so each kernel can be timed individually. The
+// resulting particle state is identical to Step's: the fused loop evaluates
+// exactly the same expressions per particle, only loop structure differs.
+// Instrumented stepping always runs serially (timings of interleaved
+// goroutines would not be attributable to kernels).
+func (s *Solver) StepInstrumented() StepTimings {
+	p := s.Params
+	var t StepTimings
+
+	start := time.Now()
+	s.Flow.Advance(s.time + p.Dt)
+	s.interp.BeginStep()
+	t.FluidAdvance = time.Since(start)
+
+	n := s.Particles.Len()
+	if cap(s.fluidAcc) < n {
+		s.fluidAcc = make([]geom.Vec3, n)
+	}
+	acc := s.fluidAcc[:n]
+	if cap(s.fluidVel) < n {
+		s.fluidVel = make([]geom.Vec3, n)
+	}
+	uf := s.fluidVel[:n]
+
+	var coll []geom.Vec3
+	if p.Collisions {
+		start = time.Now()
+		coll = s.collide.Forces(s.Particles, p.CollisionStiffness)
+		t.Collisions = time.Since(start)
+	}
+
+	// Phase 1: interpolation (grid → particle).
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		uf[i] = s.interp.Velocity(s.Particles.Pos[i])
+	}
+	t.Interpolation = time.Since(start)
+
+	// Phase 2: equation solver.
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		a := s.drag(i, uf[i]).Add(p.Gravity)
+		if coll != nil {
+			a = a.Add(coll[i])
+		}
+		acc[i] = a
+	}
+	t.EqSolver = time.Since(start)
+
+	// Phase 3: particle pusher.
+	start = time.Now()
+	switch p.Pusher {
+	case PushRK2:
+		s.pushRK2(acc, 0, n)
+	default:
+		s.pushEuler(acc, 0, n)
+	}
+	t.Pusher = time.Since(start)
+
+	// Phase 4: projection (particle → grid).
+	start = time.Now()
+	s.projectSerial()
+	t.Projection = time.Since(start)
+
+	s.time += p.Dt
+	s.step++
+	return t
+}
+
+// projectSerial runs the projection phase single-threaded regardless of
+// Params.Workers, for attributable timings.
+func (s *Solver) projectSerial() {
+	for e := range s.proj {
+		s.proj[e] = 0
+	}
+	s.projectRange(0, s.Particles.Len(), s.proj)
+}
+
+// TimedCreateGhostParticles runs the create_ghost_particles kernel against
+// a decomposition and reports its wall time alongside the ghost counts.
+func (s *Solver) TimedCreateGhostParticles(d *mesh.Decomposition) (perRank []int, total int, elapsed time.Duration) {
+	start := time.Now()
+	perRank, total = s.CreateGhostParticles(d)
+	return perRank, total, time.Since(start)
+}

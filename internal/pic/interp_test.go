@@ -1,0 +1,122 @@
+package pic
+
+import (
+	"math"
+	"testing"
+
+	"picpredict/internal/fluid"
+	"picpredict/internal/geom"
+	"picpredict/internal/mesh"
+)
+
+// linearFlow is u(p) = A·p + b, which trilinear interpolation must reproduce
+// exactly at any point.
+type linearFlow struct{}
+
+func (linearFlow) Advance(float64) {}
+func (linearFlow) Velocity(p geom.Vec3) geom.Vec3 {
+	return geom.V(2*p.X+1, -3*p.Y+0.5*p.X, p.Z+p.Y)
+}
+
+func testMesh(t *testing.T) *mesh.Mesh {
+	t.Helper()
+	m, err := mesh.New(geom.Box(geom.V(0, 0, 0), geom.V(2, 2, 2)), 4, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInterpolatorReproducesLinearField(t *testing.T) {
+	m := testMesh(t)
+	ip := NewInterpolator(m, linearFlow{})
+	ip.BeginStep()
+	pts := []geom.Vec3{
+		{X: 0.1, Y: 0.1, Z: 0.1},
+		{X: 1.0, Y: 1.0, Z: 1.0},   // element boundary
+		{X: 0.499, Y: 1.7, Z: 0.2}, // interior
+		{X: 2, Y: 2, Z: 2},         // domain corner
+		{X: 0, Y: 0, Z: 0},
+	}
+	var lf linearFlow
+	for _, p := range pts {
+		got := ip.Velocity(p)
+		want := lf.Velocity(p)
+		if got.Sub(want).Norm() > 1e-12 {
+			t.Errorf("Velocity(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestInterpolatorCacheCounts(t *testing.T) {
+	m := testMesh(t)
+	ip := NewInterpolator(m, fluid.Uniform{U: geom.V(1, 0, 0)})
+	ip.BeginStep()
+	p := geom.V(0.1, 0.1, 0.1)
+	ip.Velocity(p)
+	ip.Velocity(p.Add(geom.V(0.05, 0, 0))) // same element
+	if ip.NodesBuilt() != 1 {
+		t.Errorf("NodesBuilt = %d, want 1 (cache hit expected)", ip.NodesBuilt())
+	}
+	ip.Velocity(geom.V(1.9, 1.9, 1.9)) // different element
+	if ip.NodesBuilt() != 2 {
+		t.Errorf("NodesBuilt = %d, want 2", ip.NodesBuilt())
+	}
+	ip.BeginStep()
+	ip.Velocity(p)
+	if ip.NodesBuilt() != 1 {
+		t.Errorf("NodesBuilt after BeginStep = %d, want 1", ip.NodesBuilt())
+	}
+}
+
+func TestInterpolatorClampsOutsidePoints(t *testing.T) {
+	m := testMesh(t)
+	ip := NewInterpolator(m, linearFlow{})
+	ip.BeginStep()
+	got := ip.Velocity(geom.V(-5, 1, 1))
+	want := (linearFlow{}).Velocity(geom.V(0, 1, 1))
+	if got.Sub(want).Norm() > 1e-12 {
+		t.Errorf("clamped Velocity = %v, want %v", got, want)
+	}
+}
+
+func TestInterpolatorN1Mesh(t *testing.T) {
+	m, err := mesh.New(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)), 2, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterpolator(m, fluid.Uniform{U: geom.V(3, 2, 1)})
+	ip.BeginStep()
+	if got := ip.Velocity(geom.V(0.7, 0.2, 0.9)); got != geom.V(3, 2, 1) {
+		t.Errorf("Velocity = %v", got)
+	}
+}
+
+func TestInterpolatorSmoothFieldAccuracy(t *testing.T) {
+	// Trilinear interpolation of a smooth field converges as O(h²); on a
+	// fine mesh the error should be small.
+	m, err := mesh.New(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)), 8, 8, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sin := flowFunc(func(p geom.Vec3) geom.Vec3 {
+		return geom.V(math.Sin(3*p.X), math.Cos(2*p.Y), math.Sin(p.Z+p.X))
+	})
+	ip := NewInterpolator(m, sin)
+	ip.BeginStep()
+	maxErr := 0.0
+	for _, p := range []geom.Vec3{{X: 0.11, Y: 0.52, Z: 0.33}, {X: 0.77, Y: 0.18, Z: 0.95}, {X: 0.5, Y: 0.5, Z: 0.5}} {
+		err := ip.Velocity(p).Sub(sin.Velocity(p)).Norm()
+		if err > maxErr {
+			maxErr = err
+		}
+	}
+	if maxErr > 5e-3 {
+		t.Errorf("interpolation error %v too large", maxErr)
+	}
+}
+
+type flowFunc func(geom.Vec3) geom.Vec3
+
+func (flowFunc) Advance(float64)                  {}
+func (f flowFunc) Velocity(p geom.Vec3) geom.Vec3 { return f(p) }

@@ -1,0 +1,89 @@
+// Package pic implements the particle-solver phase of a CMT-nek-style PIC
+// application: the four-step PIC solver loop of §III-A —
+//
+//  1. Interpolation   (grid → particle): fluid velocity at particle sites,
+//     trilinearly interpolated from element grid-point values;
+//  2. Equation solver: drag + gravity + collision forces, conservation of
+//     momentum (Eq. 2);
+//  3. Particle pusher: advance positions (Eq. 1) with forward Euler or RK2;
+//  4. Projection      (particle → grid): deposit particle influence onto
+//     grid points within the projection filter radius, and create ghost
+//     particles on neighbouring processors whose grid points the filter
+//     touches.
+package pic
+
+import (
+	"fmt"
+
+	"picpredict/internal/geom"
+)
+
+// PusherKind selects the time integrator of the particle pusher.
+type PusherKind int
+
+const (
+	// PushEuler is first-order forward Euler.
+	PushEuler PusherKind = iota
+	// PushRK2 is the explicit midpoint (second-order Runge–Kutta) method.
+	PushRK2
+)
+
+// String implements fmt.Stringer.
+func (k PusherKind) String() string {
+	switch k {
+	case PushEuler:
+		return "euler"
+	case PushRK2:
+		return "rk2"
+	default:
+		return fmt.Sprintf("PusherKind(%d)", int(k))
+	}
+}
+
+// Params are the physical and numerical parameters of the particle solver.
+type Params struct {
+	// Dt is the solver time step.
+	Dt float64
+	// FilterRadius is the projection filter size: the radius of particle
+	// influence on neighbouring grid points (§IV-D). It also serves as the
+	// threshold bin size for bin-based mapping.
+	FilterRadius float64
+	// Gravity is the body-force acceleration.
+	Gravity geom.Vec3
+	// Mu is the gas dynamic viscosity used in the Stokes drag response
+	// time τ_p = ρ_p d² / (18 μ).
+	Mu float64
+	// Pusher selects the integrator.
+	Pusher PusherKind
+	// Collisions enables soft-sphere particle–particle collision forces.
+	Collisions bool
+	// CollisionStiffness is the spring constant of the soft-sphere model
+	// (force per unit overlap, divided by particle mass at application).
+	CollisionStiffness float64
+	// WallRestitution scales the normal velocity on domain-wall bounces;
+	// 1 is elastic, 0 is perfectly absorbing.
+	WallRestitution float64
+	// Workers sets the goroutine count for the per-particle phases
+	// (interpolation/equation-solver/pusher and projection); 0 or 1 runs
+	// serially. Particle trajectories are bit-identical for any worker
+	// count; only the projection field differs by floating-point
+	// reduction order.
+	Workers int
+}
+
+// Validate reports the first invalid parameter.
+func (p Params) Validate() error {
+	switch {
+	case p.Dt <= 0:
+		return fmt.Errorf("pic: Dt must be positive, got %g", p.Dt)
+	case p.FilterRadius < 0:
+		return fmt.Errorf("pic: FilterRadius must be non-negative, got %g", p.FilterRadius)
+	case p.Mu <= 0:
+		return fmt.Errorf("pic: Mu must be positive, got %g", p.Mu)
+	case p.WallRestitution < 0 || p.WallRestitution > 1:
+		return fmt.Errorf("pic: WallRestitution must be in [0,1], got %g", p.WallRestitution)
+	case p.Collisions && p.CollisionStiffness <= 0:
+		return fmt.Errorf("pic: CollisionStiffness must be positive when collisions are enabled")
+	}
+	return nil
+}

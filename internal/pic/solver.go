@@ -1,0 +1,328 @@
+package pic
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"picpredict/internal/fluid"
+	"picpredict/internal/geom"
+	"picpredict/internal/mesh"
+	"picpredict/internal/particle"
+)
+
+// Solver advances a particle population through the PIC solver loop against
+// a fluid flow on a spectral-element mesh. It is the executable application
+// whose particle traces feed the prediction framework.
+type Solver struct {
+	Mesh      *mesh.Mesh
+	Flow      fluid.Flow
+	Particles *particle.Set
+	Params    Params
+
+	interp       *Interpolator
+	collide      *collider
+	proj         []float64   // projected particle volume per element
+	projPartials [][]float64 // per-worker partial fields (parallel mode)
+	time         float64
+	step         int
+	fluidAcc     []geom.Vec3 // scratch: per-particle fluid acceleration
+	fluidVel     []geom.Vec3 // scratch: per-particle fluid velocity (instrumented mode)
+}
+
+// NewSolver assembles a solver; it validates parameters and rejects
+// particles outside the mesh domain.
+func NewSolver(m *mesh.Mesh, flow fluid.Flow, ps *particle.Set, params Params) (*Solver, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ps.Validate(); err != nil {
+		return nil, err
+	}
+	dom := m.Domain()
+	for i := 0; i < ps.Len(); i++ {
+		if !dom.ContainsClosed(ps.Pos[i]) {
+			return nil, fmt.Errorf("pic: particle %d at %v outside domain %v", i, ps.Pos[i], dom)
+		}
+	}
+	return &Solver{
+		Mesh:      m,
+		Flow:      flow,
+		Particles: ps,
+		Params:    params,
+		interp:    NewInterpolator(m, flow),
+		collide:   newCollider(),
+		proj:      make([]float64, m.NumElements()),
+	}, nil
+}
+
+// Time returns the current simulation time.
+func (s *Solver) Time() float64 { return s.time }
+
+// StepCount returns the number of completed iterations.
+func (s *Solver) StepCount() int { return s.step }
+
+// Projection returns the per-element projected particle volume field
+// produced by the most recent step. The slice is owned by the solver.
+func (s *Solver) Projection() []float64 { return s.proj }
+
+// Step runs one iteration of the PIC solver loop.
+func (s *Solver) Step() {
+	p := s.Params
+	// Advance the gas phase to the end of this step and refresh the
+	// interpolation cache (fluid-solver phase).
+	s.Flow.Advance(s.time + p.Dt)
+	s.interp.BeginStep()
+
+	n := s.Particles.Len()
+	if cap(s.fluidAcc) < n {
+		s.fluidAcc = make([]geom.Vec3, n)
+	}
+	acc := s.fluidAcc[:n]
+
+	// Phase 2 inputs — collision forces (optional).
+	var coll []geom.Vec3
+	if p.Collisions {
+		coll = s.collide.Forces(s.Particles, p.CollisionStiffness)
+	}
+
+	// Phases 1–3 per particle: interpolate, solve momentum equation, push.
+	s.parallelRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			uf := s.interp.Velocity(s.Particles.Pos[i]) // Phase 1: interpolation
+			a := s.drag(i, uf).Add(p.Gravity)           // Phase 2: equation solver
+			if coll != nil {
+				a = a.Add(coll[i])
+			}
+			acc[i] = a
+		}
+		switch p.Pusher { // Phase 3: particle pusher
+		case PushRK2:
+			s.pushRK2(acc, lo, hi)
+		default:
+			s.pushEuler(acc, lo, hi)
+		}
+	})
+
+	// Phase 4: projection (particle → grid).
+	s.project()
+
+	s.time += p.Dt
+	s.step++
+}
+
+// parallelRange splits [0, n) across Params.Workers goroutines (serial when
+// Workers ≤ 1) and waits for completion.
+func (s *Solver) parallelRange(n int, fn func(lo, hi int)) {
+	workers := s.Params.Workers
+	if workers <= 1 || n < 2*workers {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// drag returns the Stokes drag acceleration of particle i under fluid
+// velocity uf: (uf − v) / τ_p with τ_p = ρ_p d² / (18 μ).
+func (s *Solver) drag(i int, uf geom.Vec3) geom.Vec3 {
+	ps := s.Particles
+	tau := ps.Density[i] * ps.Diameter[i] * ps.Diameter[i] / (18 * s.Params.Mu)
+	if tau <= 0 {
+		return geom.Vec3{}
+	}
+	return uf.Sub(ps.Vel[i]).Scale(1 / tau)
+}
+
+func (s *Solver) pushEuler(acc []geom.Vec3, lo, hi int) {
+	dt := s.Params.Dt
+	ps := s.Particles
+	for i := lo; i < hi; i++ {
+		ps.Vel[i] = ps.Vel[i].Add(acc[i].Scale(dt))
+		ps.Pos[i] = ps.Pos[i].Add(ps.Vel[i].Scale(dt))
+		s.bounce(i)
+	}
+}
+
+func (s *Solver) pushRK2(acc []geom.Vec3, lo, hi int) {
+	dt := s.Params.Dt
+	ps := s.Particles
+	for i := lo; i < hi; i++ {
+		// Midpoint state.
+		vMid := ps.Vel[i].Add(acc[i].Scale(dt / 2))
+		pMid := ps.Pos[i].Add(ps.Vel[i].Scale(dt / 2))
+		ufMid := s.interp.Velocity(pMid)
+		aMid := s.dragAt(i, vMid, ufMid).Add(s.Params.Gravity)
+		ps.Vel[i] = ps.Vel[i].Add(aMid.Scale(dt))
+		ps.Pos[i] = ps.Pos[i].Add(vMid.Scale(dt))
+		s.bounce(i)
+	}
+}
+
+func (s *Solver) dragAt(i int, v, uf geom.Vec3) geom.Vec3 {
+	ps := s.Particles
+	tau := ps.Density[i] * ps.Diameter[i] * ps.Diameter[i] / (18 * s.Params.Mu)
+	if tau <= 0 {
+		return geom.Vec3{}
+	}
+	return uf.Sub(v).Scale(1 / tau)
+}
+
+// bounce reflects particle i off the domain walls with the configured
+// restitution, keeping every particle inside the closed domain.
+func (s *Solver) bounce(i int) {
+	d := s.Mesh.Domain()
+	ps := s.Particles
+	pos, vel := ps.Pos[i], ps.Vel[i]
+	// Fast path: the overwhelming majority of pushes stay inside.
+	if pos.X >= d.Lo.X && pos.X <= d.Hi.X &&
+		pos.Y >= d.Lo.Y && pos.Y <= d.Hi.Y &&
+		pos.Z >= d.Lo.Z && pos.Z <= d.Hi.Z {
+		return
+	}
+	for a := 0; a < 3; a++ {
+		lo, hi := d.Lo.Axis(a), d.Hi.Axis(a)
+		x, v := pos.Axis(a), vel.Axis(a)
+		switch {
+		case x < lo:
+			x = lo + (lo - x)
+			v = -v * s.Params.WallRestitution
+		case x > hi:
+			x = hi - (x - hi)
+			v = -v * s.Params.WallRestitution
+		}
+		// A huge step can overshoot the reflection too; clamp hard.
+		x = math.Max(lo, math.Min(hi, x))
+		pos = pos.WithAxis(a, x)
+		vel = vel.WithAxis(a, v)
+	}
+	ps.Pos[i], ps.Vel[i] = pos, vel
+}
+
+// project deposits each particle's volume onto the elements inside its
+// projection filter with a linear hat weight w(r) = 1 − r/R, normalised per
+// particle so total deposited volume equals particle volume. In parallel
+// mode each worker accumulates into a private partial field; partials
+// reduce in fixed worker order, so results are deterministic for a given
+// worker count (and equal to serial up to floating-point addition order).
+func (s *Solver) project() {
+	for e := range s.proj {
+		s.proj[e] = 0
+	}
+	n := s.Particles.Len()
+	workers := s.Params.Workers
+	if workers <= 1 || n < 2*workers {
+		s.projectRange(0, n, s.proj)
+		return
+	}
+	if len(s.projPartials) != workers {
+		s.projPartials = make([][]float64, workers)
+		for w := range s.projPartials {
+			s.projPartials[w] = make([]float64, s.Mesh.NumElements())
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		part := s.projPartials[w]
+		for e := range part {
+			part[e] = 0
+		}
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.projectRange(lo, hi, part)
+		}()
+	}
+	wg.Wait()
+	for _, part := range s.projPartials {
+		for e, v := range part {
+			s.proj[e] += v
+		}
+	}
+}
+
+// projectRange deposits particles [lo, hi) into proj.
+func (s *Solver) projectRange(lo, hi int, proj []float64) {
+	radius := s.Params.FilterRadius
+	ps := s.Particles
+	var buf []int
+	var w []float64
+	for i := lo; i < hi; i++ {
+		vol := ps.Mass(i) / ps.Density[i]
+		if radius <= 0 {
+			if e := s.Mesh.ElementAt(ps.Pos[i]); e >= 0 {
+				proj[e] += vol
+			}
+			continue
+		}
+		buf = s.Mesh.ElementsInSphere(buf[:0], ps.Pos[i], radius)
+		w = w[:0]
+		total := 0.0
+		for _, e := range buf {
+			r := s.Mesh.Elements.CellCenter(e).Dist(ps.Pos[i])
+			wt := 1 - r/radius
+			if wt < 0 {
+				wt = 0
+			}
+			w = append(w, wt)
+			total += wt
+		}
+		if total <= 0 {
+			// Ball intersects elements but all centres are beyond R:
+			// deposit everything in the home element.
+			if e := s.Mesh.ElementAt(ps.Pos[i]); e >= 0 {
+				proj[e] += vol
+			}
+			continue
+		}
+		for k, e := range buf {
+			proj[e] += vol * w[k] / total
+		}
+	}
+}
+
+// CreateGhostParticles runs the create_ghost_particles kernel against a
+// processor decomposition: for every particle it finds the ranks (other
+// than the particle's home rank) whose elements its projection filter
+// touches. It returns the per-rank ghost counts and the total number of
+// ghost particles created.
+func (s *Solver) CreateGhostParticles(d *mesh.Decomposition) (perRank []int, total int) {
+	gf := NewGhostFinder(s.Mesh, d)
+	perRank = make([]int, d.Ranks)
+	ps := s.Particles
+	var buf []int
+	for i := 0; i < ps.Len(); i++ {
+		home := -1
+		if e := s.Mesh.ElementAt(ps.Pos[i]); e >= 0 {
+			home = d.RankOf(e)
+		}
+		buf = gf.Ranks(buf[:0], ps.Pos[i], s.Params.FilterRadius, home)
+		for _, r := range buf {
+			perRank[r]++
+			total++
+		}
+	}
+	return perRank, total
+}
+
+// Run advances the solver `steps` iterations, invoking observe (if non-nil)
+// after every iteration with the completed step index.
+func (s *Solver) Run(steps int, observe func(step int)) {
+	for i := 0; i < steps; i++ {
+		s.Step()
+		if observe != nil {
+			observe(s.step)
+		}
+	}
+}

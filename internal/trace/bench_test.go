@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"picpredict/internal/geom"
+)
+
+func benchFrame(n int) []geom.Vec3 {
+	rng := rand.New(rand.NewSource(6))
+	pos := make([]geom.Vec3, n)
+	for i := range pos {
+		pos[i] = geom.V(rng.Float64()*10, rng.Float64()*10, rng.Float64())
+	}
+	return pos
+}
+
+func BenchmarkWriteFrame(b *testing.B) {
+	const np = 100000
+	pos := benchFrame(np)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{NumParticles: np, SampleEvery: 100, Domain: geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 1))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(12 * np))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := w.WriteFrame(i, pos); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadFrame(b *testing.B) {
+	const np = 100000
+	pos := benchFrame(np)
+	var buf bytes.Buffer
+	h := Header{NumParticles: np, SampleEvery: 100, Domain: geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 1))}
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.WriteFrame(0, pos); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	dst := make([]geom.Vec3, np)
+	b.SetBytes(int64(12 * np))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Next(dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"picpredict/internal/geom"
+)
+
+// WriteCSV converts a binary trace to a human-readable CSV with columns
+// iteration,particle,x,y,z — useful for plotting and for interchange with
+// the analysis scripts of the original study.
+func WriteCSV(dst io.Writer, src *Reader) error {
+	w := bufio.NewWriter(dst)
+	if _, err := fmt.Fprintln(w, "iteration,particle,x,y,z"); err != nil {
+		return err
+	}
+	frame := make([]geom.Vec3, src.Header().NumParticles)
+	for {
+		it, err := src.Next(frame)
+		if errors.Is(err, io.EOF) {
+			return w.Flush()
+		}
+		if err != nil {
+			return err
+		}
+		for i, p := range frame {
+			if _, err := fmt.Fprintf(w, "%d,%d,%g,%g,%g\n", it, i, p.X, p.Y, p.Z); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// ReadCSV parses a CSV in the WriteCSV layout and writes it as a binary
+// trace with the given header. Frames must be contiguous and each must list
+// every particle exactly once in ascending particle order.
+func ReadCSV(dst io.Writer, src io.Reader, h Header) error {
+	w, err := NewWriter(dst, h)
+	if err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	frame := make([]geom.Vec3, h.NumParticles)
+	inFrame := false
+	curIter, nextIdx := 0, 0
+	flush := func() error {
+		if !inFrame {
+			return nil
+		}
+		if nextIdx != h.NumParticles {
+			return fmt.Errorf("trace: csv frame at iteration %d has %d particles, want %d", curIter, nextIdx, h.NumParticles)
+		}
+		inFrame = false
+		nextIdx = 0
+		return w.WriteFrame(curIter, frame)
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "iteration") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 5 {
+			return fmt.Errorf("trace: csv line %d: want 5 fields, got %d", lineNo, len(parts))
+		}
+		it, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return fmt.Errorf("trace: csv line %d: iteration: %w", lineNo, err)
+		}
+		idx, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return fmt.Errorf("trace: csv line %d: particle: %w", lineNo, err)
+		}
+		var xyz [3]float64
+		for k := 0; k < 3; k++ {
+			xyz[k], err = strconv.ParseFloat(parts[2+k], 64)
+			if err != nil {
+				return fmt.Errorf("trace: csv line %d: coordinate %d: %w", lineNo, k, err)
+			}
+		}
+		if inFrame && it != curIter {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		if !inFrame {
+			inFrame = true
+			curIter = it
+		}
+		if idx != nextIdx {
+			return fmt.Errorf("trace: csv line %d: particle %d out of order (want %d)", lineNo, idx, nextIdx)
+		}
+		frame[idx] = geom.V(xyz[0], xyz[1], xyz[2])
+		nextIdx++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return w.Flush()
+}

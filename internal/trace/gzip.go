@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Trace files are large — §II-D notes full-scale traces reach hundreds of
+// gigabytes — and particle positions compress well (spatial coherence
+// within a frame, temporal coherence across frames). These helpers add
+// transparent gzip on top of the binary format. OpenReader sniffs the gzip
+// magic, so compressed and raw traces read through the same call.
+
+// gzipMagic is the two-byte gzip stream header.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// NewCompressedWriter writes a gzip-compressed trace to w. Close must be
+// called to flush the compressed stream.
+func NewCompressedWriter(w io.Writer, h Header) (*CompressedWriter, error) {
+	gz := gzip.NewWriter(w)
+	tw, err := NewWriter(gz, h)
+	if err != nil {
+		return nil, err
+	}
+	return &CompressedWriter{Writer: tw, gz: gz}, nil
+}
+
+// CompressedWriter is a trace Writer whose output is gzip-compressed.
+type CompressedWriter struct {
+	*Writer
+	gz *gzip.Writer
+}
+
+// Close flushes the trace and terminates the gzip stream.
+func (c *CompressedWriter) Close() error {
+	if err := c.Writer.Flush(); err != nil {
+		return err
+	}
+	return c.gz.Close()
+}
+
+// OpenReader returns a trace Reader for r, transparently decompressing when
+// the stream is gzip-compressed.
+func OpenReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(2)
+	if err != nil {
+		return nil, fmt.Errorf("trace: sniffing stream: %w", err)
+	}
+	if head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: opening gzip stream: %w", err)
+		}
+		return NewReader(gz)
+	}
+	return NewReader(br)
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"fmt"
+
+	"picpredict/internal/geom"
+)
+
+// Sampler writes trace frames at a fixed iteration interval. Attach it to a
+// PIC run by calling Observe after every iteration; it records iteration 0
+// (the initial condition) and every SampleEvery-th iteration thereafter,
+// which mirrors how the paper collected traces ("sampling particle location
+// for every 100 iterations").
+type Sampler struct {
+	w      *Writer
+	every  int
+	nextAt int
+	err    error
+}
+
+// NewSampler wraps w. The sampling interval is taken from the writer's
+// header.
+func NewSampler(w *Writer) *Sampler {
+	return &Sampler{w: w, every: w.Header().SampleEvery}
+}
+
+// Observe records the particle positions if iteration is due for sampling.
+// The first error encountered is sticky and returned by Err and by all
+// subsequent Observe calls.
+func (s *Sampler) Observe(iteration int, pos []geom.Vec3) error {
+	if s.err != nil {
+		return s.err
+	}
+	if iteration < s.nextAt {
+		return nil
+	}
+	if err := s.w.WriteFrame(iteration, pos); err != nil {
+		s.err = fmt.Errorf("trace: sampling iteration %d: %w", iteration, err)
+		return s.err
+	}
+	s.nextAt = iteration + s.every
+	return nil
+}
+
+// Err returns the sticky error, if any.
+func (s *Sampler) Err() error { return s.err }
+
+// Close flushes the underlying writer.
+func (s *Sampler) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}

@@ -1,0 +1,215 @@
+// Package trace defines the particle-trace file format of the prediction
+// framework: particle positions sampled from the PIC application at fixed
+// iteration intervals (§II). A trace is the only application artefact the
+// Dynamic Workload Generator needs — the particle movement it records is
+// independent of the processor count, so one trace predicts workload on any
+// number of processors.
+//
+// Binary layout (little endian):
+//
+//	header:  magic "PICTRC01" | numParticles uint64 | sampleEvery uint32 |
+//	         domain lo(x,y,z) hi(x,y,z) float64×6
+//	frame:   iteration uint64 | positions float32 ×3×numParticles
+//
+// Positions are float32: trace files for millions of particles are large
+// (§II-D), and single precision halves them while leaving localisation of a
+// particle to an element or bin far more accurate than an element width.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"picpredict/internal/geom"
+)
+
+// Magic identifies a picpredict particle-trace stream, including a format
+// version suffix.
+const Magic = "PICTRC01"
+
+// Header describes a particle trace.
+type Header struct {
+	// NumParticles is the particle count N_p; every frame stores exactly
+	// this many positions.
+	NumParticles int
+	// SampleEvery is the number of application iterations between frames
+	// (the paper samples every 100 iterations).
+	SampleEvery int
+	// Domain is the computational domain the trace was produced on.
+	Domain geom.AABB
+}
+
+// Validate reports the first invalid header field.
+func (h Header) Validate() error {
+	switch {
+	case h.NumParticles <= 0:
+		return fmt.Errorf("trace: NumParticles must be positive, got %d", h.NumParticles)
+	case h.SampleEvery <= 0:
+		return fmt.Errorf("trace: SampleEvery must be positive, got %d", h.SampleEvery)
+	case h.Domain.Empty():
+		return fmt.Errorf("trace: empty domain %v", h.Domain)
+	}
+	return nil
+}
+
+// Writer streams trace frames to an underlying writer.
+type Writer struct {
+	w      *bufio.Writer
+	header Header
+	frames int
+	buf    []byte
+}
+
+// NewWriter writes the header for h to w and returns a frame writer.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	var hdr [8 + 4 + 6*8]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(h.NumParticles))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(h.SampleEvery))
+	for i, v := range []float64{h.Domain.Lo.X, h.Domain.Lo.Y, h.Domain.Lo.Z, h.Domain.Hi.X, h.Domain.Hi.Y, h.Domain.Hi.Z} {
+		binary.LittleEndian.PutUint64(hdr[12+8*i:], math.Float64bits(v))
+	}
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw, header: h}, nil
+}
+
+// Header returns the header the writer was created with.
+func (w *Writer) Header() Header { return w.header }
+
+// Frames returns the number of frames written so far.
+func (w *Writer) Frames() int { return w.frames }
+
+// WriteFrame appends one sample frame taken at the given application
+// iteration. len(pos) must equal the header particle count.
+func (w *Writer) WriteFrame(iteration int, pos []geom.Vec3) error {
+	if len(pos) != w.header.NumParticles {
+		return fmt.Errorf("trace: frame has %d positions, header says %d", len(pos), w.header.NumParticles)
+	}
+	need := 8 + 12*len(pos)
+	if cap(w.buf) < need {
+		w.buf = make([]byte, need)
+	}
+	b := w.buf[:need]
+	binary.LittleEndian.PutUint64(b[0:], uint64(iteration))
+	off := 8
+	for _, p := range pos {
+		binary.LittleEndian.PutUint32(b[off:], math.Float32bits(float32(p.X)))
+		binary.LittleEndian.PutUint32(b[off+4:], math.Float32bits(float32(p.Y)))
+		binary.LittleEndian.PutUint32(b[off+8:], math.Float32bits(float32(p.Z)))
+		off += 12
+	}
+	if _, err := w.w.Write(b); err != nil {
+		return fmt.Errorf("trace: writing frame %d: %w", w.frames, err)
+	}
+	w.frames++
+	return nil
+}
+
+// Flush flushes buffered frames to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams trace frames from an underlying reader.
+type Reader struct {
+	r      *bufio.Reader
+	header Header
+	frame  int
+	buf    []byte
+}
+
+// NewReader parses the trace header from r and returns a frame reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("trace: bad magic %q (not a picpredict trace, or wrong version)", magic)
+	}
+	var hdr [8 + 4 + 6*8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	var h Header
+	h.NumParticles = int(binary.LittleEndian.Uint64(hdr[0:]))
+	h.SampleEvery = int(binary.LittleEndian.Uint32(hdr[8:]))
+	f := make([]float64, 6)
+	for i := range f {
+		f[i] = math.Float64frombits(binary.LittleEndian.Uint64(hdr[12+8*i:]))
+	}
+	h.Domain = geom.AABB{Lo: geom.V(f[0], f[1], f[2]), Hi: geom.V(f[3], f[4], f[5])}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return &Reader{r: br, header: h}, nil
+}
+
+// Header returns the parsed trace header.
+func (r *Reader) Header() Header { return r.header }
+
+// Next reads the next frame into dst, which must have length
+// Header().NumParticles, and returns the application iteration the frame
+// was sampled at. At end of stream it returns io.EOF; a frame truncated
+// mid-record returns io.ErrUnexpectedEOF.
+func (r *Reader) Next(dst []geom.Vec3) (iteration int, err error) {
+	if len(dst) != r.header.NumParticles {
+		return 0, fmt.Errorf("trace: dst has %d slots, need %d", len(dst), r.header.NumParticles)
+	}
+	need := 8 + 12*len(dst)
+	if cap(r.buf) < need {
+		r.buf = make([]byte, need)
+	}
+	b := r.buf[:need]
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		if errors.Is(err, io.EOF) && r.frame > 0 {
+			return 0, io.EOF
+		}
+		if errors.Is(err, io.EOF) {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("trace: reading frame %d: %w", r.frame, err)
+	}
+	iteration = int(binary.LittleEndian.Uint64(b[0:]))
+	off := 8
+	for i := range dst {
+		dst[i] = geom.V(
+			float64(math.Float32frombits(binary.LittleEndian.Uint32(b[off:]))),
+			float64(math.Float32frombits(binary.LittleEndian.Uint32(b[off+4:]))),
+			float64(math.Float32frombits(binary.LittleEndian.Uint32(b[off+8:]))),
+		)
+		off += 12
+	}
+	r.frame++
+	return iteration, nil
+}
+
+// ReadAll consumes every remaining frame, returning the iterations and a
+// flat frame-major position slice (frame f occupies positions[f*Np:(f+1)*Np]).
+// Prefer streaming with Next for large traces.
+func (r *Reader) ReadAll() (iterations []int, positions []geom.Vec3, err error) {
+	np := r.header.NumParticles
+	frame := make([]geom.Vec3, np)
+	for {
+		it, err := r.Next(frame)
+		if errors.Is(err, io.EOF) {
+			return iterations, positions, nil
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		iterations = append(iterations, it)
+		positions = append(positions, frame...)
+	}
+}

@@ -1,0 +1,161 @@
+package picpredict
+
+import (
+	"fmt"
+	"sort"
+
+	"picpredict/internal/kernels"
+	"picpredict/internal/perfmodel"
+)
+
+// TrainOptions configures the Model Generator (§II-B).
+type TrainOptions struct {
+	// Noise is the relative measurement noise of the synthetic testbed
+	// (default 0.02). Ignored when WallClock is set.
+	Noise float64
+	// Seed drives measurement noise and symbolic-regression randomness.
+	Seed int64
+	// WallClock benchmarks by actually executing and timing the kernel
+	// bodies instead of using the deterministic synthetic testbed.
+	WallClock bool
+	// Fast shrinks the symbolic-regression search; fine for smoke tests,
+	// not for accuracy experiments.
+	Fast bool
+}
+
+// Models is a set of fitted per-kernel performance models.
+type Models struct {
+	inner kernels.Models
+}
+
+// TrainModels runs the full Model Generator pipeline: benchmark every
+// kernel across the default parameter sweep and fit a model per kernel —
+// linear regression where a single parameter dominates, symbolic regression
+// for multi-parameter kernels (§II-B).
+func TrainModels(opts TrainOptions) (Models, error) {
+	var ms kernels.Measurer
+	if opts.WallClock {
+		ms = &kernels.WallClock{}
+	} else {
+		noise := opts.Noise
+		if noise == 0 {
+			noise = 0.02
+		}
+		seed := opts.Seed
+		if seed == 0 {
+			seed = 20210517
+		}
+		ms = kernels.NewSynthetic(noise, seed)
+	}
+	inner, err := kernels.Train(ms, kernels.TrainOptions{Seed: opts.Seed, Fast: opts.Fast})
+	if err != nil {
+		return Models{}, fmt.Errorf("picpredict: %w", err)
+	}
+	return Models{inner: inner}, nil
+}
+
+// AppTrainOptions configures instrumented-application model training.
+type AppTrainOptions struct {
+	// Np, N, and Filter define the benchmark sweep (defaults cover a
+	// small representative grid). Filter is in element widths.
+	Np     []int
+	N      []int
+	Filter []float64
+	// Seed drives particle placement and symbolic-regression randomness.
+	Seed int64
+	// Fast shrinks the symbolic-regression search.
+	Fast bool
+}
+
+// TrainModelsFromApp runs the Model Generator against the *instrumented
+// application* (§II-B: "we instrument the source code and benchmark key
+// computation kernels"): the real PIC solver executes with per-phase
+// timing across the sweep, and models are fitted to the measured wall-clock
+// times with the workload parameters as actually realised. Results are
+// machine-dependent (they model this host), unlike the deterministic
+// synthetic testbed of TrainModels.
+func TrainModelsFromApp(opts AppTrainOptions) (Models, error) {
+	samples, err := kernels.AppSamples(kernels.AppBenchConfig{
+		Np:     opts.Np,
+		N:      opts.N,
+		Filter: opts.Filter,
+		Seed:   opts.Seed,
+	})
+	if err != nil {
+		return Models{}, fmt.Errorf("picpredict: %w", err)
+	}
+	inner, err := kernels.TrainFromSamples(samples, kernels.TrainOptions{Seed: opts.Seed, Fast: opts.Fast})
+	if err != nil {
+		return Models{}, fmt.Errorf("picpredict: %w", err)
+	}
+	return Models{inner: inner}, nil
+}
+
+// KernelNames lists the modelled kernels in solver-loop order.
+func KernelNames() []string {
+	names := make([]string, 0, 5)
+	for _, k := range kernels.All() {
+		names = append(names, k.Name)
+	}
+	return names
+}
+
+// Formulas renders every fitted model as a closed-form expression, sorted
+// by kernel name.
+func (m Models) Formulas() []string {
+	out := make([]string, 0, len(m.inner))
+	for name, model := range m.inner {
+		out = append(out, name+" = "+model.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Predict evaluates one kernel model at a workload point: np real and ngp
+// ghost particles, nel elements per rank, grid resolution n, and the filter
+// size in element widths.
+func (m Models) Predict(kernel string, np, ngp, nel, n, filter float64) (float64, error) {
+	model, ok := m.inner[kernel]
+	if !ok {
+		return 0, fmt.Errorf("picpredict: no model for kernel %q", kernel)
+	}
+	w := kernels.Workload{Np: np, Ngp: ngp, Nel: nel, N: n, Filter: filter}
+	return model.Predict(w.Features()), nil
+}
+
+// ValidateAgainstTruth computes each model's MAPE against the noiseless
+// kernel cost laws on a validation grid distinct from the training sweep —
+// a quick self-check that training converged.
+func (m Models) ValidateAgainstTruth() (map[string]float64, error) {
+	valid := kernels.Sweep{
+		Np:     []float64{75, 700, 9000, 40000},
+		Ngp:    []float64{25, 600, 2500},
+		N:      []float64{4, 6, 8},
+		Filter: []float64{0.8, 2.5, 4},
+	}
+	out := make(map[string]float64, len(m.inner))
+	for _, k := range kernels.All() {
+		model, ok := m.inner[k.Name]
+		if !ok {
+			return nil, fmt.Errorf("picpredict: no model for kernel %q", k.Name)
+		}
+		samples := kernels.Generate(k, exactMeasurer{}, valid)
+		var x [][]float64
+		var y []float64
+		for _, s := range samples {
+			x = append(x, s.W.Features())
+			y = append(y, s.Time)
+		}
+		mape, err := perfmodel.EvalMAPE(model, x, y)
+		if err != nil {
+			return nil, fmt.Errorf("picpredict: validating %s: %w", k.Name, err)
+		}
+		out[k.Name] = mape
+	}
+	return out, nil
+}
+
+// exactMeasurer reports the noiseless true cost.
+type exactMeasurer struct{}
+
+func (exactMeasurer) Measure(k kernels.Kernel, w kernels.Workload) float64 { return k.TrueCost(w) }

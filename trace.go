@@ -1,0 +1,168 @@
+package picpredict
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"picpredict/internal/extrapolate"
+	"picpredict/internal/geom"
+	"picpredict/internal/trace"
+)
+
+// Trace is a particle trace: positions of every particle sampled at fixed
+// iteration intervals. A trace is independent of the processor count, so
+// one trace predicts workload for any system size (§II).
+type Trace struct {
+	domain      geom.AABB
+	np          int
+	sampleEvery int
+	iterations  []int
+	positions   []geom.Vec3 // frame-major
+	mesh        meshParams
+}
+
+// ReadTrace parses a binary trace stream written by Scenario.WriteTrace,
+// Trace.Write/WriteCompressed, or cmd/picgen; gzip-compressed traces are
+// detected and decompressed transparently. Element-based mapping
+// additionally needs the element grid the application ran on; pass it via
+// WithMesh after reading.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	tr, err := trace.OpenReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("picpredict: %w", err)
+	}
+	h := tr.Header()
+	its, pos, err := tr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("picpredict: %w", err)
+	}
+	if len(its) == 0 {
+		return nil, errors.New("picpredict: trace contains no frames")
+	}
+	return &Trace{
+		domain:      h.Domain,
+		np:          h.NumParticles,
+		sampleEvery: h.SampleEvery,
+		iterations:  its,
+		positions:   pos,
+	}, nil
+}
+
+// WithMesh attaches the spectral-element grid (ex×ey×ez elements, n³ grid
+// points each) the application ran on — required for element-based and
+// Hilbert mapping of a trace loaded with ReadTrace.
+func (t *Trace) WithMesh(ex, ey, ez, n int) *Trace {
+	t.mesh = meshParams{elements: [3]int{ex, ey, ez}, n: n}
+	return t
+}
+
+// NumParticles returns N_p.
+func (t *Trace) NumParticles() int { return t.np }
+
+// Frames returns the number of sampled frames.
+func (t *Trace) Frames() int { return len(t.iterations) }
+
+// SampleEvery returns the iteration distance between frames.
+func (t *Trace) SampleEvery() int { return t.sampleEvery }
+
+// Iterations returns the application iteration of every frame.
+func (t *Trace) Iterations() []int { return t.iterations }
+
+// Domain returns the computational domain as {lo, hi} corner triples.
+func (t *Trace) Domain() [2][3]float64 { return domainOf(t.domain) }
+
+// Write streams the trace to w in the binary trace format.
+func (t *Trace) Write(w io.Writer) error {
+	tw, err := trace.NewWriter(w, trace.Header{
+		NumParticles: t.np,
+		SampleEvery:  t.sampleEvery,
+		Domain:       t.domain,
+	})
+	if err != nil {
+		return fmt.Errorf("picpredict: %w", err)
+	}
+	for k, it := range t.iterations {
+		if err := tw.WriteFrame(it, t.frame(k)); err != nil {
+			return fmt.Errorf("picpredict: %w", err)
+		}
+	}
+	return tw.Flush()
+}
+
+// Downsample returns a trace keeping every keep-th frame (starting with
+// frame 0). §II-D discusses the trade-off: lower sampling frequency shrinks
+// the file but blurs particle movement — Downsample lets users quantify
+// that loss by comparing workloads generated from both rates.
+func (t *Trace) Downsample(keep int) (*Trace, error) {
+	if keep < 1 {
+		return nil, fmt.Errorf("picpredict: downsample factor %d < 1", keep)
+	}
+	out := &Trace{
+		domain:      t.domain,
+		np:          t.np,
+		sampleEvery: t.sampleEvery * keep,
+		mesh:        t.mesh,
+	}
+	for k := 0; k < t.Frames(); k += keep {
+		out.iterations = append(out.iterations, t.iterations[k])
+		out.positions = append(out.positions, t.frame(k)...)
+	}
+	return out, nil
+}
+
+// WriteCompressed streams the trace to w gzip-compressed — §II-D notes
+// full-scale trace files reach hundreds of gigabytes, and positions
+// compress well. ReadTrace decompresses transparently.
+func (t *Trace) WriteCompressed(w io.Writer) error {
+	cw, err := trace.NewCompressedWriter(w, trace.Header{
+		NumParticles: t.np,
+		SampleEvery:  t.sampleEvery,
+		Domain:       t.domain,
+	})
+	if err != nil {
+		return fmt.Errorf("picpredict: %w", err)
+	}
+	for k, it := range t.iterations {
+		if err := cw.WriteFrame(it, t.frame(k)); err != nil {
+			return fmt.Errorf("picpredict: %w", err)
+		}
+	}
+	return cw.Close()
+}
+
+// frame returns the positions of frame k (internal view).
+func (t *Trace) frame(k int) []geom.Vec3 {
+	return t.positions[k*t.np : (k+1)*t.np]
+}
+
+// ParticleBounds returns the tight bounding box of the particles at frame
+// k — the "particle boundary" bin-based mapping partitions.
+func (t *Trace) ParticleBounds(k int) [2][3]float64 {
+	return domainOf(geom.BoundingBox(t.frame(k)))
+}
+
+// Extrapolate synthesises a trace with factor× the particles from this one
+// (the paper's §VI trace-extrapolation extension): each synthetic particle
+// shadows a donor trajectory with a fixed spatial jitter scaled to the
+// local inter-particle spacing, so the large-population workload
+// distribution can be predicted from a cheap low-fidelity run. The result
+// shares this trace's domain, mesh and sampling metadata.
+func (t *Trace) Extrapolate(factor int, seed int64) (*Trace, error) {
+	out, err := extrapolate.Frames(t.positions, t.np, extrapolate.Options{
+		Factor: factor,
+		Seed:   seed,
+		Clamp:  t.domain,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("picpredict: %w", err)
+	}
+	return &Trace{
+		domain:      t.domain,
+		np:          t.np * factor,
+		sampleEvery: t.sampleEvery,
+		iterations:  t.iterations,
+		positions:   out,
+		mesh:        t.mesh,
+	}, nil
+}

@@ -1,0 +1,75 @@
+package picpredict
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGeneratorMatchesInAppWorkload reproduces the paper's §IV-B validation
+// ("we also have validated our predictions ... by comparing the output of
+// our Dynamic Workload Generator with actual workload, obtained by running
+// the Hele-Shaw simulation"): the workload generated from the float32 trace
+// *file* must match the workload computed from the application's in-memory
+// float64 positions. The only divergence channel is trace quantisation, so
+// any mismatch beyond a count or two would indicate the generator is not
+// mimicking the mapping algorithm faithfully.
+func TestGeneratorMatchesInAppWorkload(t *testing.T) {
+	spec := HeleShaw().
+		WithParticles(2000).
+		WithElements(32, 32, 1).
+		WithSteps(300).
+		WithSampleEvery(100).
+		WithBurst(0.004, 0)
+
+	// "In-app" workload: straight from the run's full-precision positions.
+	inApp, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trace-file workload: positions round-tripped through float32.
+	var buf bytes.Buffer
+	if err := inApp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile.WithMesh(32, 32, 1, spec.GridN())
+
+	for _, opts := range []WorkloadOptions{
+		{Ranks: 64, Mapping: MappingBin, FilterRadius: spec.FilterRadius()},
+		{Ranks: 64, Mapping: MappingElement, FilterRadius: spec.FilterRadius()},
+		{Ranks: 128, Mapping: MappingBin, FilterRadius: spec.FilterRadius()},
+	} {
+		want, err := inApp.GenerateWorkload(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fromFile.GenerateWorkload(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < want.Frames(); k++ {
+			for r := 0; r < want.Ranks(); r++ {
+				a, b := want.At(r, k), got.At(r, k)
+				d := a - b
+				if d < 0 {
+					d = -d
+				}
+				// float32 quantisation can flip a particle across a bin or
+				// element boundary; allow a sliver, nothing more.
+				if d > 2 {
+					t.Fatalf("%s R=%d frame %d rank %d: in-app %d vs trace-file %d",
+						opts.Mapping, opts.Ranks, k, r, a, b)
+				}
+			}
+		}
+		if want.Peak() != got.Peak() {
+			dp := want.Peak() - got.Peak()
+			if dp < -2 || dp > 2 {
+				t.Errorf("%s R=%d: peak %d vs %d", opts.Mapping, opts.Ranks, want.Peak(), got.Peak())
+			}
+		}
+	}
+}

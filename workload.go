@@ -1,0 +1,345 @@
+package picpredict
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"picpredict/internal/core"
+	"picpredict/internal/mapping"
+	"picpredict/internal/mesh"
+	"picpredict/internal/metrics"
+)
+
+// MappingKind names a particle mapping algorithm.
+type MappingKind string
+
+const (
+	// MappingElement is element-based mapping (§III-B): a particle lives
+	// with the processor that owns its spectral element.
+	MappingElement MappingKind = "element"
+	// MappingBin is bin-based mapping (§III-C): the particle domain is
+	// recursively cut into bins distributed across processors.
+	MappingBin MappingKind = "bin"
+	// MappingHilbert orders particles along the Hilbert curve of their
+	// elements and splits the order into equal chunks (ref [10]).
+	MappingHilbert MappingKind = "hilbert"
+	// MappingWeighted distributes elements so every processor carries a
+	// similar combined grid+particle load, repartitioning lazily when a
+	// processor overloads (Zhai et al., ref [11]).
+	MappingWeighted MappingKind = "weighted"
+	// MappingOhHelp keeps element-based primary ownership but exports the
+	// excess of overloaded processors to underloaded helpers (OhHelp,
+	// ref [16]).
+	MappingOhHelp MappingKind = "ohhelp"
+)
+
+// WorkloadOptions configures the Dynamic Workload Generator — the paper's
+// configuration file (§II-A).
+type WorkloadOptions struct {
+	// Ranks is the processor count R to generate workload for.
+	Ranks int
+	// Mapping selects the particle mapping algorithm.
+	Mapping MappingKind
+	// FilterRadius is the projection filter size (absolute length). For
+	// bin mapping it doubles as the threshold bin size; a positive value
+	// also enables ghost-particle workload generation.
+	FilterRadius float64
+	// RelaxedBins removes the processor-count limit on bin splitting
+	// (Fig 6's "relaxed" analysis mode). Only meaningful for MappingBin.
+	RelaxedBins bool
+	// MidpointSplit switches the bin planar cut from the median particle
+	// to the spatial midpoint (ablation).
+	MidpointSplit bool
+}
+
+// Workload is the Dynamic Workload Generator output plus derived metrics:
+// the Computation and Communication matrices for real and ghost particles.
+type Workload struct {
+	inner *core.Workload
+	// binsPerFrame records the bin count of every frame when bin mapping
+	// was used (empty otherwise).
+	binsPerFrame []int
+	opts         WorkloadOptions
+}
+
+// GenerateWorkload mimics the selected mapping algorithm over every trace
+// frame and returns the synthesised workload. One trace serves any Ranks
+// value — the core scalability-prediction property.
+func (t *Trace) GenerateWorkload(opts WorkloadOptions) (*Workload, error) {
+	if opts.Ranks <= 0 {
+		return nil, fmt.Errorf("picpredict: Ranks must be positive, got %d", opts.Ranks)
+	}
+	mapper, bins, err := t.buildMapper(opts)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := core.NewGenerator(core.Config{Mapper: mapper, FilterRadius: opts.FilterRadius})
+	if err != nil {
+		return nil, fmt.Errorf("picpredict: %w", err)
+	}
+	wl := &Workload{opts: opts}
+	for k, it := range t.iterations {
+		if err := gen.Frame(it, t.frame(k)); err != nil {
+			return nil, fmt.Errorf("picpredict: %w", err)
+		}
+		if bins != nil {
+			wl.binsPerFrame = append(wl.binsPerFrame, bins.NumBins())
+		}
+	}
+	inner, err := gen.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("picpredict: %w", err)
+	}
+	wl.inner = inner
+	return wl, nil
+}
+
+// buildMapper assembles the mapper for opts; for bin mapping it also
+// returns the BinMapper so per-frame bin counts can be recorded.
+func (t *Trace) buildMapper(opts WorkloadOptions) (mapping.Mapper, *mapping.BinMapper, error) {
+	switch opts.Mapping {
+	case MappingBin:
+		bm := mapping.NewBinMapper(opts.Ranks, opts.FilterRadius)
+		bm.Relaxed = opts.RelaxedBins
+		if opts.MidpointSplit {
+			bm.Policy = mapping.SplitMidpoint
+		}
+		return bm, bm, nil
+	case MappingElement, MappingHilbert, MappingWeighted, MappingOhHelp:
+		mp := t.mesh
+		if mp.elements == [3]int{} {
+			return nil, nil, errors.New("picpredict: element/hilbert/weighted/ohhelp mapping needs the mesh; call Trace.WithMesh or build the trace from a Scenario")
+		}
+		m, err := mesh.New(t.domain, mp.elements[0], mp.elements[1], mp.elements[2], maxInt(mp.n, 1))
+		if err != nil {
+			return nil, nil, fmt.Errorf("picpredict: %w", err)
+		}
+		switch opts.Mapping {
+		case MappingHilbert:
+			return mapping.NewHilbertMapper(m, opts.Ranks), nil, nil
+		case MappingWeighted:
+			return mapping.NewWeightedElementMapper(m, opts.Ranks), nil, nil
+		}
+		d, err := mesh.Decompose(m, opts.Ranks)
+		if err != nil {
+			return nil, nil, fmt.Errorf("picpredict: %w", err)
+		}
+		if opts.Mapping == MappingOhHelp {
+			return mapping.NewHelperMapper(m, d), nil, nil
+		}
+		return mapping.NewElementMapper(m, d), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("picpredict: unknown mapping %q", opts.Mapping)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Options returns the generator options this workload was produced with
+// (zero value for workloads loaded from a file).
+func (w *Workload) Options() WorkloadOptions { return w.opts }
+
+// Ranks returns the processor count the workload was generated for.
+func (w *Workload) Ranks() int { return w.inner.Ranks }
+
+// Frames returns the number of sampling intervals T.
+func (w *Workload) Frames() int { return w.inner.RealComp.Frames() }
+
+// Iterations returns the application iteration of every interval.
+func (w *Workload) Iterations() []int { return w.inner.RealComp.Iterations() }
+
+// At returns the real-particle count of rank r at interval k —
+// P_comp[r][k].
+func (w *Workload) At(r, k int) int64 { return w.inner.RealComp.At(r, k) }
+
+// GhostAt returns the ghost-particle count of rank r at interval k, or 0
+// when ghosts were disabled.
+func (w *Workload) GhostAt(r, k int) int64 {
+	if w.inner.GhostComp == nil {
+		return 0
+	}
+	return w.inner.GhostComp.At(r, k)
+}
+
+// Peak returns the maximum particles-per-processor over the whole run (the
+// y-axis of Figs 5 and 8).
+func (w *Workload) Peak() int64 { return w.inner.RealComp.Peak() }
+
+// PeakPerFrame returns the per-interval maximum particles per processor —
+// the Fig 5 series.
+func (w *Workload) PeakPerFrame() []int64 { return w.inner.RealComp.PeakPerFrame() }
+
+// GhostPeak returns the maximum ghost particles per processor.
+func (w *Workload) GhostPeak() int64 {
+	if w.inner.GhostComp == nil {
+		return 0
+	}
+	return w.inner.GhostComp.Peak()
+}
+
+// TotalGhosts returns the total number of ghost particles materialised per
+// interval (Fig 10b's driver).
+func (w *Workload) TotalGhosts() []int64 {
+	if w.inner.GhostComp == nil {
+		return nil
+	}
+	return w.inner.GhostComp.TotalPerFrame()
+}
+
+// NonZeroRanksPerFrame returns, per interval, how many ranks hold at least
+// one particle (Fig 1b).
+func (w *Workload) NonZeroRanksPerFrame() []int { return w.inner.RealComp.NonZeroRanksPerFrame() }
+
+// Utilization is the paper's Resource Utilization metric (§II-A, Fig 9).
+type Utilization struct {
+	// Mean is the run-average fraction of ranks with ≥1 particle.
+	Mean float64
+	// Ever is the fraction of ranks that held a particle at any point.
+	Ever float64
+}
+
+// Utilization computes the RU metrics of the real-particle workload.
+func (w *Workload) Utilization() Utilization {
+	u := metrics.Utilization(w.inner.RealComp)
+	return Utilization{Mean: u.Mean, Ever: u.Ever}
+}
+
+// Imbalance returns the worst-interval load-imbalance factor max/mean.
+func (w *Workload) Imbalance() float64 { return metrics.Imbalance(w.inner.RealComp) }
+
+// LoadDistribution summarises the per-rank load spread at the busiest
+// interval: percentiles, mean, and the Gini coefficient (0 = perfectly
+// balanced, →1 = a handful of processors carry everything).
+type LoadDistribution struct {
+	Frame                   int
+	Min, P50, P90, P99, Max int64
+	Mean                    float64
+	Gini                    float64
+}
+
+// Distribution computes the busiest-interval load distribution.
+func (w *Workload) Distribution() (LoadDistribution, error) {
+	d, err := metrics.LoadDistribution(w.inner.RealComp)
+	if err != nil {
+		return LoadDistribution{}, fmt.Errorf("picpredict: %w", err)
+	}
+	return LoadDistribution{
+		Frame: d.Frame, Min: d.Min, P50: d.P50, P90: d.P90, P99: d.P99, Max: d.Max,
+		Mean: d.Mean, Gini: d.Gini,
+	}, nil
+}
+
+// BinsPerFrame returns the bin count of every interval when bin mapping
+// was used (nil otherwise) — the Fig 6 series.
+func (w *Workload) BinsPerFrame() []int { return w.binsPerFrame }
+
+// MaxBins returns the largest bin count across the run; with RelaxedBins it
+// is the paper's upper limit on useful processor count (Fig 6).
+func (w *Workload) MaxBins() int {
+	m := 0
+	for _, b := range w.binsPerFrame {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// MigrationsPerFrame returns, per interval, the total number of particles
+// that moved between ranks since the previous interval.
+func (w *Workload) MigrationsPerFrame() []int64 { return w.inner.RealComm.TotalPerFrame() }
+
+// CommEntry is one non-zero communication-matrix element.
+type CommEntry struct {
+	Src, Dst int
+	Count    int64
+}
+
+// CommAt returns the non-zero real-particle communication entries of
+// interval k (movements between intervals k−1 and k).
+func (w *Workload) CommAt(k int) []CommEntry {
+	es := w.inner.RealComm.At(k).Entries()
+	out := make([]CommEntry, len(es))
+	for i, e := range es {
+		out[i] = CommEntry{Src: e.Src, Dst: e.Dst, Count: e.Count}
+	}
+	return out
+}
+
+// GhostCommAt returns the non-zero ghost-transfer entries of interval k
+// (ghost copies sent home→ghost rank during the interval), or nil when
+// ghost generation was disabled.
+func (w *Workload) GhostCommAt(k int) []CommEntry {
+	if w.inner.GhostComm == nil {
+		return nil
+	}
+	es := w.inner.GhostComm.At(k).Entries()
+	out := make([]CommEntry, len(es))
+	for i, e := range es {
+		out[i] = CommEntry{Src: e.Src, Dst: e.Dst, Count: e.Count}
+	}
+	return out
+}
+
+// WriteHeatmapCSV emits the real-particle computation matrix as CSV (one
+// row per rank) — the Fig 1a heat-map data.
+func (w *Workload) WriteHeatmapCSV(out io.Writer) error {
+	return metrics.WriteHeatmapCSV(out, w.inner.RealComp)
+}
+
+// WriteCommCSV emits the real-particle communication matrix as CSV with
+// columns interval,iteration,src,dst,count — one row per non-zero entry of
+// P_comm, the per-interval particle transfers between processor pairs.
+func (w *Workload) WriteCommCSV(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	if _, err := fmt.Fprintln(bw, "interval,iteration,src,dst,count"); err != nil {
+		return err
+	}
+	its := w.Iterations()
+	for k := 0; k < w.Frames(); k++ {
+		for _, e := range w.inner.RealComm.At(k).Entries() {
+			if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%d\n", k, its[k], e.Src, e.Dst, e.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// RenderHeatmap draws an ASCII heat map of the computation matrix,
+// down-sampled to at most rows×cols cells.
+func (w *Workload) RenderHeatmap(out io.Writer, rows, cols int) error {
+	return metrics.RenderHeatmapASCII(out, w.inner.RealComp, rows, cols)
+}
+
+// Write serialises the workload matrices to w in a compact binary format;
+// ReadWorkload loads them back. Saving a generated workload lets the
+// (expensive) simulation and accuracy studies replay it without re-running
+// the generator.
+func (w *Workload) Write(out io.Writer) error {
+	if err := w.inner.Write(out); err != nil {
+		return fmt.Errorf("picpredict: %w", err)
+	}
+	return nil
+}
+
+// ReadWorkload parses a workload saved with Workload.Write. Bin-count
+// bookkeeping (BinsPerFrame/MaxBins) is not serialised and reads back
+// empty.
+func ReadWorkload(r io.Reader) (*Workload, error) {
+	inner, err := core.ReadWorkload(r)
+	if err != nil {
+		return nil, fmt.Errorf("picpredict: %w", err)
+	}
+	return &Workload{inner: inner}, nil
+}
+
+// internalWorkload exposes the core workload to sibling facade files.
+func (w *Workload) internalWorkload() *core.Workload { return w.inner }
