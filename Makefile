@@ -1,0 +1,23 @@
+# Development targets. `make verify` is the full pre-merge gate: build,
+# vet, and the test suite under the race detector.
+
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

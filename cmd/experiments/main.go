@@ -19,6 +19,7 @@ import (
 
 	"picpredict"
 	"picpredict/internal/figures"
+	"picpredict/internal/resilience"
 )
 
 func main() {
@@ -48,14 +49,9 @@ func main() {
 	runner := figures.NewRunner(figures.Config{Spec: spec, FastModels: *fast}, os.Stdout)
 
 	if *report != "" {
-		out, err := os.Create(*report)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := runner.Report(out); err != nil {
-			log.Fatal(err)
-		}
-		if err := out.Close(); err != nil {
+		// Reports are slow to regenerate; write atomically so an interrupted
+		// run cannot clobber the previous report with a torn file.
+		if err := resilience.WriteFileAtomic(*report, runner.Report); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("report written to %s\n", *report)

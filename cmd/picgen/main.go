@@ -5,16 +5,30 @@
 //
 //	picgen -scenario hele-shaw -out trace.bin
 //	picgen -scenario hele-shaw -np 5000 -steps 500 -sample 50 -out small.bin
+//
+// Long runs can checkpoint and survive being killed:
+//
+//	picgen -scenario hele-shaw -out trace.bin -checkpoint-every 200
+//	picgen -scenario hele-shaw -out trace.bin -resume
+//
+// A resumed run truncates the trace to the frames the checkpoint vouches
+// for and appends from there, producing a file byte-identical to an
+// uninterrupted run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
 
-	"picpredict"
+	"picpredict/internal/geom"
+	"picpredict/internal/resilience"
+	"picpredict/internal/scenario"
+	"picpredict/internal/trace"
 )
 
 func main() {
@@ -30,6 +44,9 @@ func main() {
 		seed         = flag.Int64("seed", 0, "override random seed")
 		filter       = flag.Float64("filter", 0, "override projection filter size")
 		gzipped      = flag.Bool("gzip", false, "gzip-compress the trace (readers decompress transparently)")
+		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint the run every N iterations (0 disables)")
+		resume       = flag.Bool("resume", false, "resume a killed run from its checkpoint (<out>.ckpt)")
+		ckptPath     = flag.String("checkpoint", "", "checkpoint file (default <out>.ckpt)")
 	)
 	flag.Parse()
 
@@ -38,69 +55,267 @@ func main() {
 		log.Fatal(err)
 	}
 	if *np > 0 {
-		spec = spec.WithParticles(*np)
+		spec.NumParticles = *np
 	}
 	if *steps > 0 {
-		spec = spec.WithSteps(*steps)
+		spec.Steps = *steps
 	}
 	if *sample > 0 {
-		spec = spec.WithSampleEvery(*sample)
+		spec.SampleEvery = *sample
 	}
 	if *seed != 0 {
-		spec = spec.WithSeed(*seed)
+		spec.Seed = *seed
 	}
 	if *filter > 0 {
-		spec = spec.WithFilterRadius(*filter)
+		spec.FilterRadius = *filter
 	}
 	if err := spec.Validate(); err != nil {
 		log.Fatal(err)
 	}
-
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
+	if *ckptPath == "" {
+		*ckptPath = *out + ".ckpt"
 	}
-	defer f.Close()
+	if *gzipped && (*ckptEvery > 0 || *resume) {
+		log.Fatal("-gzip cannot be combined with checkpointing: resuming truncates and appends to the trace, which a gzip stream does not support")
+	}
 
 	fmt.Printf("running %s: %d particles, %d elements (N=%d), %d iterations, sampling every %d\n",
-		spec.Name(), spec.NumParticles(), spec.NumElements(), spec.GridN(), spec.Steps(), spec.SampleEvery())
+		spec.Name, spec.NumParticles, spec.Elements[0]*spec.Elements[1]*spec.Elements[2], spec.N,
+		spec.Steps, spec.SampleEvery)
 	start := time.Now()
-	if *gzipped {
-		tr, err := spec.Run()
+
+	switch {
+	case *ckptEvery > 0 || *resume:
+		if err := runCheckpointed(spec, *out, *ckptPath, *ckptEvery, *resume); err != nil {
+			log.Fatal(err)
+		}
+	case *gzipped:
+		err := resilience.WriteFileAtomic(*out, func(w io.Writer) error {
+			return writeCompressedTrace(spec, w)
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := tr.WriteCompressed(f); err != nil {
+	default:
+		err := resilience.WriteFileAtomic(*out, func(w io.Writer) error {
+			_, err := spec.WriteTrace(w)
+			return err
+		})
+		if err != nil {
 			log.Fatal(err)
 		}
-	} else if err := spec.WriteTrace(f); err != nil {
-		log.Fatal(err)
 	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
-	}
+
 	info, err := os.Stat(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%.1f MB) in %v\n", *out, float64(info.Size())/1e6, time.Since(start).Round(time.Millisecond))
-	e := spec.Elements()
-	fmt.Printf("for element/hilbert mapping pass: -elements %d,%d,%d -n %d\n", e[0], e[1], e[2], spec.GridN())
+	e := spec.Elements
+	fmt.Printf("for element/hilbert mapping pass: -elements %d,%d,%d -n %d\n", e[0], e[1], e[2], spec.N)
 }
 
-func scenarioByName(name string) (picpredict.Scenario, error) {
+// writeCompressedTrace runs the scenario and streams the trace gzip-
+// compressed to w.
+func writeCompressedTrace(spec scenario.Spec, w io.Writer) error {
+	res, err := spec.Run()
+	if err != nil {
+		return err
+	}
+	cw, err := trace.NewCompressedWriter(w, trace.Header{
+		NumParticles: spec.NumParticles,
+		SampleEvery:  spec.SampleEvery,
+		Domain:       spec.Domain,
+	})
+	if err != nil {
+		return err
+	}
+	for k, it := range res.Iterations {
+		if err := cw.WriteFrame(it, res.Frame(k)); err != nil {
+			return err
+		}
+	}
+	return cw.Close()
+}
+
+// runCheckpointed executes (or resumes) a scenario with periodic
+// checkpoints. The trace is written incrementally; every `every` iterations
+// the trace is flushed and fsynced, then the full simulation state is
+// written atomically to ckptPath. A killed run restarts with -resume: the
+// checkpoint restores the solver, the trace is truncated to the frames the
+// checkpoint vouches for, and the run continues — the final trace is
+// byte-identical to an uninterrupted run's. The checkpoint is removed on
+// success.
+func runCheckpointed(spec scenario.Spec, outPath, ckptPath string, every int, resume bool) error {
+	sim, err := spec.NewSim()
+	if err != nil {
+		return err
+	}
+	h := trace.Header{
+		NumParticles: spec.NumParticles,
+		SampleEvery:  spec.SampleEvery,
+		Domain:       spec.Domain,
+	}
+
+	var f *os.File
+	var tw *trace.Writer
+	framesWritten := 0
+	if resume {
+		framesWritten, err = restoreRun(sim, ckptPath)
+		if err != nil {
+			return err
+		}
+		f, tw, err = reopenTrace(outPath, h, framesWritten)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resumed from %s: iteration %d, %d trace frames intact\n", ckptPath, sim.Iteration(), framesWritten)
+	} else {
+		f, err = os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		tw, err = trace.NewWriter(f, h)
+		if err != nil {
+			f.Close()
+			return err
+		}
+	}
+	defer f.Close()
+
+	writeFrame := func(it int) error {
+		if err := tw.WriteFrame(it, sim.Solver.Particles.Pos); err != nil {
+			return err
+		}
+		framesWritten++
+		return nil
+	}
+	if framesWritten == 0 {
+		if err := writeFrame(0); err != nil {
+			return err
+		}
+	}
+	for it := sim.Iteration() + 1; it <= spec.Steps; it++ {
+		sim.Step()
+		if it%spec.SampleEvery == 0 {
+			if err := writeFrame(it); err != nil {
+				return err
+			}
+		}
+		if every > 0 && it%every == 0 && it < spec.Steps {
+			if err := checkpoint(sim, tw, f, ckptPath, framesWritten); err != nil {
+				return err
+			}
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// The run completed; the checkpoint has nothing left to protect.
+	if err := os.Remove(ckptPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+		log.Printf("warning: removing stale checkpoint %s: %v", ckptPath, err)
+	}
+	return nil
+}
+
+// checkpoint makes the trace durable, then atomically replaces the
+// checkpoint file. The ordering matters: the checkpoint must never vouch
+// for trace frames that are not yet on disk.
+func checkpoint(sim *scenario.Sim, tw *trace.Writer, f *os.File, ckptPath string, framesWritten int) error {
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return resilience.WriteFileAtomic(ckptPath, func(w io.Writer) error {
+		return sim.WriteCheckpoint(w, framesWritten)
+	})
+}
+
+// restoreRun loads the checkpoint into the freshly built Sim and returns
+// the number of trace frames the checkpointed run had durably written.
+func restoreRun(sim *scenario.Sim, ckptPath string) (int, error) {
+	ck, err := os.Open(ckptPath)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, fmt.Errorf("no checkpoint at %s — nothing to resume (did the previous run complete?)", ckptPath)
+		}
+		return 0, err
+	}
+	defer ck.Close()
+	return sim.RestoreCheckpoint(ck)
+}
+
+// reopenTrace prepares the torn trace of a killed run for appending: it
+// verifies the header matches the resumed scenario, verifies at least
+// `frames` frames survived intact, truncates whatever lies beyond them (a
+// torn tail, or frames newer than the checkpoint), and returns a writer
+// positioned to append frame `frames`.
+func reopenTrace(path string, h trace.Header, frames int) (*os.File, *trace.Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening trace to resume: %w", err)
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("reading trace to resume: %w", err)
+	}
+	if r.Legacy() {
+		f.Close()
+		return nil, nil, fmt.Errorf("trace %s is in the legacy v1 format, which has no frame checksums to resume against", path)
+	}
+	got := r.Header()
+	if got.NumParticles != h.NumParticles || got.SampleEvery != h.SampleEvery || got.Domain != h.Domain {
+		f.Close()
+		return nil, nil, fmt.Errorf("trace %s was written by a different run configuration; refusing to resume", path)
+	}
+	intact := 0
+	frameBuf := make([]geom.Vec3, h.NumParticles)
+	for intact < frames {
+		if _, err := r.Next(frameBuf); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("trace %s has only %d intact frames but the checkpoint recorded %d — the file was damaged after the checkpoint was taken: %w", path, intact, frames, err)
+		}
+		intact++
+	}
+	off := int64(trace.HeaderSize()) + int64(frames)*int64(trace.FrameSize(h.NumParticles))
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("truncating trace for resume: %w", err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	tw, err := trace.ResumeWriter(f, h, frames)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return f, tw, nil
+}
+
+func scenarioByName(name string) (scenario.Spec, error) {
 	switch name {
 	case "hele-shaw":
-		return picpredict.HeleShaw(), nil
+		return scenario.HeleShaw(), nil
 	case "hele-shaw-paper":
-		return picpredict.HeleShawFull(), nil
+		return scenario.HeleShawPaper(), nil
 	case "uniform":
-		return picpredict.UniformScenario(), nil
+		return scenario.Uniform(), nil
 	case "gaussian":
-		return picpredict.GaussianScenario(), nil
+		return scenario.GaussianCluster(), nil
 	case "shock-tube":
-		return picpredict.ShockTubeScenario(), nil
+		return scenario.ShockTube(), nil
 	default:
-		return picpredict.Scenario{}, fmt.Errorf("unknown scenario %q", name)
+		return scenario.Spec{}, fmt.Errorf("unknown scenario %q", name)
 	}
 }

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"picpredict"
+	"picpredict/internal/resilience"
+	"picpredict/internal/scenario"
+	"picpredict/internal/trace"
+)
+
+// fastSpec is a scenario small enough for integration tests.
+func fastSpec() scenario.Spec {
+	s := scenario.HeleShaw()
+	s.NumParticles = 400
+	s.Steps = 60
+	s.SampleEvery = 10
+	return s
+}
+
+// killRun simulates a run killed mid-simulation: it executes the
+// checkpointed loop up to stopAt iterations — checkpointing every `every` —
+// then abandons the file with a torn frame appended, exactly the on-disk
+// state a SIGKILL during a frame write leaves behind.
+func killRun(t *testing.T, spec scenario.Spec, outPath, ckptPath string, every, stopAt int) {
+	t.Helper()
+	sim, err := spec.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := trace.Header{NumParticles: spec.NumParticles, SampleEvery: spec.SampleEvery, Domain: spec.Domain}
+	f, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tw, err := trace.NewWriter(f, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := 0
+	if err := tw.WriteFrame(0, sim.Solver.Particles.Pos); err != nil {
+		t.Fatal(err)
+	}
+	frames++
+	for it := 1; it <= stopAt; it++ {
+		sim.Step()
+		if it%spec.SampleEvery == 0 {
+			if err := tw.WriteFrame(it, sim.Solver.Particles.Pos); err != nil {
+				t.Fatal(err)
+			}
+			frames++
+		}
+		if it%every == 0 {
+			if err := tw.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			err := resilience.WriteFileAtomic(ckptPath, func(w io.Writer) error {
+				return sim.WriteCheckpoint(w, frames)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The kill tears the file mid-frame: half a frame of garbage follows
+	// the last complete one.
+	if _, err := f.Write(make([]byte, trace.FrameSize(spec.NumParticles)/2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResumeProducesByteIdenticalTrace(t *testing.T) {
+	spec := fastSpec()
+	dir := t.TempDir()
+
+	// Reference: one uninterrupted checkpointed run (checkpoints removed on
+	// success).
+	refPath := filepath.Join(dir, "ref.bin")
+	refCkpt := refPath + ".ckpt"
+	if err := runCheckpointed(spec, refPath, refCkpt, 25, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(refCkpt); !os.IsNotExist(err) {
+		t.Errorf("completed run left its checkpoint behind (stat err %v)", err)
+	}
+	ref, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill a second run at iteration 37 (last checkpoint at 25, one frame
+	// sampled at 30 after it, torn garbage at the tail), then resume it.
+	outPath := filepath.Join(dir, "killed.bin")
+	ckptPath := outPath + ".ckpt"
+	killRun(t, spec, outPath, ckptPath, 25, 37)
+	if err := runCheckpointed(spec, outPath, ckptPath, 25, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatalf("resumed trace differs from uninterrupted run (%d vs %d bytes)", len(got), len(ref))
+	}
+
+	// The resumed trace feeds workload generation like any other.
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, salvage, err := picpredict.ReadTraceSalvaged(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if salvage != nil {
+		t.Fatalf("resumed trace reported damage: %v", salvage.Damage)
+	}
+	if tr.Frames() != spec.Steps/spec.SampleEvery+1 {
+		t.Errorf("resumed trace has %d frames", tr.Frames())
+	}
+}
+
+func TestResumeRejectsMismatchedScenario(t *testing.T) {
+	spec := fastSpec()
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "trace.bin")
+	ckptPath := outPath + ".ckpt"
+	killRun(t, spec, outPath, ckptPath, 20, 30)
+
+	other := spec
+	other.Seed++
+	if err := runCheckpointed(other, outPath, ckptPath, 20, true); err == nil {
+		t.Error("resume with a different seed accepted")
+	}
+}
+
+func TestResumeWithoutCheckpointFails(t *testing.T) {
+	spec := fastSpec()
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "trace.bin")
+	if err := runCheckpointed(spec, outPath, outPath+".ckpt", 0, true); err == nil {
+		t.Error("resume without a checkpoint accepted")
+	}
+}
+
+func TestTornTraceSalvagedByReaders(t *testing.T) {
+	// The wlgen-facing acceptance path: a trace truncated mid-frame is
+	// salvaged with an explicit recovered-frame count.
+	spec := fastSpec()
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "torn.bin")
+	killRun(t, spec, outPath, outPath+".ckpt", 25, 37)
+
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, salvage, err := picpredict.ReadTraceSalvaged(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if salvage == nil {
+		t.Fatal("torn trace read without damage report")
+	}
+	if salvage.Recovered != 4 || tr.Frames() != 4 {
+		t.Errorf("recovered %d frames (trace %d), want 4 (iterations 0..30)", salvage.Recovered, tr.Frames())
+	}
+	if _, err := tr.GenerateWorkload(picpredict.WorkloadOptions{
+		Ranks:        8,
+		Mapping:      picpredict.MappingBin,
+		FilterRadius: spec.FilterRadius,
+	}); err != nil {
+		t.Errorf("salvaged trace failed workload generation: %v", err)
+	}
+}

@@ -56,10 +56,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		savedWl, err = picpredict.ReadWorkload(f)
+		var salvage *picpredict.Salvage
+		savedWl, salvage, err = picpredict.ReadWorkloadSalvaged(f)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
+		}
+		if salvage != nil {
+			log.Printf("warning: %s is damaged (%v); recovered the %d intact intervals and continuing",
+				*wlFile, salvage.Damage, salvage.Recovered)
 		}
 		ranksList = []int{savedWl.Ranks()}
 		fmt.Printf("workload: R=%d, %d frames\n", savedWl.Ranks(), savedWl.Frames())
@@ -69,9 +74,14 @@ func main() {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		tr, err = picpredict.ReadTrace(f)
+		var salvage *picpredict.Salvage
+		tr, salvage, err = picpredict.ReadTraceSalvaged(f)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if salvage != nil {
+			log.Printf("warning: %s is damaged (%v); recovered the %d intact frames and continuing",
+				*traceFile, salvage.Damage, salvage.Recovered)
 		}
 		fmt.Printf("trace: %d particles, %d frames\n", tr.NumParticles(), tr.Frames())
 	}

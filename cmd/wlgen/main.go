@@ -21,6 +21,7 @@ import (
 
 	"picpredict"
 	"picpredict/internal/config"
+	"picpredict/internal/resilience"
 )
 
 func main() {
@@ -54,9 +55,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	tr, err := picpredict.ReadTrace(f)
+	tr, salvage, err := picpredict.ReadTraceSalvaged(f)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if salvage != nil {
+		log.Printf("warning: %s is damaged (%v); recovered the %d intact frames and continuing",
+			*traceFile, salvage.Damage, salvage.Recovered)
 	}
 	if *cfgFile != "" {
 		cf, err := config.LoadPath(*cfgFile)
@@ -159,17 +164,10 @@ func main() {
 	}
 }
 
-// writeFile creates path and streams fn's output into it.
+// writeFile streams fn's output into path atomically: the file appears
+// complete or not at all, never torn.
 func writeFile(path string, fn func(io.Writer) error) error {
-	out, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := fn(out); err != nil {
-		out.Close()
-		return err
-	}
-	return out.Close()
+	return resilience.WriteFileAtomic(path, fn)
 }
 
 func parseElements(s string) (ex, ey, ez int, err error) {

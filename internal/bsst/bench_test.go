@@ -43,6 +43,6 @@ func BenchmarkIterTime(b *testing.B) {
 	p := benchPlatform(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = p.IterTime(int64(i%5000), int64(i%500), 256)
+		_, _ = p.IterTime(int64(i%5000), int64(i%500), 256)
 	}
 }

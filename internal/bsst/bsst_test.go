@@ -99,8 +99,14 @@ func TestPlatformValidate(t *testing.T) {
 
 func TestIterTimeIncreasesWithLoad(t *testing.T) {
 	p := trainedPlatform(t)
-	idle := p.IterTime(0, 0, 16)
-	busy := p.IterTime(10000, 1000, 16)
+	idle, err := p.IterTime(0, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := p.IterTime(10000, 1000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if busy <= idle {
 		t.Errorf("IterTime(busy) = %v <= IterTime(idle) = %v", busy, idle)
 	}
@@ -295,8 +301,14 @@ func TestMachinePresetsInternal(t *testing.T) {
 
 func TestKernelTime(t *testing.T) {
 	p := trainedPlatform(t)
-	small := p.KernelTime(kernels.Pusher.Name, 100, 0, 16)
-	large := p.KernelTime(kernels.Pusher.Name, 100000, 0, 16)
+	small, err := p.KernelTime(kernels.Pusher.Name, 100, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := p.KernelTime(kernels.Pusher.Name, 100000, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if large <= small {
 		t.Errorf("KernelTime not increasing in Np: %v vs %v", small, large)
 	}

@@ -98,7 +98,11 @@ func (p *Platform) Simulate(wl *core.Workload) (*Prediction, error) {
 		var maxCompute float64
 		for r := 0; r < ranks; r++ {
 			np, ngp := frameCounts(wl, r, k)
-			c := float64(sampleEvery) * p.IterTime(np, ngp, ranks)
+			it, err := p.IterTime(np, ngp, ranks)
+			if err != nil {
+				return nil, err
+			}
+			c := float64(sampleEvery) * it
 			computeEnd[r] = clock + c
 			pred.RankBusy[r] += c
 			if c > maxCompute {
@@ -157,7 +161,11 @@ func (p *Platform) SimulateBSP(wl *core.Workload) (*Prediction, error) {
 		var maxCompute float64
 		for r := 0; r < ranks; r++ {
 			np, ngp := frameCounts(wl, r, k)
-			compute[r] = float64(sampleEvery) * p.IterTime(np, ngp, ranks)
+			it, err := p.IterTime(np, ngp, ranks)
+			if err != nil {
+				return nil, err
+			}
+			compute[r] = float64(sampleEvery) * it
 			pred.RankBusy[r] += compute[r]
 			if compute[r] > maxCompute {
 				maxCompute = compute[r]

@@ -28,7 +28,11 @@ func (p *Platform) KernelAccuracy(wl *core.Workload, testbed kernels.Measurer) (
 					continue
 				}
 				w := p.workloadAt(np, ngp, wl.Ranks)
-				predicted = append(predicted, p.Models[k.Name].Predict(w.Features()))
+				pv, err := p.Models[k.Name].Predict(w.Features())
+				if err != nil {
+					return nil, fmt.Errorf("bsst: %s model: %w", k.Name, err)
+				}
+				predicted = append(predicted, pv)
 				actual = append(actual, testbed.Measure(k, w))
 			}
 		}

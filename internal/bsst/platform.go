@@ -54,22 +54,30 @@ func (p *Platform) workloadAt(np, ngp int64, ranks int) kernels.Workload {
 // and ngp ghost particles: the sum of the five kernel models. Negative
 // kernel predictions — possible when a fitted model extrapolates far below
 // its training range — are unphysical and clamp to zero.
-func (p *Platform) IterTime(np, ngp int64, ranks int) float64 {
+func (p *Platform) IterTime(np, ngp int64, ranks int) (float64, error) {
 	w := p.workloadAt(np, ngp, ranks)
 	x := w.Features()
 	t := 0.0
 	for _, k := range kernels.All() {
-		if v := p.Models[k.Name].Predict(x); v > 0 {
+		v, err := p.Models[k.Name].Predict(x)
+		if err != nil {
+			return 0, fmt.Errorf("bsst: %s model: %w", k.Name, err)
+		}
+		if v > 0 {
 			t += v
 		}
 	}
-	return t
+	return t, nil
 }
 
 // KernelTime predicts one kernel's per-iteration time for a rank workload.
-func (p *Platform) KernelTime(name string, np, ngp int64, ranks int) float64 {
+func (p *Platform) KernelTime(name string, np, ngp int64, ranks int) (float64, error) {
 	w := p.workloadAt(np, ngp, ranks)
-	return p.Models[name].Predict(w.Features())
+	v, err := p.Models[name].Predict(w.Features())
+	if err != nil {
+		return 0, fmt.Errorf("bsst: %s model: %w", name, err)
+	}
+	return v, nil
 }
 
 // Prediction is the simulated execution of a workload on the platform.

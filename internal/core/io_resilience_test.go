@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"picpredict/internal/faultfs"
+	"picpredict/internal/mapping"
+	"picpredict/internal/resilience"
+)
+
+// testWorkload generates a small deterministic workload with ghosts.
+func testWorkload(t *testing.T, seed int64) *Workload {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	its, pos := randomTrace(rng, 120, 4)
+	wl, err := RunFrames(Config{
+		Mapper:       mapping.NewBinMapper(16, 0.05),
+		FilterRadius: 0.05,
+	}, its, pos, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
+
+func sameWorkloadPrefix(t *testing.T, got, want *Workload, frames int) {
+	t.Helper()
+	if got.Ranks != want.Ranks || got.NumParticles != want.NumParticles || got.SampleEvery != want.SampleEvery {
+		t.Fatalf("metadata: %+v vs %+v", got, want)
+	}
+	if got.RealComp.Frames() != frames {
+		t.Fatalf("frames: %d, want %d", got.RealComp.Frames(), frames)
+	}
+	for k := 0; k < frames; k++ {
+		if got.RealComp.Iterations()[k] != want.RealComp.Iterations()[k] {
+			t.Fatalf("iteration %d differs", k)
+		}
+		for r := 0; r < want.Ranks; r++ {
+			if got.RealComp.At(r, k) != want.RealComp.At(r, k) {
+				t.Fatalf("comp[%d][%d] differs", r, k)
+			}
+		}
+		if got.RealComm.At(k).Total() != want.RealComm.At(k).Total() {
+			t.Fatalf("comm total frame %d differs", k)
+		}
+	}
+}
+
+func TestWorkloadLegacyV1ReadCompat(t *testing.T) {
+	wl := testWorkload(t, 21)
+	var buf bytes.Buffer
+	if err := wl.WriteLegacy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte(workloadMagicV1)) {
+		t.Fatalf("legacy writer emitted magic %q", buf.Bytes()[:8])
+	}
+	back, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameWorkloadPrefix(t, back, wl, wl.RealComp.Frames())
+}
+
+func TestWorkloadSalvageTornTail(t *testing.T) {
+	wl := testWorkload(t, 22)
+	var buf bytes.Buffer
+	if err := wl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	frames := wl.RealComp.Frames()
+
+	// Cut the file shortly before the end: the final interval frame tears.
+	torn := whole[:len(whole)-7]
+	back, damage, err := ReadWorkloadSalvaged(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trunc *resilience.TruncatedError
+	if !errors.As(damage, &trunc) {
+		t.Fatalf("damage = %v, want *TruncatedError", damage)
+	}
+	if back.RealComp.Frames() != frames-1 {
+		t.Fatalf("salvaged %d intervals, want %d", back.RealComp.Frames(), frames-1)
+	}
+	sameWorkloadPrefix(t, back, wl, frames-1)
+
+	// The strict reader refuses the same stream.
+	if _, err := ReadWorkload(bytes.NewReader(torn)); err == nil {
+		t.Error("strict ReadWorkload accepted a torn file")
+	}
+}
+
+func TestWorkloadSalvageBitFlip(t *testing.T) {
+	wl := testWorkload(t, 23)
+	var clean bytes.Buffer
+	if err := wl.Write(&clean); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit three quarters of the way in — some tail interval's frame
+	// fails its checksum, earlier intervals survive.
+	off := int64(clean.Len() * 3 / 4)
+	var buf bytes.Buffer
+	if _, err := faultfs.FlipWriter(&buf, off, 0x08).Write(clean.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	back, damage, err := ReadWorkloadSalvaged(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corrupt *resilience.CorruptFrameError
+	if !errors.As(damage, &corrupt) {
+		t.Fatalf("damage = %v, want *CorruptFrameError", damage)
+	}
+	if got := back.RealComp.Frames(); got == 0 || got >= wl.RealComp.Frames() {
+		t.Fatalf("salvaged %d of %d intervals", got, wl.RealComp.Frames())
+	}
+	sameWorkloadPrefix(t, back, wl, back.RealComp.Frames())
+}
+
+func TestWorkloadWriteENOSPC(t *testing.T) {
+	wl := testWorkload(t, 24)
+	var buf bytes.Buffer
+	err := wl.Write(faultfs.CutWriter(&buf, 64))
+	if !errors.Is(err, faultfs.ErrNoSpace) {
+		t.Fatalf("full device surfaced as %v, want ErrNoSpace", err)
+	}
+}
+
+func TestWorkloadNothingSalvageable(t *testing.T) {
+	wl := testWorkload(t, 25)
+	var clean bytes.Buffer
+	if err := wl.Write(&clean); err != nil {
+		t.Fatal(err)
+	}
+	// Tear inside the very first interval frame: zero intact intervals is
+	// an error, not an empty success.
+	headerEnd := len(workloadMagic) + resilience.FrameSize(workloadHeaderLen)
+	torn := clean.Bytes()[:headerEnd+3]
+	if _, _, err := ReadWorkloadSalvaged(bytes.NewReader(torn)); err == nil {
+		t.Error("workload with no intact intervals accepted")
+	}
+}
+
+func TestWorkloadHostileHeaderRejected(t *testing.T) {
+	// A forged header with a colossal rank count must be rejected before
+	// any rank-sized allocation. Build it with a valid checksum.
+	var buf bytes.Buffer
+	buf.WriteString(workloadMagic)
+	fw := resilience.NewFrameWriter(&buf)
+	hdr := make([]byte, workloadHeaderLen)
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0xff, 0xff, 0xff, 0x7f // ranks
+	if err := fw.WriteFrame(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadWorkload(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("hostile rank count accepted")
+	}
+}

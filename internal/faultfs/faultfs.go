@@ -1,0 +1,129 @@
+// Package faultfs injects storage faults into io.Writer and io.Reader /
+// io.ReadSeeker streams so recovery paths can be proven to fire rather than
+// assumed to: short writes and ENOSPC at a chosen offset (the torn tail a
+// crash or full disk leaves), silent bit flips (media corruption), and
+// truncated reads. The trace, workload and checkpoint tests thread these
+// wrappers under the real readers and writers and assert that the typed
+// resilience errors — not opaque failures — come back out.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrNoSpace is the injected write failure, standing in for ENOSPC.
+var ErrNoSpace = errors.New("faultfs: no space left on device")
+
+// CutWriter returns a writer that accepts exactly n bytes of w's stream and
+// fails every write past that point with ErrNoSpace. The write straddling
+// the boundary is short — its prefix reaches w — reproducing the torn final
+// record a full disk or a mid-write crash produces.
+func CutWriter(w io.Writer, n int64) io.Writer { return CutWriterErr(w, n, ErrNoSpace) }
+
+// CutWriterErr is CutWriter with a caller-chosen failure error.
+func CutWriterErr(w io.Writer, n int64, fail error) io.Writer {
+	return &cutWriter{w: w, left: n, fail: fail}
+}
+
+type cutWriter struct {
+	w    io.Writer
+	left int64
+	fail error
+}
+
+func (c *cutWriter) Write(p []byte) (int, error) {
+	if c.left <= 0 {
+		return 0, c.fail
+	}
+	if int64(len(p)) <= c.left {
+		n, err := c.w.Write(p)
+		c.left -= int64(n)
+		return n, err
+	}
+	n, err := c.w.Write(p[:c.left])
+	c.left -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, c.fail
+}
+
+// FlipWriter returns a writer that passes w's stream through unchanged
+// except for the byte at offset off, which is XORed with mask — a silent
+// single-byte corruption that only a checksum can catch. A zero mask is
+// promoted to 0xFF so the byte always changes.
+func FlipWriter(w io.Writer, off int64, mask byte) io.Writer {
+	if mask == 0 {
+		mask = 0xFF
+	}
+	return &flipWriter{w: w, at: off, mask: mask}
+}
+
+type flipWriter struct {
+	w    io.Writer
+	off  int64
+	at   int64
+	mask byte
+}
+
+func (f *flipWriter) Write(p []byte) (int, error) {
+	if f.at >= f.off && f.at < f.off+int64(len(p)) {
+		// Corrupt a private copy; callers own p.
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[f.at-f.off] ^= f.mask
+		p = q
+	}
+	n, err := f.w.Write(p)
+	f.off += int64(n)
+	return n, err
+}
+
+// CutReader returns a reader that ends r's stream with a clean EOF after n
+// bytes — what reading back a file whose tail was torn off looks like.
+func CutReader(r io.Reader, n int64) io.Reader { return io.LimitReader(r, n) }
+
+// Reader wraps an io.Reader (or io.ReadSeeker) and flips the byte at a
+// chosen offset with a chosen mask, tracking offsets across Seek when the
+// underlying stream supports it.
+type Reader struct {
+	r    io.Reader
+	off  int64
+	at   int64
+	mask byte
+}
+
+// FlipReader returns a Reader over r whose byte at offset off reads back
+// XORed with mask. A zero mask is promoted to 0xFF.
+func FlipReader(r io.Reader, off int64, mask byte) *Reader {
+	if mask == 0 {
+		mask = 0xFF
+	}
+	return &Reader{r: r, at: off, mask: mask}
+}
+
+// Read implements io.Reader.
+func (f *Reader) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	if n > 0 && f.at >= f.off && f.at < f.off+int64(n) {
+		p[f.at-f.off] ^= f.mask
+	}
+	f.off += int64(n)
+	return n, err
+}
+
+// Seek implements io.Seeker when the underlying stream does; otherwise it
+// fails, keeping the wrapper honest about its capabilities.
+func (f *Reader) Seek(offset int64, whence int) (int64, error) {
+	s, ok := f.r.(io.Seeker)
+	if !ok {
+		return 0, fmt.Errorf("faultfs: underlying %T is not seekable", f.r)
+	}
+	pos, err := s.Seek(offset, whence)
+	if err == nil {
+		f.off = pos
+	}
+	return pos, err
+}

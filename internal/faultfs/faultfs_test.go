@@ -1,0 +1,100 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestCutWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := CutWriter(&buf, 5)
+	n, err := w.Write([]byte("abc"))
+	if n != 3 || err != nil {
+		t.Fatalf("first write: (%d, %v)", n, err)
+	}
+	n, err = w.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("boundary write: (%d, %v), want (2, ErrNoSpace)", n, err)
+	}
+	if buf.String() != "abcde" {
+		t.Errorf("wrote %q, want the first 5 bytes", buf.String())
+	}
+	// Once the device is "full", every further write fails.
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("post-cut write: %v", err)
+	}
+}
+
+func TestFlipWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := FlipWriter(&buf, 2, 0x01)
+	src := []byte("abcd")
+	if _, err := w.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes(); got[2] != 'c'^0x01 {
+		t.Errorf("byte 2 = %#x, want flipped", got[2])
+	}
+	if src[2] != 'c' {
+		t.Error("FlipWriter mutated the caller's buffer")
+	}
+	// Zero mask defaults to inverting the whole byte.
+	var buf2 bytes.Buffer
+	w2 := FlipWriter(&buf2, 0, 0)
+	if _, err := w2.Write([]byte{0x0f}); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.Bytes()[0] != 0xf0 {
+		t.Errorf("zero-mask flip = %#x, want 0xf0", buf2.Bytes()[0])
+	}
+}
+
+func TestCutReader(t *testing.T) {
+	r := CutReader(strings.NewReader("abcdef"), 4)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcd" {
+		t.Errorf("read %q", got)
+	}
+}
+
+func TestFlipReader(t *testing.T) {
+	r := FlipReader(strings.NewReader("abcd"), 1, 0xff)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'a' || got[1] != 'b'^0xff || got[2] != 'c' {
+		t.Errorf("flip at 1: %v", got)
+	}
+}
+
+func TestFlipReaderSeek(t *testing.T) {
+	r := FlipReader(strings.NewReader("abcd"), 3, 0xff)
+	if _, err := r.Seek(2, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After seeking to 2, stream offset 3 is the second byte read.
+	if got[0] != 'c' || got[1] != 'd'^0xff {
+		t.Errorf("after seek: %v", got)
+	}
+	// Seek on a non-seekable underlying reader errors.
+	nr := FlipReader(iotestOnlyReader{strings.NewReader("x")}, 0, 1)
+	if _, err := nr.Seek(0, io.SeekStart); err == nil {
+		t.Error("seek on non-seeker accepted")
+	}
+}
+
+// iotestOnlyReader hides the Seeker of the wrapped reader.
+type iotestOnlyReader struct{ r io.Reader }
+
+func (o iotestOnlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }

@@ -1,0 +1,71 @@
+package fluid
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Stateful is implemented by flows whose velocity field depends on evolved
+// internal state rather than being a pure function of time. Checkpointing a
+// PIC run must capture such state; the analytic flows (Uniform,
+// DiaphragmBurst, BedDilation, Vortex, Decaying) deliberately do not
+// implement it — their state is reconstructed exactly by the next
+// Advance(t) call.
+type Stateful interface {
+	Flow
+	// EncodeState serialises the flow's internal state to w.
+	EncodeState(w io.Writer) error
+	// RestoreState replaces the flow's internal state from r. The flow
+	// must have been constructed with the same grid/configuration the
+	// state was encoded from.
+	RestoreState(r io.Reader) error
+}
+
+// EncodeState implements Stateful: the solver time followed by the
+// conserved variables of every cell, little-endian float64.
+func (s *EulerSolver) EncodeState(w io.Writer) error {
+	buf := make([]byte, 8+8+len(s.state)*5*8)
+	binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(s.t))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(s.state)))
+	off := 16
+	for _, c := range s.state {
+		for _, v := range []float64{c.Rho, c.MomX, c.MomY, c.MomZ, c.E} {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("fluid: encoding Euler state: %w", err)
+	}
+	return nil
+}
+
+// RestoreState implements Stateful.
+func (s *EulerSolver) RestoreState(r io.Reader) error {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("fluid: reading Euler state header: %w", err)
+	}
+	t := math.Float64frombits(binary.LittleEndian.Uint64(hdr[0:]))
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	if n != uint64(len(s.state)) {
+		return fmt.Errorf("fluid: Euler state has %d cells, solver grid has %d", n, len(s.state))
+	}
+	buf := make([]byte, len(s.state)*5*8)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("fluid: reading Euler state: %w", err)
+	}
+	off := 0
+	read := func() float64 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		return v
+	}
+	for i := range s.state {
+		s.state[i] = Cons{Rho: read(), MomX: read(), MomY: read(), MomZ: read(), E: read()}
+	}
+	s.t = t
+	return nil
+}

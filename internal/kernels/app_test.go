@@ -106,8 +106,14 @@ func TestTrainFromAppSamples(t *testing.T) {
 		if mape > 60 {
 			t.Errorf("%s: training-data MAPE %.1f%% (model %s)", name, mape, model)
 		}
-		small := model.Predict(Workload{Np: 500, Ngp: 50, Nel: 576, N: 4, Filter: 1}.Features())
-		large := model.Predict(Workload{Np: 50000, Ngp: 5000, Nel: 576, N: 4, Filter: 1}.Features())
+		small, err := model.Predict(Workload{Np: 500, Ngp: 50, Nel: 576, N: 4, Filter: 1}.Features())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		large, err := model.Predict(Workload{Np: 50000, Ngp: 5000, Nel: 576, N: 4, Filter: 1}.Features())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		if large <= small {
 			t.Errorf("%s: prediction not increasing in Np (%v vs %v)", name, small, large)
 		}

@@ -49,6 +49,6 @@ func BenchmarkSymbolicPredict(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = m.Predict(x[i%len(x)])
+		_, _ = m.Predict(x[i%len(x)])
 	}
 }

@@ -14,8 +14,12 @@ import (
 
 // Model predicts a kernel execution time from a workload feature vector.
 type Model interface {
-	// Predict returns the modelled time for feature vector x.
-	Predict(x []float64) float64
+	// Predict returns the modelled time for feature vector x. It reports an
+	// error for malformed models or feature vectors (for example an
+	// expression tree referencing a feature x lacks) rather than panicking —
+	// predictions sit at the bottom of long simulation runs, and a poisoned
+	// model must surface as a diagnosable failure, not a crash.
+	Predict(x []float64) (float64, error)
 	// String renders the closed-form model.
 	String() string
 }
@@ -34,12 +38,15 @@ type LinearModel struct {
 type BasisFunc func(x []float64) float64
 
 // Predict implements Model.
-func (m *LinearModel) Predict(x []float64) float64 {
+func (m *LinearModel) Predict(x []float64) (float64, error) {
+	if len(m.Weights) != len(m.Basis)+1 {
+		return 0, fmt.Errorf("perfmodel: linear model has %d weights for %d basis terms", len(m.Weights), len(m.Basis))
+	}
 	y := m.Weights[0]
 	for i, b := range m.Basis {
 		y += m.Weights[i+1] * b(x)
 	}
-	return y
+	return y, nil
 }
 
 // String implements Model.
@@ -191,7 +198,11 @@ func EvalMAPE(m Model, x [][]float64, y []float64) (float64, error) {
 		if y[i] == 0 {
 			continue
 		}
-		sum += math.Abs((m.Predict(x[i]) - y[i]) / y[i])
+		p, err := m.Predict(x[i])
+		if err != nil {
+			return 0, err
+		}
+		sum += math.Abs((p - y[i]) / y[i])
 		n++
 	}
 	if n == 0 {

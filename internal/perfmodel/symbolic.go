@@ -33,28 +33,46 @@ type node struct {
 	l, r *node   // children (r nil for unary ops)
 }
 
-func (n *node) eval(x []float64) float64 {
+func (n *node) eval(x []float64) (float64, error) {
 	switch n.op {
 	case opConst:
-		return n.val
+		return n.val, nil
 	case opVar:
-		return x[n.idx]
-	case opAdd:
-		return n.l.eval(x) + n.r.eval(x)
-	case opSub:
-		return n.l.eval(x) - n.r.eval(x)
-	case opMul:
-		return n.l.eval(x) * n.r.eval(x)
-	case opDiv:
-		d := n.r.eval(x)
-		if math.Abs(d) < 1e-12 {
-			return n.l.eval(x)
+		if n.idx < 0 || n.idx >= len(x) {
+			return 0, fmt.Errorf("perfmodel: expression references feature x%d, vector has %d", n.idx, len(x))
 		}
-		return n.l.eval(x) / d
+		return x[n.idx], nil
+	case opAdd:
+		l, r, err := n.evalChildren(x)
+		return l + r, err
+	case opSub:
+		l, r, err := n.evalChildren(x)
+		return l - r, err
+	case opMul:
+		l, r, err := n.evalChildren(x)
+		return l * r, err
+	case opDiv:
+		l, r, err := n.evalChildren(x)
+		if err != nil {
+			return 0, err
+		}
+		if math.Abs(r) < 1e-12 {
+			return l, nil // protected division
+		}
+		return l / r, nil
 	case opLog:
-		return math.Log1p(math.Abs(n.l.eval(x)))
+		l, err := n.l.eval(x)
+		return math.Log1p(math.Abs(l)), err
 	}
-	panic("perfmodel: bad op")
+	return 0, fmt.Errorf("perfmodel: bad op %d in expression tree", n.op)
+}
+
+func (n *node) evalChildren(x []float64) (l, r float64, err error) {
+	if l, err = n.l.eval(x); err != nil {
+		return 0, 0, err
+	}
+	r, err = n.r.eval(x)
+	return l, r, err
 }
 
 func (n *node) size() int {
@@ -119,8 +137,12 @@ type SymbolicModel struct {
 }
 
 // Predict implements Model.
-func (m *SymbolicModel) Predict(x []float64) float64 {
-	return m.scale*m.root.eval(x) + m.shift
+func (m *SymbolicModel) Predict(x []float64) (float64, error) {
+	v, err := m.root.eval(x)
+	if err != nil {
+		return 0, err
+	}
+	return m.scale*v + m.shift, nil
 }
 
 // String implements Model.
@@ -269,8 +291,9 @@ func calibrate(t *node, x [][]float64, y []float64, yScale float64) (scale, shif
 	outs := make([]float64, len(y))
 	ws := make([]float64, len(y))
 	for i := range x {
-		v := t.eval(x[i])
-		if math.IsNaN(v) || math.IsInf(v, 0) {
+		v, err := t.eval(x[i])
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			// A tree that cannot be evaluated is simply unfit.
 			return 1, 0, math.Inf(1)
 		}
 		outs[i] = v

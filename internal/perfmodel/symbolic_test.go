@@ -148,7 +148,11 @@ func TestSymbolicConstantTargets(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, xi := range x {
-		if v := m.Predict(xi); math.Abs(v-5) > 0.5 {
+		v, err := m.Predict(xi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-5) > 0.5 {
 			t.Errorf("Predict(%v) = %v, want ≈5", xi, v)
 		}
 	}
@@ -177,12 +181,20 @@ func TestNodeRenderAllOps(t *testing.T) {
 	// Evaluation agrees with the rendered formula at a sample point.
 	x := []float64{3, 4}
 	want2 := (3*4 - 3/2.5) + math.Log1p(4)
-	if got := tree.eval(x); math.Abs(got-want2) > 1e-12 {
-		t.Errorf("eval = %v, want %v", got, want2)
+	if got, err := tree.eval(x); err != nil || math.Abs(got-want2) > 1e-12 {
+		t.Errorf("eval = %v (err %v), want %v", got, err, want2)
 	}
 	// Protected division: tiny denominator returns the numerator.
 	div := &node{op: opDiv, l: c, r: &node{op: opConst, val: 1e-15}}
-	if got := div.eval(x); got != 2.5 {
-		t.Errorf("protected division = %v, want 2.5", got)
+	if got, err := div.eval(x); err != nil || got != 2.5 {
+		t.Errorf("protected division = %v (err %v), want 2.5", got, err)
+	}
+	// A malformed tree surfaces as an error, not a panic: an unknown op
+	// and a variable index beyond the feature vector.
+	if _, err := (&node{op: opKind(99)}).eval(x); err == nil {
+		t.Error("bad op evaluated without error")
+	}
+	if _, err := anon.eval(x); err == nil {
+		t.Error("out-of-range variable evaluated without error")
 	}
 }

@@ -1,0 +1,179 @@
+package pic
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"picpredict/internal/fluid"
+	"picpredict/internal/geom"
+	"picpredict/internal/resilience"
+)
+
+// Checkpoint/restart: the long PIC campaigns this framework models are the
+// canonical victims of mid-run failure, so a Solver can snapshot its full
+// simulation state and restart from it. The snapshot captures everything
+// the trajectory depends on — step counter, simulation time, the complete
+// particle population in float64, and the gas state of Stateful flows
+// (the Euler solver); analytic flows are pure functions of time and need
+// nothing. The solver loop itself is RNG-free (randomness exists only in
+// initial seeding), so no generator state is part of a snapshot.
+//
+// Binary layout, little endian, built from the checksummed frame layout of
+// internal/resilience:
+//
+//	magic "PICCKP01"
+//	frame: step uint64 | time float64 | numParticles uint64 | hasFluid uint8
+//	frame: id int64×n | pos float64×3n | vel float64×3n |
+//	       diameter float64×n | density float64×n
+//	[frame: opaque fluid.Stateful payload]
+const checkpointMagic = "PICCKP01"
+
+const ckptMetaLen = 8 + 8 + 8 + 1
+
+// perParticleBytes is the snapshot cost of one particle: id + position +
+// velocity + diameter + density.
+const perParticleBytes = 8 + 24 + 24 + 8 + 8
+
+// WriteCheckpoint serialises the solver's full simulation state to w.
+func (s *Solver) WriteCheckpoint(w io.Writer) error {
+	fw := resilience.NewFrameWriter(w)
+	stateful, _ := s.Flow.(fluid.Stateful)
+
+	var meta [ckptMetaLen]byte
+	binary.LittleEndian.PutUint64(meta[0:], uint64(s.step))
+	binary.LittleEndian.PutUint64(meta[8:], math.Float64bits(s.time))
+	binary.LittleEndian.PutUint64(meta[16:], uint64(s.Particles.Len()))
+	if stateful != nil {
+		meta[24] = 1
+	}
+	if err := fw.WriteFrame(meta[:]); err != nil {
+		return fmt.Errorf("pic: writing checkpoint meta: %w", err)
+	}
+
+	ps := s.Particles
+	n := ps.Len()
+	if int64(n)*perParticleBytes > math.MaxUint32 {
+		return fmt.Errorf("pic: %d particles exceed the checkpoint frame limit (%d)", n, math.MaxUint32/perParticleBytes)
+	}
+	buf := make([]byte, n*perParticleBytes)
+	off := 0
+	putF := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	putV := func(v geom.Vec3) { putF(v.X); putF(v.Y); putF(v.Z) }
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(ps.ID[i]))
+		off += 8
+		putV(ps.Pos[i])
+		putV(ps.Vel[i])
+		putF(ps.Diameter[i])
+		putF(ps.Density[i])
+	}
+	if err := fw.WriteFrame(buf); err != nil {
+		return fmt.Errorf("pic: writing checkpoint particles: %w", err)
+	}
+
+	if stateful != nil {
+		var fb bytes.Buffer
+		if err := stateful.EncodeState(&fb); err != nil {
+			return fmt.Errorf("pic: checkpointing fluid state: %w", err)
+		}
+		if err := fw.WriteFrame(fb.Bytes()); err != nil {
+			return fmt.Errorf("pic: writing checkpoint fluid state: %w", err)
+		}
+	}
+	return nil
+}
+
+// EncodeCheckpoint writes the checkpoint magic followed by the state
+// frames — the standalone checkpoint-file form of WriteCheckpoint.
+func (s *Solver) EncodeCheckpoint(w io.Writer) error {
+	if _, err := io.WriteString(w, checkpointMagic); err != nil {
+		return fmt.Errorf("pic: writing checkpoint magic: %w", err)
+	}
+	return s.WriteCheckpoint(w)
+}
+
+// RestoreCheckpoint replaces the solver's simulation state with a snapshot
+// previously written by WriteCheckpoint. The solver must have been built
+// from the same configuration (same particle count, same flow kind);
+// mismatches are rejected with an error rather than silently mis-restored.
+func (s *Solver) RestoreCheckpoint(r io.Reader) error {
+	fr := resilience.NewFrameReader(r, MaxCheckpointPayload)
+	meta, err := fr.ExpectFrame(ckptMetaLen)
+	if err != nil {
+		return fmt.Errorf("pic: reading checkpoint meta: %w", err)
+	}
+	step := binary.LittleEndian.Uint64(meta[0:])
+	tm := math.Float64frombits(binary.LittleEndian.Uint64(meta[8:]))
+	n := binary.LittleEndian.Uint64(meta[16:])
+	hasFluid := meta[24] == 1
+
+	if int(n) != s.Particles.Len() {
+		return fmt.Errorf("pic: checkpoint holds %d particles, solver was built with %d — resume with the run's original configuration", n, s.Particles.Len())
+	}
+	stateful, _ := s.Flow.(fluid.Stateful)
+	if hasFluid && stateful == nil {
+		return fmt.Errorf("pic: checkpoint carries fluid state but the solver's flow (%T) is stateless — resume with the run's original configuration", s.Flow)
+	}
+	if !hasFluid && stateful != nil {
+		return fmt.Errorf("pic: checkpoint carries no fluid state but the solver's flow (%T) requires it — resume with the run's original configuration", s.Flow)
+	}
+
+	buf, err := fr.ExpectFrame(int(n) * perParticleBytes)
+	if err != nil {
+		return fmt.Errorf("pic: reading checkpoint particles: %w", err)
+	}
+	ps := s.Particles
+	off := 0
+	getF := func() float64 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		return v
+	}
+	getV := func() geom.Vec3 { return geom.V(getF(), getF(), getF()) }
+	for i := 0; i < int(n); i++ {
+		ps.ID[i] = int64(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		ps.Pos[i] = getV()
+		ps.Vel[i] = getV()
+		ps.Diameter[i] = getF()
+		ps.Density[i] = getF()
+	}
+
+	if hasFluid {
+		payload, err := fr.ReadFrame()
+		if err != nil {
+			return fmt.Errorf("pic: reading checkpoint fluid state: %w", err)
+		}
+		if err := stateful.RestoreState(bytes.NewReader(payload)); err != nil {
+			return fmt.Errorf("pic: restoring fluid state: %w", err)
+		}
+	}
+
+	s.step = int(step)
+	s.time = tm
+	return nil
+}
+
+// DecodeCheckpoint reads the checkpoint magic then restores the state —
+// the counterpart of EncodeCheckpoint.
+func (s *Solver) DecodeCheckpoint(r io.Reader) error {
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("pic: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return fmt.Errorf("pic: bad checkpoint magic %q", magic)
+	}
+	return s.RestoreCheckpoint(r)
+}
+
+// MaxCheckpointPayload bounds a checkpoint frame a reader will buffer
+// (particles dominate: 72 bytes each), guarding restores against corrupt
+// length prefixes just like the artefact readers.
+const MaxCheckpointPayload = perParticleBytes * 50_000_000

@@ -1,0 +1,167 @@
+package pic
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"picpredict/internal/faultfs"
+	"picpredict/internal/fluid"
+	"picpredict/internal/geom"
+	"picpredict/internal/mesh"
+	"picpredict/internal/particle"
+)
+
+// manySolver builds a solver with a deterministic multi-particle population.
+func manySolver(t *testing.T, flow fluid.Flow) *Solver {
+	t.Helper()
+	m, err := mesh.New(geom.Box(geom.V(0, 0, 0), geom.V(4, 4, 4)), 4, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	ps := particle.New(40)
+	for i := 0; i < 40; i++ {
+		pos := geom.V(0.5+3*rng.Float64(), 0.5+3*rng.Float64(), 0.5+3*rng.Float64())
+		vel := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(0.01)
+		ps.Add(int64(i), pos, vel, 1e-4, 1000)
+	}
+	s, err := NewSolver(m, flow, ps, baseParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func eulerFlow(t *testing.T) *fluid.EulerSolver {
+	t.Helper()
+	grid, err := geom.NewGrid(geom.Box(geom.V(0, 0, 0), geom.V(4, 4, 4)), 16, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := fluid.NewEulerSolver(grid, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es.MUSCL = true
+	es.InitRiemann(0, 1.0, fluid.Prim{Rho: 1, P: 1}, fluid.Prim{Rho: 0.125, P: 0.1})
+	return es
+}
+
+// checkSameTrajectory steps both solvers further and requires bit-identical
+// particle states throughout.
+func checkSameTrajectory(t *testing.T, a, b *Solver, steps int) {
+	t.Helper()
+	for s := 0; s < steps; s++ {
+		a.Step()
+		b.Step()
+		if a.StepCount() != b.StepCount() || a.Time() != b.Time() {
+			t.Fatalf("step/time diverged: %d/%g vs %d/%g", a.StepCount(), a.Time(), b.StepCount(), b.Time())
+		}
+		for i := range a.Particles.Pos {
+			if a.Particles.Pos[i] != b.Particles.Pos[i] || a.Particles.Vel[i] != b.Particles.Vel[i] {
+				t.Fatalf("step %d particle %d diverged: %v vs %v", s, i, a.Particles.Pos[i], b.Particles.Pos[i])
+			}
+		}
+	}
+}
+
+func TestCheckpointRoundTripAnalyticFlow(t *testing.T) {
+	flow := &fluid.DiaphragmBurst{Origin: geom.V(2, 2, 2), Amp: 0.01, Decay: 1, Core: 0.5}
+	ref := manySolver(t, flow)
+	for i := 0; i < 7; i++ {
+		ref.Step()
+	}
+	var buf bytes.Buffer
+	if err := ref.EncodeCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := manySolver(t, &fluid.DiaphragmBurst{Origin: geom.V(2, 2, 2), Amp: 0.01, Decay: 1, Core: 0.5})
+	if err := restored.DecodeCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.StepCount() != 7 || restored.Time() != ref.Time() {
+		t.Fatalf("restored to step %d, time %g", restored.StepCount(), restored.Time())
+	}
+	checkSameTrajectory(t, ref, restored, 10)
+}
+
+func TestCheckpointRoundTripEulerFlow(t *testing.T) {
+	ref := manySolver(t, eulerFlow(t))
+	for i := 0; i < 5; i++ {
+		ref.Step()
+	}
+	var buf bytes.Buffer
+	if err := ref.EncodeCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a freshly initialised solver: the Euler gas state must
+	// come back from the snapshot, not from re-running the fluid.
+	restored := manySolver(t, eulerFlow(t))
+	if err := restored.DecodeCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkSameTrajectory(t, ref, restored, 10)
+}
+
+func TestCheckpointRejectsMismatchedSolver(t *testing.T) {
+	flow := fluid.Uniform{}
+	ref := manySolver(t, flow)
+	var buf bytes.Buffer
+	if err := ref.EncodeCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A solver with a different particle count must refuse the snapshot.
+	other := solverFixture(t, flow, baseParams())
+	if err := other.DecodeCheckpoint(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("restore into mismatched particle count accepted")
+	}
+	// A solver whose flow is stateful when the checkpoint's was not (and
+	// vice versa) must also refuse.
+	statefulSolver := manySolver(t, eulerFlow(t))
+	if err := statefulSolver.DecodeCheckpoint(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("stateless checkpoint restored into stateful solver")
+	}
+	var eulerBuf bytes.Buffer
+	if err := statefulSolver.EncodeCheckpoint(&eulerBuf); err != nil {
+		t.Fatal(err)
+	}
+	statelessSolver := manySolver(t, flow)
+	if err := statelessSolver.DecodeCheckpoint(bytes.NewReader(eulerBuf.Bytes())); err == nil {
+		t.Error("stateful checkpoint restored into stateless solver")
+	}
+}
+
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	ref := manySolver(t, fluid.Uniform{})
+	ref.Step()
+	var clean bytes.Buffer
+	if err := ref.EncodeCheckpoint(&clean); err != nil {
+		t.Fatal(err)
+	}
+	// A flipped bit anywhere in the particle payload fails the restore.
+	flipped, err := readAllFlipped(clean.Bytes(), int64(clean.Len()/2), 0x20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := manySolver(t, fluid.Uniform{})
+	if err := fresh.DecodeCheckpoint(bytes.NewReader(flipped)); err == nil {
+		t.Error("corrupt checkpoint restored without error")
+	}
+	// A torn checkpoint (crash mid-write) also fails.
+	fresh2 := manySolver(t, fluid.Uniform{})
+	if err := fresh2.DecodeCheckpoint(bytes.NewReader(clean.Bytes()[:clean.Len()/2])); err == nil {
+		t.Error("torn checkpoint restored without error")
+	}
+}
+
+// readAllFlipped copies data with one byte flipped at off.
+func readAllFlipped(data []byte, off int64, mask byte) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := faultfs.FlipWriter(&buf, off, mask).Write(data); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,54 @@
+package resilience
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic streams fn's output into path so that a crash at any
+// point leaves either the old file or the complete new one, never a torn
+// mix: the bytes go to a temp file in the same directory, are fsynced, and
+// the temp file is renamed over path. Close and sync failures — the way a
+// full disk surfaces with buffered I/O — are returned, not swallowed.
+func WriteFileAtomic(path string, fn func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("resilience: creating temp file for %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = fn(tmp); err != nil {
+		return fmt.Errorf("resilience: writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("resilience: syncing %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("resilience: closing %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("resilience: publishing %s: %w", path, err)
+	}
+	syncDir(dir) // persist the rename itself; best-effort by design
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Some filesystems and platforms reject directory fsync; that only weakens
+// the durability of the *rename* (the file contents are already synced), so
+// errors are deliberately ignored.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,181 @@
+// Package resilience provides the crash-safety primitives the pipeline's
+// artefact formats are built on: length-prefixed, CRC32C-checksummed frames
+// with typed corruption errors, and atomic file writes (temp file + fsync +
+// rename).
+//
+// One expensive PIC run produces the trace every downstream prediction
+// depends on; a torn write or a flipped bit must be *detected* (checksums),
+// *contained* (per-frame framing lets readers salvage every intact frame
+// before the damage), and *survivable* (atomic writes and checkpoint
+// restart). The v2 artefact formats (PICTRC02 traces, PICWKL02 workloads)
+// and the PIC checkpoint format all share this frame layout:
+//
+//	frame: payloadLen uint32 | payload | crc32c(payload) uint32
+//
+// little-endian, with CRC32C (Castagnoli) chosen for its hardware support
+// on current CPUs.
+package resilience
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// castagnoli is the CRC32C table shared by all frame writers and readers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C checksum of payload.
+func Checksum(payload []byte) uint32 { return crc32.Checksum(payload, castagnoli) }
+
+// frameOverhead is the per-frame byte cost: length prefix + checksum.
+const frameOverhead = 4 + 4
+
+// FrameSize returns the on-disk size of a frame with the given payload
+// length.
+func FrameSize(payloadLen int) int { return payloadLen + frameOverhead }
+
+// CorruptFrameError reports a frame whose content failed validation — a
+// checksum mismatch or an implausible length prefix. The bytes up to the
+// damaged frame are trustworthy; everything from it on is not.
+type CorruptFrameError struct {
+	// Frame is the zero-based index of the damaged frame.
+	Frame int
+	// Reason describes the validation failure.
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptFrameError) Error() string {
+	return fmt.Sprintf("resilience: frame %d corrupt: %s", e.Frame, e.Reason)
+}
+
+// TruncatedError reports a stream that ended mid-frame — the torn tail a
+// crash or full disk leaves behind. Frames before it are intact.
+type TruncatedError struct {
+	// Frame is the zero-based index of the frame the stream tore inside.
+	Frame int
+	// Err is the underlying I/O error (typically io.ErrUnexpectedEOF).
+	Err error
+}
+
+// Error implements error.
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("resilience: stream truncated inside frame %d: %v", e.Frame, e.Err)
+}
+
+// Unwrap exposes the underlying I/O error to errors.Is/As.
+func (e *TruncatedError) Unwrap() error { return e.Err }
+
+// FrameWriter emits checksummed frames to an underlying writer.
+type FrameWriter struct {
+	w      io.Writer
+	frames int
+	hdr    [frameOverhead]byte
+}
+
+// NewFrameWriter returns a FrameWriter emitting to w. Callers that need
+// buffering should pass a *bufio.Writer and flush it themselves.
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+// Frames returns the number of frames written so far.
+func (fw *FrameWriter) Frames() int { return fw.frames }
+
+// WriteFrame emits one frame carrying payload.
+func (fw *FrameWriter) WriteFrame(payload []byte) error {
+	binary.LittleEndian.PutUint32(fw.hdr[0:], uint32(len(payload)))
+	if _, err := fw.w.Write(fw.hdr[:4]); err != nil {
+		return fmt.Errorf("resilience: writing frame %d length: %w", fw.frames, err)
+	}
+	if _, err := fw.w.Write(payload); err != nil {
+		return fmt.Errorf("resilience: writing frame %d payload: %w", fw.frames, err)
+	}
+	binary.LittleEndian.PutUint32(fw.hdr[4:], Checksum(payload))
+	if _, err := fw.w.Write(fw.hdr[4:]); err != nil {
+		return fmt.Errorf("resilience: writing frame %d checksum: %w", fw.frames, err)
+	}
+	fw.frames++
+	return nil
+}
+
+// FrameReader consumes checksummed frames from an underlying reader.
+type FrameReader struct {
+	r   io.Reader
+	max int
+	n   int
+	buf []byte
+}
+
+// NewFrameReader returns a FrameReader over r that rejects frames whose
+// length prefix exceeds maxPayload — the guard that keeps a corrupt or
+// hostile length from allocating unbounded memory. maxPayload <= 0 applies
+// a conservative default of 1 GiB.
+func NewFrameReader(r io.Reader, maxPayload int) *FrameReader {
+	if maxPayload <= 0 {
+		maxPayload = 1 << 30
+	}
+	return &FrameReader{r: r, max: maxPayload}
+}
+
+// Frames returns the number of frames read so far.
+func (fr *FrameReader) Frames() int { return fr.n }
+
+// ReadFrame returns the next frame's payload. The slice is reused by the
+// next call — copy it to retain. At a clean end of stream it returns io.EOF;
+// a stream ending mid-frame returns *TruncatedError and a checksum or
+// length-prefix failure returns *CorruptFrameError.
+func (fr *FrameReader) ReadFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, &TruncatedError{Frame: fr.n, Err: err}
+	}
+	payloadLen := binary.LittleEndian.Uint32(hdr[:])
+	if int64(payloadLen) > int64(fr.max) {
+		return nil, &CorruptFrameError{
+			Frame:  fr.n,
+			Reason: fmt.Sprintf("length prefix %d exceeds limit %d", payloadLen, fr.max),
+		}
+	}
+	need := int(payloadLen) + 4 // payload + trailing checksum
+	if cap(fr.buf) < need {
+		fr.buf = make([]byte, need)
+	}
+	b := fr.buf[:need]
+	if _, err := io.ReadFull(fr.r, b); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, &TruncatedError{Frame: fr.n, Err: err}
+	}
+	payload := b[:payloadLen]
+	want := binary.LittleEndian.Uint32(b[payloadLen:])
+	if got := Checksum(payload); got != want {
+		return nil, &CorruptFrameError{
+			Frame:  fr.n,
+			Reason: fmt.Sprintf("checksum mismatch: stored %08x, computed %08x", want, got),
+		}
+	}
+	fr.n++
+	return payload, nil
+}
+
+// ExpectFrame reads the next frame and rejects any payload whose length
+// differs from want — for formats whose frame sizes are implied by the
+// header, this catches framing drift before the payload is misparsed.
+func (fr *FrameReader) ExpectFrame(want int) ([]byte, error) {
+	p, err := fr.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	if len(p) != want {
+		return nil, &CorruptFrameError{
+			Frame:  fr.n - 1,
+			Reason: fmt.Sprintf("payload is %d bytes, format requires %d", len(p), want),
+		}
+	}
+	return p, nil
+}

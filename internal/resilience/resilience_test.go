@@ -1,0 +1,163 @@
+package resilience
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	payloads := [][]byte{
+		[]byte("hello"),
+		{},
+		bytes.Repeat([]byte{0xab}, 1000),
+	}
+	for _, p := range payloads {
+		if err := fw.WriteFrame(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fw.Frames() != len(payloads) {
+		t.Errorf("Frames = %d, want %d", fw.Frames(), len(payloads))
+	}
+
+	fr := NewFrameReader(&buf, 0)
+	for i, want := range payloads {
+		got, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d: %q != %q", i, got, want)
+		}
+	}
+	if _, err := fr.ReadFrame(); err != io.EOF {
+		t.Errorf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReaderDetectsBitFlip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame([]byte("precious payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit (past the 4-byte length prefix).
+	data := buf.Bytes()
+	data[6] ^= 0x10
+
+	fr := NewFrameReader(bytes.NewReader(data), 0)
+	_, err := fr.ReadFrame()
+	var corrupt *CorruptFrameError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("flipped bit read as %v, want *CorruptFrameError", err)
+	}
+	if corrupt.Frame != 0 {
+		t.Errorf("corrupt frame index = %d", corrupt.Frame)
+	}
+}
+
+func TestFrameReaderDetectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame(bytes.Repeat([]byte{1}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Every torn prefix (other than the empty stream) must surface as a
+	// TruncatedError, never as a bogus success.
+	for cut := 1; cut < len(whole); cut++ {
+		fr := NewFrameReader(bytes.NewReader(whole[:cut]), 0)
+		_, err := fr.ReadFrame()
+		var trunc *TruncatedError
+		if !errors.As(err, &trunc) {
+			t.Fatalf("cut at %d read as %v, want *TruncatedError", cut, err)
+		}
+	}
+	// The empty stream is a clean EOF.
+	fr := NewFrameReader(bytes.NewReader(nil), 0)
+	if _, err := fr.ReadFrame(); err != io.EOF {
+		t.Errorf("empty stream: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReaderRejectsAbsurdLength(t *testing.T) {
+	// A length prefix far beyond maxPayload must be rejected before any
+	// allocation of that size.
+	data := []byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}
+	fr := NewFrameReader(bytes.NewReader(data), 1024)
+	_, err := fr.ReadFrame()
+	var corrupt *CorruptFrameError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("absurd length read as %v, want *CorruptFrameError", err)
+	}
+}
+
+func TestExpectFrameRejectsWrongLength(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame([]byte("four")); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf, 0)
+	if _, err := fr.ExpectFrame(5); err == nil {
+		t.Error("wrong payload length accepted")
+	}
+}
+
+func TestChecksumDiffersOnChange(t *testing.T) {
+	a := Checksum([]byte("abc"))
+	b := Checksum([]byte("abd"))
+	if a == b {
+		t.Error("checksum collision on single-byte change")
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artefact.bin")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("v1"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1" {
+		t.Errorf("content %q", got)
+	}
+
+	// A failing producer must leave the previous file intact and no temp
+	// files behind.
+	fail := errors.New("producer failed")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		if _, err := w.Write([]byte("torn")); err != nil {
+			return err
+		}
+		return fail
+	}); !errors.Is(err, fail) {
+		t.Fatalf("err = %v, want the producer's error", err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1" {
+		t.Errorf("failed write clobbered the file: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("leftover temp files: %v", entries)
+	}
+}

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"picpredict/internal/pic"
+	"picpredict/internal/resilience"
+)
+
+// Sim is a stepwise scenario execution whose trace streaming and
+// checkpointing the caller controls — the engine behind picgen's
+// -checkpoint-every/-resume crash recovery, where Spec.Run's closed loop
+// cannot be interrupted.
+type Sim struct {
+	Spec   Spec
+	Solver *pic.Solver
+}
+
+// NewSim builds the scenario's solver ready to step from iteration 0 (or
+// to be fast-forwarded with RestoreCheckpoint).
+func (s Spec) NewSim() (*Sim, error) {
+	solver, err := s.BuildSolver()
+	if err != nil {
+		return nil, err
+	}
+	return &Sim{Spec: s, Solver: solver}, nil
+}
+
+// Step advances the simulation one iteration.
+func (sim *Sim) Step() { sim.Solver.Step() }
+
+// Iteration returns the number of completed iterations.
+func (sim *Sim) Iteration() int { return sim.Solver.StepCount() }
+
+// Fingerprint identifies every spec field the particle trajectories depend
+// on. A checkpoint records it so a resume with different flags — a
+// different seed, population, or flow — is rejected instead of silently
+// splicing two incompatible runs into one trace. Workers is excluded:
+// trajectories are bit-identical for any worker count.
+func (s Spec) Fingerprint() string {
+	c := s
+	c.Workers = 0
+	return fmt.Sprintf("%+v", c)
+}
+
+// simCheckpointMagic marks a scenario-level checkpoint file: run metadata
+// (spec fingerprint, trace progress) followed by the solver snapshot.
+const simCheckpointMagic = "PICSIM01"
+
+// WriteCheckpoint serialises the run state: which spec is running, how many
+// trace frames were durably written, and the full solver snapshot. Pair it
+// with resilience.WriteFileAtomic so a crash mid-checkpoint leaves the
+// previous checkpoint intact.
+func (sim *Sim) WriteCheckpoint(w io.Writer, framesWritten int) error {
+	if _, err := io.WriteString(w, simCheckpointMagic); err != nil {
+		return fmt.Errorf("scenario: writing checkpoint magic: %w", err)
+	}
+	fw := resilience.NewFrameWriter(w)
+	fp := sim.Spec.Fingerprint()
+	meta := binary.LittleEndian.AppendUint64(nil, uint64(framesWritten))
+	meta = append(meta, fp...)
+	if err := fw.WriteFrame(meta); err != nil {
+		return fmt.Errorf("scenario: writing checkpoint meta: %w", err)
+	}
+	return sim.Solver.WriteCheckpoint(w)
+}
+
+// RestoreCheckpoint fast-forwards a freshly built Sim to a checkpointed
+// state, returning how many trace frames the checkpointed run had durably
+// written — the caller truncates its trace to that frame count and appends.
+// A checkpoint from a different spec is rejected.
+func (sim *Sim) RestoreCheckpoint(r io.Reader) (framesWritten int, err error) {
+	magic := make([]byte, len(simCheckpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return 0, fmt.Errorf("scenario: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != simCheckpointMagic {
+		return 0, fmt.Errorf("scenario: bad checkpoint magic %q (not a picpredict checkpoint)", magic)
+	}
+	fr := resilience.NewFrameReader(r, 1<<20)
+	meta, err := fr.ReadFrame()
+	if err != nil {
+		return 0, fmt.Errorf("scenario: reading checkpoint meta: %w", err)
+	}
+	if len(meta) < 8 {
+		return 0, &resilience.CorruptFrameError{Frame: 0, Reason: "checkpoint meta too short"}
+	}
+	framesWritten = int(binary.LittleEndian.Uint64(meta[0:]))
+	if got, want := string(meta[8:]), sim.Spec.Fingerprint(); got != want {
+		return 0, fmt.Errorf("scenario: checkpoint was taken by a different run configuration; refusing to resume (checkpointed %q, current %q)", got, want)
+	}
+	if err := sim.Solver.RestoreCheckpoint(r); err != nil {
+		return 0, err
+	}
+	return framesWritten, nil
+}

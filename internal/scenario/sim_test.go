@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// smallSpec is a fast scenario for checkpoint tests.
+func smallSpec() Spec {
+	s := HeleShaw()
+	s.NumParticles = 300
+	s.Steps = 40
+	s.SampleEvery = 10
+	return s
+}
+
+func TestSimCheckpointRoundTrip(t *testing.T) {
+	spec := smallSpec()
+	sim, err := spec.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		sim.Step()
+	}
+	var buf bytes.Buffer
+	if err := sim.WriteCheckpoint(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := spec.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := resumed.RestoreCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 2 {
+		t.Errorf("framesWritten = %d, want 2", frames)
+	}
+	if resumed.Iteration() != 15 {
+		t.Errorf("resumed at iteration %d, want 15", resumed.Iteration())
+	}
+	// Both simulations continue bit-identically.
+	for i := 0; i < 10; i++ {
+		sim.Step()
+		resumed.Step()
+	}
+	for i := range sim.Solver.Particles.Pos {
+		if sim.Solver.Particles.Pos[i] != resumed.Solver.Particles.Pos[i] {
+			t.Fatalf("particle %d diverged after resume", i)
+		}
+	}
+}
+
+func TestSimCheckpointRejectsDifferentSpec(t *testing.T) {
+	spec := smallSpec()
+	sim, err := spec.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sim.WriteCheckpoint(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	other := smallSpec()
+	other.Seed++
+	otherSim, err := other.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := otherSim.RestoreCheckpoint(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("checkpoint from a different seed accepted")
+	}
+}
+
+func TestSimCheckpointIgnoresWorkers(t *testing.T) {
+	// Worker count does not affect trajectories, so a checkpoint from a
+	// serial run must restore into a parallel one.
+	spec := smallSpec()
+	sim, err := spec.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sim.WriteCheckpoint(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	par := smallSpec()
+	par.Workers = 4
+	parSim, err := par.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parSim.RestoreCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("worker-count change rejected: %v", err)
+	}
+}

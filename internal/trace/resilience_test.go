@@ -1,0 +1,282 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"picpredict/internal/faultfs"
+	"picpredict/internal/geom"
+	"picpredict/internal/resilience"
+)
+
+// writeTestTrace emits a v2 trace with the given frame count and returns
+// its bytes alongside the frames written.
+func writeTestTrace(t *testing.T, np, frames int) ([]byte, [][]geom.Vec3) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader(np))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]geom.Vec3
+	for k := 0; k < frames; k++ {
+		f := make([]geom.Vec3, np)
+		for i := range f {
+			f[i] = geom.V(float64(k)+0.25, float64(i), 0.5)
+		}
+		want = append(want, f)
+		if err := w.WriteFrame(k*100, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), want
+}
+
+func TestLegacyV1ReadCompat(t *testing.T) {
+	var buf bytes.Buffer
+	h := testHeader(2)
+	w, err := NewLegacyWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := [][]geom.Vec3{
+		{geom.V(1, 2, 0.5), geom.V(3, 4, 0.1)},
+		{geom.V(5, 6, 0.5), geom.V(7, 8, 0.1)},
+	}
+	for k, f := range frames {
+		if err := w.WriteFrame(k*100, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte(MagicV1)) {
+		t.Fatalf("legacy writer emitted magic %q", buf.Bytes()[:8])
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Legacy() {
+		t.Error("v1 trace not flagged legacy")
+	}
+	if r.Header() != h {
+		t.Errorf("header: %+v != %+v", r.Header(), h)
+	}
+	its, pos, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(its) != 2 || its[1] != 100 {
+		t.Errorf("iterations %v", its)
+	}
+	if pos[2].Sub(frames[1][0]).Norm() > 1e-6 {
+		t.Errorf("v1 positions: %v != %v", pos[2], frames[1][0])
+	}
+}
+
+func TestSalvageTornTail(t *testing.T) {
+	np := 4
+	whole, want := writeTestTrace(t, np, 3)
+	// Tear mid-way through the last frame.
+	cut := len(whole) - FrameSize(np)/2
+	r, err := NewReader(bytes.NewReader(whole[:cut]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	its, pos, damage := r.ReadAllSalvaged()
+	var trunc *resilience.TruncatedError
+	if !errors.As(damage, &trunc) {
+		t.Fatalf("damage = %v, want *TruncatedError", damage)
+	}
+	if len(its) != 2 {
+		t.Fatalf("salvaged %d frames, want 2", len(its))
+	}
+	if pos[np].Sub(want[1][0]).Norm() > 1e-6 {
+		t.Errorf("salvaged frame 1 mismatch")
+	}
+	// The strict reader refuses the same stream.
+	r2, err := NewReader(bytes.NewReader(whole[:cut]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r2.ReadAll(); err == nil {
+		t.Error("strict ReadAll accepted a torn trace")
+	}
+}
+
+func TestSalvageBitFlip(t *testing.T) {
+	np := 3
+	whole, _ := writeTestTrace(t, np, 3)
+	// Flip a bit inside frame 1's payload.
+	off := HeaderSize() + FrameSize(np) + 10
+	var buf bytes.Buffer
+	if _, err := faultfs.FlipWriter(&buf, int64(off), 0x40).Write(whole); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	its, _, damage := r.ReadAllSalvaged()
+	var corrupt *resilience.CorruptFrameError
+	if !errors.As(damage, &corrupt) {
+		t.Fatalf("damage = %v, want *CorruptFrameError", damage)
+	}
+	if corrupt.Frame != 1 {
+		t.Errorf("damage at frame %d, want 1", corrupt.Frame)
+	}
+	if len(its) != 1 {
+		t.Errorf("salvaged %d frames, want only the one before the flip", len(its))
+	}
+}
+
+func TestWriterPropagatesENOSPC(t *testing.T) {
+	np := 2
+	// The device fills up during the second frame.
+	limit := int64(HeaderSize() + FrameSize(np) + 5)
+	var buf bytes.Buffer
+	w, err := NewWriter(faultfs.CutWriter(&buf, limit), testHeader(np))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := []geom.Vec3{geom.V(1, 1, 0.5), geom.V(2, 2, 0.5)}
+	var werr error
+	for k := 0; k < 3 && werr == nil; k++ {
+		werr = w.WriteFrame(k, frame)
+		if werr == nil {
+			werr = w.Flush()
+		}
+	}
+	if !errors.Is(werr, faultfs.ErrNoSpace) {
+		t.Fatalf("full device surfaced as %v, want ErrNoSpace", werr)
+	}
+	// Whatever made it to "disk" salvages cleanly.
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	its, _, damage := r.ReadAllSalvaged()
+	if damage == nil {
+		t.Error("torn tail read without damage")
+	}
+	if len(its) != 1 {
+		t.Errorf("salvaged %d frames, want 1", len(its))
+	}
+}
+
+func TestHostileHeaderRejectedBeforeAllocation(t *testing.T) {
+	np := 2
+	whole, _ := writeTestTrace(t, np, 1)
+	// Rewrite the header's particle count to an absurd value and fix up its
+	// checksum so only the semantic guard can catch it.
+	payloadOff := len(Magic) + 4
+	payload := make([]byte, headerPayloadLen)
+	copy(payload, whole[payloadOff:payloadOff+headerPayloadLen])
+	binary.LittleEndian.PutUint64(payload[0:], 1<<62)
+	copy(whole[payloadOff:], payload)
+	binary.LittleEndian.PutUint32(whole[payloadOff+headerPayloadLen:], resilience.Checksum(payload))
+
+	if _, err := NewReader(bytes.NewReader(whole)); err == nil {
+		t.Fatal("hostile NumParticles accepted")
+	}
+}
+
+func TestCompressedV2RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	h := testHeader(2)
+	cw, err := NewCompressedWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := []geom.Vec3{geom.V(1, 2, 0.5), geom.V(3, 4, 0.5)}
+	if err := cw.WriteFrame(0, frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Legacy() {
+		t.Error("v2 compressed trace flagged legacy")
+	}
+	its, pos, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(its) != 1 || pos[1].Sub(frame[1]).Norm() > 1e-6 {
+		t.Errorf("compressed round trip: %v %v", its, pos)
+	}
+}
+
+func TestResumeWriterAppendsByteIdentically(t *testing.T) {
+	np := 3
+	whole, want := writeTestTrace(t, np, 4)
+	// Reproduce the same trace by writing 2 frames, then "resuming".
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader(np))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		if err := w.WriteFrame(k*100, want[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rw, err := ResumeWriter(&buf, testHeader(np), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k < 4; k++ {
+		if err := rw.WriteFrame(k*100, want[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), whole) {
+		t.Error("resumed trace differs from the uninterrupted one")
+	}
+	if rw.Frames() != 4 {
+		t.Errorf("resumed writer frames = %d", rw.Frames())
+	}
+}
+
+func TestTruncatedReadMidFrameViaFaultfs(t *testing.T) {
+	np := 2
+	whole, _ := writeTestTrace(t, np, 2)
+	r, err := NewReader(faultfs.CutReader(bytes.NewReader(whole), int64(len(whole)-3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]geom.Vec3, np)
+	if _, err := r.Next(dst); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next(dst)
+	var trunc *resilience.TruncatedError
+	if !errors.As(err, &trunc) {
+		t.Fatalf("torn read surfaced as %v, want *TruncatedError", err)
+	}
+	if trunc.Frame != 1 {
+		t.Errorf("truncation at frame %d, want 1", trunc.Frame)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncation does not unwrap to io.ErrUnexpectedEOF: %v", err)
+	}
+}

@@ -5,11 +5,22 @@
 // independent of the processor count, so one trace predicts workload on any
 // number of processors.
 //
-// Binary layout (little endian):
+// Current (v2) binary layout, little endian, using the checksummed frame
+// layout of internal/resilience (len uint32 | payload | crc32c uint32):
 //
-//	header:  magic "PICTRC01" | numParticles uint64 | sampleEvery uint32 |
-//	         domain lo(x,y,z) hi(x,y,z) float64×6
-//	frame:   iteration uint64 | positions float32 ×3×numParticles
+//	magic "PICTRC02"
+//	frame: numParticles uint64 | sampleEvery uint32 |
+//	       domain lo(x,y,z) hi(x,y,z) float64×6
+//	frame: iteration uint64 | positions float32 ×3×numParticles
+//	...
+//
+// The legacy v1 layout ("PICTRC01") is the same content without the frame
+// wrapping; readers accept both. v2 exists because one expensive PIC run
+// produces the trace every later stage depends on: per-frame CRC32C
+// checksums turn silent corruption into typed errors
+// (*resilience.CorruptFrameError, *resilience.TruncatedError), and the
+// framing lets ReadAllSalvaged recover every intact frame in front of a
+// torn tail instead of failing opaquely.
 //
 // Positions are float32: trace files for millions of particles are large
 // (§II-D), and single precision halves them while leaving localisation of a
@@ -25,11 +36,37 @@ import (
 	"math"
 
 	"picpredict/internal/geom"
+	"picpredict/internal/resilience"
 )
 
-// Magic identifies a picpredict particle-trace stream, including a format
-// version suffix.
-const Magic = "PICTRC01"
+// Magic identifies the current (v2, checksummed) picpredict particle-trace
+// stream; MagicV1 the legacy unchecksummed layout readers still accept.
+const (
+	Magic   = "PICTRC02"
+	MagicV1 = "PICTRC01"
+)
+
+// MaxNumParticles bounds the particle count a reader will accept. A header
+// beyond it is rejected *before* any frame buffer is allocated, so a
+// corrupt or hostile header cannot OOM the process. The bound is far above
+// the paper's full-scale runs (599,257 particles) while keeping the implied
+// per-frame allocation (~1.2 GB of positions) survivable.
+const MaxNumParticles = 100_000_000
+
+// headerPayloadLen is the encoded Header size: numParticles + sampleEvery +
+// six domain coordinates.
+const headerPayloadLen = 8 + 4 + 6*8
+
+// HeaderSize returns the on-disk byte count in front of the first data
+// frame of a v2 trace.
+func HeaderSize() int { return len(Magic) + resilience.FrameSize(headerPayloadLen) }
+
+// FrameSize returns the on-disk byte count of one v2 data frame for np
+// particles — deterministic, which is what lets checkpoint restart truncate
+// a trace to an exact frame boundary and append.
+func FrameSize(np int) int { return resilience.FrameSize(framePayloadLen(np)) }
+
+func framePayloadLen(np int) int { return 8 + 12*np }
 
 // Header describes a particle trace.
 type Header struct {
@@ -48,6 +85,8 @@ func (h Header) Validate() error {
 	switch {
 	case h.NumParticles <= 0:
 		return fmt.Errorf("trace: NumParticles must be positive, got %d", h.NumParticles)
+	case h.NumParticles > MaxNumParticles:
+		return fmt.Errorf("trace: NumParticles %d exceeds the supported maximum %d (corrupt header?)", h.NumParticles, MaxNumParticles)
 	case h.SampleEvery <= 0:
 		return fmt.Errorf("trace: SampleEvery must be positive, got %d", h.SampleEvery)
 	case h.Domain.Empty():
@@ -56,15 +95,49 @@ func (h Header) Validate() error {
 	return nil
 }
 
+// encode serialises the header payload (shared by both format versions).
+func (h Header) encode() [headerPayloadLen]byte {
+	var b [headerPayloadLen]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(h.NumParticles))
+	binary.LittleEndian.PutUint32(b[8:], uint32(h.SampleEvery))
+	for i, v := range []float64{h.Domain.Lo.X, h.Domain.Lo.Y, h.Domain.Lo.Z, h.Domain.Hi.X, h.Domain.Hi.Y, h.Domain.Hi.Z} {
+		binary.LittleEndian.PutUint64(b[12+8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+// decodeHeader parses the shared header payload, guarding against absurd
+// field values before any caller allocates frame-sized buffers.
+func decodeHeader(b []byte) (Header, error) {
+	var h Header
+	np := binary.LittleEndian.Uint64(b[0:])
+	if np > MaxNumParticles {
+		return Header{}, fmt.Errorf("trace: header claims %d particles, beyond the supported maximum %d (corrupt header?)", np, MaxNumParticles)
+	}
+	h.NumParticles = int(np)
+	h.SampleEvery = int(binary.LittleEndian.Uint32(b[8:]))
+	f := make([]float64, 6)
+	for i := range f {
+		f[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[12+8*i:]))
+	}
+	h.Domain = geom.AABB{Lo: geom.V(f[0], f[1], f[2]), Hi: geom.V(f[3], f[4], f[5])}
+	if err := h.Validate(); err != nil {
+		return Header{}, err
+	}
+	return h, nil
+}
+
 // Writer streams trace frames to an underlying writer.
 type Writer struct {
 	w      *bufio.Writer
+	fw     *resilience.FrameWriter
 	header Header
 	frames int
+	legacy bool
 	buf    []byte
 }
 
-// NewWriter writes the header for h to w and returns a frame writer.
+// NewWriter writes the v2 header for h to w and returns a frame writer.
 func NewWriter(w io.Writer, h Header) (*Writer, error) {
 	if err := h.Validate(); err != nil {
 		return nil, err
@@ -73,16 +146,46 @@ func NewWriter(w io.Writer, h Header) (*Writer, error) {
 	if _, err := bw.WriteString(Magic); err != nil {
 		return nil, fmt.Errorf("trace: writing magic: %w", err)
 	}
-	var hdr [8 + 4 + 6*8]byte
-	binary.LittleEndian.PutUint64(hdr[0:], uint64(h.NumParticles))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(h.SampleEvery))
-	for i, v := range []float64{h.Domain.Lo.X, h.Domain.Lo.Y, h.Domain.Lo.Z, h.Domain.Hi.X, h.Domain.Hi.Y, h.Domain.Hi.Z} {
-		binary.LittleEndian.PutUint64(hdr[12+8*i:], math.Float64bits(v))
+	fw := resilience.NewFrameWriter(bw)
+	hdr := h.encode()
+	if err := fw.WriteFrame(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
 	}
+	return &Writer{w: bw, fw: fw, header: h}, nil
+}
+
+// ResumeWriter returns a Writer that appends v2 frames to a stream whose
+// header and first `frames` frames already exist — the checkpoint-restart
+// path: the caller truncates the torn trace to HeaderSize() +
+// frames×FrameSize(np) and continues writing where the crashed run left
+// off.
+func ResumeWriter(w io.Writer, h Header, frames int) (*Writer, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if frames < 0 {
+		return nil, fmt.Errorf("trace: resume frame count %d is negative", frames)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &Writer{w: bw, fw: resilience.NewFrameWriter(bw), header: h, frames: frames}, nil
+}
+
+// NewLegacyWriter writes the v1 (unchecksummed) layout — kept for
+// interchange with consumers of the old format and for the backward-
+// compatibility tests that prove v2 readers still accept v1 streams.
+func NewLegacyWriter(w io.Writer, h Header) (*Writer, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(MagicV1); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	hdr := h.encode()
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: writing header: %w", err)
 	}
-	return &Writer{w: bw, header: h}, nil
+	return &Writer{w: bw, header: h, legacy: true}, nil
 }
 
 // Header returns the header the writer was created with.
@@ -97,7 +200,7 @@ func (w *Writer) WriteFrame(iteration int, pos []geom.Vec3) error {
 	if len(pos) != w.header.NumParticles {
 		return fmt.Errorf("trace: frame has %d positions, header says %d", len(pos), w.header.NumParticles)
 	}
-	need := 8 + 12*len(pos)
+	need := framePayloadLen(len(pos))
 	if cap(w.buf) < need {
 		w.buf = make([]byte, need)
 	}
@@ -110,7 +213,13 @@ func (w *Writer) WriteFrame(iteration int, pos []geom.Vec3) error {
 		binary.LittleEndian.PutUint32(b[off+8:], math.Float32bits(float32(p.Z)))
 		off += 12
 	}
-	if _, err := w.w.Write(b); err != nil {
+	var err error
+	if w.legacy {
+		_, err = w.w.Write(b)
+	} else {
+		err = w.fw.WriteFrame(b)
+	}
+	if err != nil {
 		return fmt.Errorf("trace: writing frame %d: %w", w.frames, err)
 	}
 	w.frames++
@@ -120,66 +229,103 @@ func (w *Writer) WriteFrame(iteration int, pos []geom.Vec3) error {
 // Flush flushes buffered frames to the underlying writer.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
-// Reader streams trace frames from an underlying reader.
+// Reader streams trace frames from an underlying reader, accepting both the
+// current checksummed v2 layout and the legacy v1 layout.
 type Reader struct {
 	r      *bufio.Reader
+	fr     *resilience.FrameReader
 	header Header
 	frame  int
+	legacy bool
 	buf    []byte
 }
 
-// NewReader parses the trace header from r and returns a frame reader.
+// NewReader parses the trace header from r and returns a frame reader. Both
+// format versions are accepted; the header is sanity-checked before any
+// frame-sized allocation.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	magic := make([]byte, len(Magic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if string(magic) != Magic {
+	switch string(magic) {
+	case Magic:
+		fr := resilience.NewFrameReader(br, framePayloadLen(MaxNumParticles))
+		payload, err := fr.ExpectFrame(headerPayloadLen)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+		h, err := decodeHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &Reader{r: br, fr: fr, header: h}, nil
+	case MagicV1:
+		var hdr [headerPayloadLen]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+		h, err := decodeHeader(hdr[:])
+		if err != nil {
+			return nil, err
+		}
+		return &Reader{r: br, header: h, legacy: true}, nil
+	default:
 		return nil, fmt.Errorf("trace: bad magic %q (not a picpredict trace, or wrong version)", magic)
 	}
-	var hdr [8 + 4 + 6*8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
-	}
-	var h Header
-	h.NumParticles = int(binary.LittleEndian.Uint64(hdr[0:]))
-	h.SampleEvery = int(binary.LittleEndian.Uint32(hdr[8:]))
-	f := make([]float64, 6)
-	for i := range f {
-		f[i] = math.Float64frombits(binary.LittleEndian.Uint64(hdr[12+8*i:]))
-	}
-	h.Domain = geom.AABB{Lo: geom.V(f[0], f[1], f[2]), Hi: geom.V(f[3], f[4], f[5])}
-	if err := h.Validate(); err != nil {
-		return nil, err
-	}
-	return &Reader{r: br, header: h}, nil
 }
 
 // Header returns the parsed trace header.
 func (r *Reader) Header() Header { return r.header }
 
+// Legacy reports whether the stream uses the unchecksummed v1 layout.
+func (r *Reader) Legacy() bool { return r.legacy }
+
+// Frames returns the number of frames read so far.
+func (r *Reader) Frames() int { return r.frame }
+
 // Next reads the next frame into dst, which must have length
 // Header().NumParticles, and returns the application iteration the frame
-// was sampled at. At end of stream it returns io.EOF; a frame truncated
-// mid-record returns io.ErrUnexpectedEOF.
+// was sampled at. At end of stream it returns io.EOF; a stream torn
+// mid-frame returns *resilience.TruncatedError and (v2 only) a checksum or
+// framing failure returns *resilience.CorruptFrameError — every frame
+// already returned is intact.
 func (r *Reader) Next(dst []geom.Vec3) (iteration int, err error) {
 	if len(dst) != r.header.NumParticles {
 		return 0, fmt.Errorf("trace: dst has %d slots, need %d", len(dst), r.header.NumParticles)
 	}
-	need := 8 + 12*len(dst)
-	if cap(r.buf) < need {
-		r.buf = make([]byte, need)
-	}
-	b := r.buf[:need]
-	if _, err := io.ReadFull(r.r, b); err != nil {
-		if errors.Is(err, io.EOF) && r.frame > 0 {
-			return 0, io.EOF
+	need := framePayloadLen(len(dst))
+	var b []byte
+	if r.legacy {
+		if cap(r.buf) < need {
+			r.buf = make([]byte, need)
 		}
-		if errors.Is(err, io.EOF) {
-			return 0, io.EOF
+		b = r.buf[:need]
+		if _, err := io.ReadFull(r.r, b); err != nil {
+			if err == io.EOF {
+				return 0, io.EOF
+			}
+			return 0, &resilience.TruncatedError{Frame: r.frame, Err: err}
 		}
-		return 0, fmt.Errorf("trace: reading frame %d: %w", r.frame, err)
+	} else {
+		b, err = r.fr.ExpectFrame(need)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return 0, io.EOF
+			}
+			// The framing layer counts the header as frame 0; renumber the
+			// typed errors so Frame means the data-frame index, as in v1.
+			var corrupt *resilience.CorruptFrameError
+			if errors.As(err, &corrupt) {
+				corrupt.Frame = r.frame
+			}
+			var trunc *resilience.TruncatedError
+			if errors.As(err, &trunc) {
+				trunc.Frame = r.frame
+			}
+			return 0, err
+		}
 	}
 	iteration = int(binary.LittleEndian.Uint64(b[0:]))
 	off := 8
@@ -199,6 +345,19 @@ func (r *Reader) Next(dst []geom.Vec3) (iteration int, err error) {
 // flat frame-major position slice (frame f occupies positions[f*Np:(f+1)*Np]).
 // Prefer streaming with Next for large traces.
 func (r *Reader) ReadAll() (iterations []int, positions []geom.Vec3, err error) {
+	iterations, positions, damage := r.ReadAllSalvaged()
+	if damage != nil {
+		return nil, nil, damage
+	}
+	return iterations, positions, nil
+}
+
+// ReadAllSalvaged consumes frames until end of stream or the first damaged
+// frame, returning every intact frame plus the damage encountered (nil for
+// a clean end of stream). This is the graceful-degradation path: a trace
+// with a torn or corrupt tail still yields its usable prefix, and the
+// caller decides whether a warning suffices.
+func (r *Reader) ReadAllSalvaged() (iterations []int, positions []geom.Vec3, damage error) {
 	np := r.header.NumParticles
 	frame := make([]geom.Vec3, np)
 	for {
@@ -207,7 +366,7 @@ func (r *Reader) ReadAll() (iterations []int, positions []geom.Vec3, err error) 
 			return iterations, positions, nil
 		}
 		if err != nil {
-			return nil, nil, err
+			return iterations, positions, err
 		}
 		iterations = append(iterations, it)
 		positions = append(positions, frame...)

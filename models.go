@@ -120,7 +120,11 @@ func (m Models) Predict(kernel string, np, ngp, nel, n, filter float64) (float64
 		return 0, fmt.Errorf("picpredict: no model for kernel %q", kernel)
 	}
 	w := kernels.Workload{Np: np, Ngp: ngp, Nel: nel, N: n, Filter: filter}
-	return model.Predict(w.Features()), nil
+	v, err := model.Predict(w.Features())
+	if err != nil {
+		return 0, fmt.Errorf("picpredict: %w", err)
+	}
+	return v, nil
 }
 
 // ValidateAgainstTruth computes each model's MAPE against the noiseless

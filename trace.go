@@ -24,29 +24,63 @@ type Trace struct {
 
 // ReadTrace parses a binary trace stream written by Scenario.WriteTrace,
 // Trace.Write/WriteCompressed, or cmd/picgen; gzip-compressed traces are
-// detected and decompressed transparently. Element-based mapping
-// additionally needs the element grid the application ran on; pass it via
-// WithMesh after reading.
+// detected and decompressed transparently, and both the checksummed v2 and
+// legacy v1 layouts are accepted. Element-based mapping additionally needs
+// the element grid the application ran on; pass it via WithMesh after
+// reading. Any damage fails the read; use ReadTraceSalvaged to keep the
+// intact prefix of a torn trace instead.
 func ReadTrace(r io.Reader) (*Trace, error) {
+	tr, salvage, err := ReadTraceSalvaged(r)
+	if err != nil {
+		return nil, err
+	}
+	if salvage != nil {
+		return nil, fmt.Errorf("picpredict: %w", salvage.Damage)
+	}
+	return tr, nil
+}
+
+// Salvage reports damage tolerated while reading an artefact: how much was
+// recovered before the damage, and the typed error
+// (*resilience.CorruptFrameError, *resilience.TruncatedError) describing
+// it.
+type Salvage struct {
+	// Recovered is the number of intact frames (trace) or intervals
+	// (workload) read before the damage.
+	Recovered int
+	// Damage is the error that ended reading.
+	Damage error
+}
+
+// ReadTraceSalvaged parses a trace, tolerating a damaged tail: the torn or
+// corrupt suffix a crash, full disk, or flipped bit leaves behind. It
+// returns the intact prefix plus a non-nil *Salvage describing the damage
+// (nil when the trace is whole). The error is non-nil only when nothing
+// usable could be read.
+func ReadTraceSalvaged(r io.Reader) (*Trace, *Salvage, error) {
 	tr, err := trace.OpenReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("picpredict: %w", err)
+		return nil, nil, fmt.Errorf("picpredict: %w", err)
 	}
 	h := tr.Header()
-	its, pos, err := tr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("picpredict: %w", err)
-	}
+	its, pos, damage := tr.ReadAllSalvaged()
 	if len(its) == 0 {
-		return nil, errors.New("picpredict: trace contains no frames")
+		if damage != nil {
+			return nil, nil, fmt.Errorf("picpredict: no intact frames: %w", damage)
+		}
+		return nil, nil, errors.New("picpredict: trace contains no frames")
 	}
-	return &Trace{
+	out := &Trace{
 		domain:      h.Domain,
 		np:          h.NumParticles,
 		sampleEvery: h.SampleEvery,
 		iterations:  its,
 		positions:   pos,
-	}, nil
+	}
+	if damage != nil {
+		return out, &Salvage{Recovered: len(its), Damage: fmt.Errorf("picpredict: %w", damage)}, nil
+	}
+	return out, nil, nil
 }
 
 // WithMesh attaches the spectral-element grid (ex×ey×ez elements, n³ grid

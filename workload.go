@@ -332,13 +332,30 @@ func (w *Workload) Write(out io.Writer) error {
 
 // ReadWorkload parses a workload saved with Workload.Write. Bin-count
 // bookkeeping (BinsPerFrame/MaxBins) is not serialised and reads back
-// empty.
+// empty. Any damage fails the read; use ReadWorkloadSalvaged to keep the
+// intact prefix of a torn file instead.
 func ReadWorkload(r io.Reader) (*Workload, error) {
 	inner, err := core.ReadWorkload(r)
 	if err != nil {
 		return nil, fmt.Errorf("picpredict: %w", err)
 	}
 	return &Workload{inner: inner}, nil
+}
+
+// ReadWorkloadSalvaged parses a workload, tolerating a damaged tail: the
+// intact leading intervals of a torn or corrupt file are returned together
+// with a non-nil *Salvage describing the damage (nil when the file is
+// whole). The error is non-nil only when nothing usable could be read.
+func ReadWorkloadSalvaged(r io.Reader) (*Workload, *Salvage, error) {
+	inner, damage, err := core.ReadWorkloadSalvaged(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("picpredict: %w", err)
+	}
+	out := &Workload{inner: inner}
+	if damage != nil {
+		return out, &Salvage{Recovered: inner.RealComp.Frames(), Damage: fmt.Errorf("picpredict: %w", damage)}, nil
+	}
+	return out, nil, nil
 }
 
 // internalWorkload exposes the core workload to sibling facade files.
