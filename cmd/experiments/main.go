@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"picpredict"
+	"picpredict/internal/cli"
 	"picpredict/internal/figures"
 	"picpredict/internal/resilience"
 )
@@ -35,6 +36,9 @@ func main() {
 		report = flag.String("report", "", "write a markdown report of every experiment to this file")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.Context()
+	defer stop()
 
 	spec := picpredict.HeleShaw()
 	if *paper {
@@ -84,6 +88,11 @@ func main() {
 	for _, f := range all {
 		if !selected(want, f.name) {
 			continue
+		}
+		// Figures are independent; an interrupt finishes the one in flight
+		// and skips the rest.
+		if ctx.Err() != nil {
+			log.Fatalf("interrupted after %d experiment(s)", ran)
 		}
 		if err := f.run(); err != nil {
 			log.Fatalf("fig %s: %v", f.name, err)

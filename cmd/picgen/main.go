@@ -6,7 +6,8 @@
 //	picgen -scenario hele-shaw -out trace.bin
 //	picgen -scenario hele-shaw -np 5000 -steps 500 -sample 50 -out small.bin
 //
-// Long runs can checkpoint and survive being killed:
+// Long runs can checkpoint and survive being killed (or interrupted with
+// ^C — SIGINT drains the pipeline and writes a final checkpoint):
 //
 //	picgen -scenario hele-shaw -out trace.bin -checkpoint-every 200
 //	picgen -scenario hele-shaw -out trace.bin -resume
@@ -14,9 +15,17 @@
 // A resumed run truncates the trace to the frames the checkpoint vouches
 // for and appends from there, producing a file byte-identical to an
 // uninterrupted run.
+//
+// Fused mode runs the whole prediction pipeline in one process — the
+// simulation streams frames straight into the workload generator and the
+// BSP simulator, with no intermediate files:
+//
+//	picgen -scenario hele-shaw -fused -ranks 1044,2088
+//	picgen -scenario hele-shaw -fused -out trace.bin -checkpoint-every 200
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,7 +34,9 @@ import (
 	"os"
 	"time"
 
-	"picpredict/internal/geom"
+	"picpredict"
+	"picpredict/internal/cli"
+	"picpredict/internal/pipeline"
 	"picpredict/internal/resilience"
 	"picpredict/internal/scenario"
 	"picpredict/internal/trace"
@@ -47,26 +58,53 @@ func main() {
 		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint the run every N iterations (0 disables)")
 		resume       = flag.Bool("resume", false, "resume a killed run from its checkpoint (<out>.ckpt)")
 		ckptPath     = flag.String("checkpoint", "", "checkpoint file (default <out>.ckpt)")
+
+		fused     = flag.Bool("fused", false, "fused mode: stream the simulation straight into workload generation and BSP prediction, no intermediate files")
+		ranksCSV  = flag.String("ranks", "1044,2088,4176,8352", "fused: processor counts, comma separated")
+		mappingF  = flag.String("mapping", "bin", "fused: mapping algorithm: element, bin, hilbert")
+		workers   = flag.Int("workers", 0, "fused: parallel workload-fill workers (0 serial)")
+		depth     = flag.Int("depth", 4, "fused: bounded-channel depth between simulation and builders (0 synchronous)")
+		totalEl   = flag.Int("total-elements", 16384, "fused: total spectral elements of the application")
+		gridN     = flag.Float64("n", 4, "fused: grid resolution per element")
+		machine   = flag.String("machine", "quartz", "fused: target system: quartz, vulcan, titan")
+		noise     = flag.Float64("noise", 0.105, "fused: synthetic testbed noise for accuracy evaluation")
+		fast      = flag.Bool("fast", false, "fused: fast (less accurate) model training")
+		wallclock = flag.Bool("wallclock", false, "fused: train models against wall-clock kernel executions")
 	)
 	flag.Parse()
 
-	spec, err := scenarioByName(*scenarioName)
+	ctx, stop := cli.Context()
+	defer stop()
+
+	spec, err := cli.SpecByName(*scenarioName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *np > 0 {
+	if *np != 0 {
+		if err := cli.Positive("-np", *np); err != nil {
+			log.Fatal(err)
+		}
 		spec.NumParticles = *np
 	}
-	if *steps > 0 {
+	if *steps != 0 {
+		if err := cli.Positive("-steps", *steps); err != nil {
+			log.Fatal(err)
+		}
 		spec.Steps = *steps
 	}
-	if *sample > 0 {
+	if *sample != 0 {
+		if err := cli.Positive("-sample", *sample); err != nil {
+			log.Fatal(err)
+		}
 		spec.SampleEvery = *sample
 	}
 	if *seed != 0 {
 		spec.Seed = *seed
 	}
-	if *filter > 0 {
+	if *filter != 0 {
+		if err := cli.NonNegative("-filter", *filter); err != nil {
+			log.Fatal(err)
+		}
 		spec.FilterRadius = *filter
 	}
 	if err := spec.Validate(); err != nil {
@@ -75,8 +113,35 @@ func main() {
 	if *ckptPath == "" {
 		*ckptPath = *out + ".ckpt"
 	}
-	if *gzipped && (*ckptEvery > 0 || *resume) {
+	checkpointing := *ckptEvery > 0 || *resume
+	if *gzipped && checkpointing {
 		log.Fatal("-gzip cannot be combined with checkpointing: resuming truncates and appends to the trace, which a gzip stream does not support")
+	}
+	if *gzipped && *fused {
+		log.Fatal("-gzip cannot be combined with -fused: fused checkpointing appends to the trace")
+	}
+
+	if *fused {
+		// The trace file is optional in fused mode: only write one when the
+		// user asked for it (or checkpointing needs the durable state).
+		outSet := false
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "out" {
+				outSet = true
+			}
+		})
+		traceOut := ""
+		if outSet || checkpointing {
+			traceOut = *out
+		}
+		runFused(ctx, spec, fusedFlags{
+			ranksCSV: *ranksCSV, mapping: *mappingF, filter: *filter,
+			workers: *workers, depth: *depth,
+			totalElements: *totalEl, gridN: *gridN, machine: *machine, noise: *noise,
+			fast: *fast, wallclock: *wallclock,
+			traceOut: traceOut, ckptEvery: *ckptEvery, ckptPath: *ckptPath, resume: *resume,
+		})
+		return
 	}
 
 	fmt.Printf("running %s: %d particles, %d elements (N=%d), %d iterations, sampling every %d\n",
@@ -85,25 +150,25 @@ func main() {
 	start := time.Now()
 
 	switch {
-	case *ckptEvery > 0 || *resume:
-		if err := runCheckpointed(spec, *out, *ckptPath, *ckptEvery, *resume); err != nil {
-			log.Fatal(err)
-		}
+	case checkpointing:
+		err = runCheckpointed(ctx, spec, *out, *ckptPath, *ckptEvery, *resume)
 	case *gzipped:
-		err := resilience.WriteFileAtomic(*out, func(w io.Writer) error {
-			return writeCompressedTrace(spec, w)
+		err = resilience.WriteFileAtomic(*out, func(w io.Writer) error {
+			return writeCompressedTrace(ctx, spec, w)
 		})
-		if err != nil {
-			log.Fatal(err)
-		}
 	default:
-		err := resilience.WriteFileAtomic(*out, func(w io.Writer) error {
-			_, err := spec.WriteTrace(w)
-			return err
+		err = resilience.WriteFileAtomic(*out, func(w io.Writer) error {
+			return writeTrace(ctx, spec, w)
 		})
-		if err != nil {
-			log.Fatal(err)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			if checkpointing {
+				log.Fatalf("interrupted — checkpoint written; rerun with -resume to continue")
+			}
+			log.Fatalf("interrupted — no trace written (use -checkpoint-every to make runs resumable)")
 		}
+		log.Fatal(err)
 	}
 
 	info, err := os.Stat(*out)
@@ -115,10 +180,51 @@ func main() {
 	fmt.Printf("for element/hilbert mapping pass: -elements %d,%d,%d -n %d\n", e[0], e[1], e[2], spec.N)
 }
 
-// writeCompressedTrace runs the scenario and streams the trace gzip-
-// compressed to w.
-func writeCompressedTrace(spec scenario.Spec, w io.Writer) error {
-	res, err := spec.Run()
+// runCheckpointed executes (or resumes) a scenario with periodic
+// checkpoints via the pipeline's TraceRun stage. Cancelling ctx writes a
+// final checkpoint before returning, so the run can always be resumed.
+func runCheckpointed(ctx context.Context, spec scenario.Spec, outPath, ckptPath string, every int, resume bool) error {
+	tr, err := pipeline.NewTraceRun(spec, pipeline.TraceRunOptions{
+		Out:             outPath,
+		CheckpointPath:  ckptPath,
+		CheckpointEvery: every,
+		Resume:          resume,
+	})
+	if err != nil {
+		return err
+	}
+	if resume {
+		fmt.Printf("resumed from %s: iteration %d, %d trace frames intact\n",
+			ckptPath, tr.Sim.Iteration(), tr.FramesResumed())
+	}
+	return tr.Run(ctx)
+}
+
+// writeTrace streams the scenario through the pipeline into a plain trace
+// writer.
+func writeTrace(ctx context.Context, spec scenario.Spec, w io.Writer) error {
+	sim, err := spec.NewSim()
+	if err != nil {
+		return err
+	}
+	tw, err := trace.NewWriter(w, trace.Header{
+		NumParticles: spec.NumParticles,
+		SampleEvery:  spec.SampleEvery,
+		Domain:       spec.Domain,
+	})
+	if err != nil {
+		return err
+	}
+	if err := pipeline.Stream(ctx, &pipeline.SimSource{Sim: sim}, pipeline.WriterSink{W: tw}); err != nil {
+		return err
+	}
+	return tw.Flush()
+}
+
+// writeCompressedTrace streams the scenario through the pipeline into a
+// gzip-compressed trace writer.
+func writeCompressedTrace(ctx context.Context, spec scenario.Spec, w io.Writer) error {
+	sim, err := spec.NewSim()
 	if err != nil {
 		return err
 	}
@@ -130,192 +236,94 @@ func writeCompressedTrace(spec scenario.Spec, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	for k, it := range res.Iterations {
-		if err := cw.WriteFrame(it, res.Frame(k)); err != nil {
-			return err
-		}
+	if err := pipeline.Stream(ctx, &pipeline.SimSource{Sim: sim}, pipeline.CompressedWriterSink{W: cw}); err != nil {
+		return err
 	}
 	return cw.Close()
 }
 
-// runCheckpointed executes (or resumes) a scenario with periodic
-// checkpoints. The trace is written incrementally; every `every` iterations
-// the trace is flushed and fsynced, then the full simulation state is
-// written atomically to ckptPath. A killed run restarts with -resume: the
-// checkpoint restores the solver, the trace is truncated to the frames the
-// checkpoint vouches for, and the run continues — the final trace is
-// byte-identical to an uninterrupted run's. The checkpoint is removed on
-// success.
-func runCheckpointed(spec scenario.Spec, outPath, ckptPath string, every int, resume bool) error {
-	sim, err := spec.NewSim()
-	if err != nil {
-		return err
-	}
-	h := trace.Header{
-		NumParticles: spec.NumParticles,
-		SampleEvery:  spec.SampleEvery,
-		Domain:       spec.Domain,
-	}
-
-	var f *os.File
-	var tw *trace.Writer
-	framesWritten := 0
-	if resume {
-		framesWritten, err = restoreRun(sim, ckptPath)
-		if err != nil {
-			return err
-		}
-		f, tw, err = reopenTrace(outPath, h, framesWritten)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("resumed from %s: iteration %d, %d trace frames intact\n", ckptPath, sim.Iteration(), framesWritten)
-	} else {
-		f, err = os.Create(outPath)
-		if err != nil {
-			return err
-		}
-		tw, err = trace.NewWriter(f, h)
-		if err != nil {
-			f.Close()
-			return err
-		}
-	}
-	defer f.Close()
-
-	writeFrame := func(it int) error {
-		if err := tw.WriteFrame(it, sim.Solver.Particles.Pos); err != nil {
-			return err
-		}
-		framesWritten++
-		return nil
-	}
-	if framesWritten == 0 {
-		if err := writeFrame(0); err != nil {
-			return err
-		}
-	}
-	for it := sim.Iteration() + 1; it <= spec.Steps; it++ {
-		sim.Step()
-		if it%spec.SampleEvery == 0 {
-			if err := writeFrame(it); err != nil {
-				return err
-			}
-		}
-		if every > 0 && it%every == 0 && it < spec.Steps {
-			if err := checkpoint(sim, tw, f, ckptPath, framesWritten); err != nil {
-				return err
-			}
-		}
-	}
-	if err := tw.Flush(); err != nil {
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	// The run completed; the checkpoint has nothing left to protect.
-	if err := os.Remove(ckptPath); err != nil && !errors.Is(err, os.ErrNotExist) {
-		log.Printf("warning: removing stale checkpoint %s: %v", ckptPath, err)
-	}
-	return nil
+// fusedFlags carries the fused-mode flag values into runFused.
+type fusedFlags struct {
+	ranksCSV      string
+	mapping       string
+	filter        float64
+	workers       int
+	depth         int
+	totalElements int
+	gridN         float64
+	machine       string
+	noise         float64
+	fast          bool
+	wallclock     bool
+	traceOut      string
+	ckptEvery     int
+	ckptPath      string
+	resume        bool
 }
 
-// checkpoint makes the trace durable, then atomically replaces the
-// checkpoint file. The ordering matters: the checkpoint must never vouch
-// for trace frames that are not yet on disk.
-func checkpoint(sim *scenario.Sim, tw *trace.Writer, f *os.File, ckptPath string, framesWritten int) error {
-	if err := tw.Flush(); err != nil {
-		return err
+// runFused executes the single-process fused pipeline and prints the same
+// prediction table the three-binary flow (picgen → wlgen/predict) would.
+func runFused(ctx context.Context, spec scenario.Spec, f fusedFlags) {
+	ranksList, err := cli.ParseRanks(f.ranksCSV)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if err := f.Sync(); err != nil {
-		return err
+	if f.workers < 0 {
+		log.Fatal(cli.Positive("-workers", f.workers))
 	}
-	return resilience.WriteFileAtomic(ckptPath, func(w io.Writer) error {
-		return sim.WriteCheckpoint(w, framesWritten)
+	mspec, err := picpredict.MachineByName(f.machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := picpredict.FromSpec(spec)
+
+	fmt.Printf("fused run %s: %d particles, %d iterations, R=%v\n",
+		spec.Name, spec.NumParticles, spec.Steps, ranksList)
+	start := time.Now()
+	res, err := picpredict.RunFused(ctx, sc, picpredict.FusedOptions{
+		Ranks:           ranksList,
+		Mapping:         picpredict.MappingKind(f.mapping),
+		FilterRadius:    f.filter,
+		Workers:         f.workers,
+		Depth:           f.depth,
+		Train:           picpredict.TrainOptions{Seed: 1, Fast: f.fast, WallClock: f.wallclock},
+		TotalElements:   f.totalElements,
+		GridN:           f.gridN,
+		Machine:         &mspec,
+		Noise:           f.noise,
+		TraceOut:        f.traceOut,
+		CheckpointEvery: f.ckptEvery,
+		CheckpointPath:  f.ckptPath,
+		Resume:          f.resume,
 	})
-}
-
-// restoreRun loads the checkpoint into the freshly built Sim and returns
-// the number of trace frames the checkpointed run had durably written.
-func restoreRun(sim *scenario.Sim, ckptPath string) (int, error) {
-	ck, err := os.Open(ckptPath)
 	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
-			return 0, fmt.Errorf("no checkpoint at %s — nothing to resume (did the previous run complete?)", ckptPath)
+		if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+			if f.ckptEvery > 0 || f.resume {
+				log.Fatalf("interrupted — checkpoint written; rerun with -resume to continue")
+			}
+			log.Fatalf("interrupted")
 		}
-		return 0, err
+		log.Fatal(err)
 	}
-	defer ck.Close()
-	return sim.RestoreCheckpoint(ck)
-}
 
-// reopenTrace prepares the torn trace of a killed run for appending: it
-// verifies the header matches the resumed scenario, verifies at least
-// `frames` frames survived intact, truncates whatever lies beyond them (a
-// torn tail, or frames newer than the checkpoint), and returns a writer
-// positioned to append frame `frames`.
-func reopenTrace(path string, h trace.Header, frames int) (*os.File, *trace.Writer, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
-	if err != nil {
-		return nil, nil, fmt.Errorf("opening trace to resume: %w", err)
+	fmt.Printf("streamed %d frames in %v\n", res.Frames, time.Since(start).Round(time.Millisecond))
+	for _, s := range res.Models.Formulas() {
+		fmt.Println("  ", s)
 	}
-	r, err := trace.NewReader(f)
-	if err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("reading trace to resume: %w", err)
-	}
-	if r.Legacy() {
-		f.Close()
-		return nil, nil, fmt.Errorf("trace %s is in the legacy v1 format, which has no frame checksums to resume against", path)
-	}
-	got := r.Header()
-	if got.NumParticles != h.NumParticles || got.SampleEvery != h.SampleEvery || got.Domain != h.Domain {
-		f.Close()
-		return nil, nil, fmt.Errorf("trace %s was written by a different run configuration; refusing to resume", path)
-	}
-	intact := 0
-	frameBuf := make([]geom.Vec3, h.NumParticles)
-	for intact < frames {
-		if _, err := r.Next(frameBuf); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("trace %s has only %d intact frames but the checkpoint recorded %d — the file was damaged after the checkpoint was taken: %w", path, intact, frames, err)
+	fmt.Printf("\n%8s %14s %14s %14s %10s\n", "R", "predicted (s)", "compute (s)", "comm (s)", "MAPE")
+	for i, ranks := range res.Ranks {
+		pred := res.Predictions[i]
+		var comp, comm float64
+		for k := range pred.Compute {
+			comp += pred.Compute[k]
+			comm += pred.Comm[k]
 		}
-		intact++
+		fmt.Printf("%8d %14.5g %14.5g %14.5g %9.2f%%\n",
+			ranks, pred.Total, comp, comm, picpredict.MeanAccuracy(res.Accuracy[i]))
 	}
-	off := int64(trace.HeaderSize()) + int64(frames)*int64(trace.FrameSize(h.NumParticles))
-	if err := f.Truncate(off); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("truncating trace for resume: %w", err)
-	}
-	if _, err := f.Seek(off, io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	tw, err := trace.ResumeWriter(f, h, frames)
-	if err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	return f, tw, nil
-}
-
-func scenarioByName(name string) (scenario.Spec, error) {
-	switch name {
-	case "hele-shaw":
-		return scenario.HeleShaw(), nil
-	case "hele-shaw-paper":
-		return scenario.HeleShawPaper(), nil
-	case "uniform":
-		return scenario.Uniform(), nil
-	case "gaussian":
-		return scenario.GaussianCluster(), nil
-	case "shock-tube":
-		return scenario.ShockTube(), nil
-	default:
-		return scenario.Spec{}, fmt.Errorf("unknown scenario %q", name)
+	if f.traceOut != "" {
+		if info, err := os.Stat(f.traceOut); err == nil {
+			fmt.Printf("trace written to %s (%.1f MB)\n", f.traceOut, float64(info.Size())/1e6)
+		}
 	}
 }

@@ -15,10 +15,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
-	"strings"
 
 	"picpredict"
+	"picpredict/internal/cli"
 )
 
 func main() {
@@ -31,6 +30,7 @@ func main() {
 		ranksCSV  = flag.String("ranks", "1044,2088,4176,8352", "processor counts, comma separated")
 		mappingF  = flag.String("mapping", "bin", "mapping algorithm: element, bin, hilbert")
 		filter    = flag.Float64("filter", 0.00428, "projection filter size")
+		workers   = flag.Int("workers", 0, "parallel workload-fill workers (0 serial)")
 		totalEl   = flag.Int("total-elements", 16384, "total spectral elements of the application")
 		gridN     = flag.Float64("n", 4, "grid resolution per element")
 		filterEl  = flag.Float64("filter-elements", 0, "filter size in element widths (default derived)")
@@ -44,44 +44,33 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	ranksList, err := parseRanks(*ranksCSV)
+	ranksList, err := cli.ParseRanks(*ranksCSV)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := cli.Positive("-total-elements", *totalEl); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.NonNegative("-filter", *filter); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := cli.Context()
+	defer stop()
 
 	var tr *picpredict.Trace
 	var savedWl *picpredict.Workload
 	if *wlFile != "" {
-		f, err := os.Open(*wlFile)
+		savedWl, err = cli.OpenWorkload(*wlFile)
 		if err != nil {
 			log.Fatal(err)
-		}
-		var salvage *picpredict.Salvage
-		savedWl, salvage, err = picpredict.ReadWorkloadSalvaged(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		if salvage != nil {
-			log.Printf("warning: %s is damaged (%v); recovered the %d intact intervals and continuing",
-				*wlFile, salvage.Damage, salvage.Recovered)
 		}
 		ranksList = []int{savedWl.Ranks()}
 		fmt.Printf("workload: R=%d, %d frames\n", savedWl.Ranks(), savedWl.Frames())
 	} else {
-		f, err := os.Open(*traceFile)
+		tr, err = cli.OpenTrace(*traceFile)
 		if err != nil {
 			log.Fatal(err)
-		}
-		defer f.Close()
-		var salvage *picpredict.Salvage
-		tr, salvage, err = picpredict.ReadTraceSalvaged(f)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if salvage != nil {
-			log.Printf("warning: %s is damaged (%v); recovered the %d intact frames and continuing",
-				*traceFile, salvage.Damage, salvage.Recovered)
 		}
 		fmt.Printf("trace: %d particles, %d frames\n", tr.NumParticles(), tr.Frames())
 	}
@@ -121,14 +110,21 @@ func main() {
 
 	fmt.Printf("\n%8s %14s %14s %14s %10s\n", "R", "predicted (s)", "compute (s)", "comm (s)", "MAPE")
 	for i, ranks := range ranksList {
+		if ctx.Err() != nil {
+			log.Fatal("interrupted")
+		}
 		wl := savedWl
 		if wl == nil {
-			wl, err = tr.GenerateWorkload(picpredict.WorkloadOptions{
+			wl, err = tr.GenerateWorkloadContext(ctx, picpredict.WorkloadOptions{
 				Ranks:        ranks,
 				Mapping:      picpredict.MappingKind(*mappingF),
 				FilterRadius: *filter,
+				Workers:      *workers,
 			})
 			if err != nil {
+				if ctx.Err() != nil {
+					log.Fatal("interrupted")
+				}
 				log.Fatal(err)
 			}
 		}
@@ -148,23 +144,4 @@ func main() {
 		fmt.Printf("%8d %14.5g %14.5g %14.5g %9.2f%%\n",
 			ranks, pred.Total, comp, comm, picpredict.MeanAccuracy(acc))
 	}
-}
-
-func parseRanks(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		r, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("-ranks: %v", err)
-		}
-		if r <= 0 {
-			return nil, fmt.Errorf("-ranks: %d is not positive", r)
-		}
-		out = append(out, r)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("-ranks: empty list")
-	}
-	return out, nil
 }

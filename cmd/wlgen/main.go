@@ -15,11 +15,10 @@ import (
 	"io"
 	"log"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	"picpredict"
+	"picpredict/internal/cli"
 	"picpredict/internal/config"
 	"picpredict/internal/resilience"
 )
@@ -38,6 +37,7 @@ func main() {
 		midpoint  = flag.Bool("midpoint", false, "use midpoint planar cuts instead of median")
 		elements  = flag.String("elements", "", "element grid ex,ey,ez (element/hilbert mapping)")
 		gridN     = flag.Int("n", 4, "grid resolution per element")
+		workers   = flag.Int("workers", 0, "parallel workload-fill workers (0 serial)")
 		heatmap   = flag.String("heatmap", "", "write the computation matrix as CSV to this file")
 		commCSV   = flag.String("commcsv", "", "write the communication matrix as CSV to this file")
 		save      = flag.String("save", "", "save the full workload (binary) for later simulation")
@@ -50,18 +50,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*traceFile)
+	ctx, stop := cli.Context()
+	defer stop()
+
+	tr, err := cli.OpenTrace(*traceFile)
 	if err != nil {
 		log.Fatal(err)
-	}
-	defer f.Close()
-	tr, salvage, err := picpredict.ReadTraceSalvaged(f)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if salvage != nil {
-		log.Printf("warning: %s is damaged (%v); recovered the %d intact frames and continuing",
-			*traceFile, salvage.Damage, salvage.Recovered)
 	}
 	if *cfgFile != "" {
 		cf, err := config.LoadPath(*cfgFile)
@@ -88,25 +82,38 @@ func main() {
 			*midpoint = cf.MidpointSplit
 		}
 	}
+	if err := cli.Positive("-ranks", *ranks); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.NonNegative("-filter", *filter); err != nil {
+		log.Fatal(err)
+	}
 	if *elements != "" {
-		ex, ey, ez, err := parseElements(*elements)
+		dims, err := cli.ParseElements(*elements)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tr.WithMesh(ex, ey, ez, *gridN)
+		if err := cli.Positive("-n", *gridN); err != nil {
+			log.Fatal(err)
+		}
+		tr.WithMesh(dims[0], dims[1], dims[2], *gridN)
 	}
 	fmt.Printf("trace: %d particles, %d frames, sampled every %d iterations\n",
 		tr.NumParticles(), tr.Frames(), tr.SampleEvery())
 
 	start := time.Now()
-	wl, err := tr.GenerateWorkload(picpredict.WorkloadOptions{
+	wl, err := tr.GenerateWorkloadContext(ctx, picpredict.WorkloadOptions{
 		Ranks:         *ranks,
 		Mapping:       picpredict.MappingKind(*mappingF),
 		FilterRadius:  *filter,
 		RelaxedBins:   *relaxed,
 		MidpointSplit: *midpoint,
+		Workers:       *workers,
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			log.Fatal("interrupted")
+		}
 		log.Fatal(err)
 	}
 	fmt.Printf("workload generated for R=%d (%s mapping) in %v\n",
@@ -168,19 +175,4 @@ func main() {
 // complete or not at all, never torn.
 func writeFile(path string, fn func(io.Writer) error) error {
 	return resilience.WriteFileAtomic(path, fn)
-}
-
-func parseElements(s string) (ex, ey, ez int, err error) {
-	parts := strings.Split(s, ",")
-	if len(parts) != 3 {
-		return 0, 0, 0, fmt.Errorf("-elements wants ex,ey,ez, got %q", s)
-	}
-	dims := make([]int, 3)
-	for i, p := range parts {
-		dims[i], err = strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return 0, 0, 0, fmt.Errorf("-elements component %d: %v", i, err)
-		}
-	}
-	return dims[0], dims[1], dims[2], nil
 }

@@ -1,0 +1,318 @@
+package picpredict
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"picpredict/internal/geom"
+	"picpredict/internal/pipeline"
+	"picpredict/internal/resilience"
+	"picpredict/internal/scenario"
+	"picpredict/internal/trace"
+)
+
+// FusedOptions configures RunFused, the single-process pipeline that runs
+// the PIC application, the Dynamic Workload Generator, the Model Generator,
+// and the Simulation Platform end-to-end with no intermediate artefact
+// files.
+type FusedOptions struct {
+	// Ranks lists the processor counts to predict; the one simulation pass
+	// feeds a workload builder per entry.
+	Ranks []int
+	// Mapping selects the mapping algorithm (default MappingBin).
+	Mapping MappingKind
+	// FilterRadius is the projection filter size; zero takes the
+	// scenario's.
+	FilterRadius float64
+	// RelaxedBins and MidpointSplit tune bin mapping as in
+	// WorkloadOptions.
+	RelaxedBins   bool
+	MidpointSplit bool
+	// Workers sets the workload generator's parallel-fill worker count
+	// (0/1 serial).
+	Workers int
+	// Depth is the bounded-channel depth between the simulation and the
+	// workload builders; 0 streams synchronously. Checkpointed runs are
+	// always synchronous regardless.
+	Depth int
+
+	// Train configures the Model Generator (trained concurrently with the
+	// simulation).
+	Train TrainOptions
+
+	// TotalElements, GridN, FilterElements and Machine configure the
+	// Simulation Platform; zero values derive from the scenario
+	// (TotalElements, GridN) or default to one element width
+	// (FilterElements) and Quartz (Machine).
+	TotalElements  int
+	GridN          float64
+	FilterElements float64
+	Machine        *MachineSpec
+	// Noise is the synthetic-testbed noise of the accuracy evaluation
+	// (default 0.105, the §IV setting).
+	Noise float64
+
+	// TraceOut, when set, also streams the trace to this file — fused
+	// prediction plus a durable artefact in one pass.
+	TraceOut string
+	// CheckpointEvery enables crash recovery: the run checkpoints every N
+	// iterations (and on context cancellation), and Resume continues a
+	// killed run. Checkpointing requires TraceOut — the trace is the
+	// durable state a resumed run replays to rebuild its builders.
+	CheckpointEvery int
+	CheckpointPath  string // default TraceOut+".ckpt"
+	Resume          bool
+
+	// afterFrame, when set, runs after every streamed frame with the
+	// number of frames seen so far (including replayed ones) — a test
+	// hook for deterministic mid-flight cancellation.
+	afterFrame func(frames int)
+}
+
+// FusedResult is RunFused's output: one prediction (and workload, and
+// accuracy evaluation) per requested rank count, plus the trained models.
+type FusedResult struct {
+	// Ranks echoes the requested processor counts.
+	Ranks []int
+	// Workloads[i] is the workload generated for Ranks[i].
+	Workloads []*Workload
+	// Predictions[i] is the BSP prediction for Ranks[i].
+	Predictions []*Prediction
+	// Accuracy[i] is the per-kernel MAPE evaluation for Ranks[i].
+	Accuracy []map[string]float64
+	// Models are the fitted kernel models.
+	Models Models
+	// Frames is the number of trace frames streamed through the builders.
+	Frames int
+}
+
+// RunFused executes the whole prediction framework in one process and one
+// pass: the PIC simulation streams frames directly into per-rank workload
+// builders (kernel models train concurrently), and the finished workloads
+// replay through the BSP simulator. Positions are quantised through the
+// trace format's float32 on the way, so the reported totals are
+// bit-identical to the file-at-rest flow (picgen → wlgen/predict) — without
+// writing any intermediate file unless TraceOut asks for one.
+//
+// Cancelling ctx stops the run between iterations; with checkpointing
+// enabled a final checkpoint is written first, so a Resume run picks up
+// where the cancelled one stopped (replaying the durable trace prefix
+// through fresh builders, then continuing live).
+func RunFused(ctx context.Context, sc Scenario, opts FusedOptions) (*FusedResult, error) {
+	spec := sc.spec
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("picpredict: %w", err)
+	}
+	if len(opts.Ranks) == 0 {
+		return nil, errors.New("picpredict: RunFused needs at least one rank count")
+	}
+	if opts.Mapping == "" {
+		opts.Mapping = MappingBin
+	}
+	if opts.FilterRadius == 0 {
+		opts.FilterRadius = spec.FilterRadius
+	}
+	checkpointing := opts.CheckpointEvery > 0 || opts.Resume
+	if checkpointing && opts.TraceOut == "" {
+		return nil, errors.New("picpredict: fused checkpointing requires TraceOut — the trace is the durable state a resume replays")
+	}
+
+	// One workload builder per rank count: a single simulation pass
+	// fans out to every requested configuration.
+	builders := make([]*pipeline.GeneratorBuilder, len(opts.Ranks))
+	for i, r := range opts.Ranks {
+		b, err := pipeline.NewGeneratorBuilder(pipeline.MapperSpec{
+			Kind:          string(opts.Mapping),
+			Ranks:         r,
+			FilterRadius:  opts.FilterRadius,
+			RelaxedBins:   opts.RelaxedBins,
+			MidpointSplit: opts.MidpointSplit,
+			Domain:        spec.Domain,
+			Elements:      spec.Elements,
+			N:             spec.N,
+		}, opts.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("picpredict: %w", err)
+		}
+		builders[i] = b
+	}
+	res := &FusedResult{Ranks: opts.Ranks}
+	sinks := make([]pipeline.FrameSink, 0, len(builders)+1)
+	for _, b := range builders {
+		sinks = append(sinks, b)
+	}
+	sinks = append(sinks, pipeline.SinkFunc(func(int, []geom.Vec3) error {
+		res.Frames++
+		if opts.afterFrame != nil {
+			opts.afterFrame(res.Frames)
+		}
+		return nil
+	}))
+
+	// The Model Generator is workload-independent; train it while the
+	// simulation streams.
+	type trained struct {
+		models Models
+		err    error
+	}
+	trainCh := make(chan trained, 1)
+	go func() {
+		m, err := TrainModels(opts.Train)
+		trainCh <- trained{models: m, err: err}
+	}()
+
+	if err := runFusedStream(ctx, spec, opts, checkpointing, sinks); err != nil {
+		return nil, err
+	}
+
+	res.Workloads = make([]*Workload, len(builders))
+	for i, b := range builders {
+		inner, err := b.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("picpredict: %w", err)
+		}
+		res.Workloads[i] = &Workload{
+			inner:        inner,
+			binsPerFrame: b.BinsPerFrame,
+			opts: WorkloadOptions{
+				Ranks:         opts.Ranks[i],
+				Mapping:       opts.Mapping,
+				FilterRadius:  opts.FilterRadius,
+				RelaxedBins:   opts.RelaxedBins,
+				MidpointSplit: opts.MidpointSplit,
+				Workers:       opts.Workers,
+			},
+		}
+	}
+
+	t := <-trainCh
+	if t.err != nil {
+		return nil, t.err
+	}
+	res.Models = t.models
+
+	platform, err := newFusedPlatform(sc, t.models, opts)
+	if err != nil {
+		return nil, err
+	}
+	noise := opts.Noise
+	if noise == 0 {
+		noise = 0.105
+	}
+	res.Predictions = make([]*Prediction, len(opts.Ranks))
+	res.Accuracy = make([]map[string]float64, len(opts.Ranks))
+	for i, wl := range res.Workloads {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pred, err := platform.SimulateBSP(wl)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := platform.KernelAccuracy(wl, noise, int64(7+i))
+		if err != nil {
+			return nil, err
+		}
+		res.Predictions[i] = pred
+		res.Accuracy[i] = acc
+	}
+	return res, nil
+}
+
+// runFusedStream drives the simulation through the sinks in whichever of
+// the three wiring modes opts selects: checkpointed (durable trace +
+// resume), trace-writing (atomic file alongside the fused sinks), or pure
+// in-memory.
+func runFusedStream(ctx context.Context, spec scenario.Spec, opts FusedOptions, checkpointing bool, sinks []pipeline.FrameSink) error {
+	if checkpointing {
+		tr, err := pipeline.NewTraceRun(spec, pipeline.TraceRunOptions{
+			Out:             opts.TraceOut,
+			CheckpointPath:  opts.CheckpointPath,
+			CheckpointEvery: opts.CheckpointEvery,
+			Resume:          opts.Resume,
+		})
+		if err != nil {
+			return fmt.Errorf("picpredict: %w", err)
+		}
+		// A resumed run rebuilds builder state by replaying the intact
+		// trace prefix — workload generation is deterministic from the
+		// trace, so no generator state needs checkpointing.
+		if err := tr.ReplayPrefix(ctx, sinks...); err != nil {
+			return fmt.Errorf("picpredict: %w", err)
+		}
+		if err := tr.Run(ctx, sinks...); err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			return fmt.Errorf("picpredict: %w", err)
+		}
+		return nil
+	}
+
+	sim, err := spec.NewSim()
+	if err != nil {
+		return fmt.Errorf("picpredict: %w", err)
+	}
+	src := &pipeline.SimSource{Sim: sim}
+	if opts.TraceOut != "" {
+		err := resilience.WriteFileAtomic(opts.TraceOut, func(w io.Writer) error {
+			tw, err := trace.NewWriter(w, trace.Header{
+				NumParticles: spec.NumParticles,
+				SampleEvery:  spec.SampleEvery,
+				Domain:       spec.Domain,
+			})
+			if err != nil {
+				return err
+			}
+			all := append([]pipeline.FrameSink{pipeline.WriterSink{W: tw}}, sinks...)
+			if err := pipeline.StreamConcurrent(ctx, src, opts.Depth, all...); err != nil {
+				return err
+			}
+			return tw.Flush()
+		})
+		if err != nil && ctx.Err() != nil {
+			return err
+		}
+		if err != nil {
+			return fmt.Errorf("picpredict: %w", err)
+		}
+		return nil
+	}
+	if err := pipeline.StreamConcurrent(ctx, src, opts.Depth, sinks...); err != nil {
+		if ctx.Err() != nil {
+			return err
+		}
+		return fmt.Errorf("picpredict: %w", err)
+	}
+	return nil
+}
+
+// newFusedPlatform assembles the Simulation Platform with scenario-derived
+// defaults.
+func newFusedPlatform(sc Scenario, models Models, opts FusedOptions) (*Platform, error) {
+	totalEl := opts.TotalElements
+	if totalEl == 0 {
+		totalEl = sc.NumElements()
+	}
+	gridN := opts.GridN
+	if gridN == 0 {
+		gridN = float64(sc.GridN())
+	}
+	fe := opts.FilterElements
+	if fe == 0 {
+		fe = 1
+	}
+	machine := opts.Machine
+	if machine == nil {
+		q := QuartzMachine()
+		machine = &q
+	}
+	return NewPlatform(models, PlatformOptions{
+		TotalElements: totalEl,
+		N:             gridN,
+		Filter:        fe,
+		Machine:       machine,
+	})
+}

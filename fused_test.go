@@ -1,0 +1,319 @@
+package picpredict
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// fusedTestScenario is small enough for integration tests.
+func fusedTestScenario() Scenario {
+	return HeleShaw().WithParticles(400).WithSteps(60).WithSampleEvery(10)
+}
+
+// fusedTestOptions mirrors the predict cmd's defaults at test scale.
+func fusedTestOptions(ranks ...int) FusedOptions {
+	return FusedOptions{
+		Ranks:         ranks,
+		Train:         TrainOptions{Seed: 1, Fast: true},
+		TotalElements: 16384,
+		GridN:         4,
+	}
+}
+
+// TestFusedMatchesFileFlow is the parity acceptance test: the fused
+// single-process pipeline must report totals bit-identical to the
+// three-binary flow (picgen trace file → predict) on the quickstart
+// Hele-Shaw configuration — with zero intermediate files.
+func TestFusedMatchesFileFlow(t *testing.T) {
+	sc := fusedTestScenario()
+	ranksList := []int{8, 16}
+
+	// File-at-rest flow: write the trace artefact, read it back, train,
+	// generate workloads, predict.
+	var buf bytes.Buffer
+	if err := sc.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := TrainModels(TrainOptions{Seed: 1, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := QuartzMachine()
+	platform, err := NewPlatform(models, PlatformOptions{
+		TotalElements: 16384, N: 4, Filter: 1, Machine: &q,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type fileResult struct {
+		total, comp, comm float64
+		accuracy          map[string]float64
+	}
+	fileResults := make([]fileResult, len(ranksList))
+	for i, ranks := range ranksList {
+		wl, err := tr.GenerateWorkload(WorkloadOptions{
+			Ranks:        ranks,
+			Mapping:      MappingBin,
+			FilterRadius: sc.FilterRadius(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := platform.SimulateBSP(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err := platform.KernelAccuracy(wl, 0.105, int64(7+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var comp, comm float64
+		for k := range pred.Compute {
+			comp += pred.Compute[k]
+			comm += pred.Comm[k]
+		}
+		fileResults[i] = fileResult{total: pred.Total, comp: comp, comm: comm, accuracy: acc}
+	}
+
+	// Fused flow, run from an empty working directory so any intermediate
+	// file would be caught.
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	res, err := RunFused(context.Background(), sc, fusedTestOptions(ranksList...))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("fused run left intermediate files behind: %v", names)
+	}
+
+	if res.Frames != tr.Frames() {
+		t.Errorf("fused streamed %d frames, trace has %d", res.Frames, tr.Frames())
+	}
+	for i, ranks := range ranksList {
+		pred := res.Predictions[i]
+		var comp, comm float64
+		for k := range pred.Compute {
+			comp += pred.Compute[k]
+			comm += pred.Comm[k]
+		}
+		want := fileResults[i]
+		// Bit-identical, not approximately equal: the fused source quantises
+		// positions through the trace format's float32 exactly like the file
+		// round-trip.
+		if pred.Total != want.total || comp != want.comp || comm != want.comm {
+			t.Errorf("R=%d: fused total/comp/comm = %g/%g/%g, file flow %g/%g/%g",
+				ranks, pred.Total, comp, comm, want.total, want.comp, want.comm)
+		}
+		if !reflect.DeepEqual(res.Accuracy[i], want.accuracy) {
+			t.Errorf("R=%d: fused accuracy %v, file flow %v", ranks, res.Accuracy[i], want.accuracy)
+		}
+		if res.Workloads[i].Ranks() != ranks {
+			t.Errorf("workload %d has R=%d, want %d", i, res.Workloads[i].Ranks(), ranks)
+		}
+	}
+}
+
+// TestFusedCancellationAndResume cancels a checkpointed fused run
+// mid-flight, verifies a resumable checkpoint was written, resumes it, and
+// checks the resumed result matches an uninterrupted fused run exactly —
+// trace bytes included.
+func TestFusedCancellationAndResume(t *testing.T) {
+	sc := fusedTestScenario()
+	dir := t.TempDir()
+
+	// Reference: uninterrupted fused run with a trace artefact.
+	refTrace := filepath.Join(dir, "ref.bin")
+	refOpts := fusedTestOptions(8)
+	refOpts.TraceOut = refTrace
+	refOpts.CheckpointEvery = 25
+	ref, err := RunFused(context.Background(), sc, refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(refTrace + ".ckpt"); !os.IsNotExist(err) {
+		t.Errorf("completed fused run left its checkpoint behind (stat err %v)", err)
+	}
+	refBytes, err := os.ReadFile(refTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel a second run after its 4th frame.
+	outTrace := filepath.Join(dir, "cancelled.bin")
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := fusedTestOptions(8)
+	opts.TraceOut = outTrace
+	opts.CheckpointEvery = 25
+	opts.afterFrame = func(frames int) {
+		if frames == 4 {
+			cancel()
+		}
+	}
+	_, err = RunFused(ctx, sc, opts)
+	if err == nil {
+		t.Fatal("cancelled fused run returned nil")
+	}
+	if ctx.Err() == nil {
+		t.Fatalf("fused run failed for a non-cancellation reason: %v", err)
+	}
+	if _, err := os.Stat(outTrace + ".ckpt"); err != nil {
+		t.Fatalf("cancelled fused run left no checkpoint: %v", err)
+	}
+
+	// Resume. The replayed prefix plus the live remainder must reproduce
+	// the uninterrupted run bit-for-bit.
+	resumeOpts := fusedTestOptions(8)
+	resumeOpts.TraceOut = outTrace
+	resumeOpts.CheckpointEvery = 25
+	resumeOpts.Resume = true
+	res, err := RunFused(context.Background(), sc, resumeOpts)
+	if err != nil {
+		t.Fatalf("resuming cancelled fused run: %v", err)
+	}
+	gotBytes, err := os.ReadFile(outTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, refBytes) {
+		t.Fatalf("resumed trace differs from uninterrupted run (%d vs %d bytes)", len(gotBytes), len(refBytes))
+	}
+	if res.Frames != ref.Frames {
+		t.Errorf("resumed run streamed %d frames, reference %d", res.Frames, ref.Frames)
+	}
+	if res.Predictions[0].Total != ref.Predictions[0].Total {
+		t.Errorf("resumed prediction %g, reference %g", res.Predictions[0].Total, ref.Predictions[0].Total)
+	}
+	if !reflect.DeepEqual(res.Accuracy[0], ref.Accuracy[0]) {
+		t.Errorf("resumed accuracy %v, reference %v", res.Accuracy[0], ref.Accuracy[0])
+	}
+}
+
+// BenchmarkFusedPipeline times the single-process fused flow: simulation →
+// workload builders → BSP prediction, no files. Compare against
+// BenchmarkFileBasedPipeline, the equivalent three-pass flow through a
+// trace artefact on disk.
+func BenchmarkFusedPipeline(b *testing.B) {
+	sc := fusedTestScenario()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFused(context.Background(), sc, fusedTestOptions(16)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFileBasedPipeline times the file-at-rest flow the standalone
+// binaries implement: picgen writes the trace, predict reads it back,
+// trains models, generates the workload, and simulates.
+func BenchmarkFileBasedPipeline(b *testing.B) {
+	sc := fusedTestScenario()
+	dir := b.TempDir()
+	path := filepath.Join(dir, "trace.bin")
+	for i := 0; i < b.N; i++ {
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sc.WriteTrace(f); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+
+		rf, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := ReadTrace(rf)
+		rf.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		models, err := TrainModels(TrainOptions{Seed: 1, Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := QuartzMachine()
+		platform, err := NewPlatform(models, PlatformOptions{
+			TotalElements: 16384, N: 4, Filter: 1, Machine: &q,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wl, err := tr.GenerateWorkload(WorkloadOptions{
+			Ranks: 16, Mapping: MappingBin, FilterRadius: sc.FilterRadius(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := platform.SimulateBSP(wl); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := platform.KernelAccuracy(wl, 0.105, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestFusedValidation covers the option-validation error paths.
+func TestFusedValidation(t *testing.T) {
+	sc := fusedTestScenario()
+	if _, err := RunFused(context.Background(), sc, FusedOptions{}); err == nil {
+		t.Error("RunFused with no ranks accepted")
+	}
+	opts := fusedTestOptions(8)
+	opts.CheckpointEvery = 10 // checkpointing without TraceOut
+	if _, err := RunFused(context.Background(), sc, opts); err == nil {
+		t.Error("fused checkpointing without TraceOut accepted")
+	}
+}
+
+// TestFusedWorkersMatchSerial checks the parallel generator path produces
+// the same fused result as the serial one.
+func TestFusedWorkersMatchSerial(t *testing.T) {
+	sc := fusedTestScenario()
+	serial, err := RunFused(context.Background(), sc, fusedTestOptions(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fusedTestOptions(16)
+	opts.Workers = 4
+	opts.Depth = 4
+	parallel, err := RunFused(context.Background(), sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Predictions[0].Total != parallel.Predictions[0].Total {
+		t.Errorf("parallel fused prediction %g, serial %g",
+			parallel.Predictions[0].Total, serial.Predictions[0].Total)
+	}
+	if serial.Workloads[0].Peak() != parallel.Workloads[0].Peak() {
+		t.Errorf("parallel peak %d, serial %d", parallel.Workloads[0].Peak(), serial.Workloads[0].Peak())
+	}
+}

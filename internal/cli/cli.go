@@ -1,0 +1,167 @@
+// Package cli holds the flag-validation and artefact-opening boilerplate
+// shared by the cmd binaries (picgen, wlgen, predict, experiments), so
+// every front end validates flags, reports salvage warnings, and reacts to
+// SIGINT/SIGTERM the same way.
+package cli
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"picpredict"
+	"picpredict/internal/scenario"
+)
+
+// Context returns a context cancelled by SIGINT or SIGTERM (and a stop
+// function releasing the signal handler). Pipeline stages check it between
+// frames, so an interrupted binary drains cleanly — and a checkpointing
+// picgen run writes a final checkpoint before exiting. A second signal
+// kills the process immediately (default Go behaviour once stop runs).
+func Context() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// Positive validates that an integer flag is positive.
+func Positive(name string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("%s must be positive, got %d", name, v)
+	}
+	return nil
+}
+
+// NonNegative validates that a numeric flag is not negative.
+func NonNegative(name string, v float64) error {
+	if v < 0 {
+		return fmt.Errorf("%s must not be negative, got %g", name, v)
+	}
+	return nil
+}
+
+// ParseRanks parses a comma-separated list of positive processor counts.
+func ParseRanks(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		r, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("-ranks: %v", err)
+		}
+		if r <= 0 {
+			return nil, fmt.Errorf("-ranks: %d is not positive", r)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-ranks: empty list")
+	}
+	return out, nil
+}
+
+// ParseElements parses an "ex,ey,ez" element-grid flag; every dimension
+// must be positive.
+func ParseElements(s string) ([3]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return [3]int{}, fmt.Errorf("-elements wants ex,ey,ez, got %q", s)
+	}
+	var dims [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return [3]int{}, fmt.Errorf("-elements component %d: %v", i, err)
+		}
+		if v <= 0 {
+			return [3]int{}, fmt.Errorf("-elements component %d must be positive, got %d", i, v)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+// OpenTrace opens and parses a trace file, tolerating a damaged tail: the
+// salvage warning is logged and the intact prefix returned — the shared
+// graceful-degradation behaviour of every trace-consuming binary.
+func OpenTrace(path string) (*picpredict.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, salvage, err := picpredict.ReadTraceSalvaged(f)
+	if err != nil {
+		return nil, err
+	}
+	if salvage != nil {
+		log.Printf("warning: %s is damaged (%v); recovered the %d intact frames and continuing",
+			path, salvage.Damage, salvage.Recovered)
+	}
+	return tr, nil
+}
+
+// OpenWorkload opens and parses a workload file saved with wlgen -save,
+// logging a salvage warning and returning the intact prefix when the tail
+// is damaged.
+func OpenWorkload(path string) (*picpredict.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	wl, salvage, err := picpredict.ReadWorkloadSalvaged(f)
+	if err != nil {
+		return nil, err
+	}
+	if salvage != nil {
+		log.Printf("warning: %s is damaged (%v); recovered the %d intact intervals and continuing",
+			path, salvage.Damage, salvage.Recovered)
+	}
+	return wl, nil
+}
+
+// ScenarioByName returns the named scenario preset as the facade type the
+// fused pipeline consumes.
+func ScenarioByName(name string) (picpredict.Scenario, error) {
+	switch name {
+	case "hele-shaw":
+		return picpredict.HeleShaw(), nil
+	case "hele-shaw-paper":
+		return picpredict.HeleShawFull(), nil
+	case "uniform":
+		return picpredict.UniformScenario(), nil
+	case "gaussian":
+		return picpredict.GaussianScenario(), nil
+	case "shock-tube":
+		return picpredict.ShockTubeScenario(), nil
+	default:
+		return picpredict.Scenario{}, fmt.Errorf("unknown scenario %q (hele-shaw, hele-shaw-paper, uniform, gaussian, shock-tube)", name)
+	}
+}
+
+// SpecByName returns the named scenario preset as the raw spec the trace
+// pipeline stages consume.
+func SpecByName(name string) (scenario.Spec, error) {
+	switch name {
+	case "hele-shaw":
+		return scenario.HeleShaw(), nil
+	case "hele-shaw-paper":
+		return scenario.HeleShawPaper(), nil
+	case "uniform":
+		return scenario.Uniform(), nil
+	case "gaussian":
+		return scenario.GaussianCluster(), nil
+	case "shock-tube":
+		return scenario.ShockTube(), nil
+	default:
+		return scenario.Spec{}, fmt.Errorf("unknown scenario %q (hele-shaw, hele-shaw-paper, uniform, gaussian, shock-tube)", name)
+	}
+}

@@ -1,0 +1,84 @@
+package cli
+
+import "testing"
+
+func TestParseRanks(t *testing.T) {
+	got, err := ParseRanks("1044, 2088,4176")
+	if err != nil || len(got) != 3 || got[0] != 1044 || got[2] != 4176 {
+		t.Errorf("ParseRanks = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-5", "abc", "10,x"} {
+		if _, err := ParseRanks(bad); err == nil {
+			t.Errorf("ParseRanks(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseElements(t *testing.T) {
+	dims, err := ParseElements("128, 64,1")
+	if err != nil || dims != [3]int{128, 64, 1} {
+		t.Errorf("ParseElements = %v, %v", dims, err)
+	}
+	for _, bad := range []string{"", "1,2", "1,2,3,4", "a,b,c", "0,1,1", "-2,1,1"} {
+		if _, err := ParseElements(bad); err == nil {
+			t.Errorf("ParseElements(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPositive(t *testing.T) {
+	if err := Positive("-ranks", 8); err != nil {
+		t.Errorf("Positive(8) = %v", err)
+	}
+	for _, bad := range []int{0, -1} {
+		if err := Positive("-ranks", bad); err == nil {
+			t.Errorf("Positive(%d) accepted", bad)
+		}
+	}
+	if err := NonNegative("-filter", 0); err != nil {
+		t.Errorf("NonNegative(0) = %v", err)
+	}
+	if err := NonNegative("-filter", -0.1); err == nil {
+		t.Error("NonNegative(-0.1) accepted")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	for _, name := range []string{"hele-shaw", "hele-shaw-paper", "uniform", "gaussian", "shock-tube"} {
+		spec, err := SpecByName(name)
+		if err != nil {
+			t.Errorf("SpecByName(%q): %v", name, err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("spec %q invalid: %v", name, err)
+		}
+		sc, err := ScenarioByName(name)
+		if err != nil {
+			t.Errorf("ScenarioByName(%q): %v", name, err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("scenario %q invalid: %v", name, err)
+		}
+		if sc.Name() != spec.Name {
+			t.Errorf("%q: spec name %q, scenario name %q", name, spec.Name, sc.Name())
+		}
+	}
+	if _, err := SpecByName("bogus"); err == nil {
+		t.Error("unknown spec name accepted")
+	}
+	if _, err := ScenarioByName("bogus"); err == nil {
+		t.Error("unknown scenario name accepted")
+	}
+}
+
+func TestContext(t *testing.T) {
+	ctx, stop := Context()
+	defer stop()
+	if err := ctx.Err(); err != nil {
+		t.Errorf("fresh signal context already cancelled: %v", err)
+	}
+	stop()
+	// stop releases the handler; the context itself only cancels on signal
+	// or on stop, per signal.NotifyContext semantics.
+	<-ctx.Done()
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"picpredict/internal/geom"
@@ -21,6 +22,19 @@ func BenchmarkGeneratorFrameWithGhosts(b *testing.B) {
 }
 
 func benchGeneratorFrame(b *testing.B, filter float64) {
+	benchGeneratorWorkers(b, filter, 0)
+}
+
+// BenchmarkGeneratorSerial / BenchmarkGeneratorParallel compare the serial
+// fill against the worker-pool fill on a ghost-heavy ≥8-rank workload (the
+// hot loop is the per-particle ghost query, so that is where fan-out pays).
+// On a single-CPU machine GOMAXPROCS is 1 and the parallel generator
+// deliberately degenerates to the serial path, so the two numbers coincide.
+// Run with: go test -bench 'GeneratorSerial|GeneratorParallel' ./internal/core/
+func BenchmarkGeneratorSerial(b *testing.B)   { benchGeneratorWorkers(b, 0.02, 0) }
+func BenchmarkGeneratorParallel(b *testing.B) { benchGeneratorWorkers(b, 0.02, runtime.GOMAXPROCS(0)) }
+
+func benchGeneratorWorkers(b *testing.B, filter float64, workers int) {
 	const np = 50000
 	rng := rand.New(rand.NewSource(5))
 	pos := make([]geom.Vec3, np)
@@ -30,6 +44,7 @@ func benchGeneratorFrame(b *testing.B, filter float64) {
 	gen, err := NewGenerator(Config{
 		Mapper:       mapping.NewBinMapper(1024, 0.01),
 		FilterRadius: filter,
+		Workers:      workers,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"picpredict/internal/geom"
 	"picpredict/internal/mapping"
@@ -24,6 +25,12 @@ type Config struct {
 	// it implements mapping.GhostSource; otherwise ghost matrices are not
 	// produced even with a positive FilterRadius.
 	Ghosts mapping.GhostSource
+	// Workers sets the worker-goroutine count of the per-frame matrix
+	// fills (0 or 1 runs serially). Workloads are identical for any
+	// value; the parallel path needs the ghost source (when one is in
+	// play) to implement mapping.ConcurrentGhostSource and falls back to
+	// serial otherwise.
+	Workers int
 }
 
 // Workload is the generator's output: computation and communication
@@ -62,6 +69,12 @@ type Generator struct {
 	ghostBuf []int
 	frames   int
 	finished bool
+
+	// parallel-fill state (workers > 1)
+	workers     int
+	ghostFanout mapping.ConcurrentGhostSource // non-nil iff ghosts can fan out
+	partComp    [][]int64                     // per-worker real-comp partials
+	partGhost   [][]int64                     // per-worker ghost-comp partials
 }
 
 // NewGenerator validates cfg and prepares a generator.
@@ -93,6 +106,18 @@ func NewGenerator(cfg Config) (*Generator, error) {
 		g.wl.GhostComp = NewCompMatrix(r)
 		g.wl.GhostComm = sparse.NewSeries(r)
 	}
+	if cfg.Workers > 1 {
+		g.workers = cfg.Workers
+		if g.ghosts != nil {
+			fanout, ok := g.ghosts.(mapping.ConcurrentGhostSource)
+			if !ok {
+				// Ghost queries cannot fan out; fall back to serial.
+				g.workers = 0
+			} else {
+				g.ghostFanout = fanout
+			}
+		}
+	}
 	return g, nil
 }
 
@@ -117,19 +142,43 @@ func (g *Generator) Frame(iteration int, pos []geom.Vec3) error {
 		return fmt.Errorf("core: frame %d: %w", g.frames, err)
 	}
 
-	// Computation load (real particles).
 	comp := g.wl.RealComp.AppendFrame(iteration)
+	comm := g.wl.RealComm.Append()
+	var gcomp []int64
+	var gcomm *sparse.Matrix
+	if g.ghosts != nil {
+		gcomp = g.wl.GhostComp.AppendFrame(iteration)
+		gcomm = g.wl.GhostComm.Append()
+	}
+
+	var err error
+	if g.workers > 1 && len(pos) >= 4*g.workers {
+		err = g.fillParallel(pos, comp, comm, gcomp, gcomm)
+	} else {
+		err = g.fillSerial(pos, comp, comm, gcomp, gcomm)
+	}
+	if err != nil {
+		return fmt.Errorf("core: frame %d: %w", g.frames, err)
+	}
+
+	g.prev, g.cur = g.cur, g.prev
+	g.frames++
+	return nil
+}
+
+// fillSerial fills this frame's slice of the workload matrices in one pass.
+func (g *Generator) fillSerial(pos []geom.Vec3, comp []int64, comm *sparse.Matrix, gcomp []int64, gcomm *sparse.Matrix) error {
+	// Computation load (real particles).
 	for _, r := range g.cur {
 		comp[r]++
 	}
 
 	// Communication load (real particles): R_p changed between intervals.
-	comm := g.wl.RealComm.Append()
 	if g.frames > 0 {
 		for i, r := range g.cur {
 			if p := g.prev[i]; p != r {
 				if err := comm.Add(p, r, 1); err != nil {
-					return fmt.Errorf("core: frame %d: %w", g.frames, err)
+					return err
 				}
 			}
 		}
@@ -139,22 +188,126 @@ func (g *Generator) Frame(iteration int, pos []geom.Vec3) error {
 	// each foreign rank its projection filter touches; the ghost copy is
 	// particle data sent home→ghost this interval.
 	if g.ghosts != nil {
-		gcomp := g.wl.GhostComp.AppendFrame(iteration)
-		gcomm := g.wl.GhostComm.Append()
 		for i, p := range pos {
 			home := g.cur[i]
 			g.ghostBuf = g.ghosts.GhostRanks(g.ghostBuf[:0], p, g.cfg.FilterRadius, home)
 			for _, r := range g.ghostBuf {
 				gcomp[r]++
 				if err := gcomm.Add(home, r, 1); err != nil {
-					return fmt.Errorf("core: frame %d: %w", g.frames, err)
+					return err
 				}
 			}
 		}
 	}
+	return nil
+}
 
-	g.prev, g.cur = g.cur, g.prev
-	g.frames++
+// fillParallel shards the particle range across worker goroutines, each
+// filling private partial matrices, then reduces the partials serially. All
+// counters are integers, so the result is identical to fillSerial for any
+// worker count. The mapper assignment (g.cur/g.prev) and, when ghosts are
+// active, the fan-out views' shared frame state are read-only during the
+// fan-out.
+func (g *Generator) fillParallel(pos []geom.Vec3, comp []int64, comm *sparse.Matrix, gcomp []int64, gcomm *sparse.Matrix) error {
+	workers := g.workers
+	ranks := g.wl.Ranks
+	if g.partComp == nil {
+		g.partComp = make([][]int64, workers)
+		for w := range g.partComp {
+			g.partComp[w] = make([]int64, ranks)
+		}
+		if g.ghosts != nil {
+			g.partGhost = make([][]int64, workers)
+			for w := range g.partGhost {
+				g.partGhost[w] = make([]int64, ranks)
+			}
+		}
+	}
+	var views []mapping.GhostSource
+	if g.ghosts != nil {
+		views = g.ghostFanout.GhostViews(workers)
+	}
+
+	partComm := make([]*sparse.Matrix, workers)
+	partGhostComm := make([]*sparse.Matrix, workers)
+	errs := make([]error, workers)
+	firstFrame := g.frames == 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := len(pos) * w / workers
+			hi := len(pos) * (w + 1) / workers
+
+			pc := g.partComp[w]
+			clear(pc)
+			for _, r := range g.cur[lo:hi] {
+				pc[r]++
+			}
+
+			if !firstFrame {
+				pm := sparse.NewMatrix(ranks)
+				partComm[w] = pm
+				for i := lo; i < hi; i++ {
+					if p, c := g.prev[i], g.cur[i]; p != c {
+						if err := pm.Add(p, c, 1); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}
+			}
+
+			if g.ghosts != nil {
+				pg := g.partGhost[w]
+				clear(pg)
+				pgm := sparse.NewMatrix(ranks)
+				partGhostComm[w] = pgm
+				view := views[w]
+				var buf []int
+				for i := lo; i < hi; i++ {
+					home := g.cur[i]
+					buf = view.GhostRanks(buf[:0], pos[i], g.cfg.FilterRadius, home)
+					for _, r := range buf {
+						pg[r]++
+						if err := pgm.Add(home, r, 1); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Serial reduce: integer sums, so ordering cannot change the result.
+	for w := 0; w < workers; w++ {
+		for i, v := range g.partComp[w] {
+			comp[i] += v
+		}
+		if partComm[w] != nil {
+			if err := partComm[w].AddInto(comm); err != nil {
+				return err
+			}
+		}
+		if g.ghosts != nil {
+			for i, v := range g.partGhost[w] {
+				gcomp[i] += v
+			}
+			if partGhostComm[w] != nil {
+				if err := partGhostComm[w].AddInto(gcomm); err != nil {
+					return err
+				}
+			}
+		}
+	}
 	return nil
 }
 

@@ -71,10 +71,13 @@ type BinMapper struct {
 	lastBins []Bin
 
 	// scratch
-	perm      []int
-	seenRanks map[int]struct{}
-	index     *binIndex // ghost-query accelerator, rebuilt per Assign
-	candBuf   []int32
+	perm  []int
+	index *binIndex // ghost-query accelerator, rebuilt per Assign
+
+	// ghost-query views: ownView backs the mapper's own GhostRanks,
+	// views are handed out by GhostViews for parallel fills.
+	ownView *binGhostView
+	views   []*binGhostView
 }
 
 // NewBinMapper constructs a bin mapper for ranks processors with the given

@@ -18,6 +18,21 @@ type GhostSource interface {
 	GhostRanks(dst []int, pos geom.Vec3, radius float64, home int) []int
 }
 
+// ConcurrentGhostSource is a GhostSource whose per-frame ghost queries can
+// be answered by independent view objects, enabling the workload
+// generator's parallel fill path: each worker goroutine queries its own
+// view while they all share the frame's read-only spatial structures.
+type ConcurrentGhostSource interface {
+	GhostSource
+	// GhostViews returns n query objects that are safe to use
+	// concurrently with one another (though each individual view is not
+	// itself safe for concurrent use). Views answer from the state of the
+	// most recent Assign call and are invalidated by the next one; any
+	// shared read-only structure they need is built eagerly here, before
+	// the caller fans out.
+	GhostViews(n int) []GhostSource
+}
+
 // GhostRanks implements GhostSource for element-based mapping: ghost ranks
 // are the owners of the spectral elements the filter ball touches. The
 // query object is created lazily on first use.
@@ -26,6 +41,28 @@ func (em *ElementMapper) GhostRanks(dst []int, pos geom.Vec3, radius float64, ho
 		em.owners = mesh.NewSphereOwners(em.Mesh, em.Decomp)
 	}
 	return em.owners.Ranks(dst, pos, radius, home)
+}
+
+// GhostViews implements ConcurrentGhostSource for element-based mapping:
+// every view is its own SphereOwners query over the shared (immutable) mesh
+// and decomposition. Views are cached — the decomposition never changes, so
+// they stay valid across frames.
+func (em *ElementMapper) GhostViews(n int) []GhostSource {
+	for len(em.views) < n {
+		em.views = append(em.views, sphereGhostView{q: mesh.NewSphereOwners(em.Mesh, em.Decomp)})
+	}
+	out := make([]GhostSource, n)
+	for i := range out {
+		out[i] = em.views[i]
+	}
+	return out
+}
+
+// sphereGhostView adapts a private SphereOwners query to GhostSource.
+type sphereGhostView struct{ q *mesh.SphereOwners }
+
+func (v sphereGhostView) GhostRanks(dst []int, pos geom.Vec3, radius float64, home int) []int {
+	return v.q.Ranks(dst, pos, radius, home)
 }
 
 // GhostRanks implements GhostSource for bin-based mapping: with
@@ -43,21 +80,59 @@ func (bm *BinMapper) GhostRanks(dst []int, pos geom.Vec3, radius float64, home i
 	if bm.index == nil {
 		bm.index = buildBinIndex(bm.lastBins)
 	}
-	if bm.seenRanks == nil {
-		bm.seenRanks = make(map[int]struct{}, 8)
+	if bm.ownView == nil {
+		bm.ownView = &binGhostView{bm: bm}
 	}
-	clear(bm.seenRanks)
-	bm.candBuf = bm.index.candidates(bm.candBuf[:0], pos, radius)
-	for _, bi := range bm.candBuf {
-		b := &bm.lastBins[bi]
+	return bm.ownView.GhostRanks(dst, pos, radius, home)
+}
+
+// GhostViews implements ConcurrentGhostSource for bin-based mapping: the
+// shared spatial index over the current frame's bins is built eagerly, then
+// every view queries it with private scratch buffers. Views answer from the
+// bins of the most recent Assign and are invalidated by the next one.
+func (bm *BinMapper) GhostViews(n int) []GhostSource {
+	if bm.index == nil && len(bm.lastBins) > 0 {
+		bm.index = buildBinIndex(bm.lastBins)
+	}
+	for len(bm.views) < n {
+		bm.views = append(bm.views, &binGhostView{bm: bm})
+	}
+	out := make([]GhostSource, n)
+	for i := range out {
+		out[i] = bm.views[i]
+	}
+	return out
+}
+
+// binGhostView answers ghost queries against its mapper's current bins and
+// index (read-only here) using private scratch, so several views can run
+// concurrently. The parent mapper must not Assign while views are in use.
+type binGhostView struct {
+	bm   *BinMapper
+	seen map[int]struct{}
+	cand []int32
+}
+
+func (v *binGhostView) GhostRanks(dst []int, pos geom.Vec3, radius float64, home int) []int {
+	bins, idx := v.bm.lastBins, v.bm.index
+	if radius <= 0 || len(bins) == 0 || idx == nil {
+		return dst
+	}
+	if v.seen == nil {
+		v.seen = make(map[int]struct{}, 8)
+	}
+	clear(v.seen)
+	v.cand = idx.candidates(v.cand[:0], pos, radius)
+	for _, bi := range v.cand {
+		b := &bins[bi]
 		if b.Rank == home {
 			continue
 		}
-		if _, dup := bm.seenRanks[b.Rank]; dup {
+		if _, dup := v.seen[b.Rank]; dup {
 			continue
 		}
 		if b.Box.IntersectsSphere(pos, radius) {
-			bm.seenRanks[b.Rank] = struct{}{}
+			v.seen[b.Rank] = struct{}{}
 			dst = append(dst, b.Rank)
 		}
 	}
@@ -65,6 +140,6 @@ func (bm *BinMapper) GhostRanks(dst []int, pos geom.Vec3, radius float64, home i
 }
 
 var (
-	_ GhostSource = (*ElementMapper)(nil)
-	_ GhostSource = (*BinMapper)(nil)
+	_ ConcurrentGhostSource = (*ElementMapper)(nil)
+	_ ConcurrentGhostSource = (*BinMapper)(nil)
 )

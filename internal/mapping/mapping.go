@@ -47,6 +47,7 @@ type ElementMapper struct {
 	Decomp *mesh.Decomposition
 
 	owners *mesh.SphereOwners // lazy, for GhostRanks
+	views  []sphereGhostView  // cached GhostViews for parallel fills
 }
 
 // NewElementMapper builds an element mapper over an existing decomposition.

@@ -1,0 +1,154 @@
+package mesh
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"picpredict/internal/geom"
+)
+
+// bruteRanks recomputes a SphereOwners query by scanning every element.
+func bruteRanks(m *Mesh, d *Decomposition, c geom.Vec3, radius float64, exclude int) []int {
+	if radius <= 0 {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for e := 0; e < m.NumElements(); e++ {
+		if !m.ElementBox(e).IntersectsSphere(c, radius) {
+			continue
+		}
+		r := d.RankOf(e)
+		if r == exclude || seen[r] {
+			continue
+		}
+		seen[r] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+func sorted(s []int) []int {
+	out := append([]int(nil), s...)
+	sort.Ints(out)
+	return out
+}
+
+func equalSets(a, b []int) bool {
+	a, b = sorted(a), sorted(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSphereOwnersMatchesBruteForce(t *testing.T) {
+	dom := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 0.25))
+	m, err := New(dom, 8, 8, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decompose(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSphereOwners(m, d)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		// Points straddle the domain: some inside, some beyond the faces —
+		// a particle near the wall has a filter ball poking outside.
+		c := geom.V(rng.Float64()*1.4-0.2, rng.Float64()*1.4-0.2, rng.Float64()*0.45-0.1)
+		radius := rng.Float64() * 0.3
+		exclude := rng.Intn(d.Ranks+1) - 1 // -1 .. Ranks-1
+		got := q.Ranks(nil, c, radius, exclude)
+		want := bruteRanks(m, d, c, radius, exclude)
+		if !equalSets(got, want) {
+			t.Fatalf("query %d: Ranks(%v, r=%g, excl=%d) = %v, brute force %v", i, c, radius, exclude, got, want)
+		}
+	}
+}
+
+func TestSphereOwnersDomainEdges(t *testing.T) {
+	dom := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	m, err := New(dom, 4, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decompose(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSphereOwners(m, d)
+
+	cases := []struct {
+		name   string
+		c      geom.Vec3
+		radius float64
+	}{
+		{"corner", geom.V(0, 0, 0), 0.1},
+		{"opposite-corner", geom.V(1, 1, 1), 0.1},
+		{"face-center", geom.V(0.5, 0, 0.5), 0.2},
+		{"edge-midpoint", geom.V(0, 0.5, 0), 0.15},
+		{"outside-near-face", geom.V(-0.05, 0.5, 0.5), 0.1},
+		{"outside-out-of-reach", geom.V(-2, 0.5, 0.5), 0.5},
+		{"ball-covers-domain", geom.V(0.5, 0.5, 0.5), 3},
+	}
+	for _, tc := range cases {
+		got := q.Ranks(nil, tc.c, tc.radius, -1)
+		want := bruteRanks(m, d, tc.c, tc.radius, -1)
+		if !equalSets(got, want) {
+			t.Errorf("%s: Ranks = %v, brute force %v", tc.name, got, want)
+		}
+		if tc.name == "ball-covers-domain" && len(got) != d.Ranks {
+			t.Errorf("%s: ball covering the domain found %d of %d ranks", tc.name, len(got), d.Ranks)
+		}
+		if tc.name == "outside-out-of-reach" && len(got) != 0 {
+			t.Errorf("%s: unreachable ball found ranks %v", tc.name, got)
+		}
+	}
+}
+
+func TestSphereOwnersZeroRadiusAndExclude(t *testing.T) {
+	dom := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	m, err := New(dom, 4, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decompose(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSphereOwners(m, d)
+	if got := q.Ranks(nil, geom.V(0.5, 0.5, 0.5), 0, -1); len(got) != 0 {
+		t.Errorf("zero radius returned ranks %v", got)
+	}
+	if got := q.Ranks(nil, geom.V(0.5, 0.5, 0.5), -0.1, -1); len(got) != 0 {
+		t.Errorf("negative radius returned ranks %v", got)
+	}
+	// A ball covering everything, minus an excluded rank, returns the rest.
+	all := q.Ranks(nil, geom.V(0.5, 0.5, 0.5), 2, -1)
+	if len(all) != d.Ranks {
+		t.Fatalf("covering ball found %d of %d ranks", len(all), d.Ranks)
+	}
+	got := q.Ranks(nil, geom.V(0.5, 0.5, 0.5), 2, 2)
+	if len(got) != d.Ranks-1 {
+		t.Errorf("exclusion left %d ranks, want %d", len(got), d.Ranks-1)
+	}
+	for _, r := range got {
+		if r == 2 {
+			t.Error("excluded rank 2 still reported")
+		}
+	}
+	// dst is appended to, not clobbered.
+	pre := []int{99}
+	got = q.Ranks(pre, geom.V(0.125, 0.125, 0.5), 0.05, -1)
+	if len(got) < 1 || got[0] != 99 {
+		t.Errorf("Ranks clobbered dst prefix: %v", got)
+	}
+}

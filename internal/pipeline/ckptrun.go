@@ -1,0 +1,252 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"picpredict/internal/geom"
+	"picpredict/internal/resilience"
+	"picpredict/internal/scenario"
+	"picpredict/internal/trace"
+)
+
+// TraceRunOptions configures a checkpointable scenario run.
+type TraceRunOptions struct {
+	// Out is the trace file path (written incrementally, not atomically —
+	// the checkpoint protocol is what makes crashes recoverable).
+	Out string
+	// CheckpointPath is the checkpoint file; empty defaults to Out+".ckpt".
+	CheckpointPath string
+	// CheckpointEvery checkpoints the run every N iterations (0 only
+	// checkpoints on cancellation).
+	CheckpointEvery int
+	// Resume restores the simulation from CheckpointPath and appends to
+	// the truncated trace instead of starting fresh.
+	Resume bool
+}
+
+// TraceRun is a checkpointable scenario execution streaming its trace to
+// disk: the engine behind picgen's -checkpoint-every/-resume crash
+// recovery, lifted out of the command so fused runs share it. Build one
+// with NewTraceRun, optionally replay the resumed prefix with
+// ReplayPrefix, then Run it.
+type TraceRun struct {
+	Spec scenario.Spec
+	Sim  *scenario.Sim
+
+	opts   TraceRunOptions
+	header trace.Header
+	file   *os.File
+	writer *trace.Writer
+	frames int // frames durably represented in the trace (resumed + written)
+}
+
+// NewTraceRun opens (or, with Resume, restores) a checkpointable run. On
+// error nothing is left open.
+func NewTraceRun(spec scenario.Spec, opts TraceRunOptions) (*TraceRun, error) {
+	if opts.CheckpointPath == "" {
+		opts.CheckpointPath = opts.Out + ".ckpt"
+	}
+	sim, err := spec.NewSim()
+	if err != nil {
+		return nil, err
+	}
+	tr := &TraceRun{
+		Spec: spec,
+		Sim:  sim,
+		opts: opts,
+		header: trace.Header{
+			NumParticles: spec.NumParticles,
+			SampleEvery:  spec.SampleEvery,
+			Domain:       spec.Domain,
+		},
+	}
+	if opts.Resume {
+		tr.frames, err = restoreSim(sim, opts.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		tr.file, tr.writer, err = reopenTrace(opts.Out, tr.header, tr.frames)
+		if err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+	tr.file, err = os.Create(opts.Out)
+	if err != nil {
+		return nil, err
+	}
+	tr.writer, err = trace.NewWriter(tr.file, tr.header)
+	if err != nil {
+		tr.file.Close()
+		return nil, err
+	}
+	return tr, nil
+}
+
+// FramesResumed returns how many intact trace frames a resumed run starts
+// with (0 for a fresh run).
+func (tr *TraceRun) FramesResumed() int { return tr.frames }
+
+// ReplayPrefix streams the intact trace prefix of a resumed run into sinks
+// — how a fused run rebuilds its workload builders' state before the
+// simulation continues live. The prefix is read from a separate read-only
+// handle; the append writer is untouched.
+func (tr *TraceRun) ReplayPrefix(ctx context.Context, sinks ...FrameSink) error {
+	if tr.frames == 0 {
+		return nil
+	}
+	f, err := os.Open(tr.opts.Out)
+	if err != nil {
+		return fmt.Errorf("pipeline: reopening trace to replay: %w", err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("pipeline: replaying trace prefix: %w", err)
+	}
+	replayed := 0
+	err = Stream(ctx, &ReaderSource{R: r}, append(sinks, SinkFunc(func(int, []geom.Vec3) error {
+		replayed++
+		return nil
+	}))...)
+	if err != nil {
+		return err
+	}
+	if replayed != tr.frames {
+		return fmt.Errorf("pipeline: trace replay saw %d frames, expected %d", replayed, tr.frames)
+	}
+	return nil
+}
+
+// Run executes the scenario to completion, streaming each sampled frame to
+// the trace and to any extra sinks (synchronously — a checkpoint must never
+// vouch for frames a sink has not durably seen). Periodic checkpoints
+// follow CheckpointEvery. When ctx is cancelled the run flushes the trace,
+// writes a final checkpoint, and returns ctx.Err() — a subsequent Resume
+// picks up exactly where it stopped. On success the checkpoint file is
+// removed and the trace is synced and closed.
+func (tr *TraceRun) Run(ctx context.Context, extra ...FrameSink) error {
+	defer tr.file.Close()
+
+	src := &SimSource{Sim: tr.Sim}
+	every := tr.opts.CheckpointEvery
+	src.OnStep = func(it int) error {
+		if every > 0 && it%every == 0 && it < tr.Spec.Steps {
+			return tr.checkpoint()
+		}
+		return nil
+	}
+	counter := SinkFunc(func(int, []geom.Vec3) error { tr.frames++; return nil })
+	sinks := append([]FrameSink{WriterSink{W: tr.writer}, counter}, extra...)
+
+	err := Stream(ctx, src, sinks...)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Cancelled: leave a resumable state behind. The checkpoint
+			// write error (if any) takes precedence over ctx.Err() so the
+			// caller knows resume may not be possible.
+			if ckErr := tr.checkpoint(); ckErr != nil {
+				return fmt.Errorf("pipeline: checkpointing cancelled run: %w", ckErr)
+			}
+			return err
+		}
+		return err
+	}
+	if err := tr.writer.Flush(); err != nil {
+		return err
+	}
+	if err := tr.file.Sync(); err != nil {
+		return err
+	}
+	if err := tr.file.Close(); err != nil {
+		return err
+	}
+	// The run completed; the checkpoint has nothing left to protect.
+	if err := os.Remove(tr.opts.CheckpointPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("pipeline: removing stale checkpoint: %w", err)
+	}
+	return nil
+}
+
+// checkpoint makes the trace durable, then atomically replaces the
+// checkpoint file. The ordering matters: the checkpoint must never vouch
+// for trace frames that are not yet on disk.
+func (tr *TraceRun) checkpoint() error {
+	if err := tr.writer.Flush(); err != nil {
+		return err
+	}
+	if err := tr.file.Sync(); err != nil {
+		return err
+	}
+	return resilience.WriteFileAtomic(tr.opts.CheckpointPath, func(w io.Writer) error {
+		return tr.Sim.WriteCheckpoint(w, tr.frames)
+	})
+}
+
+// restoreSim loads the checkpoint into the freshly built Sim and returns
+// the number of trace frames the checkpointed run had durably written.
+func restoreSim(sim *scenario.Sim, ckptPath string) (int, error) {
+	ck, err := os.Open(ckptPath)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, fmt.Errorf("pipeline: no checkpoint at %s — nothing to resume (did the previous run complete?)", ckptPath)
+		}
+		return 0, err
+	}
+	defer ck.Close()
+	return sim.RestoreCheckpoint(ck)
+}
+
+// reopenTrace prepares the torn trace of a killed run for appending: it
+// verifies the header matches the resumed scenario, verifies at least
+// `frames` frames survived intact, truncates whatever lies beyond them (a
+// torn tail, or frames newer than the checkpoint), and returns a writer
+// positioned to append frame `frames`.
+func reopenTrace(path string, h trace.Header, frames int) (*os.File, *trace.Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pipeline: opening trace to resume: %w", err)
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("pipeline: reading trace to resume: %w", err)
+	}
+	if r.Legacy() {
+		f.Close()
+		return nil, nil, fmt.Errorf("pipeline: trace %s is in the legacy v1 format, which has no frame checksums to resume against", path)
+	}
+	got := r.Header()
+	if got.NumParticles != h.NumParticles || got.SampleEvery != h.SampleEvery || got.Domain != h.Domain {
+		f.Close()
+		return nil, nil, fmt.Errorf("pipeline: trace %s was written by a different run configuration; refusing to resume", path)
+	}
+	intact := 0
+	frameBuf := make([]geom.Vec3, h.NumParticles)
+	for intact < frames {
+		if _, err := r.Next(frameBuf); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("pipeline: trace %s has only %d intact frames but the checkpoint recorded %d — the file was damaged after the checkpoint was taken: %w", path, intact, frames, err)
+		}
+		intact++
+	}
+	off := int64(trace.HeaderSize()) + int64(frames)*int64(trace.FrameSize(h.NumParticles))
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("pipeline: truncating trace for resume: %w", err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	tw, err := trace.ResumeWriter(f, h, frames)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return f, tw, nil
+}

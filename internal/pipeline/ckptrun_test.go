@@ -1,13 +1,16 @@
-package main
+package pipeline_test
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"picpredict"
+	"picpredict/internal/geom"
+	"picpredict/internal/pipeline"
 	"picpredict/internal/resilience"
 	"picpredict/internal/scenario"
 	"picpredict/internal/trace"
@@ -20,6 +23,20 @@ func fastSpec() scenario.Spec {
 	s.Steps = 60
 	s.SampleEvery = 10
 	return s
+}
+
+// runCheckpointed drives a full checkpointable run, the way picgen does.
+func runCheckpointed(spec scenario.Spec, outPath, ckptPath string, every int, resume bool) error {
+	tr, err := pipeline.NewTraceRun(spec, pipeline.TraceRunOptions{
+		Out:             outPath,
+		CheckpointPath:  ckptPath,
+		CheckpointEvery: every,
+		Resume:          resume,
+	})
+	if err != nil {
+		return err
+	}
+	return tr.Run(context.Background())
 }
 
 // killRun simulates a run killed mid-simulation: it executes the
@@ -188,5 +205,61 @@ func TestTornTraceSalvagedByReaders(t *testing.T) {
 		FilterRadius: spec.FilterRadius,
 	}); err != nil {
 		t.Errorf("salvaged trace failed workload generation: %v", err)
+	}
+}
+
+// TestTraceRunCancellationLeavesResumableState interrupts a checkpointed
+// run mid-flight via context cancellation and verifies the final
+// checkpoint makes the run resumable to a byte-identical trace.
+func TestTraceRunCancellationLeavesResumableState(t *testing.T) {
+	spec := fastSpec()
+	dir := t.TempDir()
+
+	refPath := filepath.Join(dir, "ref.bin")
+	if err := runCheckpointed(spec, refPath, refPath+".ckpt", 25, false); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	outPath := filepath.Join(dir, "cancelled.bin")
+	ckptPath := outPath + ".ckpt"
+	tr, err := pipeline.NewTraceRun(spec, pipeline.TraceRunOptions{
+		Out: outPath, CheckpointPath: ckptPath, CheckpointEvery: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel after the 4th frame (iteration 30) has been emitted.
+	ctx, cancel := context.WithCancel(context.Background())
+	frames := 0
+	err = tr.Run(ctx, pipeline.SinkFunc(func(int, []geom.Vec3) error {
+		frames++
+		if frames == 4 {
+			cancel()
+		}
+		return nil
+	}))
+	if err == nil {
+		t.Fatal("cancelled run returned nil")
+	}
+	if ctx.Err() == nil {
+		t.Fatalf("run failed for a non-cancellation reason: %v", err)
+	}
+	if _, err := os.Stat(ckptPath); err != nil {
+		t.Fatalf("cancelled run left no checkpoint: %v", err)
+	}
+
+	if err := runCheckpointed(spec, outPath, ckptPath, 25, true); err != nil {
+		t.Fatalf("resuming cancelled run: %v", err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatalf("resumed-after-cancel trace differs from uninterrupted run (%d vs %d bytes)", len(got), len(ref))
 	}
 }

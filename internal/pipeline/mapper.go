@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"picpredict/internal/core"
+	"picpredict/internal/geom"
+	"picpredict/internal/mapping"
+	"picpredict/internal/mesh"
+)
+
+// MapperSpec describes a particle mapping algorithm by name plus the
+// parameters needed to build it — the workload-builder half of the paper's
+// configuration file (§II-A), shared by every front end (facade, cmds,
+// fused runs).
+type MapperSpec struct {
+	// Kind names the algorithm: element, bin, hilbert, weighted, ohhelp.
+	Kind string
+	// Ranks is the processor count R.
+	Ranks int
+	// FilterRadius is the projection filter size; for bin mapping it
+	// doubles as the threshold bin size.
+	FilterRadius float64
+	// RelaxedBins removes the processor-count limit on bin splitting.
+	RelaxedBins bool
+	// MidpointSplit switches bin cuts from median to spatial midpoint.
+	MidpointSplit bool
+
+	// Domain, Elements and N describe the application mesh — required by
+	// the element-anchored mappings (element, hilbert, weighted, ohhelp),
+	// ignored by bin mapping.
+	Domain   geom.AABB
+	Elements [3]int
+	N        int
+}
+
+// Build assembles the mapper. For bin mapping the concrete *BinMapper is
+// also returned so callers can record per-frame bin counts (nil otherwise).
+func (ms MapperSpec) Build() (mapping.Mapper, *mapping.BinMapper, error) {
+	if ms.Ranks <= 0 {
+		return nil, nil, fmt.Errorf("pipeline: Ranks must be positive, got %d", ms.Ranks)
+	}
+	switch ms.Kind {
+	case "bin":
+		bm := mapping.NewBinMapper(ms.Ranks, ms.FilterRadius)
+		bm.Relaxed = ms.RelaxedBins
+		if ms.MidpointSplit {
+			bm.Policy = mapping.SplitMidpoint
+		}
+		return bm, bm, nil
+	case "element", "hilbert", "weighted", "ohhelp":
+		if ms.Elements == ([3]int{}) {
+			return nil, nil, errors.New("pipeline: element/hilbert/weighted/ohhelp mapping needs the element grid")
+		}
+		n := ms.N
+		if n < 1 {
+			n = 1
+		}
+		m, err := mesh.New(ms.Domain, ms.Elements[0], ms.Elements[1], ms.Elements[2], n)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pipeline: %w", err)
+		}
+		switch ms.Kind {
+		case "hilbert":
+			return mapping.NewHilbertMapper(m, ms.Ranks), nil, nil
+		case "weighted":
+			return mapping.NewWeightedElementMapper(m, ms.Ranks), nil, nil
+		}
+		d, err := mesh.Decompose(m, ms.Ranks)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pipeline: %w", err)
+		}
+		if ms.Kind == "ohhelp" {
+			return mapping.NewHelperMapper(m, d), nil, nil
+		}
+		return mapping.NewElementMapper(m, d), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("pipeline: unknown mapping %q", ms.Kind)
+	}
+}
+
+// GeneratorBuilder is the Dynamic Workload Generator wired as a pipeline
+// stage: a WorkloadBuilder that also records per-frame bin counts when the
+// mapper is bin-based.
+type GeneratorBuilder struct {
+	Gen  *core.Generator
+	Bins *mapping.BinMapper // nil unless bin mapping
+
+	BinsPerFrame []int
+}
+
+// NewGeneratorBuilder builds the mapper described by ms and a workload
+// generator over it. Workers > 1 enables the generator's parallel fill.
+func NewGeneratorBuilder(ms MapperSpec, workers int) (*GeneratorBuilder, error) {
+	mapper, bins, err := ms.Build()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := core.NewGenerator(core.Config{
+		Mapper:       mapper,
+		FilterRadius: ms.FilterRadius,
+		Workers:      workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GeneratorBuilder{Gen: gen, Bins: bins}, nil
+}
+
+// Frame implements FrameSink.
+func (b *GeneratorBuilder) Frame(iteration int, pos []geom.Vec3) error {
+	if err := b.Gen.Frame(iteration, pos); err != nil {
+		return err
+	}
+	if b.Bins != nil {
+		b.BinsPerFrame = append(b.BinsPerFrame, b.Bins.NumBins())
+	}
+	return nil
+}
+
+// Finish implements WorkloadBuilder.
+func (b *GeneratorBuilder) Finish() (*core.Workload, error) { return b.Gen.Finish() }
+
+var _ WorkloadBuilder = (*GeneratorBuilder)(nil)

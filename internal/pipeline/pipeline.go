@@ -1,0 +1,164 @@
+// Package pipeline composes the prediction framework's three modules
+// (Dynamic Workload Generator, Model Generator, Simulation Platform, §II)
+// into streaming stages: frame sources push trace frames through sinks,
+// workload builders fold frames into workload matrices, and simulators
+// replay finished workloads — all under one context, in one process.
+//
+// Two wiring modes share the same stage types:
+//
+//   - file-at-rest: a stage boundary is an artefact file (trace, workload),
+//     exactly as the standalone cmd binaries always worked — ReaderSource
+//     reads a trace, WriterSink writes one;
+//   - fused: a live PIC simulation (SimSource) feeds workload builders
+//     frame-by-frame with no intermediate files; positions are quantised
+//     through the trace format's float32 on the way, so both modes produce
+//     bit-identical workloads.
+//
+// Stages honour context cancellation between frames: a cancelled Stream
+// returns ctx.Err() with every sink having seen a clean frame prefix, which
+// is what lets a SIGINT'd run write a final checkpoint and resume later.
+package pipeline
+
+import (
+	"context"
+
+	"picpredict/internal/bsst"
+	"picpredict/internal/core"
+	"picpredict/internal/geom"
+)
+
+// EmitFunc receives one trace frame. The pos slice is only valid for the
+// duration of the call; implementations that retain frames must copy.
+type EmitFunc func(iteration int, pos []geom.Vec3) error
+
+// FrameSource produces trace frames in iteration order by pushing them into
+// an emit callback (push style keeps sources free to reuse one frame
+// buffer).
+type FrameSource interface {
+	// NumParticles returns N_p — every emitted frame has exactly this many
+	// positions.
+	NumParticles() int
+	// Stream emits every remaining frame in order, stopping early with
+	// ctx.Err() when the context is cancelled or with the first emit
+	// error.
+	Stream(ctx context.Context, emit EmitFunc) error
+}
+
+// FrameSink consumes trace frames in order. core.Generator, trace.Writer
+// adapters, and checkpoint bookkeeping all sit behind this one interface.
+type FrameSink interface {
+	Frame(iteration int, pos []geom.Vec3) error
+}
+
+// WorkloadBuilder is a FrameSink that folds the frames it has seen into a
+// finished workload — the Dynamic Workload Generator as a pipeline stage.
+// *core.Generator satisfies it.
+type WorkloadBuilder interface {
+	FrameSink
+	Finish() (*core.Workload, error)
+}
+
+var _ WorkloadBuilder = (*core.Generator)(nil)
+
+// Simulator is the Simulation Platform as a pipeline stage: it replays a
+// finished workload and predicts the execution profile. *bsst.Platform's
+// BSP adapter satisfies it via BSPSimulator.
+type Simulator interface {
+	Simulate(ctx context.Context, wl *core.Workload) (*bsst.Prediction, error)
+}
+
+// BSPSimulator adapts bsst.Platform's closed-form bulk-synchronous engine
+// to the Simulator stage interface.
+type BSPSimulator struct{ Platform *bsst.Platform }
+
+// Simulate implements Simulator.
+func (s BSPSimulator) Simulate(ctx context.Context, wl *core.Workload) (*bsst.Prediction, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Platform.SimulateBSP(wl)
+}
+
+// Stream drives src synchronously through the sinks: every frame is handed
+// to each sink in order before the source produces the next one. This is
+// the mode checkpointed runs need — the producer never runs ahead of what
+// the sinks (and therefore the durable trace) have seen.
+func Stream(ctx context.Context, src FrameSource, sinks ...FrameSink) error {
+	return src.Stream(ctx, func(it int, pos []geom.Vec3) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, s := range sinks {
+			if err := s.Frame(it, pos); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// StreamConcurrent drives src through the sinks with a bounded channel of
+// depth frames between producer and consumers: the source keeps simulating
+// (or reading) while the sinks chew on earlier frames. Frame buffers are
+// recycled through a free list, so steady-state allocation is zero. A depth
+// of 0 degrades to the synchronous Stream. The first error from either side
+// cancels the other; on return no goroutines remain.
+func StreamConcurrent(ctx context.Context, src FrameSource, depth int, sinks ...FrameSink) error {
+	if depth <= 0 {
+		return Stream(ctx, src, sinks...)
+	}
+	type frame struct {
+		it  int
+		pos []geom.Vec3
+	}
+	frames := make(chan frame, depth)
+	free := make(chan []geom.Vec3, depth+1)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var sinkErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for f := range frames {
+			for _, s := range sinks {
+				if err := s.Frame(f.it, f.pos); err != nil {
+					sinkErr = err
+					cancel() // unblock the producer; remaining frames are dropped
+					return
+				}
+			}
+			select {
+			case free <- f.pos:
+			default:
+			}
+		}
+	}()
+
+	srcErr := src.Stream(cctx, func(it int, pos []geom.Vec3) error {
+		var buf []geom.Vec3
+		select {
+		case buf = <-free:
+		default:
+		}
+		if cap(buf) < len(pos) {
+			buf = make([]geom.Vec3, len(pos))
+		}
+		buf = buf[:len(pos)]
+		copy(buf, pos)
+		select {
+		case frames <- frame{it: it, pos: buf}:
+			return nil
+		case <-cctx.Done():
+			return cctx.Err()
+		}
+	})
+	close(frames)
+	<-done
+
+	if sinkErr != nil {
+		// The producer's context error is a symptom of the sink failure.
+		return sinkErr
+	}
+	return srcErr
+}

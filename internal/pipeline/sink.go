@@ -1,0 +1,40 @@
+package pipeline
+
+import (
+	"picpredict/internal/geom"
+	"picpredict/internal/trace"
+)
+
+// WriterSink adapts a trace writer to the FrameSink interface — the
+// file-at-rest sink. Count tracks frames written through this sink (on top
+// of whatever the writer already held, for resumed traces).
+type WriterSink struct {
+	W *trace.Writer
+}
+
+// Frame implements FrameSink.
+func (s WriterSink) Frame(iteration int, pos []geom.Vec3) error {
+	return s.W.WriteFrame(iteration, pos)
+}
+
+// CompressedWriterSink adapts a gzip trace writer to FrameSink.
+type CompressedWriterSink struct {
+	W *trace.CompressedWriter
+}
+
+// Frame implements FrameSink.
+func (s CompressedWriterSink) Frame(iteration int, pos []geom.Vec3) error {
+	return s.W.WriteFrame(iteration, pos)
+}
+
+// SinkFunc adapts a function to FrameSink.
+type SinkFunc func(iteration int, pos []geom.Vec3) error
+
+// Frame implements FrameSink.
+func (f SinkFunc) Frame(iteration int, pos []geom.Vec3) error { return f(iteration, pos) }
+
+var (
+	_ FrameSink = WriterSink{}
+	_ FrameSink = CompressedWriterSink{}
+	_ FrameSink = SinkFunc(nil)
+)

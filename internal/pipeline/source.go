@@ -1,0 +1,112 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"io"
+
+	"picpredict/internal/geom"
+	"picpredict/internal/scenario"
+	"picpredict/internal/trace"
+)
+
+// ReaderSource streams the remaining frames of a trace reader — the
+// file-at-rest source. One frame buffer is reused across emissions.
+type ReaderSource struct {
+	R   *trace.Reader
+	buf []geom.Vec3
+}
+
+// NumParticles implements FrameSource.
+func (rs *ReaderSource) NumParticles() int { return rs.R.Header().NumParticles }
+
+// Stream implements FrameSource. A clean end of stream returns nil; torn or
+// corrupt frames surface their typed resilience errors.
+func (rs *ReaderSource) Stream(ctx context.Context, emit EmitFunc) error {
+	if rs.buf == nil {
+		rs.buf = make([]geom.Vec3, rs.NumParticles())
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		it, err := rs.R.Next(rs.buf)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := emit(it, rs.buf); err != nil {
+			return err
+		}
+	}
+}
+
+// SliceSource streams frames already in memory: Iterations[k] paired with
+// Positions[k*Np:(k+1)*Np]. It backs the facade's in-memory Trace.
+type SliceSource struct {
+	Iterations []int
+	Positions  []geom.Vec3
+	Np         int
+}
+
+// NumParticles implements FrameSource.
+func (ss *SliceSource) NumParticles() int { return ss.Np }
+
+// Stream implements FrameSource.
+func (ss *SliceSource) Stream(ctx context.Context, emit EmitFunc) error {
+	for k, it := range ss.Iterations {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := emit(it, ss.Positions[k*ss.Np:(k+1)*ss.Np]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SimSource streams frames from a live PIC simulation — the fused-mode
+// source. Every emitted position is quantised through the trace format's
+// float32 first, so in-memory consumers see exactly what a consumer of the
+// written trace file would: fused and file-at-rest workloads are
+// bit-identical.
+//
+// A freshly built Sim emits frame 0 (the initial positions) and then one
+// frame per SampleEvery iterations; a Sim restored from a checkpoint emits
+// only the frames past its restore point, which is what a resumed run needs
+// after replaying the intact trace prefix.
+type SimSource struct {
+	Sim *scenario.Sim
+	// OnStep, when set, runs after every solver iteration (and after the
+	// iteration's frame, if any, was emitted) — the checkpoint hook. A
+	// non-nil error stops the stream.
+	OnStep func(iteration int) error
+
+	quant []geom.Vec3
+}
+
+// NumParticles implements FrameSource.
+func (s *SimSource) NumParticles() int { return s.Sim.Spec.NumParticles }
+
+// Stream implements FrameSource.
+func (s *SimSource) Stream(ctx context.Context, emit EmitFunc) error {
+	s.Sim.OnStep = s.OnStep
+	return s.Sim.Stream(ctx, func(it int, pos []geom.Vec3) error {
+		if cap(s.quant) < len(pos) {
+			s.quant = make([]geom.Vec3, len(pos))
+		}
+		q := s.quant[:len(pos)]
+		for i, p := range pos {
+			q[i] = geom.V(float64(float32(p.X)), float64(float32(p.Y)), float64(float32(p.Z)))
+		}
+		return emit(it, q)
+	})
+}
+
+var (
+	_ FrameSource = (*ReaderSource)(nil)
+	_ FrameSource = (*SliceSource)(nil)
+	_ FrameSource = (*SimSource)(nil)
+)

@@ -14,6 +14,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -423,24 +424,34 @@ func (r *Result) Frame(k int) []geom.Vec3 {
 	return r.Positions[k*np : (k+1)*np]
 }
 
+// Stream executes the scenario from iteration 0, pushing each sampled
+// frame (iteration 0 and every SampleEvery-th iteration) to emit in order.
+// The emitted slice is the solver's live position buffer — valid only for
+// the duration of the call. Run, WriteTrace and the fused pipeline all sit
+// on this one loop.
+func (s Spec) Stream(ctx context.Context, emit func(iteration int, pos []geom.Vec3) error) error {
+	sim, err := s.NewSim()
+	if err != nil {
+		return err
+	}
+	return sim.Stream(ctx, emit)
+}
+
 // Run executes the scenario and samples frames in memory (iteration 0 and
 // every SampleEvery-th iteration thereafter).
 func (s Spec) Run() (*Result, error) {
-	solver, err := s.BuildSolver()
+	sim, err := s.NewSim()
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Spec: s, Mesh: solver.Mesh}
-	sample := func(iter int) {
-		res.Iterations = append(res.Iterations, iter)
-		res.Positions = append(res.Positions, solver.Particles.Pos...)
-	}
-	sample(0)
-	for it := 1; it <= s.Steps; it++ {
-		solver.Step()
-		if it%s.SampleEvery == 0 {
-			sample(it)
-		}
+	res := &Result{Spec: s, Mesh: sim.Solver.Mesh}
+	err = sim.Stream(context.Background(), func(it int, pos []geom.Vec3) error {
+		res.Iterations = append(res.Iterations, it)
+		res.Positions = append(res.Positions, pos...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -448,10 +459,6 @@ func (s Spec) Run() (*Result, error) {
 // WriteTrace executes the scenario and streams the trace to w in the binary
 // trace format; it returns the header written.
 func (s Spec) WriteTrace(w io.Writer) (trace.Header, error) {
-	solver, err := s.BuildSolver()
-	if err != nil {
-		return trace.Header{}, err
-	}
 	h := trace.Header{
 		NumParticles: s.NumParticles,
 		SampleEvery:  s.SampleEvery,
@@ -461,15 +468,8 @@ func (s Spec) WriteTrace(w io.Writer) (trace.Header, error) {
 	if err != nil {
 		return trace.Header{}, err
 	}
-	sampler := trace.NewSampler(tw)
-	if err := sampler.Observe(0, solver.Particles.Pos); err != nil {
+	if err := s.Stream(context.Background(), tw.WriteFrame); err != nil {
 		return trace.Header{}, err
 	}
-	for it := 1; it <= s.Steps; it++ {
-		solver.Step()
-		if err := sampler.Observe(it, solver.Particles.Pos); err != nil {
-			return trace.Header{}, err
-		}
-	}
-	return h, sampler.Close()
+	return h, tw.Flush()
 }

@@ -1,10 +1,12 @@
 package scenario
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 
+	"picpredict/internal/geom"
 	"picpredict/internal/pic"
 	"picpredict/internal/resilience"
 )
@@ -16,6 +18,12 @@ import (
 type Sim struct {
 	Spec   Spec
 	Solver *pic.Solver
+
+	// OnStep, when set, runs after every completed iteration (and after
+	// the iteration's sampled frame, if any, was emitted by Stream) — the
+	// hook periodic checkpointing attaches to. A non-nil error stops the
+	// stream.
+	OnStep func(iteration int) error
 }
 
 // NewSim builds the scenario's solver ready to step from iteration 0 (or
@@ -33,6 +41,41 @@ func (sim *Sim) Step() { sim.Solver.Step() }
 
 // Iteration returns the number of completed iterations.
 func (sim *Sim) Iteration() int { return sim.Solver.StepCount() }
+
+// Stream advances the simulation to completion, emitting each sampled
+// frame (iteration 0 — for a sim that has not stepped yet — and every
+// SampleEvery-th iteration) in order. The emitted slice is the solver's
+// live position buffer: valid only for the duration of the call, positions
+// in full float64 precision (trace writers quantise to float32 on write).
+// A sim restored from a checkpoint emits only frames past its restore
+// point. Cancelling ctx stops between iterations with ctx.Err().
+func (sim *Sim) Stream(ctx context.Context, emit func(iteration int, pos []geom.Vec3) error) error {
+	if sim.Iteration() == 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := emit(0, sim.Solver.Particles.Pos); err != nil {
+			return err
+		}
+	}
+	for it := sim.Iteration() + 1; it <= sim.Spec.Steps; it++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sim.Step()
+		if it%sim.Spec.SampleEvery == 0 {
+			if err := emit(it, sim.Solver.Particles.Pos); err != nil {
+				return err
+			}
+		}
+		if sim.OnStep != nil {
+			if err := sim.OnStep(it); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
 
 // Fingerprint identifies every spec field the particle trajectories depend
 // on. A checkpoint records it so a resume with different flags — a

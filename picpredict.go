@@ -69,6 +69,11 @@ func ShockTubeScenario() Scenario { return Scenario{spec: scenario.ShockTube()} 
 // GaussianScenario returns a statically-clustered scenario with no flow.
 func GaussianScenario() Scenario { return Scenario{spec: scenario.GaussianCluster()} }
 
+// FromSpec wraps a raw scenario spec in the facade type. Only callable
+// from inside the module (scenario is an internal package); the cmd front
+// ends use it to hand an already-customised spec to RunFused.
+func FromSpec(spec scenario.Spec) Scenario { return Scenario{spec: spec} }
+
 // WithParticles sets the particle count N_p.
 func (s Scenario) WithParticles(n int) Scenario { s.spec.NumParticles = n; return s }
 

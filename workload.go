@@ -2,14 +2,13 @@ package picpredict
 
 import (
 	"bufio"
-	"errors"
+	"context"
 	"fmt"
 	"io"
 
 	"picpredict/internal/core"
-	"picpredict/internal/mapping"
-	"picpredict/internal/mesh"
 	"picpredict/internal/metrics"
+	"picpredict/internal/pipeline"
 )
 
 // MappingKind names a particle mapping algorithm.
@@ -52,6 +51,10 @@ type WorkloadOptions struct {
 	// MidpointSplit switches the bin planar cut from the median particle
 	// to the spatial midpoint (ablation).
 	MidpointSplit bool
+	// Workers sets the generator's worker-goroutine count for the
+	// per-frame matrix fills (0 or 1 runs serially). The workload is
+	// identical for any value.
+	Workers int
 }
 
 // Workload is the Dynamic Workload Generator output plus derived metrics:
@@ -68,78 +71,41 @@ type Workload struct {
 // frame and returns the synthesised workload. One trace serves any Ranks
 // value — the core scalability-prediction property.
 func (t *Trace) GenerateWorkload(opts WorkloadOptions) (*Workload, error) {
-	if opts.Ranks <= 0 {
-		return nil, fmt.Errorf("picpredict: Ranks must be positive, got %d", opts.Ranks)
-	}
-	mapper, bins, err := t.buildMapper(opts)
-	if err != nil {
-		return nil, err
-	}
-	gen, err := core.NewGenerator(core.Config{Mapper: mapper, FilterRadius: opts.FilterRadius})
+	return t.GenerateWorkloadContext(context.Background(), opts)
+}
+
+// GenerateWorkloadContext is GenerateWorkload under a context: the trace
+// streams through the pipeline's workload-builder stage frame by frame, and
+// cancelling ctx stops generation between frames.
+func (t *Trace) GenerateWorkloadContext(ctx context.Context, opts WorkloadOptions) (*Workload, error) {
+	builder, err := pipeline.NewGeneratorBuilder(t.mapperSpec(opts), opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("picpredict: %w", err)
 	}
-	wl := &Workload{opts: opts}
-	for k, it := range t.iterations {
-		if err := gen.Frame(it, t.frame(k)); err != nil {
-			return nil, fmt.Errorf("picpredict: %w", err)
-		}
-		if bins != nil {
-			wl.binsPerFrame = append(wl.binsPerFrame, bins.NumBins())
-		}
+	src := &pipeline.SliceSource{Iterations: t.iterations, Positions: t.positions, Np: t.np}
+	if err := pipeline.Stream(ctx, src, builder); err != nil {
+		return nil, fmt.Errorf("picpredict: %w", err)
 	}
-	inner, err := gen.Finish()
+	inner, err := builder.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("picpredict: %w", err)
 	}
-	wl.inner = inner
-	return wl, nil
+	return &Workload{inner: inner, binsPerFrame: builder.BinsPerFrame, opts: opts}, nil
 }
 
-// buildMapper assembles the mapper for opts; for bin mapping it also
-// returns the BinMapper so per-frame bin counts can be recorded.
-func (t *Trace) buildMapper(opts WorkloadOptions) (mapping.Mapper, *mapping.BinMapper, error) {
-	switch opts.Mapping {
-	case MappingBin:
-		bm := mapping.NewBinMapper(opts.Ranks, opts.FilterRadius)
-		bm.Relaxed = opts.RelaxedBins
-		if opts.MidpointSplit {
-			bm.Policy = mapping.SplitMidpoint
-		}
-		return bm, bm, nil
-	case MappingElement, MappingHilbert, MappingWeighted, MappingOhHelp:
-		mp := t.mesh
-		if mp.elements == [3]int{} {
-			return nil, nil, errors.New("picpredict: element/hilbert/weighted/ohhelp mapping needs the mesh; call Trace.WithMesh or build the trace from a Scenario")
-		}
-		m, err := mesh.New(t.domain, mp.elements[0], mp.elements[1], mp.elements[2], maxInt(mp.n, 1))
-		if err != nil {
-			return nil, nil, fmt.Errorf("picpredict: %w", err)
-		}
-		switch opts.Mapping {
-		case MappingHilbert:
-			return mapping.NewHilbertMapper(m, opts.Ranks), nil, nil
-		case MappingWeighted:
-			return mapping.NewWeightedElementMapper(m, opts.Ranks), nil, nil
-		}
-		d, err := mesh.Decompose(m, opts.Ranks)
-		if err != nil {
-			return nil, nil, fmt.Errorf("picpredict: %w", err)
-		}
-		if opts.Mapping == MappingOhHelp {
-			return mapping.NewHelperMapper(m, d), nil, nil
-		}
-		return mapping.NewElementMapper(m, d), nil, nil
-	default:
-		return nil, nil, fmt.Errorf("picpredict: unknown mapping %q", opts.Mapping)
+// mapperSpec translates facade options plus this trace's mesh metadata into
+// the pipeline's mapper description.
+func (t *Trace) mapperSpec(opts WorkloadOptions) pipeline.MapperSpec {
+	return pipeline.MapperSpec{
+		Kind:          string(opts.Mapping),
+		Ranks:         opts.Ranks,
+		FilterRadius:  opts.FilterRadius,
+		RelaxedBins:   opts.RelaxedBins,
+		MidpointSplit: opts.MidpointSplit,
+		Domain:        t.domain,
+		Elements:      t.mesh.elements,
+		N:             t.mesh.n,
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Options returns the generator options this workload was produced with
