@@ -34,11 +34,22 @@ func main() {
 		np     = flag.Int("np", 0, "override particle count")
 		steps  = flag.Int("steps", 0, "override iteration count")
 		report = flag.String("report", "", "write a markdown report of every experiment to this file")
+
+		metricsPath = flag.String("metrics", "", "write a JSON run manifest (timings, counters, artefact checksums) to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	ctx, stop := cli.Context()
 	defer stop()
+
+	run, err := cli.StartRun("experiments", *metricsPath, *pprofAddr, os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	run.SetConfig(map[string]any{
+		"fig": *fig, "paper": *paper, "fast": *fast, "np": *np, "steps": *steps,
+	})
 
 	spec := picpredict.HeleShaw()
 	if *paper {
@@ -59,6 +70,11 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("report written to %s\n", *report)
+		run.Reg.StageDone("report")
+		run.Artefact(*report)
+		if err := run.Finish(); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -97,12 +113,16 @@ func main() {
 		if err := f.run(); err != nil {
 			log.Fatalf("fig %s: %v", f.name, err)
 		}
+		run.Reg.StageDone("fig-" + f.name)
 		ran++
 	}
 	if ran == 0 {
 		log.Fatalf("no figure matches %q; use -fig all or one of 1a,1b,5,6,7,8,9,10a,10b,sim,speed,sampling,ablation,mappers", *fig)
 	}
 	fmt.Printf("\nregenerated %d experiment(s); see EXPERIMENTS.md for paper-vs-measured records\n", ran)
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func selected(want []string, name string) bool {

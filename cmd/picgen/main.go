@@ -36,6 +36,7 @@ import (
 
 	"picpredict"
 	"picpredict/internal/cli"
+	"picpredict/internal/obs"
 	"picpredict/internal/pipeline"
 	"picpredict/internal/resilience"
 	"picpredict/internal/scenario"
@@ -70,11 +71,20 @@ func main() {
 		noise     = flag.Float64("noise", 0.105, "fused: synthetic testbed noise for accuracy evaluation")
 		fast      = flag.Bool("fast", false, "fused: fast (less accurate) model training")
 		wallclock = flag.Bool("wallclock", false, "fused: train models against wall-clock kernel executions")
+
+		metricsPath = flag.String("metrics", "", "write a JSON run manifest (timings, counters, artefact checksums) to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	ctx, stop := cli.Context()
 	defer stop()
+
+	run, err := cli.StartRun("picgen", *metricsPath, *pprofAddr, os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx = obs.With(ctx, run.Reg)
 
 	spec, err := cli.SpecByName(*scenarioName)
 	if err != nil {
@@ -134,16 +144,28 @@ func main() {
 		if outSet || checkpointing {
 			traceOut = *out
 		}
+		run.SetConfig(map[string]any{
+			"scenario": spec.Name, "np": spec.NumParticles, "steps": spec.Steps,
+			"sample": spec.SampleEvery, "seed": spec.Seed, "filter": spec.FilterRadius,
+			"fused": true, "ranks": *ranksCSV, "mapping": *mappingF,
+			"workers": *workers, "depth": *depth, "total_elements": *totalEl,
+			"n": *gridN, "machine": *machine, "noise": *noise,
+		})
 		runFused(ctx, spec, fusedFlags{
 			ranksCSV: *ranksCSV, mapping: *mappingF, filter: *filter,
 			workers: *workers, depth: *depth,
 			totalElements: *totalEl, gridN: *gridN, machine: *machine, noise: *noise,
 			fast: *fast, wallclock: *wallclock,
 			traceOut: traceOut, ckptEvery: *ckptEvery, ckptPath: *ckptPath, resume: *resume,
-		})
+		}, run)
 		return
 	}
 
+	run.SetConfig(map[string]any{
+		"scenario": spec.Name, "np": spec.NumParticles, "steps": spec.Steps,
+		"sample": spec.SampleEvery, "seed": spec.Seed, "filter": spec.FilterRadius,
+		"gzip": *gzipped, "checkpoint_every": *ckptEvery, "resume": *resume,
+	})
 	fmt.Printf("running %s: %d particles, %d elements (N=%d), %d iterations, sampling every %d\n",
 		spec.Name, spec.NumParticles, spec.Elements[0]*spec.Elements[1]*spec.Elements[2], spec.N,
 		spec.Steps, spec.SampleEvery)
@@ -171,6 +193,8 @@ func main() {
 		log.Fatal(err)
 	}
 
+	run.Reg.StageDone("simulate+write")
+
 	info, err := os.Stat(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -178,6 +202,11 @@ func main() {
 	fmt.Printf("wrote %s (%.1f MB) in %v\n", *out, float64(info.Size())/1e6, time.Since(start).Round(time.Millisecond))
 	e := spec.Elements
 	fmt.Printf("for element/hilbert mapping pass: -elements %d,%d,%d -n %d\n", e[0], e[1], e[2], spec.N)
+
+	run.Artefact(*out)
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // runCheckpointed executes (or resumes) a scenario with periodic
@@ -263,7 +292,7 @@ type fusedFlags struct {
 
 // runFused executes the single-process fused pipeline and prints the same
 // prediction table the three-binary flow (picgen → wlgen/predict) would.
-func runFused(ctx context.Context, spec scenario.Spec, f fusedFlags) {
+func runFused(ctx context.Context, spec scenario.Spec, f fusedFlags, run *cli.Run) {
 	ranksList, err := cli.ParseRanks(f.ranksCSV)
 	if err != nil {
 		log.Fatal(err)
@@ -295,6 +324,7 @@ func runFused(ctx context.Context, spec scenario.Spec, f fusedFlags) {
 		CheckpointEvery: f.ckptEvery,
 		CheckpointPath:  f.ckptPath,
 		Resume:          f.resume,
+		Obs:             run.Reg,
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || ctx.Err() != nil {
@@ -325,5 +355,9 @@ func runFused(ctx context.Context, spec scenario.Spec, f fusedFlags) {
 		if info, err := os.Stat(f.traceOut); err == nil {
 			fmt.Printf("trace written to %s (%.1f MB)\n", f.traceOut, float64(info.Size())/1e6)
 		}
+		run.Artefact(f.traceOut)
+	}
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
 	}
 }

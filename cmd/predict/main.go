@@ -18,6 +18,7 @@ import (
 
 	"picpredict"
 	"picpredict/internal/cli"
+	"picpredict/internal/obs"
 )
 
 func main() {
@@ -38,6 +39,9 @@ func main() {
 		noise     = flag.Float64("noise", 0.105, "synthetic testbed noise for accuracy evaluation")
 		fast      = flag.Bool("fast", false, "fast (less accurate) model training")
 		wallclock = flag.Bool("wallclock", false, "train models against wall-clock kernel executions")
+
+		metricsPath = flag.String("metrics", "", "write a JSON run manifest (timings, counters, artefact checksums) to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *traceFile == "" && *wlFile == "" {
@@ -58,6 +62,18 @@ func main() {
 	ctx, stop := cli.Context()
 	defer stop()
 
+	run, err := cli.StartRun("predict", *metricsPath, *pprofAddr, os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx = obs.With(ctx, run.Reg)
+	run.SetConfig(map[string]any{
+		"trace": *traceFile, "workload": *wlFile, "ranks": *ranksCSV,
+		"mapping": *mappingF, "filter": *filter, "workers": *workers,
+		"total_elements": *totalEl, "n": *gridN, "filter_elements": *filterEl,
+		"machine": *machine, "noise": *noise, "fast": *fast, "wallclock": *wallclock,
+	})
+
 	var tr *picpredict.Trace
 	var savedWl *picpredict.Workload
 	if *wlFile != "" {
@@ -74,6 +90,7 @@ func main() {
 		}
 		fmt.Printf("trace: %d particles, %d frames\n", tr.NumParticles(), tr.Frames())
 	}
+	run.Reg.StageDone("load-input")
 
 	fmt.Println("training kernel performance models (Model Generator)...")
 	models, err := picpredict.TrainModels(picpredict.TrainOptions{
@@ -85,6 +102,7 @@ func main() {
 	for _, s := range models.Formulas() {
 		fmt.Println("  ", s)
 	}
+	run.Reg.StageDone("train")
 
 	fe := *filterEl
 	if fe == 0 {
@@ -103,6 +121,7 @@ func main() {
 		N:             *gridN,
 		Filter:        fe,
 		Machine:       &mspec,
+		Obs:           run.Reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -143,5 +162,9 @@ func main() {
 		}
 		fmt.Printf("%8d %14.5g %14.5g %14.5g %9.2f%%\n",
 			ranks, pred.Total, comp, comm, picpredict.MeanAccuracy(acc))
+	}
+	run.Reg.StageDone("predict")
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"picpredict"
 	"picpredict/internal/cli"
 	"picpredict/internal/config"
+	"picpredict/internal/obs"
 	"picpredict/internal/resilience"
 )
 
@@ -43,6 +44,9 @@ func main() {
 		save      = flag.String("save", "", "save the full workload (binary) for later simulation")
 		ascii     = flag.Bool("ascii", false, "render an ASCII heat map to stdout")
 		series    = flag.Bool("series", false, "print the per-interval peak/busy/migration series")
+
+		metricsPath = flag.String("metrics", "", "write a JSON run manifest (timings, counters, artefact checksums) to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *traceFile == "" {
@@ -53,10 +57,17 @@ func main() {
 	ctx, stop := cli.Context()
 	defer stop()
 
+	run, err := cli.StartRun("wlgen", *metricsPath, *pprofAddr, os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx = obs.With(ctx, run.Reg)
+
 	tr, err := cli.OpenTrace(*traceFile)
 	if err != nil {
 		log.Fatal(err)
 	}
+	run.Reg.StageDone("read-trace")
 	if *cfgFile != "" {
 		cf, err := config.LoadPath(*cfgFile)
 		if err != nil {
@@ -100,6 +111,11 @@ func main() {
 	}
 	fmt.Printf("trace: %d particles, %d frames, sampled every %d iterations\n",
 		tr.NumParticles(), tr.Frames(), tr.SampleEvery())
+	run.SetConfig(map[string]any{
+		"trace": *traceFile, "ranks": *ranks, "mapping": *mappingF,
+		"filter": *filter, "relaxed": *relaxed, "midpoint": *midpoint,
+		"workers": *workers,
+	})
 
 	start := time.Now()
 	wl, err := tr.GenerateWorkloadContext(ctx, picpredict.WorkloadOptions{
@@ -116,6 +132,7 @@ func main() {
 		}
 		log.Fatal(err)
 	}
+	run.Reg.StageDone("generate")
 	fmt.Printf("workload generated for R=%d (%s mapping) in %v\n",
 		wl.Ranks(), *mappingF, time.Since(start).Round(time.Millisecond))
 
@@ -168,6 +185,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("workload saved to %s\n", *save)
+	}
+	run.Reg.StageDone("report")
+	run.Artefact(*heatmap)
+	run.Artefact(*commCSV)
+	run.Artefact(*save)
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
 	}
 }
 

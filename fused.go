@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"picpredict/internal/geom"
+	"picpredict/internal/obs"
 	"picpredict/internal/pipeline"
 	"picpredict/internal/resilience"
 	"picpredict/internal/scenario"
@@ -64,6 +65,15 @@ type FusedOptions struct {
 	CheckpointEvery int
 	CheckpointPath  string // default TraceOut+".ckpt"
 	Resume          bool
+
+	// Obs, when non-nil, instruments the run: the registry collects the
+	// end-to-end stage breakdown (setup, stream, workloads, train-wait,
+	// predict — consecutive segments that partition the wall time), the
+	// pipeline's per-stage frame latency and channel depth, the
+	// generators' fill times, and the simulator's per-interval
+	// simulated-vs-wall telemetry. Nil runs are unobserved at effectively
+	// zero cost.
+	Obs *obs.Registry
 
 	// afterFrame, when set, runs after every streamed frame with the
 	// number of frames seen so far (including replayed ones) — a test
@@ -136,6 +146,7 @@ func RunFused(ctx context.Context, sc Scenario, opts FusedOptions) (*FusedResult
 		if err != nil {
 			return nil, fmt.Errorf("picpredict: %w", err)
 		}
+		b.SetObs(opts.Obs)
 		builders[i] = b
 	}
 	res := &FusedResult{Ranks: opts.Ranks}
@@ -163,9 +174,16 @@ func RunFused(ctx context.Context, sc Scenario, opts FusedOptions) (*FusedResult
 		trainCh <- trained{models: m, err: err}
 	}()
 
+	// Stage clock: consecutive StageDone calls partition the run's wall
+	// time, so the manifest's stage nanos sum to (within scheduling jitter)
+	// the elapsed time.
+	opts.Obs.StageDone("setup")
+
+	ctx = obs.With(ctx, opts.Obs)
 	if err := runFusedStream(ctx, spec, opts, checkpointing, sinks); err != nil {
 		return nil, err
 	}
+	opts.Obs.StageDone("stream")
 
 	res.Workloads = make([]*Workload, len(builders))
 	for i, b := range builders {
@@ -186,12 +204,14 @@ func RunFused(ctx context.Context, sc Scenario, opts FusedOptions) (*FusedResult
 			},
 		}
 	}
+	opts.Obs.StageDone("workloads")
 
 	t := <-trainCh
 	if t.err != nil {
 		return nil, t.err
 	}
 	res.Models = t.models
+	opts.Obs.StageDone("train-wait")
 
 	platform, err := newFusedPlatform(sc, t.models, opts)
 	if err != nil {
@@ -218,6 +238,7 @@ func RunFused(ctx context.Context, sc Scenario, opts FusedOptions) (*FusedResult
 		res.Predictions[i] = pred
 		res.Accuracy[i] = acc
 	}
+	opts.Obs.StageDone("predict")
 	return res, nil
 }
 
@@ -314,5 +335,6 @@ func newFusedPlatform(sc Scenario, models Models, opts FusedOptions) (*Platform,
 		N:             gridN,
 		Filter:        fe,
 		Machine:       machine,
+		Obs:           opts.Obs,
 	})
 }

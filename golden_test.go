@@ -1,0 +1,198 @@
+package picpredict
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"picpredict/internal/obs"
+	"picpredict/internal/resilience"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate the committed golden fixture under testdata/golden")
+
+// goldenScenario is the fixture's configuration: tiny, fully seeded, and
+// frozen — changing it requires regenerating the fixture with -update.
+func goldenScenario() Scenario {
+	return HeleShaw().WithParticles(200).WithSteps(40).WithSampleEvery(10)
+}
+
+var goldenRanks = []int{8, 16}
+
+// goldenExpect is the committed record of the fixture run: the trace
+// artefact's checksum and the per-rank predicted totals, stored as
+// math.Float64bits hex so the comparison is bit-for-bit rather than
+// tolerance-based.
+type goldenExpect struct {
+	Frames     int               `json:"frames"`
+	TraceCRC   string            `json:"trace_crc32c"`
+	Ranks      []int             `json:"ranks"`
+	TotalsBits map[string]string `json:"totals_bits"`
+}
+
+func goldenDir() string { return filepath.Join("testdata", "golden") }
+
+func totalBits(total float64) string {
+	return fmt.Sprintf("0x%016x", math.Float64bits(total))
+}
+
+// goldenFileFlow runs trace-at-rest prediction over the committed trace and
+// returns the per-rank predicted totals.
+func goldenFileFlow(t *testing.T, tr *Trace) []float64 {
+	t.Helper()
+	models, err := TrainModels(TrainOptions{Seed: 1, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := QuartzMachine()
+	platform, err := NewPlatform(models, PlatformOptions{
+		TotalElements: 16384, N: 4, Filter: 1, Machine: &q,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := goldenScenario()
+	totals := make([]float64, len(goldenRanks))
+	for i, ranks := range goldenRanks {
+		wl, err := tr.GenerateWorkload(WorkloadOptions{
+			Ranks:        ranks,
+			Mapping:      MappingBin,
+			FilterRadius: sc.FilterRadius(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := platform.SimulateBSP(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totals[i] = pred.Total
+	}
+	return totals
+}
+
+// TestGoldenEndToEnd locks the whole framework to a committed fixture: the
+// tiny deterministic trace under testdata/golden must reproduce the
+// committed per-rank predicted totals bit-for-bit through BOTH the
+// file-at-rest flow (ReadTrace → GenerateWorkload → SimulateBSP) and the
+// fused pipeline. Any drift in the simulation, quantisation, mapping,
+// training, or simulator arithmetic fails this test; run with -update to
+// regenerate the fixture after an intentional change.
+func TestGoldenEndToEnd(t *testing.T) {
+	tracePath := filepath.Join(goldenDir(), "trace.bin")
+	expectPath := filepath.Join(goldenDir(), "expect.json")
+
+	if *updateGolden {
+		regenerateGolden(t, tracePath, expectPath)
+	}
+
+	raw, err := os.ReadFile(expectPath)
+	if err != nil {
+		t.Fatalf("reading golden expectations (regenerate with -update): %v", err)
+	}
+	var want goldenExpect
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	// The trace artefact itself must be byte-identical to the committed one.
+	art, err := obs.FileArtefact(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.CRC32C != want.TraceCRC {
+		t.Fatalf("golden trace checksum %s, committed %s — the fixture file changed", art.CRC32C, want.TraceCRC)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Frames() != want.Frames {
+		t.Fatalf("golden trace has %d frames, committed %d", tr.Frames(), want.Frames)
+	}
+
+	fileTotals := goldenFileFlow(t, tr)
+	for i, ranks := range goldenRanks {
+		key := strconv.Itoa(ranks)
+		if got := totalBits(fileTotals[i]); got != want.TotalsBits[key] {
+			t.Errorf("file flow R=%d: total %s (%g), committed %s", ranks, got, fileTotals[i], want.TotalsBits[key])
+		}
+	}
+
+	// The fused pipeline must land on the same bits (it quantises positions
+	// through the trace format exactly like the file round-trip).
+	res, err := RunFused(context.Background(), goldenScenario(), FusedOptions{
+		Ranks:         goldenRanks,
+		Train:         TrainOptions{Seed: 1, Fast: true},
+		TotalElements: 16384,
+		GridN:         4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != want.Frames {
+		t.Errorf("fused run streamed %d frames, committed %d", res.Frames, want.Frames)
+	}
+	for i, ranks := range goldenRanks {
+		key := strconv.Itoa(ranks)
+		if got := totalBits(res.Predictions[i].Total); got != want.TotalsBits[key] {
+			t.Errorf("fused R=%d: total %s (%g), committed %s", ranks, got, res.Predictions[i].Total, want.TotalsBits[key])
+		}
+	}
+}
+
+// regenerateGolden rewrites the fixture: the trace from the frozen scenario
+// and the expectations from the file flow over it.
+func regenerateGolden(t *testing.T, tracePath, expectPath string) {
+	t.Helper()
+	if err := os.MkdirAll(goldenDir(), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sc := goldenScenario()
+	if err := resilience.WriteFileAtomic(tracePath, sc.WriteTrace); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := goldenFileFlow(t, tr)
+	art, err := obs.FileArtefact(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenExpect{
+		Frames:     tr.Frames(),
+		TraceCRC:   art.CRC32C,
+		Ranks:      goldenRanks,
+		TotalsBits: map[string]string{},
+	}
+	for i, ranks := range goldenRanks {
+		want.TotalsBits[strconv.Itoa(ranks)] = totalBits(totals[i])
+	}
+	raw, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(expectPath, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("golden fixture regenerated: %s, %s", tracePath, expectPath)
+}

@@ -3,9 +3,51 @@ package bsst
 import (
 	"container/heap"
 	"fmt"
+	"time"
+
+	"picpredict/internal/obs"
 
 	"picpredict/internal/core"
 )
+
+// simMetrics carries the engines' per-interval instruments; nil when the
+// platform has no registry attached.
+type simMetrics struct {
+	intervals  *obs.Counter
+	simNs      *obs.Histogram // predicted (simulated) interval wall, in ns
+	wallNs     *obs.Histogram // simulator's own per-interval compute cost
+	intervalT0 time.Time
+}
+
+func (p *Platform) simMetrics() *simMetrics {
+	if p.Obs == nil {
+		return nil
+	}
+	return &simMetrics{
+		intervals: p.Obs.Counter("bsst.intervals"),
+		simNs:     p.Obs.Histogram("bsst.interval_sim_ns"),
+		wallNs:    p.Obs.Histogram("bsst.interval_wall_ns"),
+	}
+}
+
+// begin marks the start of one interval's replay.
+func (m *simMetrics) begin() {
+	if m == nil {
+		return
+	}
+	m.intervalT0 = time.Now()
+}
+
+// end records one interval: simulated seconds (the prediction) alongside
+// the wall nanoseconds the simulator itself spent producing it.
+func (m *simMetrics) end(simulatedSec float64) {
+	if m == nil {
+		return
+	}
+	m.intervals.Inc()
+	m.simNs.Observe(int64(simulatedSec * 1e9))
+	m.wallNs.Observe(time.Since(m.intervalT0).Nanoseconds())
+}
 
 // The discrete-event engine. Components are processor ranks; each sampling
 // interval is one bulk-synchronous superstep:
@@ -66,6 +108,7 @@ func (p *Platform) Simulate(wl *core.Workload) (*Prediction, error) {
 		sampleEvery = 1
 	}
 	pred := &Prediction{Ranks: ranks, RankBusy: make([]float64, ranks)}
+	m := p.simMetrics()
 	clock := 0.0
 	var q eventQueue
 	seq := 0
@@ -74,6 +117,7 @@ func (p *Platform) Simulate(wl *core.Workload) (*Prediction, error) {
 		seq++
 	}
 	for k := 0; k < wl.RealComp.Frames(); k++ {
+		m.begin()
 		// Superstep k starts at the barrier time `clock`. Pre-group the
 		// interval's messages by sender so each ComputeDone event emits
 		// its own messages in O(out-degree) rather than scanning the full
@@ -131,6 +175,7 @@ func (p *Platform) Simulate(wl *core.Workload) (*Prediction, error) {
 		pred.Compute = append(pred.Compute, maxCompute)
 		pred.Comm = append(pred.Comm, wall-maxCompute)
 		clock = intervalEnd
+		m.end(wall)
 	}
 	pred.Total = clock
 	return pred, nil
@@ -156,8 +201,10 @@ func (p *Platform) SimulateBSP(wl *core.Workload) (*Prediction, error) {
 		sampleEvery = 1
 	}
 	pred := &Prediction{Ranks: ranks, RankBusy: make([]float64, ranks)}
+	m := p.simMetrics()
 	compute := make([]float64, ranks)
 	for k := 0; k < wl.RealComp.Frames(); k++ {
+		m.begin()
 		var maxCompute float64
 		for r := 0; r < ranks; r++ {
 			np, ngp := frameCounts(wl, r, k)
@@ -189,6 +236,7 @@ func (p *Platform) SimulateBSP(wl *core.Workload) (*Prediction, error) {
 		pred.Compute = append(pred.Compute, maxCompute)
 		pred.Comm = append(pred.Comm, wall-maxCompute)
 		pred.Total += wall
+		m.end(wall)
 	}
 	return pred, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"picpredict/internal/core"
 	"picpredict/internal/kernels"
+	"picpredict/internal/obs"
 )
 
 // Platform binds fitted kernel models to an application and machine
@@ -21,6 +22,12 @@ type Platform struct {
 	// TotalElements is N_el summed over ranks; the element workload is
 	// uniformly distributed, so each rank gets TotalElements/R (§IV-B).
 	TotalElements int
+	// Obs, when non-nil, records simulator telemetry: per-interval
+	// simulated time (bsst.interval_sim_ns, the predicted wall clock) next
+	// to the simulator's own per-interval compute cost
+	// (bsst.interval_wall_ns) — the simulated-vs-wall comparison that
+	// shows how much faster than the application the predictor runs.
+	Obs *obs.Registry
 }
 
 // Validate reports the first configuration problem.

@@ -1,0 +1,120 @@
+package cli
+
+import (
+	"errors"
+	"expvar"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"picpredict/internal/obs"
+)
+
+// Run is one binary invocation's observability session: the registry the
+// run's hot paths record into, the optional pprof/expvar HTTP listener, and
+// the metadata the final run manifest needs. StartRun builds one from the
+// shared -metrics/-pprof flags; Finish writes the manifest.
+//
+// When both flags are empty Reg stays nil and the whole layer — every
+// instrument lookup and every record call — degrades to nil-check no-ops,
+// keeping the uninstrumented hot paths at full speed.
+type Run struct {
+	// Reg is the run's registry; nil when observability is disabled.
+	Reg *obs.Registry
+
+	tool        string
+	metricsPath string
+	args        []string
+	config      map[string]any
+	artefacts   []string
+	start       time.Time
+	ln          net.Listener
+}
+
+// StartRun begins an observability session for a binary named tool.
+// metricsPath is the -metrics flag (empty disables the manifest); pprofAddr
+// is the -pprof flag (empty disables the HTTP server). args should be
+// os.Args[1:], recorded verbatim in the manifest.
+//
+// With pprofAddr set, an HTTP server starts immediately serving
+// net/http/pprof under /debug/pprof/ and the registry's live snapshot (as
+// expvar) under /debug/vars. The server lives until the process exits —
+// profiles are most useful while the run is in flight.
+func StartRun(tool, metricsPath, pprofAddr string, args []string) (*Run, error) {
+	r := &Run{tool: tool, metricsPath: metricsPath, args: args, start: time.Now()}
+	if metricsPath == "" && pprofAddr == "" {
+		return r, nil
+	}
+	r.Reg = obs.New()
+	if pprofAddr != "" {
+		r.Reg.PublishExpvar("picpredict")
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+		ln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			return nil, fmt.Errorf("-pprof: %w", err)
+		}
+		r.ln = ln
+		log.Printf("pprof: serving profiles on http://%s/debug/pprof/ (expvar at /debug/vars)", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("pprof: server stopped: %v", err)
+			}
+		}()
+	}
+	return r, nil
+}
+
+// PprofAddr returns the bound pprof listener address ("" when -pprof is
+// off) — useful when the flag asked for port 0.
+func (r *Run) PprofAddr() string {
+	if r.ln == nil {
+		return ""
+	}
+	return r.ln.Addr().String()
+}
+
+// SetConfig records the effective run configuration (flag values after
+// defaulting) for the manifest's config block and fingerprint.
+func (r *Run) SetConfig(config map[string]any) {
+	if r == nil {
+		return
+	}
+	r.config = config
+}
+
+// Artefact registers an output file to be checksummed into the manifest.
+// Call after the file is durably in place; missing files are skipped at
+// Finish time (a cancelled run may not have produced its outputs).
+func (r *Run) Artefact(path string) {
+	if r == nil || path == "" {
+		return
+	}
+	r.artefacts = append(r.artefacts, path)
+}
+
+// Finish closes the session: when -metrics was given, it snapshots the
+// registry and writes the run manifest. Call once, right before exit (on
+// success or failure — a partial manifest from a failed run is still
+// evidence). Nil-safe and a no-op when observability is off.
+func (r *Run) Finish() error {
+	if r == nil || r.metricsPath == "" {
+		return nil
+	}
+	m, err := obs.BuildManifest(r.Reg, r.tool, r.args, r.config, r.start, r.artefacts)
+	if err != nil {
+		return fmt.Errorf("-metrics: %w", err)
+	}
+	if err := obs.WriteManifest(r.metricsPath, m); err != nil {
+		return fmt.Errorf("-metrics: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package cli
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"picpredict/internal/obs"
+)
+
+func TestStartRunDisabled(t *testing.T) {
+	run, err := StartRun("test", "", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Reg != nil {
+		t.Fatal("Reg should be nil when both flags are empty")
+	}
+	if addr := run.PprofAddr(); addr != "" {
+		t.Fatalf("PprofAddr = %q, want empty", addr)
+	}
+	// The whole session must be a no-op: no manifest side effects.
+	run.SetConfig(map[string]any{"k": "v"})
+	run.Artefact("nope.bin")
+	if err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartRunManifest(t *testing.T) {
+	dir := t.TempDir()
+	art := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(art, []byte("artefact bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, "run.json")
+
+	run, err := StartRun("test", manifest, "", []string{"-flag", "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Reg == nil {
+		t.Fatal("Reg should be live when -metrics is set")
+	}
+	run.Reg.Counter("c").Add(3)
+	run.Reg.StageDone("work")
+	run.SetConfig(map[string]any{"ranks": 4})
+	run.Artefact(art)
+	run.Artefact(filepath.Join(dir, "missing.bin")) // skipped, not fatal
+	if err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := obs.ReadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "test" || m.Counters["c"] != 3 || len(m.Stages) != 1 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if m.ConfigFingerprint == "" {
+		t.Fatal("config fingerprint missing")
+	}
+	if len(m.Artefacts) != 1 || m.Artefacts[0].Path != art {
+		t.Fatalf("artefacts = %+v", m.Artefacts)
+	}
+}
+
+func TestStartRunPprofServer(t *testing.T) {
+	run, err := StartRun("test", "", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := run.PprofAddr()
+	if addr == "" {
+		t.Fatal("no pprof listener bound")
+	}
+	run.Reg.Counter("served").Inc()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/debug/vars" && !strings.Contains(string(body), "picpredict") {
+			t.Fatalf("expvar snapshot missing from %s: %s", path, body)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"testing"
+
+	"picpredict/internal/faultfs"
+	"picpredict/internal/mapping"
+)
+
+// workloadSeeds builds the committed corpus from a genuinely generated
+// workload in both format versions plus faultfs corruption cases.
+func workloadSeeds() [][]byte {
+	rng := rand.New(rand.NewSource(7))
+	its, pos := randomTrace(rng, 40, 3)
+	wl, err := RunFrames(Config{
+		Mapper:       mapping.NewBinMapper(8, 0.05),
+		FilterRadius: 0.05,
+	}, its, pos, 40)
+	if err != nil {
+		panic(err)
+	}
+	var v2, v1 bytes.Buffer
+	if err := wl.Write(&v2); err != nil {
+		panic(err)
+	}
+	if err := wl.WriteLegacy(&v1); err != nil {
+		panic(err)
+	}
+
+	var torn bytes.Buffer
+	faultfs.CutWriter(&torn, int64(v2.Len()-11)).Write(v2.Bytes())
+
+	var flipped bytes.Buffer
+	faultfs.FlipWriter(&flipped, 30, 0x08).Write(v2.Bytes())
+
+	return [][]byte{
+		nil,
+		v2.Bytes(),
+		v1.Bytes(),
+		torn.Bytes(),
+		flipped.Bytes(),
+		[]byte(workloadMagic),
+		[]byte("NOTAWKLD"),
+		v2.Bytes()[:12],
+	}
+}
+
+// FuzzWorkloadHeader runs the workload parsers — strict and salvaging —
+// over arbitrary bytes. Neither may panic; headers beyond the rank/frame
+// caps must be rejected before matrix allocation; and the strict reader
+// must never accept a stream the salvager found damage in.
+func FuzzWorkloadHeader(f *testing.F) {
+	for _, s := range workloadSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wl, damage, err := ReadWorkloadSalvaged(bytes.NewReader(data))
+		if err != nil && wl != nil {
+			t.Fatal("salvage returned both a workload and a fatal error")
+		}
+		if wl != nil {
+			if wl.Ranks > MaxRanks {
+				t.Fatalf("accepted %d ranks beyond the %d cap", wl.Ranks, MaxRanks)
+			}
+			if fr := wl.RealComp.Frames(); fr > MaxWorkloadFrames {
+				t.Fatalf("accepted %d frames beyond the %d cap", fr, MaxWorkloadFrames)
+			}
+		}
+		strict, strictErr := ReadWorkload(bytes.NewReader(data))
+		if strictErr == nil && (err != nil || damage != nil) {
+			t.Fatal("strict reader accepted a stream the salvager found damage in")
+		}
+		if strictErr == nil && strict == nil {
+			t.Fatal("strict reader returned nil workload without error")
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz — run with PICPREDICT_WRITE_FUZZ_CORPUS=1 after changing
+// the format or the seed builders.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("PICPREDICT_WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set PICPREDICT_WRITE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	writeCorpus(t, "FuzzWorkloadHeader", workloadSeeds())
+}
+
+func writeCorpus(t *testing.T, name string, seeds [][]byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%02d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"picpredict/internal/geom"
 	"picpredict/internal/mapping"
+	"picpredict/internal/obs"
 	"picpredict/internal/sparse"
 	"picpredict/internal/trace"
 )
@@ -75,6 +77,31 @@ type Generator struct {
 	ghostFanout mapping.ConcurrentGhostSource // non-nil iff ghosts can fan out
 	partComp    [][]int64                     // per-worker real-comp partials
 	partGhost   [][]int64                     // per-worker ghost-comp partials
+
+	// observability (nil instruments when disabled; see SetObs)
+	obsOn        bool
+	fillSerialNs *obs.Histogram
+	fillParNs    *obs.Histogram
+	obsFrames    *obs.Counter
+	ghostQueries *obs.Counter
+	ghostCopies  *obs.Counter
+}
+
+// SetObs attaches an observability registry: per-frame fill latency lands
+// in core.fill_serial_ns / core.fill_parallel_ns (the two histograms are
+// the serial-vs-Workers speedup measurement), frame and ghost-query/copy
+// totals in core.* counters. Call before the first Frame; a nil registry
+// leaves the generator uninstrumented (the default).
+func (g *Generator) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	g.obsOn = true
+	g.fillSerialNs = reg.Histogram("core.fill_serial_ns")
+	g.fillParNs = reg.Histogram("core.fill_parallel_ns")
+	g.obsFrames = reg.Counter("core.frames")
+	g.ghostQueries = reg.Counter("core.ghost_queries")
+	g.ghostCopies = reg.Counter("core.ghost_copies")
 }
 
 // NewGenerator validates cfg and prepares a generator.
@@ -151,14 +178,38 @@ func (g *Generator) Frame(iteration int, pos []geom.Vec3) error {
 		gcomm = g.wl.GhostComm.Append()
 	}
 
+	parallel := g.workers > 1 && len(pos) >= 4*g.workers
+	var t0 time.Time
+	if g.obsOn {
+		t0 = time.Now()
+	}
 	var err error
-	if g.workers > 1 && len(pos) >= 4*g.workers {
+	if parallel {
 		err = g.fillParallel(pos, comp, comm, gcomp, gcomm)
 	} else {
 		err = g.fillSerial(pos, comp, comm, gcomp, gcomm)
 	}
 	if err != nil {
 		return fmt.Errorf("core: frame %d: %w", g.frames, err)
+	}
+	if g.obsOn {
+		ns := time.Since(t0).Nanoseconds()
+		if parallel {
+			g.fillParNs.Observe(ns)
+		} else {
+			g.fillSerialNs.Observe(ns)
+		}
+		g.obsFrames.Inc()
+		if g.ghosts != nil {
+			// One ghost query per particle per frame; the copies actually
+			// materialised are this frame's ghost-comp row sum.
+			g.ghostQueries.Add(int64(len(pos)))
+			var copies int64
+			for _, v := range gcomp {
+				copies += v
+			}
+			g.ghostCopies.Add(copies)
+		}
 	}
 
 	g.prev, g.cur = g.cur, g.prev

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"picpredict/internal/core"
+)
+
+// fillMatrix builds a CompMatrix from frame-major rows: frames[k][r] is the
+// load of rank r at interval k.
+func fillMatrix(ranks int, frames [][]int64) *core.CompMatrix {
+	c := core.NewCompMatrix(ranks)
+	for k, loads := range frames {
+		row := c.AppendFrame(k * 100)
+		copy(row, loads)
+	}
+	return c
+}
+
+func TestLoadDistributionEdgeCases(t *testing.T) {
+	tests := []struct {
+		name    string
+		ranks   int
+		frames  [][]int64
+		wantErr bool
+		check   func(t *testing.T, d Distribution)
+	}{
+		{
+			name: "empty workload", ranks: 4, frames: nil, wantErr: true,
+		},
+		{
+			name: "zero ranks", ranks: 0, frames: [][]int64{{}}, wantErr: true,
+		},
+		{
+			name: "single rank", ranks: 1, frames: [][]int64{{7}, {3}},
+			check: func(t *testing.T, d Distribution) {
+				if d.Frame != 0 {
+					t.Errorf("busiest frame %d, want 0", d.Frame)
+				}
+				if d.Min != 7 || d.P50 != 7 || d.P90 != 7 || d.P99 != 7 || d.Max != 7 {
+					t.Errorf("single-rank percentiles should all equal the load: %+v", d)
+				}
+				if d.Gini != 0 {
+					t.Errorf("single-rank Gini = %v, want 0", d.Gini)
+				}
+			},
+		},
+		{
+			name: "all-zero rows", ranks: 3, frames: [][]int64{{0, 0, 0}, {0, 0, 0}},
+			check: func(t *testing.T, d Distribution) {
+				if d.Min != 0 || d.Max != 0 || d.Mean != 0 {
+					t.Errorf("all-zero distribution should be zero: %+v", d)
+				}
+				if d.Gini != 0 {
+					t.Errorf("all-zero Gini = %v, want 0 (not NaN)", d.Gini)
+				}
+			},
+		},
+		{
+			name: "one rank carries everything", ranks: 4, frames: [][]int64{{0, 0, 12, 0}},
+			check: func(t *testing.T, d Distribution) {
+				if d.Max != 12 || d.Min != 0 {
+					t.Errorf("min/max = %d/%d, want 0/12", d.Min, d.Max)
+				}
+				if d.Gini <= 0.5 {
+					t.Errorf("Gini = %v for maximal concentration, want > 0.5", d.Gini)
+				}
+			},
+		},
+		{
+			name:  "busiest frame picked by peak",
+			ranks: 2, frames: [][]int64{{1, 1}, {9, 0}, {2, 2}},
+			check: func(t *testing.T, d Distribution) {
+				if d.Frame != 1 {
+					t.Errorf("busiest frame %d, want 1", d.Frame)
+				}
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := LoadDistribution(fillMatrix(tc.ranks, tc.frames))
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("want error, got %+v", d)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, d)
+		})
+	}
+}
+
+func TestRenderHeatmapASCIITable(t *testing.T) {
+	tests := []struct {
+		name           string
+		ranks          int
+		frames         [][]int64
+		rows, cols     int
+		wantErr        bool
+		wantContains   string
+		wantBlankCells bool
+	}{
+		{name: "bad dimensions", ranks: 1, frames: [][]int64{{1}}, rows: 0, cols: 5, wantErr: true},
+		{name: "empty workload", ranks: 3, frames: nil, rows: 4, cols: 4, wantContains: "(empty workload)"},
+		{name: "zero ranks", ranks: 0, frames: [][]int64{{}}, rows: 4, cols: 4, wantContains: "(empty workload)"},
+		{name: "single rank", ranks: 1, frames: [][]int64{{5}, {0}}, rows: 8, cols: 8, wantContains: "peak 5"},
+		{name: "all-zero rows", ranks: 2, frames: [][]int64{{0, 0}, {0, 0}}, rows: 4, cols: 4, wantContains: "peak 0", wantBlankCells: true},
+		{name: "downsampled", ranks: 100, frames: [][]int64{make([]int64, 100), make([]int64, 100)}, rows: 4, cols: 4, wantContains: "ranks ↓ (100)"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := RenderHeatmapASCII(&buf, fillMatrix(tc.ranks, tc.frames), tc.rows, tc.cols)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, tc.wantContains) {
+				t.Errorf("output missing %q:\n%s", tc.wantContains, out)
+			}
+			if tc.wantBlankCells {
+				lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+				for _, line := range lines[1:] {
+					if strings.Trim(line, " ") != "" {
+						t.Errorf("all-zero workload should render blank cells, got %q", line)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestWriteHeatmapCSVEdgeCases(t *testing.T) {
+	var empty bytes.Buffer
+	if err := WriteHeatmapCSV(&empty, fillMatrix(2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.String(); !strings.HasPrefix(got, "rank\n") {
+		t.Errorf("empty matrix CSV = %q, want bare header", got)
+	}
+
+	var one bytes.Buffer
+	if err := WriteHeatmapCSV(&one, fillMatrix(1, [][]int64{{3}, {4}})); err != nil {
+		t.Fatal(err)
+	}
+	want := "rank,iter0,iter100\n0,3,4\n"
+	if one.String() != want {
+		t.Errorf("single-rank CSV = %q, want %q", one.String(), want)
+	}
+}
+
+func TestUtilizationEdgeCases(t *testing.T) {
+	tests := []struct {
+		name       string
+		ranks      int
+		frames     [][]int64
+		mean, ever float64
+	}{
+		{name: "empty workload", ranks: 4, frames: nil},
+		{name: "zero ranks", ranks: 0, frames: [][]int64{{}}},
+		{name: "all-zero rows", ranks: 2, frames: [][]int64{{0, 0}, {0, 0}}},
+		{name: "single busy rank", ranks: 1, frames: [][]int64{{5}}, mean: 1, ever: 1},
+		{name: "half busy", ranks: 2, frames: [][]int64{{1, 0}, {0, 1}}, mean: 0.5, ever: 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			u := Utilization(fillMatrix(tc.ranks, tc.frames))
+			if u.Mean != tc.mean || u.Ever != tc.ever {
+				t.Errorf("Utilization = %+v, want Mean %v Ever %v", u, tc.mean, tc.ever)
+			}
+		})
+	}
+}
+
+func TestImbalanceAllZero(t *testing.T) {
+	if got := Imbalance(fillMatrix(3, [][]int64{{0, 0, 0}})); got != 0 {
+		t.Errorf("Imbalance of all-zero workload = %v, want 0", got)
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The disabled layer must cost one nil test per event — these benchmarks
+// guard the "near-zero-overhead when off" contract the hot paths rely on.
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("frames")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := New().Counter("frames")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("lat")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	h := New().Histogram("lat")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkTimerStartStopDisabled(b *testing.B) {
+	var r *Registry
+	t := r.Timer("work")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Start()()
+	}
+}
+
+func BenchmarkTimerObserveEnabled(b *testing.B) {
+	t := New().Timer("work")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Observe(time.Microsecond)
+	}
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+// expvar.Publish panics on duplicate names, and tests (or a binary that
+// restarts its observability) may publish more than once — so published
+// names route through an indirection that always reads the latest registry.
+var (
+	publishMu sync.Mutex
+	published = make(map[string]**Registry)
+)
+
+// PublishExpvar exposes the registry's live snapshot as an expvar under
+// name (readable at /debug/vars once an HTTP server is up). Publishing a
+// second registry under the same name atomically redirects the variable to
+// it instead of panicking. Nil-safe: a nil registry publishes empty
+// snapshots.
+func (r *Registry) PublishExpvar(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if slot, ok := published[name]; ok {
+		*slot = r
+		return
+	}
+	slot := new(*Registry)
+	*slot = r
+	published[name] = slot
+	expvar.Publish(name, expvar.Func(func() any {
+		publishMu.Lock()
+		reg := *slot
+		publishMu.Unlock()
+		return reg.Snapshot()
+	}))
+}

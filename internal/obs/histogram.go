@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds observations whose
+// value v satisfies 2^(i-1) <= v < 2^i (bucket 0 holds v <= 0 and v == 1
+// lands in bucket 1). 64 power-of-two buckets cover every int64, so the
+// histogram is bounded — no allocation ever happens on the observe path.
+const histBuckets = 64
+
+// Histogram is a bounded, allocation-free histogram over int64 values with
+// exponential (power-of-two) buckets — enough resolution to read latency
+// distributions across nine orders of magnitude while staying a fixed
+// 64×8-byte array.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// bucketOf returns the bucket index of v.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value. Nil-safe, lock-free, allocation-free.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// HistogramStats is a histogram frozen into summary values. Quantiles are
+// bucket-quantised: the reported value is the upper bound of the bucket the
+// quantile falls in, so they are upper estimates with power-of-two
+// resolution.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// Stats summarises the histogram. Nil-safe (returns the zero stats).
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	var s HistogramStats
+	s.Count = h.count.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.Sum = h.sum.Load()
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	s.P50 = quantile(counts[:], s.Count, 0.50, s.Max)
+	s.P90 = quantile(counts[:], s.Count, 0.90, s.Max)
+	s.P99 = quantile(counts[:], s.Count, 0.99, s.Max)
+	return s
+}
+
+// quantile returns the upper bound of the bucket containing the q-quantile,
+// clamped to the observed maximum so single-bucket histograms report exact
+// values.
+func quantile(counts []int64, total int64, q float64, max int64) int64 {
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= target {
+			var hi int64
+			if i == 0 {
+				hi = 0
+			} else if i >= 63 {
+				hi = math.MaxInt64
+			} else {
+				hi = int64(1) << i
+			}
+			if hi > max {
+				hi = max
+			}
+			return hi
+		}
+	}
+	return max
+}

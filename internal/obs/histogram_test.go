@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramStats(t *testing.T) {
+	h := newHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Stats()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("min/max = %d/%d, want 1/1000", s.Min, s.Max)
+	}
+	if want := 500.5; s.Mean != want {
+		t.Fatalf("mean = %g, want %g", s.Mean, want)
+	}
+	// Quantiles are bucket upper bounds: p50 of 1..1000 falls in the
+	// 256..511 bucket, so the estimate is 512; it must bound the true
+	// quantile from above and never exceed the max.
+	if s.P50 < 500 || s.P50 > 1000 {
+		t.Fatalf("p50 = %d, want within [500, 1000]", s.P50)
+	}
+	if s.P99 < 990 || s.P99 > 1000 {
+		t.Fatalf("p99 = %d, want within [990, 1000]", s.P99)
+	}
+}
+
+func TestHistogramEmptyAndExtremes(t *testing.T) {
+	h := newHistogram()
+	if s := h.Stats(); s.Count != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(math.MaxInt64)
+	s := h.Stats()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.Min != -5 || s.Max != math.MaxInt64 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+	if s.P99 != math.MaxInt64 {
+		t.Fatalf("p99 = %d, want MaxInt64", s.P99)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := newHistogram()
+	h.Observe(7)
+	s := h.Stats()
+	// A single observation clamps every quantile to the exact value.
+	if s.P50 != 7 || s.P90 != 7 || s.P99 != 7 {
+		t.Fatalf("quantiles = %d/%d/%d, want 7/7/7", s.P50, s.P90, s.P99)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"picpredict/internal/resilience"
+)
+
+// Manifest is the durable perf artefact of one binary invocation: enough to
+// reproduce the run (tool, args, config fingerprint, build info), read its
+// cost (stage timings, counters, timers, histogram summaries), and trust
+// its outputs (artefact checksums). BENCH_*.json perf trajectories are
+// derived from these.
+type Manifest struct {
+	// Tool is the binary name (picgen, wlgen, predict, experiments).
+	Tool string `json:"tool"`
+	// Args are the command-line arguments the run was invoked with.
+	Args []string `json:"args,omitempty"`
+	// Config is the effective run configuration (flag values after
+	// defaulting), and ConfigFingerprint a SHA-256 over its canonical JSON
+	// — two manifests with equal fingerprints ran the same configuration.
+	Config            map[string]any `json:"config,omitempty"`
+	ConfigFingerprint string         `json:"config_fingerprint,omitempty"`
+	// Build identifies the binary.
+	Build BuildInfo `json:"build"`
+	// Start is when the run began; WallNanos its total duration.
+	Start     time.Time `json:"start"`
+	WallNanos int64     `json:"wall_ns"`
+	// Stages is the sequential stage breakdown (sums to ~WallNanos when
+	// the instrumented code covers the whole run).
+	Stages []Stage `json:"stages,omitempty"`
+	// Counters, Timers and Histograms are the registry snapshot.
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Timers     map[string]TimerSummary   `json:"timers,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+	// Artefacts lists the files the run produced, with sizes and CRC32C
+	// checksums (the same polynomial the artefact formats use internally).
+	Artefacts []Artefact `json:"artefacts,omitempty"`
+}
+
+// BuildInfo identifies the binary that produced a manifest.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+}
+
+// Artefact describes one output file of a run.
+type Artefact struct {
+	Path   string `json:"path"`
+	Bytes  int64  `json:"bytes"`
+	CRC32C string `json:"crc32c"`
+}
+
+// CurrentBuild collects build identification from the running binary.
+func CurrentBuild() BuildInfo {
+	b := BuildInfo{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		b.Module = info.Main.Path
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				b.Revision = s.Value
+			case "vcs.modified":
+				b.Modified = s.Value == "true"
+			}
+		}
+	}
+	return b
+}
+
+// Fingerprint returns the SHA-256 hex digest of config's canonical JSON
+// encoding (encoding/json sorts map keys, so equal configurations hash
+// equally regardless of insertion order).
+func Fingerprint(config map[string]any) (string, error) {
+	if len(config) == 0 {
+		return "", nil
+	}
+	b, err := json.Marshal(config)
+	if err != nil {
+		return "", fmt.Errorf("obs: fingerprinting config: %w", err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b)), nil
+}
+
+// FileArtefact checksums one output file (size + streaming CRC32C).
+func FileArtefact(path string) (Artefact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Artefact{}, fmt.Errorf("obs: checksumming artefact: %w", err)
+	}
+	defer f.Close()
+	h := resilience.NewHash()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return Artefact{}, fmt.Errorf("obs: checksumming %s: %w", path, err)
+	}
+	return Artefact{Path: path, Bytes: n, CRC32C: fmt.Sprintf("%08x", h.Sum32())}, nil
+}
+
+// BuildManifest assembles a manifest from a registry snapshot plus run
+// metadata. artefactPaths are checksummed here (after the files are closed
+// and renamed into place, so the checksums cover the final bytes); a path
+// that does not exist is skipped rather than failing the whole manifest —
+// a cancelled run may legitimately not have produced its output.
+func BuildManifest(r *Registry, tool string, args []string, config map[string]any, start time.Time, artefactPaths []string) (*Manifest, error) {
+	snap := r.Snapshot()
+	fp, err := Fingerprint(config)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{
+		Tool:              tool,
+		Args:              args,
+		Config:            config,
+		ConfigFingerprint: fp,
+		Build:             CurrentBuild(),
+		Start:             start,
+		WallNanos:         time.Since(start).Nanoseconds(),
+		Stages:            snap.Stages,
+		Counters:          snap.Counters,
+		Timers:            snap.Timers,
+		Histograms:        snap.Histograms,
+	}
+	sort.Strings(artefactPaths)
+	for _, p := range artefactPaths {
+		a, err := FileArtefact(p)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			return nil, err
+		}
+		m.Artefacts = append(m.Artefacts, a)
+	}
+	return m, nil
+}
+
+// StageSum returns the total nanoseconds across the manifest's stages.
+func (m *Manifest) StageSum() int64 {
+	var sum int64
+	for _, s := range m.Stages {
+		sum += s.Nanos
+	}
+	return sum
+}
+
+// WriteManifest writes m to path as indented JSON, atomically — a crashed
+// run never leaves a torn manifest behind.
+func WriteManifest(path string, m *Manifest) error {
+	return resilience.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}
+
+// ReadManifest parses a manifest written by WriteManifest.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("obs: parsing manifest %s: %w", path, err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"picpredict/internal/resilience"
+)
+
+func TestFingerprintStableAndOrderIndependent(t *testing.T) {
+	a := map[string]any{"ranks": 8, "mapping": "bin", "filter": 0.02}
+	b := map[string]any{"filter": 0.02, "mapping": "bin", "ranks": 8}
+	fa, err := Fingerprint(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Fingerprint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Fatalf("same config fingerprints differ: %s vs %s", fa, fb)
+	}
+	c := map[string]any{"ranks": 16, "mapping": "bin", "filter": 0.02}
+	fc, _ := Fingerprint(c)
+	if fc == fa {
+		t.Fatal("different configs share a fingerprint")
+	}
+	if empty, _ := Fingerprint(nil); empty != "" {
+		t.Fatalf("empty config fingerprint = %q, want empty", empty)
+	}
+}
+
+func TestFileArtefactChecksum(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artefact.bin")
+	payload := []byte("the quick brown fox")
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := FileArtefact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bytes != int64(len(payload)) {
+		t.Fatalf("bytes = %d, want %d", a.Bytes, len(payload))
+	}
+	// The streaming hash must agree with the one-shot resilience checksum.
+	want := resilience.Checksum(payload)
+	if got := a.CRC32C; got != fmtCRC(want) {
+		t.Fatalf("crc = %s, want %s", got, fmtCRC(want))
+	}
+}
+
+func fmtCRC(v uint32) string {
+	const hexdigits = "0123456789abcdef"
+	out := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		out[i] = hexdigits[v&0xf]
+		v >>= 4
+	}
+	return string(out)
+}
+
+func TestBuildWriteReadManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	art := filepath.Join(dir, "trace.bin")
+	if err := os.WriteFile(art, []byte("frames"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := New()
+	r.Counter("pipeline.frames").Add(12)
+	r.Histogram("core.fill_serial_ns").Observe(1500)
+	r.Timer("train").Observe(3 * time.Millisecond)
+	r.StageDone("stream")
+	r.StageDone("predict")
+
+	start := time.Now().Add(-time.Second)
+	cfg := map[string]any{"scenario": "uniform", "ranks": []int{4, 8}}
+	missing := filepath.Join(dir, "never-written.bin")
+	m, err := BuildManifest(r, "picgen", []string{"-fused"}, cfg, start, []string{art, missing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "picgen" || m.ConfigFingerprint == "" {
+		t.Fatalf("manifest header incomplete: %+v", m)
+	}
+	if m.WallNanos < time.Second.Nanoseconds() {
+		t.Fatalf("wall = %d, want >= 1s", m.WallNanos)
+	}
+	if len(m.Stages) != 2 || m.StageSum() <= 0 {
+		t.Fatalf("stages = %+v", m.Stages)
+	}
+	if m.Counters["pipeline.frames"] != 12 {
+		t.Fatalf("counters = %+v", m.Counters)
+	}
+	// The missing artefact is skipped, the real one checksummed.
+	if len(m.Artefacts) != 1 || m.Artefacts[0].Path != art {
+		t.Fatalf("artefacts = %+v", m.Artefacts)
+	}
+	if m.Build.GoVersion == "" || m.Build.Arch == "" {
+		t.Fatalf("build info incomplete: %+v", m.Build)
+	}
+
+	path := filepath.Join(dir, "manifest.json")
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != m.Tool || got.ConfigFingerprint != m.ConfigFingerprint ||
+		got.Counters["pipeline.frames"] != 12 || len(got.Artefacts) != 1 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if got.Histograms["core.fill_serial_ns"].Count != 1 {
+		t.Fatalf("histograms lost: %+v", got.Histograms)
+	}
+}

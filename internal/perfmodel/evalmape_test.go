@@ -1,0 +1,51 @@
+package perfmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestEvalMAPETable drives EvalMAPE through its error paths and its
+// zero-target skipping in one table, against an exact identity fit (so any
+// non-zero MAPE on clean data is EvalMAPE's fault, not the model's).
+func TestEvalMAPETable(t *testing.T) {
+	basis, names := RawBasis([]string{"a"})
+	m, err := FitLinear([][]float64{{1}, {2}, {3}}, []float64{1, 2, 3}, basis, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name    string
+		x       [][]float64
+		y       []float64
+		want    float64
+		wantErr string
+	}{
+		{name: "empty validation set", x: nil, y: nil, wantErr: "bad validation set"},
+		{name: "mismatched lengths", x: [][]float64{{1}, {2}}, y: []float64{1}, wantErr: "bad validation set"},
+		{name: "targets without features", x: [][]float64{{1}}, y: []float64{1, 2}, wantErr: "bad validation set"},
+		{name: "all-zero targets", x: [][]float64{{1}, {2}}, y: []float64{0, 0}, wantErr: "all validation targets zero"},
+		{name: "exact fit", x: [][]float64{{1}, {4}}, y: []float64{1, 4}, want: 0},
+		{name: "zero target skipped", x: [][]float64{{1}, {2}}, y: []float64{1, 0}, want: 0},
+		{name: "off by 10 percent", x: [][]float64{{1.1}}, y: []float64{1}, want: 10},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := EvalMAPE(m, tc.x, tc.y)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("EvalMAPE = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

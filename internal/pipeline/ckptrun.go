@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"picpredict/internal/geom"
+	"picpredict/internal/obs"
 	"picpredict/internal/resilience"
 	"picpredict/internal/scenario"
 	"picpredict/internal/trace"
@@ -134,9 +136,26 @@ func (tr *TraceRun) Run(ctx context.Context, extra ...FrameSink) error {
 
 	src := &SimSource{Sim: tr.Sim}
 	every := tr.opts.CheckpointEvery
+
+	// Checkpoint writes are the run's durability tax; when a registry is in
+	// play, each write's latency lands in pipeline.checkpoint_ns so the
+	// manifest shows what crash-safety cost.
+	reg := obs.From(ctx)
+	ckpt := tr.checkpoint
+	if reg != nil {
+		hist := reg.Histogram("pipeline.checkpoint_ns")
+		count := reg.Counter("pipeline.checkpoints")
+		ckpt = func() error {
+			t0 := time.Now()
+			err := tr.checkpoint()
+			hist.Observe(time.Since(t0).Nanoseconds())
+			count.Inc()
+			return err
+		}
+	}
 	src.OnStep = func(it int) error {
 		if every > 0 && it%every == 0 && it < tr.Spec.Steps {
-			return tr.checkpoint()
+			return ckpt()
 		}
 		return nil
 	}
@@ -149,7 +168,7 @@ func (tr *TraceRun) Run(ctx context.Context, extra ...FrameSink) error {
 			// Cancelled: leave a resumable state behind. The checkpoint
 			// write error (if any) takes precedence over ctx.Err() so the
 			// caller knows resume may not be possible.
-			if ckErr := tr.checkpoint(); ckErr != nil {
+			if ckErr := ckpt(); ckErr != nil {
 				return fmt.Errorf("pipeline: checkpointing cancelled run: %w", ckErr)
 			}
 			return err

@@ -8,6 +8,7 @@ import (
 	"picpredict/internal/geom"
 	"picpredict/internal/mapping"
 	"picpredict/internal/mesh"
+	"picpredict/internal/obs"
 )
 
 // MapperSpec describes a particle mapping algorithm by name plus the
@@ -107,6 +108,11 @@ func NewGeneratorBuilder(ms MapperSpec, workers int) (*GeneratorBuilder, error) 
 	}
 	return &GeneratorBuilder{Gen: gen, Bins: bins}, nil
 }
+
+// SetObs forwards an observability registry to the wrapped generator so
+// its per-frame fill latency and ghost-query counters are recorded. Call
+// before the first Frame.
+func (b *GeneratorBuilder) SetObs(reg *obs.Registry) { b.Gen.SetObs(reg) }
 
 // Frame implements FrameSink.
 func (b *GeneratorBuilder) Frame(iteration int, pos []geom.Vec3) error {

@@ -21,10 +21,14 @@ package pipeline
 
 import (
 	"context"
+	"fmt"
+	"strings"
+	"time"
 
 	"picpredict/internal/bsst"
 	"picpredict/internal/core"
 	"picpredict/internal/geom"
+	"picpredict/internal/obs"
 )
 
 // EmitFunc receives one trace frame. The pos slice is only valid for the
@@ -79,21 +83,87 @@ func (s BSPSimulator) Simulate(ctx context.Context, wl *core.Workload) (*bsst.Pr
 	return s.Platform.SimulateBSP(wl)
 }
 
-// Stream drives src synchronously through the sinks: every frame is handed
-// to each sink in order before the source produces the next one. This is
-// the mode checkpointed runs need — the producer never runs ahead of what
-// the sinks (and therefore the durable trace) have seen.
-func Stream(ctx context.Context, src FrameSource, sinks ...FrameSink) error {
-	return src.Stream(ctx, func(it int, pos []geom.Vec3) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
+// NamedStage lets a sink (or source) choose the name its per-stage metrics
+// are recorded under; stages without it are named after their Go type.
+type NamedStage interface {
+	StageName() string
+}
+
+// stageName derives the metric label of a sink: the NamedStage name when
+// implemented, else the bare type name ("GeneratorBuilder", "WriterSink").
+func stageName(s FrameSink) string {
+	if n, ok := s.(NamedStage); ok {
+		return n.StageName()
+	}
+	t := fmt.Sprintf("%T", s)
+	t = strings.TrimPrefix(t, "*")
+	if i := strings.LastIndexByte(t, '.'); i >= 0 {
+		t = t[i+1:]
+	}
+	return t
+}
+
+// sinkMetrics binds one sink's per-frame latency histogram, resolved once
+// per stream so the per-frame cost is a clock read and an atomic add.
+type sinkMetrics struct {
+	frames *obs.Counter
+	lat    []*obs.Histogram // one per sink, index-aligned
+}
+
+// newSinkMetrics resolves the stream's instruments from the context
+// registry; a nil return means observability is off and the caller takes
+// its uninstrumented path.
+func newSinkMetrics(ctx context.Context, sinks []FrameSink) *sinkMetrics {
+	reg := obs.From(ctx)
+	if reg == nil {
+		return nil
+	}
+	m := &sinkMetrics{
+		frames: reg.Counter("pipeline.frames"),
+		lat:    make([]*obs.Histogram, len(sinks)),
+	}
+	for i, s := range sinks {
+		m.lat[i] = reg.Histogram("pipeline.stage." + stageName(s) + ".frame_ns")
+	}
+	return m
+}
+
+// feed hands one frame to every sink, timing each when instrumented.
+func (m *sinkMetrics) feed(sinks []FrameSink, it int, pos []geom.Vec3) error {
+	if m == nil {
 		for _, s := range sinks {
 			if err := s.Frame(it, pos); err != nil {
 				return err
 			}
 		}
 		return nil
+	}
+	for i, s := range sinks {
+		t0 := time.Now()
+		if err := s.Frame(it, pos); err != nil {
+			return err
+		}
+		m.lat[i].Observe(time.Since(t0).Nanoseconds())
+	}
+	m.frames.Inc()
+	return nil
+}
+
+// Stream drives src synchronously through the sinks: every frame is handed
+// to each sink in order before the source produces the next one. This is
+// the mode checkpointed runs need — the producer never runs ahead of what
+// the sinks (and therefore the durable trace) have seen.
+//
+// When the context carries an obs.Registry (obs.With), every sink's
+// per-frame latency is recorded under pipeline.stage.<name>.frame_ns; with
+// no registry the loop is the bare dispatch it always was.
+func Stream(ctx context.Context, src FrameSource, sinks ...FrameSink) error {
+	m := newSinkMetrics(ctx, sinks)
+	return src.Stream(ctx, func(it int, pos []geom.Vec3) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return m.feed(sinks, it, pos)
 	})
 }
 
@@ -103,6 +173,10 @@ func Stream(ctx context.Context, src FrameSource, sinks ...FrameSink) error {
 // recycled through a free list, so steady-state allocation is zero. A depth
 // of 0 degrades to the synchronous Stream. The first error from either side
 // cancels the other; on return no goroutines remain.
+// Enabled observability additionally records the producer-side view of the
+// bounded channel: pipeline.chan_depth (occupancy at each enqueue, the
+// back-pressure signal), and pipeline.freelist_hit / pipeline.freelist_miss
+// (buffer-pool effectiveness — misses allocate).
 func StreamConcurrent(ctx context.Context, src FrameSource, depth int, sinks ...FrameSink) error {
 	if depth <= 0 {
 		return Stream(ctx, src, sinks...)
@@ -116,17 +190,24 @@ func StreamConcurrent(ctx context.Context, src FrameSource, depth int, sinks ...
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	m := newSinkMetrics(ctx, sinks)
+	var chanDepth *obs.Histogram
+	var freeHit, freeMiss *obs.Counter
+	if reg := obs.From(ctx); reg != nil {
+		chanDepth = reg.Histogram("pipeline.chan_depth")
+		freeHit = reg.Counter("pipeline.freelist_hit")
+		freeMiss = reg.Counter("pipeline.freelist_miss")
+	}
+
 	var sinkErr error
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		for f := range frames {
-			for _, s := range sinks {
-				if err := s.Frame(f.it, f.pos); err != nil {
-					sinkErr = err
-					cancel() // unblock the producer; remaining frames are dropped
-					return
-				}
+			if err := m.feed(sinks, f.it, f.pos); err != nil {
+				sinkErr = err
+				cancel() // unblock the producer; remaining frames are dropped
+				return
 			}
 			select {
 			case free <- f.pos:
@@ -139,13 +220,16 @@ func StreamConcurrent(ctx context.Context, src FrameSource, depth int, sinks ...
 		var buf []geom.Vec3
 		select {
 		case buf = <-free:
+			freeHit.Inc()
 		default:
+			freeMiss.Inc()
 		}
 		if cap(buf) < len(pos) {
 			buf = make([]geom.Vec3, len(pos))
 		}
 		buf = buf[:len(pos)]
 		copy(buf, pos)
+		chanDepth.Observe(int64(len(frames)))
 		select {
 		case frames <- frame{it: it, pos: buf}:
 			return nil

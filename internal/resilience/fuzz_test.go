@@ -1,0 +1,104 @@
+package resilience_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"picpredict/internal/faultfs"
+	"picpredict/internal/resilience"
+)
+
+// fuzzMaxPayload keeps the fuzzer's frame allocations small while still
+// exercising the length-prefix guard: any prefix above it must come back as
+// a CorruptFrameError, never an allocation.
+const fuzzMaxPayload = 1 << 16
+
+// frameStream serialises payloads through the real writer; seed corpora are
+// corruptions of genuine streams, not hand-typed bytes.
+func frameStream(payloads ...[]byte) []byte {
+	var buf bytes.Buffer
+	fw := resilience.NewFrameWriter(&buf)
+	for _, p := range payloads {
+		if err := fw.WriteFrame(p); err != nil {
+			panic(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// readFrameSeeds builds the committed corpus: a valid stream plus the
+// faultfs corruption cases (torn tail, bit flip, hostile length prefix).
+func readFrameSeeds() [][]byte {
+	valid := frameStream([]byte("hello frame"), bytes.Repeat([]byte{0xAB}, 300), nil)
+
+	var torn bytes.Buffer
+	faultfs.CutWriter(&torn, int64(len(valid)-7)).Write(valid)
+
+	var flipped bytes.Buffer
+	faultfs.FlipWriter(&flipped, 15, 0x40).Write(valid)
+
+	// A length prefix claiming ~4 GiB followed by a few bytes: the reader
+	// must reject it before allocating.
+	hostile := []byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}
+
+	return [][]byte{nil, valid, torn.Bytes(), flipped.Bytes(), hostile, valid[:3]}
+}
+
+// FuzzReadFrame feeds arbitrary bytes through the checksummed frame reader:
+// it must never panic, never hand back a payload beyond maxPayload, and
+// every failure must be one of the typed errors the salvage paths switch on.
+func FuzzReadFrame(f *testing.F) {
+	for _, s := range readFrameSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := resilience.NewFrameReader(bytes.NewReader(data), fuzzMaxPayload)
+		for {
+			p, err := fr.ReadFrame()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return
+				}
+				var corrupt *resilience.CorruptFrameError
+				var trunc *resilience.TruncatedError
+				if !errors.As(err, &corrupt) && !errors.As(err, &trunc) {
+					t.Fatalf("untyped frame error %T: %v", err, err)
+				}
+				return
+			}
+			if len(p) > fuzzMaxPayload {
+				t.Fatalf("payload %d bytes exceeds the %d limit", len(p), fuzzMaxPayload)
+			}
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz — run with PICPREDICT_WRITE_FUZZ_CORPUS=1 after changing
+// the format or the seed builders.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("PICPREDICT_WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set PICPREDICT_WRITE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	writeCorpus(t, "FuzzReadFrame", readFrameSeeds())
+}
+
+func writeCorpus(t *testing.T, name string, seeds [][]byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%02d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

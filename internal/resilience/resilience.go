@@ -19,6 +19,7 @@ package resilience
 import (
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"io"
 )
@@ -28,6 +29,11 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Checksum returns the CRC32C checksum of payload.
 func Checksum(payload []byte) uint32 { return crc32.Checksum(payload, castagnoli) }
+
+// NewHash returns an incremental CRC32C hasher using the same polynomial as
+// Checksum — for checksumming streams (artefact files in run manifests)
+// without holding them in memory.
+func NewHash() hash.Hash32 { return crc32.New(castagnoli) }
 
 // frameOverhead is the per-frame byte cost: length prefix + checksum.
 const frameOverhead = 4 + 4

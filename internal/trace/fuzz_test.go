@@ -1,0 +1,151 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"picpredict/internal/faultfs"
+	"picpredict/internal/geom"
+	"picpredict/internal/resilience"
+	"picpredict/internal/trace"
+)
+
+// fuzzNpLimit bounds the particle count the fuzz body will allocate frame
+// buffers for. The reader's own MaxNumParticles guard is far above what a
+// fuzz worker should allocate; headers between the two are valid but
+// skipped.
+const fuzzNpLimit = 1 << 16
+
+// traceSeeds builds the committed corpus from real v1/v2 streams and their
+// faultfs corruptions.
+func traceSeeds() [][]byte {
+	h := trace.Header{
+		NumParticles: 3,
+		SampleEvery:  10,
+		Domain:       geom.AABB{Lo: geom.V(0, 0, 0), Hi: geom.V(1, 1, 1)},
+	}
+	pos := []geom.Vec3{geom.V(0.1, 0.2, 0.3), geom.V(0.4, 0.5, 0.6), geom.V(0.7, 0.8, 0.9)}
+
+	write := func(newWriter func(io.Writer, trace.Header) (*trace.Writer, error)) []byte {
+		var buf bytes.Buffer
+		w, err := newWriter(&buf, h)
+		if err != nil {
+			panic(err)
+		}
+		for it := 0; it < 3; it++ {
+			if err := w.WriteFrame(it*10, pos); err != nil {
+				panic(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}
+	v2 := write(trace.NewWriter)
+	v1 := write(trace.NewLegacyWriter)
+
+	var torn bytes.Buffer
+	faultfs.CutWriter(&torn, int64(len(v2)-9)).Write(v2)
+
+	// Flip one bit inside the header frame: the framing checksum must
+	// catch it before the header fields are believed.
+	var flippedHdr bytes.Buffer
+	faultfs.FlipWriter(&flippedHdr, int64(len(trace.Magic)+6), 0x20).Write(v2)
+
+	// Flip one bit in a data frame payload.
+	var flippedData bytes.Buffer
+	faultfs.FlipWriter(&flippedData, int64(trace.HeaderSize()+12), 0x01).Write(v2)
+
+	// A syntactically valid v2 header frame claiming an absurd particle
+	// count — the parser must refuse before any frame-sized allocation.
+	var hostile bytes.Buffer
+	hostile.WriteString(trace.Magic)
+	fw := resilience.NewFrameWriter(&hostile)
+	payload := make([]byte, 8+4+6*8)
+	binary.LittleEndian.PutUint64(payload, uint64(trace.MaxNumParticles)+1)
+	binary.LittleEndian.PutUint32(payload[8:], 100)
+	if err := fw.WriteFrame(payload); err != nil {
+		panic(err)
+	}
+
+	return [][]byte{
+		nil,
+		v2,
+		v1,
+		torn.Bytes(),
+		flippedHdr.Bytes(),
+		flippedData.Bytes(),
+		hostile.Bytes(),
+		[]byte(trace.Magic),
+		[]byte("NOTATRACE"),
+		v1[:len(trace.MagicV1)+5],
+	}
+}
+
+// FuzzTraceHeader drives the v1/v2 trace parser over arbitrary bytes: the
+// header must parse or fail cleanly (no panic, no over-allocation), and
+// every subsequent frame error must be typed or EOF.
+func FuzzTraceHeader(f *testing.F) {
+	for _, s := range traceSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := trace.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		h := r.Header()
+		if h.NumParticles > trace.MaxNumParticles {
+			t.Fatalf("reader accepted %d particles beyond the %d cap", h.NumParticles, trace.MaxNumParticles)
+		}
+		if h.Validate() != nil || h.NumParticles > fuzzNpLimit {
+			return
+		}
+		dst := make([]geom.Vec3, h.NumParticles)
+		for i := 0; i < 8; i++ {
+			if _, err := r.Next(dst); err != nil {
+				if errors.Is(err, io.EOF) {
+					return
+				}
+				var corrupt *resilience.CorruptFrameError
+				var trunc *resilience.TruncatedError
+				if !errors.As(err, &corrupt) && !errors.As(err, &trunc) {
+					t.Fatalf("untyped frame error %T: %v", err, err)
+				}
+				return
+			}
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz — run with PICPREDICT_WRITE_FUZZ_CORPUS=1 after changing
+// the format or the seed builders.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("PICPREDICT_WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set PICPREDICT_WRITE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	writeCorpus(t, "FuzzTraceHeader", traceSeeds())
+}
+
+func writeCorpus(t *testing.T, name string, seeds [][]byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%02d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"picpredict/internal/bsst"
 	"picpredict/internal/kernels"
+	"picpredict/internal/obs"
 )
 
 // PlatformOptions configures the Simulation Platform (§II-C).
@@ -19,6 +20,9 @@ type PlatformOptions struct {
 	// Machine selects the target system model; the zero value means
 	// Quartz (§IV-A).
 	Machine *MachineSpec
+	// Obs, when non-nil, records per-interval simulator telemetry
+	// (simulated vs wall time) into the registry.
+	Obs *obs.Registry
 }
 
 // MachineSpec is a target-system interconnect model.
@@ -80,6 +84,7 @@ func NewPlatform(models Models, opts PlatformOptions) (*Platform, error) {
 		N:             opts.N,
 		Filter:        opts.Filter,
 		TotalElements: opts.TotalElements,
+		Obs:           opts.Obs,
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("picpredict: %w", err)

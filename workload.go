@@ -8,6 +8,7 @@ import (
 
 	"picpredict/internal/core"
 	"picpredict/internal/metrics"
+	"picpredict/internal/obs"
 	"picpredict/internal/pipeline"
 )
 
@@ -76,12 +77,14 @@ func (t *Trace) GenerateWorkload(opts WorkloadOptions) (*Workload, error) {
 
 // GenerateWorkloadContext is GenerateWorkload under a context: the trace
 // streams through the pipeline's workload-builder stage frame by frame, and
-// cancelling ctx stops generation between frames.
+// cancelling ctx stops generation between frames. A registry attached to
+// ctx with obs.With instruments the generator's per-frame fill times.
 func (t *Trace) GenerateWorkloadContext(ctx context.Context, opts WorkloadOptions) (*Workload, error) {
 	builder, err := pipeline.NewGeneratorBuilder(t.mapperSpec(opts), opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("picpredict: %w", err)
 	}
+	builder.SetObs(obs.From(ctx))
 	src := &pipeline.SliceSource{Iterations: t.iterations, Positions: t.positions, Np: t.np}
 	if err := pipeline.Stream(ctx, src, builder); err != nil {
 		return nil, fmt.Errorf("picpredict: %w", err)
