@@ -1,9 +1,9 @@
 # Development targets. `make verify` is the full pre-merge gate: build,
-# vet, and the test suite under the race detector.
+# vet, the project lint suite, and the test suite under the race detector.
 
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet lint race verify bench
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,17 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs cmd/piclint, the project's own analyzer suite (determinism,
+# floatcmp, closecheck, ctxflow, obsnil). A non-zero exit means an
+# unsuppressed finding; waive deliberate violations with a reasoned
+# `//lint:allow <analyzer> <reason>` on or above the flagged line.
+lint:
+	$(GO) run ./cmd/piclint ./...
+
 race:
 	$(GO) test -race ./...
 
-verify: build vet race
+verify: build vet lint race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,173 @@
+// Command piclint runs the project's static-analysis suite: five analyzers
+// enforcing the determinism, error-handling, and context contracts the
+// prediction pipeline's guarantees rest on (see internal/analysis).
+//
+// Usage:
+//
+//	piclint [-json] [-analyzers name,name] [-show-suppressed] [packages]
+//
+// With no package patterns it analyses ./... relative to the current
+// directory. The exit status is 0 when the tree is clean, 1 when any
+// unsuppressed finding is reported, and 2 on usage or load errors.
+//
+// -json emits machine-readable findings (one object per finding, wrapped
+// in a summary envelope) for CI annotation; -show-suppressed includes the
+// findings that //lint:allow directives waived, so the escape hatches in
+// use stay auditable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"picpredict/internal/analysis"
+	"picpredict/internal/analysis/framework"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("piclint: ")
+
+	var (
+		jsonOut        = flag.Bool("json", false, "emit findings as JSON for CI annotation")
+		analyzersCSV   = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		showSuppressed = flag.Bool("show-suppressed", false, "also print findings waived by //lint:allow directives")
+		list           = flag.Bool("list", false, "list the available analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*analyzersCSV)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := Lint(".", patterns, analyzers)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+
+	failed := Report(os.Stdout, findings, *jsonOut, *showSuppressed)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves a comma-separated analyzer list ("" means all).
+func selectAnalyzers(csv string) ([]*framework.Analyzer, error) {
+	all := analysis.All()
+	if csv == "" {
+		return all, nil
+	}
+	byName := make(map[string]*framework.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*framework.Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (run piclint -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Lint loads the packages matched by patterns (relative to dir) and runs
+// the analyzers over each, returning all findings — suppressed ones
+// included — in stable position order.
+func Lint(dir string, patterns []string, analyzers []*framework.Analyzer) ([]framework.Finding, error) {
+	pkgs, err := framework.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	// Directives may name any analyzer in the suite, not just the selected
+	// subset — a -analyzers run must not misreport the rest as unknown.
+	suite := make([]string, 0, len(analysis.All()))
+	for _, a := range analysis.All() {
+		suite = append(suite, a.Name)
+	}
+	var findings []framework.Finding
+	for _, pkg := range pkgs {
+		fs, err := framework.Analyze(pkg, analyzers, suite...)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	framework.SortFindings(findings)
+	return findings, nil
+}
+
+// jsonReport is the -json envelope.
+type jsonReport struct {
+	Findings   []framework.Finding `json:"findings"`
+	Total      int                 `json:"total"`
+	Suppressed int                 `json:"suppressed"`
+}
+
+// Report writes the findings in text or JSON form and reports whether any
+// unsuppressed finding should fail the run.
+func Report(w io.Writer, findings []framework.Finding, jsonOut, showSuppressed bool) bool {
+	var active, suppressed []framework.Finding
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed = append(suppressed, f)
+		} else {
+			active = append(active, f)
+		}
+	}
+
+	if jsonOut {
+		out := active
+		if showSuppressed {
+			out = findings
+		}
+		if out == nil {
+			out = []framework.Finding{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport{Findings: out, Total: len(active), Suppressed: len(suppressed)}); err != nil {
+			log.Println(err)
+		}
+		return len(active) > 0
+	}
+
+	for _, f := range active {
+		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+	}
+	if showSuppressed {
+		for _, f := range suppressed {
+			fmt.Fprintf(w, "%s:%d:%d: suppressed (%s): %s [%s]\n", f.File, f.Line, f.Col, f.Reason, f.Message, f.Analyzer)
+		}
+	}
+	if len(active) > 0 {
+		fmt.Fprintf(w, "piclint: %d finding(s)", len(active))
+		if len(suppressed) > 0 {
+			fmt.Fprintf(w, " (+%d suppressed)", len(suppressed))
+		}
+		fmt.Fprintln(w)
+	}
+	return len(active) > 0
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"picpredict/internal/analysis/framework"
+)
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("default selection: want the 5-analyzer suite, got %d", len(all))
+	}
+
+	some, err := selectAnalyzers("floatcmp, determinism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 2 || some[0].Name != "floatcmp" || some[1].Name != "determinism" {
+		t.Fatalf("subset selection wrong: %v", names(some))
+	}
+
+	if _, err := selectAnalyzers("nosuch"); err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
+		t.Fatalf("unknown analyzer must be rejected, got %v", err)
+	}
+}
+
+func names(as []*framework.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// sample returns one active and one suppressed finding.
+func sample() []framework.Finding {
+	return []framework.Finding{
+		{Analyzer: "floatcmp", File: "a.go", Line: 3, Col: 7, Message: "exact float comparison"},
+		{Analyzer: "determinism", File: "b.go", Line: 9, Col: 2, Message: "time.Now in a simulation package",
+			Suppressed: true, Reason: "obs timing"},
+	}
+}
+
+func TestReportText(t *testing.T) {
+	var buf bytes.Buffer
+	failed := Report(&buf, sample(), false, false)
+	if !failed {
+		t.Error("an active finding must fail the run")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a.go:3:7: exact float comparison [floatcmp]") {
+		t.Errorf("text output missing finding line:\n%s", out)
+	}
+	if strings.Contains(out, "b.go") {
+		t.Errorf("suppressed finding leaked without -show-suppressed:\n%s", out)
+	}
+	if !strings.Contains(out, "1 finding(s) (+1 suppressed)") {
+		t.Errorf("summary line wrong:\n%s", out)
+	}
+
+	buf.Reset()
+	Report(&buf, sample(), false, true)
+	if !strings.Contains(buf.String(), "suppressed (obs timing)") {
+		t.Errorf("-show-suppressed must include the waived finding and reason:\n%s", buf.String())
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	var buf bytes.Buffer
+	failed := Report(&buf, sample(), true, false)
+	if !failed {
+		t.Error("an active finding must fail the run")
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Total != 1 || rep.Suppressed != 1 || len(rep.Findings) != 1 {
+		t.Fatalf("envelope wrong: %+v", rep)
+	}
+	if rep.Findings[0].File != "a.go" || rep.Findings[0].Analyzer != "floatcmp" {
+		t.Fatalf("finding wrong: %+v", rep.Findings[0])
+	}
+
+	// A clean run must still emit a well-formed envelope.
+	buf.Reset()
+	if Report(&buf, nil, true, false) {
+		t.Error("no findings must not fail the run")
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("clean -json output invalid: %v", err)
+	}
+	if rep.Findings == nil || len(rep.Findings) != 0 {
+		t.Fatalf("clean run must emit an empty findings array, got %+v", rep.Findings)
+	}
+}

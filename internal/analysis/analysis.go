@@ -1,0 +1,44 @@
+// Package analysis aggregates the piclint analyzer suite: the static
+// checks that enforce the coding contracts behind the framework's
+// reproducibility and durability guarantees.
+//
+// The five analyzers, and the contract each one enforces:
+//
+//   - determinism — simulation/generator packages accumulate no floats and
+//     build no result slices in map iteration order, and read no ambient
+//     entropy (time.Now, global math/rand); repeated runs must be
+//     bit-identical.
+//   - floatcmp — no exact == / != on floats outside the approved idioms
+//     (zero sentinel, NaN self-probe); exact equality flips control flow
+//     when arithmetic is reassociated.
+//   - closecheck — no dropped Close/Flush/Sync errors in artefact-writing
+//     packages; buffered-write failures surface at close time.
+//   - ctxflow — a function that accepts a context.Context consults or
+//     forwards it; the pipeline's cancellation contract depends on it.
+//   - obsnil — internal/obs state is only reached through its nil-safe
+//     method API, and registries are built with obs.New.
+//
+// Deliberate violations carry a `//lint:allow <analyzer> <reason>` comment
+// on the offending line or the line above; the reason is mandatory and
+// directives naming unknown analyzers are themselves diagnosed.
+package analysis
+
+import (
+	"picpredict/internal/analysis/closecheck"
+	"picpredict/internal/analysis/ctxflow"
+	"picpredict/internal/analysis/determinism"
+	"picpredict/internal/analysis/floatcmp"
+	"picpredict/internal/analysis/framework"
+	"picpredict/internal/analysis/obsnil"
+)
+
+// All returns the full piclint analyzer suite in reporting order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		closecheck.Analyzer,
+		ctxflow.Analyzer,
+		determinism.Analyzer,
+		floatcmp.Analyzer,
+		obsnil.Analyzer,
+	}
+}

@@ -1,0 +1,308 @@
+// Package analysistest is a miniature of
+// golang.org/x/tools/go/analysis/analysistest for the piclint framework:
+// it loads golden packages from a testdata/src GOPATH-style tree, runs one
+// analyzer over them, and compares the diagnostics against `// want "re"`
+// expectation comments in the sources.
+//
+// Conventions (matching the x/tools tool so the corpora stay portable):
+//
+//   - testdata/src/<import/path>/*.go holds one fake package per import
+//     path; fake paths may shadow real module paths (a scoped analyzer is
+//     tested by giving the fake the scoped path);
+//   - a line producing a diagnostic carries `// want "regexp"`; several
+//     quoted regexps may follow one want;
+//   - a line with no want comment must produce no diagnostic — including
+//     lines whose diagnostic is waived by a //lint:allow directive, which
+//     is how suppressed golden cases are expressed.
+//
+// Standard-library imports are resolved from gc export data via `go list
+// -export`; imports that resolve inside testdata/src are type-checked from
+// source recursively.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"picpredict/internal/analysis/framework"
+)
+
+// Run loads each golden package beneath testdata/src, applies a to it, and
+// reports every mismatch between diagnostics and want comments as a test
+// error.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(t, filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		pkg := l.load(path)
+		findings, err := framework.Analyze(&framework.Package{
+			Path:      path,
+			Dir:       pkg.dir,
+			Fset:      l.fset,
+			Files:     pkg.files,
+			Types:     pkg.types,
+			TypesInfo: pkg.info,
+		}, []*framework.Analyzer{a})
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", path, err)
+		}
+		var active []framework.Finding
+		for _, f := range findings {
+			if !f.Suppressed {
+				active = append(active, f)
+			}
+		}
+		checkWants(t, l.fset, pkg.files, active)
+	}
+}
+
+// expectation is one `// want` regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// checkWants matches findings against the want comments of the package.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []framework.Finding) {
+	t.Helper()
+	wants := collectWants(t, fset, files)
+
+	type key struct {
+		file string
+		line int
+	}
+	byLine := make(map[key][]*expectation)
+	for i := range wants {
+		w := &wants[i]
+		byLine[key{w.file, w.line}] = append(byLine[key{w.file, w.line}], w)
+	}
+	matched := make(map[*expectation]bool)
+
+	for _, f := range findings {
+		k := key{f.File, f.Line}
+		found := false
+		for _, w := range byLine[k] {
+			if !matched[w] && w.re.MatchString(f.Message) {
+				matched[w] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s [%s]", f.File, f.Line, f.Message, f.Analyzer)
+		}
+	}
+	for i := range wants {
+		if !matched[&wants[i]] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", wants[i].file, wants[i].line, wants[i].raw)
+		}
+	}
+}
+
+// wantRE matches the expectation comment head.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants parses every want comment in files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []expectation {
+	t.Helper()
+	var out []expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment %q: %v", pos.Filename, pos.Line, c.Text, err)
+					}
+					raw, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					out = append(out, expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// loadedPkg is one type-checked golden package.
+type loadedPkg struct {
+	dir   string
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// loader resolves imports first against the testdata/src tree (from
+// source), then against the standard library (from gc export data).
+type loader struct {
+	t    *testing.T
+	src  string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*loadedPkg
+}
+
+func newLoader(t *testing.T, src string) *loader {
+	t.Helper()
+	l := &loader{
+		t:    t,
+		src:  src,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*loadedPkg),
+	}
+	exports := stdExports(t, stdImportsUnder(t, src))
+	l.std = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysistest: no export data for stdlib package %q", path)
+		}
+		return os.Open(e)
+	})
+	return l
+}
+
+// Import implements types.Importer for intra-testdata dependencies.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dirExists(filepath.Join(l.src, filepath.FromSlash(path))) {
+		return l.load(path).types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the golden package at import path (memoised).
+func (l *loader) load(path string) *loadedPkg {
+	l.t.Helper()
+	if p, ok := l.pkgs[path]; ok {
+		return p
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		l.t.Fatalf("analysistest: reading golden package %s: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			l.t.Fatalf("analysistest: parsing %s: %v", filepath.Join(dir, e.Name()), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		l.t.Fatalf("analysistest: golden package %s has no Go files", path)
+	}
+	info := framework.NewTypesInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		l.t.Fatalf("analysistest: type-checking golden package %s: %v", path, err)
+	}
+	p := &loadedPkg{dir: dir, files: files, types: tpkg, info: info}
+	l.pkgs[path] = p
+	return p
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}
+
+// stdImportsUnder scans every golden source file for imports that do not
+// resolve inside src — the standard-library set the loader must be able to
+// import.
+func stdImportsUnder(t *testing.T, src string) []string {
+	t.Helper()
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !dirExists(filepath.Join(src, filepath.FromSlash(p))) {
+				seen[p] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("analysistest: scanning %s: %v", src, err)
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stdExports materialises gc export data for the packages (and their
+// transitive dependencies) via `go list -export`.
+func stdExports(t *testing.T, pkgs []string) map[string]string {
+	t.Helper()
+	exports := make(map[string]string)
+	if len(pkgs) == 0 {
+		return exports
+	}
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export", "--"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("analysistest: go list -export %v: %v\n%s", pkgs, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("analysistest: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports
+}

@@ -1,0 +1,44 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"picpredict/internal/analysis"
+	"picpredict/internal/analysis/framework"
+)
+
+// TestRepoClean is the in-tree half of the `make lint` gate: the whole
+// module must carry zero unsuppressed findings from the full analyzer
+// suite. It loads the real packages through the production loader, so it
+// also exercises the go-list/export-data path end to end.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := framework.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loader found only %d packages; pattern resolution looks broken", len(pkgs))
+	}
+	analyzers := analysis.All()
+	if len(analyzers) != 5 {
+		t.Fatalf("expected the 5-analyzer suite, got %d", len(analyzers))
+	}
+	for _, pkg := range pkgs {
+		findings, err := framework.Analyze(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", pkg.Path, err)
+		}
+		for _, f := range findings {
+			if f.Suppressed {
+				if f.Reason == "" {
+					t.Errorf("%s:%d: suppressed finding with empty reason", f.File, f.Line)
+				}
+				continue
+			}
+			t.Errorf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+}

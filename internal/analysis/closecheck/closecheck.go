@@ -1,0 +1,100 @@
+// Package closecheck flags dropped error returns from Close, Flush, and
+// Sync in the artefact-writing packages.
+//
+// With buffered I/O, a full disk or failing device surfaces at Close/Flush
+// time, not at Write time — a dropped close error is a trace or checkpoint
+// that looks written but is torn. The crash-safe artefact formats
+// (checksummed framing, atomic rename) only deliver their guarantee when
+// every close on the write path is checked.
+//
+// A bare call statement drops the error invisibly, so that is what gets
+// flagged. The two visible forms stay legal:
+//
+//	_ = f.Close()      // explicitly discarded (error-path cleanup)
+//	defer f.Close()    // read-side backstop; the write path must still
+//	                   // close explicitly before renaming/returning
+//
+// and a //lint:allow closecheck directive covers the rare deliberate drop.
+package closecheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"picpredict/internal/analysis/framework"
+)
+
+// Analyzer flags dropped Close/Flush/Sync errors in artefact-writing
+// packages.
+var Analyzer = &framework.Analyzer{
+	Name: "closecheck",
+	Doc:  "flag dropped error returns from Close/Flush/Sync on artefact writers",
+	Run:  run,
+}
+
+// scoped reports whether pkg is an artefact-writing package: the command
+// front ends plus the resilience, trace, and pipeline layers.
+func scoped(pkg string) bool {
+	if strings.HasPrefix(pkg, "picpredict/cmd/") {
+		return true
+	}
+	switch pkg {
+	case "picpredict/internal/resilience",
+		"picpredict/internal/trace",
+		"picpredict/internal/pipeline":
+		return true
+	}
+	return false
+}
+
+// checked are the method names whose error returns carry deferred write
+// failures.
+var checked = map[string]bool{"Close": true, "Flush": true, "Sync": true}
+
+func run(pass *framework.Pass) (any, error) {
+	if !scoped(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := droppedError(pass, call); ok {
+				pass.Reportf(call.Pos(),
+					"error returned by %s is dropped; a deferred write failure (full disk) surfaces here — return it, log it, or assign to _",
+					name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// droppedError reports whether call is a Close/Flush/Sync method call whose
+// error result the statement discards, and returns its display name.
+func droppedError(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !checked[sel.Sel.Name] {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+		return "", false
+	}
+	return framework.ExprString(sel), true
+}

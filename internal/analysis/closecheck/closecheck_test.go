@@ -1,0 +1,16 @@
+package closecheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"picpredict/internal/analysis/analysistest"
+	"picpredict/internal/analysis/closecheck"
+)
+
+func TestClosecheck(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), closecheck.Analyzer,
+		"picpredict/cmd/demo", // in scope: dropped closes fire
+		"closecheck/outside",  // out of scope: same drop, no findings
+	)
+}

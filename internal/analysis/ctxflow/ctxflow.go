@@ -1,0 +1,87 @@
+// Package ctxflow flags functions that accept a context.Context and then
+// ignore it.
+//
+// The pipeline's cancellation contract (README "Pipeline architecture")
+// says every stage checks its context between frames, which is what makes a
+// SIGINT'd run drain cleanly and write a final checkpoint. A function that
+// takes a ctx parameter advertises that contract; a body that never reads
+// ctx.Err, selects on ctx.Done, or passes ctx onward silently breaks it —
+// the caller believes the work is cancellable and it is not.
+//
+// The fix is one of three: consult the context (ctx.Err() between
+// iterations), pass it to the callee doing the real work, or — when the
+// parameter exists only to satisfy an interface — name it _ to state that
+// on the signature.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"picpredict/internal/analysis/framework"
+)
+
+// Analyzer flags context.Context parameters that the function body never
+// consults.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag functions that accept a context.Context but never consult or forward it",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Params == nil {
+				continue
+			}
+			for _, field := range fd.Type.Params.List {
+				if !isContextType(pass, field.Type) {
+					continue
+				}
+				for _, name := range field.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if !bodyUses(pass, fd.Body, obj) {
+						pass.Reportf(name.Pos(),
+							"%s accepts a context.Context %q but never consults it; check ctx.Err/ctx.Done, pass it on, or rename the parameter to _",
+							fd.Name.Name, name.Name)
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isContextType reports whether the parameter type is context.Context.
+func isContextType(pass *framework.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// bodyUses reports whether any identifier in body resolves to obj.
+func bodyUses(pass *framework.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

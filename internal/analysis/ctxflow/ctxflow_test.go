@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"picpredict/internal/analysis/analysistest"
+	"picpredict/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), ctxflow.Analyzer, "ctxflow/a")
+}

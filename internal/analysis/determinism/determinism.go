@@ -1,0 +1,294 @@
+// Package determinism flags the two nondeterminism sources that break the
+// framework's reproducibility guarantees inside the simulation and
+// generator packages: map-iteration-order-dependent accumulation, and
+// ambient entropy (wall clocks, the global math/rand source).
+//
+// The trace-driven methodology only holds if two runs of the Dynamic
+// Workload Generator over the same trace produce bit-identical workloads,
+// and the golden fixtures and fused-vs-file parity tests assert exactly
+// that. Both properties die quietly when a `for k := range m` loop folds
+// floats in map order, or a simulation path reads time.Now / the seeded
+// global rand: the code still passes unit tests, and the nondeterminism
+// only surfaces as a flaky golden diff much later.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"picpredict/internal/analysis/framework"
+)
+
+// Analyzer flags map-order-dependent accumulation and ambient entropy in
+// the simulation/generator packages.
+var Analyzer = &framework.Analyzer{
+	Name: "determinism",
+	Doc: "flag map-order float accumulation and wall-clock/global-rand calls " +
+		"in simulation and generator packages",
+	Run: run,
+}
+
+// simPackages are the packages whose outputs must be bit-reproducible:
+// the PIC and fluid simulations, scenario seeding, the workload generator
+// core, and the BSP simulation platform.
+var simPackages = map[string]bool{
+	"picpredict/internal/pic":      true,
+	"picpredict/internal/fluid":    true,
+	"picpredict/internal/scenario": true,
+	"picpredict/internal/core":     true,
+	"picpredict/internal/bsst":     true,
+}
+
+// deterministicRand are the math/rand package-level functions that do not
+// touch the global source: constructors of explicitly-seeded generators.
+var deterministicRand = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if !simPackages[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		var stack []ast.Node // ancestors of the node being visited
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, enclosingFunc(stack))
+			case *ast.CallExpr:
+				checkEntropy(pass, n)
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// enclosingFunc returns the innermost function declaration or literal on
+// the ancestor stack, or nil at package level.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// checkEntropy flags time.Now and global-source math/rand calls.
+func checkEntropy(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Only package-level functions: methods on an explicitly seeded
+	// *rand.Rand are deterministic and allowed.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"time.Now in a simulation package makes runs irreproducible; thread timings through internal/obs instead")
+		}
+	case "math/rand", "math/rand/v2":
+		if !deterministicRand[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"%s.%s draws from the global random source; use an explicitly seeded *rand.Rand so runs are reproducible",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `range m` loops over maps whose bodies accumulate
+// floats or append to slices declared outside the loop: the fold order is
+// the map's iteration order, which Go randomises per run.
+//
+// One append shape is exempt: a slice that the enclosing function later
+// hands to a sort.* / slices.Sort* call. Collect-then-sort is the standard
+// way to iterate a map deterministically, and flagging the remediation
+// would make the analyzer impossible to satisfy.
+func checkMapRange(pass *framework.Pass, rng *ast.RangeStmt, enclosing ast.Node) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				if isFloat(pass, lhs) && declaredOutside(pass, lhs, rng) {
+					pass.Reportf(as.Pos(),
+						"float accumulation into %s inside a map-range loop depends on map iteration order; iterate sorted keys instead",
+						framework.ExprString(lhs))
+				}
+			}
+		case token.ASSIGN:
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				if isSelfAppend(pass, lhs, as.Rhs[i]) && declaredOutside(pass, lhs, rng) &&
+					!sortedLater(pass, enclosing, lhs) {
+					pass.Reportf(as.Pos(),
+						"append to %s inside a map-range loop produces map-iteration-order results; iterate sorted keys instead",
+						framework.ExprString(lhs))
+				} else if isFloat(pass, lhs) && usesExpr(pass, as.Rhs[i], lhs) && declaredOutside(pass, lhs, rng) {
+					pass.Reportf(as.Pos(),
+						"float accumulation into %s inside a map-range loop depends on map iteration order; iterate sorted keys instead",
+						framework.ExprString(lhs))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isFloat reports whether e's type has a floating-point underlying type.
+func isFloat(pass *framework.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isSelfAppend reports whether rhs is append(lhs, ...) — growth of a result
+// slice in loop order.
+func isSelfAppend(pass *framework.Pass, lhs, rhs ast.Expr) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	return sameObject(pass, lhs, call.Args[0])
+}
+
+// usesExpr reports whether the object rooted at target also appears inside
+// e — the `x = x + v` accumulation shape.
+func usesExpr(pass *framework.Pass, e, target ast.Expr) bool {
+	obj := rootObject(pass, target)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedLater reports whether the enclosing function passes the slice
+// rooted at e to a sort.* or slices.* package-level function — the
+// collect-then-sort idiom that restores a deterministic order.
+func sortedLater(pass *framework.Pass, enclosing ast.Node, e ast.Expr) bool {
+	if enclosing == nil {
+		return false
+	}
+	obj := rootObject(pass, e)
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !sorted
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return !sorted
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return !sorted
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return !sorted
+		}
+		for _, arg := range call.Args {
+			if rootObject(pass, arg) == obj {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// sameObject reports whether a and b resolve to the same root object.
+func sameObject(pass *framework.Pass, a, b ast.Expr) bool {
+	oa, ob := rootObject(pass, a), rootObject(pass, b)
+	return oa != nil && oa == ob
+}
+
+// rootObject resolves the variable at the root of an lvalue expression:
+// the x of x, x.f, x[i], and (*x).f.
+func rootObject(pass *framework.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if o := pass.TypesInfo.Uses[v]; o != nil {
+				return o
+			}
+			return pass.TypesInfo.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether the root object of lvalue e was declared
+// outside the range statement — accumulating into a variable local to the
+// body is order-independent from the caller's point of view.
+func declaredOutside(pass *framework.Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	obj := rootObject(pass, e)
+	if obj == nil {
+		// Unresolvable root (e.g. a call result): conservatively outside.
+		return true
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}

@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"picpredict/internal/analysis/analysistest"
+	"picpredict/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), determinism.Analyzer,
+		"picpredict/internal/core",    // in scope: accumulation + entropy rules fire
+		"picpredict/internal/metrics", // out of scope: same violations, no findings
+	)
+}

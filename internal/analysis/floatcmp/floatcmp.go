@@ -1,0 +1,83 @@
+// Package floatcmp flags == and != on floating-point operands.
+//
+// Exact float equality is almost always a latent bug in numerical code:
+// two mathematically equal expressions differ in the last ulp depending on
+// evaluation order, compiler, and architecture, so a == comparison that
+// passes today breaks the moment an optimisation reassociates the
+// arithmetic. In this framework it is doubly dangerous because the golden
+// fixtures pin bit-exact outputs — an equality guard that flips changes
+// control flow, not just a printed digit.
+//
+// Two idioms stay legal because they are exact by construction:
+//
+//   - comparison against literal zero (`if dt == 0`): zero is exactly
+//     representable and commonly a sentinel for "not set";
+//   - self-comparison (`x != x`): the standard NaN probe.
+//
+// Anything else needs a tolerance helper (math.Abs(a-b) <= eps) or a
+// //lint:allow floatcmp directive explaining why exactness is intended.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"picpredict/internal/analysis/framework"
+)
+
+// Analyzer flags exact floating-point equality comparisons.
+var Analyzer = &framework.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag == and != on float operands outside approved comparison idioms",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+				return true
+			}
+			if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+				return true
+			}
+			if framework.ExprString(be.X) == framework.ExprString(be.Y) {
+				return true // x != x: the NaN probe
+			}
+			pass.Reportf(be.OpPos,
+				"exact float comparison %s %s %s; compare with a tolerance (math.Abs(a-b) <= eps) or justify with //lint:allow floatcmp",
+				framework.ExprString(be.X), be.Op, framework.ExprString(be.Y))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isFloat reports whether e has a floating-point (or complex) type.
+func isFloat(pass *framework.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero.
+func isZeroConst(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package floatcmp_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"picpredict/internal/analysis/analysistest"
+	"picpredict/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), floatcmp.Analyzer, "floatcmp/a")
+}

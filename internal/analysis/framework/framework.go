@@ -1,0 +1,147 @@
+// Package framework is a self-contained miniature of
+// golang.org/x/tools/go/analysis: Analyzer/Pass/Diagnostic types, a
+// go-list-driven package loader, and //lint:allow suppression directives.
+//
+// The API deliberately mirrors x/tools (an Analyzer has Name, Doc and a
+// Run(*Pass) function; a Pass carries the FileSet, syntax, *types.Package
+// and *types.Info and reports Diagnostics) so that the piclint analyzers
+// can migrate to the real module by swapping one import when a vendored
+// golang.org/x/tools is available. This build environment has no module
+// proxy access, so the subset is implemented here on the standard library
+// alone: go/parser for syntax, go/types for semantics, and the gc export
+// data emitted by `go list -export` for dependency types.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static-analysis pass: a name (used in reports and
+// //lint:allow directives), documentation, and the Run function applied to
+// each loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// directives. It must be a valid identifier.
+	Name string
+	// Doc is the analyzer's documentation: first line is the summary, the
+	// rest describes the contract it enforces.
+	Doc string
+	// Run applies the analyzer to a package. Diagnostics go through
+	// pass.Report; the result value is unused by this driver (kept for
+	// x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Pass is the interface between one analyzer and one package: the parsed
+// syntax, the type information, and the Report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic as the driver hands it to output layers:
+// analyzer name, concrete file position, message, and whether a
+// //lint:allow directive suppressed it (suppressed findings are retained so
+// -json consumers can audit the escape hatches in use).
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// Analyze runs every analyzer over pkg, resolves positions, and applies the
+// package's //lint:allow directives. Malformed directives (missing reason,
+// unknown analyzer name) are themselves reported as findings under the
+// reserved analyzer name "piclint", so a directive that silently fails to
+// suppress is impossible.
+//
+// extraKnown lists analyzer names that are valid in directives beyond the
+// ones being run — drivers running a subset (piclint -analyzers) pass the
+// full suite here so a directive for an unselected analyzer is not
+// misreported as unknown.
+func Analyze(pkg *Package, analyzers []*Analyzer, extraKnown ...string) ([]Finding, error) {
+	sup := CollectSuppressions(pkg.Fset, pkg.Files)
+
+	known := make(map[string]bool, len(analyzers)+len(extraKnown)+1)
+	known["piclint"] = true
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, name := range extraKnown {
+		known[name] = true
+	}
+	findings := sup.Malformed(known)
+
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			f := Finding{
+				Analyzer: name,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  d.Message,
+			}
+			f.Suppressed, f.Reason = sup.Allowed(name, pos)
+			findings = append(findings, f)
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// ExprString renders an expression for use in diagnostic messages.
+func ExprString(e ast.Expr) string { return types.ExprString(e) }
+
+// SortFindings orders findings by file, line, column, then analyzer — the
+// stable order both the text and JSON outputs use.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

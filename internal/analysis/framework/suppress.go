@@ -1,0 +1,101 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	file     string
+	line     int
+	analyzer string // empty when the directive is malformed
+	reason   string
+	raw      string
+	pos      token.Pos
+}
+
+// Suppressions holds the //lint:allow directives of one package, indexed so
+// a diagnostic can be matched against the directive on its own line or on
+// the line directly above it.
+//
+// The directive grammar is
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// where <reason> is mandatory: an unexplained suppression is treated as
+// malformed and surfaces as a finding instead of silently allowing the
+// violation.
+type Suppressions struct {
+	byLine map[string]map[int][]*directive // file -> line -> directives
+	all    []*directive
+}
+
+// CollectSuppressions parses every //lint:allow directive in files.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byLine: make(map[string]map[int][]*directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := &directive{file: pos.Filename, line: pos.Line, raw: strings.TrimSpace(text), pos: c.Pos()}
+				fields := strings.Fields(text)
+				if len(fields) >= 2 {
+					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				lines := s.byLine[d.file]
+				if lines == nil {
+					lines = make(map[int][]*directive)
+					s.byLine[d.file] = lines
+				}
+				lines[d.line] = append(lines[d.line], d)
+				s.all = append(s.all, d)
+			}
+		}
+	}
+	return s
+}
+
+// Allowed reports whether a diagnostic from analyzer at pos is covered by a
+// well-formed directive on the same line or the line immediately above, and
+// returns the directive's reason.
+func (s *Suppressions) Allowed(analyzer string, pos token.Position) (bool, string) {
+	lines := s.byLine[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.analyzer == analyzer {
+				return true, d.reason
+			}
+		}
+	}
+	return false, ""
+}
+
+// Malformed returns a finding for every directive that cannot suppress
+// anything: a missing reason, or an analyzer name the driver does not know.
+// known maps valid analyzer names to true.
+func (s *Suppressions) Malformed(known map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range s.all {
+		switch {
+		case d.analyzer == "":
+			out = append(out, Finding{
+				Analyzer: "piclint", File: d.file, Line: d.line, Col: 1,
+				Message: "malformed //lint:allow directive: want \"//lint:allow <analyzer> <reason>\", got \"" + d.raw + "\"",
+			})
+		case !known[d.analyzer]:
+			out = append(out, Finding{
+				Analyzer: "piclint", File: d.file, Line: d.line, Col: 1,
+				Message: fmt.Sprintf("//lint:allow names unknown analyzer %q", d.analyzer),
+			})
+		}
+	}
+	return out
+}

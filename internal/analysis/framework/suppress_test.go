@@ -1,0 +1,185 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseOne parses a synthetic file and returns its suppressions.
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File, *Suppressions) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*ast.File{f}
+	return fset, files, CollectSuppressions(fset, files)
+}
+
+func TestSuppressionMatching(t *testing.T) {
+	const src = `package p
+
+//lint:allow determinism reason above the line
+var a = 1
+
+var b = 2 //lint:allow floatcmp multi word reason on the same line
+
+var c = 3
+`
+	_, _, sup := parseOne(t, src)
+
+	at := func(line int) token.Position {
+		return token.Position{Filename: "allow.go", Line: line}
+	}
+
+	if ok, reason := sup.Allowed("determinism", at(4)); !ok || reason != "reason above the line" {
+		t.Errorf("directive above the line: got ok=%v reason=%q", ok, reason)
+	}
+	if ok, reason := sup.Allowed("floatcmp", at(6)); !ok || reason != "multi word reason on the same line" {
+		t.Errorf("directive on the same line: got ok=%v reason=%q", ok, reason)
+	}
+
+	// A directive only covers its own analyzer.
+	if ok, _ := sup.Allowed("floatcmp", at(4)); ok {
+		t.Error("determinism directive must not suppress floatcmp")
+	}
+	// A directive does not leak to unrelated lines.
+	if ok, _ := sup.Allowed("determinism", at(8)); ok {
+		t.Error("directive must not cover line 8")
+	}
+	// Two lines below the directive is out of reach.
+	if ok, _ := sup.Allowed("determinism", at(5)); ok {
+		t.Error("directive must not reach two lines down")
+	}
+}
+
+func TestSuppressionMalformed(t *testing.T) {
+	const src = `package p
+
+//lint:allow floatcmp
+var a = 1
+
+//lint:allow nosuchanalyzer the reason is fine
+var b = 2
+
+//lint:allow determinism a perfectly formed directive
+var c = 3
+`
+	_, _, sup := parseOne(t, src)
+	known := map[string]bool{"determinism": true, "floatcmp": true, "piclint": true}
+	bad := sup.Malformed(known)
+	if len(bad) != 2 {
+		t.Fatalf("want 2 malformed-directive findings, got %d: %+v", len(bad), bad)
+	}
+	if bad[0].Line != 3 || !strings.Contains(bad[0].Message, "malformed //lint:allow") {
+		t.Errorf("missing-reason finding wrong: %+v", bad[0])
+	}
+	if bad[1].Line != 6 || !strings.Contains(bad[1].Message, "unknown analyzer") {
+		t.Errorf("unknown-analyzer finding wrong: %+v", bad[1])
+	}
+	for _, f := range bad {
+		if f.Analyzer != "piclint" {
+			t.Errorf("malformed-directive findings must be reported under piclint, got %q", f.Analyzer)
+		}
+	}
+
+	// A reason-less directive suppresses nothing.
+	if ok, _ := sup.Allowed("floatcmp", token.Position{Filename: "allow.go", Line: 4}); ok {
+		t.Error("directive without a reason must not suppress")
+	}
+}
+
+// TestAnalyzeSubsetKeepsSuiteDirectivesValid pins the -analyzers UX: a
+// directive naming a suite analyzer that is not part of this run must not
+// be reported as unknown.
+func TestAnalyzeSubsetKeepsSuiteDirectivesValid(t *testing.T) {
+	const src = `package p
+
+//lint:allow determinism a directive for an analyzer this run skips
+var a = 1
+`
+	fset, files, _ := parseOne(t, src)
+	noop := &Analyzer{Name: "floatcmp", Doc: "noop", Run: func(*Pass) (any, error) { return nil, nil }}
+
+	findings, err := Analyze(&Package{Path: "p", Fset: fset, Files: files}, []*Analyzer{noop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "unknown analyzer") {
+		t.Fatalf("without extraKnown the directive must be flagged, got %+v", findings)
+	}
+
+	findings, err = Analyze(&Package{Path: "p", Fset: fset, Files: files}, []*Analyzer{noop}, "determinism", "closecheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("with the suite passed as extraKnown there must be no findings, got %+v", findings)
+	}
+}
+
+// TestAnalyzeAppliesSuppressions drives the full Analyze path with a toy
+// analyzer that flags every integer literal, checking that directives
+// waive findings (with their reason carried through) and that malformed
+// directives surface as piclint findings.
+func TestAnalyzeAppliesSuppressions(t *testing.T) {
+	const src = `package p
+
+//lint:allow intlit fixture constant
+var a = 1
+
+var b = 2
+
+//lint:allow bogus some reason
+var c = 3
+`
+	fset, files, _ := parseOne(t, src)
+
+	toy := &Analyzer{
+		Name: "intlit",
+		Doc:  "flag integer literals",
+		Run: func(pass *Pass) (any, error) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.INT {
+						pass.Reportf(lit.Pos(), "integer literal %s", lit.Value)
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+
+	findings, err := Analyze(&Package{
+		Path:  "p",
+		Fset:  fset,
+		Files: files,
+	}, []*Analyzer{toy})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var suppressed, active, malformed int
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "piclint":
+			malformed++
+		case f.Suppressed:
+			suppressed++
+			if f.Reason != "fixture constant" {
+				t.Errorf("suppressed finding lost its reason: %+v", f)
+			}
+		default:
+			active++
+		}
+	}
+	if suppressed != 1 || active != 2 || malformed != 1 {
+		t.Errorf("want 1 suppressed / 2 active / 1 malformed, got %d/%d/%d: %+v",
+			suppressed, active, malformed, findings)
+	}
+}

@@ -1,0 +1,117 @@
+// Package obsnil guards the observability layer's nil-safety contract.
+//
+// internal/obs promises that a nil *Registry (and the nil instruments it
+// hands out) is a complete no-op, so call sites instrument hot paths
+// unconditionally with no nil checks. That only holds when outside code
+// goes through the method API: Registry state must be reached via
+// Counter/Timer/Histogram/StageDone, and a Registry must be built with
+// obs.New — a literal obs.Registry{} (or new(obs.Registry)) has nil
+// instrument maps and a zero stage clock, which turns the first StageDone
+// into a nonsense wall-time partition and every lookup into a usable-but-
+// wrong registry that was never properly started.
+//
+// The analyzer therefore flags, everywhere outside internal/obs itself:
+// direct field access on the guarded types (Registry, Counter, Timer,
+// Histogram), composite literals of Registry, and new(Registry).
+package obsnil
+
+import (
+	"go/ast"
+	"go/types"
+
+	"picpredict/internal/analysis/framework"
+)
+
+// Analyzer flags uses of internal/obs state that bypass the nil-safe
+// method API.
+var Analyzer = &framework.Analyzer{
+	Name: "obsnil",
+	Doc:  "flag direct access to internal/obs state that bypasses the nil-safe method API",
+	Run:  run,
+}
+
+// obsPath is the package whose internals are guarded.
+const obsPath = "picpredict/internal/obs"
+
+// guarded are the types whose state must only be reached through methods.
+var guarded = map[string]bool{
+	"Registry":  true,
+	"Counter":   true,
+	"Timer":     true,
+	"Histogram": true,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if pass.Pkg.Path() == obsPath {
+		return nil, nil // the implementation itself owns its fields
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkFieldAccess(pass, n)
+			case *ast.CompositeLit:
+				if name, ok := guardedType(pass.TypesInfo.TypeOf(n)); ok && name == "Registry" {
+					pass.Reportf(n.Pos(),
+						"obs.Registry composite literal bypasses obs.New; the zero Registry has no instrument maps and an unstarted stage clock")
+				}
+			case *ast.CallExpr:
+				checkNew(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkFieldAccess flags selections that resolve to a field of a guarded
+// obs type.
+func checkFieldAccess(pass *framework.Pass, sel *ast.SelectorExpr) {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	if name, ok := guardedType(s.Recv()); ok {
+		pass.Reportf(sel.Sel.Pos(),
+			"direct field access on obs.%s bypasses the nil-safe method API; use the %s methods so a disabled (nil) registry stays a no-op",
+			name, name)
+	}
+}
+
+// checkNew flags new(obs.Registry).
+func checkNew(pass *framework.Pass, call *ast.CallExpr) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "new" || len(call.Args) != 1 {
+		return
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "new" {
+		return
+	}
+	if name, ok := guardedType(pass.TypesInfo.TypeOf(call.Args[0])); ok && name == "Registry" {
+		pass.Reportf(call.Pos(),
+			"new(obs.Registry) bypasses obs.New; the zero Registry has no instrument maps and an unstarted stage clock")
+	}
+}
+
+// guardedType unwraps pointers and reports whether t is one of the guarded
+// obs types, returning its name.
+func guardedType(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != obsPath {
+		return "", false
+	}
+	if !guarded[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}

@@ -1,0 +1,16 @@
+package obsnil_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"picpredict/internal/analysis/analysistest"
+	"picpredict/internal/analysis/obsnil"
+)
+
+func TestObsnil(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), obsnil.Analyzer,
+		"obsnil/use",              // consumer side: every bypass fires
+		"picpredict/internal/obs", // the implementation itself is exempt
+	)
+}

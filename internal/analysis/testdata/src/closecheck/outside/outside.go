@@ -1,0 +1,14 @@
+// Package outside proves the closecheck scoping: the same dropped close as
+// the cmd fixture, in a package outside the artefact-writing set — nothing
+// may fire.
+package outside
+
+type w struct{}
+
+func (w) Close() error { return nil }
+
+// Drop drops a close error in an unscoped package.
+func Drop() {
+	var x w
+	x.Close()
+}

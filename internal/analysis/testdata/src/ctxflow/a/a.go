@@ -1,0 +1,48 @@
+// Package a is the golden fixture for the ctxflow analyzer.
+package a
+
+import "context"
+
+// Checks consults its context between iterations — the pipeline contract.
+func Checks(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Forwards passes its context to the callee doing the work.
+func Forwards(ctx context.Context) error {
+	return Checks(ctx, 1)
+}
+
+// Selects waits on cancellation.
+func Selects(ctx context.Context, ch <-chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Ignores takes a context and never looks at it.
+func Ignores(ctx context.Context, n int) int { // want `Ignores accepts a context.Context "ctx" but never consults it`
+	return n * 2
+}
+
+// Blank declares on the signature that the context is unused.
+func Blank(_ context.Context) int { return 1 }
+
+type stage struct{}
+
+// Run is an ignored-context method — stage implementations are the
+// analyzer's main audience.
+func (stage) Run(ctx context.Context) error { // want `Run accepts a context.Context "ctx" but never consults it`
+	return nil
+}
+
+//lint:allow ctxflow golden suppressed case: interface compliance, body is synchronous and instant
+func Waived(ctx context.Context) int { return 0 }

@@ -1,0 +1,41 @@
+// Package a is the golden fixture for the floatcmp analyzer.
+package a
+
+// Compare exercises every comparison idiom the analyzer distinguishes.
+func Compare(a, b float64, f float32) int {
+	if a == b { // want `exact float comparison a == b`
+		return 0
+	}
+	if a != b { // want `exact float comparison a != b`
+		return 1
+	}
+	if float64(f) == a { // want `exact float comparison float64\(f\) == a`
+		return 2
+	}
+
+	// Zero is exactly representable; comparing against the zero sentinel
+	// is the approved guard idiom.
+	if a == 0 {
+		return 3
+	}
+	if 0.0 != b {
+		return 4
+	}
+
+	// Self-comparison is the NaN probe.
+	if a != a {
+		return 5
+	}
+
+	// Integer comparison is exact by nature.
+	i, j := 1, 2
+	if i == j {
+		return 6
+	}
+
+	//lint:allow floatcmp golden suppressed case: bit-exact golden fixture check
+	if a == b {
+		return 7
+	}
+	return 8
+}

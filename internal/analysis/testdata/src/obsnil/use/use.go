@@ -1,0 +1,23 @@
+// Package use is the golden fixture for the obsnil analyzer's consumer
+// side: every way of reaching obs state without the nil-safe method API.
+package use
+
+import "picpredict/internal/obs"
+
+// Bypass exercises field access, composite literals, and new().
+func Bypass() int64 {
+	// The sanctioned API: construct with New, reach state through methods.
+	r := obs.New()
+	r.Counter("frames").Add(1)
+	good := r.Counter("frames").Value()
+
+	c := r.Counters["frames"] // want `direct field access on obs.Registry bypasses the nil-safe method API`
+	n := c.V                  // want `direct field access on obs.Counter bypasses the nil-safe method API`
+
+	bad := obs.Registry{}      // want `obs.Registry composite literal bypasses obs.New`
+	worse := new(obs.Registry) // want `new\(obs.Registry\) bypasses obs.New`
+	_, _ = bad, worse
+
+	//lint:allow obsnil golden suppressed case: white-box inspection in a fixture
+	return good + n + r.Counters["frames"].V
+}

@@ -1,0 +1,33 @@
+// Command demo is the golden fixture for the closecheck analyzer: it fakes
+// a path under picpredict/cmd/ so the artefact-writer scoping fires.
+package main
+
+import "os"
+
+type writer struct{}
+
+func (writer) Close() error { return nil }
+func (writer) Flush() error { return nil }
+func (writer) Sync() error  { return nil }
+
+// quiet has a Close with no error result: nothing can be dropped.
+type quiet struct{}
+
+func (quiet) Close() {}
+
+func main() {
+	w := writer{}
+	w.Close() // want `error returned by w.Close is dropped`
+	w.Flush() // want `error returned by w.Flush is dropped`
+
+	// The sanctioned forms: checked, explicitly discarded, deferred.
+	if err := w.Close(); err != nil {
+		os.Exit(1)
+	}
+	_ = w.Sync()
+	defer w.Close()
+
+	quiet{}.Close()
+
+	w.Sync() //lint:allow closecheck golden suppressed case: demo teardown, error cannot matter
+}

@@ -1,0 +1,76 @@
+// Package core is a golden fixture for the determinism analyzer. It fakes
+// the real picpredict/internal/core import path so the simulation-package
+// scoping fires; the real generator core lives in the module proper.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// MapAccumulate exercises the map-iteration-order rules.
+func MapAccumulate(m map[string]float64) (float64, []string, []float64) {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum inside a map-range loop`
+	}
+
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v) // want `append to vals inside a map-range loop`
+	}
+
+	// The remediation shape: collect the keys, sort them, fold in sorted
+	// order. Neither loop may be flagged.
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := 0.0
+	for _, k := range keys {
+		ordered += m[k]
+	}
+
+	// Accumulating into a variable local to the body is invisible outside
+	// one iteration, so the order cannot matter.
+	for _, v := range m {
+		local := 0.0
+		local += v
+		_ = local
+	}
+
+	// Integer accumulation is exact and associative: order-independent.
+	count := 0
+	for range m {
+		count++
+	}
+
+	return sum + ordered + float64(count), keys, vals
+}
+
+// PlainAssign exercises the x = x + v accumulation shape.
+func PlainAssign(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `float accumulation into total inside a map-range loop`
+	}
+	return total
+}
+
+// Entropy exercises the wall-clock and global-randomness rules.
+func Entropy() (int64, time.Time) {
+	n := rand.Int63() // want `rand.Int63 draws from the global random source`
+
+	// Constructing an explicitly seeded generator is the sanctioned form.
+	rng := rand.New(rand.NewSource(7))
+	n += rng.Int63()
+
+	now := time.Now() // want `time.Now in a simulation package`
+
+	deadline := time.Now() //lint:allow determinism golden suppressed case: feeds a log line only
+	_ = deadline
+
+	return n, now
+}

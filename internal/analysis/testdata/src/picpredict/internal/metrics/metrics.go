@@ -1,0 +1,19 @@
+// Package metrics is a golden fixture proving the determinism analyzer's
+// package scoping: it carries the same violations as the core fixture but
+// fakes a path outside the simulation/generator set, so nothing may fire.
+package metrics
+
+import "time"
+
+// Sum accumulates in map order — legal here, metrics are not a simulation
+// path.
+func Sum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Stamp reads the wall clock — legal here.
+func Stamp() time.Time { return time.Now() }

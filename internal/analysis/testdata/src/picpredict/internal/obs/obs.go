@@ -1,0 +1,52 @@
+// Package obs is the golden fixture standing in for the real observability
+// layer: the guarded types with exported fields, so the obsnil bypass rules
+// have reachable state to fire on from the consumer fixture. Inside this
+// package the analyzer must stay silent — the implementation owns its
+// fields.
+package obs
+
+// Registry fakes the instrument registry.
+type Registry struct {
+	Counters map[string]*Counter
+}
+
+// New returns a usable registry — the only sanctioned constructor.
+func New() *Registry { return &Registry{Counters: make(map[string]*Counter)} }
+
+// Counter returns the named counter, creating it on first use. Nil-safe.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.Counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.Counters[name] = c
+	}
+	return c
+}
+
+// Counter fakes the nil-safe counter.
+type Counter struct{ V int64 }
+
+// Add increments the counter. Nil-safe.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.V += d
+}
+
+// Value returns the count. Nil-safe.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.V
+}
+
+// Timer fakes the nil-safe timer.
+type Timer struct{ Nanos int64 }
+
+// Histogram fakes the nil-safe histogram.
+type Histogram struct{ N int64 }

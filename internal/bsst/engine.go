@@ -35,7 +35,7 @@ func (m *simMetrics) begin() {
 	if m == nil {
 		return
 	}
-	m.intervalT0 = time.Now()
+	m.intervalT0 = time.Now() //lint:allow determinism wall-clock observability timing; never feeds the simulated clock
 }
 
 // end records one interval: simulated seconds (the prediction) alongside
@@ -78,6 +78,7 @@ type eventQueue []event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
+	//lint:allow floatcmp exact tie-break keeps the event order a strict total order; a tolerance would break heap invariants
 	if q[i].time != q[j].time {
 		return q[i].time < q[j].time
 	}

@@ -2,6 +2,7 @@ package bsst
 
 import (
 	"fmt"
+	"sort"
 
 	"picpredict/internal/core"
 	"picpredict/internal/kernels"
@@ -49,14 +50,21 @@ func (p *Platform) KernelAccuracy(wl *core.Workload, testbed kernels.Measurer) (
 }
 
 // MeanAccuracy averages per-kernel MAPEs into the single figure the paper
-// headlines (8.42 %).
+// headlines (8.42 %). The fold visits kernels in sorted-name order: float
+// addition is not associative, and summing in map iteration order would
+// make the headline figure differ in the last ulp between runs.
 func MeanAccuracy(perKernel map[string]float64) float64 {
 	if len(perKernel) == 0 {
 		return 0
 	}
+	names := make([]string, 0, len(perKernel))
+	for name := range perKernel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	sum := 0.0
-	for _, v := range perKernel {
-		sum += v
+	for _, name := range names {
+		sum += perKernel[name]
 	}
 	return sum / float64(len(perKernel))
 }

@@ -1,6 +1,9 @@
 package cli
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseRanks(t *testing.T) {
 	got, err := ParseRanks("1044, 2088,4176")
@@ -23,6 +26,84 @@ func TestParseElements(t *testing.T) {
 		if _, err := ParseElements(bad); err == nil {
 			t.Errorf("ParseElements(%q) accepted", bad)
 		}
+	}
+}
+
+// TestParseRanksErrorPaths pins the rejection behaviour callers rely on:
+// which inputs fail, and that the message names the flag and the offending
+// value so a log.Fatal of the error is self-explanatory.
+func TestParseRanksErrorPaths(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // substring the error must carry
+	}{
+		{"", "-ranks: empty list"},
+		{" , ,", "-ranks: empty list"},   // whitespace-only entries are skipped, leaving nothing
+		{"0", "0 is not positive"},       // zero rank count
+		{"16,-4", "-4 is not positive"},  // negative in an otherwise valid list
+		{"abc", "invalid syntax"},        // non-numeric
+		{"16,1e3", "invalid syntax"},     // floats are not rank counts
+		{"16,,32", ""},                   // interior empty entries are tolerated
+		{"999999999999999999999999", "value out of range"}, // overflows int
+	}
+	for _, c := range cases {
+		got, err := ParseRanks(c.in)
+		if c.in == "16,,32" {
+			if err != nil || len(got) != 2 || got[0] != 16 || got[1] != 32 {
+				t.Errorf("ParseRanks(%q) = %v, %v; want [16 32]", c.in, got, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("ParseRanks(%q) accepted, got %v", c.in, got)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-ranks") {
+			t.Errorf("ParseRanks(%q) error %q does not name the flag", c.in, err)
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseRanks(%q) error %q missing %q", c.in, err, c.want)
+		}
+	}
+}
+
+// TestParseElementsErrorPaths pins the per-component diagnostics of the
+// element-grid flag.
+func TestParseElementsErrorPaths(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", `wants ex,ey,ez`},
+		{"4,4", `wants ex,ey,ez`},
+		{"4,4,4,4", `wants ex,ey,ez`},
+		{"x,4,4", "component 0"},
+		{"4,x,4", "component 1"},
+		{"4,4,x", "component 2"},
+		{"4,0,4", "component 1 must be positive"},
+		{"4,4,-1", "component 2 must be positive"},
+		{"4,4,99999999999999999999", "component 2"},
+	}
+	for _, c := range cases {
+		dims, err := ParseElements(c.in)
+		if err == nil {
+			t.Errorf("ParseElements(%q) accepted, got %v", c.in, dims)
+			continue
+		}
+		if dims != [3]int{} {
+			t.Errorf("ParseElements(%q) returned %v alongside an error; want the zero value", c.in, dims)
+		}
+		if !strings.Contains(err.Error(), "-elements") {
+			t.Errorf("ParseElements(%q) error %q does not name the flag", c.in, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseElements(%q) error %q missing %q", c.in, err, c.want)
+		}
+	}
+
+	// Interior whitespace is tolerated around components, not inside them.
+	if dims, err := ParseElements(" 8 , 4 , 2 "); err != nil || dims != [3]int{8, 4, 2} {
+		t.Errorf("ParseElements with padding = %v, %v", dims, err)
 	}
 }
 

@@ -181,7 +181,7 @@ func (g *Generator) Frame(iteration int, pos []geom.Vec3) error {
 	parallel := g.workers > 1 && len(pos) >= 4*g.workers
 	var t0 time.Time
 	if g.obsOn {
-		t0 = time.Now()
+		t0 = time.Now() //lint:allow determinism wall-clock fill timing for the obs layer; workload contents never depend on it
 	}
 	var err error
 	if parallel {

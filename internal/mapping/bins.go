@@ -226,6 +226,7 @@ func (bm *BinMapper) split(b binRange, pos []geom.Vec3, perm []int) (binRange, b
 // particles.
 func keyLess(pos []geom.Vec3, axis, a, b int) bool {
 	ca, cb := pos[a].Axis(axis), pos[b].Axis(axis)
+	//lint:allow floatcmp exact comparison is what makes this a strict total order; a tolerance would make selection ambiguous
 	if ca != cb {
 		return ca < cb
 	}

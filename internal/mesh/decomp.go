@@ -76,6 +76,7 @@ func bisect(m *Mesh, elems []int, centers []geom.Vec3, rank0, nranks int, owner 
 	axis := box.LongestAxis()
 	sort.Slice(elems, func(a, b int) bool {
 		ca, cb := centers[elems[a]].Axis(axis), centers[elems[b]].Axis(axis)
+		//lint:allow floatcmp exact comparison keeps the sort a strict total order; the index tie-break below handles equal centers
 		if ca != cb {
 			return ca < cb
 		}

@@ -34,6 +34,7 @@ func (c *collider) key(p geom.Vec3) cellKey {
 func floorDiv(x, d float64) int {
 	t := x / d
 	i := int(t)
+	//lint:allow floatcmp exact integrality test: floor correction must fire iff truncation actually rounded
 	if t < 0 && float64(i) != t {
 		i--
 	}

@@ -37,7 +37,7 @@ func (s *Solver) StepInstrumented() StepTimings {
 	p := s.Params
 	var t StepTimings
 
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall-clock kernel timing is this file's product (Model Generator training data)
 	s.Flow.Advance(s.time + p.Dt)
 	s.interp.BeginStep()
 	t.FluidAdvance = time.Since(start)
@@ -54,20 +54,20 @@ func (s *Solver) StepInstrumented() StepTimings {
 
 	var coll []geom.Vec3
 	if p.Collisions {
-		start = time.Now()
+		start = time.Now() //lint:allow determinism wall-clock kernel timing is this file's product (Model Generator training data)
 		coll = s.collide.Forces(s.Particles, p.CollisionStiffness)
 		t.Collisions = time.Since(start)
 	}
 
 	// Phase 1: interpolation (grid → particle).
-	start = time.Now()
+	start = time.Now() //lint:allow determinism wall-clock kernel timing is this file's product (Model Generator training data)
 	for i := 0; i < n; i++ {
 		uf[i] = s.interp.Velocity(s.Particles.Pos[i])
 	}
 	t.Interpolation = time.Since(start)
 
 	// Phase 2: equation solver.
-	start = time.Now()
+	start = time.Now() //lint:allow determinism wall-clock kernel timing is this file's product (Model Generator training data)
 	for i := 0; i < n; i++ {
 		a := s.drag(i, uf[i]).Add(p.Gravity)
 		if coll != nil {
@@ -78,7 +78,7 @@ func (s *Solver) StepInstrumented() StepTimings {
 	t.EqSolver = time.Since(start)
 
 	// Phase 3: particle pusher.
-	start = time.Now()
+	start = time.Now() //lint:allow determinism wall-clock kernel timing is this file's product (Model Generator training data)
 	switch p.Pusher {
 	case PushRK2:
 		s.pushRK2(acc, 0, n)
@@ -88,7 +88,7 @@ func (s *Solver) StepInstrumented() StepTimings {
 	t.Pusher = time.Since(start)
 
 	// Phase 4: projection (particle → grid).
-	start = time.Now()
+	start = time.Now() //lint:allow determinism wall-clock kernel timing is this file's product (Model Generator training data)
 	s.projectSerial()
 	t.Projection = time.Since(start)
 
@@ -109,7 +109,7 @@ func (s *Solver) projectSerial() {
 // TimedCreateGhostParticles runs the create_ghost_particles kernel against
 // a decomposition and reports its wall time alongside the ghost counts.
 func (s *Solver) TimedCreateGhostParticles(d *mesh.Decomposition) (perRank []int, total int, elapsed time.Duration) {
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall-clock kernel timing is this file's product (Model Generator training data)
 	perRank, total = s.CreateGhostParticles(d)
 	return perRank, total, time.Since(start)
 }

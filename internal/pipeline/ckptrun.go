@@ -83,7 +83,7 @@ func NewTraceRun(spec scenario.Spec, opts TraceRunOptions) (*TraceRun, error) {
 	}
 	tr.writer, err = trace.NewWriter(tr.file, tr.header)
 	if err != nil {
-		tr.file.Close()
+		_ = tr.file.Close() // secondary to the error being returned
 		return nil, err
 	}
 	return tr, nil
@@ -232,39 +232,39 @@ func reopenTrace(path string, h trace.Header, frames int) (*os.File, *trace.Writ
 	}
 	r, err := trace.NewReader(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // secondary to the error being returned
 		return nil, nil, fmt.Errorf("pipeline: reading trace to resume: %w", err)
 	}
 	if r.Legacy() {
-		f.Close()
+		_ = f.Close() // secondary to the error being returned
 		return nil, nil, fmt.Errorf("pipeline: trace %s is in the legacy v1 format, which has no frame checksums to resume against", path)
 	}
 	got := r.Header()
 	if got.NumParticles != h.NumParticles || got.SampleEvery != h.SampleEvery || got.Domain != h.Domain {
-		f.Close()
+		_ = f.Close() // secondary to the error being returned
 		return nil, nil, fmt.Errorf("pipeline: trace %s was written by a different run configuration; refusing to resume", path)
 	}
 	intact := 0
 	frameBuf := make([]geom.Vec3, h.NumParticles)
 	for intact < frames {
 		if _, err := r.Next(frameBuf); err != nil {
-			f.Close()
+			_ = f.Close() // secondary to the error being returned
 			return nil, nil, fmt.Errorf("pipeline: trace %s has only %d intact frames but the checkpoint recorded %d — the file was damaged after the checkpoint was taken: %w", path, intact, frames, err)
 		}
 		intact++
 	}
 	off := int64(trace.HeaderSize()) + int64(frames)*int64(trace.FrameSize(h.NumParticles))
 	if err := f.Truncate(off); err != nil {
-		f.Close()
+		_ = f.Close() // secondary to the error being returned
 		return nil, nil, fmt.Errorf("pipeline: truncating trace for resume: %w", err)
 	}
 	if _, err := f.Seek(off, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close() // secondary to the error being returned
 		return nil, nil, err
 	}
 	tw, err := trace.ResumeWriter(f, h, frames)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // secondary to the error being returned
 		return nil, nil, err
 	}
 	return f, tw, nil

@@ -20,8 +20,8 @@ func WriteFileAtomic(path string, fn func(io.Writer) error) (err error) {
 	}
 	defer func() {
 		if err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
+			_ = tmp.Close() // secondary to the error being returned
+			_ = os.Remove(tmp.Name())
 		}
 	}()
 	if err = fn(tmp); err != nil {
@@ -49,6 +49,6 @@ func syncDir(dir string) {
 	if err != nil {
 		return
 	}
-	d.Sync()
-	d.Close()
+	_ = d.Sync()  // see above: platform-dependent, deliberately best-effort
+	_ = d.Close() // read-only descriptor; nothing buffered to lose
 }

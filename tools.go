@@ -1,0 +1,27 @@
+//go:build tools
+
+// This file pins the module's build-time tooling, following the
+// tools.go convention: the blank imports below put the linter's full
+// implementation into the module graph even though no production
+// package imports it, so `go mod tidy` can never prune the analyzer
+// suite out from under `make lint`.
+//
+// The analyzers are deliberately vendored in-tree rather than pulled
+// from golang.org/x/tools: the build must stay reproducible with zero
+// external dependencies (go.mod has no requirements), so the pinned
+// version of the analysis framework *is* the repository commit. The
+// framework's API mirrors golang.org/x/tools/go/analysis
+// (Analyzer/Pass/Diagnostic), so if an external dependency ever becomes
+// acceptable, migration is: add the requirement here as
+// `_ "golang.org/x/tools/go/analysis"`, swap the framework import in
+// the analyzer packages, and delete internal/analysis/framework.
+//
+// (The file lives in the root package rather than a synthetic `tools`
+// package so that `go build -tags tools ./...` stays well-formed — the
+// root directory already compiles as package picpredict.)
+package picpredict
+
+import (
+	_ "picpredict/internal/analysis"
+	_ "picpredict/internal/analysis/framework"
+)
