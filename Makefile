@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race verify bench
+.PHONY: build test vet lint race verify bench serve-smoke
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,18 @@ vet:
 lint:
 	$(GO) run ./cmd/piclint ./...
 
+# The root package alone runs ~10 min under the race detector (golden +
+# fused end-to-end tests), which brushes go test's default 10m per-package
+# timeout on a loaded machine; give it headroom.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 verify: build vet lint race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# serve-smoke boots picserve on the golden fixture, exercises /readyz and
+# /v1/predict, and requires a clean SIGTERM drain with a manifest.
+serve-smoke:
+	./scripts/picserve_smoke.sh

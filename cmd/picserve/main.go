@@ -1,0 +1,172 @@
+// Command picserve is the long-running prediction service: it loads trace
+// (and optionally pre-generated workload) artefacts at startup, trains
+// kernel performance models on demand — cached in an LRU model registry
+// keyed by artefact checksum × training options, with singleflight
+// deduplication — and answers prediction queries over HTTP until SIGTERM
+// drains it.
+//
+// Usage:
+//
+//	picserve -listen :8080 -trace hele-shaw=trace.bin
+//
+// Endpoints:
+//
+//	POST /v1/predict   {"ranks":[1044,2088],"mapping":"bin","model":{"fast":true}}
+//	GET  /v1/models    the model registry's resident entries
+//	GET  /healthz      liveness (200 while the process runs)
+//	GET  /readyz       readiness (503 until serving and while draining)
+//
+// Saturation returns 429 with Retry-After; SIGTERM stops accepting,
+// finishes in-flight requests, writes the -metrics manifest, and exits 0.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"picpredict/internal/cli"
+	"picpredict/internal/obs"
+	"picpredict/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("picserve: ")
+
+	var (
+		listen    = flag.String("listen", "127.0.0.1:8080", "HTTP listen address (host:port; port 0 picks a free port)")
+		traceList = flag.String("trace", "", "comma-separated [name=]path trace artefacts to serve (required)")
+		wlList    = flag.String("workload", "", "comma-separated [name=]path workload artefacts (wlgen -save) to serve")
+
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent prediction workers")
+		queue     = flag.Int("queue", 0, "admitted requests that may wait behind the workers (default 4x workers); beyond that, 429")
+		reqTO     = flag.Duration("request-timeout", 60*time.Second, "per-request deadline, queue wait included")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound after SIGTERM")
+		modelCap  = flag.Int("models", 8, "model registry capacity (trained model sets held in the LRU)")
+		totalEl   = flag.Int("total-elements", 16384, "default total spectral elements for requests that omit it")
+		gridN     = flag.Float64("n", 4, "default grid resolution per element")
+		filterEl  = flag.Float64("filter-elements", 1, "default filter size in element widths")
+		machineNm = flag.String("machine", "quartz", "default target system: quartz, vulcan, titan")
+
+		metricsPath = flag.String("metrics", "", "write a JSON run manifest (timings, counters, artefact checksums) to this file on drain")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	)
+	flag.Parse()
+	if *traceList == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := cli.ParseAddr("-listen", *listen); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.Positive("-workers", *workers); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.Positive("-models", *modelCap); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.PositiveDuration("-request-timeout", *reqTO); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.PositiveDuration("-drain-timeout", *drainTO); err != nil {
+		log.Fatal(err)
+	}
+	traces, err := cli.ParseNamedPaths("-trace", *traceList)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := cli.Context()
+	defer stop()
+
+	run, err := cli.StartRun("picserve", *metricsPath, *pprofAddr, os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	run.SetConfig(map[string]any{
+		"listen": *listen, "trace": *traceList, "workload": *wlList,
+		"workers": *workers, "queue": *queue,
+		"request_timeout": reqTO.String(), "drain_timeout": drainTO.String(),
+		"models": *modelCap, "total_elements": *totalEl, "n": *gridN,
+		"filter_elements": *filterEl, "machine": *machineNm,
+	})
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		RequestTimeout: *reqTO,
+		DrainTimeout:   *drainTO,
+		ModelCapacity:  *modelCap,
+		TotalElements:  *totalEl,
+		GridN:          *gridN,
+		FilterElements: *filterEl,
+		Machine:        *machineNm,
+		Obs:            run.Reg,
+	})
+	for _, np := range traces {
+		tr, err := cli.OpenTrace(np.Path)
+		if err != nil {
+			log.Fatalf("-trace %s: %v", np.Path, err)
+		}
+		art, err := obs.FileArtefact(np.Path)
+		if err != nil {
+			log.Fatalf("-trace %s: %v", np.Path, err)
+		}
+		if err := srv.AddTrace(np.Name, tr, art.CRC32C); err != nil {
+			log.Fatal(err)
+		}
+		run.Artefact(np.Path)
+		log.Printf("loaded trace %q: %d particles, %d frames (crc %s)",
+			np.Name, tr.NumParticles(), tr.Frames(), art.CRC32C)
+	}
+	if *wlList != "" {
+		wls, err := cli.ParseNamedPaths("-workload", *wlList)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, np := range wls {
+			wl, err := cli.OpenWorkload(np.Path)
+			if err != nil {
+				log.Fatalf("-workload %s: %v", np.Path, err)
+			}
+			art, err := obs.FileArtefact(np.Path)
+			if err != nil {
+				log.Fatalf("-workload %s: %v", np.Path, err)
+			}
+			if err := srv.AddWorkload(np.Name, wl, art.CRC32C); err != nil {
+				log.Fatal(err)
+			}
+			run.Artefact(np.Path)
+			log.Printf("loaded workload %q: R=%d, %d intervals (crc %s)",
+				np.Name, wl.Ranks(), wl.Frames(), art.CRC32C)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("-listen: %v", err)
+	}
+	// The smoke harness greps this line for the bound address (port 0 runs).
+	log.Printf("serving on http://%s (predict at /v1/predict, readiness at /readyz)", ln.Addr())
+	run.Reg.StageDone("startup")
+
+	if err := srv.Serve(ctx, ln); err != nil {
+		// A failed drain still flushes the manifest: partial evidence
+		// beats none.
+		finishErr := run.Finish()
+		log.Print(err)
+		if finishErr != nil {
+			log.Print(finishErr)
+		}
+		os.Exit(1)
+	}
+	run.Reg.StageDone("serve")
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained cleanly")
+}

@@ -321,11 +321,16 @@ func newFusedPlatform(sc Scenario, models Models, opts FusedOptions) (*Platform,
 	if gridN == 0 {
 		gridN = float64(sc.GridN())
 	}
-	fe := opts.FilterElements
-	if fe == 0 {
-		fe = 1
+	return assemblePlatform(models, totalEl, gridN, opts.FilterElements, opts.Machine, opts.Obs)
+}
+
+// assemblePlatform is the shared Simulation Platform constructor behind the
+// fused and serving flows: FilterElements defaults to one element width and
+// Machine to Quartz; TotalElements and GridN must already be resolved.
+func assemblePlatform(models Models, totalEl int, gridN, filterEl float64, machine *MachineSpec, reg *obs.Registry) (*Platform, error) {
+	if filterEl == 0 {
+		filterEl = 1
 	}
-	machine := opts.Machine
 	if machine == nil {
 		q := QuartzMachine()
 		machine = &q
@@ -333,8 +338,64 @@ func newFusedPlatform(sc Scenario, models Models, opts FusedOptions) (*Platform,
 	return NewPlatform(models, PlatformOptions{
 		TotalElements: totalEl,
 		N:             gridN,
-		Filter:        fe,
+		Filter:        filterEl,
 		Machine:       machine,
-		Obs:           opts.Obs,
+		Obs:           reg,
 	})
+}
+
+// QueryOptions configures one prediction query against an already-loaded
+// artefact — the serving-path analogue of FusedOptions, shaped for a
+// long-running process that amortises trace loading and model training
+// across many queries.
+type QueryOptions struct {
+	// Workload configures the Dynamic Workload Generator for this query
+	// (ranks, mapping, filter radius, ...). Ignored by PredictWorkload,
+	// which replays a pre-generated workload.
+	Workload WorkloadOptions
+	// TotalElements and GridN configure the Simulation Platform; both must
+	// be positive (a server fills them from its configuration defaults).
+	TotalElements int
+	GridN         float64
+	// FilterElements defaults to one element width; Machine to Quartz.
+	FilterElements float64
+	Machine        *MachineSpec
+	// Obs, when non-nil, instruments workload generation and the
+	// simulator exactly as in the fused flow.
+	Obs *obs.Registry
+}
+
+// PredictFromTrace is the reusable predict-from-artefact entry point: one
+// workload generation plus one BSP replay for a single configuration over a
+// trace that is already in memory. The trace is only read, and trained
+// Models are immutable after fitting, so any number of PredictFromTrace
+// calls may run concurrently over the same trace and models — the property
+// the serving layer's worker pool relies on.
+func PredictFromTrace(ctx context.Context, tr *Trace, models Models, q QueryOptions) (*Workload, *Prediction, error) {
+	wl, err := tr.GenerateWorkloadContext(obs.With(ctx, q.Obs), q.Workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	pred, err := PredictWorkload(models, wl, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return wl, pred, nil
+}
+
+// PredictWorkload replays an existing workload (generated in-process or
+// loaded from a wlgen -save artefact) through the BSP simulator under q's
+// platform configuration.
+func PredictWorkload(models Models, wl *Workload, q QueryOptions) (*Prediction, error) {
+	if q.TotalElements <= 0 {
+		return nil, fmt.Errorf("picpredict: PredictWorkload needs a positive TotalElements, got %d", q.TotalElements)
+	}
+	if q.GridN <= 0 {
+		return nil, fmt.Errorf("picpredict: PredictWorkload needs a positive GridN, got %g", q.GridN)
+	}
+	platform, err := assemblePlatform(models, q.TotalElements, q.GridN, q.FilterElements, q.Machine, q.Obs)
+	if err != nil {
+		return nil, err
+	}
+	return platform.SimulateBSP(wl)
 }

@@ -8,11 +8,15 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"picpredict"
 	"picpredict/internal/scenario"
@@ -88,9 +92,40 @@ func ParseElements(s string) ([3]int, error) {
 	return dims, nil
 }
 
-// OpenTrace opens and parses a trace file, tolerating a damaged tail: the
-// salvage warning is logged and the intact prefix returned — the shared
-// graceful-degradation behaviour of every trace-consuming binary.
+// salvageWarned dedupes salvage warnings per artefact path for the life of
+// the process: a binary (or a long-running server) that opens the same
+// damaged artefact repeatedly — predict looping over rank counts, a test
+// harness, picserve reloading — emits ONE aggregated recovered-frame
+// warning per artefact rather than a line per open.
+var (
+	salvageMu     sync.Mutex
+	salvageWarned = make(map[string]bool)
+)
+
+// warnSalvage logs the single aggregated salvage warning for path; repeat
+// calls for the same path are silent.
+func warnSalvage(path, unit string, s *picpredict.Salvage) {
+	salvageMu.Lock()
+	defer salvageMu.Unlock()
+	if salvageWarned[path] {
+		return
+	}
+	salvageWarned[path] = true
+	log.Printf("warning: %s is damaged (%v); recovered the %d intact %s and continuing",
+		path, s.Damage, s.Recovered, unit)
+}
+
+// resetSalvageWarnings clears the dedup table (tests only).
+func resetSalvageWarnings() {
+	salvageMu.Lock()
+	defer salvageMu.Unlock()
+	salvageWarned = make(map[string]bool)
+}
+
+// OpenTrace opens and parses a trace file, tolerating a damaged tail: one
+// aggregated salvage warning is logged per artefact and the intact prefix
+// returned — the shared graceful-degradation behaviour of every
+// trace-consuming binary.
 func OpenTrace(path string) (*picpredict.Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -102,15 +137,14 @@ func OpenTrace(path string) (*picpredict.Trace, error) {
 		return nil, err
 	}
 	if salvage != nil {
-		log.Printf("warning: %s is damaged (%v); recovered the %d intact frames and continuing",
-			path, salvage.Damage, salvage.Recovered)
+		warnSalvage(path, "frames", salvage)
 	}
 	return tr, nil
 }
 
 // OpenWorkload opens and parses a workload file saved with wlgen -save,
-// logging a salvage warning and returning the intact prefix when the tail
-// is damaged.
+// logging one aggregated salvage warning per artefact and returning the
+// intact prefix when the tail is damaged.
 func OpenWorkload(path string) (*picpredict.Workload, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -122,10 +156,68 @@ func OpenWorkload(path string) (*picpredict.Workload, error) {
 		return nil, err
 	}
 	if salvage != nil {
-		log.Printf("warning: %s is damaged (%v); recovered the %d intact intervals and continuing",
-			path, salvage.Damage, salvage.Recovered)
+		warnSalvage(path, "intervals", salvage)
 	}
 	return wl, nil
+}
+
+// ParseAddr validates a listen-address flag of the host:port form (empty
+// host binds every interface; port 0 picks a free port).
+func ParseAddr(name, s string) error {
+	if s == "" {
+		return fmt.Errorf("%s must not be empty", name)
+	}
+	if _, _, err := net.SplitHostPort(s); err != nil {
+		return fmt.Errorf("%s wants host:port: %v", name, err)
+	}
+	return nil
+}
+
+// PositiveDuration validates that a duration flag is positive.
+func PositiveDuration(name string, d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("%s must be positive, got %v", name, d)
+	}
+	return nil
+}
+
+// NamedPath is one "[name=]path" artefact reference from a comma-separated
+// flag; the default name is the path's base without extension.
+type NamedPath struct {
+	Name, Path string
+}
+
+// ParseNamedPaths parses a comma-separated "[name=]path" artefact list —
+// the picserve -trace/-workload flag syntax. Names must be unique within
+// one flag.
+func ParseNamedPaths(flagName, s string) ([]NamedPath, error) {
+	seen := make(map[string]bool)
+	var out []NamedPath
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		np := NamedPath{Path: part}
+		if name, path, ok := strings.Cut(part, "="); ok {
+			np = NamedPath{Name: strings.TrimSpace(name), Path: strings.TrimSpace(path)}
+			if np.Name == "" || np.Path == "" {
+				return nil, fmt.Errorf("%s: malformed entry %q (want [name=]path)", flagName, part)
+			}
+		} else {
+			base := filepath.Base(np.Path)
+			np.Name = strings.TrimSuffix(base, filepath.Ext(base))
+		}
+		if seen[np.Name] {
+			return nil, fmt.Errorf("%s: duplicate artefact name %q", flagName, np.Name)
+		}
+		seen[np.Name] = true
+		out = append(out, np)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: empty list", flagName)
+	}
+	return out, nil
 }
 
 // ScenarioByName returns the named scenario preset as the facade type the

@@ -1,8 +1,15 @@
 package cli
 
 import (
+	"bytes"
+	"log"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"picpredict"
 )
 
 func TestParseRanks(t *testing.T) {
@@ -162,4 +169,108 @@ func TestContext(t *testing.T) {
 	// stop releases the handler; the context itself only cancels on signal
 	// or on stop, per signal.NotifyContext semantics.
 	<-ctx.Done()
+}
+
+// writeTornTrace writes a small trace artefact and tears its final frame,
+// so salvaged opens report damage.
+func writeTornTrace(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	sc := picpredict.HeleShaw().WithParticles(40).WithSteps(20).WithSampleEvery(5)
+	if err := sc.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "torn.bin")
+	if err := os.WriteFile(path, buf.Bytes()[:buf.Len()-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSalvageWarningDeduped: opening the same damaged artefact repeatedly —
+// predict looping over rank counts, picserve startup — logs ONE aggregated
+// warning, not a line per open.
+func TestSalvageWarningDeduped(t *testing.T) {
+	path := writeTornTrace(t)
+	resetSalvageWarnings()
+
+	var logs bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&logs)
+	defer log.SetOutput(prev)
+
+	for i := 0; i < 3; i++ {
+		tr, err := OpenTrace(path)
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		if tr.Frames() == 0 {
+			t.Fatalf("open %d salvaged nothing", i)
+		}
+	}
+	warnings := strings.Count(logs.String(), "warning:")
+	if warnings != 1 {
+		t.Fatalf("3 opens of one damaged artefact logged %d warnings, want 1:\n%s", warnings, logs.String())
+	}
+	if !strings.Contains(logs.String(), "recovered the") || !strings.Contains(logs.String(), "intact frames") {
+		t.Errorf("warning does not aggregate the recovered-frame count:\n%s", logs.String())
+	}
+
+	// A different artefact (same damage) still gets its own warning.
+	other := writeTornTrace(t)
+	if _, err := OpenTrace(other); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(logs.String(), "warning:"); got != 2 {
+		t.Fatalf("distinct damaged artefact did not get its own warning (total %d)", got)
+	}
+}
+
+func TestParseAddr(t *testing.T) {
+	for _, ok := range []string{"127.0.0.1:8080", ":0", "localhost:6060", "[::1]:80"} {
+		if err := ParseAddr("-listen", ok); err != nil {
+			t.Errorf("ParseAddr(%q) = %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "8080", "localhost", "host:port:extra"} {
+		if err := ParseAddr("-listen", bad); err == nil {
+			t.Errorf("ParseAddr(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPositiveDuration(t *testing.T) {
+	if err := PositiveDuration("-request-timeout", time.Second); err != nil {
+		t.Errorf("PositiveDuration(1s) = %v", err)
+	}
+	for _, bad := range []time.Duration{0, -time.Millisecond} {
+		if err := PositiveDuration("-request-timeout", bad); err == nil {
+			t.Errorf("PositiveDuration(%v) accepted", bad)
+		}
+	}
+}
+
+func TestParseNamedPaths(t *testing.T) {
+	got, err := ParseNamedPaths("-trace", "hs=/tmp/a.bin, /data/hele-shaw.bin ,b=/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NamedPath{
+		{Name: "hs", Path: "/tmp/a.bin"},
+		{Name: "hele-shaw", Path: "/data/hele-shaw.bin"}, // default name: base sans extension
+		{Name: "b", Path: "/x"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ParseNamedPaths = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", " , ", "=path", "name=", "a=/x,a=/y", "/dir/t.bin,t=/other"} {
+		if _, err := ParseNamedPaths("-trace", bad); err == nil {
+			t.Errorf("ParseNamedPaths(%q) accepted", bad)
+		}
+	}
 }

@@ -1,0 +1,190 @@
+package extrapolate
+
+import (
+	"math"
+	"testing"
+
+	"picpredict/internal/geom"
+)
+
+// TestFramesEdgeCases drives the degenerate inputs a robust extrapolator
+// must survive: single particles, single frames, zero-extent clouds, and
+// clamp boxes the jitter collides with.
+func TestFramesEdgeCases(t *testing.T) {
+	dup := func(p geom.Vec3, n int) []geom.Vec3 {
+		out := make([]geom.Vec3, n)
+		for i := range out {
+			out[i] = p
+		}
+		return out
+	}
+
+	cases := []struct {
+		name  string
+		in    []geom.Vec3
+		np    int
+		opts  Options
+		check func(t *testing.T, out []geom.Vec3)
+	}{
+		{
+			// np=1: the bounding box of one particle has zero extent, so
+			// the spacing estimate (and hence every jitter offset) must be
+			// exactly zero — all clones ride the donor verbatim.
+			name: "single particle",
+			in:   []geom.Vec3{geom.V(0.1, 0.2, 0.3), geom.V(0.4, 0.2, 0.3)},
+			np:   1,
+			opts: Options{Factor: 5, Seed: 1},
+			check: func(t *testing.T, out []geom.Vec3) {
+				if len(out) != 10 {
+					t.Fatalf("len = %d, want 10", len(out))
+				}
+				for i := 0; i < 5; i++ {
+					if out[i] != geom.V(0.1, 0.2, 0.3) || out[5+i] != geom.V(0.4, 0.2, 0.3) {
+						t.Fatalf("clone %d strayed from its lone donor: %v / %v", i, out[i], out[5+i])
+					}
+				}
+			},
+		},
+		{
+			// One frame is a legal trace: extrapolation is purely spatial.
+			name: "single frame",
+			in:   makeTrace(50)[:50],
+			np:   50,
+			opts: Options{Factor: 3, Seed: 2},
+			check: func(t *testing.T, out []geom.Vec3) {
+				if len(out) != 150 {
+					t.Fatalf("len = %d, want 150", len(out))
+				}
+				for i := 0; i < 50; i++ {
+					if out[i] != makeTrace(50)[i] {
+						t.Fatalf("original %d altered", i)
+					}
+				}
+			},
+		},
+		{
+			// Every particle at one point: zero-extent box hits the
+			// maxE==0 branch of spacingEstimate, sigma is the zero vector,
+			// and the synthetic cloud collapses onto the point too.
+			name: "all duplicate positions",
+			in:   dup(geom.V(0.5, 0.5, 0.5), 40),
+			np:   40,
+			opts: Options{Factor: 4, Seed: 3, Spread: 10},
+			check: func(t *testing.T, out []geom.Vec3) {
+				for i, p := range out {
+					if p != geom.V(0.5, 0.5, 0.5) {
+						t.Fatalf("position %d jittered off a zero-extent cloud: %v", i, p)
+					}
+				}
+			},
+		},
+		{
+			// A clamp box whose lower corner sits inside the cloud: heavy
+			// jitter must be pinned at the boundary, never below it.
+			name: "clamp at lower bound",
+			in:   makeTrace(100),
+			np:   100,
+			opts: Options{
+				Factor: 6, Seed: 4, Spread: 8,
+				Clamp: geom.Box(geom.V(0.05, 0.05, 0), geom.V(1, 1, 1)),
+			},
+			check: func(t *testing.T, out []geom.Vec3) {
+				pinned := 0
+				for i, p := range out {
+					if p.X < 0.05 || p.Y < 0.05 || p.Z < 0 {
+						t.Fatalf("position %d below the clamp floor: %v", i, p)
+					}
+					if p.X == 0.05 || p.Y == 0.05 {
+						pinned++
+					}
+				}
+				if pinned == 0 {
+					t.Error("spread 8 never reached the clamp floor — the clamp branch went unexercised")
+				}
+			},
+		},
+		{
+			// Thin Hele-Shaw gap: z extent is 0.2% of x, far below the 5%
+			// degeneracy threshold, so z jitter is bounded by the half-gap
+			// while x/y jitter comes from the 2-D density.
+			name: "degenerate thin axis",
+			in: func() []geom.Vec3 {
+				out := make([]geom.Vec3, 400)
+				for i := range out {
+					out[i] = geom.V(float64(i%20)/20, float64(i/20%20)/20, 0.001*float64(i%2))
+				}
+				return out
+			}(),
+			np:   400,
+			opts: Options{Factor: 4, Seed: 5},
+			check: func(t *testing.T, out []geom.Vec3) {
+				for i, p := range out {
+					if p.Z < -0.005 || p.Z > 0.006 {
+						t.Fatalf("position %d escaped the thin gap: z = %g", i, p.Z)
+					}
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := Frames(tc.in, tc.np, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, out)
+		})
+	}
+}
+
+// TestSpacingEstimateDegenerate pins the spacing estimator's axis
+// classification on degenerate boxes.
+func TestSpacingEstimateDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		box  geom.AABB
+		np   int
+		want func(s geom.Vec3) bool
+	}{
+		{
+			name: "zero extent",
+			box:  geom.Box(geom.V(1, 1, 1), geom.V(1, 1, 1)),
+			np:   10,
+			want: func(s geom.Vec3) bool { return s == (geom.Vec3{}) },
+		},
+		{
+			name: "planar bed",
+			box:  geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 0.01)),
+			np:   100,
+			// 2-D density: spacing sqrt(1*1/100) = 0.1 in x/y, half-gap in z.
+			want: func(s geom.Vec3) bool {
+				return math.Abs(s.X-0.1) < 1e-12 && math.Abs(s.Y-0.1) < 1e-12 && s.Z == 0.005
+			},
+		},
+		{
+			name: "line of particles",
+			box:  geom.Box(geom.V(0, 0, 0), geom.V(1, 0, 0)),
+			np:   10,
+			// 1-D density: spacing 1/10 along x, zero across.
+			want: func(s geom.Vec3) bool {
+				return math.Abs(s.X-0.1) < 1e-12 && s.Y == 0 && s.Z == 0
+			},
+		},
+		{
+			name: "cube",
+			box:  geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)),
+			np:   1000,
+			// 3-D density: cbrt(1/1000) = 0.1 on every axis.
+			want: func(s geom.Vec3) bool {
+				return math.Abs(s.X-0.1) < 1e-12 && math.Abs(s.Y-0.1) < 1e-12 && math.Abs(s.Z-0.1) < 1e-12
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if s := spacingEstimate(tc.box, tc.np); !tc.want(s) {
+				t.Errorf("spacingEstimate(%v, %d) = %v", tc.box, tc.np, s)
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package obs
+
+// Canonical metric names of the serving layer (internal/serve + cmd/picserve).
+//
+// The obs instruments are keyed by free-form strings; these constants pin
+// the serve-side names in one place so the handlers that record them, the
+// tests that assert on them, and the dashboards reading /debug/vars off the
+// -pprof endpoint agree on spelling. Batch-side names (pipeline.*, core.*,
+// bsst.*, fused stage names) stay literal at their single recording site.
+const (
+	// ServeRequests counts every /v1/predict request accepted past
+	// admission control (whatever its final status).
+	ServeRequests = "serve.requests"
+	// ServeRejected counts requests turned away with 429 because the
+	// admission queue was full.
+	ServeRejected = "serve.rejected"
+	// ServeTimeouts counts requests that hit their per-request deadline
+	// (while queued or mid-prediction).
+	ServeTimeouts = "serve.timeouts"
+	// ServeErrors counts requests that failed with a 4xx/5xx other than
+	// 429 and timeout.
+	ServeErrors = "serve.errors"
+	// ServeLatencyNs is the end-to-end /v1/predict latency histogram in
+	// nanoseconds, admission wait included.
+	ServeLatencyNs = "serve.request_ns"
+	// ServeQueueDepth is a histogram of the admission-queue depth sampled
+	// at each accepted request — how close the server runs to refusing.
+	ServeQueueDepth = "serve.queue_depth"
+	// ServeDrainNs times the graceful drain (SIGTERM to last in-flight
+	// request finished).
+	ServeDrainNs = "serve.drain_ns"
+
+	// ServeCacheHits / ServeCacheMisses count model-registry lookups that
+	// found a (ready or in-flight) entry vs. ones that started a training
+	// run; ServeCacheEvictions counts LRU evictions under the capacity
+	// bound.
+	ServeCacheHits      = "serve.model_cache.hits"
+	ServeCacheMisses    = "serve.model_cache.misses"
+	ServeCacheEvictions = "serve.model_cache.evictions"
+	// ServeTrainNs times registry training runs — one observation per
+	// cache miss that ran the Model Generator.
+	ServeTrainNs = "serve.model_train_ns"
+)

@@ -1,0 +1,67 @@
+package serve
+
+import "context"
+
+// pool is the bounded worker pool with queue-depth admission control. Two
+// semaphores bound the request pipeline: admit caps the total number of
+// requests in the system (executing + queued) and work caps concurrent
+// execution. A request first takes an admit token — non-blocking, so a full
+// system answers 429 immediately instead of building an unbounded backlog —
+// then blocks (queued) until a work token frees up or its deadline passes.
+type pool struct {
+	admit chan struct{}
+	work  chan struct{}
+}
+
+// newPool sizes the pool: workers concurrent executions, queue further
+// requests waiting behind them (both forced to at least 1 worker / 0
+// queued).
+func newPool(workers, queue int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &pool{
+		admit: make(chan struct{}, workers+queue),
+		work:  make(chan struct{}, workers),
+	}
+}
+
+// tryAdmit claims an admission slot; false means the system is saturated
+// and the caller must shed the request (429 + Retry-After).
+func (p *pool) tryAdmit() bool {
+	select {
+	case p.admit <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// releaseAdmit returns an admission slot claimed by tryAdmit.
+func (p *pool) releaseAdmit() { <-p.admit }
+
+// acquireWork blocks until a worker slot frees up or ctx is done.
+func (p *pool) acquireWork(ctx context.Context) error {
+	select {
+	case p.work <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// releaseWork returns a worker slot claimed by acquireWork.
+func (p *pool) releaseWork() { <-p.work }
+
+// queued approximates the number of admitted requests waiting for a worker
+// slot — the admission-queue depth the obs histogram samples.
+func (p *pool) queued() int {
+	q := len(p.admit) - len(p.work)
+	if q < 0 {
+		q = 0
+	}
+	return q
+}

@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"picpredict"
+	"picpredict/internal/obs"
+)
+
+// PredictRequest is the /v1/predict body. Ranks is the only required
+// field; everything else defaults from the server configuration.
+type PredictRequest struct {
+	// Scenario names the trace artefact to predict against (default: the
+	// server's first-loaded trace). Workload instead names a pre-generated
+	// workload artefact — its ranks/mapping are baked in, so Ranks,
+	// Mapping, and Filter are rejected alongside it.
+	Scenario string `json:"scenario,omitempty"`
+	Workload string `json:"workload,omitempty"`
+
+	// Ranks lists the processor counts to predict (§II: one trace answers
+	// every system size).
+	Ranks []int `json:"ranks,omitempty"`
+	// Mapping selects the mapper (element, bin, hilbert, weighted,
+	// ohhelp; default bin); Filter is the projection filter radius
+	// (default: 0, real particles only); RelaxedBins and MidpointSplit
+	// tune bin mapping.
+	Mapping       string  `json:"mapping,omitempty"`
+	Filter        float64 `json:"filter,omitempty"`
+	RelaxedBins   bool    `json:"relaxed_bins,omitempty"`
+	MidpointSplit bool    `json:"midpoint_split,omitempty"`
+
+	// Model selects and configures the Model Generator variant.
+	Model ModelParams `json:"model,omitempty"`
+
+	// Machine, TotalElements, N, and FilterElements override the server's
+	// platform defaults.
+	Machine        string  `json:"machine,omitempty"`
+	TotalElements  int     `json:"total_elements,omitempty"`
+	N              float64 `json:"n,omitempty"`
+	FilterElements float64 `json:"filter_elements,omitempty"`
+}
+
+// ModelParams is the model-kind block of a predict request.
+type ModelParams struct {
+	// Kind is synthetic (default), wallclock, or app.
+	Kind string `json:"kind,omitempty"`
+	// Fast shrinks the symbolic-regression search; Seed and Noise as in
+	// picpredict.TrainOptions.
+	Fast  bool    `json:"fast,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+	Noise float64 `json:"noise,omitempty"`
+}
+
+// PredictResult is one rank count's prediction.
+type PredictResult struct {
+	Ranks           int     `json:"ranks"`
+	TotalSec        float64 `json:"total_sec"`
+	ComputeSec      float64 `json:"compute_sec"`
+	CommSec         float64 `json:"comm_sec"`
+	MeanUtilization float64 `json:"mean_utilization"`
+	PeakParticles   int64   `json:"peak_particles"`
+}
+
+// PredictResponse is the /v1/predict response body.
+type PredictResponse struct {
+	Scenario string          `json:"scenario"`
+	ModelKey ModelKey        `json:"model_key"`
+	Cache    string          `json:"cache"` // "hit" or "miss"
+	Results  []PredictResult `json:"results"`
+}
+
+// errorBody is every non-200 JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // client gone mid-write; nothing useful to do
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	case !s.ready.Load():
+		writeError(w, http.StatusServiceUnavailable, "not ready")
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"traces":   s.traceNames(),
+			"models":   s.registry.Len(),
+			"inflight": s.inflight.Load(),
+		})
+	}
+}
+
+func (s *Server) traceNames() []string {
+	names := make([]string, 0, len(s.traces))
+	for n := range s.traces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"capacity": s.cfg.ModelCapacity,
+		"models":   s.registry.Entries(),
+	})
+}
+
+// handlePredict is the serving hot path: admission control, per-request
+// deadline, model registry lookup (training on miss), then one workload
+// generation + BSP replay per requested rank count.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if !s.pool.tryAdmit() {
+		s.reg.Counter(obs.ServeRejected).Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"saturated: %d executing and %d queued; retry shortly", s.cfg.Workers, s.cfg.Queue)
+		return
+	}
+	defer s.pool.releaseAdmit()
+	s.reg.Counter(obs.ServeRequests).Inc()
+	s.reg.Histogram(obs.ServeQueueDepth).Observe(int64(s.pool.queued()))
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	stopLatency := s.reg.Timer(obs.ServeLatencyNs).Start()
+	defer stopLatency()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	var req PredictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.reg.Counter(obs.ServeErrors).Inc()
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+
+	// Wait (queued) for a worker slot.
+	if err := s.pool.acquireWork(ctx); err != nil {
+		s.reg.Counter(obs.ServeTimeouts).Inc()
+		writeError(w, http.StatusGatewayTimeout, "timed out waiting for a worker: %v", err)
+		return
+	}
+	defer s.pool.releaseWork()
+
+	resp, status, err := s.predict(ctx, &req)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			s.reg.Counter(obs.ServeTimeouts).Inc()
+			writeError(w, http.StatusGatewayTimeout, "request timed out")
+		default:
+			s.reg.Counter(obs.ServeErrors).Inc()
+			writeError(w, status, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// predict resolves the request against loaded artefacts and the model
+// registry. The returned status is used only when err is non-nil.
+func (s *Server) predict(ctx context.Context, req *PredictRequest) (*PredictResponse, int, error) {
+	kind, err := picpredict.ParseModelKind(req.Model.Kind)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	var machine *picpredict.MachineSpec
+	machineName := req.Machine
+	if machineName == "" {
+		machineName = s.cfg.Machine
+	}
+	m, err := picpredict.MachineByName(machineName)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	machine = &m
+
+	q := picpredict.QueryOptions{
+		TotalElements:  s.cfg.TotalElements,
+		GridN:          s.cfg.GridN,
+		FilterElements: s.cfg.FilterElements,
+		Machine:        machine,
+		Obs:            s.reg,
+	}
+	if req.TotalElements > 0 {
+		q.TotalElements = req.TotalElements
+	}
+	if req.N > 0 {
+		q.GridN = req.N
+	}
+	if req.FilterElements > 0 {
+		q.FilterElements = req.FilterElements
+	}
+
+	trainOpts := picpredict.TrainOptions{Fast: req.Model.Fast, Seed: req.Model.Seed, Noise: req.Model.Noise}
+
+	if req.Workload != "" {
+		return s.predictWorkload(ctx, req, kind, trainOpts, q)
+	}
+	return s.predictTrace(ctx, req, kind, trainOpts, q)
+}
+
+// predictTrace serves the generate-then-predict path over a trace artefact.
+func (s *Server) predictTrace(ctx context.Context, req *PredictRequest, kind picpredict.ModelKind, trainOpts picpredict.TrainOptions, q picpredict.QueryOptions) (*PredictResponse, int, error) {
+	name := req.Scenario
+	if name == "" {
+		name = s.defaultTrace
+	}
+	art := s.traces[name]
+	if art == nil {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown scenario %q (loaded: %v)", name, s.traceNames())
+	}
+	if len(req.Ranks) == 0 {
+		return nil, http.StatusBadRequest, errors.New("ranks is required (e.g. [1044, 2088])")
+	}
+	for _, r := range req.Ranks {
+		if r <= 0 {
+			return nil, http.StatusBadRequest, fmt.Errorf("rank count %d is not positive", r)
+		}
+	}
+	mapping := req.Mapping
+	if mapping == "" {
+		mapping = string(picpredict.MappingBin)
+	}
+	switch picpredict.MappingKind(mapping) {
+	case picpredict.MappingElement, picpredict.MappingBin, picpredict.MappingHilbert,
+		picpredict.MappingWeighted, picpredict.MappingOhHelp:
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown mapping %q (element, bin, hilbert, weighted, ohhelp)", mapping)
+	}
+
+	models, hit, err := s.models(ctx, art.crc, kind, trainOpts)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+
+	resp := &PredictResponse{
+		Scenario: name,
+		ModelKey: Fingerprint(art.crc, kind, trainOpts),
+		Cache:    cacheLabel(hit),
+	}
+	for _, ranks := range req.Ranks {
+		if err := ctx.Err(); err != nil {
+			return nil, http.StatusGatewayTimeout, err
+		}
+		q.Workload = picpredict.WorkloadOptions{
+			Ranks:         ranks,
+			Mapping:       picpredict.MappingKind(mapping),
+			FilterRadius:  req.Filter,
+			RelaxedBins:   req.RelaxedBins,
+			MidpointSplit: req.MidpointSplit,
+		}
+		wl, pred, err := picpredict.PredictFromTrace(ctx, art.tr, models, q)
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		resp.Results = append(resp.Results, resultOf(wl, pred))
+	}
+	return resp, http.StatusOK, nil
+}
+
+// predictWorkload serves the replay path over a pre-generated workload.
+func (s *Server) predictWorkload(ctx context.Context, req *PredictRequest, kind picpredict.ModelKind, trainOpts picpredict.TrainOptions, q picpredict.QueryOptions) (*PredictResponse, int, error) {
+	if len(req.Ranks) != 0 || req.Mapping != "" || req.Filter != 0 {
+		return nil, http.StatusBadRequest, errors.New("workload replay: ranks/mapping/filter are baked into the artefact; omit them")
+	}
+	art := s.workloads[req.Workload]
+	if art == nil {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown workload %q", req.Workload)
+	}
+	models, hit, err := s.models(ctx, art.crc, kind, trainOpts)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, http.StatusGatewayTimeout, err
+	}
+	pred, err := picpredict.PredictWorkload(models, art.wl, q)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	return &PredictResponse{
+		Scenario: req.Workload,
+		ModelKey: Fingerprint(art.crc, kind, trainOpts),
+		Cache:    cacheLabel(hit),
+		Results:  []PredictResult{resultOf(art.wl, pred)},
+	}, http.StatusOK, nil
+}
+
+// models resolves one trained model set through the registry.
+func (s *Server) models(ctx context.Context, crc string, kind picpredict.ModelKind, opts picpredict.TrainOptions) (picpredict.Models, bool, error) {
+	key := Fingerprint(crc, kind, opts)
+	return s.registry.GetOrTrain(ctx, key, kind, func(trainCtx context.Context) (picpredict.Models, error) {
+		return s.trainer(trainCtx, kind, opts)
+	})
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func resultOf(wl *picpredict.Workload, pred *picpredict.Prediction) PredictResult {
+	var comp, comm float64
+	for k := range pred.Compute {
+		comp += pred.Compute[k]
+		comm += pred.Comm[k]
+	}
+	return PredictResult{
+		Ranks:           pred.Ranks,
+		TotalSec:        pred.Total,
+		ComputeSec:      comp,
+		CommSec:         comm,
+		MeanUtilization: pred.MeanUtilization(),
+		PeakParticles:   wl.Peak(),
+	}
+}

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"picpredict"
+	"picpredict/internal/obs"
+)
+
+// TestSingleflightCollapses proves the registry's core guarantee: N
+// concurrent requests for one untrained configuration trigger exactly one
+// training run, and every caller gets its result.
+func TestSingleflightCollapses(t *testing.T) {
+	reg := obs.New()
+	r := NewRegistry(context.Background(), 4, reg)
+	var trains atomic.Int64
+	train := func(ctx context.Context) (picpredict.Models, error) {
+		if ctx.Err() != nil {
+			return picpredict.Models{}, ctx.Err()
+		}
+		trains.Add(1)
+		time.Sleep(50 * time.Millisecond) // widen the collapse window
+		return picpredict.Models{}, nil
+	}
+	key := Fingerprint("crc-a", picpredict.ModelSynthetic, picpredict.TrainOptions{Seed: 1})
+
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := r.GetOrTrain(context.Background(), key, picpredict.ModelSynthetic, train)
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if got := trains.Load(); got != 1 {
+		t.Fatalf("%d concurrent identical misses ran %d training runs, want exactly 1", n, got)
+	}
+	if hits := reg.Counter(obs.ServeCacheHits).Value(); hits != n-1 {
+		t.Errorf("cache hits = %d, want %d (every caller but the first)", hits, n-1)
+	}
+	if misses := reg.Counter(obs.ServeCacheMisses).Value(); misses != 1 {
+		t.Errorf("cache misses = %d, want 1", misses)
+	}
+}
+
+// TestLRUEviction exercises the capacity bound: the least-recently-used
+// completed entry is dropped, and a re-request retrains it.
+func TestLRUEviction(t *testing.T) {
+	reg := obs.New()
+	r := NewRegistry(context.Background(), 2, reg)
+	var trains atomic.Int64
+	train := func(ctx context.Context) (picpredict.Models, error) {
+		if ctx.Err() != nil {
+			return picpredict.Models{}, ctx.Err()
+		}
+		trains.Add(1)
+		return picpredict.Models{}, nil
+	}
+	key := func(s string) ModelKey {
+		return Fingerprint(s, picpredict.ModelSynthetic, picpredict.TrainOptions{})
+	}
+
+	for _, k := range []string{"a", "b", "c"} {
+		if _, hit, err := r.GetOrTrain(context.Background(), key(k), picpredict.ModelSynthetic, train); err != nil || hit {
+			t.Fatalf("training %s: hit=%t err=%v", k, hit, err)
+		}
+	}
+	if got := r.Len(); got != 2 {
+		t.Fatalf("registry holds %d entries over capacity 2", got)
+	}
+	if ev := reg.Counter(obs.ServeCacheEvictions).Value(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	// "a" was least recently used and must be gone; re-requesting retrains
+	// (and evicts "b", now the LRU of [c, b]).
+	if _, hit, err := r.GetOrTrain(context.Background(), key("a"), picpredict.ModelSynthetic, train); err != nil || hit {
+		t.Fatalf("re-request of evicted key: hit=%t err=%v, want a miss", hit, err)
+	}
+	if got := trains.Load(); got != 4 {
+		t.Fatalf("training runs = %d, want 4 (a, b, c, a again)", got)
+	}
+	// "c" survived both evictions: touching it is a hit.
+	if _, hit, err := r.GetOrTrain(context.Background(), key("c"), picpredict.ModelSynthetic, train); err != nil || !hit {
+		t.Fatalf("surviving key: hit=%t err=%v, want a hit", hit, err)
+	}
+	if ev := reg.Counter(obs.ServeCacheEvictions).Value(); ev != 2 {
+		t.Fatalf("evictions = %d, want 2", ev)
+	}
+}
+
+// TestFailedTrainingNotCached: a failed run must not poison the key — only
+// the waiters attached to the failed attempt see its error, and the next
+// request retrains.
+func TestFailedTrainingNotCached(t *testing.T) {
+	r := NewRegistry(context.Background(), 2, nil)
+	var trains atomic.Int64
+	boom := errors.New("boom")
+	failing := func(ctx context.Context) (picpredict.Models, error) {
+		if ctx.Err() != nil {
+			return picpredict.Models{}, ctx.Err()
+		}
+		trains.Add(1)
+		return picpredict.Models{}, boom
+	}
+	key := Fingerprint("crc", picpredict.ModelSynthetic, picpredict.TrainOptions{})
+	if _, _, err := r.GetOrTrain(context.Background(), key, picpredict.ModelSynthetic, failing); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := r.Len(); got != 0 {
+		t.Fatalf("failed entry still resident (len %d)", got)
+	}
+	ok := func(ctx context.Context) (picpredict.Models, error) {
+		if ctx.Err() != nil {
+			return picpredict.Models{}, ctx.Err()
+		}
+		trains.Add(1)
+		return picpredict.Models{}, nil
+	}
+	if _, hit, err := r.GetOrTrain(context.Background(), key, picpredict.ModelSynthetic, ok); err != nil || hit {
+		t.Fatalf("retry after failure: hit=%t err=%v, want a fresh miss", hit, err)
+	}
+	if got := trains.Load(); got != 2 {
+		t.Fatalf("training runs = %d, want 2", got)
+	}
+}
+
+// TestWaitCancellation: a caller abandoning the wait does not abort the
+// training run other callers depend on.
+func TestWaitCancellation(t *testing.T) {
+	r := NewRegistry(context.Background(), 2, nil)
+	release := make(chan struct{})
+	train := func(ctx context.Context) (picpredict.Models, error) {
+		select {
+		case <-release:
+			return picpredict.Models{}, nil
+		case <-ctx.Done():
+			return picpredict.Models{}, ctx.Err()
+		}
+	}
+	key := Fingerprint("crc", picpredict.ModelSynthetic, picpredict.TrainOptions{})
+
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		_, _, err := r.GetOrTrain(context.Background(), key, picpredict.ModelSynthetic, train)
+		done <- err
+	}()
+	<-started
+
+	// A second caller with an already-cancelled context leaves immediately.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := r.GetOrTrain(cancelled, key, picpredict.ModelSynthetic, train); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("patient caller: %v", err)
+	}
+	if got := r.Len(); got != 1 {
+		t.Fatalf("entry count = %d, want 1 (training survived the cancelled waiter)", got)
+	}
+}
+
+// TestEntriesSnapshot checks the /v1/models view: states, hit counts, MRU
+// order.
+func TestEntriesSnapshot(t *testing.T) {
+	r := NewRegistry(context.Background(), 4, nil)
+	train := func(ctx context.Context) (picpredict.Models, error) {
+		if ctx.Err() != nil {
+			return picpredict.Models{}, ctx.Err()
+		}
+		return picpredict.Models{}, nil
+	}
+	ka := Fingerprint("a", picpredict.ModelSynthetic, picpredict.TrainOptions{})
+	kb := Fingerprint("b", picpredict.ModelWallClock, picpredict.TrainOptions{})
+	for _, k := range []struct {
+		key  ModelKey
+		kind picpredict.ModelKind
+	}{{ka, picpredict.ModelSynthetic}, {kb, picpredict.ModelWallClock}} {
+		if _, _, err := r.GetOrTrain(context.Background(), k.key, k.kind, train); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so it is most recently used.
+	if _, hit, err := r.GetOrTrain(context.Background(), ka, picpredict.ModelSynthetic, train); err != nil || !hit {
+		t.Fatalf("hit=%t err=%v", hit, err)
+	}
+	es := r.Entries()
+	if len(es) != 2 {
+		t.Fatalf("entries = %d, want 2", len(es))
+	}
+	if es[0].Key != ka || es[0].Hits != 1 || es[0].State != "ready" {
+		t.Errorf("MRU entry = %+v, want key a, 1 hit, ready", es[0])
+	}
+	if es[1].Key != kb || es[1].Kind != picpredict.ModelWallClock {
+		t.Errorf("LRU entry = %+v, want key b (wallclock)", es[1])
+	}
+}
+
+// TestFingerprintSensitivity: every training-relevant field changes the
+// key; platform/query fields do not exist in it by construction.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint("crc", picpredict.ModelSynthetic, picpredict.TrainOptions{Seed: 1, Fast: true})
+	variants := []ModelKey{
+		Fingerprint("other", picpredict.ModelSynthetic, picpredict.TrainOptions{Seed: 1, Fast: true}),
+		Fingerprint("crc", picpredict.ModelWallClock, picpredict.TrainOptions{Seed: 1, Fast: true}),
+		Fingerprint("crc", picpredict.ModelSynthetic, picpredict.TrainOptions{Seed: 2, Fast: true}),
+		Fingerprint("crc", picpredict.ModelSynthetic, picpredict.TrainOptions{Seed: 1}),
+		Fingerprint("crc", picpredict.ModelSynthetic, picpredict.TrainOptions{Seed: 1, Fast: true, Noise: 0.2}),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collides with base key", i)
+		}
+	}
+	if again := Fingerprint("crc", picpredict.ModelSynthetic, picpredict.TrainOptions{Seed: 1, Fast: true}); again != base {
+		t.Error("fingerprint is not deterministic")
+	}
+}

@@ -8,6 +8,58 @@ import (
 	"picpredict/internal/perfmodel"
 )
 
+// ModelKind names a Model Generator variant — the model-kind parameter a
+// serving query (or a caller with an artefact in hand) selects training by.
+type ModelKind string
+
+const (
+	// ModelSynthetic trains against the deterministic synthetic testbed
+	// (reproducible across hosts; the default).
+	ModelSynthetic ModelKind = "synthetic"
+	// ModelWallClock benchmarks by executing and timing the kernel bodies
+	// on this host.
+	ModelWallClock ModelKind = "wallclock"
+	// ModelApp trains against the instrumented application: the real PIC
+	// solver runs with per-phase timing (§II-B).
+	ModelApp ModelKind = "app"
+)
+
+// ParseModelKind validates a model-kind string; empty means ModelSynthetic.
+func ParseModelKind(s string) (ModelKind, error) {
+	switch ModelKind(s) {
+	case "", ModelSynthetic:
+		return ModelSynthetic, nil
+	case ModelWallClock:
+		return ModelWallClock, nil
+	case ModelApp:
+		return ModelApp, nil
+	default:
+		return "", fmt.Errorf("picpredict: unknown model kind %q (synthetic, wallclock, app)", s)
+	}
+}
+
+// TrainModelsKind is the kind-dispatched Model Generator entry point: one
+// call trains whichever variant kind names, with opts carrying the shared
+// knobs (Seed, Fast; Noise applies to the synthetic testbed only). It is
+// the training function the serving layer's model registry runs on a cache
+// miss.
+func TrainModelsKind(kind ModelKind, opts TrainOptions) (Models, error) {
+	k, err := ParseModelKind(string(kind))
+	if err != nil {
+		return Models{}, err
+	}
+	switch k {
+	case ModelWallClock:
+		opts.WallClock = true
+		return TrainModels(opts)
+	case ModelApp:
+		return TrainModelsFromApp(AppTrainOptions{Seed: opts.Seed, Fast: opts.Fast})
+	default:
+		opts.WallClock = false
+		return TrainModels(opts)
+	}
+}
+
 // TrainOptions configures the Model Generator (§II-B).
 type TrainOptions struct {
 	// Noise is the relative measurement noise of the synthetic testbed
