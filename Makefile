@@ -33,6 +33,9 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # serve-smoke boots picserve on the golden fixture, exercises /readyz and
-# /v1/predict, and requires a clean SIGTERM drain with a manifest.
+# /v1/predict, and requires a clean SIGTERM drain with a manifest — then
+# does the same for the picgate coordinator over a three-shard fleet,
+# killing one shard mid-run to prove the failover story on real processes.
 serve-smoke:
 	./scripts/picserve_smoke.sh
+	./scripts/picgate_smoke.sh

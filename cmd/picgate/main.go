@@ -1,0 +1,230 @@
+// Command picgate is the fault-tolerant serving coordinator: it
+// consistent-hashes prediction requests across a fleet of picserve shards
+// with health-checked membership, budgeted retries, tail-latency hedging,
+// and per-backend circuit breakers — and degrades to structured 503s
+// instead of hanging when shards die.
+//
+// Usage:
+//
+//	picgate -listen :8070 -backends 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083
+//	picgate -config gate.json
+//
+// Endpoints:
+//
+//	POST /v1/predict      routed to the key's owning shard (see README)
+//	GET  /v1/membership   per-backend health, breaker, and traffic state
+//	GET  /v1/models       per-shard model registry views
+//	GET  /healthz         gate liveness
+//	GET  /readyz          200 while ≥1 backend is healthy
+//
+// SIGTERM stops accepting, finishes in-flight requests, writes the
+// -metrics manifest, and exits 0.
+//
+// A second mode, -load, turns the binary into the bench client behind
+// scripts/picgate_load.sh: it drives -target with concurrent predict
+// requests across distinct model keys and prints a JSON stats document
+// (RPS, p50/p99, error rate, per-shard cache hits) for BENCH_serve.json.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"picpredict/internal/cli"
+	"picpredict/internal/gate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("picgate: ")
+
+	var (
+		listen     = flag.String("listen", "127.0.0.1:8070", "HTTP listen address (host:port; port 0 picks a free port)")
+		backends   = flag.String("backends", "", "comma-separated picserve shard addresses (host:port,host:port,...)")
+		configPath = flag.String("config", "", "JSON gate config file (alternative to flags; see internal/gate.FileConfig)")
+
+		replicas  = flag.Int("replicas", 2, "distinct backends eligible per key (owner + successors)")
+		healthInt = flag.Duration("health-interval", time.Second, "backend /readyz poll period")
+		failN     = flag.Int("fail-threshold", 3, "consecutive failed polls before ejecting a backend")
+		reviveN   = flag.Int("revive-threshold", 2, "consecutive successful polls before reinstating")
+		reqTO     = flag.Duration("request-timeout", 30*time.Second, "end-to-end deadline per routed request")
+		attemptTO = flag.Duration("attempt-timeout", 10*time.Second, "deadline per backend attempt")
+		retries   = flag.Int("max-retries", 2, "retry attempts per request (budget permitting)")
+		budget    = flag.Float64("retry-budget", 0.1, "retries+hedges as a fraction of primary traffic")
+		hedgeQ    = flag.Float64("hedge-quantile", 0.95, "latency percentile that triggers a hedge (0 disables)")
+		breakN    = flag.Int("breaker-threshold", 5, "consecutive request failures that open a backend's breaker")
+		breakCool = flag.Duration("breaker-cooldown", 2*time.Second, "open breaker cooldown before a half-open probe")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound after SIGTERM")
+		seed      = flag.Int64("seed", 1, "backoff-jitter seed (fixed seeds keep chaos runs reproducible)")
+
+		metricsPath = flag.String("metrics", "", "write a JSON run manifest to this file on drain")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
+
+		loadMode   = flag.Bool("load", false, "run as a load-bench client against -target instead of serving")
+		target     = flag.String("target", "", "load mode: base URL to drive (e.g. http://127.0.0.1:8070)")
+		loadDur    = flag.Duration("duration", 10*time.Second, "load mode: measured duration")
+		loadConc   = flag.Int("concurrency", 8, "load mode: concurrent closed-loop workers")
+		loadKeys   = flag.Int("keys", 6, "load mode: distinct model configurations (routing keys) to rotate")
+		loadScen   = flag.String("scenario", "", "load mode: scenario name in request bodies (empty: server default)")
+		loadRanks  = flag.String("ranks", "64,128", "load mode: rank counts per request")
+		loadOut    = flag.String("o", "", "load mode: write the stats JSON here (default stdout)")
+		loadNoWarm = flag.Bool("no-warmup", false, "load mode: skip the one-request-per-key warmup (measure cold training)")
+	)
+	flag.Parse()
+
+	ctx, stop := cli.Context()
+	defer stop()
+
+	if *loadMode {
+		if err := runLoad(ctx, *target, *loadDur, *loadConc, *loadKeys, *loadScen, *loadRanks, *loadOut, !*loadNoWarm); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	var cfg gate.Config
+	switch {
+	case *configPath != "" && *backends != "":
+		log.Fatal("-config and -backends are mutually exclusive")
+	case *configPath != "":
+		f, err := os.Open(*configPath)
+		if err != nil {
+			log.Fatalf("-config: %v", err)
+		}
+		cfg, err = gate.DecodeConfig(f)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("-config %s: %v", *configPath, err)
+		}
+	case *backends != "":
+		list, err := cli.ParseBackends("-backends", *backends)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = gate.Config{
+			Backends:         list,
+			Replicas:         *replicas,
+			HealthInterval:   *healthInt,
+			FailThreshold:    *failN,
+			ReviveThreshold:  *reviveN,
+			RequestTimeout:   *reqTO,
+			AttemptTimeout:   *attemptTO,
+			MaxRetries:       *retries,
+			RetryBudget:      *budget,
+			HedgeQuantile:    *hedgeQ,
+			BreakerThreshold: *breakN,
+			BreakerCooldown:  *breakCool,
+			Seed:             *seed,
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := cli.ParseAddr("-listen", *listen); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.PositiveDuration("-drain-timeout", *drainTO); err != nil {
+		log.Fatal(err)
+	}
+
+	run, err := cli.StartRun("picgate", *metricsPath, *pprofAddr, os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Obs = run.Reg
+
+	g, err := gate.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run.SetConfig(map[string]any{
+		"listen": *listen, "backends": cfg.Backends, "replicas": cfg.Replicas,
+		"instance_id": g.Instance(), "max_retries": cfg.MaxRetries,
+		"retry_budget": cfg.RetryBudget, "hedge_quantile": cfg.HedgeQuantile,
+		"breaker_threshold": cfg.BreakerThreshold,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("-listen: %v", err)
+	}
+	// The smoke harness greps this line for the bound address (port 0 runs).
+	log.Printf("gating on http://%s (instance %s, %d backends, predict at /v1/predict)",
+		ln.Addr(), g.Instance(), len(cfg.Backends))
+	run.Reg.StageDone("startup")
+
+	if err := g.Serve(ctx, ln, *drainTO); err != nil {
+		finishErr := run.Finish()
+		log.Print(err)
+		if finishErr != nil {
+			log.Print(finishErr)
+		}
+		os.Exit(1)
+	}
+	run.Reg.StageDone("serve")
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained cleanly")
+}
+
+// runLoad is the -load mode: build one body per key (distinct model seeds
+// spread keys across shards), drive the target, and emit the stats JSON.
+func runLoad(ctx context.Context, target string, dur time.Duration, conc, keys int, scenario, ranks, out string, warmup bool) error {
+	if target == "" {
+		return fmt.Errorf("-load needs -target")
+	}
+	if err := cli.Positive("-concurrency", conc); err != nil {
+		return err
+	}
+	if err := cli.Positive("-keys", keys); err != nil {
+		return err
+	}
+	rankList, err := cli.ParseRanks(ranks)
+	if err != nil {
+		return err
+	}
+	bodies := make([][]byte, 0, keys)
+	for k := 0; k < keys; k++ {
+		body := map[string]any{
+			"ranks": rankList,
+			"model": map[string]any{"fast": true, "seed": k + 1},
+		}
+		if scenario != "" {
+			body["scenario"] = scenario
+		}
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		bodies = append(bodies, b)
+	}
+	stats, err := gate.RunLoad(ctx, gate.LoadConfig{
+		Target:      target,
+		Duration:    dur,
+		Concurrency: conc,
+		Bodies:      bodies,
+		Warmup:      warmup,
+	})
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(out, b, 0o644)
+}

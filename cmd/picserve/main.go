@@ -87,14 +87,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	run.SetConfig(map[string]any{
-		"listen": *listen, "trace": *traceList, "workload": *wlList,
-		"workers": *workers, "queue": *queue,
-		"request_timeout": reqTO.String(), "drain_timeout": drainTO.String(),
-		"models": *modelCap, "total_elements": *totalEl, "n": *gridN,
-		"filter_elements": *filterEl, "machine": *machineNm,
-	})
-
 	srv := serve.New(serve.Config{
 		Workers:        *workers,
 		Queue:          *queue,
@@ -106,6 +98,17 @@ func main() {
 		FilterElements: *filterEl,
 		Machine:        *machineNm,
 		Obs:            run.Reg,
+	})
+	// instance_id tags the manifest with the same token that prefixes
+	// generated X-Request-IDs, so gate→shard traffic correlates to this
+	// run's manifest.
+	run.SetConfig(map[string]any{
+		"listen": *listen, "trace": *traceList, "workload": *wlList,
+		"workers": *workers, "queue": *queue,
+		"request_timeout": reqTO.String(), "drain_timeout": drainTO.String(),
+		"models": *modelCap, "total_elements": *totalEl, "n": *gridN,
+		"filter_elements": *filterEl, "machine": *machineNm,
+		"instance_id": srv.Instance(),
 	})
 	for _, np := range traces {
 		tr, err := cli.OpenTrace(np.Path)
@@ -151,7 +154,8 @@ func main() {
 		log.Fatalf("-listen: %v", err)
 	}
 	// The smoke harness greps this line for the bound address (port 0 runs).
-	log.Printf("serving on http://%s (predict at /v1/predict, readiness at /readyz)", ln.Addr())
+	log.Printf("serving on http://%s (instance %s, predict at /v1/predict, readiness at /readyz)",
+		ln.Addr(), srv.Instance())
 	run.Reg.StageDone("startup")
 
 	if err := srv.Serve(ctx, ln); err != nil {

@@ -33,8 +33,10 @@ var Analyzer = &framework.Analyzer{
 	Run:  run,
 }
 
-// scoped reports whether pkg is an artefact-writing package: the command
-// front ends plus the resilience, trace, and pipeline layers.
+// scoped reports whether pkg is in the checked set: the command front ends,
+// the artefact-writing layers (resilience, trace, pipeline), and the
+// network-client layers (gate, chaosnet) where a dropped Close leaks an
+// HTTP response body or wedges a hijacked connection.
 func scoped(pkg string) bool {
 	if strings.HasPrefix(pkg, "picpredict/cmd/") {
 		return true
@@ -42,7 +44,9 @@ func scoped(pkg string) bool {
 	switch pkg {
 	case "picpredict/internal/resilience",
 		"picpredict/internal/trace",
-		"picpredict/internal/pipeline":
+		"picpredict/internal/pipeline",
+		"picpredict/internal/gate",
+		"picpredict/internal/chaosnet":
 		return true
 	}
 	return false

@@ -1,0 +1,217 @@
+// Package chaosnet injects network faults into HTTP backends so the
+// serving tier's recovery paths can be proven to fire rather than assumed
+// to — internal/faultfs's sibling for the wire. A Proxy wraps any
+// http.Handler and, driven by a deterministically seeded plan, drops
+// connections mid-handshake, delays responses, answers 500, or truncates a
+// response mid-body; a down switch turns the whole backend into a
+// connection-dropper, simulating a killed process without giving up the
+// listener. The gate's chaos tests wrap real shard handlers in these
+// proxies under httptest and assert bounded error rates, breaker trips, and
+// membership churn.
+package chaosnet
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is one injected failure mode.
+type Fault int
+
+const (
+	// FaultNone passes the request through untouched.
+	FaultNone Fault = iota
+	// FaultReset drops the connection without writing a response — the
+	// client sees EOF / connection reset.
+	FaultReset
+	// FaultLatency delays the (otherwise successful) response by the
+	// plan's Latency.
+	FaultLatency
+	// Fault500 answers 500 without consulting the backend.
+	Fault500
+	// FaultTruncate forwards the backend's response headers and roughly
+	// half its body, then drops the connection — the client sees an
+	// unexpected EOF mid-body.
+	FaultTruncate
+)
+
+// String names the fault for counters and logs.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultReset:
+		return "reset"
+	case FaultLatency:
+		return "latency"
+	case Fault500:
+		return "500"
+	case FaultTruncate:
+		return "truncate"
+	default:
+		return "unknown"
+	}
+}
+
+// Plan is a deterministic fault schedule: per-request probabilities for
+// each fault mode, drawn from a seeded source. Probabilities are evaluated
+// in order (reset, latency, 500, truncate); their sum should stay ≤ 1.
+type Plan struct {
+	Seed      int64
+	PReset    float64
+	PLatency  float64
+	P500      float64
+	PTruncate float64
+	// Latency is the injected spike for FaultLatency (default 250ms).
+	Latency time.Duration
+	// Exempt skips injection for matching requests (nil exempts none) —
+	// e.g. keep /readyz clean while /v1/predict burns.
+	Exempt func(r *http.Request) bool
+}
+
+// Proxy wraps a backend handler with fault injection. Create with New;
+// Proxy implements http.Handler.
+type Proxy struct {
+	backend http.Handler
+	plan    Plan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	down atomic.Bool
+
+	// counters, by fault.
+	counts [5]atomic.Int64
+}
+
+// New wraps backend in a fault-injecting proxy following plan.
+func New(backend http.Handler, plan Plan) *Proxy {
+	if plan.Latency <= 0 {
+		plan.Latency = 250 * time.Millisecond
+	}
+	return &Proxy{
+		backend: backend,
+		plan:    plan,
+		rng:     rand.New(rand.NewSource(plan.Seed)),
+	}
+}
+
+// SetDown switches the simulated-dead mode: while down, every request —
+// health checks included — has its connection dropped, exactly what a
+// killed process behind a dead TCP endpoint produces. Reviving is
+// SetDown(false).
+func (p *Proxy) SetDown(down bool) { p.down.Store(down) }
+
+// Down reports the current kill switch state.
+func (p *Proxy) Down() bool { return p.down.Load() }
+
+// Count returns how many times fault f was injected.
+func (p *Proxy) Count(f Fault) int64 {
+	if f < 0 || int(f) >= len(p.counts) {
+		return 0
+	}
+	return p.counts[f].Load()
+}
+
+// draw picks the fault for one request.
+func (p *Proxy) draw() Fault {
+	p.mu.Lock()
+	x := p.rng.Float64()
+	p.mu.Unlock()
+	switch {
+	case x < p.plan.PReset:
+		return FaultReset
+	case x < p.plan.PReset+p.plan.PLatency:
+		return FaultLatency
+	case x < p.plan.PReset+p.plan.PLatency+p.plan.P500:
+		return Fault500
+	case x < p.plan.PReset+p.plan.PLatency+p.plan.P500+p.plan.PTruncate:
+		return FaultTruncate
+	default:
+		return FaultNone
+	}
+}
+
+// dropConn hijacks and closes the client connection without a response.
+// Servers that cannot hijack (HTTP/2) get a panic-free fallback: an
+// immediate empty 500.
+func dropConn(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	_ = conn.Close() // the drop is the point; no error to act on
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.down.Load() {
+		p.counts[FaultReset].Add(1)
+		dropConn(w)
+		return
+	}
+	fault := FaultNone
+	if p.plan.Exempt == nil || !p.plan.Exempt(r) {
+		fault = p.draw()
+	}
+	p.counts[fault].Add(1)
+	switch fault {
+	case FaultReset:
+		dropConn(w)
+	case Fault500:
+		http.Error(w, "chaosnet: injected 500", http.StatusInternalServerError)
+	case FaultLatency:
+		t := time.NewTimer(p.plan.Latency)
+		select {
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		p.backend.ServeHTTP(w, r)
+	case FaultTruncate:
+		p.truncate(w, r)
+	default:
+		p.backend.ServeHTTP(w, r)
+	}
+}
+
+// truncate records the backend's full response, declares its real length,
+// writes half the body, and drops the connection — a mid-body cut the
+// client can only see as an unexpected EOF, never as a valid short
+// document.
+func (p *Proxy) truncate(w http.ResponseWriter, r *http.Request) {
+	rec := httptest.NewRecorder()
+	p.backend.ServeHTTP(rec, r)
+	body := rec.Body.Bytes()
+	if len(body) < 2 {
+		dropConn(w)
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		dropConn(w)
+		return
+	}
+	conn, buf, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	defer func() { _ = conn.Close() }() // the cut is the point
+	_, _ = buf.WriteString("HTTP/1.1 " + strconv.Itoa(rec.Code) + " " + http.StatusText(rec.Code) + "\r\n")
+	_, _ = buf.WriteString("Content-Type: " + rec.Header().Get("Content-Type") + "\r\n")
+	_, _ = buf.WriteString("Content-Length: " + strconv.Itoa(len(body)) + "\r\n\r\n")
+	_, _ = buf.Write(body[:len(body)/2])
+	_ = buf.Flush()
+}

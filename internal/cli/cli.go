@@ -173,6 +173,42 @@ func ParseAddr(name, s string) error {
 	return nil
 }
 
+// ParseBackends parses a comma-separated backend list (the picgate
+// -backends flag): each entry is a dialable host:port, validated through
+// ParseAddr plus the stricter dial-side rules (non-empty host, concrete
+// non-zero port), and duplicates are rejected rather than silently folded —
+// a repeated shard address is almost always a copy-paste error that would
+// skew the hash ring.
+func ParseBackends(name, s string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if err := ParseAddr(name, part); err != nil {
+			return nil, err
+		}
+		host, port, _ := net.SplitHostPort(part) // ParseAddr already vetted the shape
+		if host == "" {
+			return nil, fmt.Errorf("%s: %q needs an explicit host (the gate must dial it)", name, part)
+		}
+		if port == "0" {
+			return nil, fmt.Errorf("%s: %q needs a concrete port (port 0 is bind-side only)", name, part)
+		}
+		if seen[part] {
+			return nil, fmt.Errorf("%s: duplicate backend %q", name, part)
+		}
+		seen[part] = true
+		out = append(out, part)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: empty list", name)
+	}
+	return out, nil
+}
+
 // PositiveDuration validates that a duration flag is positive.
 func PositiveDuration(name string, d time.Duration) error {
 	if d <= 0 {

@@ -45,12 +45,12 @@ func TestParseRanksErrorPaths(t *testing.T) {
 		want string // substring the error must carry
 	}{
 		{"", "-ranks: empty list"},
-		{" , ,", "-ranks: empty list"},   // whitespace-only entries are skipped, leaving nothing
-		{"0", "0 is not positive"},       // zero rank count
-		{"16,-4", "-4 is not positive"},  // negative in an otherwise valid list
-		{"abc", "invalid syntax"},        // non-numeric
-		{"16,1e3", "invalid syntax"},     // floats are not rank counts
-		{"16,,32", ""},                   // interior empty entries are tolerated
+		{" , ,", "-ranks: empty list"},                     // whitespace-only entries are skipped, leaving nothing
+		{"0", "0 is not positive"},                         // zero rank count
+		{"16,-4", "-4 is not positive"},                    // negative in an otherwise valid list
+		{"abc", "invalid syntax"},                          // non-numeric
+		{"16,1e3", "invalid syntax"},                       // floats are not rank counts
+		{"16,,32", ""},                                     // interior empty entries are tolerated
 		{"999999999999999999999999", "value out of range"}, // overflows int
 	}
 	for _, c := range cases {
@@ -272,5 +272,48 @@ func TestParseNamedPaths(t *testing.T) {
 		if _, err := ParseNamedPaths("-trace", bad); err == nil {
 			t.Errorf("ParseNamedPaths(%q) accepted", bad)
 		}
+	}
+}
+
+// TestParseBackends pins the -backends contract and the exact guidance in
+// each rejection: operators paste these lists under incident pressure, and
+// the error message is the documentation they get.
+func TestParseBackends(t *testing.T) {
+	got, err := ParseBackends("-backends", " 127.0.0.1:8081 ,127.0.0.1:8082,, [::1]:9000 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"127.0.0.1:8081", "127.0.0.1:8082", "[::1]:9000"}
+	if len(got) != len(want) {
+		t.Fatalf("ParseBackends = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error message
+	}{
+		{"empty string", "", "empty list"},
+		{"only separators", " , ,", "empty list"},
+		{"missing port", "127.0.0.1:8081,localhost", "-backends"},
+		{"bind-all host", ":8080", "needs an explicit host"},
+		{"port zero", "127.0.0.1:0", "port 0 is bind-side only"},
+		{"duplicate", "a:1,b:2,a:1", `duplicate backend "a:1"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseBackends("-backends", c.in)
+			if err == nil {
+				t.Fatalf("ParseBackends(%q) accepted", c.in)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q missing %q", err, c.want)
+			}
+		})
 	}
 }

@@ -1,0 +1,175 @@
+package gate
+
+import (
+	"sync"
+	"time"
+
+	"picpredict/internal/obs"
+)
+
+// BreakerState is one of the three classic circuit-breaker states.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes requests through, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen sheds every request until the cooldown elapses — a
+	// flapping backend fails fast here instead of consuming attempt
+	// timeouts and retry budget.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe request through; its outcome
+	// decides between reclosing and reopening.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer for membership snapshots and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is one backend's circuit breaker. It reacts to *request*
+// outcomes, complementing the health checker's out-of-band /readyz polls: a
+// backend that answers health checks but fails or times out real work still
+// gets ejected from the attempt path.
+//
+// closed --threshold consecutive failures--> open
+// open   --cooldown elapsed--> half-open (one probe admitted)
+// half-open --probe success--> closed, --probe failure--> open
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock (tests)
+	onChange  func(from, to BreakerState)
+
+	mu         sync.Mutex
+	state      BreakerState
+	consecFail int
+	openedAt   time.Time
+	probing    bool // half-open: the single probe slot is taken
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time, onChange func(from, to BreakerState)) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now, onChange: onChange}
+}
+
+// transitionLocked flips the state and notifies. Callers hold b.mu; the
+// callback runs under the lock, so it must not re-enter the breaker (the
+// gate's callback only bumps obs counters).
+func (b *breaker) transitionLocked(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onChange != nil {
+		b.onChange(from, to)
+	}
+}
+
+// allow reports whether an attempt may be sent to this backend now. In the
+// open state it flips to half-open once the cooldown has elapsed and admits
+// the caller as the probe.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.transitionLocked(BreakerHalfOpen)
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false // one probe at a time
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// success records a completed attempt and recloses a half-open breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFail = 0
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.transitionLocked(BreakerClosed)
+	}
+}
+
+// failure records a failed attempt; in the closed state it opens the
+// breaker at the threshold, and a failed half-open probe reopens it.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case BreakerClosed:
+		b.consecFail++
+		if b.consecFail >= b.threshold {
+			b.openedAt = b.now()
+			b.transitionLocked(BreakerOpen)
+		}
+	case BreakerHalfOpen:
+		b.openedAt = b.now()
+		b.transitionLocked(BreakerOpen)
+	case BreakerOpen:
+		// A straggler attempt launched before the open; nothing changes.
+	}
+}
+
+// reset forces the breaker closed — used when the health checker reinstates
+// a recovered backend so it does not start life shedding its first request.
+func (b *breaker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFail = 0
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.transitionLocked(BreakerClosed)
+	}
+}
+
+// current returns the state for membership snapshots.
+func (b *breaker) current() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// breakerObs returns the onChange callback recording transitions in reg
+// (aggregate plus the per-backend transition counter).
+func breakerObs(reg *obs.Registry, addr string) func(from, to BreakerState) {
+	return func(_, to BreakerState) {
+		switch to {
+		case BreakerOpen:
+			reg.Counter(obs.GateBreakerOpened).Inc()
+		case BreakerHalfOpen:
+			reg.Counter(obs.GateBreakerHalfOpen).Inc()
+		case BreakerClosed:
+			reg.Counter(obs.GateBreakerClosed).Inc()
+		}
+		backendCounter(reg, addr, "breaker_transitions").Inc()
+	}
+}

@@ -1,0 +1,102 @@
+package gate
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives breaker cooldowns without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var transitions []string
+	b := newBreaker(3, time.Second, clk.now, func(from, to BreakerState) {
+		transitions = append(transitions, from.String()+"→"+to.String())
+	})
+
+	if !b.allow() {
+		t.Fatal("fresh breaker must allow")
+	}
+	b.failure()
+	b.failure()
+	if b.current() != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.current())
+	}
+	b.failure() // third consecutive failure hits the threshold
+	if b.current() != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", b.current())
+	}
+	if b.allow() {
+		t.Fatal("open breaker must shed before the cooldown")
+	}
+
+	clk.advance(1500 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooled-down breaker must admit the half-open probe")
+	}
+	if b.current() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown allow = %v, want half-open", b.current())
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker must admit only one probe at a time")
+	}
+	b.failure() // failed probe reopens
+	if b.current() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.current())
+	}
+
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("second probe must be admitted after another cooldown")
+	}
+	b.success()
+	if b.current() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.current())
+	}
+	if !b.allow() {
+		t.Fatal("reclosed breaker must allow")
+	}
+
+	want := []string{
+		"closed→open", "open→half-open", "half-open→open",
+		"open→half-open", "half-open→closed",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s (all: %v)", i, transitions[i], want[i], transitions)
+		}
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Second, clk.now, nil)
+	b.failure()
+	b.failure()
+	b.success() // streak broken
+	b.failure()
+	b.failure()
+	if b.current() != BreakerClosed {
+		t.Fatalf("interleaved successes must keep the breaker closed, got %v", b.current())
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Hour, clk.now, nil)
+	b.failure()
+	if b.current() != BreakerOpen {
+		t.Fatal("threshold-1 breaker should open on first failure")
+	}
+	b.reset()
+	if b.current() != BreakerClosed || !b.allow() {
+		t.Fatal("reset must reclose the breaker immediately (health reinstatement path)")
+	}
+}

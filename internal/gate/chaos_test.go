@@ -1,0 +1,272 @@
+package gate
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"picpredict/internal/chaosnet"
+	"picpredict/internal/obs"
+)
+
+// chaosFleet is three fake shards, each behind a chaosnet proxy, fronted
+// by a started gate — the fixture for the kill/revive and fault-injection
+// tests.
+type chaosFleet struct {
+	shards  []*fakeShard
+	proxies []*chaosnet.Proxy
+	gate    *Gate
+	front   *httptest.Server
+	cancel  context.CancelFunc
+}
+
+func newChaosFleet(t *testing.T, plan func(i int) chaosnet.Plan) *chaosFleet {
+	t.Helper()
+	f := &chaosFleet{}
+	names := []string{"a", "b", "c"}
+	for i, name := range names {
+		var proxy *chaosnet.Proxy
+		fs := newWrappedShard(t, name, func(h http.Handler) http.Handler {
+			proxy = chaosnet.New(h, plan(i))
+			return proxy
+		})
+		f.shards = append(f.shards, fs)
+		f.proxies = append(f.proxies, proxy)
+	}
+	cfg := fastTestConfig(f.shards...)
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	g.Start(ctx)
+	f.gate = g
+	f.front = httptest.NewServer(g.Handler())
+	return f
+}
+
+// shutdown tears the fleet down in dependency order so the goroutine-leak
+// accounting sees a quiet process.
+func (f *chaosFleet) shutdown() {
+	f.front.Close()
+	f.cancel()
+	f.gate.Close()
+	for _, s := range f.shards {
+		s.srv.Close()
+	}
+}
+
+func (f *chaosFleet) waitMembers(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for f.gate.currentRing().size() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("ring stuck at %d members, want %d", f.gate.currentRing().size(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosKillAndRevive is the headline resilience claim: under sustained
+// concurrent load, killing one of three backends mid-run yields ZERO
+// errors for keys owned by the survivors, a bounded (<5%) transient error
+// rate overall, automatic reinstatement once the backend returns, and no
+// goroutine leaks. Run it with -race.
+func TestChaosKillAndRevive(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	// No random faults — this test is about the kill switch.
+	fleet := newChaosFleet(t, func(i int) chaosnet.Plan {
+		return chaosnet.Plan{Seed: int64(i + 1)}
+	})
+	defer fleet.shutdown()
+	fleet.waitMembers(t, 3)
+
+	// Classify the key space by owner on the full three-member ring before
+	// anything dies.
+	const nBodies = 30
+	victim := fleet.shards[0].addr
+	bodies := make([][]byte, nBodies)
+	victimOwned := make([]bool, nBodies)
+	for i := range bodies {
+		bodies[i] = predictBody(int64(i + 1))
+		key, err := RouteKey(bodies[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		victimOwned[i] = fleet.gate.currentRing().owner(key) == victim
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	defer client.CloseIdleConnections()
+	var successes, failures [nBodies]atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i += 3 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				bi := i % nBodies
+				req, err := http.NewRequest(http.MethodPost, fleet.front.URL+"/v1/predict", bytes.NewReader(bodies[bi]))
+				if err != nil {
+					failures[bi].Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					failures[bi].Add(1)
+					continue
+				}
+				_, rerr := io.Copy(io.Discard, resp.Body)
+				if cerr := resp.Body.Close(); rerr == nil && cerr != nil {
+					rerr = cerr
+				}
+				if rerr == nil && resp.StatusCode == http.StatusOK {
+					successes[bi].Add(1)
+				} else {
+					failures[bi].Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Timeline: load → kill shard a → let the gate eject and absorb →
+	// revive → let it reinstate → stop.
+	time.Sleep(200 * time.Millisecond)
+	fleet.proxies[0].SetDown(true)
+	time.Sleep(500 * time.Millisecond)
+	fleet.proxies[0].SetDown(false)
+	fleet.waitMembers(t, 3) // reinstated while load still runs
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	var total, failed, survivorFailed int64
+	for i := 0; i < nBodies; i++ {
+		s, f := successes[i].Load(), failures[i].Load()
+		total += s + f
+		failed += f
+		if !victimOwned[i] {
+			survivorFailed += f
+		}
+	}
+	if total < 100 {
+		t.Fatalf("only %d requests completed; load loop is broken", total)
+	}
+	if survivorFailed != 0 {
+		t.Errorf("%d errors on keys owned by surviving shards, want 0", survivorFailed)
+	}
+	if rate := float64(failed) / float64(total); rate >= 0.05 {
+		t.Errorf("overall error rate %.2f%% (%d/%d), want <5%%", 100*rate, failed, total)
+	}
+	reg := fleet.gate.reg
+	if v := reg.Counter(obs.GateEjections).Value(); v < 1 {
+		t.Errorf("gate.ejections = %d, want ≥1", v)
+	}
+	if v := reg.Counter(obs.GateReinstatements).Value(); v < 1 {
+		t.Errorf("gate.reinstatements = %d, want ≥1", v)
+	}
+
+	// The revived shard must be taking its keys again.
+	body := bodyOwnedBy(t, fleet.gate, victim)
+	resp := postPredict(t, fleet.front.URL, body, nil)
+	drainClose(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-revival request: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Picgate-Backend"); got != victim {
+		t.Errorf("post-revival owner = %s, want revived %s", got, victim)
+	}
+
+	// Quiesce and account for goroutines: everything the gate and the load
+	// loop spawned must exit. A small slack absorbs runtime/netpoll noise.
+	fleet.shutdown()
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d now vs %d baseline\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosFaultInjectionBounded turns on random wire faults — connection
+// resets, injected 500s, mid-body truncation, latency spikes — on every
+// backend at once and asserts the retry/hedge/breaker stack absorbs them:
+// the client-visible error rate stays under 5% even though ~15% of
+// backend attempts are sabotaged.
+func TestChaosFaultInjectionBounded(t *testing.T) {
+	fleet := newChaosFleet(t, func(i int) chaosnet.Plan {
+		return chaosnet.Plan{
+			Seed:      int64(100 + i),
+			PReset:    0.05,
+			P500:      0.05,
+			PTruncate: 0.05,
+			PLatency:  0.05,
+			Latency:   30 * time.Millisecond,
+			// Health checks stay clean: this test isolates the retry
+			// path from membership churn.
+			Exempt: func(r *http.Request) bool { return r.URL.Path == "/readyz" },
+		}
+	})
+	defer fleet.shutdown()
+	fleet.waitMembers(t, 3)
+
+	bodies := make([][]byte, 20)
+	for i := range bodies {
+		bodies[i] = predictBody(int64(i + 1))
+	}
+	stats, err := RunLoad(context.Background(), LoadConfig{
+		Target:      fleet.front.URL,
+		Duration:    900 * time.Millisecond,
+		Concurrency: 8,
+		Bodies:      bodies,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests < 50 {
+		t.Fatalf("only %d requests completed under chaos", stats.Requests)
+	}
+	var injected int64
+	for _, p := range fleet.proxies {
+		for _, f := range []chaosnet.Fault{chaosnet.FaultReset, chaosnet.Fault500, chaosnet.FaultTruncate} {
+			injected += p.Count(f)
+		}
+	}
+	if injected == 0 {
+		t.Fatal("chaos plan injected nothing; the test proves nothing")
+	}
+	if stats.ErrorRate >= 0.05 {
+		t.Errorf("error rate %.2f%% under injected faults (%d/%d errors, %d faults injected), want <5%%",
+			100*stats.ErrorRate, stats.Errors, stats.Requests, injected)
+	}
+	if v := fleet.gate.reg.Counter(obs.GateRetries).Value(); v < 1 {
+		t.Errorf("gate.retries = %d — faults were injected but nothing retried", v)
+	}
+	t.Logf("chaos: %d requests, %d errors (%.2f%%), %d faults injected, %d retries, %d hedges",
+		stats.Requests, stats.Errors, 100*stats.ErrorRate, injected,
+		fleet.gate.reg.Counter(obs.GateRetries).Value(),
+		fleet.gate.reg.Counter(obs.GateHedges).Value())
+}

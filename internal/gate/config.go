@@ -1,0 +1,311 @@
+package gate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"picpredict/internal/obs"
+)
+
+// Config sizes and tunes a Gate. Zero values take the documented defaults
+// at New time; Backends is the only required field.
+type Config struct {
+	// Backends are the picserve shard addresses (host:port). The set is
+	// fixed for the gate's lifetime; health decides which members are
+	// routable at any moment.
+	Backends []string
+
+	// Replicas is how many distinct backends are eligible per key — the
+	// owner plus Replicas-1 successors on the ring (default 2, clamped to
+	// the backend count). Retries and hedges walk this chain.
+	Replicas int
+	// VNodes is the number of ring points per backend (default 64).
+	VNodes int
+
+	// HealthInterval is the /readyz poll period (default 1s) and
+	// HealthTimeout the per-poll deadline (default 500ms). FailThreshold
+	// consecutive failed polls eject a member; ReviveThreshold consecutive
+	// successes reinstate it (defaults 3 and 2).
+	HealthInterval  time.Duration
+	HealthTimeout   time.Duration
+	FailThreshold   int
+	ReviveThreshold int
+
+	// RequestTimeout bounds one gate request end to end (default 30s);
+	// AttemptTimeout bounds each backend attempt within it (default 10s).
+	RequestTimeout time.Duration
+	AttemptTimeout time.Duration
+
+	// MaxRetries caps retries per request (default 2; primaries are not
+	// retries). RetryBudget is the token-bucket ratio of retries+hedges to
+	// primary attempts (default 0.1, i.e. ≤10% extra load), with
+	// RetryBudgetBurst tokens of headroom (default 10). BackoffBase and
+	// BackoffMax shape the full-jitter exponential backoff between
+	// retries (defaults 25ms and 1s).
+	MaxRetries       int
+	RetryBudget      float64
+	RetryBudgetBurst float64
+	BackoffBase      time.Duration
+	BackoffMax       time.Duration
+
+	// HedgeQuantile is the latency percentile of recent attempts past
+	// which a hedge fires to the next replica (default 0.95); HedgeMin
+	// floors the hedge delay (default 10ms) so a fast regime cannot hedge
+	// everything. HedgeQuantile ≤ 0 disables hedging.
+	HedgeQuantile float64
+	HedgeMin      time.Duration
+
+	// BreakerThreshold consecutive request failures open a backend's
+	// circuit breaker (default 5); BreakerCooldown is the open→half-open
+	// delay (default 2s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// Seed drives backoff jitter (default 1; any fixed seed keeps chaos
+	// runs reproducible).
+	Seed int64
+
+	// Obs (nil-safe) receives the gate.* instruments named in
+	// internal/obs/names.go.
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas < 1 {
+		c.Replicas = 2
+	}
+	if c.Replicas > len(c.Backends) && len(c.Backends) > 0 {
+		c.Replicas = len(c.Backends)
+	}
+	if c.VNodes < 1 {
+		c.VNodes = 64
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 500 * time.Millisecond
+	}
+	if c.FailThreshold < 1 {
+		c.FailThreshold = 3
+	}
+	if c.ReviveThreshold < 1 {
+		c.ReviveThreshold = 2
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 10 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 0.1
+	}
+	if c.RetryBudgetBurst <= 0 {
+		c.RetryBudgetBurst = 10
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.HedgeQuantile == 0 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 10 * time.Millisecond
+	}
+	if c.BreakerThreshold < 1 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ErrConfig wraps every configuration decode/validation failure so callers
+// (and the fuzz target) can separate bad input from I/O trouble.
+var ErrConfig = errors.New("gate: invalid config")
+
+func configErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrConfig, fmt.Sprintf(format, args...))
+}
+
+// maxConfigBytes bounds a config document; a membership file measured in
+// megabytes is a mistake, not a deployment.
+const maxConfigBytes = 1 << 20
+
+// maxConfigBackends bounds the member list a config may declare.
+const maxConfigBackends = 1024
+
+// FileConfig is the JSON form of Config accepted by picgate -config:
+// durations are strings ("500ms"), and only deployment-shape fields are
+// exposed — observability wiring stays programmatic.
+//
+//	{
+//	  "backends": ["127.0.0.1:8081", "127.0.0.1:8082"],
+//	  "replicas": 2,
+//	  "health_interval": "1s",
+//	  "fail_threshold": 3
+//	}
+type FileConfig struct {
+	Backends         []string `json:"backends"`
+	Replicas         int      `json:"replicas,omitempty"`
+	VNodes           int      `json:"vnodes,omitempty"`
+	HealthInterval   string   `json:"health_interval,omitempty"`
+	HealthTimeout    string   `json:"health_timeout,omitempty"`
+	FailThreshold    int      `json:"fail_threshold,omitempty"`
+	ReviveThreshold  int      `json:"revive_threshold,omitempty"`
+	RequestTimeout   string   `json:"request_timeout,omitempty"`
+	AttemptTimeout   string   `json:"attempt_timeout,omitempty"`
+	MaxRetries       int      `json:"max_retries,omitempty"`
+	RetryBudget      float64  `json:"retry_budget,omitempty"`
+	RetryBudgetBurst float64  `json:"retry_budget_burst,omitempty"`
+	BackoffBase      string   `json:"backoff_base,omitempty"`
+	BackoffMax       string   `json:"backoff_max,omitempty"`
+	HedgeQuantile    float64  `json:"hedge_quantile,omitempty"`
+	HedgeMin         string   `json:"hedge_min,omitempty"`
+	BreakerThreshold int      `json:"breaker_threshold,omitempty"`
+	BreakerCooldown  string   `json:"breaker_cooldown,omitempty"`
+	Seed             int64    `json:"seed,omitempty"`
+}
+
+// DecodeConfig parses and validates a FileConfig document into a runtime
+// Config. Every failure wraps ErrConfig; the input is bounded at
+// maxConfigBytes and the backend list at maxConfigBackends before any
+// allocation proportional to the input happens, so hostile documents cannot
+// balloon memory.
+func DecodeConfig(r io.Reader) (Config, error) {
+	dec := json.NewDecoder(io.LimitReader(r, maxConfigBytes+1))
+	dec.DisallowUnknownFields()
+	var fc FileConfig
+	if err := dec.Decode(&fc); err != nil {
+		return Config{}, configErr("%v", err)
+	}
+	// A second document (or trailing garbage) means the file is not what
+	// the operator thinks it is.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return Config{}, configErr("trailing data after config document")
+	}
+	if dec.InputOffset() > maxConfigBytes {
+		return Config{}, configErr("document exceeds %d bytes", maxConfigBytes)
+	}
+	return fc.Runtime()
+}
+
+// Runtime validates fc and converts it to a Config (defaults not yet
+// applied — New does that).
+func (fc *FileConfig) Runtime() (Config, error) {
+	if len(fc.Backends) == 0 {
+		return Config{}, configErr("backends list is empty")
+	}
+	if len(fc.Backends) > maxConfigBackends {
+		return Config{}, configErr("%d backends exceeds the %d-member limit", len(fc.Backends), maxConfigBackends)
+	}
+	seen := make(map[string]bool, len(fc.Backends))
+	backends := make([]string, 0, len(fc.Backends))
+	for _, b := range fc.Backends {
+		if err := validBackendAddr(b); err != nil {
+			return Config{}, configErr("backend %q: %v", b, err)
+		}
+		if seen[b] {
+			return Config{}, configErr("duplicate backend %q", b)
+		}
+		seen[b] = true
+		backends = append(backends, b)
+	}
+	c := Config{
+		Backends:         backends,
+		Replicas:         fc.Replicas,
+		VNodes:           fc.VNodes,
+		FailThreshold:    fc.FailThreshold,
+		ReviveThreshold:  fc.ReviveThreshold,
+		MaxRetries:       fc.MaxRetries,
+		RetryBudget:      fc.RetryBudget,
+		RetryBudgetBurst: fc.RetryBudgetBurst,
+		HedgeQuantile:    fc.HedgeQuantile,
+		BreakerThreshold: fc.BreakerThreshold,
+		Seed:             fc.Seed,
+	}
+	for _, f := range []struct {
+		name string
+		src  string
+		dst  *time.Duration
+	}{
+		{"health_interval", fc.HealthInterval, &c.HealthInterval},
+		{"health_timeout", fc.HealthTimeout, &c.HealthTimeout},
+		{"request_timeout", fc.RequestTimeout, &c.RequestTimeout},
+		{"attempt_timeout", fc.AttemptTimeout, &c.AttemptTimeout},
+		{"backoff_base", fc.BackoffBase, &c.BackoffBase},
+		{"backoff_max", fc.BackoffMax, &c.BackoffMax},
+		{"hedge_min", fc.HedgeMin, &c.HedgeMin},
+		{"breaker_cooldown", fc.BreakerCooldown, &c.BreakerCooldown},
+	} {
+		if f.src == "" {
+			continue
+		}
+		d, err := time.ParseDuration(f.src)
+		if err != nil {
+			return Config{}, configErr("%s: %v", f.name, err)
+		}
+		if d <= 0 {
+			return Config{}, configErr("%s must be positive, got %v", f.name, d)
+		}
+		*f.dst = d
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"replicas", fc.Replicas},
+		{"vnodes", fc.VNodes},
+		{"fail_threshold", fc.FailThreshold},
+		{"revive_threshold", fc.ReviveThreshold},
+		{"max_retries", fc.MaxRetries},
+		{"breaker_threshold", fc.BreakerThreshold},
+	} {
+		if f.v < 0 {
+			return Config{}, configErr("%s must not be negative, got %d", f.name, f.v)
+		}
+	}
+	if fc.RetryBudget < 0 || fc.RetryBudgetBurst < 0 {
+		return Config{}, configErr("retry budget values must not be negative")
+	}
+	if fc.HedgeQuantile < 0 || fc.HedgeQuantile > 1 {
+		return Config{}, configErr("hedge_quantile must be in [0,1], got %g", fc.HedgeQuantile)
+	}
+	if fc.VNodes > 4096 {
+		return Config{}, configErr("vnodes %d exceeds the 4096 limit", fc.VNodes)
+	}
+	return c, nil
+}
+
+// validBackendAddr checks one dialable backend address: host:port with a
+// non-empty host and a concrete (non-zero) port.
+func validBackendAddr(s string) error {
+	host, port, err := net.SplitHostPort(s)
+	if err != nil {
+		return fmt.Errorf("want host:port: %v", err)
+	}
+	if host == "" {
+		return errors.New("host must not be empty")
+	}
+	if port == "" || port == "0" {
+		return errors.New("port must be a concrete non-zero port")
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package gate
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDecodeConfig(t *testing.T) {
+	doc := `{
+		"backends": ["127.0.0.1:8081", "127.0.0.1:8082", "127.0.0.1:8083"],
+		"replicas": 3,
+		"health_interval": "250ms",
+		"fail_threshold": 2,
+		"max_retries": 1,
+		"retry_budget": 0.2,
+		"hedge_quantile": 0.9,
+		"breaker_cooldown": "5s",
+		"seed": 7
+	}`
+	cfg, err := DecodeConfig(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Backends) != 3 || cfg.Replicas != 3 || cfg.HealthInterval != 250*time.Millisecond ||
+		cfg.FailThreshold != 2 || cfg.MaxRetries != 1 || cfg.RetryBudget != 0.2 ||
+		cfg.HedgeQuantile != 0.9 || cfg.BreakerCooldown != 5*time.Second || cfg.Seed != 7 {
+		t.Fatalf("decoded config = %+v", cfg)
+	}
+	// Defaults fill at New time, not decode time.
+	if cfg.RequestTimeout != 0 {
+		t.Errorf("decode must not default RequestTimeout, got %v", cfg.RequestTimeout)
+	}
+}
+
+// TestDecodeConfigErrors pins the typed rejection behaviour: every bad
+// document wraps ErrConfig and the message names what is wrong.
+func TestDecodeConfigErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring the error must carry
+	}{
+		{"empty", ``, "EOF"},
+		{"not json", `{backends}`, "invalid character"},
+		{"no backends", `{}`, "backends list is empty"},
+		{"empty backends", `{"backends": []}`, "backends list is empty"},
+		{"bad addr", `{"backends": ["nope"]}`, "want host:port"},
+		{"no host", `{"backends": [":8080"]}`, "host must not be empty"},
+		{"port zero", `{"backends": ["127.0.0.1:0"]}`, "non-zero port"},
+		{"duplicate", `{"backends": ["a:1","a:1"]}`, "duplicate backend"},
+		{"unknown field", `{"backends": ["a:1"], "bogus": 1}`, "unknown field"},
+		{"bad duration", `{"backends": ["a:1"], "health_interval": "fast"}`, "health_interval"},
+		{"negative duration", `{"backends": ["a:1"], "health_timeout": "-1s"}`, "must be positive"},
+		{"negative int", `{"backends": ["a:1"], "max_retries": -1}`, "must not be negative"},
+		{"bad quantile", `{"backends": ["a:1"], "hedge_quantile": 1.5}`, "hedge_quantile"},
+		{"negative budget", `{"backends": ["a:1"], "retry_budget": -0.5}`, "must not be negative"},
+		{"vnodes bomb", `{"backends": ["a:1"], "vnodes": 100000}`, "vnodes"},
+		{"trailing garbage", `{"backends": ["a:1"]} {"more": true}`, "trailing data"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := DecodeConfig(strings.NewReader(c.doc))
+			if err == nil {
+				t.Fatalf("DecodeConfig(%q) accepted", c.doc)
+			}
+			if !errors.Is(err, ErrConfig) {
+				t.Fatalf("error %v does not wrap ErrConfig", err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q missing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestDecodeConfigTooManyBackends(t *testing.T) {
+	addrs := make([]string, maxConfigBackends+1)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf(`"10.0.0.1:%d"`, i+1)
+	}
+	doc := `{"backends": [` + strings.Join(addrs, ",") + `]}`
+	_, err := DecodeConfig(strings.NewReader(doc))
+	if err == nil || !errors.Is(err, ErrConfig) {
+		t.Fatalf("oversized member list accepted: %v", err)
+	}
+	if !strings.Contains(err.Error(), "member limit") {
+		t.Errorf("error %q should name the member limit", err)
+	}
+}

@@ -1,0 +1,315 @@
+package gate
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"picpredict/internal/obs"
+)
+
+// attemptResult is one backend attempt's outcome. Bodies are read fully
+// (bounded) and closed inside the attempt, so cancelling a losing attempt
+// can never corrupt the winner and every response body has exactly one
+// close site.
+type attemptResult struct {
+	addr        string
+	status      int
+	contentType string
+	body        []byte
+	err         error
+	dur         time.Duration
+	hedged      bool     // launched by the hedge timer, not the retry loop
+	cacheOnly   bool     // sent with the cache-only header (hedges, shed retries)
+	tried       []string // populated on the final returned result
+}
+
+// definitive reports whether the attempt settles the request: any response
+// the backend actually produced below 500 (2xx success, 4xx the client's
+// problem — retrying a 400 elsewhere cannot help). Two 4xx exceptions: a
+// 429 admission shed says THIS shard is saturated right now and a replica
+// may have headroom, so it stays retryable; a 409 on a cache-only attempt
+// (a hedge, or a retry after a shed) says the replica simply hasn't
+// trained the model — some other attempt's answer settles the request.
+func (a *attemptResult) definitive() bool {
+	if a.err != nil || a.status >= 500 || a.status == http.StatusTooManyRequests {
+		return false
+	}
+	return !a.cold()
+}
+
+// cold reports whether a cache-only attempt was declined because the
+// replica has no resident model. Expected, cheap, and not a fault.
+func (a *attemptResult) cold() bool {
+	return a.cacheOnly && a.err == nil && a.status == http.StatusConflict
+}
+
+// shed reports whether the attempt was an admission rejection — a healthy
+// backend protecting itself. Retryable, but not a breaker failure: opening
+// a breaker on backpressure would turn one hot shard into a shed cascade.
+func (a *attemptResult) shed() bool {
+	return a.err == nil && a.status == http.StatusTooManyRequests
+}
+
+// maxAttemptBody bounds how much of a backend response the gate buffers.
+const maxAttemptBody = 4 << 20
+
+// cacheOnlyHeader marks hedged attempts as answer-from-cache-only; spelled
+// identically to serve.CacheOnlyHeader (asserted by test) without importing
+// the serving layer — the gate fronts backends over HTTP alone.
+const cacheOnlyHeader = "X-Picpredict-Cache-Only"
+
+// attempt issues one HTTP call to addr and fully reads the response. A
+// transport error, a 5xx, or a truncated body all come back as a
+// non-definitive result the caller may retry elsewhere. cacheOnly attempts
+// carry the header that forbids the backend to start a training run.
+func (g *Gate) attempt(ctx context.Context, addr, method, path string, body []byte, rid string, cacheOnly bool) *attemptResult {
+	res := &attemptResult{addr: addr, cacheOnly: cacheOnly}
+	t0 := time.Now()
+	defer func() {
+		res.dur = time.Since(t0)
+		g.reg.Timer(obs.GateAttemptNs).Observe(res.dur)
+	}()
+	attemptCtx, cancel := context.WithTimeout(ctx, g.cfg.AttemptTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(attemptCtx, method, "http://"+addr+path, rd)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if rid != "" {
+		req.Header.Set("X-Request-ID", rid)
+	}
+	if cacheOnly {
+		req.Header.Set(cacheOnlyHeader, "1")
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxAttemptBody+1))
+	if cerr := resp.Body.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		// Mid-body truncation or reset: the response cannot be trusted.
+		res.err = fmt.Errorf("reading response from %s: %w", addr, err)
+		return res
+	}
+	if len(b) > maxAttemptBody {
+		res.err = fmt.Errorf("response from %s exceeds %d bytes", addr, maxAttemptBody)
+		return res
+	}
+	// Content-Length mismatches (a connection cut mid-body) usually
+	// surface as an unexpected EOF above; a short read that somehow
+	// doesn't is caught by the JSON-consuming client.
+	res.status = resp.StatusCode
+	res.contentType = resp.Header.Get("Content-Type")
+	res.body = b
+	return res
+}
+
+// nextCandidate returns the first backend at or after position idx in the
+// chain whose breaker admits an attempt, or "" when the chain is exhausted.
+// It advances *idx past the returned candidate.
+func (g *Gate) nextCandidate(chain []string, idx *int) string {
+	for *idx < len(chain) {
+		addr := chain[*idx]
+		*idx++
+		m := g.members[addr]
+		if m == nil {
+			continue
+		}
+		if m.breaker.allow() {
+			return addr
+		}
+	}
+	return ""
+}
+
+// hedgeDelay is the adaptive tail-latency trigger: the configured quantile
+// of recent successful attempts, floored at HedgeMin. Zero disables hedging
+// (quantile off, or not enough samples yet).
+func (g *Gate) hedgeDelay() time.Duration {
+	if g.cfg.HedgeQuantile <= 0 {
+		return 0
+	}
+	q := g.latency.quantile(g.cfg.HedgeQuantile)
+	if q == 0 {
+		return 0
+	}
+	if q < g.cfg.HedgeMin {
+		q = g.cfg.HedgeMin
+	}
+	return q
+}
+
+// forward drives one request through the replica chain: a primary attempt,
+// an optional hedge when the primary dawdles past the latency percentile,
+// and budgeted backoff retries while non-definitive results come back. It
+// returns nil when no breaker admitted a single attempt (the caller
+// degrades to 503), otherwise the winning — or least-bad — result.
+func (g *Gate) forward(ctx context.Context, chain []string, body []byte, rid string) *attemptResult {
+	// Buffered for every attempt that could ever launch, so abandoned
+	// attempt goroutines can always deliver and exit — no leaks.
+	maxAttempts := g.cfg.MaxRetries + 2 // primary + retries + one hedge
+	results := make(chan *attemptResult, maxAttempts)
+	launch := func(addr string, hedged, cacheOnly bool) {
+		backendCounter(g.reg, addr, "requests").Inc()
+		go func() {
+			r := g.attempt(ctx, addr, http.MethodPost, "/v1/predict", body, rid, cacheOnly)
+			r.hedged = hedged
+			results <- r
+		}()
+	}
+
+	idx := 0
+	var tried []string
+	primary := g.nextCandidate(chain, &idx)
+	if primary == "" {
+		return nil
+	}
+	g.budget.deposit()
+	tried = append(tried, primary)
+	launch(primary, false, false)
+	inflight := 1
+	retries := 0
+	hedgeFired := false
+
+	var hedgeCh <-chan time.Time
+	if d := g.hedgeDelay(); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeCh = t.C
+	}
+
+	var lastFailure *attemptResult
+	for {
+		select {
+		case <-ctx.Done():
+			if lastFailure == nil {
+				lastFailure = &attemptResult{err: ctx.Err()}
+			}
+			lastFailure.tried = tried
+			return lastFailure
+
+		case <-hedgeCh:
+			hedgeCh = nil
+			if hedgeFired {
+				continue
+			}
+			// Budget before candidate: nextCandidate may claim a
+			// half-open breaker's single probe slot, which must only
+			// happen when the attempt will actually launch.
+			if !g.budget.withdraw() {
+				g.reg.Counter(obs.GateRetryBudgetDenied).Inc()
+				continue
+			}
+			addr := g.nextCandidate(chain, &idx)
+			if addr == "" {
+				g.budget.refund()
+				continue
+			}
+			hedgeFired = true
+			g.reg.Counter(obs.GateHedges).Inc()
+			backendCounter(g.reg, addr, "hedges").Inc()
+			tried = append(tried, addr)
+			launch(addr, true, true)
+			inflight++
+
+		case res := <-results:
+			inflight--
+			m := g.members[res.addr]
+			if res.definitive() {
+				m.breaker.success()
+				g.latency.observe(res.dur)
+				if res.hedged {
+					g.reg.Counter(obs.GateHedgeWins).Inc()
+				}
+				res.tried = tried
+				return res
+			}
+			switch {
+			case res.cold():
+				// The replica declined a cache-only hedge: healthy, just
+				// not warmed for this key. Not a failure, and not worth
+				// reporting to the client over whatever the primary says.
+				m.breaker.success()
+				backendCounter(g.reg, res.addr, "cold_skips").Inc()
+			case res.shed():
+				m.breaker.success() // answered, just saturated
+				backendCounter(g.reg, res.addr, "sheds").Inc()
+				lastFailure = res
+			default:
+				m.breaker.failure()
+				backendCounter(g.reg, res.addr, "failures").Inc()
+				lastFailure = res
+			}
+			if inflight > 0 {
+				continue // a hedge (or straggler) may still win
+			}
+			if lastFailure == nil {
+				// Unreachable in practice: the primary is never cache-only,
+				// so a cold decline always follows some primary outcome.
+				lastFailure = res
+			}
+			if retries >= g.cfg.MaxRetries {
+				lastFailure.tried = tried
+				return lastFailure
+			}
+			if !g.budget.withdraw() {
+				g.reg.Counter(obs.GateRetryBudgetDenied).Inc()
+				lastFailure.tried = tried
+				return lastFailure
+			}
+			addr := g.nextCandidate(chain, &idx)
+			if addr == "" {
+				// Chain exhausted; wrap around once so a transient blip
+				// on a 1-replica chain still gets its retries.
+				idx = 0
+				addr = g.nextCandidate(chain, &idx)
+			}
+			if addr == "" {
+				g.budget.refund()
+				lastFailure.tried = tried
+				return lastFailure
+			}
+			// Full-jitter backoff before the retry, abandoned if the
+			// request deadline lands first.
+			wait := g.jitter.backoff(retries, g.cfg.BackoffBase, g.cfg.BackoffMax)
+			if wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					lastFailure.tried = tried
+					return lastFailure
+				case <-t.C:
+				}
+			}
+			retries++
+			g.reg.Counter(obs.GateRetries).Inc()
+			backendCounter(g.reg, addr, "retries").Inc()
+			tried = append(tried, addr)
+			// A retry after a shed is cache-only: training a replica copy
+			// BECAUSE the owner is saturated multiplies work exactly when
+			// the fleet is overloaded. Warm replicas absorb the spillover;
+			// otherwise the client gets the 429 and backs off. Failure
+			// retries (owner down or erroring) may train — availability
+			// is worth one training bill there.
+			launch(addr, false, lastFailure.shed())
+			inflight++
+		}
+	}
+}

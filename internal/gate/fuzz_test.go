@@ -1,0 +1,93 @@
+package gate
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// FuzzGateConfig hammers the picgate -config decoder. Invariants: no
+// panic, bounded memory (the decoder must reject before allocating
+// proportionally to hostile inputs — enforced by the byte and member
+// limits), and every rejection is a typed ErrConfig so the CLI can
+// distinguish bad documents from I/O failures. Accepted documents must
+// survive New, i.e. validation is complete — nothing DecodeConfig lets
+// through may crash the gate constructor.
+func FuzzGateConfig(f *testing.F) {
+	for _, s := range configSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc []byte) {
+		cfg, err := DecodeConfig(bytes.NewReader(doc))
+		if err != nil {
+			if !errors.Is(err, ErrConfig) {
+				t.Fatalf("untyped decode error %T: %v", err, err)
+			}
+			return
+		}
+		if len(cfg.Backends) == 0 {
+			t.Fatal("decoder accepted a config with no backends")
+		}
+		if len(cfg.Backends) > maxConfigBackends {
+			t.Fatalf("decoder accepted %d backends over the %d limit", len(cfg.Backends), maxConfigBackends)
+		}
+		g, err := New(cfg)
+		if err != nil {
+			t.Fatalf("validated config rejected by New: %v", err)
+		}
+		if g.currentRing().size() == 0 {
+			t.Fatal("constructed gate has an empty ring")
+		}
+	})
+}
+
+// configSeeds builds the seed corpus: valid documents exercising every
+// field, plus the hostile shapes the validator must reject typed —
+// oversized member lists, port zero, duplicate members, duration garbage,
+// out-of-range quantiles, trailing documents.
+func configSeeds() [][]byte {
+	seeds := [][]byte{
+		[]byte(`{"backends": ["127.0.0.1:8081"]}`),
+		[]byte(`{"backends": ["127.0.0.1:8081", "127.0.0.1:8082", "127.0.0.1:8083"], "replicas": 2}`),
+		[]byte(`{"backends": ["[::1]:9000"], "health_interval": "250ms", "health_timeout": "100ms", "fail_threshold": 3, "revive_threshold": 2}`),
+		[]byte(`{"backends": ["shard-a:80", "shard-b:80"], "request_timeout": "30s", "attempt_timeout": "10s", "max_retries": 2, "retry_budget": 0.1, "retry_budget_burst": 10, "backoff_base": "25ms", "backoff_max": "1s"}`),
+		[]byte(`{"backends": ["a:1", "b:1"], "hedge_quantile": 0.95, "hedge_min": "10ms", "breaker_threshold": 5, "breaker_cooldown": "2s", "seed": 42, "vnodes": 128}`),
+		[]byte(`{"backends": []}`),
+		[]byte(`{"backends": ["127.0.0.1:0"]}`),
+		[]byte(`{"backends": [":8080"]}`),
+		[]byte(`{"backends": ["a:1", "a:1"]}`),
+		[]byte(`{"backends": ["a:1"], "health_interval": "sometimes"}`),
+		[]byte(`{"backends": ["a:1"], "hedge_quantile": 2.0}`),
+		[]byte(`{"backends": ["a:1"], "vnodes": 1000000}`),
+		[]byte(`{"backends": ["a:1"], "max_retries": -3}`),
+		[]byte(`{"backends": ["a:1"], "unknown_knob": true}`),
+		[]byte(`{"backends": ["a:1"]} {"backends": ["b:2"]}`),
+		[]byte(`{"backends": ["a:1"`),
+		[]byte(`null`),
+		[]byte(``),
+	}
+	return seeds
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz — run with PICPREDICT_WRITE_FUZZ_CORPUS=1 after changing
+// the config schema or the seed builders.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("PICPREDICT_WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set PICPREDICT_WRITE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzGateConfig")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range configSeeds() {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%02d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

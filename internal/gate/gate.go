@@ -1,0 +1,401 @@
+// Package gate is the fault-tolerant serving coordinator behind
+// cmd/picgate: it consistent-hashes prediction requests across a fleet of
+// picserve shards and is engineered to degrade rather than fail when
+// members do.
+//
+// Routing keys mirror the shards' model-registry fingerprints — the fields
+// of a /v1/predict body that select a trained model (artefact name, model
+// kind, training options) hash to one owner plus a replica chain — so every
+// request for one model configuration lands on the same shard and the
+// cluster trains each configuration once, not once per shard.
+//
+// Four mechanisms keep the gate answering while backends flap:
+//
+//   - health-checked membership: /readyz polls eject a member after K
+//     consecutive failures (its key ranges rehash to the survivors) and
+//     reinstate it on recovery;
+//   - budgeted retries with full-jitter exponential backoff, only for the
+//     idempotent predict path, bounded by a token-bucket retry budget so an
+//     outage cannot trigger a retry storm;
+//   - tail-latency hedging: when the primary attempt exceeds a latency
+//     percentile of recent traffic, a secondary fires to the next replica
+//     and the first answer wins;
+//   - per-backend circuit breakers (closed → open → half-open), so a
+//     flapping shard fails fast instead of consuming attempt timeouts and
+//     budget.
+//
+// When every replica for a key is down the gate answers 503 with
+// Retry-After and a structured error body — and keeps serving the key
+// ranges whose owners are alive.
+package gate
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"picpredict/internal/obs"
+)
+
+// Gate is the coordinator: fixed backend set, health-driven routable
+// membership, and the HTTP front end. Build with New, then either run the
+// full lifecycle with Serve or mount Handler on an external server (tests
+// use httptest) after calling Start.
+type Gate struct {
+	cfg     Config
+	reg     *obs.Registry
+	client  *http.Client
+	members map[string]*member
+	order   []string // configured backend order (stable, deduped)
+
+	// ringMu serialises rebuilds (health transitions); lookups read the
+	// atomic pointer lock-free.
+	ringMu sync.Mutex
+	ring   atomic.Pointer[ring]
+
+	budget  *retryBudget
+	jitter  *jitter
+	latency *latencyTracker
+
+	instance string
+	reqSeq   atomic.Int64
+
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	mux *http.ServeMux
+}
+
+// New builds a Gate from cfg (zero fields defaulted). The backend set must
+// be non-empty, deduped, and valid host:port addresses — cli.ParseBackends
+// or DecodeConfig enforce that for the binary; New re-checks.
+func New(cfg Config) (*Gate, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("gate: no backends configured")
+	}
+	g := &Gate{
+		cfg:      cfg,
+		reg:      cfg.Obs,
+		members:  make(map[string]*member, len(cfg.Backends)),
+		budget:   newRetryBudget(cfg.RetryBudget, cfg.RetryBudgetBurst),
+		jitter:   newJitter(cfg.Seed),
+		latency:  newLatencyTracker(),
+		instance: newInstanceID(),
+	}
+	g.client = &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+	for _, addr := range cfg.Backends {
+		if err := validBackendAddr(addr); err != nil {
+			return nil, fmt.Errorf("gate: backend %q: %v", addr, err)
+		}
+		if _, dup := g.members[addr]; dup {
+			return nil, fmt.Errorf("gate: duplicate backend %q", addr)
+		}
+		g.members[addr] = &member{
+			addr:    addr,
+			healthy: true, // optimistic start; the first sweep corrects
+			breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil, breakerObs(cfg.Obs, addr)),
+		}
+		g.order = append(g.order, addr)
+	}
+	g.rebuildRing()
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /readyz", g.handleReadyz)
+	g.mux.HandleFunc("GET /v1/membership", g.handleMembership)
+	g.mux.HandleFunc("GET /v1/models", g.handleModels)
+	g.mux.HandleFunc("POST /v1/predict", g.handlePredict)
+	return g, nil
+}
+
+// newInstanceID returns a short random hex tag identifying this gate
+// process in request IDs and manifests.
+func newInstanceID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "gate-0"
+	}
+	return "gate-" + hex.EncodeToString(b[:])
+}
+
+// Instance returns the process's random instance tag (folded into generated
+// request IDs and the run manifest, which is what makes gate→shard traffic
+// correlatable after the fact).
+func (g *Gate) Instance() string { return g.instance }
+
+// Handler returns the gate's HTTP handler. Callers mounting it directly
+// must also call Start to run the health checker.
+func (g *Gate) Handler() http.Handler { return g.mux }
+
+// Start launches the health checker (one immediate sweep, then periodic)
+// and marks the gate ready. It returns after the first sweep, so a freshly
+// started gate routes on real health rather than optimism.
+func (g *Gate) Start(ctx context.Context) {
+	hc := &healthChecker{g: g, client: g.client}
+	hc.sweep(ctx)
+	go hc.run(ctx)
+	g.ready.Store(true)
+}
+
+// Close releases the pooled backend connections. Serve calls it after the
+// drain; tests call it before goroutine-leak accounting.
+func (g *Gate) Close() { g.client.CloseIdleConnections() }
+
+// Serve runs the gate on ln until ctx is cancelled, then drains: /readyz
+// flips 503, the listener closes, and in-flight requests finish (bounded by
+// drainTimeout). A nil return is a clean drain.
+func (g *Gate) Serve(ctx context.Context, ln net.Listener, drainTimeout time.Duration) error {
+	life, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g.Start(life)
+	httpSrv := &http.Server{
+		Handler:           g.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		g.ready.Store(false)
+		return fmt.Errorf("gate: %w", err)
+	case <-ctx.Done():
+	}
+	g.draining.Store(true)
+	g.ready.Store(false)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelDrain()
+	err := httpSrv.Shutdown(drainCtx)
+	<-errCh // http.ErrServerClosed once Shutdown begins
+	g.Close()
+	if err != nil {
+		return fmt.Errorf("gate: drain: %w", err)
+	}
+	return nil
+}
+
+// backendCounter returns the per-backend counter "gate.backend.<addr>.<kind>".
+func backendCounter(reg *obs.Registry, addr, kind string) *obs.Counter {
+	return reg.Counter(obs.GateBackendPrefix + addr + "." + kind)
+}
+
+// routeFields are the model-selecting fields of a /v1/predict body — the
+// routing-key material. They mirror serve.Fingerprint: anything that
+// changes which trained model answers the request is in; per-query knobs
+// (ranks, mapping, machine) are out, so all queries against one model land
+// on its owning shard.
+type routeFields struct {
+	Scenario string `json:"scenario"`
+	Workload string `json:"workload"`
+	Model    struct {
+		Kind  string  `json:"kind"`
+		Fast  bool    `json:"fast"`
+		Seed  int64   `json:"seed"`
+		Noise float64 `json:"noise"`
+	} `json:"model"`
+}
+
+// RouteKey derives the consistent-hash key for a predict body.
+func RouteKey(body []byte) (string, error) {
+	var rf routeFields
+	if err := json.Unmarshal(body, &rf); err != nil {
+		return "", fmt.Errorf("gate: request body is not JSON: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "scenario=%s|workload=%s|kind=%s|fast=%t|seed=%d|noise=%g",
+		rf.Scenario, rf.Workload, rf.Model.Kind, rf.Model.Fast, rf.Model.Seed, rf.Model.Noise)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// errorBody is every non-2xx JSON payload the gate originates itself.
+type errorBody struct {
+	Error     string   `json:"error"`
+	RequestID string   `json:"request_id,omitempty"`
+	Key       string   `json:"key,omitempty"`
+	Tried     []string `json:"backends_tried,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // client gone mid-write; nothing useful to do
+}
+
+func (g *Gate) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "instance": g.instance})
+}
+
+func (g *Gate) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	healthy := g.currentRing().size()
+	switch {
+	case g.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+	case !g.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "not ready"})
+	case healthy == 0:
+		w.Header().Set("Retry-After", g.retryAfter())
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no healthy backends"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"instance": g.instance,
+			"members":  healthy,
+			"backends": len(g.order),
+		})
+	}
+}
+
+func (g *Gate) handleMembership(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"instance": g.instance,
+		"healthy":  g.currentRing().size(),
+		"members":  g.Membership(),
+	})
+}
+
+// handleModels fans a registry query out to every healthy member and
+// returns the per-shard bodies keyed by address — the cluster-wide view of
+// which models are resident where.
+func (g *Gate) handleModels(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.AttemptTimeout)
+	defer cancel()
+	shards := make(map[string]json.RawMessage)
+	for _, addr := range g.currentRing().backends {
+		res := g.attempt(ctx, addr, http.MethodGet, "/v1/models", nil, "", false)
+		if res.err != nil || res.status != http.StatusOK {
+			shards[addr] = json.RawMessage(`{"error":"unreachable"}`)
+			continue
+		}
+		shards[addr] = json.RawMessage(res.body)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"shards": shards})
+}
+
+// requestID propagates the caller's X-Request-ID or mints one from the
+// gate's instance tag.
+func (g *Gate) requestID(r *http.Request) string {
+	if rid := r.Header.Get("X-Request-ID"); rid != "" {
+		return rid
+	}
+	return fmt.Sprintf("%s-%06d", g.instance, g.reqSeq.Add(1))
+}
+
+// retryAfter is the Retry-After hint on degradation responses: the breaker
+// cooldown rounded up to whole seconds — the soonest a shed backend could
+// be taking traffic again.
+func (g *Gate) retryAfter() string {
+	secs := int(g.cfg.BreakerCooldown / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// maxPredictBody bounds a routed request body; it matches picserve's own
+// MaxBytesReader limit.
+const maxPredictBody = 1 << 20
+
+// handlePredict is the routed hot path: derive the key, pick the replica
+// chain, forward with retries/hedging under the breakers, degrade to a
+// structured 503 when the chain is exhausted.
+func (g *Gate) handlePredict(w http.ResponseWriter, r *http.Request) {
+	rid := g.requestID(r)
+	w.Header().Set("X-Request-ID", rid)
+	if g.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining", RequestID: rid})
+		return
+	}
+	g.reg.Counter(obs.GateRequests).Inc()
+	stopLatency := g.reg.Timer(obs.GateLatencyNs).Start()
+	defer stopLatency()
+
+	body, err := readBody(w, r)
+	if err != nil {
+		g.reg.Counter(obs.GateErrors).Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), RequestID: rid})
+		return
+	}
+	key, err := RouteKey(body)
+	if err != nil {
+		g.reg.Counter(obs.GateErrors).Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), RequestID: rid})
+		return
+	}
+	chain := g.currentRing().lookup(key, g.cfg.Replicas)
+	if len(chain) == 0 {
+		g.unavailable(w, rid, key, nil)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	res := g.forward(ctx, chain, body, rid)
+	if res == nil {
+		g.unavailable(w, rid, key, chain)
+		return
+	}
+	if res.err != nil {
+		g.reg.Counter(obs.GateErrors).Inc()
+		status := http.StatusBadGateway
+		if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
+			status = http.StatusGatewayTimeout
+		}
+		writeJSON(w, status, errorBody{
+			Error:     fmt.Sprintf("all attempts failed: %v", res.err),
+			RequestID: rid,
+			Key:       key,
+			Tried:     res.tried,
+		})
+		return
+	}
+	if res.status >= 500 {
+		g.reg.Counter(obs.GateErrors).Inc()
+	}
+	w.Header().Set("X-Picgate-Backend", res.addr)
+	if ct := res.contentType; ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body) // client gone mid-write; nothing useful to do
+}
+
+// unavailable is the graceful-degradation response: every replica for the
+// key is down or breaker-open. 503 + Retry-After + structured body; other
+// key ranges keep serving.
+func (g *Gate) unavailable(w http.ResponseWriter, rid, key string, tried []string) {
+	g.reg.Counter(obs.GateUnavailable).Inc()
+	w.Header().Set("Retry-After", g.retryAfter())
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{
+		Error:     "no replica available for key; retry shortly",
+		RequestID: rid,
+		Key:       key,
+		Tried:     tried,
+	})
+}
+
+// readBody buffers the request body (bounded) so attempts can replay it.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	defer func() { _ = r.Body.Close() }() // net/http closes too; double close is fine
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPredictBody))
+	if err != nil {
+		return nil, fmt.Errorf("reading request body: %w", err)
+	}
+	return body, nil
+}

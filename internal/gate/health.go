@@ -1,0 +1,202 @@
+package gate
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"picpredict/internal/obs"
+)
+
+// member is one configured backend's runtime state: health bookkeeping
+// (written only by the health checker), the circuit breaker (written by the
+// attempt path), and per-backend request stats.
+type member struct {
+	addr    string
+	breaker *breaker
+
+	mu         sync.Mutex
+	healthy    bool
+	consecFail int
+	consecOK   int
+	lastErr    string
+	lastCheck  time.Time
+}
+
+// setHealth applies one poll outcome and reports whether routable
+// membership changed under the configured thresholds.
+func (m *member) setHealth(ok bool, errMsg string, failThreshold, reviveThreshold int, now time.Time) (changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lastCheck = now
+	if ok {
+		m.consecOK++
+		m.consecFail = 0
+		m.lastErr = ""
+		if !m.healthy && m.consecOK >= reviveThreshold {
+			m.healthy = true
+			return true
+		}
+		return false
+	}
+	m.consecFail++
+	m.consecOK = 0
+	m.lastErr = errMsg
+	if m.healthy && m.consecFail >= failThreshold {
+		m.healthy = false
+		return true
+	}
+	return false
+}
+
+// MemberInfo is one backend's state frozen for /v1/membership.
+type MemberInfo struct {
+	Addr       string `json:"addr"`
+	Healthy    bool   `json:"healthy"`
+	Breaker    string `json:"breaker"`
+	ConsecFail int    `json:"consecutive_failures,omitempty"`
+	LastError  string `json:"last_error,omitempty"`
+	// The remaining fields mirror the per-backend obs counters (zero when
+	// observability is off). Sheds are 429 admission rejections —
+	// saturation, not faults; ColdSkips are hedges declined with 409
+	// because the model was not resident on the replica.
+	Requests  int64 `json:"requests"`
+	Failures  int64 `json:"failures"`
+	Sheds     int64 `json:"sheds"`
+	ColdSkips int64 `json:"cold_skips"`
+	Retries   int64 `json:"retries"`
+	Hedges    int64 `json:"hedges"`
+}
+
+// healthChecker polls every configured member's /readyz and drives the
+// routable membership: FailThreshold consecutive failures eject a member
+// (its key ranges rehash to the survivors), ReviveThreshold consecutive
+// successes reinstate it (and reset its breaker so it does not return to
+// service shedding load).
+type healthChecker struct {
+	g      *Gate
+	client *http.Client
+}
+
+// run polls until ctx is cancelled. One sweep runs all members
+// concurrently, so a hung backend cannot delay the others' verdicts.
+func (hc *healthChecker) run(ctx context.Context) {
+	t := time.NewTicker(hc.g.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		hc.sweep(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// sweep polls every member once and rebuilds the ring if membership moved.
+func (hc *healthChecker) sweep(ctx context.Context) {
+	g := hc.g
+	var wg sync.WaitGroup
+	changed := make([]bool, len(g.order))
+	for i, addr := range g.order {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			ok, errMsg := hc.poll(ctx, m.addr)
+			if m.setHealth(ok, errMsg, g.cfg.FailThreshold, g.cfg.ReviveThreshold, time.Now()) {
+				changed[i] = true
+				if ok {
+					g.reg.Counter(obs.GateReinstatements).Inc()
+					m.breaker.reset()
+				} else {
+					g.reg.Counter(obs.GateEjections).Inc()
+				}
+			}
+		}(i, g.members[addr])
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return
+	}
+	for _, c := range changed {
+		if c {
+			g.rebuildRing()
+			break
+		}
+	}
+	g.reg.Histogram(obs.GateMembers).Observe(int64(g.currentRing().size()))
+}
+
+// poll issues one /readyz probe. Any response status other than 200 — a
+// draining shard answers 503 — counts as unhealthy, exactly like a
+// connection failure.
+func (hc *healthChecker) poll(ctx context.Context, addr string) (bool, string) {
+	pollCtx, cancel := context.WithTimeout(ctx, hc.g.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pollCtx, http.MethodGet, "http://"+addr+"/readyz", nil)
+	if err != nil {
+		return false, err.Error()
+	}
+	resp, err := hc.client.Do(req)
+	if err != nil {
+		return false, err.Error()
+	}
+	// Drain a bounded slice of the body so the connection is reusable.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if cerr := resp.Body.Close(); cerr != nil {
+		return false, cerr.Error()
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, "readyz returned " + resp.Status
+	}
+	return true, ""
+}
+
+// rebuildRing swaps in a fresh ring over the currently healthy members.
+func (g *Gate) rebuildRing() {
+	g.ringMu.Lock()
+	defer g.ringMu.Unlock()
+	healthy := make([]string, 0, len(g.order))
+	for _, addr := range g.order {
+		m := g.members[addr]
+		m.mu.Lock()
+		ok := m.healthy
+		m.mu.Unlock()
+		if ok {
+			healthy = append(healthy, addr)
+		}
+	}
+	g.ring.Store(buildRing(healthy, g.cfg.VNodes))
+}
+
+// currentRing returns the live ring (lock-free).
+func (g *Gate) currentRing() *ring { return g.ring.Load() }
+
+// Membership snapshots every configured backend's state, sorted by address.
+func (g *Gate) Membership() []MemberInfo {
+	out := make([]MemberInfo, 0, len(g.order))
+	for _, addr := range g.order {
+		m := g.members[addr]
+		m.mu.Lock()
+		info := MemberInfo{
+			Addr:       m.addr,
+			Healthy:    m.healthy,
+			ConsecFail: m.consecFail,
+			LastError:  m.lastErr,
+		}
+		m.mu.Unlock()
+		info.Breaker = m.breaker.current().String()
+		info.Requests = backendCounter(g.reg, addr, "requests").Value()
+		info.Failures = backendCounter(g.reg, addr, "failures").Value()
+		info.Sheds = backendCounter(g.reg, addr, "sheds").Value()
+		info.ColdSkips = backendCounter(g.reg, addr, "cold_skips").Value()
+		info.Retries = backendCounter(g.reg, addr, "retries").Value()
+		info.Hedges = backendCounter(g.reg, addr, "hedges").Value()
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

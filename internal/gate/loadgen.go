@@ -1,0 +1,223 @@
+package gate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadConfig drives RunLoad, the bench client behind picgate -load and
+// scripts/picgate_load.sh.
+type LoadConfig struct {
+	// Target is the base URL to drive (a picgate or a bare picserve).
+	Target string
+	// Duration is how long to sustain load after warmup; Concurrency is
+	// the number of closed-loop workers.
+	Duration    time.Duration
+	Concurrency int
+	// Bodies are the request payloads the workers rotate through —
+	// distinct model configurations spread keys across shards. Warmup
+	// issues each body once first so measured traffic hits trained
+	// models, not cold training runs.
+	Bodies [][]byte
+	// Warmup skips the one-request-per-body pre-pass when false requests
+	// should include training cost.
+	Warmup bool
+}
+
+// ShardStats aggregates the requests one backend (identified by the
+// X-Picgate-Backend header, or "direct" without a gate) answered.
+type ShardStats struct {
+	Requests  int64   `json:"requests"`
+	CacheHits int64   `json:"cache_hits"`
+	HitRate   float64 `json:"cache_hit_rate"`
+}
+
+// LoadStats is one load run's result — the measurements BENCH_serve.json
+// records.
+type LoadStats struct {
+	DurationSec float64                `json:"duration_sec"`
+	Requests    int64                  `json:"requests"`
+	Errors      int64                  `json:"errors"`
+	RPS         float64                `json:"rps"`
+	ErrorRate   float64                `json:"error_rate"`
+	P50Ms       float64                `json:"p50_ms"`
+	P99Ms       float64                `json:"p99_ms"`
+	Shards      map[string]*ShardStats `json:"shards"`
+}
+
+// RunLoad drives Target with Concurrency closed-loop workers for Duration
+// and aggregates latency/error/shard statistics. Any non-200 response (or
+// transport error) counts as an error; 200 bodies are parsed for the
+// "cache" field to compute per-shard hit rates.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadStats, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("gate: load target is empty")
+	}
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if len(cfg.Bodies) == 0 {
+		return nil, fmt.Errorf("gate: no request bodies to drive")
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.Concurrency}}
+
+	do := func(ctx context.Context, body []byte) (shard string, cacheHit bool, err error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.Target+"/v1/predict", bytes.NewReader(body))
+		if err != nil {
+			return "", false, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", false, err
+		}
+		b, err := io.ReadAll(io.LimitReader(resp.Body, maxAttemptBody))
+		if cerr := resp.Body.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			return "", false, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", false, fmt.Errorf("status %d: %s", resp.StatusCode, truncate(b, 200))
+		}
+		shard = resp.Header.Get("X-Picgate-Backend")
+		if shard == "" {
+			shard = "direct"
+		}
+		var parsed struct {
+			Cache string `json:"cache"`
+		}
+		if jerr := json.Unmarshal(b, &parsed); jerr == nil && parsed.Cache == "hit" {
+			cacheHit = true
+		}
+		return shard, cacheHit, nil
+	}
+
+	if cfg.Warmup {
+		for _, body := range cfg.Bodies {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			// Training on first touch can be slow; errors here are fatal
+			// because the measured run would be meaningless.
+			if _, _, err := do(ctx, body); err != nil {
+				return nil, fmt.Errorf("gate: warmup request failed: %w", err)
+			}
+		}
+	}
+
+	type workerStats struct {
+		latencies []time.Duration
+		errors    int64
+		shards    map[string]*ShardStats
+	}
+	loadCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	var wg sync.WaitGroup
+	perWorker := make([]workerStats, cfg.Concurrency)
+	t0 := time.Now()
+	for wi := 0; wi < cfg.Concurrency; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			ws := &perWorker[wi]
+			ws.shards = make(map[string]*ShardStats)
+			for i := wi; ; i++ {
+				if loadCtx.Err() != nil {
+					return
+				}
+				body := cfg.Bodies[i%len(cfg.Bodies)]
+				start := time.Now()
+				shard, hit, err := do(loadCtx, body)
+				if loadCtx.Err() != nil {
+					return // deadline landed mid-request; don't count it
+				}
+				if err != nil {
+					ws.errors++
+					continue
+				}
+				ws.latencies = append(ws.latencies, time.Since(start))
+				ss := ws.shards[shard]
+				if ss == nil {
+					ss = &ShardStats{}
+					ws.shards[shard] = ss
+				}
+				ss.Requests++
+				if hit {
+					ss.CacheHits++
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	stats := &LoadStats{
+		DurationSec: elapsed.Seconds(),
+		Shards:      make(map[string]*ShardStats),
+	}
+	var all []time.Duration
+	for i := range perWorker {
+		ws := &perWorker[i]
+		stats.Errors += ws.errors
+		all = append(all, ws.latencies...)
+		for shard, ss := range ws.shards {
+			agg := stats.Shards[shard]
+			if agg == nil {
+				agg = &ShardStats{}
+				stats.Shards[shard] = agg
+			}
+			agg.Requests += ss.Requests
+			agg.CacheHits += ss.CacheHits
+		}
+	}
+	stats.Requests = int64(len(all)) + stats.Errors
+	if stats.Requests > 0 {
+		stats.ErrorRate = float64(stats.Errors) / float64(stats.Requests)
+	}
+	if elapsed > 0 {
+		stats.RPS = float64(len(all)) / elapsed.Seconds()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	stats.P50Ms = quantileMs(all, 0.50)
+	stats.P99Ms = quantileMs(all, 0.99)
+	for _, ss := range stats.Shards {
+		if ss.Requests > 0 {
+			ss.HitRate = float64(ss.CacheHits) / float64(ss.Requests)
+		}
+	}
+	return stats, nil
+}
+
+// quantileMs reads the q-quantile of sorted latencies in milliseconds.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / 1e6
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(bytes.TrimSpace(b))
+}

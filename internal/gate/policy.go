@@ -1,0 +1,163 @@
+package gate
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// retryBudget is a token bucket bounding retries (and hedges) to a fraction
+// of primary traffic. Every primary attempt deposits Ratio tokens; every
+// retry or hedge withdraws one. Under a full outage retries therefore decay
+// to Ratio× the request rate instead of multiplying load by the per-request
+// retry cap — the classic retry-budget guard against retry storms.
+type retryBudget struct {
+	mu     sync.Mutex
+	ratio  float64
+	cap    float64
+	tokens float64
+}
+
+func newRetryBudget(ratio float64, capacity float64) *retryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if capacity <= 0 {
+		capacity = 10
+	}
+	// Start full so cold-start blips can retry immediately.
+	return &retryBudget{ratio: ratio, cap: capacity, tokens: capacity}
+}
+
+// deposit credits one primary attempt's worth of budget.
+func (b *retryBudget) deposit() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+	b.mu.Unlock()
+}
+
+// withdraw claims one retry/hedge token; false means the budget is
+// exhausted and the caller must not add more load.
+func (b *retryBudget) withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// refund returns a withdrawn token that was never spent (no candidate was
+// available to launch at).
+func (b *retryBudget) refund() {
+	b.mu.Lock()
+	b.tokens++
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+	b.mu.Unlock()
+}
+
+// jitter produces deterministic backoff jitter from a seeded source; the
+// gate shares one behind a mutex (backoff paths are not hot).
+type jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newJitter(seed int64) *jitter {
+	return &jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// backoff returns the delay before retry attempt n (0-based): full jitter
+// over an exponentially growing window, base·2ⁿ capped at max — each retry
+// waits a uniformly random slice of the window so synchronized clients
+// spread out instead of stampeding the recovering backend together.
+func (j *jitter) backoff(n int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	window := base << uint(n)
+	if max > 0 && (window > max || window <= 0) {
+		window = max
+	}
+	j.mu.Lock()
+	d := time.Duration(j.rng.Int63n(int64(window) + 1))
+	j.mu.Unlock()
+	return d
+}
+
+// latencyTracker keeps a bounded reservoir of recent successful-attempt
+// latencies and answers percentile queries — the source of the adaptive
+// hedge delay. A fixed-size ring overwrites oldest-first, so the estimate
+// tracks the current latency regime rather than the whole process history.
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	next    int
+	full    bool
+}
+
+// latencyWindow is the reservoir size: big enough for a stable p95, small
+// enough that sorting a copy per hedge-delay query is negligible.
+const latencyWindow = 512
+
+// minHedgeSamples gates hedging until the tracker has seen enough wins to
+// estimate a percentile at all.
+const minHedgeSamples = 16
+
+func newLatencyTracker() *latencyTracker {
+	return &latencyTracker{samples: make([]time.Duration, latencyWindow)}
+}
+
+// observe records one successful attempt's latency.
+func (t *latencyTracker) observe(d time.Duration) {
+	t.mu.Lock()
+	t.samples[t.next] = d
+	t.next++
+	if t.next == len(t.samples) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// count returns the number of live samples.
+func (t *latencyTracker) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.samples)
+	}
+	return t.next
+}
+
+// quantile returns the q-quantile (0 < q ≤ 1) of the live samples, or 0
+// when fewer than minHedgeSamples have been observed.
+func (t *latencyTracker) quantile(q float64) time.Duration {
+	t.mu.Lock()
+	n := t.next
+	if t.full {
+		n = len(t.samples)
+	}
+	if n < minHedgeSamples {
+		t.mu.Unlock()
+		return 0
+	}
+	cp := append([]time.Duration(nil), t.samples[:n]...)
+	t.mu.Unlock()
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	idx := int(q*float64(n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return cp[idx]
+}

@@ -1,0 +1,104 @@
+package gate
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryBudget(t *testing.T) {
+	b := newRetryBudget(0.5, 2)
+	// Starts full: burst of 2 retries allowed, then dry.
+	if !b.withdraw() || !b.withdraw() {
+		t.Fatal("budget should start at capacity")
+	}
+	if b.withdraw() {
+		t.Fatal("budget should be exhausted")
+	}
+	// Two primaries deposit 0.5 each → one retry token.
+	b.deposit()
+	b.deposit()
+	if !b.withdraw() {
+		t.Fatal("deposits should have accrued one token")
+	}
+	if b.withdraw() {
+		t.Fatal("only one token should have accrued")
+	}
+	// A refunded token is spendable again.
+	b.deposit()
+	b.deposit()
+	if !b.withdraw() {
+		t.Fatal("want a token before refund test")
+	}
+	b.refund()
+	if !b.withdraw() {
+		t.Fatal("refund should restore the token")
+	}
+	// Deposits cap at capacity.
+	for i := 0; i < 100; i++ {
+		b.deposit()
+	}
+	spent := 0
+	for b.withdraw() {
+		spent++
+	}
+	if spent != 2 {
+		t.Fatalf("capacity cap leaked: drained %d tokens, want 2", spent)
+	}
+}
+
+func TestBackoffJitterBounded(t *testing.T) {
+	j := newJitter(42)
+	base := 10 * time.Millisecond
+	max := 80 * time.Millisecond
+	for n := 0; n < 6; n++ {
+		window := base << uint(n)
+		if window > max {
+			window = max
+		}
+		for i := 0; i < 50; i++ {
+			d := j.backoff(n, base, max)
+			if d < 0 || d > window {
+				t.Fatalf("backoff(%d) = %v outside [0, %v]", n, d, window)
+			}
+		}
+	}
+	// Same seed ⇒ same sequence (chaos-test reproducibility).
+	a, b := newJitter(7), newJitter(7)
+	for i := 0; i < 20; i++ {
+		if a.backoff(i%3, base, max) != b.backoff(i%3, base, max) {
+			t.Fatal("equal seeds must produce equal jitter sequences")
+		}
+	}
+}
+
+func TestLatencyTrackerQuantile(t *testing.T) {
+	lt := newLatencyTracker()
+	if q := lt.quantile(0.95); q != 0 {
+		t.Fatalf("empty tracker quantile = %v, want 0 (hedging disabled)", q)
+	}
+	for i := 1; i <= minHedgeSamples-1; i++ {
+		lt.observe(time.Duration(i) * time.Millisecond)
+	}
+	if q := lt.quantile(0.95); q != 0 {
+		t.Fatalf("below minHedgeSamples quantile = %v, want 0", q)
+	}
+	lt.observe(16 * time.Millisecond)
+	// 16 samples of 1..16ms: p50 ≈ 8ms, p95 ≈ 15-16ms.
+	if q := lt.quantile(0.5); q < 7*time.Millisecond || q > 9*time.Millisecond {
+		t.Errorf("p50 = %v, want ≈8ms", q)
+	}
+	if q := lt.quantile(1.0); q != 16*time.Millisecond {
+		t.Errorf("p100 = %v, want 16ms", q)
+	}
+	// The reservoir wraps: after flooding with 1ms samples the old slow
+	// regime must wash out.
+	for i := 0; i < latencyWindow+10; i++ {
+		lt.observe(time.Millisecond)
+	}
+	if q := lt.quantile(0.99); q != time.Millisecond {
+		t.Errorf("post-wrap p99 = %v, want 1ms", q)
+	}
+	if lt.count() != latencyWindow {
+		t.Errorf("count = %d, want %d", lt.count(), latencyWindow)
+	}
+}

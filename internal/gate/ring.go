@@ -1,0 +1,108 @@
+package gate
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend addresses. Each backend owns
+// vnodes points on a 64-bit circle; a key is served by the first backend
+// clockwise from its hash, and its replica chain continues clockwise to the
+// next *distinct* backends. Because points are derived only from the
+// backend's own address, removing a member moves only the keys it owned
+// (they fall to the next survivor clockwise) and reinstating it takes
+// exactly those keys back — the minimal-disruption property that lets
+// health-driven membership churn without reshuffling the whole key space.
+//
+// A ring is immutable after build; membership swaps in a fresh ring
+// atomically, so lookups are lock-free.
+type ring struct {
+	points   []ringPoint
+	backends []string // distinct member addresses, sorted
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// hashKey maps an arbitrary routing key (the model-key material) onto the
+// circle. SHA-256 keeps the gate on the same hash family as the model
+// registry's fingerprints.
+func hashKey(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// buildRing places vnodes points per backend (minimum 1).
+func buildRing(backends []string, vnodes int) *ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &ring{
+		points:   make([]ringPoint, 0, len(backends)*vnodes),
+		backends: append([]string(nil), backends...),
+	}
+	sort.Strings(r.backends)
+	var buf [9]byte
+	for _, addr := range r.backends {
+		h := sha256.New()
+		for i := 0; i < vnodes; i++ {
+			h.Reset()
+			h.Write([]byte(addr))
+			buf[0] = '#'
+			binary.BigEndian.PutUint64(buf[1:], uint64(i))
+			h.Write(buf[:])
+			sum := h.Sum(nil)
+			r.points = append(r.points, ringPoint{
+				hash: binary.BigEndian.Uint64(sum[:8]),
+				addr: addr,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].addr < r.points[j].addr
+	})
+	return r
+}
+
+// size returns the number of member backends.
+func (r *ring) size() int { return len(r.backends) }
+
+// lookup returns up to n distinct backends for key in replica order: the
+// owner first, then successive distinct successors clockwise. An empty ring
+// returns nil.
+func (r *ring) lookup(key string, n int) []string {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.backends) {
+		n = len(r.backends)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.addr] {
+			continue
+		}
+		seen[p.addr] = true
+		out = append(out, p.addr)
+	}
+	return out
+}
+
+// owner returns the primary backend for key ("" on an empty ring).
+func (r *ring) owner(key string) string {
+	c := r.lookup(key, 1)
+	if len(c) == 0 {
+		return ""
+	}
+	return c[0]
+}

@@ -1,0 +1,101 @@
+package gate
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+func TestRingDistribution(t *testing.T) {
+	backends := []string{"10.0.0.1:80", "10.0.0.2:80", "10.0.0.3:80"}
+	r := buildRing(backends, 64)
+	counts := map[string]int{}
+	const n = 3000
+	for _, k := range testKeys(n) {
+		counts[r.owner(k)]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("owners = %v, want all 3 backends used", counts)
+	}
+	for addr, c := range counts {
+		// With 64 vnodes each backend should hold a third ±usual
+		// consistent-hashing variance; a backend under 15% or over 60%
+		// means the point placement is broken.
+		if c < n*15/100 || c > n*60/100 {
+			t.Errorf("backend %s owns %d/%d keys — distribution badly skewed: %v", addr, c, n, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement pins the consistent-hashing contract membership
+// churn relies on: ejecting one backend moves only the keys it owned, and
+// reinstating it takes exactly those keys back.
+func TestRingMinimalMovement(t *testing.T) {
+	all := []string{"10.0.0.1:80", "10.0.0.2:80", "10.0.0.3:80"}
+	full := buildRing(all, 64)
+	without2 := buildRing([]string{all[0], all[2]}, 64)
+
+	keys := testKeys(2000)
+	moved := 0
+	for _, k := range keys {
+		before := full.owner(k)
+		after := without2.owner(k)
+		if before == all[1] {
+			if after == all[1] {
+				t.Fatalf("key %s still owned by removed backend", k)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Errorf("key %s moved %s → %s though its owner survived", k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed backend owned no keys; distribution test should have caught this")
+	}
+	// Reinstatement restores the original assignment exactly (same point
+	// derivation ⇒ same ring).
+	again := buildRing(all, 64)
+	for _, k := range keys {
+		if full.owner(k) != again.owner(k) {
+			t.Fatalf("rebuilding the full ring changed ownership of %s", k)
+		}
+	}
+}
+
+func TestRingLookupDistinctChain(t *testing.T) {
+	backends := []string{"a:1", "b:1", "c:1", "d:1"}
+	r := buildRing(backends, 32)
+	for _, k := range testKeys(200) {
+		chain := r.lookup(k, 3)
+		if len(chain) != 3 {
+			t.Fatalf("lookup(%q, 3) = %v", k, chain)
+		}
+		seen := map[string]bool{}
+		for _, addr := range chain {
+			if seen[addr] {
+				t.Fatalf("lookup(%q) repeats backend %s: %v", k, addr, chain)
+			}
+			seen[addr] = true
+		}
+	}
+	// Asking for more replicas than members clamps.
+	if got := r.lookup("k", 10); len(got) != 4 {
+		t.Errorf("lookup with n>members = %v, want all 4", got)
+	}
+	empty := buildRing(nil, 8)
+	if got := empty.lookup("k", 2); got != nil {
+		t.Errorf("empty ring lookup = %v, want nil", got)
+	}
+	if empty.owner("k") != "" {
+		t.Errorf("empty ring owner = %q, want empty", empty.owner("k"))
+	}
+}

@@ -18,8 +18,12 @@ const (
 	// (while queued or mid-prediction).
 	ServeTimeouts = "serve.timeouts"
 	// ServeErrors counts requests that failed with a 4xx/5xx other than
-	// 429 and timeout.
+	// 429, timeout, and cache-only declines.
 	ServeErrors = "serve.errors"
+	// ServeColdDeclines counts cache-only predicts (hedged gate attempts)
+	// declined with 409 because the model was not resident — by design, not
+	// a fault.
+	ServeColdDeclines = "serve.cold_declines"
 	// ServeLatencyNs is the end-to-end /v1/predict latency histogram in
 	// nanoseconds, admission wait included.
 	ServeLatencyNs = "serve.request_ns"
@@ -40,4 +44,52 @@ const (
 	// ServeTrainNs times registry training runs — one observation per
 	// cache miss that ran the Model Generator.
 	ServeTrainNs = "serve.model_train_ns"
+)
+
+// Canonical metric names of the coordinator layer (internal/gate +
+// cmd/picgate). Per-backend counters additionally exist under the
+// GateBackendPrefix namespace: "gate.backend.<addr>.<kind>" with kind one of
+// requests, failures, sheds, cold_skips, retries, hedges,
+// breaker_transitions — built through gate's one recording helper so the
+// spelling cannot drift ("sheds" are 429 admission rejections: retried on
+// replicas, not breaker failures; "cold_skips" are hedges a replica
+// declined with 409 because the model was not resident).
+const (
+	// GateRequests counts every /v1/predict request the gate accepted for
+	// routing (whatever its final status).
+	GateRequests = "gate.requests"
+	// GateErrors counts requests that ultimately failed (a non-2xx/4xx
+	// answer returned to the client after retries/hedging were exhausted).
+	GateErrors = "gate.errors"
+	// GateUnavailable counts 503 responses where every replica for the key
+	// was down or breaker-open — the graceful-degradation path.
+	GateUnavailable = "gate.unavailable"
+	// GateRetries counts retry attempts launched after a failed primary
+	// attempt; GateRetryBudgetDenied counts retries the budget refused.
+	GateRetries           = "gate.retries"
+	GateRetryBudgetDenied = "gate.retry_budget_denied"
+	// GateHedges counts hedged (tail-latency) secondary attempts;
+	// GateHedgeWins counts requests the hedge answered first — the
+	// hedge-win ratio is GateHedgeWins / GateHedges.
+	GateHedges    = "gate.hedges"
+	GateHedgeWins = "gate.hedge_wins"
+	// GateBreakerOpened / GateBreakerHalfOpen / GateBreakerClosed count
+	// circuit-breaker state transitions across all backends.
+	GateBreakerOpened   = "gate.breaker.opened"
+	GateBreakerHalfOpen = "gate.breaker.half_open"
+	GateBreakerClosed   = "gate.breaker.closed"
+	// GateEjections / GateReinstatements count health-driven membership
+	// changes; GateMembers is a histogram of the healthy-member count
+	// sampled at every health sweep (the membership-size gauge).
+	GateEjections      = "gate.health.ejections"
+	GateReinstatements = "gate.health.reinstatements"
+	GateMembers        = "gate.members"
+	// GateLatencyNs is the end-to-end gate request latency histogram;
+	// GateAttemptNs times individual backend attempts (retries and hedges
+	// included).
+	GateLatencyNs = "gate.request_ns"
+	GateAttemptNs = "gate.attempt_ns"
+
+	// GateBackendPrefix namespaces the per-backend counters.
+	GateBackendPrefix = "gate.backend."
 )

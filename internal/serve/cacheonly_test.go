@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"picpredict"
+	"picpredict/internal/obs"
+)
+
+// postCacheOnly posts a predict with the cache-only header set.
+func postCacheOnly(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/predict", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(CacheOnlyHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestCacheOnlyPredict pins the contract behind hedged gate attempts: a
+// cache-only request never trains — cold keys decline with 409 (counted as
+// cold_declines, not errors), warm keys answer normally.
+func TestCacheOnlyPredict(t *testing.T) {
+	s, st := newTestServer(t, Config{Workers: 2, Obs: obs.New()}, 0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"scenario":"test","ranks":[4],"model":{"fast":true,"seed":11}}`
+
+	status, raw := postCacheOnly(t, ts.URL, body)
+	if status != http.StatusConflict {
+		t.Fatalf("cold cache-only predict: status %d (%s), want 409", status, raw)
+	}
+	key := Fingerprint(testCRC, picpredict.ModelSynthetic, picpredict.TrainOptions{Fast: true, Seed: 11})
+	if n := st.count(key); n != 0 {
+		t.Fatalf("cache-only request trained %d times, want 0", n)
+	}
+	if v := s.reg.Counter(obs.ServeColdDeclines).Value(); v != 1 {
+		t.Errorf("serve.cold_declines = %d, want 1", v)
+	}
+	if v := s.reg.Counter(obs.ServeErrors).Value(); v != 0 {
+		t.Errorf("serve.errors = %d, want 0 — a cold decline is not a fault", v)
+	}
+
+	// Warm the key through the normal path, then cache-only must serve it.
+	if status, raw := postPredict(t, ts.URL, body); status != http.StatusOK {
+		t.Fatalf("warming predict: status %d (%s)", status, raw)
+	}
+	status, raw = postCacheOnly(t, ts.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("warm cache-only predict: status %d (%s), want 200", status, raw)
+	}
+	var resp PredictResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != "hit" {
+		t.Errorf("warm cache-only predict reported cache=%q, want hit", resp.Cache)
+	}
+	if n := st.count(key); n != 1 {
+		t.Errorf("key trained %d times total, want exactly 1 (the warming request)", n)
+	}
+}

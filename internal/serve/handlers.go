@@ -43,7 +43,21 @@ type PredictRequest struct {
 	TotalElements  int     `json:"total_elements,omitempty"`
 	N              float64 `json:"n,omitempty"`
 	FilterElements float64 `json:"filter_elements,omitempty"`
+
+	// cacheOnly (set from the CacheOnlyHeader, never the JSON body) answers
+	// only from resident models: a cold key declines with 409 instead of
+	// training. Hedged gate attempts use it so a tail-latency hedge can
+	// never trigger a multi-second training run on a replica.
+	cacheOnly bool
 }
+
+// CacheOnlyHeader marks a predict request that must not start a training
+// run. The gate sets it on hedged attempts; a shard without the model
+// resident answers 409 immediately.
+const CacheOnlyHeader = "X-Picpredict-Cache-Only"
+
+// errColdModel is the sentinel for a cache-only request that missed.
+var errColdModel = errors.New("model not resident (cache-only request declined)")
 
 // ModelParams is the model-kind block of a predict request.
 type ModelParams struct {
@@ -74,9 +88,12 @@ type PredictResponse struct {
 	Results  []PredictResult `json:"results"`
 }
 
-// errorBody is every non-200 JSON payload.
+// errorBody is every non-200 JSON payload. RequestID carries the
+// correlation ID the middleware resolved, so a gate-side failure log and a
+// shard-side error body name the same request.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -87,23 +104,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // client gone mid-write; nothing useful to do
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+// writeError emits the structured error body, tagged with r's request ID.
+func writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: RequestIDFrom(r.Context()),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "instance": s.instance})
 }
 
-func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		writeError(w, r, http.StatusServiceUnavailable, "draining")
 	case !s.ready.Load():
-		writeError(w, http.StatusServiceUnavailable, "not ready")
+		writeError(w, r, http.StatusServiceUnavailable, "not ready")
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":   "ok",
+			"instance": s.instance,
 			"traces":   s.traceNames(),
 			"models":   s.registry.Len(),
 			"inflight": s.inflight.Load(),
@@ -132,13 +154,13 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 // generation + BSP replay per requested rank count.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		writeError(w, r, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	if !s.pool.tryAdmit() {
 		s.reg.Counter(obs.ServeRejected).Inc()
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
+		writeError(w, r, http.StatusTooManyRequests,
 			"saturated: %d executing and %d queued; retry shortly", s.cfg.Workers, s.cfg.Queue)
 		return
 	}
@@ -156,14 +178,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req PredictRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		s.reg.Counter(obs.ServeErrors).Inc()
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, r, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	req.cacheOnly = r.Header.Get(CacheOnlyHeader) != ""
 
 	// Wait (queued) for a worker slot.
 	if err := s.pool.acquireWork(ctx); err != nil {
 		s.reg.Counter(obs.ServeTimeouts).Inc()
-		writeError(w, http.StatusGatewayTimeout, "timed out waiting for a worker: %v", err)
+		writeError(w, r, http.StatusGatewayTimeout, "timed out waiting for a worker: %v", err)
 		return
 	}
 	defer s.pool.releaseWork()
@@ -173,10 +196,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 			s.reg.Counter(obs.ServeTimeouts).Inc()
-			writeError(w, http.StatusGatewayTimeout, "request timed out")
+			writeError(w, r, http.StatusGatewayTimeout, "request timed out")
+		case errors.Is(err, errColdModel):
+			// Not a fault: the caller asked for cache-only and this shard
+			// has not trained the model. Counted apart from serve.errors.
+			s.reg.Counter(obs.ServeColdDeclines).Inc()
+			writeError(w, r, http.StatusConflict, "%v", err)
 		default:
 			s.reg.Counter(obs.ServeErrors).Inc()
-			writeError(w, status, "%v", err)
+			writeError(w, r, status, "%v", err)
 		}
 		return
 	}
@@ -255,7 +283,7 @@ func (s *Server) predictTrace(ctx context.Context, req *PredictRequest, kind pic
 		return nil, http.StatusBadRequest, fmt.Errorf("unknown mapping %q (element, bin, hilbert, weighted, ohhelp)", mapping)
 	}
 
-	models, hit, err := s.models(ctx, art.crc, kind, trainOpts)
+	models, hit, err := s.models(ctx, art.crc, kind, trainOpts, req.cacheOnly)
 	if err != nil {
 		return nil, http.StatusInternalServerError, err
 	}
@@ -294,7 +322,7 @@ func (s *Server) predictWorkload(ctx context.Context, req *PredictRequest, kind 
 	if art == nil {
 		return nil, http.StatusNotFound, fmt.Errorf("unknown workload %q", req.Workload)
 	}
-	models, hit, err := s.models(ctx, art.crc, kind, trainOpts)
+	models, hit, err := s.models(ctx, art.crc, kind, trainOpts, req.cacheOnly)
 	if err != nil {
 		return nil, http.StatusInternalServerError, err
 	}
@@ -313,9 +341,21 @@ func (s *Server) predictWorkload(ctx context.Context, req *PredictRequest, kind 
 	}, http.StatusOK, nil
 }
 
-// models resolves one trained model set through the registry.
-func (s *Server) models(ctx context.Context, crc string, kind picpredict.ModelKind, opts picpredict.TrainOptions) (picpredict.Models, bool, error) {
+// models resolves one trained model set through the registry. cacheOnly
+// answers from resident entries only, failing cold keys with errColdModel
+// instead of training.
+func (s *Server) models(ctx context.Context, crc string, kind picpredict.ModelKind, opts picpredict.TrainOptions, cacheOnly bool) (picpredict.Models, bool, error) {
 	key := Fingerprint(crc, kind, opts)
+	if cacheOnly {
+		m, ok, err := s.registry.Peek(ctx, key)
+		if err != nil {
+			return m, ok, err
+		}
+		if !ok {
+			return m, false, errColdModel
+		}
+		return m, true, nil
+	}
 	return s.registry.GetOrTrain(ctx, key, kind, func(trainCtx context.Context) (picpredict.Models, error) {
 		return s.trainer(trainCtx, kind, opts)
 	})

@@ -122,6 +122,26 @@ func (r *Registry) GetOrTrain(ctx context.Context, key ModelKey, kind picpredict
 	return m, false, err
 }
 
+// Peek returns the models for key without ever starting a training run: a
+// resident entry (ready or in flight) is joined exactly like a hit, an
+// absent key reports ok=false immediately. This is the cache-only path
+// behind hedged gate attempts — a hedge exists to shave tail latency, so it
+// must never pay a cold training bill on a replica.
+func (r *Registry) Peek(ctx context.Context, key ModelKey) (m picpredict.Models, ok bool, err error) {
+	r.mu.Lock()
+	e := r.entries[key]
+	if e == nil {
+		r.mu.Unlock()
+		return picpredict.Models{}, false, nil
+	}
+	r.order.MoveToFront(e.elem)
+	e.hits++
+	r.mu.Unlock()
+	r.reg.Counter(obs.ServeCacheHits).Inc()
+	m, _, err = r.wait(ctx, e)
+	return m, true, err
+}
+
 // train runs one training job for e and publishes the result. On failure
 // the entry is removed before ready closes, so only the waiters already
 // attached observe the error and the key retrains on its next request.

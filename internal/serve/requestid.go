@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+)
+
+// Request-ID propagation: every request carries an X-Request-ID — the
+// caller's (a picgate routing attempts to this shard forwards its own), or
+// one minted here from the server's random instance tag plus a sequence
+// number. The ID is echoed in the response header and in every JSON error
+// body, and the instance tag is recorded in the run manifest
+// (cmd/picserve's config block), so one gate-side ID can be chased through
+// shard logs and manifests after the fact.
+
+// ridKey is the context key carrying the request ID to handlers.
+type ridKey struct{}
+
+// RequestIDFrom returns the request ID the middleware attached to ctx (""
+// outside a request).
+func RequestIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey{}).(string)
+	return rid
+}
+
+// newInstanceID mints the server's random instance tag.
+func newInstanceID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "serve-0"
+	}
+	return "serve-" + hex.EncodeToString(b[:])
+}
+
+// Instance returns the server's instance tag.
+func (s *Server) Instance() string { return s.instance }
+
+// withRequestID is the outermost middleware: resolve the request ID, echo
+// it, and hand it to the handlers through the context.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = fmt.Sprintf("%s-%06d", s.instance, s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", rid)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ridKey{}, rid)))
+	})
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"picpredict/internal/obs"
+)
+
+// TestRequestIDEcho pins the correlation contract picgate relies on: a
+// caller-supplied X-Request-ID is echoed back verbatim, and a request
+// without one gets an instance-prefixed ID minted.
+func TestRequestIDEcho(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2, Obs: obs.New()}, 0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "gate-beef-000042")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "gate-beef-000042" {
+		t.Fatalf("echoed request ID %q, want the caller's", got)
+	}
+
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	minted := resp2.Header.Get("X-Request-ID")
+	if !strings.HasPrefix(minted, s.Instance()+"-") {
+		t.Fatalf("minted ID %q lacks instance prefix %q", minted, s.Instance())
+	}
+}
+
+// TestRequestIDInErrorBody checks that every error response carries the
+// request ID — the breadcrumb that ties a client-side failure report to
+// the server's logs.
+func TestRequestIDInErrorBody(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2, Obs: obs.New()}, 0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/predict", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "err-trace-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var eb struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.RequestID != "err-trace-7" {
+		t.Fatalf("error body request_id = %q, want err-trace-7 (error: %s)", eb.RequestID, eb.Error)
+	}
+}

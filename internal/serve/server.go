@@ -113,11 +113,17 @@ type Server struct {
 	pool       *pool
 	trainer    trainerFunc
 
+	// instance tags this process in generated request IDs and the run
+	// manifest; reqSeq numbers the IDs minted here.
+	instance string
+	reqSeq   atomic.Int64
+
 	ready    atomic.Bool
 	draining atomic.Bool
 	inflight atomic.Int64
 
-	mux *http.ServeMux
+	mux     *http.ServeMux
+	handler http.Handler
 }
 
 // New builds a Server from cfg (zero fields defaulted). Register at least
@@ -138,11 +144,13 @@ func New(cfg Config) *Server {
 			return picpredict.TrainModelsKind(kind, opts)
 		},
 	}
+	s.instance = newInstanceID()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.handler = s.withRequestID(s.mux)
 	return s
 }
 
@@ -175,10 +183,10 @@ func (s *Server) AddWorkload(name string, wl *picpredict.Workload, crc string) e
 	return nil
 }
 
-// Handler returns the service's HTTP handler — the four endpoints plus
-// admission control. Mount it on any server; Serve wires it to a listener
-// with the full lifecycle.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler — the four endpoints behind
+// the request-ID middleware, plus admission control. Mount it on any
+// server; Serve wires it to a listener with the full lifecycle.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // MarkReady flips /readyz to 200. Serve calls it automatically.
 func (s *Server) MarkReady() { s.ready.Store(true) }
@@ -194,7 +202,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return errors.New("serve: no trace artefacts loaded")
 	}
 	httpSrv := &http.Server{
-		Handler:           s.mux,
+		Handler:           s.handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	s.MarkReady()

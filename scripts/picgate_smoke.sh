@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# picgate end-to-end smoke: boot three picserve shards on the committed
+# golden trace, front them with picgate, and prove the resilience story on
+# real processes:
+#
+#   1. predictions route through the gate (200s, X-Picgate-Backend set);
+#   2. SIGKILL one shard mid-run — the gate ejects it and KEEPS answering
+#      200s for every key (retries + rehashing absorb the loss);
+#   3. /v1/membership reports the ejection;
+#   4. SIGTERM drains the gate cleanly (exit 0, manifest written).
+#
+# CI runs this via `make serve-smoke`; it is also a local check:
+#
+#   ./scripts/picgate_smoke.sh
+#
+# Needs: go, curl, python3. No fixed ports — everything binds :0 and the
+# script scrapes bound addresses from log lines.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+declare -a shard_pids=()
+gate_pid=""
+
+cleanup() {
+    if [[ -n "$gate_pid" ]] && kill -0 "$gate_pid" 2>/dev/null; then
+        kill -KILL "$gate_pid" 2>/dev/null || true
+    fi
+    for p in "${shard_pids[@]:-}"; do
+        if [[ -n "$p" ]] && kill -0 "$p" 2>/dev/null; then
+            kill -KILL "$p" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    for f in "$workdir"/*.log; do
+        echo "--- $f ---" >&2
+        cat "$f" >&2 || true
+    done
+    exit 1
+}
+
+echo "== build"
+go build -o "$workdir/picserve" ./cmd/picserve
+go build -o "$workdir/picgate" ./cmd/picgate
+
+scrape_addr() { # logfile pattern
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n "$2" "$1" | head -1)
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    echo "$addr"
+}
+
+echo "== start 3 picserve shards on the golden fixture"
+backends=""
+for i in 1 2 3; do
+    "$workdir/picserve" \
+        -listen 127.0.0.1:0 \
+        -trace golden=testdata/golden/trace.bin \
+        >"$workdir/shard$i.log" 2>&1 &
+    shard_pids+=($!)
+    disown
+done
+for i in 1 2 3; do
+    addr=$(scrape_addr "$workdir/shard$i.log" 's#.*serving on http://\([^ ]*\) .*#\1#p')
+    [[ -n "$addr" ]] || fail "shard $i never logged its address"
+    backends="${backends:+$backends,}$addr"
+done
+echo "   shards: $backends"
+
+echo "== start picgate over the fleet"
+"$workdir/picgate" \
+    -listen 127.0.0.1:0 \
+    -backends "$backends" \
+    -health-interval 200ms -fail-threshold 2 -revive-threshold 2 \
+    -max-retries 2 -breaker-cooldown 1s \
+    -metrics "$workdir/manifest.json" \
+    >"$workdir/picgate.log" 2>&1 &
+gate_pid=$!
+gate_addr=$(scrape_addr "$workdir/picgate.log" 's#.*gating on http://\([^ ]*\) .*#\1#p')
+[[ -n "$gate_addr" ]] || fail "picgate never logged its address"
+base="http://$gate_addr"
+echo "   gating at $base"
+
+ready=""
+for _ in $(seq 1 100); do
+    if curl -fsS -o /dev/null "$base/readyz" 2>/dev/null; then
+        ready=yes
+        break
+    fi
+    kill -0 "$gate_pid" 2>/dev/null || fail "picgate exited during startup"
+    sleep 0.1
+done
+[[ -n "$ready" ]] || fail "gate /readyz never returned 200"
+
+# predict_all label: every key must answer 200 through the gate.
+predict_all() {
+    local label=$1 seed status
+    : >"$workdir/owners.$label"
+    for seed in 1 2 3 4 5 6; do
+        status=$(curl -sS -o "$workdir/predict.json" -D "$workdir/headers.txt" -w '%{http_code}' \
+            -X POST "$base/v1/predict" \
+            -H 'Content-Type: application/json' \
+            -d "{\"scenario\":\"golden\",\"ranks\":[8,16],\"model\":{\"fast\":true,\"seed\":$seed}}")
+        [[ "$status" == 200 ]] || fail "$label: seed $seed returned $status: $(cat "$workdir/predict.json")"
+        grep -i '^x-picgate-backend:' "$workdir/headers.txt" \
+            | tr -d '\r' | cut -d' ' -f2 >>"$workdir/owners.$label"
+    done
+    python3 -c 'import json,sys; json.load(open(sys.argv[1]))["results"]' "$workdir/predict.json" \
+        || fail "$label: predict body malformed"
+}
+
+echo "== predictions route through the gate (6 keys)"
+predict_all healthy
+echo "   shards used: $(sort -u "$workdir/owners.healthy" | tr '\n' ' ')"
+
+echo "== SIGKILL shard 3 mid-run"
+kill -KILL "${shard_pids[2]}"
+shard_pids[2]=""
+# Requests must keep answering 200 IMMEDIATELY — pre-ejection the gate
+# retries onto replicas, post-ejection the ring rehashes.
+predict_all during-kill
+sleep 0.7 # two failed 200ms polls -> ejection
+predict_all after-eject
+grep -q "${backends##*,}" "$workdir/owners.after-eject" \
+    && fail "ejected shard still answered a request"
+
+echo "== membership reflects the ejection"
+curl -fsS "$base/v1/membership" >"$workdir/membership.json" || fail "/v1/membership failed"
+python3 - "$workdir/membership.json" <<'PY' || fail "membership did not record the ejection"
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+assert m["healthy"] == 2, m
+unhealthy = [x for x in m["members"] if not x["healthy"]]
+assert len(unhealthy) == 1, m["members"]
+print("   ejected:", unhealthy[0]["addr"], "last error:", unhealthy[0].get("last_error", "")[:60])
+PY
+
+echo "== SIGTERM drains the gate cleanly"
+kill -TERM "$gate_pid"
+rc=0
+wait "$gate_pid" || rc=$?
+gate_pid=""
+[[ "$rc" == 0 ]] || fail "picgate exited $rc after SIGTERM, want 0"
+grep -q "drained cleanly" "$workdir/picgate.log" || fail "no 'drained cleanly' log line"
+python3 - "$workdir/manifest.json" <<'PY' || fail "gate manifest malformed"
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+assert m["tool"] == "picgate", m.get("tool")
+counters = m.get("counters", {})
+assert counters.get("gate.requests", 0) >= 18, counters
+assert "instance_id" in m.get("config", {}), m.get("config")
+PY
+
+echo "PASS: picgate smoke (kill-one-shard, zero client-visible errors)"
