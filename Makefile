@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race verify bench serve-smoke
+.PHONY: build test vet lint race verify bench bench-pipeline serve-smoke
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,12 @@ verify: build vet lint race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-pipeline regenerates BENCH_pipeline.json: paper-scale fill (scalar
+# vs tiled), StreamConcurrent frames/sec, and fused-run wall time. Use
+# BENCHTIME=1x for a quick smoke pass.
+bench-pipeline:
+	./scripts/pipeline_bench.sh
 
 # serve-smoke boots picserve on the golden fixture, exercises /readyz and
 # /v1/predict, and requires a clean SIGTERM drain with a manifest — then

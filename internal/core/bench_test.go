@@ -1,12 +1,15 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"runtime"
 	"testing"
 
 	"picpredict/internal/geom"
 	"picpredict/internal/mapping"
+	"picpredict/internal/mesh"
+	"picpredict/internal/sparse"
 )
 
 // BenchmarkGeneratorFrame measures per-frame workload generation without
@@ -33,6 +36,97 @@ func benchGeneratorFrame(b *testing.B, filter float64) {
 // Run with: go test -bench 'GeneratorSerial|GeneratorParallel' ./internal/core/
 func BenchmarkGeneratorSerial(b *testing.B)   { benchGeneratorWorkers(b, 0.02, 0) }
 func BenchmarkGeneratorParallel(b *testing.B) { benchGeneratorWorkers(b, 0.02, runtime.GOMAXPROCS(0)) }
+
+// Paper-scale fill benchmarks: N_p = 599,257 particles mapped onto R = 8352
+// ranks (the largest configuration of §V), comparing the flat per-particle
+// fill against the cell-tiled fill with the mapper assignment hoisted out of
+// the timed region — these measure exactly the matrix-fill hot path whose
+// layout this knob selects. Speedup = PaperFill*Scalar / PaperFill*Tiled.
+// Run with: make bench-pipeline (writes BENCH_pipeline.json).
+const (
+	paperNp     = 599257
+	paperRanks  = 8352
+	paperFilter = 0.004
+)
+
+// paperCloud is a disc cloud filling most of the unit square — dense enough
+// that tiles hold many particles, wide enough that many ranks participate.
+func paperCloud(np int) []geom.Vec3 {
+	rng := rand.New(rand.NewSource(71))
+	pos := make([]geom.Vec3, np)
+	for i := range pos {
+		r := 0.45 * math.Sqrt(rng.Float64())
+		th := 2 * math.Pi * rng.Float64()
+		pos[i] = geom.V(0.5+r*math.Cos(th), 0.5+r*math.Sin(th), 0)
+	}
+	return pos
+}
+
+func BenchmarkPaperFillBinScalar(b *testing.B) {
+	benchPaperFill(b, mapping.NewBinMapper(paperRanks, paperFilter), LayoutScalar)
+}
+
+func BenchmarkPaperFillBinTiled(b *testing.B) {
+	benchPaperFill(b, mapping.NewBinMapper(paperRanks, paperFilter), LayoutTiled)
+}
+
+func paperElementMapper(b *testing.B) *mapping.ElementMapper {
+	b.Helper()
+	m, err := mesh.New(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)), 465, 465, 1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := mesh.Decompose(m, paperRanks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mapping.NewElementMapper(m, d)
+}
+
+func BenchmarkPaperFillElementScalar(b *testing.B) {
+	benchPaperFill(b, paperElementMapper(b), LayoutScalar)
+}
+
+func BenchmarkPaperFillElementTiled(b *testing.B) {
+	benchPaperFill(b, paperElementMapper(b), LayoutTiled)
+}
+
+func benchPaperFill(b *testing.B, mapper mapping.Mapper, layout Layout) {
+	pos := paperCloud(paperNp)
+	g, err := NewGenerator(Config{Mapper: mapper, FilterRadius: paperFilter, Layout: layout})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One untimed frame allocates the assignment buffers (and trains the bin
+	// tree for bin mapping); a second assignment fills g.cur so the timed
+	// fills see a steady-state frame with the comm comparison active.
+	if err := g.Frame(0, pos); err != nil {
+		b.Fatal(err)
+	}
+	if err := g.cfg.Mapper.Assign(g.cur, pos); err != nil {
+		b.Fatal(err)
+	}
+	ranks := g.wl.Ranks
+	comp := make([]int64, ranks)
+	comm := sparse.NewMatrix(ranks)
+	gcomp := make([]int64, ranks)
+	gcomm := sparse.NewMatrix(ranks)
+	fill := g.fillSerial
+	if g.tiled {
+		fill = g.fillTiledSerial
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(comp)
+		comm.Reset()
+		clear(gcomp)
+		gcomm.Reset()
+		if err := fill(pos, comp, comm, gcomp, gcomm); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(paperNp, "particles/frame")
+}
 
 func benchGeneratorWorkers(b *testing.B, filter float64, workers int) {
 	const np = 50000

@@ -11,7 +11,27 @@ import (
 	"picpredict/internal/mapping"
 	"picpredict/internal/obs"
 	"picpredict/internal/sparse"
+	"picpredict/internal/tile"
 	"picpredict/internal/trace"
+)
+
+// Layout selects the particle iteration layout of the per-frame matrix
+// fills. Every layout produces bit-identical workloads — counters are
+// integers and reductions run in a fixed order — so the choice is purely a
+// performance knob.
+type Layout int
+
+const (
+	// LayoutAuto (the default) picks the tiled fill whenever ghost queries
+	// are active — the layer whose per-particle spatial work the tiling
+	// amortises — and the flat fill otherwise, where tiling would only add
+	// the counting-sort cost.
+	LayoutAuto Layout = iota
+	// LayoutTiled always groups particles by grid cell before filling.
+	LayoutTiled
+	// LayoutScalar always iterates particles in index order — the
+	// reference path, kept for differential tests and benchmarks.
+	LayoutScalar
 )
 
 // Config is the Dynamic Workload Generator's configuration file (§II-A): the
@@ -33,6 +53,10 @@ type Config struct {
 	// play) to implement mapping.ConcurrentGhostSource and falls back to
 	// serial otherwise.
 	Workers int
+	// Layout selects the fill iteration layout (see Layout); the zero
+	// value LayoutAuto tiles whenever ghosts are active. Workloads are
+	// identical for every layout.
+	Layout Layout
 }
 
 // Workload is the generator's output: computation and communication
@@ -72,17 +96,29 @@ type Generator struct {
 	frames   int
 	finished bool
 
+	// tiled-fill state
+	tiled      bool
+	tb         tile.Builder
+	tl         *tile.Tiling
+	tileGhosts mapping.TileGhostSource // TileSource(ghosts), cached
+	scratch    tileScratch             // serial tile scratch
+
 	// parallel-fill state (workers > 1)
-	workers     int
-	ghostFanout mapping.ConcurrentGhostSource // non-nil iff ghosts can fan out
-	partComp    [][]int64                     // per-worker real-comp partials
-	partGhost   [][]int64                     // per-worker ghost-comp partials
+	workers       int
+	ghostFanout   mapping.ConcurrentGhostSource // non-nil iff ghosts can fan out
+	partComp      [][]int64                     // per-worker real-comp partials
+	partGhost     [][]int64                     // per-worker ghost-comp partials
+	partComm      []*sparse.Matrix              // per-worker real-comm partials, pooled across frames
+	partGhostComm []*sparse.Matrix              // per-worker ghost-comm partials, pooled across frames
+	workScratch   []tileScratch                 // per-worker tile scratch
+	parErrs       []error
 
 	// observability (nil instruments when disabled; see SetObs)
 	obsOn        bool
 	fillSerialNs *obs.Histogram
 	fillParNs    *obs.Histogram
 	obsFrames    *obs.Counter
+	obsTiles     *obs.Counter
 	ghostQueries *obs.Counter
 	ghostCopies  *obs.Counter
 }
@@ -90,8 +126,9 @@ type Generator struct {
 // SetObs attaches an observability registry: per-frame fill latency lands
 // in core.fill_serial_ns / core.fill_parallel_ns (the two histograms are
 // the serial-vs-Workers speedup measurement), frame and ghost-query/copy
-// totals in core.* counters. Call before the first Frame; a nil registry
-// leaves the generator uninstrumented (the default).
+// totals in core.* counters, and core.tiles counts the tiles the tiled
+// layout processed. Call before the first Frame; a nil registry leaves the
+// generator uninstrumented (the default).
 func (g *Generator) SetObs(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -100,6 +137,7 @@ func (g *Generator) SetObs(reg *obs.Registry) {
 	g.fillSerialNs = reg.Histogram("core.fill_serial_ns")
 	g.fillParNs = reg.Histogram("core.fill_parallel_ns")
 	g.obsFrames = reg.Counter("core.frames")
+	g.obsTiles = reg.Counter("core.tiles")
 	g.ghostQueries = reg.Counter("core.ghost_queries")
 	g.ghostCopies = reg.Counter("core.ghost_copies")
 }
@@ -115,6 +153,9 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	if cfg.FilterRadius < 0 {
 		return nil, fmt.Errorf("core: negative filter radius %g", cfg.FilterRadius)
 	}
+	if cfg.Layout < LayoutAuto || cfg.Layout > LayoutScalar {
+		return nil, fmt.Errorf("core: unknown layout %d", cfg.Layout)
+	}
 	g := &Generator{cfg: cfg}
 	if cfg.FilterRadius > 0 {
 		if cfg.Ghosts != nil {
@@ -122,6 +163,10 @@ func NewGenerator(cfg Config) (*Generator, error) {
 		} else if gs, ok := cfg.Mapper.(mapping.GhostSource); ok {
 			g.ghosts = gs
 		}
+	}
+	g.tiled = cfg.Layout == LayoutTiled || (cfg.Layout == LayoutAuto && g.ghosts != nil)
+	if g.ghosts != nil {
+		g.tileGhosts = mapping.TileSource(g.ghosts)
 	}
 	r := cfg.Mapper.Ranks()
 	g.wl = &Workload{
@@ -184,9 +229,14 @@ func (g *Generator) Frame(iteration int, pos []geom.Vec3) error {
 		t0 = time.Now() //lint:allow determinism wall-clock fill timing for the obs layer; workload contents never depend on it
 	}
 	var err error
-	if parallel {
+	switch {
+	case g.tiled && parallel:
+		err = g.fillTiledParallel(pos, comp, comm, gcomp, gcomm)
+	case g.tiled:
+		err = g.fillTiledSerial(pos, comp, comm, gcomp, gcomm)
+	case parallel:
 		err = g.fillParallel(pos, comp, comm, gcomp, gcomm)
-	} else {
+	default:
 		err = g.fillSerial(pos, comp, comm, gcomp, gcomm)
 	}
 	if err != nil {
@@ -200,6 +250,9 @@ func (g *Generator) Frame(iteration int, pos []geom.Vec3) error {
 			g.fillSerialNs.Observe(ns)
 		}
 		g.obsFrames.Inc()
+		if g.tiled && g.tl != nil {
+			g.obsTiles.Add(int64(g.tl.NumTiles()))
+		}
 		if g.ghosts != nil {
 			// One ghost query per particle per frame; the copies actually
 			// materialised are this frame's ghost-comp row sum.
@@ -253,6 +306,187 @@ func (g *Generator) fillSerial(pos []geom.Vec3, comp []int64, comm *sparse.Matri
 	return nil
 }
 
+// tileCellRadii sizes the tiling cell relative to the filter radius: tiles
+// of 2r keep each tile's candidate window (tile box inflated by r) small
+// enough that a handful of rank groups covers it, while holding hundreds of
+// particles at realistic densities.
+const tileCellRadii = 2.0
+
+// buildTiling groups this frame's particles by grid cell. The tile count is
+// capped at the particle count so the CSR header and counting sort stay
+// linear in the frame size.
+func (g *Generator) buildTiling(pos []geom.Vec3) *tile.Tiling {
+	g.tl = g.tb.Build(pos, tileCellRadii*g.cfg.FilterRadius, len(pos)+1)
+	return g.tl
+}
+
+// pairTally accumulates one tile's (src, dst) → count pairs in parallel
+// slices before flushing them into the sparse matrix in one pass. A tile's
+// migrations and ghost copies hit very few distinct rank pairs, so the
+// linear-scan upsert replaces per-particle hash-map churn with a handful of
+// slice compares.
+type pairTally struct {
+	src, dst []int32
+	n        []int64
+}
+
+// pairTallyFlushAt bounds the upsert scan: a pathological tile spanning
+// many rank pairs flushes early instead of degrading quadratically.
+const pairTallyFlushAt = 128
+
+func (t *pairTally) add(src, dst int) {
+	for i, s := range t.src {
+		if s == int32(src) && t.dst[i] == int32(dst) {
+			t.n[i]++
+			return
+		}
+	}
+	t.src = append(t.src, int32(src))
+	t.dst = append(t.dst, int32(dst))
+	t.n = append(t.n, 1)
+}
+
+func (t *pairTally) flush(m *sparse.Matrix) error {
+	for i := range t.src {
+		if err := m.Add(int(t.src[i]), int(t.dst[i]), t.n[i]); err != nil {
+			return err
+		}
+	}
+	t.src, t.dst, t.n = t.src[:0], t.dst[:0], t.n[:0]
+	return nil
+}
+
+// tileScratch is the per-goroutine working set of the tiled fill: the
+// batched ghost-query output buffers and the sparse-pair tallies.
+type tileScratch struct {
+	flat       []int
+	offs       []int32
+	commPairs  pairTally
+	ghostPairs pairTally
+}
+
+// fillTileRange fills the matrices from tiles [t0, t1) of tl. Per tile it
+// walks the member particles once for the dense comp row and the migration
+// pairs, then answers the tile's ghost query in one batched call and folds
+// the per-particle rank sets into the ghost row and copy pairs. All updates
+// are integer adds, so any tile partition produces the results of the flat
+// per-particle loop bit-for-bit.
+func (g *Generator) fillTileRange(tl *tile.Tiling, t0, t1 int, pos []geom.Vec3, src mapping.TileGhostSource, scr *tileScratch,
+	comp []int64, comm *sparse.Matrix, gcomp []int64, gcomm *sparse.Matrix, withComm bool) error {
+	radius := g.cfg.FilterRadius
+	for t := t0; t < t1; t++ {
+		ids := tl.Tile(t)
+		if len(ids) == 0 {
+			continue
+		}
+		for _, i := range ids {
+			r := g.cur[i]
+			comp[r]++
+			if withComm {
+				if p := g.prev[i]; p != r {
+					scr.commPairs.add(p, r)
+					if len(scr.commPairs.src) >= pairTallyFlushAt {
+						if err := scr.commPairs.flush(comm); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+		if withComm {
+			if err := scr.commPairs.flush(comm); err != nil {
+				return err
+			}
+		}
+		if src != nil {
+			scr.flat, scr.offs = src.GhostRanksTile(scr.flat[:0], scr.offs[:0], ids, pos, g.cur, radius)
+			prev := 0
+			for j, i := range ids {
+				end := int(scr.offs[j])
+				home := g.cur[i]
+				for _, r := range scr.flat[prev:end] {
+					gcomp[r]++
+					scr.ghostPairs.add(home, r)
+				}
+				prev = end
+				if len(scr.ghostPairs.src) >= pairTallyFlushAt {
+					if err := scr.ghostPairs.flush(gcomm); err != nil {
+						return err
+					}
+				}
+			}
+			if err := scr.ghostPairs.flush(gcomm); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fillTiledSerial is fillSerial on the tiled layout: one goroutine, tiles
+// in ascending cell order, particles in ascending index order within each
+// tile.
+func (g *Generator) fillTiledSerial(pos []geom.Vec3, comp []int64, comm *sparse.Matrix, gcomp []int64, gcomm *sparse.Matrix) error {
+	tl := g.buildTiling(pos)
+	var src mapping.TileGhostSource
+	if g.ghosts != nil {
+		src = g.tileGhosts
+	}
+	return g.fillTileRange(tl, 0, tl.NumTiles(), pos, src, &g.scratch, comp, comm, gcomp, gcomm, g.frames > 0)
+}
+
+// ensureParallelState allocates the per-worker partial matrices and
+// scratch once; partial sparse matrices are pooled and Reset per frame, so
+// steady-state frames allocate nothing here.
+func (g *Generator) ensureParallelState() {
+	if g.partComp != nil {
+		return
+	}
+	workers := g.workers
+	ranks := g.wl.Ranks
+	g.partComp = make([][]int64, workers)
+	g.partComm = make([]*sparse.Matrix, workers)
+	for w := range g.partComp {
+		g.partComp[w] = make([]int64, ranks)
+		g.partComm[w] = sparse.NewMatrix(ranks)
+	}
+	if g.ghosts != nil {
+		g.partGhost = make([][]int64, workers)
+		g.partGhostComm = make([]*sparse.Matrix, workers)
+		for w := range g.partGhost {
+			g.partGhost[w] = make([]int64, ranks)
+			g.partGhostComm[w] = sparse.NewMatrix(ranks)
+		}
+	}
+	g.workScratch = make([]tileScratch, workers)
+	g.parErrs = make([]error, workers)
+}
+
+// reducePartials folds the per-worker partials into the frame matrices in
+// fixed worker order. Integer sums: the order cannot change the result,
+// it only makes runs reproducible instrumentation-wise.
+func (g *Generator) reducePartials(comp []int64, comm *sparse.Matrix, gcomp []int64, gcomm *sparse.Matrix, withComm bool) error {
+	for w := 0; w < g.workers; w++ {
+		for i, v := range g.partComp[w] {
+			comp[i] += v
+		}
+		if withComm {
+			if err := g.partComm[w].AddInto(comm); err != nil {
+				return err
+			}
+		}
+		if g.ghosts != nil {
+			for i, v := range g.partGhost[w] {
+				gcomp[i] += v
+			}
+			if err := g.partGhostComm[w].AddInto(gcomm); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // fillParallel shards the particle range across worker goroutines, each
 // filling private partial matrices, then reduces the partials serially. All
 // counters are integers, so the result is identical to fillSerial for any
@@ -261,27 +495,14 @@ func (g *Generator) fillSerial(pos []geom.Vec3, comp []int64, comm *sparse.Matri
 // fan-out.
 func (g *Generator) fillParallel(pos []geom.Vec3, comp []int64, comm *sparse.Matrix, gcomp []int64, gcomm *sparse.Matrix) error {
 	workers := g.workers
-	ranks := g.wl.Ranks
-	if g.partComp == nil {
-		g.partComp = make([][]int64, workers)
-		for w := range g.partComp {
-			g.partComp[w] = make([]int64, ranks)
-		}
-		if g.ghosts != nil {
-			g.partGhost = make([][]int64, workers)
-			for w := range g.partGhost {
-				g.partGhost[w] = make([]int64, ranks)
-			}
-		}
-	}
+	g.ensureParallelState()
 	var views []mapping.GhostSource
 	if g.ghosts != nil {
 		views = g.ghostFanout.GhostViews(workers)
 	}
 
-	partComm := make([]*sparse.Matrix, workers)
-	partGhostComm := make([]*sparse.Matrix, workers)
-	errs := make([]error, workers)
+	errs := g.parErrs
+	clear(errs)
 	firstFrame := g.frames == 0
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -298,8 +519,8 @@ func (g *Generator) fillParallel(pos []geom.Vec3, comp []int64, comm *sparse.Mat
 			}
 
 			if !firstFrame {
-				pm := sparse.NewMatrix(ranks)
-				partComm[w] = pm
+				pm := g.partComm[w]
+				pm.Reset()
 				for i := lo; i < hi; i++ {
 					if p, c := g.prev[i], g.cur[i]; p != c {
 						if err := pm.Add(p, c, 1); err != nil {
@@ -313,8 +534,8 @@ func (g *Generator) fillParallel(pos []geom.Vec3, comp []int64, comm *sparse.Mat
 			if g.ghosts != nil {
 				pg := g.partGhost[w]
 				clear(pg)
-				pgm := sparse.NewMatrix(ranks)
-				partGhostComm[w] = pgm
+				pgm := g.partGhostComm[w]
+				pgm.Reset()
 				view := views[w]
 				var buf []int
 				for i := lo; i < hi; i++ {
@@ -337,29 +558,56 @@ func (g *Generator) fillParallel(pos []geom.Vec3, comp []int64, comm *sparse.Mat
 			return err
 		}
 	}
+	return g.reducePartials(comp, comm, gcomp, gcomm, !firstFrame)
+}
 
-	// Serial reduce: integer sums, so ordering cannot change the result.
+// fillTiledParallel shards contiguous tile ranges (balanced by particle
+// count) across worker goroutines, each running the tiled fill into private
+// partial matrices, then reduces the partials serially in worker order —
+// identical results to every other fill path.
+func (g *Generator) fillTiledParallel(pos []geom.Vec3, comp []int64, comm *sparse.Matrix, gcomp []int64, gcomm *sparse.Matrix) error {
+	workers := g.workers
+	g.ensureParallelState()
+	tl := g.buildTiling(pos)
+	var views []mapping.GhostSource
+	if g.ghosts != nil {
+		views = g.ghostFanout.GhostViews(workers)
+	}
+	ranges := tl.Ranges(workers)
+
+	errs := g.parErrs
+	clear(errs)
+	firstFrame := g.frames == 0
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		for i, v := range g.partComp[w] {
-			comp[i] += v
-		}
-		if partComm[w] != nil {
-			if err := partComm[w].AddInto(comm); err != nil {
-				return err
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pc := g.partComp[w]
+			clear(pc)
+			pm := g.partComm[w]
+			pm.Reset()
+			var pg []int64
+			var pgm *sparse.Matrix
+			var src mapping.TileGhostSource
+			if g.ghosts != nil {
+				pg = g.partGhost[w]
+				clear(pg)
+				pgm = g.partGhostComm[w]
+				pgm.Reset()
+				src = mapping.TileSource(views[w])
 			}
-		}
-		if g.ghosts != nil {
-			for i, v := range g.partGhost[w] {
-				gcomp[i] += v
-			}
-			if partGhostComm[w] != nil {
-				if err := partGhostComm[w].AddInto(gcomm); err != nil {
-					return err
-				}
-			}
+			errs[w] = g.fillTileRange(tl, ranges[w][0], ranges[w][1], pos, src, &g.workScratch[w],
+				pc, pm, pg, pgm, !firstFrame)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	return nil
+	return g.reducePartials(comp, comm, gcomp, gcomm, !firstFrame)
 }
 
 // Finish finalises and returns the workload. Frame may not be called again.

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"picpredict/internal/geom"
+	"picpredict/internal/mapping"
+	"picpredict/internal/mesh"
+)
+
+// tiledTestMappers returns fresh-mapper factories for both ghost-capable
+// mappers; every generator gets its own mapper so no per-frame state leaks
+// between the runs being compared.
+func tiledTestMappers(t *testing.T) map[string]func() mapping.Mapper {
+	t.Helper()
+	m, err := mesh.New(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)), 8, 8, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := mesh.Decompose(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]func() mapping.Mapper{
+		"element": func() mapping.Mapper { return mapping.NewElementMapper(m, d) },
+		"bin":     func() mapping.Mapper { return mapping.NewBinMapper(8, 0.05) },
+	}
+}
+
+// runLayout feeds the frames through a generator with the given layout and
+// worker count and returns the workload.
+func runLayout(t *testing.T, mapper mapping.Mapper, radius float64, layout Layout, workers int, iters []int, pos []geom.Vec3, np int) *Workload {
+	t.Helper()
+	g, err := NewGenerator(Config{Mapper: mapper, FilterRadius: radius, Workers: workers, Layout: layout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, it := range iters {
+		if err := g.Frame(it, pos[k*np:(k+1)*np]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wl, err := g.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
+
+// TestFillLayoutsBitIdentical is the tiled layout's correctness contract:
+// scalar, parallel, tiled and tiled-parallel fills produce bit-identical
+// workloads for both ghost-capable mappers, with and without ghosts. The
+// scalar serial fill is the reference; everything else must match it
+// exactly (integer counters, ordered reductions).
+func TestFillLayoutsBitIdentical(t *testing.T) {
+	const np = 500
+	iters, pos := clusteredFrames(5, np, 29)
+	variants := []struct {
+		name    string
+		layout  Layout
+		workers int
+	}{
+		{"tiled-serial", LayoutTiled, 0},
+		{"tiled-parallel-2", LayoutTiled, 2},
+		{"tiled-parallel-3", LayoutTiled, 3},
+		{"tiled-parallel-8", LayoutTiled, 8},
+		{"scalar-parallel-3", LayoutScalar, 3},
+		{"auto-serial", LayoutAuto, 0},
+		{"auto-parallel-3", LayoutAuto, 3},
+	}
+	for name, mk := range tiledTestMappers(t) {
+		for _, radius := range []float64{0, 0.04} {
+			ref := runLayout(t, mk(), radius, LayoutScalar, 0, iters, pos, np)
+			for _, v := range variants {
+				t.Run(fmt.Sprintf("%s/r=%g/%s", name, radius, v.name), func(t *testing.T) {
+					got := runLayout(t, mk(), radius, v.layout, v.workers, iters, pos, np)
+					requireEqualWorkloads(t, ref, got)
+				})
+			}
+		}
+	}
+}
+
+// TestFillLayoutsEdgeFrames covers the degenerate frames every layout must
+// agree on: zero particles, more workers than particles, and a zero filter
+// radius (ghost generation disabled).
+func TestFillLayoutsEdgeFrames(t *testing.T) {
+	mappers := tiledTestMappers(t)
+
+	t.Run("zero-particles", func(t *testing.T) {
+		for name, mk := range mappers {
+			for _, layout := range []Layout{LayoutScalar, LayoutTiled, LayoutAuto} {
+				g, err := NewGenerator(Config{Mapper: mk(), FilterRadius: 0.04, Workers: 4, Layout: layout})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for f := 0; f < 3; f++ {
+					if err := g.Frame(f, nil); err != nil {
+						t.Fatalf("%s layout %d: empty frame %d: %v", name, layout, f, err)
+					}
+				}
+				wl, err := g.Finish()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wl.NumParticles != 0 || wl.RealComp.Frames() != 3 {
+					t.Fatalf("%s layout %d: got %d particles, %d frames", name, layout, wl.NumParticles, wl.RealComp.Frames())
+				}
+			}
+		}
+	})
+
+	t.Run("workers-exceed-particles", func(t *testing.T) {
+		const np = 3
+		iters, pos := clusteredFrames(4, np, 7)
+		for name, mk := range mappers {
+			ref := runLayout(t, mk(), 0.04, LayoutScalar, 0, iters, pos, np)
+			for _, v := range []struct {
+				layout  Layout
+				workers int
+			}{{LayoutTiled, 8}, {LayoutScalar, 8}, {LayoutAuto, 16}} {
+				got := runLayout(t, mk(), 0.04, v.layout, v.workers, iters, pos, np)
+				t.Run(fmt.Sprintf("%s/layout=%d/w=%d", name, v.layout, v.workers), func(t *testing.T) {
+					requireEqualWorkloads(t, ref, got)
+				})
+			}
+		}
+	})
+
+	t.Run("radius-zero", func(t *testing.T) {
+		const np = 200
+		iters, pos := clusteredFrames(3, np, 13)
+		for name, mk := range mappers {
+			ref := runLayout(t, mk(), 0, LayoutScalar, 0, iters, pos, np)
+			got := runLayout(t, mk(), 0, LayoutTiled, 3, iters, pos, np)
+			t.Run(name, func(t *testing.T) { requireEqualWorkloads(t, ref, got) })
+		}
+	})
+}
+
+// TestFillLayoutsRandomised fuzzes the layout equivalence over random
+// cloud shapes, sizes and radii: whatever the frame looks like, every
+// layout must reproduce the scalar fill bit-for-bit.
+func TestFillLayoutsRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	mappers := tiledTestMappers(t)
+	for trial := 0; trial < 12; trial++ {
+		np := 1 + rng.Intn(300)
+		frames := 1 + rng.Intn(4)
+		radius := []float64{0, 0.003, 0.02, 0.15}[rng.Intn(4)]
+		workers := 1 + rng.Intn(6)
+		iters, pos := clusteredFrames(frames, np, rng.Int63())
+		for name, mk := range mappers {
+			ref := runLayout(t, mk(), radius, LayoutScalar, 0, iters, pos, np)
+			got := runLayout(t, mk(), radius, LayoutTiled, workers, iters, pos, np)
+			if t.Failed() {
+				break
+			}
+			t.Run(fmt.Sprintf("trial%d/%s/np=%d/r=%g/w=%d", trial, name, np, radius, workers), func(t *testing.T) {
+				requireEqualWorkloads(t, ref, got)
+			})
+		}
+	}
+}

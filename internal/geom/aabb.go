@@ -75,6 +75,36 @@ func (b AABB) MaxExtent() float64 { return b.Extent().Axis(b.LongestAxis()) }
 // Extend returns the smallest box containing both b and the point p.
 func (b AABB) Extend(p Vec3) AABB { return AABB{Lo: b.Lo.Min(p), Hi: b.Hi.Max(p)} }
 
+// TileBounds returns the bounding box of the selected positions. It is the
+// Extend fold written as one branch-lean pass because the tiled query paths
+// call it once per tile per frame; an empty selection yields the empty box.
+func TileBounds(pos []Vec3, ids []int32) AABB {
+	if len(ids) == 0 {
+		return EmptyBox()
+	}
+	p := pos[ids[0]]
+	lo, hi := p, p
+	for _, i := range ids[1:] {
+		p := pos[i]
+		if p.X < lo.X {
+			lo.X = p.X
+		} else if p.X > hi.X {
+			hi.X = p.X
+		}
+		if p.Y < lo.Y {
+			lo.Y = p.Y
+		} else if p.Y > hi.Y {
+			hi.Y = p.Y
+		}
+		if p.Z < lo.Z {
+			lo.Z = p.Z
+		} else if p.Z > hi.Z {
+			hi.Z = p.Z
+		}
+	}
+	return AABB{Lo: lo, Hi: hi}
+}
+
 // Union returns the smallest box containing both b and c.
 func (b AABB) Union(c AABB) AABB {
 	if b.Empty() {
@@ -105,6 +135,44 @@ func (b AABB) IntersectsSphere(c Vec3, radius float64) bool {
 	}
 	d2 := axisDist2(c.X, b.Lo.X, b.Hi.X) + axisDist2(c.Y, b.Lo.Y, b.Hi.Y) + axisDist2(c.Z, b.Lo.Z, b.Hi.Z)
 	return d2 <= radius*radius
+}
+
+// SphereDist2 returns the squared distance from c to the closed box,
+// accumulated as x² + (y² + z²) — the association Grid.CellsInSphere uses
+// for its per-cell test. Batched (tiled) queries that must reproduce the
+// per-particle CellsInSphere verdict bit-for-bit compare this value against
+// radius², so the association here must not change. Empty boxes are
+// infinitely far away.
+func (b AABB) SphereDist2(c Vec3) float64 {
+	if b.Empty() {
+		return math.Inf(1)
+	}
+	return axisDist2(c.X, b.Lo.X, b.Hi.X) + (axisDist2(c.Y, b.Lo.Y, b.Hi.Y) + axisDist2(c.Z, b.Lo.Z, b.Hi.Z))
+}
+
+// Outset returns the box grown by r on every side, with each bound nudged
+// one ulp further outward. The nudge makes the result conservative: it
+// contains the exact (real-arithmetic) inflation even though r is applied
+// in floating point, so Outset boxes are safe prefilters — a ball of radius
+// r centred anywhere inside b is fully contained in b.Outset(r). Empty
+// boxes stay empty.
+func (b AABB) Outset(r float64) AABB {
+	if b.Empty() {
+		return b
+	}
+	neg, pos := math.Inf(-1), math.Inf(1)
+	return AABB{
+		Lo: Vec3{
+			math.Nextafter(b.Lo.X-r, neg),
+			math.Nextafter(b.Lo.Y-r, neg),
+			math.Nextafter(b.Lo.Z-r, neg),
+		},
+		Hi: Vec3{
+			math.Nextafter(b.Hi.X+r, pos),
+			math.Nextafter(b.Hi.Y+r, pos),
+			math.Nextafter(b.Hi.Z+r, pos),
+		},
+	}
 }
 
 // axisDist2 is the squared distance from x to the interval [lo, hi].

@@ -155,6 +155,29 @@ func (g *Grid) axisDist2s(buf []float64, x, lo, d float64, ilo, ihi int) []float
 	return buf
 }
 
+// ClampCoords returns the coordinates of the cell containing p, with each
+// axis clamped into the valid [0, N-1] range. This is the exact range
+// arithmetic CellsInSphere applies to the two corners of a ball's bounding
+// box; it is exported so batched (tiled) queries can reproduce the scalar
+// candidate window bit-for-bit per particle.
+func (g *Grid) ClampCoords(p Vec3) (i, j, k int) { return g.clampCoords(p) }
+
+// AxisDist2Table appends to buf the squared distance from coordinate x to
+// each cell interval [ilo, ihi] along the given axis (0 = x, 1 = y, 2 = z).
+// The entries are exactly the per-axis tables CellsInSphere builds, so a
+// batched query summing them reproduces the scalar membership verdict
+// bit-for-bit.
+func (g *Grid) AxisDist2Table(buf []float64, axis int, x float64, ilo, ihi int) []float64 {
+	switch axis {
+	case 0:
+		return g.axisDist2s(buf, x, g.Domain.Lo.X, g.dx, ilo, ihi)
+	case 1:
+		return g.axisDist2s(buf, x, g.Domain.Lo.Y, g.dy, ilo, ihi)
+	default:
+		return g.axisDist2s(buf, x, g.Domain.Lo.Z, g.dz, ilo, ihi)
+	}
+}
+
 func (g *Grid) clampCoords(p Vec3) (i, j, k int) {
 	i = clampInt(g.cellFloor(p.X, g.Domain.Lo.X, g.dx), 0, g.Nx-1)
 	j = clampInt(g.cellFloor(p.Y, g.Domain.Lo.Y, g.dy), 0, g.Ny-1)

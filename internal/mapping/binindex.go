@@ -86,6 +86,19 @@ func (idx *binIndex) candidates(dst []int32, pos geom.Vec3, radius float64) []in
 	r := geom.V(radius, radius, radius)
 	ilo, jlo, klo := idx.cellOf(pos.Sub(r))
 	ihi, jhi, khi := idx.cellOf(pos.Add(r))
+	return idx.appendRange(dst, ilo, jlo, klo, ihi, jhi, khi)
+}
+
+// candidatesBox appends the indices of bins registered in any index cell
+// the box touches (duplicates possible) — the tile-window analogue of
+// candidates, run once per tile instead of once per particle.
+func (idx *binIndex) candidatesBox(dst []int32, box geom.AABB) []int32 {
+	ilo, jlo, klo := idx.cellOf(box.Lo)
+	ihi, jhi, khi := idx.cellOf(box.Hi)
+	return idx.appendRange(dst, ilo, jlo, klo, ihi, jhi, khi)
+}
+
+func (idx *binIndex) appendRange(dst []int32, ilo, jlo, klo, ihi, jhi, khi int) []int32 {
 	for k := klo; k <= khi; k++ {
 		for j := jlo; j <= jhi; j++ {
 			for i := ilo; i <= ihi; i++ {

@@ -33,14 +33,69 @@ type ConcurrentGhostSource interface {
 	GhostViews(n int) []GhostSource
 }
 
+// TileGhostSource is a GhostSource that can additionally answer the ghost
+// query for a whole tile of spatially adjacent particles in one batched
+// call. Implementations hoist the spatial candidate scan (grid cells or
+// bins, grouped by rank) out of the per-particle loop, so one intersection
+// setup serves every particle in the tile.
+//
+// Contract: for each particle index ids[j] in order, GhostRanksTile appends
+// that particle's ghost ranks (the same *set* GhostRanks would return for
+// pos[ids[j]] with home[ids[j]] — order within the set is unspecified) to
+// flat and appends the new len(flat) to offs, so particle ids[j]'s ranks
+// are flat[offs[j-1]:offs[j]], reading offs[-1] as len(flat) at entry.
+// Callers normally pass flat[:0], offs[:0] per tile.
+type TileGhostSource interface {
+	GhostSource
+	GhostRanksTile(flat []int, offs []int32, ids []int32, pos []geom.Vec3, home []int, radius float64) ([]int, []int32)
+}
+
+// TileSource adapts gs to the batched tile interface: native
+// implementations are returned unchanged, anything else gets a fallback
+// adapter answering one GhostRanks call per tile particle — identical
+// answers, none of the batching win.
+func TileSource(gs GhostSource) TileGhostSource {
+	if ts, ok := gs.(TileGhostSource); ok {
+		return ts
+	}
+	return perParticleTiles{gs: gs}
+}
+
+// perParticleTiles is TileSource's per-particle fallback adapter.
+type perParticleTiles struct{ gs GhostSource }
+
+func (a perParticleTiles) GhostRanks(dst []int, pos geom.Vec3, radius float64, home int) []int {
+	return a.gs.GhostRanks(dst, pos, radius, home)
+}
+
+func (a perParticleTiles) GhostRanksTile(flat []int, offs []int32, ids []int32, pos []geom.Vec3, home []int, radius float64) ([]int, []int32) {
+	for _, i := range ids {
+		flat = a.gs.GhostRanks(flat, pos[i], radius, home[i])
+		offs = append(offs, int32(len(flat)))
+	}
+	return flat, offs
+}
+
 // GhostRanks implements GhostSource for element-based mapping: ghost ranks
 // are the owners of the spectral elements the filter ball touches. The
 // query object is created lazily on first use.
 func (em *ElementMapper) GhostRanks(dst []int, pos geom.Vec3, radius float64, home int) []int {
+	return em.ownersQuery().Ranks(dst, pos, radius, home)
+}
+
+// GhostRanksTile implements TileGhostSource for element-based mapping via
+// mesh.SphereOwners.RanksTile: the candidate elements of the tile's search
+// window are gathered and rank-grouped once, then each particle runs an
+// early-exit per-rank membership test.
+func (em *ElementMapper) GhostRanksTile(flat []int, offs []int32, ids []int32, pos []geom.Vec3, home []int, radius float64) ([]int, []int32) {
+	return em.ownersQuery().RanksTile(flat, offs, ids, pos, home, radius)
+}
+
+func (em *ElementMapper) ownersQuery() *mesh.SphereOwners {
 	if em.owners == nil {
 		em.owners = mesh.NewSphereOwners(em.Mesh, em.Decomp)
 	}
-	return em.owners.Ranks(dst, pos, radius, home)
+	return em.owners
 }
 
 // GhostViews implements ConcurrentGhostSource for element-based mapping:
@@ -65,6 +120,10 @@ func (v sphereGhostView) GhostRanks(dst []int, pos geom.Vec3, radius float64, ho
 	return v.q.Ranks(dst, pos, radius, home)
 }
 
+func (v sphereGhostView) GhostRanksTile(flat []int, offs []int32, ids []int32, pos []geom.Vec3, home []int, radius float64) ([]int, []int32) {
+	return v.q.RanksTile(flat, offs, ids, pos, home, radius)
+}
+
 // GhostRanks implements GhostSource for bin-based mapping: with
 // particle–grid locality decoupled, a particle's influence reaches the
 // ranks whose bin regions its filter ball intersects — the particles in
@@ -77,13 +136,31 @@ func (bm *BinMapper) GhostRanks(dst []int, pos geom.Vec3, radius float64, home i
 	if radius <= 0 || len(bm.lastBins) == 0 {
 		return dst
 	}
+	return bm.ownBinView().GhostRanks(dst, pos, radius, home)
+}
+
+// GhostRanksTile implements TileGhostSource for bin-based mapping: the
+// candidate bins of the tile's search window are deduplicated and
+// rank-grouped once, then each particle runs an early-exit per-rank
+// intersection test against that rank's bins.
+func (bm *BinMapper) GhostRanksTile(flat []int, offs []int32, ids []int32, pos []geom.Vec3, home []int, radius float64) ([]int, []int32) {
+	if radius <= 0 || len(bm.lastBins) == 0 {
+		for range ids {
+			offs = append(offs, int32(len(flat)))
+		}
+		return flat, offs
+	}
+	return bm.ownBinView().GhostRanksTile(flat, offs, ids, pos, home, radius)
+}
+
+func (bm *BinMapper) ownBinView() *binGhostView {
 	if bm.index == nil {
 		bm.index = buildBinIndex(bm.lastBins)
 	}
 	if bm.ownView == nil {
 		bm.ownView = &binGhostView{bm: bm}
 	}
-	return bm.ownView.GhostRanks(dst, pos, radius, home)
+	return bm.ownView
 }
 
 // GhostViews implements ConcurrentGhostSource for bin-based mapping: the
@@ -109,8 +186,22 @@ func (bm *BinMapper) GhostViews(n int) []GhostSource {
 // concurrently. The parent mapper must not Assign while views are in use.
 type binGhostView struct {
 	bm   *BinMapper
-	seen map[int]struct{}
 	cand []int32
+
+	// Tile-query scratch (GhostRanksTile): epoch-stamped bin dedup and the
+	// current tile's candidate bins.
+	stamp    []int32
+	epoch    int32
+	tileBins []binCand
+}
+
+// binCand is one candidate bin of a tile window: its index plus the index
+// cells it is registered in, so the per-particle test can reproduce the
+// scalar path's bucket-window visibility exactly.
+type binCand struct {
+	bi                           int32
+	rank                         int32
+	ilo, jlo, klo, ihi, jhi, khi int32
 }
 
 func (v *binGhostView) GhostRanks(dst []int, pos geom.Vec3, radius float64, home int) []int {
@@ -118,28 +209,147 @@ func (v *binGhostView) GhostRanks(dst []int, pos geom.Vec3, radius float64, home
 	if radius <= 0 || len(bins) == 0 || idx == nil {
 		return dst
 	}
-	if v.seen == nil {
-		v.seen = make(map[int]struct{}, 8)
-	}
-	clear(v.seen)
 	v.cand = idx.candidates(v.cand[:0], pos, radius)
+	// Dedup by scanning the ranks appended so far: ghost fan-out is
+	// typically ≤8 ranks, where a linear scan beats a map and allocates
+	// nothing.
+	start := len(dst)
 	for _, bi := range v.cand {
 		b := &bins[bi]
-		if b.Rank == home {
-			continue
-		}
-		if _, dup := v.seen[b.Rank]; dup {
+		if b.Rank == home || containsRank(dst[start:], b.Rank) {
 			continue
 		}
 		if b.Box.IntersectsSphere(pos, radius) {
-			v.seen[b.Rank] = struct{}{}
 			dst = append(dst, b.Rank)
 		}
 	}
 	return dst
 }
 
+// GhostRanksTile implements the TileGhostSource contract against the
+// mapper's current bins: per-particle rank sets are identical to
+// GhostRanks — same candidate visibility (bucket-window overlap), same
+// exact intersection test — with the bucket scan, deduplication and rank
+// grouping hoisted to once per tile.
+func (v *binGhostView) GhostRanksTile(flat []int, offs []int32, ids []int32, pos []geom.Vec3, home []int, radius float64) ([]int, []int32) {
+	bins, idx := v.bm.lastBins, v.bm.index
+	if radius <= 0 || len(bins) == 0 || idx == nil || len(ids) == 0 {
+		for range ids {
+			offs = append(offs, int32(len(flat)))
+		}
+		return flat, offs
+	}
+	win := geom.TileBounds(pos, ids).Outset(radius)
+	v.cand = idx.candidatesBox(v.cand[:0], win)
+
+	// Hoisted per tile: deduplicate candidates (epoch stamps — no clearing
+	// between tiles) and drop bins that cannot touch any tile particle's
+	// ball (win conservatively contains every such ball).
+	if len(v.stamp) < len(bins) {
+		v.stamp = make([]int32, len(bins))
+		v.epoch = 0
+	}
+	v.epoch++
+	if v.epoch <= 0 { // wrapped: restart stamps
+		clear(v.stamp)
+		v.epoch = 1
+	}
+	v.tileBins = v.tileBins[:0]
+	first := int32(-1)
+	single := true
+	for _, bi := range v.cand {
+		if v.stamp[bi] == v.epoch {
+			continue
+		}
+		v.stamp[bi] = v.epoch
+		b := &bins[bi]
+		if !b.Box.Intersects(win) {
+			continue
+		}
+		ilo, jlo, klo := idx.cellOf(b.Box.Lo)
+		ihi, jhi, khi := idx.cellOf(b.Box.Hi)
+		v.tileBins = append(v.tileBins, binCand{
+			bi: bi, rank: int32(b.Rank),
+			ilo: int32(ilo), jlo: int32(jlo), klo: int32(klo),
+			ihi: int32(ihi), jhi: int32(jhi), khi: int32(khi),
+		})
+		if first < 0 {
+			first = int32(b.Rank)
+		} else if int32(b.Rank) != first {
+			single = false
+		}
+	}
+	if len(v.tileBins) == 0 {
+		for range ids {
+			offs = append(offs, int32(len(flat)))
+		}
+		return flat, offs
+	}
+
+	// Fast path: one rank owns every nearby bin. Particles homed there have
+	// no ghosts — this culls whole tiles in rank interiors.
+	if single {
+		r0 := int(first)
+		allHome := true
+		for _, i := range ids {
+			if home[i] != r0 {
+				allHome = false
+				break
+			}
+		}
+		if allHome {
+			for range ids {
+				offs = append(offs, int32(len(flat)))
+			}
+			return flat, offs
+		}
+	}
+
+	rv := geom.V(radius, radius, radius)
+	for _, pi := range ids {
+		p := pos[pi]
+		h := home[pi]
+		pilo, pjlo, pklo := idx.cellOf(p.Sub(rv))
+		pihi, pjhi, pkhi := idx.cellOf(p.Add(rv))
+		start := len(flat)
+		for k := range v.tileBins {
+			c := &v.tileBins[k]
+			// Bucket-window visibility: the scalar path only sees bins
+			// registered in the cells of the particle's own window. The
+			// integer overlap test also rejects most far bins before the
+			// exact sphere test runs.
+			if int(c.ihi) < pilo || int(c.ilo) > pihi ||
+				int(c.jhi) < pjlo || int(c.jlo) > pjhi ||
+				int(c.khi) < pklo || int(c.klo) > pkhi {
+				continue
+			}
+			r := int(c.rank)
+			if r == h || containsRank(flat[start:], r) {
+				continue
+			}
+			if bins[c.bi].Box.IntersectsSphere(p, radius) {
+				flat = append(flat, r)
+			}
+		}
+		offs = append(offs, int32(len(flat)))
+	}
+	return flat, offs
+}
+
+func containsRank(rs []int, r int) bool {
+	for _, x := range rs {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
 var (
 	_ ConcurrentGhostSource = (*ElementMapper)(nil)
 	_ ConcurrentGhostSource = (*BinMapper)(nil)
+	_ TileGhostSource       = (*ElementMapper)(nil)
+	_ TileGhostSource       = (*BinMapper)(nil)
+	_ TileGhostSource       = sphereGhostView{}
+	_ TileGhostSource       = (*binGhostView)(nil)
 )

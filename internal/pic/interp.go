@@ -96,9 +96,18 @@ func (ip *Interpolator) Velocity(p geom.Vec3) geom.Vec3 {
 	if e < 0 {
 		return geom.Vec3{}
 	}
+	return ip.velocityNodal(e, ip.nodal(e), p)
+}
+
+// velocityNodal interpolates the nodal field f of element e to the clamped
+// in-element point p. The tiled solver loop fetches f once per element tile
+// and calls this for every resident particle, skipping the cache lookup;
+// the arithmetic is exactly Velocity's, so results are bit-identical on
+// either path.
+func (ip *Interpolator) velocityNodal(e int, f []geom.Vec3, p geom.Vec3) geom.Vec3 {
 	n := ip.mesh.N
 	if n == 1 {
-		return ip.nodal(e)[0]
+		return f[0]
 	}
 	box := ip.mesh.ElementBox(e)
 	ext := box.Extent()
@@ -109,7 +118,6 @@ func (ip *Interpolator) Velocity(p geom.Vec3) geom.Vec3 {
 	i0, fx := splitCoord(tx, n)
 	j0, fy := splitCoord(ty, n)
 	k0, fz := splitCoord(tz, n)
-	f := ip.nodal(e)
 	at := func(i, j, k int) geom.Vec3 { return f[i+n*(j+n*k)] }
 	// Trilinear blend of the 8 surrounding nodes.
 	lerp := func(a, b geom.Vec3, t float64) geom.Vec3 { return a.Add(b.Sub(a).Scale(t)) }

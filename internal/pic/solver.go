@@ -9,6 +9,7 @@ import (
 	"picpredict/internal/geom"
 	"picpredict/internal/mesh"
 	"picpredict/internal/particle"
+	"picpredict/internal/tile"
 )
 
 // Solver advances a particle population through the PIC solver loop against
@@ -28,6 +29,14 @@ type Solver struct {
 	step         int
 	fluidAcc     []geom.Vec3 // scratch: per-particle fluid acceleration
 	fluidVel     []geom.Vec3 // scratch: per-particle fluid velocity (instrumented mode)
+
+	// Element tiling of the particle population, rebuilt per step: particles
+	// resident in the same element are processed as a block so the element's
+	// nodal field is fetched once per tile rather than once per particle.
+	tb           tile.Builder
+	tiling       *tile.Tiling
+	cells        []int32 // scratch: home element per particle
+	scalarPhases bool    // force the per-particle reference loops (tests, benches)
 }
 
 // NewSolver assembles a solver; it validates parameters and rejects
@@ -86,11 +95,61 @@ func (s *Solver) Step() {
 		coll = s.collide.Forces(s.Particles, p.CollisionStiffness)
 	}
 
-	// Phases 1–3 per particle: interpolate, solve momentum equation, push.
-	s.parallelRange(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			uf := s.interp.Velocity(s.Particles.Pos[i]) // Phase 1: interpolation
-			a := s.drag(i, uf).Add(p.Gravity)           // Phase 2: equation solver
+	// Phases 1–3: interpolate, solve momentum equation, push. The default
+	// path walks the population element-tile by element-tile so each
+	// occupied element's nodal field is fetched once per tile; per-particle
+	// arithmetic is unchanged, so the result is bit-identical to the
+	// per-particle reference loop (kept for degenerate inputs and benches).
+	if s.buildTiling() {
+		s.parallelTiles(n, func(t0, t1 int) { s.phaseTiles(t0, t1, acc, coll) })
+	} else {
+		s.parallelRange(n, func(lo, hi int) { s.phaseRange(lo, hi, acc, coll) })
+	}
+
+	// Phase 4: projection (particle → grid).
+	s.project()
+
+	s.time += p.Dt
+	s.step++
+}
+
+// phaseRange is the per-particle reference body of phases 1–3 over the index
+// range [lo, hi).
+func (s *Solver) phaseRange(lo, hi int, acc, coll []geom.Vec3) {
+	p := s.Params
+	for i := lo; i < hi; i++ {
+		uf := s.interp.Velocity(s.Particles.Pos[i]) // Phase 1: interpolation
+		a := s.drag(i, uf).Add(p.Gravity)           // Phase 2: equation solver
+		if coll != nil {
+			a = a.Add(coll[i])
+		}
+		acc[i] = a
+	}
+	switch p.Pusher { // Phase 3: particle pusher
+	case PushRK2:
+		s.pushRK2(acc, lo, hi)
+	default:
+		s.pushEuler(acc, lo, hi)
+	}
+}
+
+// phaseTiles runs phases 1–3 over element tiles [t0, t1). Tile ids equal
+// element ids, so the tile's nodal field is fetched exactly once and handed
+// to the lock-free interpolation helper for every resident particle.
+func (s *Solver) phaseTiles(t0, t1 int, acc, coll []geom.Vec3) {
+	p := s.Params
+	d := s.Mesh.Domain()
+	for t := t0; t < t1; t++ {
+		ids := s.tiling.Tile(t)
+		if len(ids) == 0 {
+			continue
+		}
+		f := s.interp.nodal(t)
+		for _, id := range ids {
+			i := int(id)
+			q := s.Particles.Pos[i].Clamp(d.Lo, d.Hi)
+			uf := s.interp.velocityNodal(t, f, q) // Phase 1: interpolation
+			a := s.drag(i, uf).Add(p.Gravity)     // Phase 2: equation solver
 			if coll != nil {
 				a = a.Add(coll[i])
 			}
@@ -98,17 +157,59 @@ func (s *Solver) Step() {
 		}
 		switch p.Pusher { // Phase 3: particle pusher
 		case PushRK2:
-			s.pushRK2(acc, lo, hi)
+			s.pushRK2Tile(acc, ids)
 		default:
-			s.pushEuler(acc, lo, hi)
+			s.pushEulerTile(acc, ids)
 		}
-	})
+	}
+}
 
-	// Phase 4: projection (particle → grid).
-	s.project()
+// buildTiling groups the population by home element for this step's
+// grid-interaction phases, using the same clamped lookup as the
+// interpolator. It reports false when tiling is forced off or a position has
+// no element (non-finite coordinates); callers then use the per-particle
+// reference loop, which reproduces those degenerate cases exactly.
+func (s *Solver) buildTiling() bool {
+	if s.scalarPhases {
+		return false
+	}
+	n := s.Particles.Len()
+	if cap(s.cells) < n {
+		s.cells = make([]int32, n)
+	}
+	cells := s.cells[:n]
+	d := s.Mesh.Domain()
+	for i := 0; i < n; i++ {
+		e := s.Mesh.ElementAt(s.Particles.Pos[i].Clamp(d.Lo, d.Hi))
+		if e < 0 {
+			return false
+		}
+		cells[i] = int32(e)
+	}
+	s.cells = cells
+	s.tiling = s.tb.FromCells(cells, s.Mesh.NumElements())
+	return true
+}
 
-	s.time += p.Dt
-	s.step++
+// parallelTiles splits the tile list across Params.Workers goroutines along
+// the tiling's balanced particle-count cuts (serial under the same
+// population threshold as parallelRange).
+func (s *Solver) parallelTiles(n int, fn func(t0, t1 int)) {
+	workers := s.Params.Workers
+	if workers <= 1 || n < 2*workers {
+		fn(0, s.tiling.NumTiles())
+		return
+	}
+	var wg sync.WaitGroup
+	for _, r := range s.tiling.Ranges(workers) {
+		t0, t1 := r[0], r[1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(t0, t1)
+		}()
+	}
+	wg.Wait()
 }
 
 // parallelRange splits [0, n) across Params.Workers goroutines (serial when
@@ -160,6 +261,37 @@ func (s *Solver) pushRK2(acc []geom.Vec3, lo, hi int) {
 		// Midpoint state.
 		vMid := ps.Vel[i].Add(acc[i].Scale(dt / 2))
 		pMid := ps.Pos[i].Add(ps.Vel[i].Scale(dt / 2))
+		ufMid := s.interp.Velocity(pMid)
+		aMid := s.dragAt(i, vMid, ufMid).Add(s.Params.Gravity)
+		ps.Vel[i] = ps.Vel[i].Add(aMid.Scale(dt))
+		ps.Pos[i] = ps.Pos[i].Add(vMid.Scale(dt))
+		s.bounce(i)
+	}
+}
+
+// pushEulerTile and pushRK2Tile are the tile-id-list forms of the pushers:
+// identical per-particle updates, iterated over a tile's member ids
+// (ascending, so within a tile the visit order matches the range form).
+func (s *Solver) pushEulerTile(acc []geom.Vec3, ids []int32) {
+	dt := s.Params.Dt
+	ps := s.Particles
+	for _, id := range ids {
+		i := int(id)
+		ps.Vel[i] = ps.Vel[i].Add(acc[i].Scale(dt))
+		ps.Pos[i] = ps.Pos[i].Add(ps.Vel[i].Scale(dt))
+		s.bounce(i)
+	}
+}
+
+func (s *Solver) pushRK2Tile(acc []geom.Vec3, ids []int32) {
+	dt := s.Params.Dt
+	ps := s.Particles
+	for _, id := range ids {
+		i := int(id)
+		vMid := ps.Vel[i].Add(acc[i].Scale(dt / 2))
+		pMid := ps.Pos[i].Add(ps.Vel[i].Scale(dt / 2))
+		// Midpoints can leave the element, so this one goes through the
+		// cached lookup rather than the tile's nodal field.
 		ufMid := s.interp.Velocity(pMid)
 		aMid := s.dragAt(i, vMid, ufMid).Add(s.Params.Gravity)
 		ps.Vel[i] = ps.Vel[i].Add(aMid.Scale(dt))
@@ -301,8 +433,34 @@ func (s *Solver) CreateGhostParticles(d *mesh.Decomposition) (perRank []int, tot
 	gf := NewGhostFinder(s.Mesh, d)
 	perRank = make([]int, d.Ranks)
 	ps := s.Particles
+	n := ps.Len()
+	if !s.scalarPhases && s.ghostTiling() {
+		// Batched path: group particles by home element and answer the
+		// ghost query one tile at a time through the matrixised
+		// SphereOwners.RanksTile, whose per-particle rank sets equal the
+		// scalar query's exactly. Only counts are accumulated, so the
+		// unspecified within-set order does not matter.
+		homes := make([]int, n)
+		for i := 0; i < n; i++ {
+			homes[i] = d.RankOf(int(s.cells[i]))
+		}
+		var flat []int
+		var offs []int32
+		for t := 0; t < s.tiling.NumTiles(); t++ {
+			ids := s.tiling.Tile(t)
+			if len(ids) == 0 {
+				continue
+			}
+			flat, offs = gf.q.RanksTile(flat[:0], offs[:0], ids, ps.Pos, homes, s.Params.FilterRadius)
+			for _, r := range flat {
+				perRank[r]++
+			}
+			total += len(flat)
+		}
+		return perRank, total
+	}
 	var buf []int
-	for i := 0; i < ps.Len(); i++ {
+	for i := 0; i < n; i++ {
 		home := -1
 		if e := s.Mesh.ElementAt(ps.Pos[i]); e >= 0 {
 			home = d.RankOf(e)
@@ -314,6 +472,28 @@ func (s *Solver) CreateGhostParticles(d *mesh.Decomposition) (perRank []int, tot
 		}
 	}
 	return perRank, total
+}
+
+// ghostTiling groups the population by home element using the same
+// raw-position lookup as the scalar ghost kernel. It reports false when any
+// particle lies outside every element (scalar handles those with home = −1)
+// so the batched path only ever sees well-homed particles.
+func (s *Solver) ghostTiling() bool {
+	n := s.Particles.Len()
+	if cap(s.cells) < n {
+		s.cells = make([]int32, n)
+	}
+	cells := s.cells[:n]
+	for i := 0; i < n; i++ {
+		e := s.Mesh.ElementAt(s.Particles.Pos[i])
+		if e < 0 {
+			return false
+		}
+		cells[i] = int32(e)
+	}
+	s.cells = cells
+	s.tiling = s.tb.FromCells(cells, s.Mesh.NumElements())
+	return true
 }
 
 // Run advances the solver `steps` iterations, invoking observe (if non-nil)

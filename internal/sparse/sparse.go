@@ -47,6 +47,11 @@ func (m *Matrix) Add(src, dst int, n int64) error {
 	return nil
 }
 
+// Reset clears every entry, keeping the allocated bucket storage so the
+// matrix can be refilled without churning the allocator — the workload
+// generator pools its per-worker partial matrices across frames this way.
+func (m *Matrix) Reset() { clear(m.m) }
+
 // Get returns entry (src, dst); absent entries are zero.
 func (m *Matrix) Get(src, dst int) int64 {
 	k, err := m.key(src, dst)

@@ -1,0 +1,178 @@
+// Package tile provides the cell-tiled particle layout shared by the
+// workload generator's fill loops, the batched ghost queries and the PIC
+// solver's grid-interaction phases. A Tiling groups the particles of one
+// frame by grid cell so per-cell work (spatial queries, nodal field
+// fetches, per-rank row updates) is hoisted out of the per-particle inner
+// loop and paid once per tile — the layout/compute co-design step that
+// matrixizes the per-particle hot paths (POLAR-PIC).
+//
+// Tilings are deterministic: tiles are ordered by ascending cell id and
+// particles keep ascending index order inside a tile (the counting sort is
+// stable). Consumers that only update integer counters therefore produce
+// bit-identical results whether they iterate particles directly or tile by
+// tile, in any contiguous-tile-range sharding.
+package tile
+
+import (
+	"sort"
+
+	"picpredict/internal/geom"
+)
+
+// Tiling is a CSR grouping of particle indices by grid cell: the particles
+// of tile t are Ids()[Start(t):Start(t+1)], ascending. Empty tiles are
+// allowed (and common on sparse frames). The zero value is an empty tiling.
+type Tiling struct {
+	start []int32 // len tiles+1, cumulative particle counts
+	ids   []int32 // particle indices grouped by tile
+}
+
+// NumTiles returns the number of tiles (grid cells), including empty ones.
+func (t *Tiling) NumTiles() int {
+	if len(t.start) == 0 {
+		return 0
+	}
+	return len(t.start) - 1
+}
+
+// Len returns the number of particles in the tiling.
+func (t *Tiling) Len() int { return len(t.ids) }
+
+// Tile returns the particle indices of tile k in ascending order. The slice
+// aliases internal storage and is valid until the next Builder call.
+func (t *Tiling) Tile(k int) []int32 { return t.ids[t.start[k]:t.start[k+1]] }
+
+// Ranges splits the tiles into at most workers contiguous ranges [lo, hi)
+// holding roughly equal particle counts, for deterministic parallel
+// sharding: cut points depend only on the tiling, never on scheduling.
+// Empty ranges are possible when workers exceeds the occupied tile count.
+func (t *Tiling) Ranges(workers int) [][2]int {
+	if workers < 1 {
+		workers = 1
+	}
+	tiles := t.NumTiles()
+	n := t.Len()
+	out := make([][2]int, 0, workers)
+	lo := 0
+	for w := 1; w <= workers; w++ {
+		hi := tiles
+		if w < workers {
+			target := int32(n * w / workers)
+			// Smallest tile boundary at or past the target particle count.
+			hi = sort.Search(tiles, func(i int) bool { return t.start[i+1] >= target })
+			if hi < lo {
+				hi = lo
+			}
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// Builder constructs Tilings, reusing its internal buffers across frames so
+// steady-state tiling is allocation-free once buffers have grown to the
+// frame size. A Builder is single-goroutine; the Tilings it returns are
+// read-only and safe to share.
+type Builder struct {
+	cells  []int32 // scratch: per-particle cell id (Build only)
+	cursor []int32 // scratch: per-cell scatter cursor
+	t      Tiling
+}
+
+// FromCells groups particles by the caller-computed cell ids cells[i] in
+// [0, ncells) — the entry point for consumers that already have a grid cell
+// per particle (the PIC solver tiles on its element grid this way). The
+// returned Tiling is valid until the next Build/FromCells call.
+func (b *Builder) FromCells(cells []int32, ncells int) *Tiling {
+	t := &b.t
+	t.start = grow(t.start, ncells+1)
+	clear(t.start)
+	t.ids = grow(t.ids, len(cells))
+	for _, c := range cells {
+		t.start[c+1]++
+	}
+	for i := 1; i <= ncells; i++ {
+		t.start[i] += t.start[i-1]
+	}
+	b.cursor = grow(b.cursor, ncells)
+	copy(b.cursor, t.start[:ncells])
+	for i, c := range cells {
+		t.ids[b.cursor[c]] = int32(i)
+		b.cursor[c]++
+	}
+	return t
+}
+
+// Build tiles the particles on a uniform grid over their bounding box with
+// cells of roughly the given edge length. The cell count is capped at
+// maxCells (and 1024 per axis) by doubling the cell size, which bounds both
+// the CSR header and the per-frame counting-sort cost independently of how
+// spread out the cloud is. A non-positive cell or an empty cloud collapses
+// to a single tile.
+func (b *Builder) Build(pos []geom.Vec3, cell float64, maxCells int) *Tiling {
+	if maxCells < 1 {
+		maxCells = 1
+	}
+	if len(pos) == 0 {
+		return b.FromCells(b.cells[:0], 1)
+	}
+	box := geom.BoundingBox(pos)
+	ext := box.Extent()
+	nx, ny, nz := 1, 1, 1
+	if cell > 0 {
+		for {
+			nx, ny, nz = axisDim(ext.X, cell), axisDim(ext.Y, cell), axisDim(ext.Z, cell)
+			if nx*ny*nz <= maxCells {
+				break
+			}
+			cell *= 2
+		}
+	}
+	b.cells = grow(b.cells, len(pos))
+	inv := 0.0
+	if cell > 0 {
+		inv = 1 / cell
+	}
+	for i, p := range pos {
+		ci := cellCoord(p.X, box.Lo.X, inv, nx)
+		cj := cellCoord(p.Y, box.Lo.Y, inv, ny)
+		ck := cellCoord(p.Z, box.Lo.Z, inv, nz)
+		b.cells[i] = int32(ci + nx*(cj+ny*ck))
+	}
+	return b.FromCells(b.cells, nx*ny*nz)
+}
+
+// axisDim is the tile-grid dimension along one axis, capped so a degenerate
+// axis (or a huge extent at tiny cell size) cannot blow up the grid.
+func axisDim(ext, cell float64) int {
+	n := int(ext/cell) + 1
+	if n < 1 {
+		n = 1
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	return n
+}
+
+// cellCoord is the clamped tile coordinate of x; every particle lands in a
+// valid tile even on the bounding box's high face.
+func cellCoord(x, lo, inv float64, n int) int {
+	c := int((x - lo) * inv)
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// grow returns buf resized to n, reallocating only when capacity is short.
+func grow(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,116 @@
+package tile
+
+import (
+	"math/rand"
+	"testing"
+
+	"picpredict/internal/geom"
+)
+
+func TestFromCellsGroupsAndOrders(t *testing.T) {
+	cells := []int32{2, 0, 2, 1, 0, 2}
+	var b Builder
+	tl := b.FromCells(cells, 4)
+	if tl.NumTiles() != 4 || tl.Len() != 6 {
+		t.Fatalf("got %d tiles, %d particles", tl.NumTiles(), tl.Len())
+	}
+	want := [][]int32{{1, 4}, {3}, {0, 2, 5}, {}}
+	for k, w := range want {
+		got := tl.Tile(k)
+		if len(got) != len(w) {
+			t.Fatalf("tile %d: got %v want %v", k, got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("tile %d: got %v want %v", k, got, w)
+			}
+		}
+	}
+}
+
+func TestBuildCoversEveryParticleOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pos := make([]geom.Vec3, 500)
+	for i := range pos {
+		pos[i] = geom.V(rng.Float64(), rng.Float64(), rng.Float64()*0.01)
+	}
+	var b Builder
+	for _, cell := range []float64{0, 0.01, 0.1, 10} {
+		tl := b.Build(pos, cell, len(pos)+1)
+		seen := make([]bool, len(pos))
+		for k := 0; k < tl.NumTiles(); k++ {
+			prev := int32(-1)
+			for _, id := range tl.Tile(k) {
+				if id <= prev {
+					t.Fatalf("cell %g tile %d: ids not ascending", cell, k)
+				}
+				prev = id
+				if seen[id] {
+					t.Fatalf("cell %g: particle %d tiled twice", cell, id)
+				}
+				seen[id] = true
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("cell %g: particle %d missing", cell, i)
+			}
+		}
+	}
+}
+
+func TestBuildEmptyCloud(t *testing.T) {
+	var b Builder
+	tl := b.Build(nil, 0.1, 100)
+	if tl.Len() != 0 {
+		t.Fatalf("empty cloud has %d particles", tl.Len())
+	}
+	for _, r := range tl.Ranges(4) {
+		if r[0] > r[1] {
+			t.Fatalf("inverted range %v", r)
+		}
+	}
+}
+
+func TestBuildRespectsMaxCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pos := make([]geom.Vec3, 1000)
+	for i := range pos {
+		pos[i] = geom.V(rng.Float64()*100, rng.Float64()*100, 0)
+	}
+	var b Builder
+	tl := b.Build(pos, 0.001, 64) // naive grid would be ~10^10 cells
+	if tl.NumTiles() > 64 {
+		t.Fatalf("got %d tiles, cap was 64", tl.NumTiles())
+	}
+}
+
+func TestRangesPartitionTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pos := make([]geom.Vec3, 333)
+	for i := range pos {
+		pos[i] = geom.V(rng.Float64(), rng.Float64(), 0)
+	}
+	var b Builder
+	tl := b.Build(pos, 0.05, 10000)
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		ranges := tl.Ranges(workers)
+		if len(ranges) != workers {
+			t.Fatalf("workers=%d: %d ranges", workers, len(ranges))
+		}
+		next, total := 0, 0
+		for _, r := range ranges {
+			if r[0] != next || r[1] < r[0] {
+				t.Fatalf("workers=%d: ranges not a contiguous partition: %v", workers, ranges)
+			}
+			next = r[1]
+			for k := r[0]; k < r[1]; k++ {
+				total += len(tl.Tile(k))
+			}
+		}
+		if next != tl.NumTiles() || total != tl.Len() {
+			t.Fatalf("workers=%d: partition covers %d tiles / %d particles, want %d / %d",
+				workers, next, total, tl.NumTiles(), tl.Len())
+		}
+	}
+}

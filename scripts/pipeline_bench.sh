@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# pipeline bench harness: measures the three layers the cell-tiled particle
+# layout touches and writes the comparison to BENCH_pipeline.json —
+#
+#   fill    : paper-scale matrix fill (N_p = 599,257 on R = 8352 ranks),
+#             scalar vs tiled, for both bin and element mapping;
+#   stream  : frames/sec through StreamConcurrent with the generator as the
+#             sink, scalar vs tiled;
+#   fused   : wall time of one fused simulate→build→predict run.
+#
+# The acceptance number is speedup.fill_bin: the tiled fill must clear 1.5×
+# over the scalar fill at paper scale on the bin mapping (the paper's
+# configuration). BENCHTIME=1x gives a CI smoke run; the committed JSON uses
+# the default 3x.
+#
+#   BENCHTIME=3x ./scripts/pipeline_bench.sh
+#
+# Needs: go, python3.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME=${BENCHTIME:-3x}
+OUT=${OUT:-BENCH_pipeline.json}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+echo "== fill (paper scale, scalar vs tiled; benchtime $BENCHTIME)"
+go test -run '^$' -bench 'PaperFill' -benchtime "$BENCHTIME" ./internal/core/ \
+    | tee "$workdir/fill.txt" || fail "fill benchmarks failed"
+
+echo "== stream (StreamConcurrent frames/sec, scalar vs tiled)"
+go test -run '^$' -bench 'StreamConcurrent' -benchtime "$BENCHTIME" ./internal/pipeline/ \
+    | tee "$workdir/stream.txt" || fail "stream benchmarks failed"
+
+echo "== fused (single-process simulate→build→predict wall time)"
+go test -run '^$' -bench 'FusedPipeline$' -benchtime "$BENCHTIME" . \
+    | tee "$workdir/fused.txt" || fail "fused benchmark failed"
+
+echo "== write $OUT"
+python3 - "$workdir" "$OUT" "$BENCHTIME" <<'PY' || fail "assembling stats failed"
+import json, os, re, sys
+
+workdir, out, benchtime = sys.argv[1], sys.argv[2], sys.argv[3]
+
+def parse(path):
+    """Benchmark name -> {"ms": ns/op in ms, "<unit>": extra metrics}."""
+    runs = {}
+    pat = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$")
+    for line in open(os.path.join(workdir, path)):
+        m = pat.match(line)
+        if not m:
+            continue
+        name, rest = m.group(1), m.group(2)
+        r = runs.setdefault(name, {})
+        for val, unit in re.findall(r"([\d.e+]+)\s+(\S+)", rest):
+            key = "ms" if unit == "ns/op" else unit.replace("/", "_per_")
+            v = float(val) / 1e6 if unit == "ns/op" else float(val)
+            # -count>1 repeats a benchmark; keep the fastest (least noisy) run.
+            if key not in r or (key == "ms" and v < r[key]):
+                r[key] = v
+    return runs
+
+fill = parse("fill.txt")
+stream = parse("stream.txt")
+fused = parse("fused.txt")
+
+def ms(runs, name):
+    try:
+        return round(runs["Benchmark" + name]["ms"], 1)
+    except KeyError:
+        sys.exit(f"benchmark {name} missing from output")
+
+doc = {
+    "bench": "tiled particle layout: fill / stream / fused hot paths",
+    "config": {
+        "np": 599257,
+        "ranks": 8352,
+        "filter_radius": 0.004,
+        "benchtime": benchtime,
+        # Speedups here come from the layout (batched ghost queries, hoisted
+        # per-tile windows), not parallelism — both variants run serially, so
+        # the ratios hold on a 1-core host.
+        "host_cores": os.cpu_count(),
+    },
+    "fill_ms_per_frame": {
+        "bin_scalar": ms(fill, "PaperFillBinScalar"),
+        "bin_tiled": ms(fill, "PaperFillBinTiled"),
+        "element_scalar": ms(fill, "PaperFillElementScalar"),
+        "element_tiled": ms(fill, "PaperFillElementTiled"),
+    },
+    "stream_frames_per_s": {
+        "scalar": round(stream["BenchmarkStreamConcurrentScalar"]["frames_per_s"], 2),
+        "tiled": round(stream["BenchmarkStreamConcurrentTiled"]["frames_per_s"], 2),
+    },
+    "fused_run_ms": ms(fused, "FusedPipeline"),
+}
+f = doc["fill_ms_per_frame"]
+s = doc["stream_frames_per_s"]
+doc["speedup"] = {
+    "fill_bin": round(f["bin_scalar"] / f["bin_tiled"], 2),
+    "fill_element": round(f["element_scalar"] / f["element_tiled"], 2),
+    "stream": round(s["tiled"] / s["scalar"], 2),
+}
+with open(out, "w") as fh:
+    json.dump(doc, fh, indent=2)
+    fh.write("\n")
+print(f"   fill bin    : {f['bin_scalar']:.0f} -> {f['bin_tiled']:.0f} ms "
+      f"({doc['speedup']['fill_bin']}x)")
+print(f"   fill element: {f['element_scalar']:.0f} -> {f['element_tiled']:.0f} ms "
+      f"({doc['speedup']['fill_element']}x)")
+print(f"   stream      : {s['scalar']:.2f} -> {s['tiled']:.2f} frames/s "
+      f"({doc['speedup']['stream']}x)")
+print(f"   fused run   : {doc['fused_run_ms']:.0f} ms")
+PY
+
+echo "PASS: wrote $OUT"
