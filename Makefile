@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race verify bench bench-pipeline serve-smoke
+.PHONY: build test vet lint race verify bench bench-pipeline serve-smoke sweep-smoke
 
 build:
 	$(GO) build ./...
@@ -45,3 +45,10 @@ bench-pipeline:
 serve-smoke:
 	./scripts/picserve_smoke.sh
 	./scripts/picgate_smoke.sh
+
+# sweep-smoke runs the capacity-planning sweep through both front ends —
+# `predict -sweep` (twice, at different worker counts; byte-identical JSON
+# required) and picserve's POST /v1/optimize — and diffs the ranked
+# frontiers, which must agree exactly.
+sweep-smoke:
+	./scripts/sweep_smoke.sh

@@ -12,6 +12,7 @@
 // Endpoints:
 //
 //	POST /v1/predict      routed to the key's owning shard (see README)
+//	POST /v1/optimize     capacity-planning sweep, routed by the same key
 //	GET  /v1/membership   per-backend health, breaker, and traffic state
 //	GET  /v1/models       per-shard model registry views
 //	GET  /healthz         gate liveness

@@ -12,6 +12,7 @@
 // Endpoints:
 //
 //	POST /v1/predict   {"ranks":[1044,2088],"mapping":"bin","model":{"fast":true}}
+//	POST /v1/optimize  {"ranks":"512-8352:x2","machines":["quartz","vulcan"]} — capacity-planning sweep
 //	GET  /v1/models    the model registry's resident entries
 //	GET  /healthz      liveness (200 while the process runs)
 //	GET  /readyz       readiness (503 until serving and while draining)
@@ -47,6 +48,7 @@ func main() {
 		reqTO     = flag.Duration("request-timeout", 60*time.Second, "per-request deadline, queue wait included")
 		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound after SIGTERM")
 		modelCap  = flag.Int("models", 8, "model registry capacity (trained model sets held in the LRU)")
+		sweepWkrs = flag.Int("sweep-workers", 4, "per-request fan-out width of /v1/optimize sweeps")
 		totalEl   = flag.Int("total-elements", 16384, "default total spectral elements for requests that omit it")
 		gridN     = flag.Float64("n", 4, "default grid resolution per element")
 		filterEl  = flag.Float64("filter-elements", 1, "default filter size in element widths")
@@ -67,6 +69,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := cli.Positive("-models", *modelCap); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.Positive("-sweep-workers", *sweepWkrs); err != nil {
 		log.Fatal(err)
 	}
 	if err := cli.PositiveDuration("-request-timeout", *reqTO); err != nil {
@@ -93,6 +98,7 @@ func main() {
 		RequestTimeout: *reqTO,
 		DrainTimeout:   *drainTO,
 		ModelCapacity:  *modelCap,
+		SweepWorkers:   *sweepWkrs,
 		TotalElements:  *totalEl,
 		GridN:          *gridN,
 		FilterElements: *filterEl,
@@ -106,7 +112,8 @@ func main() {
 		"listen": *listen, "trace": *traceList, "workload": *wlList,
 		"workers": *workers, "queue": *queue,
 		"request_timeout": reqTO.String(), "drain_timeout": drainTO.String(),
-		"models": *modelCap, "total_elements": *totalEl, "n": *gridN,
+		"models": *modelCap, "sweep_workers": *sweepWkrs,
+		"total_elements": *totalEl, "n": *gridN,
 		"filter_elements": *filterEl, "machine": *machineNm,
 		"instance_id": srv.Instance(),
 	})

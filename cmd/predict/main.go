@@ -8,9 +8,19 @@
 // Usage:
 //
 //	predict -trace trace.bin -ranks 1044,2088,4176,8352 -filter 0.00428 -total-elements 16384 -n 4
+//
+// -sweep switches to capacity-planning mode: instead of one configuration
+// per rank count, it prices a whole (ranks × mapping × machine × model-kind)
+// grid through the sweep engine — sharing one workload build per rank count —
+// and reports the ranked frontier, the fastest configuration, and the
+// cost/performance knee:
+//
+//	predict -trace trace.bin -sweep -sweep-ranks 1044-8352:x2 -machines quartz,vulcan -json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +29,7 @@ import (
 	"picpredict"
 	"picpredict/internal/cli"
 	"picpredict/internal/obs"
+	"picpredict/internal/sweep"
 )
 
 func main() {
@@ -40,6 +51,16 @@ func main() {
 		fast      = flag.Bool("fast", false, "fast (less accurate) model training")
 		wallclock = flag.Bool("wallclock", false, "train models against wall-clock kernel executions")
 
+		sweepMode  = flag.Bool("sweep", false, "capacity-planning mode: price a configuration grid over -trace and report the ranked frontier")
+		sweepRanks = flag.String("sweep-ranks", "1044-8352:x2", "sweep rank-axis grid spec: INT or LO-HI[:xK|:+K], comma separated")
+		mappingsF  = flag.String("mappings", "bin", "sweep mapping axis, comma separated")
+		machinesF  = flag.String("machines", "quartz", "sweep machine axis, comma separated")
+		kindsF     = flag.String("model-kinds", "synthetic", "sweep model-kind axis: synthetic, wallclock, app")
+		costWeight = flag.Float64("cost-weight", 1, "sweep knee objective's cost weight (higher favours fewer ranks)")
+		topN       = flag.Int("top", 10, "sweep frontier rows to report")
+		jsonOut    = flag.Bool("json", false, "emit the sweep report as JSON")
+		sweepWkrs  = flag.Int("sweep-workers", 0, "sweep evaluation workers (0 takes the engine default)")
+
 		metricsPath = flag.String("metrics", "", "write a JSON run manifest (timings, counters, artefact checksums) to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
@@ -59,6 +80,43 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Sweep-mode grid flags, validated up front so a typo fails before any
+	// trace load or training run.
+	var grid sweep.Grid
+	if *sweepMode {
+		if *traceFile == "" {
+			log.Fatal("-sweep requires -trace (a sweep generates one workload per rank count)")
+		}
+		if *wlFile != "" {
+			log.Fatal("-sweep prices many rank counts; it cannot replay a single pre-generated -workload")
+		}
+		if *wallclock {
+			log.Fatal("-wallclock does not apply to -sweep; add wallclock to -model-kinds instead")
+		}
+		grid.Ranks, err = sweep.ParseRanks(*sweepRanks)
+		if err != nil {
+			log.Fatalf("-sweep-ranks: %v", err)
+		}
+		grid.Mappings, err = cli.ParseMappings("-mappings", *mappingsF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		grid.Machines, err = cli.ParseMachines("-machines", *machinesF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		grid.Kinds, err = cli.ParseModelKinds("-model-kinds", *kindsF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cli.NonNegative("-cost-weight", *costWeight); err != nil {
+			log.Fatal(err)
+		}
+		if *topN < 0 {
+			log.Fatalf("-top must not be negative, got %d", *topN)
+		}
+	}
+
 	ctx, stop := cli.Context()
 	defer stop()
 
@@ -72,7 +130,21 @@ func main() {
 		"mapping": *mappingF, "filter": *filter, "workers": *workers,
 		"total_elements": *totalEl, "n": *gridN, "filter_elements": *filterEl,
 		"machine": *machine, "noise": *noise, "fast": *fast, "wallclock": *wallclock,
+		"sweep": *sweepMode, "sweep_ranks": *sweepRanks, "mappings": *mappingsF,
+		"machines": *machinesF, "model_kinds": *kindsF,
+		"cost_weight": *costWeight, "top": *topN,
 	})
+
+	if *sweepMode {
+		runSweep(ctx, run, grid, sweepArgs{
+			traceFile: *traceFile, filter: *filter, filterEl: *filterEl,
+			totalEl: *totalEl, gridN: *gridN,
+			workers: *workers, sweepWorkers: *sweepWkrs,
+			costWeight: *costWeight, top: *topN,
+			fast: *fast, jsonOut: *jsonOut,
+		})
+		return
+	}
 
 	var tr *picpredict.Trace
 	var savedWl *picpredict.Workload
@@ -167,4 +239,102 @@ func main() {
 	if err := run.Finish(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// sweepArgs carries the -sweep mode's resolved flags into runSweep.
+type sweepArgs struct {
+	traceFile        string
+	filter, filterEl float64
+	totalEl          int
+	gridN            float64
+	workers          int // per-build workload-fill workers
+	sweepWorkers     int // evaluation fan-out (0 = engine default)
+	costWeight       float64
+	top              int
+	fast             bool
+	jsonOut          bool
+}
+
+// runSweep is the -sweep mode: one engine call over the grid, then either
+// the human table or a JSON document on stdout. It exits the process on
+// error, like the rest of the command.
+func runSweep(ctx context.Context, run *cli.Run, grid sweep.Grid, a sweepArgs) {
+	tr, err := cli.OpenTrace(a.traceFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !a.jsonOut {
+		fmt.Printf("trace: %d particles, %d frames\n", tr.NumParticles(), tr.Frames())
+	}
+	run.Reg.StageDone("load-input")
+
+	fe := a.filterEl
+	if fe == 0 {
+		fe = 1 // same default as the point-prediction path
+	}
+	res, err := sweep.Run(ctx, tr, grid, sweep.Options{
+		Filter:         a.filter,
+		BuildWorkers:   a.workers,
+		Workers:        a.sweepWorkers,
+		TotalElements:  a.totalEl,
+		GridN:          a.gridN,
+		FilterElements: fe,
+		CostWeight:     a.costWeight,
+		Top:            a.top,
+		Obs:            run.Reg,
+		Stages:         true,
+	}, func(_ context.Context, kind picpredict.ModelKind) (picpredict.Models, error) {
+		return picpredict.TrainModelsKind(kind, picpredict.TrainOptions{Seed: 1, Fast: a.fast})
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			log.Fatal("interrupted")
+		}
+		log.Fatal(err)
+	}
+
+	if a.jsonOut {
+		reportSweepJSON(tr, res)
+	} else {
+		reportSweepTable(res, a.costWeight)
+	}
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// reportSweepJSON writes the machine-readable sweep document: the smoke
+// harness diffs .sweep.frontier against the serving path's /v1/optimize.
+func reportSweepJSON(tr *picpredict.Trace, res *sweep.Result) {
+	out := struct {
+		Trace struct {
+			Particles int `json:"particles"`
+			Frames    int `json:"frames"`
+		} `json:"trace"`
+		Sweep *sweep.Result `json:"sweep"`
+	}{Sweep: res}
+	out.Trace.Particles = tr.NumParticles()
+	out.Trace.Frames = tr.Frames()
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// reportSweepTable prints the ranked frontier and the two headline picks.
+func reportSweepTable(res *sweep.Result, costWeight float64) {
+	fmt.Printf("sweep: %d configurations priced, %d shared workload builds\n\n",
+		res.Configs, res.SharedBuilds)
+	fmt.Printf("%8s %9s %8s %10s %14s %14s %7s\n",
+		"R", "mapping", "machine", "model", "predicted (s)", "cost (R*s)", "util")
+	for _, p := range res.Frontier {
+		fmt.Printf("%8d %9s %8s %10s %14.5g %14.5g %6.1f%%\n",
+			p.Ranks, p.Mapping, p.Machine, p.Kind, p.TotalSec, p.CostRankSec, 100*p.MeanUtilization)
+	}
+	f, k := res.Fastest, res.Knee
+	fmt.Printf("\nfastest: R=%-6d %s/%s/%s at %.5g s\n",
+		f.Ranks, f.Mapping, f.Machine, f.Kind, f.TotalSec)
+	fmt.Printf("knee:    R=%-6d %s/%s/%s at %.5g s (score %.4g at cost weight %g)\n",
+		k.Ranks, k.Mapping, k.Machine, k.Kind, k.TotalSec, res.KneeScore, costWeight)
 }

@@ -209,6 +209,88 @@ func ParseBackends(name, s string) ([]string, error) {
 	return out, nil
 }
 
+// ParseMappings parses a comma-separated mapping-axis list (the predict
+// -mappings sweep flag). Each entry must name a known mapping algorithm,
+// and duplicates are rejected rather than silently folded — a repeated
+// axis value is almost always a typo that would double-price every
+// configuration it touches.
+func ParseMappings(name, s string) ([]picpredict.MappingKind, error) {
+	seen := make(map[picpredict.MappingKind]bool)
+	var out []picpredict.MappingKind
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m, err := picpredict.ParseMappingKind(part)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("%s: duplicate mapping %q", name, m)
+		}
+		seen[m] = true
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: empty list", name)
+	}
+	return out, nil
+}
+
+// ParseModelKinds parses a comma-separated model-kind axis list (the
+// predict -model-kinds sweep flag), with the same duplicate rejection as
+// ParseMappings.
+func ParseModelKinds(name, s string) ([]picpredict.ModelKind, error) {
+	seen := make(map[picpredict.ModelKind]bool)
+	var out []picpredict.ModelKind
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := picpredict.ParseModelKind(part)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("%s: duplicate model kind %q", name, k)
+		}
+		seen[k] = true
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: empty list", name)
+	}
+	return out, nil
+}
+
+// ParseMachines parses a comma-separated target-machine axis list (the
+// predict -machines sweep flag), validating each entry against the known
+// machine presets and rejecting duplicates.
+func ParseMachines(name, s string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if _, err := picpredict.MachineByName(part); err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		if seen[part] {
+			return nil, fmt.Errorf("%s: duplicate machine %q", name, part)
+		}
+		seen[part] = true
+		out = append(out, part)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: empty list", name)
+	}
+	return out, nil
+}
+
 // PositiveDuration validates that a duration flag is positive.
 func PositiveDuration(name string, d time.Duration) error {
 	if d <= 0 {

@@ -317,3 +317,106 @@ func TestParseBackends(t *testing.T) {
 		})
 	}
 }
+
+// TestParseMappings pins the valid-path shape and error diagnostics of the
+// predict -mappings sweep axis, mirroring TestParseRanksErrorPaths.
+func TestParseMappings(t *testing.T) {
+	got, err := ParseMappings("-mappings", " bin, hilbert ,")
+	if err != nil || len(got) != 2 || got[0] != picpredict.MappingBin || got[1] != picpredict.MappingHilbert {
+		t.Fatalf("ParseMappings = %v, %v; want [bin hilbert]", got, err)
+	}
+
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error message
+	}{
+		{"empty string", "", "empty list"},
+		{"only separators", " , ,", "empty list"},
+		{"unknown", "zigzag", `unknown mapping "zigzag"`},
+		{"unknown in list", "bin,zigzag", `unknown mapping "zigzag"`},
+		{"duplicate", "bin,hilbert,bin", `duplicate mapping "bin"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseMappings("-mappings", c.in)
+			if err == nil {
+				t.Fatalf("ParseMappings(%q) accepted", c.in)
+			}
+			if !strings.Contains(err.Error(), "-mappings") {
+				t.Errorf("error %q does not name the flag", err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q missing %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestParseModelKinds pins the -model-kinds sweep axis diagnostics.
+func TestParseModelKinds(t *testing.T) {
+	got, err := ParseModelKinds("-model-kinds", "synthetic, wallclock")
+	if err != nil || len(got) != 2 || got[0] != picpredict.ModelSynthetic || got[1] != picpredict.ModelWallClock {
+		t.Fatalf("ParseModelKinds = %v, %v; want [synthetic wallclock]", got, err)
+	}
+
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty string", "", "empty list"},
+		{"only separators", " , ,", "empty list"},
+		{"unknown", "psychic", `unknown model kind "psychic"`},
+		{"unknown in list", "synthetic,psychic", `unknown model kind "psychic"`},
+		{"duplicate", "app,app", `duplicate model kind "app"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseModelKinds("-model-kinds", c.in)
+			if err == nil {
+				t.Fatalf("ParseModelKinds(%q) accepted", c.in)
+			}
+			if !strings.Contains(err.Error(), "-model-kinds") {
+				t.Errorf("error %q does not name the flag", err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q missing %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestParseMachines pins the -machines sweep axis diagnostics.
+func TestParseMachines(t *testing.T) {
+	got, err := ParseMachines("-machines", " quartz ,vulcan,, titan ")
+	if err != nil || len(got) != 3 || got[0] != "quartz" || got[1] != "vulcan" || got[2] != "titan" {
+		t.Fatalf("ParseMachines = %v, %v; want [quartz vulcan titan]", got, err)
+	}
+
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty string", "", "empty list"},
+		{"only separators", " , ,", "empty list"},
+		{"unknown", "cray", `unknown machine "cray"`},
+		{"unknown in list", "quartz,cray", `unknown machine "cray"`},
+		{"duplicate", "quartz,quartz", `duplicate machine "quartz"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseMachines("-machines", c.in)
+			if err == nil {
+				t.Fatalf("ParseMachines(%q) accepted", c.in)
+			}
+			if !strings.Contains(err.Error(), "-machines") {
+				t.Errorf("error %q does not name the flag", err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q missing %q", err, c.want)
+			}
+		})
+	}
+}

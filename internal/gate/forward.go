@@ -155,12 +155,13 @@ func (g *Gate) hedgeDelay() time.Duration {
 	return q
 }
 
-// forward drives one request through the replica chain: a primary attempt,
-// an optional hedge when the primary dawdles past the latency percentile,
-// and budgeted backoff retries while non-definitive results come back. It
-// returns nil when no breaker admitted a single attempt (the caller
-// degrades to 503), otherwise the winning — or least-bad — result.
-func (g *Gate) forward(ctx context.Context, chain []string, body []byte, rid string) *attemptResult {
+// forward drives one request through the replica chain: a primary attempt
+// POSTed to path on each backend, an optional hedge when the primary
+// dawdles past the latency percentile, and budgeted backoff retries while
+// non-definitive results come back. It returns nil when no breaker
+// admitted a single attempt (the caller degrades to 503), otherwise the
+// winning — or least-bad — result.
+func (g *Gate) forward(ctx context.Context, chain []string, path string, body []byte, rid string) *attemptResult {
 	// Buffered for every attempt that could ever launch, so abandoned
 	// attempt goroutines can always deliver and exit — no leaks.
 	maxAttempts := g.cfg.MaxRetries + 2 // primary + retries + one hedge
@@ -168,7 +169,7 @@ func (g *Gate) forward(ctx context.Context, chain []string, body []byte, rid str
 	launch := func(addr string, hedged, cacheOnly bool) {
 		backendCounter(g.reg, addr, "requests").Inc()
 		go func() {
-			r := g.attempt(ctx, addr, http.MethodPost, "/v1/predict", body, rid, cacheOnly)
+			r := g.attempt(ctx, addr, http.MethodPost, path, body, rid, cacheOnly)
 			r.hedged = hedged
 			results <- r
 		}()

@@ -4,10 +4,13 @@
 // members do.
 //
 // Routing keys mirror the shards' model-registry fingerprints — the fields
-// of a /v1/predict body that select a trained model (artefact name, model
-// kind, training options) hash to one owner plus a replica chain — so every
-// request for one model configuration lands on the same shard and the
-// cluster trains each configuration once, not once per shard.
+// of a /v1/predict or /v1/optimize body that select a trained model
+// (artefact name, model kind, training options) hash to one owner plus a
+// replica chain — so every request for one model configuration lands on
+// the same shard and the cluster trains each configuration once, not once
+// per shard. Capacity-planning sweeps (/v1/optimize) route through the
+// same keys, which is what lets a sweep warm the exact shard that later
+// point predicts for the same models will hit.
 //
 // Four mechanisms keep the gate answering while backends flap:
 //
@@ -121,6 +124,7 @@ func New(cfg Config) (*Gate, error) {
 	g.mux.HandleFunc("GET /v1/membership", g.handleMembership)
 	g.mux.HandleFunc("GET /v1/models", g.handleModels)
 	g.mux.HandleFunc("POST /v1/predict", g.handlePredict)
+	g.mux.HandleFunc("POST /v1/optimize", g.handleOptimize)
 	return g, nil
 }
 
@@ -210,7 +214,10 @@ type routeFields struct {
 	} `json:"model"`
 }
 
-// RouteKey derives the consistent-hash key for a predict body.
+// RouteKey derives the consistent-hash key for a routed request body.
+// Optimize bodies hash through the same fields — json.Unmarshal ignores
+// the grid axes it does not know — so a sweep and the point predicts for
+// the models it trains share one owner.
 func RouteKey(body []byte) (string, error) {
 	var rf routeFields
 	if err := json.Unmarshal(body, &rf); err != nil {
@@ -312,10 +319,21 @@ func (g *Gate) retryAfter() string {
 // MaxBytesReader limit.
 const maxPredictBody = 1 << 20
 
-// handlePredict is the routed hot path: derive the key, pick the replica
-// chain, forward with retries/hedging under the breakers, degrade to a
-// structured 503 when the chain is exhausted.
+// handlePredict is the routed hot path; handleOptimize routes sweeps
+// through the identical pipeline, so an optimize rides the same retries,
+// hedging, breakers, and degradation as the predicts it warms models for.
 func (g *Gate) handlePredict(w http.ResponseWriter, r *http.Request) {
+	g.route(w, r, "/v1/predict")
+}
+
+func (g *Gate) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	g.route(w, r, "/v1/optimize")
+}
+
+// route is the shared routed path: derive the key, pick the replica
+// chain, forward to path with retries/hedging under the breakers, degrade
+// to a structured 503 when the chain is exhausted.
+func (g *Gate) route(w http.ResponseWriter, r *http.Request, path string) {
 	rid := g.requestID(r)
 	w.Header().Set("X-Request-ID", rid)
 	if g.draining.Load() {
@@ -346,7 +364,7 @@ func (g *Gate) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
 	defer cancel()
-	res := g.forward(ctx, chain, body, rid)
+	res := g.forward(ctx, chain, path, body, rid)
 	if res == nil {
 		g.unavailable(w, rid, key, chain)
 		return

@@ -22,16 +22,17 @@ import (
 // are armed per test: fail500 makes the next N predicts answer 500, delay
 // slows predicts, down flips readiness.
 type fakeShard struct {
-	name     string
-	srv      *httptest.Server
-	addr     string
-	predicts atomic.Int64
-	fail500  atomic.Int64
-	fail429  atomic.Int64
-	cold     atomic.Bool  // decline cache-only attempts with 409
-	delay    atomic.Int64 // nanoseconds per predict
-	down     atomic.Bool
-	lastRID  atomic.Value // string
+	name      string
+	srv       *httptest.Server
+	addr      string
+	predicts  atomic.Int64
+	optimizes atomic.Int64
+	fail500   atomic.Int64
+	fail429   atomic.Int64
+	cold      atomic.Bool  // decline cache-only attempts with 409
+	delay     atomic.Int64 // nanoseconds per predict
+	down      atomic.Bool
+	lastRID   atomic.Value // string
 }
 
 func newFakeShard(t *testing.T, name string) *fakeShard {
@@ -78,6 +79,24 @@ func newWrappedShard(t *testing.T, name string, wrap func(http.Handler) http.Han
 		_, _ = io.Copy(io.Discard, r.Body)
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"shard":%q,"cache":"hit"}`, fs.name)
+	})
+	// /v1/optimize shares the predict failure knobs: the gate routes both
+	// paths through one pipeline, so the tests arm one set of faults.
+	mux.HandleFunc("POST /v1/optimize", func(w http.ResponseWriter, r *http.Request) {
+		fs.optimizes.Add(1)
+		fs.lastRID.Store(r.Header.Get("X-Request-ID"))
+		if fs.cold.Load() && r.Header.Get(cacheOnlyHeader) != "" {
+			http.Error(w, "model not resident", http.StatusConflict)
+			return
+		}
+		if fs.fail500.Load() > 0 {
+			fs.fail500.Add(-1)
+			http.Error(w, "induced failure", http.StatusInternalServerError)
+			return
+		}
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"shard":%q,"sweep":{"configs":24}}`, fs.name)
 	})
 	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, `{"shard":%q,"models":[]}`, fs.name)
@@ -167,7 +186,12 @@ func bodyOwnedBy(t *testing.T, g *Gate, addr string) []byte {
 
 func postPredict(t *testing.T, url string, body []byte, hdr map[string]string) *http.Response {
 	t.Helper()
-	req, err := http.NewRequest(http.MethodPost, url+"/v1/predict", bytes.NewReader(body))
+	return postPath(t, url, "/v1/predict", body, hdr)
+}
+
+func postPath(t *testing.T, url, path string, body []byte, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+path, bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,6 +280,80 @@ func TestGateRetryFailsOver(t *testing.T) {
 	// The failure stuck to the owner's ledger, not the winner's.
 	if v := backendCounter(g.reg, shards[0].addr, "failures").Value(); v < 1 {
 		t.Errorf("owner failure counter = %d, want ≥1", v)
+	}
+}
+
+// optimizeBody builds a /v1/optimize payload selecting the same models as
+// predictBody(seed), plus the sweep-only grid axes the router must ignore.
+func optimizeBody(seed int64) []byte {
+	return []byte(fmt.Sprintf(
+		`{"scenario":"heleshaw","ranks":"512-8352:x2","machines":["quartz","vulcan"],"top":5,"model":{"kind":"blend","fast":true,"seed":%d}}`, seed))
+}
+
+// TestGateOptimizePassThrough: /v1/optimize rides the same keyed pipeline
+// as /v1/predict — identical routing key for identical model fields (a
+// sweep warms the shard its point predicts will hit), verbatim response
+// pass-through, and failover when the owner faults.
+func TestGateOptimizePassThrough(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t, "a"), newFakeShard(t, "b"), newFakeShard(t, "c")}
+	g, front := newTestGate(t, fastTestConfig(shards...))
+
+	pKey, err := RouteKey(predictBody(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oKey, err := RouteKey(optimizeBody(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pKey != oKey {
+		t.Fatalf("optimize key %s != predict key %s for the same model fields — sweeps would warm the wrong shard", oKey, pKey)
+	}
+
+	owner := g.currentRing().owner(oKey)
+	resp := postPath(t, front.URL, "/v1/optimize", optimizeBody(7), nil)
+	out := drainClose(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize: status %d, body %s", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Picgate-Backend"); got != owner {
+		t.Errorf("optimize answered by %s, want key owner %s", got, owner)
+	}
+	var sr struct {
+		Shard string `json:"shard"`
+		Sweep struct {
+			Configs int `json:"configs"`
+		} `json:"sweep"`
+	}
+	if err := json.Unmarshal(out, &sr); err != nil || sr.Sweep.Configs != 24 {
+		t.Errorf("shard body not passed through verbatim: %s (err %v)", out, err)
+	}
+	var optimizes, predicts int64
+	for _, s := range shards {
+		optimizes += s.optimizes.Load()
+		predicts += s.predicts.Load()
+	}
+	if optimizes != 1 || predicts != 0 {
+		t.Errorf("fleet saw %d optimizes and %d predicts, want 1 and 0", optimizes, predicts)
+	}
+
+	// Owner faults mid-sweep: the optimize must fail over down the replica
+	// chain exactly like a predict.
+	for _, s := range shards {
+		if s.addr == owner {
+			s.fail500.Store(2)
+		}
+	}
+	resp = postPath(t, front.URL, "/v1/optimize", optimizeBody(7), nil)
+	out = drainClose(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize after owner fault: status %d, body %s — no failover", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Picgate-Backend"); got == owner {
+		t.Errorf("winner %s is the failing owner", got)
+	}
+	if v := g.reg.Counter(obs.GateRetries).Value(); v < 1 {
+		t.Errorf("gate.retries = %d, want ≥1", v)
 	}
 }
 

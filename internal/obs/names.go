@@ -46,6 +46,27 @@ const (
 	ServeTrainNs = "serve.model_train_ns"
 )
 
+// Canonical metric names of the capacity-planning sweep engine
+// (internal/sweep). The four phase timers partition one sweep's wall time:
+// enumerate + build + evaluate + rank ≈ elapsed.
+const (
+	// SweepEnumerateNs times grid expansion and validation.
+	SweepEnumerateNs = "sweep.enumerate_ns"
+	// SweepBuildNs times the shared workload builds (one per distinct
+	// (ranks, mapping) pair, whatever the config count).
+	SweepBuildNs = "sweep.build_ns"
+	// SweepEvaluateNs times the fan-out of per-config BSP evaluations.
+	SweepEvaluateNs = "sweep.evaluate_ns"
+	// SweepRankNs times frontier sorting, knee selection, and curve
+	// assembly.
+	SweepRankNs = "sweep.rank_ns"
+	// SweepConfigs counts evaluated configurations; SweepSharedBuilds
+	// counts the workload builds those configurations shared — the gap
+	// between the two is the work memoization saved.
+	SweepConfigs      = "sweep.configs"
+	SweepSharedBuilds = "sweep.shared_builds"
+)
+
 // Canonical metric names of the coordinator layer (internal/gate +
 // cmd/picgate). Per-backend counters additionally exist under the
 // GateBackendPrefix namespace: "gate.backend.<addr>.<kind>" with kind one of

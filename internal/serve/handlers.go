@@ -153,6 +153,22 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 // deadline, model registry lookup (training on miss), then one workload
 // generation + BSP replay per requested rank count.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.runAdmitted(w, r, func(ctx context.Context) (any, int, error) {
+		var req PredictRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err)
+		}
+		req.cacheOnly = r.Header.Get(CacheOnlyHeader) != ""
+		return s.predict(ctx, &req)
+	})
+}
+
+// runAdmitted funnels one request through the admission pipeline shared by
+// /v1/predict and /v1/optimize: shed at saturation (429 + Retry-After),
+// bound end to end by the request timeout, wait queued for a worker slot,
+// then map the execution error to its status family. fn both decodes and
+// executes the request under the worker slot.
+func (s *Server) runAdmitted(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) (any, int, error)) {
 	if s.draining.Load() {
 		writeError(w, r, http.StatusServiceUnavailable, "draining")
 		return
@@ -175,14 +191,6 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
-	var req PredictRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		s.reg.Counter(obs.ServeErrors).Inc()
-		writeError(w, r, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
-	req.cacheOnly = r.Header.Get(CacheOnlyHeader) != ""
-
 	// Wait (queued) for a worker slot.
 	if err := s.pool.acquireWork(ctx); err != nil {
 		s.reg.Counter(obs.ServeTimeouts).Inc()
@@ -191,7 +199,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.pool.releaseWork()
 
-	resp, status, err := s.predict(ctx, &req)
+	resp, status, err := fn(ctx)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -272,15 +280,9 @@ func (s *Server) predictTrace(ctx context.Context, req *PredictRequest, kind pic
 			return nil, http.StatusBadRequest, fmt.Errorf("rank count %d is not positive", r)
 		}
 	}
-	mapping := req.Mapping
-	if mapping == "" {
-		mapping = string(picpredict.MappingBin)
-	}
-	switch picpredict.MappingKind(mapping) {
-	case picpredict.MappingElement, picpredict.MappingBin, picpredict.MappingHilbert,
-		picpredict.MappingWeighted, picpredict.MappingOhHelp:
-	default:
-		return nil, http.StatusBadRequest, fmt.Errorf("unknown mapping %q (element, bin, hilbert, weighted, ohhelp)", mapping)
+	mapping, err := picpredict.ParseMappingKind(req.Mapping)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
 	}
 
 	models, hit, err := s.models(ctx, art.crc, kind, trainOpts, req.cacheOnly)
@@ -299,7 +301,7 @@ func (s *Server) predictTrace(ctx context.Context, req *PredictRequest, kind pic
 		}
 		q.Workload = picpredict.WorkloadOptions{
 			Ranks:         ranks,
-			Mapping:       picpredict.MappingKind(mapping),
+			Mapping:       mapping,
 			FilterRadius:  req.Filter,
 			RelaxedBins:   req.RelaxedBins,
 			MidpointSplit: req.MidpointSplit,

@@ -32,6 +32,10 @@ type Config struct {
 	// ModelCapacity bounds the model registry's LRU (default 8 trained
 	// model sets).
 	ModelCapacity int
+	// SweepWorkers is each /v1/optimize sweep's internal fan-out width
+	// (default 4). An optimize request still occupies exactly one admission
+	// worker slot — SweepWorkers trades that slot's latency against CPU.
+	SweepWorkers int
 
 	// TotalElements, GridN, FilterElements, and Machine are the platform
 	// defaults a request may omit (defaults 16384, 4, 1, quartz).
@@ -60,6 +64,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ModelCapacity < 1 {
 		c.ModelCapacity = 8
+	}
+	if c.SweepWorkers < 1 {
+		c.SweepWorkers = 4
 	}
 	if c.TotalElements <= 0 {
 		c.TotalElements = 16384
@@ -150,6 +157,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.handler = s.withRequestID(s.mux)
 	return s
 }

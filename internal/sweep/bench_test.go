@@ -1,0 +1,167 @@
+package sweep
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"picpredict"
+)
+
+// Paper-scale sweep benchmark: N_p = 599,257 particles (the §V population)
+// priced across the paper's rank axis 1044–8352 on all three machine models
+// with two model kinds — 24 configurations sharing 4 workload builds. The
+// Shared/Naive pair quantifies the engine's build memoization: Naive
+// rebuilds the workload for every configuration the way 24 standalone
+// /v1/predict calls would. Speedup = Naive ns/op ÷ Shared ns/op (≈ 6× when
+// builds dominate; the BENCH_pipeline.json target is ≥ 5×).
+// Run with: make bench-pipeline (writes BENCH_pipeline.json).
+const benchNp = 599257
+
+// benchTrace synthesises a two-frame paper-scale trace: the disc cloud of
+// the core fill benchmarks, drifted slightly between frames so the
+// communication matrices are non-trivial.
+func benchTrace(b *testing.B) *picpredict.Trace {
+	b.Helper()
+	rng := rand.New(rand.NewSource(71))
+	frames := 2
+	pos := make([][3]float64, 0, frames*benchNp)
+	base := make([][2]float64, benchNp)
+	for i := range base {
+		r := 0.45 * math.Sqrt(rng.Float64())
+		th := 2 * math.Pi * rng.Float64()
+		base[i] = [2]float64{0.5 + r*math.Cos(th), 0.5 + r*math.Sin(th)}
+	}
+	for k := 0; k < frames; k++ {
+		drift := 0.01 * float64(k)
+		for i := range base {
+			x := base[i][0] + drift
+			if x > 1 {
+				x = 1
+			}
+			pos = append(pos, [3]float64{x, base[i][1], 0})
+		}
+	}
+	tr, err := picpredict.NewTraceFromFrames(
+		[2][3]float64{{0, 0, 0}, {1, 1, 1}}, benchNp, 10, []int{0, 10}, pos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func benchGrid() Grid {
+	return Grid{
+		Ranks:    []int{1044, 2088, 4176, 8352},
+		Mappings: []picpredict.MappingKind{picpredict.MappingBin},
+		Machines: []string{"quartz", "vulcan", "titan"},
+		Kinds:    []picpredict.ModelKind{picpredict.ModelSynthetic, picpredict.ModelWallClock},
+	}
+}
+
+// benchModels pretrains one cheap model set per kind outside the timed
+// region — the benchmark measures the sweep's build sharing, not training.
+func benchModels(b *testing.B) ModelsFunc {
+	b.Helper()
+	byKind := make(map[picpredict.ModelKind]picpredict.Models, 2)
+	for i, k := range benchGrid().Kinds {
+		m, err := picpredict.TrainModels(picpredict.TrainOptions{Seed: int64(i + 1), Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		byKind[k] = m
+	}
+	return func(_ context.Context, k picpredict.ModelKind) (picpredict.Models, error) {
+		return byKind[k], nil
+	}
+}
+
+func benchOptions() Options {
+	return Options{
+		Filter:        0.004, // the §V projection filter
+		Workers:       4,
+		TotalElements: 216225,
+		GridN:         5,
+	}
+}
+
+// BenchmarkSweepPaperShared prices the grid through the engine: one
+// workload build per (ranks, mapping) pair, shared across machines and
+// kinds.
+func BenchmarkSweepPaperShared(b *testing.B) {
+	tr := benchTrace(b)
+	models := benchModels(b)
+	opts := benchOptions()
+	grid := benchGrid()
+	b.ResetTimer()
+	configs := 0
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), tr, grid, opts, models)
+		if err != nil {
+			b.Fatal(err)
+		}
+		configs = res.Configs
+	}
+	b.ReportMetric(float64(configs)*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+}
+
+// BenchmarkSweepPaperNaive prices the same grid the pre-sweep way: one
+// standalone PredictFromTrace per configuration (workload rebuilt every
+// time), fanned over the same worker pool width for a fair comparison.
+func BenchmarkSweepPaperNaive(b *testing.B) {
+	tr := benchTrace(b)
+	models := benchModels(b)
+	opts := benchOptions()
+	g, err := benchGrid().normalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var configs []Config
+	for _, r := range g.Ranks {
+		for _, m := range g.Mappings {
+			for _, mach := range g.Machines {
+				for _, k := range g.Kinds {
+					configs = append(configs, Config{Ranks: r, Mapping: m, Machine: mach, Kind: k})
+				}
+			}
+		}
+	}
+	machines := make(map[string]*picpredict.MachineSpec, len(g.Machines))
+	for _, name := range g.Machines {
+		m, err := picpredict.MachineByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		machines[name] = &m
+	}
+	modelByKind := make(map[picpredict.ModelKind]picpredict.Models, len(g.Kinds))
+	for _, k := range g.Kinds {
+		m, err := models(context.Background(), k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		modelByKind[k] = m
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := runPool(context.Background(), opts.Workers, len(configs), func(ctx context.Context, j int) error {
+			c := configs[j]
+			_, _, err := picpredict.PredictFromTrace(ctx, tr, modelByKind[c.Kind], picpredict.QueryOptions{
+				Workload: picpredict.WorkloadOptions{
+					Ranks:        c.Ranks,
+					Mapping:      c.Mapping,
+					FilterRadius: opts.Filter,
+				},
+				TotalElements: opts.TotalElements,
+				GridN:         opts.GridN,
+				Machine:       machines[c.Machine],
+			})
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(configs))*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+}

@@ -24,6 +24,12 @@ const (
 	ModelApp ModelKind = "app"
 )
 
+// ModelKinds lists every Model Generator variant a serving query may
+// select, default first.
+func ModelKinds() []ModelKind {
+	return []ModelKind{ModelSynthetic, ModelWallClock, ModelApp}
+}
+
 // ParseModelKind validates a model-kind string; empty means ModelSynthetic.
 func ParseModelKind(s string) (ModelKind, error) {
 	switch ModelKind(s) {

@@ -194,3 +194,23 @@ type meshParams struct {
 func domainOf(b geom.AABB) [2][3]float64 {
 	return [2][3]float64{{b.Lo.X, b.Lo.Y, b.Lo.Z}, {b.Hi.X, b.Hi.Y, b.Hi.Z}}
 }
+
+// MappingKinds lists every mapping algorithm the Dynamic Workload Generator
+// implements, in the §III presentation order.
+func MappingKinds() []MappingKind {
+	return []MappingKind{MappingElement, MappingBin, MappingHilbert, MappingWeighted, MappingOhHelp}
+}
+
+// ParseMappingKind validates a mapping-algorithm name; empty means
+// MappingBin (the paper's default). It is the one validation site behind the
+// serving layer, the sweep engine, and the cmd front ends.
+func ParseMappingKind(s string) (MappingKind, error) {
+	switch MappingKind(s) {
+	case "":
+		return MappingBin, nil
+	case MappingElement, MappingBin, MappingHilbert, MappingWeighted, MappingOhHelp:
+		return MappingKind(s), nil
+	default:
+		return "", fmt.Errorf("picpredict: unknown mapping %q (element, bin, hilbert, weighted, ohhelp)", s)
+	}
+}

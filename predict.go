@@ -43,6 +43,10 @@ func VulcanMachine() MachineSpec { return machineSpecOf(bsst.Vulcan()) }
 // TitanMachine returns the ORNL Titan machine model (ref [15]).
 func TitanMachine() MachineSpec { return machineSpecOf(bsst.Titan()) }
 
+// MachineNames lists the built-in target-system presets, default first —
+// the machine axis a capacity-planning sweep enumerates.
+func MachineNames() []string { return []string{"quartz", "vulcan", "titan"} }
+
 // MachineByName returns a preset by name: quartz, vulcan, or titan.
 func MachineByName(name string) (MachineSpec, error) {
 	m, ok := bsst.ByName(name)

@@ -83,6 +83,44 @@ func ReadTraceSalvaged(r io.Reader) (*Trace, *Salvage, error) {
 	return out, nil, nil
 }
 
+// NewTraceFromFrames builds an in-memory trace from raw frame data:
+// positions holds len(iterations)×np particle coordinates, frame-major.
+// It is the programmatic analogue of ReadTrace — synthetic populations,
+// externally-sourced traces, and benchmarks feed the Dynamic Workload
+// Generator without a simulation run or an artefact file. Element-based
+// mapping additionally needs WithMesh, exactly as for a file trace.
+func NewTraceFromFrames(domain [2][3]float64, np, sampleEvery int, iterations []int, positions [][3]float64) (*Trace, error) {
+	if np <= 0 {
+		return nil, fmt.Errorf("picpredict: trace needs a positive particle count, got %d", np)
+	}
+	if sampleEvery <= 0 {
+		return nil, fmt.Errorf("picpredict: trace needs a positive sampling interval, got %d", sampleEvery)
+	}
+	if len(iterations) == 0 {
+		return nil, errors.New("picpredict: trace needs at least one frame")
+	}
+	if len(positions) != np*len(iterations) {
+		return nil, fmt.Errorf("picpredict: %d frames of %d particles need %d positions, got %d",
+			len(iterations), np, np*len(iterations), len(positions))
+	}
+	lo := geom.V(domain[0][0], domain[0][1], domain[0][2])
+	hi := geom.V(domain[1][0], domain[1][1], domain[1][2])
+	if !(lo.X < hi.X && lo.Y < hi.Y && lo.Z <= hi.Z) {
+		return nil, fmt.Errorf("picpredict: degenerate trace domain %v", domain)
+	}
+	pos := make([]geom.Vec3, len(positions))
+	for i, p := range positions {
+		pos[i] = geom.V(p[0], p[1], p[2])
+	}
+	return &Trace{
+		domain:      geom.Box(lo, hi),
+		np:          np,
+		sampleEvery: sampleEvery,
+		iterations:  append([]int(nil), iterations...),
+		positions:   pos,
+	}, nil
+}
+
 // WithMesh attaches the spectral-element grid (ex×ey×ez elements, n³ grid
 // points each) the application ran on — required for element-based and
 // Hilbert mapping of a trace loaded with ReadTrace.
