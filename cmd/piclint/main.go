@@ -1,6 +1,7 @@
-// Command piclint runs the project's static-analysis suite: five analyzers
-// enforcing the determinism, error-handling, and context contracts the
-// prediction pipeline's guarantees rest on (see internal/analysis).
+// Command piclint runs the project's static-analysis suite: ten analyzers
+// enforcing the determinism, error-handling, context, concurrency, and
+// serving contracts the prediction pipeline's guarantees rest on (see
+// internal/analysis).
 //
 // Usage:
 //
@@ -39,6 +40,16 @@ func main() {
 		showSuppressed = flag.Bool("show-suppressed", false, "also print findings waived by //lint:allow directives")
 		list           = flag.Bool("list", false, "list the available analyzers and exit")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: piclint [-json] [-analyzers name,name] [-show-suppressed] [-list] [packages]\n\n"+
+				"Runs the piclint analyzer suite over the matched packages (default ./...).\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nExit status:\n"+
+			"  0  the tree is clean (every finding, if any, is waived by //lint:allow)\n"+
+			"  1  at least one unsuppressed finding was reported\n"+
+			"  2  usage or load error (unknown analyzer, unparseable package)\n")
+	}
 	flag.Parse()
 
 	if *list {

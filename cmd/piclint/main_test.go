@@ -14,8 +14,8 @@ func TestSelectAnalyzers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 5 {
-		t.Fatalf("default selection: want the 5-analyzer suite, got %d", len(all))
+	if len(all) != 10 {
+		t.Fatalf("default selection: want the 10-analyzer suite, got %d", len(all))
 	}
 
 	some, err := selectAnalyzers("floatcmp, determinism")
@@ -87,6 +87,30 @@ func TestReportJSON(t *testing.T) {
 	}
 	if rep.Findings[0].File != "a.go" || rep.Findings[0].Analyzer != "floatcmp" {
 		t.Fatalf("finding wrong: %+v", rep.Findings[0])
+	}
+
+	// -show-suppressed must serialise the waiver reason: the JSON audit
+	// artifact is how CI reviews the escape hatches in use, and a
+	// suppression without its reason is unreviewable.
+	buf.Reset()
+	Report(&buf, sample(), true, true)
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("-json -show-suppressed output invalid: %v\n%s", err, buf.String())
+	}
+	if len(rep.Findings) != 2 {
+		t.Fatalf("-show-suppressed must include waived findings: %+v", rep)
+	}
+	var waived *framework.Finding
+	for i := range rep.Findings {
+		if rep.Findings[i].Suppressed {
+			waived = &rep.Findings[i]
+		}
+	}
+	if waived == nil || waived.Reason != "obs timing" {
+		t.Fatalf("suppressed finding must carry its waiver reason, got %+v", waived)
+	}
+	if !strings.Contains(buf.String(), `"reason"`) {
+		t.Fatalf("JSON output missing the reason field:\n%s", buf.String())
 	}
 
 	// A clean run must still emit a well-formed envelope.

@@ -2,7 +2,7 @@
 // checks that enforce the coding contracts behind the framework's
 // reproducibility and durability guarantees.
 //
-// The five analyzers, and the contract each one enforces:
+// The ten analyzers, and the contract each one enforces:
 //
 //   - determinism — simulation/generator packages accumulate no floats and
 //     build no result slices in map iteration order, and read no ambient
@@ -17,6 +17,24 @@
 //     forwards it; the pipeline's cancellation contract depends on it.
 //   - obsnil — internal/obs state is only reached through its nil-safe
 //     method API, and registries are built with obs.New.
+//   - goleak — goroutines launched in the long-lived serving packages
+//     (serve, gate, pipeline, sweep) carry a visible termination contract:
+//     a context, a WaitGroup, or a channel the owner controls.
+//   - locksafe — a Mutex/RWMutex acquired in a function is released on
+//     every return and panic path (CFG must-analysis), and lock-bearing
+//     structs are never passed by value.
+//   - poolflow — a value taken from a pool (sync.Pool or a Get/Put free
+//     list) is Put back or escapes on every exit path, and is never
+//     touched after Put.
+//   - atomicmix — a field or variable accessed through sync/atomic is
+//     never also read or written plainly; mixed access is a data race.
+//   - httpclient — in the HTTP-speaking packages, response bodies are
+//     closed, requests carry context deadlines, and 429/503 responses set
+//     Retry-After on every path.
+//
+// The last five run on the framework's intraprocedural engine: a
+// per-function control-flow graph and a forward dataflow fixpoint, shared
+// across analyzers through the per-package fact store.
 //
 // Deliberate violations carry a `//lint:allow <analyzer> <reason>` comment
 // on the offending line or the line above; the reason is mandatory and
@@ -24,21 +42,31 @@
 package analysis
 
 import (
+	"picpredict/internal/analysis/atomicmix"
 	"picpredict/internal/analysis/closecheck"
 	"picpredict/internal/analysis/ctxflow"
 	"picpredict/internal/analysis/determinism"
 	"picpredict/internal/analysis/floatcmp"
 	"picpredict/internal/analysis/framework"
+	"picpredict/internal/analysis/goleak"
+	"picpredict/internal/analysis/httpclient"
+	"picpredict/internal/analysis/locksafe"
 	"picpredict/internal/analysis/obsnil"
+	"picpredict/internal/analysis/poolflow"
 )
 
 // All returns the full piclint analyzer suite in reporting order.
 func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
+		atomicmix.Analyzer,
 		closecheck.Analyzer,
 		ctxflow.Analyzer,
 		determinism.Analyzer,
 		floatcmp.Analyzer,
+		goleak.Analyzer,
+		httpclient.Analyzer,
+		locksafe.Analyzer,
 		obsnil.Analyzer,
+		poolflow.Analyzer,
 	}
 }

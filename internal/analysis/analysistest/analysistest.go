@@ -71,6 +71,28 @@ func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgPaths ...strin
 	}
 }
 
+// Findings loads one golden package and returns every finding the analyzer
+// produces, suppressed ones included. Tests use it when they assert on the
+// finding payload itself (suppression reasons, JSON round-trips) rather
+// than on want comments.
+func Findings(t *testing.T, testdata string, a *framework.Analyzer, pkgPath string) []framework.Finding {
+	t.Helper()
+	l := newLoader(t, filepath.Join(testdata, "src"))
+	pkg := l.load(pkgPath)
+	findings, err := framework.Analyze(&framework.Package{
+		Path:      pkgPath,
+		Dir:       pkg.dir,
+		Fset:      l.fset,
+		Files:     pkg.files,
+		Types:     pkg.types,
+		TypesInfo: pkg.info,
+	}, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analyzing %s: %v", pkgPath, err)
+	}
+	return findings
+}
+
 // expectation is one `// want` regexp at a file line.
 type expectation struct {
 	file string

@@ -1,0 +1,142 @@
+// Package atomicmix flags words that are touched through sync/atomic in one
+// place and with plain loads/stores in another. Mixing the two is a data
+// race even when every *write* is atomic: the plain read is free to tear,
+// be cached, or be reordered, and the race detector only catches the
+// interleavings a test happens to schedule.
+//
+// Pass one collects every field or package-level variable whose address is
+// passed to a sync/atomic function. Pass two re-walks the package and
+// reports any other access to those objects outside an atomic call.
+// Identity is the types.Object of the field or variable, so `s.n` in one
+// method and `other.n` in another both count — the field is the unit of
+// the discipline, not the instance.
+//
+// The one legitimate mixed shape — a constructor initialising the word
+// before the value is published to any other goroutine — is invisible
+// intraprocedurally; waive it with //lint:allow atomicmix naming the
+// publication point. Typed atomics (atomic.Int64 and friends) never trip
+// the analyzer, which is itself an argument for migrating to them.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"picpredict/internal/analysis/framework"
+)
+
+// Analyzer flags plain accesses to words that are elsewhere accessed via
+// sync/atomic.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag plain access to fields/vars that are accessed via sync/atomic elsewhere in the package",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	// Pass one: objects whose address reaches a sync/atomic call.
+	atomicAt := make(map[types.Object][]token.Pos)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := framework.PkgFuncCall(pass.TypesInfo, call, "sync/atomic"); !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := refObj(pass, un.X); obj != nil {
+					atomicAt[obj] = append(atomicAt[obj], un.Pos())
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return nil, nil
+	}
+	for _, posns := range atomicAt {
+		sort.Slice(posns, func(i, j int) bool { return posns[i] < posns[j] })
+	}
+
+	// Pass two: every other mention is a plain access.
+	reported := make(map[token.Pos]bool)
+	report := func(e ast.Expr, obj types.Object) {
+		posns := atomicAt[obj]
+		if len(posns) == 0 || reported[e.Pos()] {
+			return
+		}
+		reported[e.Pos()] = true
+		first := pass.Fset.Position(posns[0])
+		pass.Reportf(e.Pos(),
+			"%s is accessed with sync/atomic at %s:%d but plainly here; mixed atomic and plain access to the same word is a data race — use the atomic API (or a typed atomic) everywhere",
+			framework.ExprString(e), filepathBase(first.Filename), first.Line)
+	}
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Inside an atomic call everything is sanctioned; skip the
+			// whole subtree so &s.n does not read as a plain mention.
+			if _, ok := framework.PkgFuncCall(pass.TypesInfo, n, "sync/atomic"); ok {
+				return false
+			}
+		case *ast.SelectorExpr:
+			if obj := refObj(pass, n); obj != nil {
+				report(n, obj)
+			}
+			// The base may itself mention tracked state (s.a.n): walk it,
+			// but not the Sel ident, which would double-report.
+			ast.Inspect(n.X, visit)
+			return false
+		case *ast.Ident:
+			if obj := refObj(pass, n); obj != nil {
+				report(n, obj)
+			}
+		}
+		return true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, visit)
+	}
+	return nil, nil
+}
+
+// refObj resolves e to the field or variable object it names, or nil.
+func refObj(pass *framework.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+			return nil
+		}
+		// Qualified package-level variable (pkg.V).
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func filepathBase(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			return p[i+1:]
+		}
+	}
+	return p
+}

@@ -23,8 +23,8 @@ func TestRepoClean(t *testing.T) {
 		t.Fatalf("loader found only %d packages; pattern resolution looks broken", len(pkgs))
 	}
 	analyzers := analysis.All()
-	if len(analyzers) != 5 {
-		t.Fatalf("expected the 5-analyzer suite, got %d", len(analyzers))
+	if len(analyzers) != 10 {
+		t.Fatalf("expected the 10-analyzer suite, got %d", len(analyzers))
 	}
 	for _, pkg := range pkgs {
 		findings, err := framework.Analyze(pkg, analyzers)

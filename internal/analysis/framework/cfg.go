@@ -1,0 +1,478 @@
+package framework
+
+import (
+	"go/ast"
+)
+
+// This file is the PR-9 upgrade of the framework from per-node AST
+// inspection to a lightweight intraprocedural engine: a per-function
+// control-flow graph over the parsed syntax, and a generic forward
+// dataflow fixpoint over it. It deliberately mirrors the shape of
+// golang.org/x/tools/go/cfg (basic blocks hold only "simple" nodes;
+// compound statements are decomposed into blocks and edges) so analyzers
+// written against it can migrate when a vendored x/tools is available.
+//
+// Approximations, chosen to keep the engine dependency-free and fast:
+//
+//   - goto edges go conservatively to Exit (the repo bans goto in
+//     practice; a used goto at worst produces a waivable false positive);
+//   - a `range` head contributes only the ranged expression as a node
+//     (the induction-variable assignment is implicit, as in x/tools);
+//   - explicit panic(...) gets an edge to Exit because deferred calls
+//     still run on that path; os.Exit / log.Fatal* / runtime.Goexit /
+//     (*testing.T).Fatal* terminate with no Exit edge — nothing in the
+//     function observes the state after them.
+
+// Block is one basic block: a maximal run of simple statements and
+// decomposed expressions (branch conditions, switch tags, select comms)
+// executed in order, followed by zero or more successor edges.
+//
+// Nodes never contain nested statement bodies — an *ast.IfStmt contributes
+// its Init and Cond here and its branches become successor blocks — with
+// one exception analyzers must handle: a node may be an *ast.DeferStmt or
+// *ast.GoStmt whose call (possibly a function literal) runs on its own
+// schedule. WalkShallow exists for transfer functions that must not treat
+// closure bodies as executing in place.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry is where
+// execution starts; Exit is a synthetic empty block joined by every
+// return, every explicit panic, and the fall-off-the-end path.
+//
+// A block with Exit among its successors ends the function; its cause is
+// the block's last node when that is an *ast.ReturnStmt or a panic call
+// statement, and an implicit return otherwise.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// NewCFG builds the control-flow graph of body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{}
+	b := &builder{cfg: c, labels: make(map[string]*labelTarget)}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	if end := b.stmts(body.List, c.Entry, flowCtx{}); end != nil {
+		b.edge(end, c.Exit)
+	}
+	return c
+}
+
+// ReturnsExit reports whether b ends the function (Exit is a successor).
+func (c *CFG) ReturnsExit(b *Block) bool {
+	for _, s := range b.Succs {
+		if s == c.Exit {
+			return true
+		}
+	}
+	return false
+}
+
+// labelTarget holds the break/continue destinations of one labeled
+// statement.
+type labelTarget struct {
+	brk  *Block
+	cont *Block
+}
+
+// flowCtx carries the innermost break/continue targets and the fallthrough
+// destination while building.
+type flowCtx struct {
+	brk  *Block // innermost break target (loop, switch, or select join)
+	cont *Block // innermost continue target (loop head or post block)
+	ft   *Block // next case clause, inside a switch clause body
+}
+
+type builder struct {
+	cfg    *CFG
+	labels map[string]*labelTarget
+	// pendingLabel names the label wrapping the statement about to be
+	// built, so loop/switch builders can register their targets under it.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// registerLabel binds the pending label (if any) to the given targets.
+func (b *builder) registerLabel(brk, cont *Block) string {
+	name := b.pendingLabel
+	b.pendingLabel = ""
+	if name != "" {
+		b.labels[name] = &labelTarget{brk: brk, cont: cont}
+	}
+	return name
+}
+
+// stmts builds list into cur and returns the block control flows out of,
+// or nil when every path terminates (return, panic, break, ...).
+func (b *builder) stmts(list []ast.Stmt, cur *Block, fc flowCtx) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after a terminator: build it into a fresh
+			// predecessor-less block so its nodes still exist (and stay
+			// invisible to the fixpoint, which only visits reachable
+			// blocks).
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur, fc)
+	}
+	return cur
+}
+
+func (b *builder) stmt(s ast.Stmt, cur *Block, fc flowCtx) *Block {
+	switch n := s.(type) {
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, n)
+		b.edge(cur, b.cfg.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branch(n, cur, fc)
+
+	case *ast.LabeledStmt:
+		switch n.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = n.Label.Name
+			return b.stmt(n.Stmt, cur, fc)
+		default:
+			// Labeled plain statement or block: a labeled break jumps past
+			// it.
+			join := b.newBlock()
+			b.labels[n.Label.Name] = &labelTarget{brk: join}
+			if end := b.stmt(n.Stmt, cur, fc); end != nil {
+				b.edge(end, join)
+			}
+			return join
+		}
+
+	case *ast.IfStmt:
+		if n.Init != nil {
+			cur = b.stmt(n.Init, cur, fc)
+		}
+		cur.Nodes = append(cur.Nodes, n.Cond)
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(cur, then)
+		if end := b.stmts(n.Body.List, then, fc); end != nil {
+			b.edge(end, join)
+		}
+		if n.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els)
+			if end := b.stmt(n.Else, els, fc); end != nil {
+				b.edge(end, join)
+			}
+		} else {
+			b.edge(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if n.Init != nil {
+			cur = b.stmt(n.Init, cur, fc)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if n.Cond != nil {
+			head.Nodes = append(head.Nodes, n.Cond)
+		}
+		join := b.newBlock()
+		cont := head
+		if n.Post != nil {
+			cont = b.newBlock()
+			post := b.stmt(n.Post, cont, flowCtx{})
+			b.edge(post, head)
+		}
+		b.registerLabel(join, cont)
+		if n.Cond != nil {
+			b.edge(head, join)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		if end := b.stmts(n.Body.List, body, flowCtx{brk: join, cont: cont, ft: nil}); end != nil {
+			b.edge(end, cont)
+		}
+		return join
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(cur, head)
+		head.Nodes = append(head.Nodes, n.X)
+		join := b.newBlock()
+		b.registerLabel(join, head)
+		b.edge(head, join)
+		body := b.newBlock()
+		b.edge(head, body)
+		if end := b.stmts(n.Body.List, body, flowCtx{brk: join, cont: head}); end != nil {
+			b.edge(end, head)
+		}
+		return join
+
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			cur = b.stmt(n.Init, cur, fc)
+		}
+		if n.Tag != nil {
+			cur.Nodes = append(cur.Nodes, n.Tag)
+		}
+		return b.clauses(n.Body.List, cur, fc, nil)
+
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			cur = b.stmt(n.Init, cur, fc)
+		}
+		cur.Nodes = append(cur.Nodes, n.Assign)
+		return b.clauses(n.Body.List, cur, fc, nil)
+
+	case *ast.SelectStmt:
+		// Every clause (default included) is a successor; with no default
+		// the select blocks until a case fires, so there is no head-to-join
+		// edge.
+		join := b.newBlock()
+		b.registerLabel(join, fc.cont)
+		for _, cl := range n.Body.List {
+			comm := cl.(*ast.CommClause)
+			cb := b.newBlock()
+			b.edge(cur, cb)
+			if comm.Comm != nil {
+				cb.Nodes = append(cb.Nodes, comm.Comm)
+			}
+			if end := b.stmts(comm.Body, cb, flowCtx{brk: join, cont: fc.cont}); end != nil {
+				b.edge(end, join)
+			}
+		}
+		return join
+
+	case *ast.BlockStmt:
+		return b.stmts(n.List, cur, fc)
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, n)
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			switch classifyTerminator(call) {
+			case termPanic:
+				b.edge(cur, b.cfg.Exit) // deferred calls still run
+				return nil
+			case termNoReturn:
+				return nil // process is gone; no one observes this path
+			}
+		}
+		return cur
+
+	default:
+		// Simple statements: assignments, declarations, sends, inc/dec,
+		// defer, go, empty.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// clauses builds the case clauses of a switch/type-switch sharing head cur.
+func (b *builder) clauses(list []ast.Stmt, cur *Block, fc flowCtx, _ *Block) *Block {
+	join := b.newBlock()
+	b.registerLabel(join, fc.cont)
+	entries := make([]*Block, len(list))
+	for i := range list {
+		entries[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, raw := range list {
+		cl := raw.(*ast.CaseClause)
+		cb := entries[i]
+		b.edge(cur, cb)
+		for _, e := range cl.List {
+			cb.Nodes = append(cb.Nodes, e)
+		}
+		if cl.List == nil {
+			hasDefault = true
+		}
+		var ft *Block
+		if i+1 < len(entries) {
+			ft = entries[i+1]
+		}
+		if end := b.stmts(cl.Body, cb, flowCtx{brk: join, cont: fc.cont, ft: ft}); end != nil {
+			b.edge(end, join)
+		}
+	}
+	if !hasDefault {
+		b.edge(cur, join)
+	}
+	return join
+}
+
+func (b *builder) branch(n *ast.BranchStmt, cur *Block, fc flowCtx) *Block {
+	cur.Nodes = append(cur.Nodes, n)
+	switch n.Tok.String() {
+	case "break":
+		var to *Block
+		if n.Label != nil {
+			if lbl := b.labels[n.Label.Name]; lbl != nil {
+				to = lbl.brk
+			}
+		} else {
+			to = fc.brk
+		}
+		if to != nil {
+			b.edge(cur, to)
+		}
+		return nil
+	case "continue":
+		var to *Block
+		if n.Label != nil {
+			if lbl := b.labels[n.Label.Name]; lbl != nil {
+				to = lbl.cont
+			}
+		} else {
+			to = fc.cont
+		}
+		if to != nil {
+			b.edge(cur, to)
+		}
+		return nil
+	case "fallthrough":
+		if fc.ft != nil {
+			b.edge(cur, fc.ft)
+		}
+		return nil
+	default: // goto: conservative edge to Exit
+		b.edge(cur, b.cfg.Exit)
+		return nil
+	}
+}
+
+// terminator classification for call statements.
+type termKind int
+
+const (
+	termNone termKind = iota
+	termPanic
+	termNoReturn
+)
+
+// classifyTerminator recognises, syntactically, calls after which control
+// does not continue: the panic builtin (deferred calls still run, so the
+// path reaches Exit) and the process/goroutine enders (no Exit edge).
+func classifyTerminator(call *ast.CallExpr) termKind {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			return termPanic
+		}
+	case *ast.SelectorExpr:
+		recv, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return termNone
+		}
+		switch {
+		case recv.Name == "os" && fun.Sel.Name == "Exit",
+			recv.Name == "runtime" && fun.Sel.Name == "Goexit",
+			recv.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"),
+			fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "FailNow":
+			return termNoReturn
+		}
+	}
+	return termNone
+}
+
+// Flow is a forward dataflow problem over a CFG. Transfer must be a pure
+// function of its inputs — it is re-applied freely during the fixpoint and
+// the reporting walk, so it must not mutate the incoming state (copy on
+// write). Join combines the states of converging paths: set-union for a
+// may-analysis, intersection (or boolean AND) for a must-analysis. The
+// lattice must be finite for the fixpoint to terminate.
+type Flow[S any] struct {
+	Transfer func(n ast.Node, s S) S
+	Join     func(a, b S) S
+	Equal    func(a, b S) bool
+	Entry    S
+}
+
+// Solve runs the forward fixpoint and returns the in-state of every block
+// reachable from the entry. Unreachable blocks have no map entry.
+func Solve[S any](c *CFG, f Flow[S]) map[*Block]S {
+	in := map[*Block]S{c.Entry: f.Entry}
+	work := []*Block{c.Entry}
+	queued := map[*Block]bool{c.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		s := in[b]
+		for _, n := range b.Nodes {
+			s = f.Transfer(n, s)
+		}
+		for _, succ := range b.Succs {
+			ns := s
+			if old, ok := in[succ]; ok {
+				ns = f.Join(old, s)
+				if f.Equal(ns, old) {
+					continue
+				}
+			}
+			in[succ] = ns
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// WalkStates replays the transfer function over every reachable block,
+// invoking visit with each node and the dataflow state immediately before
+// it — the reporting pass that follows a Solve.
+func WalkStates[S any](c *CFG, in map[*Block]S, transfer func(ast.Node, S) S, visit func(b *Block, n ast.Node, pre S)) {
+	for _, b := range c.Blocks {
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		for _, n := range b.Nodes {
+			visit(b, n, s)
+			s = transfer(n, s)
+		}
+	}
+}
+
+// BlockOut folds transfer over b's nodes starting from in — the state on
+// b's outgoing edges.
+func BlockOut[S any](b *Block, in S, transfer func(ast.Node, S) S) S {
+	s := in
+	for _, n := range b.Nodes {
+		s = transfer(n, s)
+	}
+	return s
+}
+
+// WalkShallow walks n like ast.Inspect but does not descend into function
+// literals: the statements of a nested closure execute on the closure's
+// own schedule (a goroutine, a defer, a stored callback), not at the point
+// the literal appears in the enclosing function's flow.
+func WalkShallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(m)
+	})
+}

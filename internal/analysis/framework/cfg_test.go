@@ -1,0 +1,297 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses src (a file body) and returns the named function's body.
+func parseFunc(t *testing.T, src, name string) *ast.BlockStmt {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "cfg.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd.Body
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// exitBlocks returns the reachable blocks that edge into Exit.
+func exitBlocks(c *CFG, reach map[*Block]bool) []*Block {
+	var out []*Block
+	for _, b := range c.Blocks {
+		if reach != nil && !reach[b] {
+			continue
+		}
+		if b != c.Exit && c.ReturnsExit(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// reachable runs a trivial solve to get the reachable-block set.
+func reachable(c *CFG) map[*Block]bool {
+	in := Solve(c, Flow[bool]{
+		Transfer: func(ast.Node, bool) bool { return true },
+		Join:     func(a, b bool) bool { return a || b },
+		Equal:    func(a, b bool) bool { return a == b },
+		Entry:    true,
+	})
+	out := make(map[*Block]bool, len(in))
+	for b := range in {
+		out[b] = true
+	}
+	return out
+}
+
+func TestCFGBranchesAndReturns(t *testing.T) {
+	body := parseFunc(t, `
+func f(a bool) int {
+	if a {
+		return 1
+	}
+	return 2
+}`, "f")
+	c := NewCFG(body)
+	reach := reachable(c)
+	exits := exitBlocks(c, reach)
+	if len(exits) != 2 {
+		t.Fatalf("want 2 return blocks, got %d", len(exits))
+	}
+	for _, b := range exits {
+		if _, ok := b.Nodes[len(b.Nodes)-1].(*ast.ReturnStmt); !ok {
+			t.Errorf("exit block %d does not end in a return", b.Index)
+		}
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	body := parseFunc(t, `
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`, "f")
+	c := NewCFG(body)
+	// The loop head must be its own ancestor (a back edge exists).
+	reach := reachable(c)
+	var head *Block
+	for _, b := range c.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if be, ok := n.(ast.Expr); ok {
+				if bin, ok := be.(*ast.BinaryExpr); ok && bin.Op == token.LSS {
+					head = b
+				}
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("loop-head block (holding the condition) not found")
+	}
+	seen := map[*Block]bool{}
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if s == head || walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if !walk(head) {
+		t.Error("no back edge to the loop head")
+	}
+}
+
+// TestCFGUnreachableAfterReturn pins that statements after a terminator
+// stay out of the reachable set.
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	body := parseFunc(t, `
+func f() int {
+	return 1
+	panic("dead")
+}`, "f")
+	c := NewCFG(body)
+	reach := reachable(c)
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" && reach[b] {
+						t.Error("statement after return is reachable")
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCFGMustAnalysis runs a must-style boolean dataflow ("was set() called
+// on every path before use()?") across branch shapes: a both-arms set is
+// definite, a one-arm set is not.
+func TestCFGMustAnalysis(t *testing.T) {
+	src := `
+func both(c bool) {
+	if c {
+		set()
+	} else {
+		set()
+	}
+	use()
+}
+func oneArm(c bool) {
+	if c {
+		set()
+	}
+	use()
+}
+func set() {}
+func use() {}`
+
+	isCall := func(n ast.Node, name string) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+	run := func(fn string) bool {
+		c := NewCFG(parseFunc(t, src, fn))
+		in := Solve(c, Flow[bool]{
+			Transfer: func(n ast.Node, s bool) bool {
+				if isCall(n, "set") {
+					return true
+				}
+				return s
+			},
+			Join:  func(a, b bool) bool { return a && b },
+			Equal: func(a, b bool) bool { return a == b },
+		})
+		definite := true
+		WalkStates(c, in, func(n ast.Node, s bool) bool {
+			if isCall(n, "set") {
+				return true
+			}
+			return s
+		}, func(_ *Block, n ast.Node, pre bool) {
+			if isCall(n, "use") && !pre {
+				definite = false
+			}
+		})
+		return definite
+	}
+
+	if !run("both") {
+		t.Error("set() on both arms must be definite at use()")
+	}
+	if run("oneArm") {
+		t.Error("set() on one arm must not be definite at use()")
+	}
+}
+
+// TestCFGSelectAndSwitch smoke-tests the clause shapes: every clause is a
+// successor and the function still reaches Exit.
+func TestCFGSelectAndSwitch(t *testing.T) {
+	body := parseFunc(t, `
+func f(ch chan int, mode int) int {
+	switch mode {
+	case 1:
+		return 1
+	case 2:
+	default:
+		return 3
+	}
+	select {
+	case v := <-ch:
+		return v
+	case ch <- 0:
+	}
+	return 0
+}`, "f")
+	c := NewCFG(body)
+	reach := reachable(c)
+	if !reach[c.Exit] {
+		t.Fatal("Exit unreachable")
+	}
+	if got := len(exitBlocks(c, reach)); got != 4 {
+		t.Errorf("want 4 function-ending blocks (3 returns + final), got %d", got)
+	}
+}
+
+// TestCFGDeferIsANode pins that defer statements surface as plain nodes so
+// transfer functions can register deferred cleanups.
+func TestCFGDeferIsANode(t *testing.T) {
+	body := parseFunc(t, `
+func f() {
+	defer done()
+	work()
+}
+func done() {}
+func work() {}`, "f")
+	c := NewCFG(body)
+	found := false
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("defer statement missing from block nodes")
+	}
+}
+
+// TestWalkShallow pins that closure bodies are not walked in place.
+func TestWalkShallow(t *testing.T) {
+	f, err := parser.ParseFile(token.NewFileSet(), "x.go", `package p
+func f() {
+	outer()
+	g := func() { inner() }
+	g()
+}
+func outer() {}
+func inner() {}`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	WalkShallow(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				names = append(names, id.Name)
+			}
+		}
+		return true
+	})
+	joined := strings.Join(names, ",")
+	if strings.Contains(joined, "inner") {
+		t.Errorf("WalkShallow descended into a function literal: %v", names)
+	}
+	if !strings.Contains(joined, "outer") {
+		t.Errorf("WalkShallow missed a top-level call: %v", names)
+	}
+}

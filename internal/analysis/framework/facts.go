@@ -1,0 +1,142 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Facts is the per-package blackboard one Analyze call shares across every
+// analyzer in the suite. It exists for two things:
+//
+//   - memoised CFGs: the concurrency analyzers (goleak, locksafe,
+//     poolflow, httpclient) all want the control-flow graph of the same
+//     function bodies, and building it once per package instead of once
+//     per analyzer keeps the whole-repo run fast;
+//   - named cross-analyzer facts: an analyzer can publish what it learned
+//     (Set) for later analyzers in the suite to consume (Get) — analyzers
+//     run in the order the driver lists them, so a consumer must be
+//     ordered after its producer.
+//
+// A Facts value is scoped to one package and one Analyze call; nothing in
+// it leaks across packages.
+type Facts struct {
+	cfgs map[*ast.BlockStmt]*CFG
+	vals map[string]any
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts {
+	return &Facts{
+		cfgs: make(map[*ast.BlockStmt]*CFG),
+		vals: make(map[string]any),
+	}
+}
+
+// CFG returns the memoised control-flow graph of body, building it on
+// first use.
+func (f *Facts) CFG(body *ast.BlockStmt) *CFG {
+	if c, ok := f.cfgs[body]; ok {
+		return c
+	}
+	c := NewCFG(body)
+	f.cfgs[body] = c
+	return c
+}
+
+// Set publishes a named fact for analyzers running later in the suite.
+func (f *Facts) Set(key string, v any) { f.vals[key] = v }
+
+// Get retrieves a fact published by an earlier analyzer.
+func (f *Facts) Get(key string) (any, bool) {
+	v, ok := f.vals[key]
+	return v, ok
+}
+
+// CFGOf returns the (package-shared) control-flow graph of body.
+func (p *Pass) CFGOf(body *ast.BlockStmt) *CFG {
+	if p.Facts == nil {
+		p.Facts = NewFacts()
+	}
+	return p.Facts.CFG(body)
+}
+
+// FuncBodies visits every function body in the pass's files — declared
+// functions and methods first, then every function literal (in source
+// order) — handing each to visit together with a display name for
+// diagnostics. Bodies are what the CFG analyzers iterate over: a closure
+// has its own control flow, distinct from its enclosing function's.
+func (p *Pass) FuncBodies(visit func(name string, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visit(fd.Name.Name, fd.Body)
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					visit(name+" (func literal)", lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// NamedType reports whether t (after unwrapping one pointer) is the named
+// type pkgPath.name.
+func NamedType(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// MethodCallee resolves call to the *types.Func it invokes when call is a
+// method call (sel.X.Sel(...)), along with the selector.
+func MethodCallee(info *types.Info, call *ast.CallExpr) (*types.Func, *ast.SelectorExpr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, nil, false
+	}
+	return fn, sel, true
+}
+
+// PkgFuncCall reports whether call invokes the package-level function
+// pkgPath.name (e.g. sync/atomic.AddInt64, net/http.NewRequest).
+func PkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	// Must be a package selector, not a method on a value named like the
+	// package.
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, isPkgName := info.Uses[id].(*types.PkgName); !isPkgName {
+		return "", false
+	}
+	return fn.Name(), true
+}

@@ -37,7 +37,9 @@ type Analyzer struct {
 }
 
 // Pass is the interface between one analyzer and one package: the parsed
-// syntax, the type information, and the Report sink.
+// syntax, the type information, and the Report sink. Facts is shared by
+// every analyzer the driver runs over the package — memoised CFGs and
+// named cross-analyzer facts (see Facts).
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -45,6 +47,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+	Facts     *Facts
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
@@ -96,6 +99,7 @@ func Analyze(pkg *Package, analyzers []*Analyzer, extraKnown ...string) ([]Findi
 	}
 	findings := sup.Malformed(known)
 
+	facts := NewFacts()
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -103,6 +107,7 @@ func Analyze(pkg *Package, analyzers []*Analyzer, extraKnown ...string) ([]Findi
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			Facts:     facts,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {

@@ -33,22 +33,68 @@ type Suppressions struct {
 	all    []*directive
 }
 
+// Directive is the parsed form of one //lint:allow comment, as returned
+// by ParseDirective. A well-formed directive has a non-empty Analyzer and
+// Reason; a malformed one (missing reason, bare prefix) has both empty and
+// Raw carrying whatever followed the prefix.
+type Directive struct {
+	Analyzer string
+	Reason   string
+	Raw      string
+}
+
+// ParseDirective parses a comment's text against the suppression grammar
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// ok reports whether comment is a //lint:allow directive at all (malformed
+// or not); a comment without the prefix is not a directive and returns
+// ok=false. The parse is what CollectSuppressions applies to every comment
+// in a package, and what FuzzSuppressionDirective hammers: it must never
+// panic, and a directive that parses without an analyzer name must also
+// parse without a reason — the "malformed, surfaces as a finding" state.
+func ParseDirective(comment string) (Directive, bool) {
+	text, found := strings.CutPrefix(comment, "//lint:allow")
+	if !found {
+		return Directive{}, false
+	}
+	d := Directive{Raw: strings.TrimSpace(text)}
+	// A directive glued to its analyzer name ("//lint:allowfoo bar") is not
+	// the documented grammar; treat it as malformed rather than guessing.
+	if text != "" && !startsWithSpace(text) {
+		return d, true
+	}
+	fields := strings.Fields(text)
+	if len(fields) >= 2 {
+		d.Analyzer = fields[0]
+		d.Reason = strings.Join(fields[1:], " ")
+	}
+	return d, true
+}
+
+func startsWithSpace(s string) bool {
+	switch s[0] {
+	case ' ', '\t', '\n', '\r', '\v', '\f':
+		return true
+	}
+	return false
+}
+
 // CollectSuppressions parses every //lint:allow directive in files.
 func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 	s := &Suppressions{byLine: make(map[string]map[int][]*directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				pd, ok := ParseDirective(c.Text)
 				if !ok {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				d := &directive{file: pos.Filename, line: pos.Line, raw: strings.TrimSpace(text), pos: c.Pos()}
-				fields := strings.Fields(text)
-				if len(fields) >= 2 {
-					d.analyzer = fields[0]
-					d.reason = strings.Join(fields[1:], " ")
+				d := &directive{
+					file: pos.Filename, line: pos.Line,
+					analyzer: pd.Analyzer, reason: pd.Reason,
+					raw: pd.Raw, pos: c.Pos(),
 				}
 				lines := s.byLine[d.file]
 				if lines == nil {

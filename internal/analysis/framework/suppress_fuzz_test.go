@@ -1,0 +1,65 @@
+package framework
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSuppressionDirective hammers the //lint:allow parser with hostile
+// comment text. The parser sits in front of every suppression decision the
+// suite makes, so its invariants are load-bearing:
+//
+//   - it never panics, whatever bytes arrive;
+//   - a comment without the exact prefix is not a directive;
+//   - a directive with no analyzer has no reason either (the malformed
+//     state that surfaces as a piclint finding — a directive must never
+//     parse into "suppresses something, explains nothing");
+//   - a parsed analyzer name contains no whitespace, so it can round-trip
+//     through Fields-based tooling;
+//   - parsing is deterministic.
+func FuzzSuppressionDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//lint:allow determinism collect-then-sort keeps output stable",
+		"//lint:allow floatcmp",                      // missing reason
+		"//lint:allow",                               // bare prefix
+		"//lint:allow   ",                            // whitespace only
+		"//lint:allowdeterminism glued prefix",       // glued analyzer name
+		"//lint:allow closecheck reason with\r\nCRLF",// CRLF in reason
+		"//lint:allow ctxflow причина по-русски",     // Unicode reason
+		"//lint:allow анализатор unicode analyzer",   // Unicode analyzer name
+		"//lint:allow obsnil\ttab separated reason",
+		"// lint:allow determinism spaced prefix is not a directive",
+		"//lint:deny determinism wrong verb",
+		"//lint:allow x y",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, comment string) {
+		d, ok := ParseDirective(comment)
+		d2, ok2 := ParseDirective(comment)
+		if d != d2 || ok != ok2 {
+			t.Fatalf("parse is not deterministic: %+v/%v vs %+v/%v", d, ok, d2, ok2)
+		}
+		if !ok {
+			if strings.HasPrefix(comment, "//lint:allow") {
+				t.Fatalf("comment with the directive prefix not recognised: %q", comment)
+			}
+			if d != (Directive{}) {
+				t.Fatalf("non-directive returned content: %+v", d)
+			}
+			return
+		}
+		if !strings.HasPrefix(comment, "//lint:allow") {
+			t.Fatalf("recognised a directive without the prefix: %q", comment)
+		}
+		if d.Analyzer == "" && d.Reason != "" {
+			t.Fatalf("malformed directive (no analyzer) carries a reason: %+v", d)
+		}
+		if strings.ContainsAny(d.Analyzer, " \t\n\r\v\f") {
+			t.Fatalf("analyzer name contains whitespace: %q", d.Analyzer)
+		}
+		if d.Analyzer != "" && d.Reason == "" {
+			t.Fatalf("analyzer parsed without a reason: %+v (reason-less directives must stay malformed)", d)
+		}
+	})
+}

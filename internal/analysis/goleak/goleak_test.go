@@ -1,0 +1,13 @@
+package goleak_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"picpredict/internal/analysis/analysistest"
+	"picpredict/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), goleak.Analyzer, "picpredict/internal/pipeline")
+}

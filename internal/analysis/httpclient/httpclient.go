@@ -1,0 +1,287 @@
+// Package httpclient enforces the HTTP hygiene the gateway and server tiers
+// depend on, in the packages that actually speak HTTP (gate, serve,
+// chaosnet, and the cmd/ binaries):
+//
+//   - every call returning (*http.Response, error) must have its Body
+//     closed somewhere in the function — a leaked body pins the underlying
+//     connection and starves the client's pool under load. Responses
+//     discarded into `_` or dropped as bare statements can never be closed
+//     and are reported outright;
+//   - requests must carry a context deadline: http.NewRequest (use
+//     NewRequestWithContext) and the package-level http.Get/Post/PostForm/
+//     Head convenience calls (default client, no deadline) are flagged —
+//     a hedged gateway that cannot cancel its slow leg is not hedging;
+//   - a 429 or 503 written to a client — via WriteHeader, http.Error, or
+//     any local helper handed both the ResponseWriter and the constant
+//     status — must be preceded by a Retry-After header on every path
+//     (CFG must-analysis): the shed/drain responses are the backpressure
+//     protocol, and without the header well-behaved clients retry blind.
+//
+// Probes and tests that talk to loopback listeners torn down with the test
+// are legitimate exceptions: waive them with //lint:allow httpclient and
+// say which listener bounds the call.
+package httpclient
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"picpredict/internal/analysis/framework"
+)
+
+// Analyzer flags unclosed response bodies, deadline-less requests, and
+// throttle responses without Retry-After.
+var Analyzer = &framework.Analyzer{
+	Name: "httpclient",
+	Doc:  "flag unclosed response bodies, requests without context deadlines, and 429/503 writes missing Retry-After",
+	Run:  run,
+}
+
+// scoped limits the analyzer to the packages that speak HTTP.
+func scoped(pkg string) bool {
+	switch pkg {
+	case "picpredict/internal/gate",
+		"picpredict/internal/serve",
+		"picpredict/internal/chaosnet":
+		return true
+	}
+	return len(pkg) > len("picpredict/cmd/") && pkg[:len("picpredict/cmd/")] == "picpredict/cmd/"
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if !scoped(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkBodyClose(pass, fd.Body)
+			}
+		}
+		checkDeadlines(pass, f)
+	}
+	pass.FuncBodies(func(name string, body *ast.BlockStmt) {
+		checkRetryAfter(pass, body)
+	})
+	return nil, nil
+}
+
+// checkBodyClose requires a Body.Close for every response obtained in the
+// function. The scan is whole-function and deep — a Close inside a deferred
+// closure counts — because the contract is "closed before the function's
+// work is done", not "closed in the same block".
+func checkBodyClose(pass *framework.Pass, body *ast.BlockStmt) {
+	// Every expression whose .Body gets a Close call, keyed by its
+	// rendered form ("resp", "res").
+	closed := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return true
+		}
+		bodySel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || bodySel.Sel.Name != "Body" {
+			return true
+		}
+		closed[framework.ExprString(bodySel.X)] = true
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 || len(n.Lhs) == 0 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !returnsResponse(pass, call) {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(),
+					"response discarded into _: its Body can never be closed, which pins the connection; bind the response and close the body")
+			} else if !closed[id.Name] {
+				pass.Reportf(call.Pos(),
+					"response body of %s is never closed in this function; an unclosed body pins the connection and starves the client pool",
+					id.Name)
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && returnsResponse(pass, call) {
+				pass.Reportf(call.Pos(),
+					"response dropped as a bare statement: its Body is never closed, which pins the connection")
+			}
+		}
+		return true
+	})
+}
+
+// returnsResponse reports whether call's type is (*http.Response, error) —
+// client methods, the package helpers, and hand-rolled wrappers all match.
+func returnsResponse(pass *framework.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	tuple, ok := tv.Type.(*types.Tuple)
+	if !ok || tuple.Len() != 2 {
+		return false
+	}
+	if !framework.NamedType(tuple.At(0).Type(), "net/http", "Response") {
+		return false
+	}
+	return types.Identical(tuple.At(1).Type(), types.Universe.Lookup("error").Type())
+}
+
+// checkDeadlines flags request constructions that cannot carry a deadline.
+func checkDeadlines(pass *framework.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := framework.PkgFuncCall(pass.TypesInfo, call, "net/http")
+		if !ok {
+			return true
+		}
+		switch name {
+		case "NewRequest":
+			pass.Reportf(call.Pos(),
+				"http.NewRequest builds a request without a context: use http.NewRequestWithContext so the call can carry a deadline and be cancelled")
+		case "Get", "Post", "PostForm", "Head":
+			pass.Reportf(call.Pos(),
+				"http.%s uses the default client with no context deadline: a hung server hangs this call forever; build a request with NewRequestWithContext and a client with a timeout",
+				name)
+		}
+		return true
+	})
+}
+
+// checkRetryAfter runs the must-analysis: at every WriteHeader(429|503) or
+// http.Error(w, _, 429|503), a Retry-After header must have been set on
+// every path in.
+func checkRetryAfter(pass *framework.Pass, body *ast.BlockStmt) {
+	// Cheap pre-scan: no throttle-status write, no analysis.
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if code, ok := throttleWrite(pass, call); ok && code != 0 {
+				found = true
+			}
+		}
+		return !found
+	})
+	if !found {
+		return
+	}
+
+	cfg := pass.CFGOf(body)
+	transfer := func(n ast.Node, s bool) bool {
+		out := s
+		framework.WalkShallow(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok && setsRetryAfter(pass, call) {
+				out = true
+			}
+			return true
+		})
+		return out
+	}
+	in := framework.Solve(cfg, framework.Flow[bool]{
+		Transfer: transfer,
+		Join:     func(a, b bool) bool { return a && b },
+		Equal:    func(a, b bool) bool { return a == b },
+	})
+	reported := make(map[ast.Node]bool)
+	framework.WalkStates(cfg, in, transfer, func(_ *framework.Block, n ast.Node, pre bool) {
+		if pre || reported[n] {
+			return
+		}
+		framework.WalkShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if code, ok := throttleWrite(pass, call); ok {
+				reported[n] = true
+				pass.Reportf(call.Pos(),
+					"%d response written without a Retry-After header on every path in: shed and drain responses are the backpressure protocol, and clients without the header retry blind",
+					code)
+			}
+			return true
+		})
+	})
+}
+
+// throttleWrite matches a write of a throttle status and returns the code:
+// w.WriteHeader(429|503) directly, or any call that hands both an
+// http.ResponseWriter and a constant 429/503 to a helper — which covers
+// http.Error and the serving tier's local writeJSON/writeError wrappers
+// alike.
+func throttleWrite(pass *framework.Pass, call *ast.CallExpr) (int64, bool) {
+	if fn, _, ok := framework.MethodCallee(pass.TypesInfo, call); ok {
+		if fn.Name() == "WriteHeader" && fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && len(call.Args) == 1 {
+			if code, ok := intConst(pass, call.Args[0]); ok && (code == 429 || code == 503) {
+				return code, true
+			}
+			return 0, false
+		}
+	}
+	hasWriter := false
+	var code int64
+	for _, arg := range call.Args {
+		if framework.NamedType(pass.TypesInfo.TypeOf(arg), "net/http", "ResponseWriter") {
+			hasWriter = true
+		}
+		if c, ok := intConst(pass, arg); ok && (c == 429 || c == 503) {
+			code = c
+		}
+	}
+	if hasWriter && code != 0 {
+		return code, true
+	}
+	return 0, false
+}
+
+// setsRetryAfter matches Header().Set/Add("Retry-After", ...).
+func setsRetryAfter(pass *framework.Pass, call *ast.CallExpr) bool {
+	fn, _, ok := framework.MethodCallee(pass.TypesInfo, call)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+		return false
+	}
+	if fn.Name() != "Set" && fn.Name() != "Add" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !framework.NamedType(sig.Recv().Type(), "net/http", "Header") {
+		return false
+	}
+	if len(call.Args) < 1 {
+		return false
+	}
+	key, ok := strConst(pass, call.Args[0])
+	return ok && key == "Retry-After"
+}
+
+func intConst(pass *framework.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+func strConst(pass *framework.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,13 @@
+package httpclient_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"picpredict/internal/analysis/analysistest"
+	"picpredict/internal/analysis/httpclient"
+)
+
+func TestHTTPClient(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), httpclient.Analyzer, "picpredict/internal/gate")
+}

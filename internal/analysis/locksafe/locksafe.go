@@ -1,0 +1,338 @@
+// Package locksafe enforces the mutex discipline the serving tier's
+// correctness rests on, using the framework's per-function CFG and a
+// forward dataflow fixpoint rather than per-node inspection:
+//
+//   - a sync.Mutex/RWMutex acquired in a function must be released on
+//     every path out of it — an early return (or explicit panic) between
+//     Lock and Unlock leaves the lock held forever, and the next caller
+//     deadlocks. The classic shape is a `defer mu.Unlock()` placed after a
+//     conditional early return;
+//   - lock state must never be copied by value: a parameter, result, or
+//     receiver whose struct type contains a mutex duplicates the lock
+//     word, and the copy guards nothing.
+//
+// The held-lock analysis is a must-analysis (paths are joined by
+// intersection), so a lock held on only one arm of a branch does not
+// produce a finding at the merged return — correlated-branch code stays
+// clean, at the cost of missing some single-path leaks. Helper functions
+// that intentionally return holding a lock (release in a sibling) are
+// intraprocedural blind spots: waive them with a reasoned //lint:allow.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"picpredict/internal/analysis/framework"
+)
+
+// Analyzer flags locks that can leak out of a function and lock values
+// copied by value.
+var Analyzer = &framework.Analyzer{
+	Name: "locksafe",
+	Doc:  "flag Mutex/RWMutex leaks on return/panic paths and locks copied by value",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	pass.FuncBodies(func(name string, body *ast.BlockStmt) {
+		checkBody(pass, name, body)
+	})
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				checkCopies(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// lockState is the dataflow fact: the set of locks definitely held at a
+// program point, and the set with a deferred unlock already registered.
+// Keys are the rendered lock expression ("g.mu", "m.mu:r" for read locks),
+// values the acquisition position (for reporting and deduplication).
+type lockState struct {
+	held     map[string]token.Pos
+	deferred map[string]token.Pos
+}
+
+func (s lockState) clone() lockState {
+	ns := lockState{
+		held:     make(map[string]token.Pos, len(s.held)),
+		deferred: make(map[string]token.Pos, len(s.deferred)),
+	}
+	for k, v := range s.held {
+		ns.held[k] = v
+	}
+	for k, v := range s.deferred {
+		ns.deferred[k] = v
+	}
+	return ns
+}
+
+func intersect(a, b map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos)
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func equalKeys(a, b map[string]token.Pos) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// checkBody runs the held-locks must-analysis over one function body.
+func checkBody(pass *framework.Pass, name string, body *ast.BlockStmt) {
+	// Cheap pre-scan: no lock acquisition, no analysis.
+	hasLock := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, _, ok := lockOp(pass, call); ok {
+				hasLock = true
+			}
+		}
+		return !hasLock
+	})
+	if !hasLock {
+		return
+	}
+
+	cfg := pass.CFGOf(body)
+	transfer := func(n ast.Node, s lockState) lockState {
+		return transferNode(pass, n, s)
+	}
+	in := framework.Solve(cfg, framework.Flow[lockState]{
+		Transfer: transfer,
+		Join: func(a, b lockState) lockState {
+			return lockState{held: intersect(a.held, b.held), deferred: intersect(a.deferred, b.deferred)}
+		},
+		Equal: func(a, b lockState) bool {
+			return equalKeys(a.held, b.held) && equalKeys(a.deferred, b.deferred)
+		},
+		Entry: lockState{held: map[string]token.Pos{}, deferred: map[string]token.Pos{}},
+	})
+
+	// One finding per acquisition site, at the Lock call, naming the first
+	// offending exit.
+	type leak struct {
+		lock string
+		exit token.Pos
+	}
+	reported := make(map[token.Pos]leak)
+	record := func(s lockState, exitPos token.Pos) {
+		for lock, lockPos := range s.held {
+			if _, ok := s.deferred[lock]; ok {
+				continue
+			}
+			if _, ok := reported[lockPos]; !ok {
+				reported[lockPos] = leak{lock: lock, exit: exitPos}
+			}
+		}
+	}
+
+	framework.WalkStates(cfg, in, transfer, func(b *framework.Block, n ast.Node, pre lockState) {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			record(pre, n.Pos())
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					record(pre, n.Pos())
+				}
+			}
+		}
+	})
+	// Implicit return: blocks that edge into Exit without ending in a
+	// return or panic.
+	for _, b := range cfg.Blocks {
+		s, reach := in[b]
+		if !reach || !cfg.ReturnsExit(b) {
+			continue
+		}
+		if len(b.Nodes) > 0 {
+			switch last := b.Nodes[len(b.Nodes)-1].(type) {
+			case *ast.ReturnStmt:
+				continue
+			case *ast.ExprStmt:
+				if call, ok := last.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						continue
+					}
+				}
+			}
+		}
+		record(framework.BlockOut(b, s, transfer), body.Rbrace)
+	}
+
+	locks := make([]token.Pos, 0, len(reported))
+	for pos := range reported {
+		locks = append(locks, pos)
+	}
+	sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
+	for _, pos := range locks {
+		l := reported[pos]
+		exit := pass.Fset.Position(l.exit)
+		pass.Reportf(pos,
+			"%s is locked here but %s can exit at line %d with the lock still held and no deferred unlock; release it on every path or defer the unlock immediately",
+			displayLock(l.lock), name, exit.Line)
+	}
+}
+
+// transferNode applies one CFG node to the lock state.
+func transferNode(pass *framework.Pass, n ast.Node, s lockState) lockState {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		// A deferred unlock covers every subsequent exit. Both forms count:
+		// defer mu.Unlock() and defer func() { ...mu.Unlock()... }().
+		out := s
+		visit := func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if lock, isAcquire, ok := lockOp(pass, call); ok && !isAcquire {
+					if _, held := out.held[lock]; held {
+						if _, already := out.deferred[lock]; !already {
+							out = out.clone()
+							out.deferred[lock] = d.Pos()
+						}
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(d.Call, visit)
+		return out
+	}
+
+	out := s
+	framework.WalkShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		lock, isAcquire, ok := lockOp(pass, call)
+		if !ok {
+			return true
+		}
+		out = out.clone()
+		if isAcquire {
+			out.held[lock] = call.Pos()
+		} else {
+			delete(out.held, lock)
+			delete(out.deferred, lock)
+		}
+		return true
+	})
+	return out
+}
+
+// lockOp classifies call as a lock acquisition or release on a
+// sync.Mutex/RWMutex and returns the lock's identity key. Read locks get a
+// distinct key so an RLock is not satisfied by an Unlock.
+func lockOp(pass *framework.Pass, call *ast.CallExpr) (lock string, acquire, ok bool) {
+	fn, sel, ok := framework.MethodCallee(pass.TypesInfo, call)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false, false
+	}
+	if !framework.NamedType(recv.Type(), "sync", "Mutex") && !framework.NamedType(recv.Type(), "sync", "RWMutex") {
+		return "", false, false
+	}
+	key := framework.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock":
+		return key, true, true
+	case "Unlock":
+		return key, false, true
+	case "RLock":
+		return key + ":r", true, true
+	case "RUnlock":
+		return key + ":r", false, true
+	}
+	return "", false, false
+}
+
+func displayLock(key string) string {
+	if len(key) > 2 && key[len(key)-2:] == ":r" {
+		return key[:len(key)-2] + ".RLock()"
+	}
+	return key + ".Lock()"
+}
+
+// checkCopies flags signature elements that copy lock state: a value
+// receiver, parameter, or result whose type contains a sync.Mutex or
+// sync.RWMutex.
+func checkCopies(pass *framework.Pass, fd *ast.FuncDecl) {
+	report := func(kind string, field *ast.Field) {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			return
+		}
+		if path, ok := containsLock(t, nil); ok {
+			pass.Reportf(field.Pos(),
+				"%s passes lock by value: %s contains %s; the copy's lock guards nothing — pass a pointer",
+				kind, t.String(), path)
+		}
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			report("receiver", f)
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			report("parameter", f)
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			report("result", f)
+		}
+	}
+}
+
+// containsLock reports whether t (not through pointers, maps, slices, or
+// channels — those share, not copy) embeds a sync.Mutex/RWMutex, returning
+// a display path to the offending component.
+func containsLock(t types.Type, seen []types.Type) (string, bool) {
+	for _, s := range seen {
+		if types.Identical(s, t) {
+			return "", false
+		}
+	}
+	seen = append(seen, t)
+	if framework.NamedType(t, "sync", "Mutex") {
+		return "sync.Mutex", true
+	}
+	if framework.NamedType(t, "sync", "RWMutex") {
+		return "sync.RWMutex", true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if path, ok := containsLock(f.Type(), seen); ok {
+				return f.Name() + "." + path, true
+			}
+		}
+	case *types.Array:
+		if path, ok := containsLock(u.Elem(), seen); ok {
+			return "[...]" + path, true
+		}
+	}
+	return "", false
+}

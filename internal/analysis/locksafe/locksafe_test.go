@@ -1,0 +1,13 @@
+package locksafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"picpredict/internal/analysis/analysistest"
+	"picpredict/internal/analysis/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), locksafe.Analyzer, "locksafe/a")
+}

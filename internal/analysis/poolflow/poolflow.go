@@ -1,0 +1,384 @@
+// Package poolflow checks object-pool discipline on the framework CFG. The
+// hot paths lean on sync.Pool and hand-rolled free lists to keep steady-state
+// allocation flat; both fail quietly when misused:
+//
+//   - a value obtained from a pool's Get must be returned with Put on every
+//     path out of the function, or escape to an owner who will (returned,
+//     sent on a channel, stored into a field, or handed to another call).
+//     A Get dropped on an early-return path is not a crash — it is a slow
+//     reversion to malloc churn that only shows up in allocation profiles;
+//   - a value must not be touched after Put: the pool may have already
+//     handed it to another goroutine, and the "works on my machine" data
+//     race that follows is exactly what the nightly -race job exists to
+//     miss less often.
+//
+// The leak side is a may-analysis (union join): a value still live on any
+// path into an exit is reported, because the conditional early return is
+// precisely the shape that leaks. Deliberate drops (oversized buffers culled
+// from the pool) carry a //lint:allow poolflow waiver naming the policy.
+package poolflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"picpredict/internal/analysis/framework"
+)
+
+// Analyzer flags pool values dropped on an exit path or used after Put.
+var Analyzer = &framework.Analyzer{
+	Name: "poolflow",
+	Doc:  "flag pool Get without Put/escape on every exit path, and uses of a value after Put",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	pass.FuncBodies(func(name string, body *ast.BlockStmt) {
+		checkBody(pass, name, body)
+	})
+	return nil, nil
+}
+
+// poolState tracks, per variable name: values live from a pool Get, values
+// with a deferred Put registered, and values already returned to the pool.
+type poolState struct {
+	live     map[string]token.Pos // var -> Get position
+	deferred map[string]bool
+	released map[string]token.Pos // var -> Put position
+}
+
+func (s poolState) clone() poolState {
+	ns := poolState{
+		live:     make(map[string]token.Pos, len(s.live)),
+		deferred: make(map[string]bool, len(s.deferred)),
+		released: make(map[string]token.Pos, len(s.released)),
+	}
+	for k, v := range s.live {
+		ns.live[k] = v
+	}
+	for k := range s.deferred {
+		ns.deferred[k] = true
+	}
+	for k, v := range s.released {
+		ns.released[k] = v
+	}
+	return ns
+}
+
+func checkBody(pass *framework.Pass, name string, body *ast.BlockStmt) {
+	// Cheap pre-scan: no pool Get, no analysis.
+	hasGet := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPoolGet(pass, call) {
+			hasGet = true
+		}
+		return !hasGet
+	})
+	if !hasGet {
+		return
+	}
+
+	cfg := pass.CFGOf(body)
+
+	type uafKey struct {
+		use token.Pos
+	}
+	uses := make(map[uafKey]string) // use pos -> var (use-after-Put findings)
+
+	transfer := func(n ast.Node, s poolState) poolState {
+		return transferNode(pass, n, s, func(varName string, pos token.Pos) {
+			uses[uafKey{pos}] = varName
+		})
+	}
+
+	in := framework.Solve(cfg, framework.Flow[poolState]{
+		Transfer: transfer,
+		Join: func(a, b poolState) poolState {
+			out := poolState{
+				live:     make(map[string]token.Pos),
+				deferred: make(map[string]bool),
+				released: make(map[string]token.Pos),
+			}
+			for k, v := range a.live {
+				out.live[k] = v
+			}
+			for k, v := range b.live {
+				out.live[k] = v
+			}
+			// A deferred Put only covers exits it dominates: intersect.
+			for k := range a.deferred {
+				if b.deferred[k] {
+					out.deferred[k] = true
+				}
+			}
+			for k, v := range a.released {
+				out.released[k] = v
+			}
+			for k, v := range b.released {
+				out.released[k] = v
+			}
+			return out
+		},
+		Equal: func(a, b poolState) bool {
+			return equalPos(a.live, b.live) && equalBool(a.deferred, b.deferred) && equalPos(a.released, b.released)
+		},
+		Entry: poolState{live: map[string]token.Pos{}, deferred: map[string]bool{}, released: map[string]token.Pos{}},
+	})
+
+	// Leaks: one finding per Get site, at the Get, naming the first exit
+	// reached with the value still live and no deferred Put.
+	type leak struct {
+		varName string
+		exit    token.Pos
+	}
+	leaks := make(map[token.Pos]leak)
+	record := func(s poolState, exitPos token.Pos) {
+		for v, getPos := range s.live {
+			if s.deferred[v] {
+				continue
+			}
+			if _, ok := leaks[getPos]; !ok {
+				leaks[getPos] = leak{varName: v, exit: exitPos}
+			}
+		}
+	}
+
+	framework.WalkStates(cfg, in, transfer, func(b *framework.Block, n ast.Node, pre poolState) {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			// Returning the value itself is an escape, handled in transfer;
+			// here the pre-state already reflects earlier nodes only, so
+			// apply this return's own escapes before judging it.
+			record(transferNode(pass, r, pre, func(string, token.Pos) {}), r.Pos())
+		}
+	})
+	for _, b := range cfg.Blocks {
+		s, reach := in[b]
+		if !reach || !cfg.ReturnsExit(b) {
+			continue
+		}
+		if len(b.Nodes) > 0 {
+			if _, ok := b.Nodes[len(b.Nodes)-1].(*ast.ReturnStmt); ok {
+				continue
+			}
+		}
+		record(framework.BlockOut(b, s, transfer), body.Rbrace)
+	}
+
+	positions := make([]token.Pos, 0, len(leaks))
+	for pos := range leaks {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	for _, pos := range positions {
+		l := leaks[pos]
+		exit := pass.Fset.Position(l.exit)
+		pass.Reportf(pos,
+			"%s is taken from a pool here but %s can exit at line %d without Put: the value is dropped and the pool refills from the allocator",
+			l.varName, name, exit.Line)
+	}
+
+	usePositions := make([]token.Pos, 0, len(uses))
+	for k := range uses {
+		usePositions = append(usePositions, k.use)
+	}
+	sort.Slice(usePositions, func(i, j int) bool { return usePositions[i] < usePositions[j] })
+	seen := make(map[token.Pos]bool)
+	for _, pos := range usePositions {
+		if seen[pos] {
+			continue
+		}
+		seen[pos] = true
+		pass.Reportf(pos,
+			"%s is used after being returned to the pool with Put; the pool may already have handed it to another goroutine",
+			uses[uafKey{pos}])
+	}
+}
+
+// transferNode applies one CFG node to the pool state. onUseAfterPut is
+// invoked for references to a released variable.
+func transferNode(pass *framework.Pass, n ast.Node, s poolState, onUseAfterPut func(varName string, pos token.Pos)) poolState {
+	out := s
+
+	// Deferred Put covers every later exit, like a deferred unlock.
+	if d, ok := n.(*ast.DeferStmt); ok {
+		ast.Inspect(d.Call, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if v, ok := putArg(call); ok {
+					if _, live := out.live[v]; live && !out.deferred[v] {
+						out = out.clone()
+						out.deferred[v] = true
+					}
+				}
+			}
+			return true
+		})
+		return out
+	}
+
+	// Report references to already-released values first: within this node
+	// the Put below has not happened yet, so p.Put(v) itself never trips.
+	framework.WalkShallow(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if pos, released := out.released[id.Name]; released && pos < id.Pos() {
+				onUseAfterPut(id.Name, id.Pos())
+			}
+		}
+		return true
+	})
+
+	// New Get bindings: v := pool.Get() or v := pool.Get().(*T).
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			rhs := as.Rhs[0]
+			if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+				rhs = ta.X
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok && isPoolGet(pass, call) {
+				out = out.clone()
+				out.live[id.Name] = call.Pos()
+				delete(out.released, id.Name)
+				delete(out.deferred, id.Name)
+				return out
+			}
+		}
+	}
+
+	// Put and escapes.
+	framework.WalkShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if v, ok := putArg(m); ok {
+				if _, live := out.live[v]; live {
+					out = out.clone()
+					delete(out.live, v)
+					out.released[v] = m.Pos()
+					return false
+				}
+			}
+			// A live value handed to any other call escapes: the callee
+			// owns it now.
+			for _, arg := range m.Args {
+				if id, ok := arg.(*ast.Ident); ok {
+					if _, live := out.live[id.Name]; live {
+						out = out.clone()
+						delete(out.live, id.Name)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range m.Results {
+				ast.Inspect(res, func(r ast.Node) bool {
+					if id, ok := r.(*ast.Ident); ok {
+						if _, live := out.live[id.Name]; live {
+							out = out.clone()
+							delete(out.live, id.Name)
+						}
+					}
+					return true
+				})
+			}
+		case *ast.SendStmt:
+			if id, ok := m.Value.(*ast.Ident); ok {
+				if _, live := out.live[id.Name]; live {
+					out = out.clone()
+					delete(out.live, id.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			// Storing the value anywhere non-local (field, index, global
+			// from the enclosing scope) transfers ownership.
+			for i, rhs := range m.Rhs {
+				id, ok := rhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if _, live := out.live[id.Name]; !live {
+					continue
+				}
+				if i < len(m.Lhs) {
+					switch m.Lhs[i].(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+						out = out.clone()
+						delete(out.live, id.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// putArg matches x.Put(v) / x.put(v) with a single identifier argument and
+// returns the variable name.
+func putArg(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Put" && sel.Sel.Name != "put") {
+		return "", false
+	}
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// isPoolGet reports whether call is a Get() on a pool-like receiver:
+// *sync.Pool, or any type whose method set pairs a no-arg single-result Get
+// with a one-arg Put. The pairing requirement keeps lookup-style Get(key)
+// APIs (caches, sparse matrices) out of scope.
+func isPoolGet(pass *framework.Pass, call *ast.CallExpr) bool {
+	fn, sel, ok := framework.MethodCallee(pass.TypesInfo, call)
+	if !ok || fn.Name() != "Get" || len(call.Args) != 0 {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if framework.NamedType(recv, "sync", "Pool") {
+		return true
+	}
+	// Custom free list: the receiver must also expose Put(x).
+	rt := pass.TypesInfo.TypeOf(sel.X)
+	if rt == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(rt, true, fn.Pkg(), "Put")
+	put, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	psig, ok := put.Type().(*types.Signature)
+	return ok && psig.Params().Len() == 1
+}
+
+func equalPos(a, b map[string]token.Pos) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func equalBool(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,13 @@
+package poolflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"picpredict/internal/analysis/analysistest"
+	"picpredict/internal/analysis/poolflow"
+)
+
+func TestPoolflow(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), poolflow.Analyzer, "poolflow/a")
+}

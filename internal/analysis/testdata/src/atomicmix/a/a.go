@@ -1,0 +1,69 @@
+// Package a is the atomicmix golden corpus: fields and vars touched both
+// through sync/atomic and plainly on the left, disciplined (typed, uniform,
+// or waived) shapes on the right.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits int64
+}
+
+// inc is the atomic side that puts c.n under the discipline.
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// racyRead reads the same word plainly: a torn or stale read.
+func (c *counter) racyRead() int64 {
+	return c.n // want `c\.n is accessed with sync/atomic at .*:\d+ but plainly here`
+}
+
+// racyWrite stores plainly against concurrent atomic adds.
+func (c *counter) racyWrite() {
+	c.n = 0 // want `c\.n is accessed with sync/atomic at .*:\d+ but plainly here`
+}
+
+// plainOnly uses a field nobody touches atomically: clean.
+func (c *counter) plainOnly() int64 {
+	c.hits++
+	return c.hits
+}
+
+// atomicRead stays inside the API: clean.
+func (c *counter) atomicRead() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+var total int64
+
+func addTotal(d int64) {
+	atomic.AddInt64(&total, d)
+}
+
+// readTotal mixes a plain read of a package-level atomic word.
+func readTotal() int64 {
+	return total // want `total is accessed with sync/atomic at .*:\d+ but plainly here`
+}
+
+// typedCounter uses the typed atomics: method calls, no addresses, never
+// flagged — the migration target the analyzer nudges toward.
+type typedCounter struct{ v atomic.Int64 }
+
+func (t *typedCounter) inc() int64 {
+	return t.v.Add(1)
+}
+
+func (t *typedCounter) read() int64 {
+	return t.v.Load()
+}
+
+// newCounter initialises the word before the value can be seen by any other
+// goroutine; the waiver names the publication point.
+func newCounter(seed int64) *counter {
+	c := &counter{}
+	//lint:allow atomicmix init before publication: c escapes only via the return below
+	c.n = seed
+	return c
+}

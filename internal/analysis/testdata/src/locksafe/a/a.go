@@ -1,0 +1,120 @@
+// Package a is the locksafe golden corpus: lock-leak shapes on the left,
+// disciplined (or waived) shapes on the right.
+package a
+
+import "sync"
+
+type guarded struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	hits int
+}
+
+// leakOnError is the classic: the early error return exits with mu held.
+func (g *guarded) leakOnError(fail bool) error {
+	g.mu.Lock() // want `g\.mu\.Lock\(\) is locked here but .* can exit at line \d+ with the lock still held`
+	if fail {
+		return errFailed
+	}
+	g.hits++
+	g.mu.Unlock()
+	return nil
+}
+
+// lateDefer registers the deferred unlock only after a conditional return:
+// the early path leaks.
+func (g *guarded) lateDefer(skip bool) {
+	g.mu.Lock() // want `g\.mu\.Lock\(\) is locked here but .* can exit at line \d+ with the lock still held`
+	if skip {
+		return
+	}
+	defer g.mu.Unlock()
+	g.hits++
+}
+
+// readLeak leaks a read lock across a panic path.
+func (g *guarded) readLeak(v int) {
+	g.rw.RLock() // want `g\.rw\.RLock\(\) is locked here but .* can exit at line \d+ with the lock still held`
+	if v < 0 {
+		panic("negative")
+	}
+	g.rw.RUnlock()
+}
+
+// deferredImmediately is the disciplined shape: no finding.
+func (g *guarded) deferredImmediately(fail bool) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fail {
+		return errFailed
+	}
+	g.hits++
+	return nil
+}
+
+// balancedArms releases on every branch before returning: no finding.
+func (g *guarded) balancedArms(flip bool) int {
+	g.mu.Lock()
+	if flip {
+		g.hits++
+		g.mu.Unlock()
+		return g.hits
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+// straightLine locks and unlocks in sequence: no finding.
+func (g *guarded) straightLine() {
+	g.rw.RLock()
+	v := g.hits
+	g.rw.RUnlock()
+	if v > 0 {
+		g.hits = v
+	}
+}
+
+// deferredClosure covers the defer func() { ... }() unlock form.
+func (g *guarded) deferredClosure() {
+	g.mu.Lock()
+	defer func() {
+		g.hits++
+		g.mu.Unlock()
+	}()
+	g.hits++
+}
+
+// handoff intentionally returns holding the lock; the sibling releases it.
+// The waiver documents the contract, so no finding surfaces.
+func (g *guarded) handoff() {
+	//lint:allow locksafe handoff pair: caller must invoke release() after use
+	g.mu.Lock()
+	g.hits++
+}
+
+func (g *guarded) release() {
+	g.mu.Unlock()
+}
+
+// byValue copies the lock word in its parameter.
+func byValue(g guarded) int { // want `parameter passes lock by value`
+	return g.hits
+}
+
+// byPointer shares the lock: no finding.
+func byPointer(g *guarded) int {
+	return g.hits
+}
+
+type plain struct{ n int }
+
+// plainValue has no lock anywhere: no finding.
+func plainValue(p plain) int {
+	return p.n
+}
+
+var errFailed = errorString("failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

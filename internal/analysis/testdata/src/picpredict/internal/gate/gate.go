@@ -1,0 +1,138 @@
+// Package gate is the httpclient golden fixture, shadowing the gateway's
+// import path so the package-scoped analyzer fires: leaked response bodies,
+// deadline-less requests, and throttle responses without Retry-After on the
+// left; closed, context-carrying, header-first shapes on the right.
+package gate
+
+import (
+	"context"
+	"net/http"
+)
+
+// leakBody never closes the response body.
+func leakBody(c *http.Client, req *http.Request) (int, error) {
+	resp, err := c.Do(req) // want `response body of resp is never closed in this function`
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// discardBody throws the response away unread; the body can never close.
+func discardBody(c *http.Client, req *http.Request) {
+	_, _ = c.Do(req) // want `response discarded into _`
+}
+
+// dropResponse loses the response entirely.
+func dropResponse(c *http.Client, req *http.Request) {
+	c.Do(req) // want `response dropped as a bare statement`
+}
+
+// closedDeferred is the disciplined shape: no finding.
+func closedDeferred(c *http.Client, req *http.Request) (int, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// closedInClosure closes inside a deferred closure: the deep scan finds it.
+func closedInClosure(c *http.Client, req *http.Request) (int, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		resp.Body.Close()
+	}()
+	return resp.StatusCode, nil
+}
+
+// noContext builds a request that cannot carry a deadline.
+func noContext(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want `use http\.NewRequestWithContext`
+}
+
+// withContext is the replacement shape: no finding.
+func withContext(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, "GET", url, nil)
+}
+
+// defaultClient uses the package helper: default client, no deadline.
+func defaultClient(url string) error {
+	resp, err := http.Get(url) // want `http\.Get uses the default client with no context deadline`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// probe talks to a loopback listener the caller tears down; the waiver
+// records what bounds the call.
+func probe(url string) error {
+	//lint:allow httpclient probe targets a loopback listener closed by the harness, which unblocks the call
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// shedBlind throttles without telling the client when to come back.
+func shedBlind(w http.ResponseWriter, overloaded bool) {
+	if overloaded {
+		w.WriteHeader(http.StatusTooManyRequests) // want `429 response written without a Retry-After header`
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// drainBlind uses http.Error for the drain path, still without the header.
+func drainBlind(w http.ResponseWriter) {
+	http.Error(w, "draining", http.StatusServiceUnavailable) // want `503 response written without a Retry-After header`
+}
+
+// shedPolite sets the header before the status on every path: no finding.
+func shedPolite(w http.ResponseWriter, overloaded bool) {
+	if overloaded {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusTooManyRequests)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// shedOneArm sets the header on only one path in; the merge point is not
+// covered, so the write is still flagged.
+func shedOneArm(w http.ResponseWriter, soon bool) {
+	if soon {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(http.StatusServiceUnavailable) // want `503 response written without a Retry-After header`
+}
+
+// writeJSON models the serving tier's response helper: the analyzer treats
+// any call handed a ResponseWriter and a constant throttle status as a
+// status write.
+func writeJSON(w http.ResponseWriter, status int, body string) {
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(body))
+}
+
+// shedViaHelper throttles through the helper, still without the header.
+func shedViaHelper(w http.ResponseWriter) {
+	writeJSON(w, http.StatusServiceUnavailable, `{"error":"draining"}`) // want `503 response written without a Retry-After header`
+}
+
+// shedViaHelperPolite sets the header first: no finding.
+func shedViaHelperPolite(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "3")
+	writeJSON(w, http.StatusServiceUnavailable, `{"error":"no healthy backends"}`)
+}
+
+// okStatus writes a success status: out of scope, no finding.
+func okStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,96 @@
+// Package pipeline is the goleak golden fixture, shadowing the real
+// streaming pipeline's import path so the package-scoped analyzer fires.
+// Goroutines here either carry a recognised termination contract (context,
+// WaitGroup, channel receive), carry a waiver documenting an invisible one,
+// or get flagged.
+package pipeline
+
+import (
+	"context"
+	"sync"
+)
+
+// Stage fakes a pipeline stage owning background work.
+type Stage struct {
+	out  chan int
+	stop chan struct{}
+}
+
+// fireAndForget launches work with no way to stop it.
+func (s *Stage) fireAndForget() {
+	go func() { // want `goroutine in long-lived package pipeline has no termination contract`
+		for {
+			s.out <- 1
+		}
+	}()
+}
+
+// namedNoContract launches a named method with neither context nor channel.
+func (s *Stage) namedNoContract() {
+	go s.spin(3) // want `launches s\.spin with neither a context nor a channel argument`
+}
+
+func (s *Stage) spin(n int) {
+	for i := 0; i < n; i++ {
+		s.out <- i
+	}
+}
+
+// ctxBound consults the context: clean.
+func (s *Stage) ctxBound(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case s.out <- 1:
+			}
+		}
+	}()
+}
+
+// wgBound signals a WaitGroup: clean.
+func (s *Stage) wgBound(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.out <- 1
+	}()
+}
+
+// rangeBound ranges over a channel the owner closes: clean.
+func (s *Stage) rangeBound(in chan int) {
+	go func() {
+		for v := range in {
+			s.out <- v
+		}
+	}()
+}
+
+// recvBound blocks on a stop channel: clean.
+func (s *Stage) recvBound() {
+	go func() {
+		<-s.stop
+	}()
+}
+
+// namedWithContext forwards the context into the callee: clean.
+func (s *Stage) namedWithContext(ctx context.Context) {
+	go s.pump(ctx)
+}
+
+func (s *Stage) pump(ctx context.Context) {
+	for ctx.Err() == nil {
+		s.out <- 1
+	}
+}
+
+// serveErr mirrors the real servers' accept-loop idiom: the goroutine exits
+// when the listener closes, which the analyzer cannot see. The waiver
+// records that contract.
+func (s *Stage) serveErr(serve func() error, errCh chan error) {
+	//lint:allow goleak goroutine exits when serve's listener closes during shutdown
+	go func() {
+		errCh <- serve()
+	}()
+}

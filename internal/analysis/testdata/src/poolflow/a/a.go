@@ -1,0 +1,114 @@
+// Package a is the poolflow golden corpus: dropped pool values and
+// use-after-Put on the left, escapes, deferred returns, and waived culls on
+// the right.
+package a
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// leakOnError drops the buffer on the early error return.
+func leakOnError(fail bool) error {
+	buf := bufPool.Get().(*[]byte) // want `buf is taken from a pool here but .* can exit at line \d+ without Put`
+	if fail {
+		return errFailed
+	}
+	*buf = (*buf)[:0]
+	bufPool.Put(buf)
+	return nil
+}
+
+// useAfterPut touches the buffer once the pool owns it again.
+func useAfterPut() int {
+	buf := bufPool.Get().(*[]byte)
+	bufPool.Put(buf)
+	return len(*buf) // want `buf is used after being returned to the pool`
+}
+
+// deferOk registers the Put up front: every exit is covered.
+func deferOk(fail bool) error {
+	buf := bufPool.Get().(*[]byte)
+	defer bufPool.Put(buf)
+	if fail {
+		return errFailed
+	}
+	*buf = append(*buf, 1)
+	return nil
+}
+
+// escapeReturn hands the buffer to the caller, who owns the Put now.
+func escapeReturn() *[]byte {
+	buf := bufPool.Get().(*[]byte)
+	*buf = (*buf)[:0]
+	return buf
+}
+
+// escapeSend transfers ownership over a channel.
+func escapeSend(out chan *[]byte) {
+	buf := bufPool.Get().(*[]byte)
+	out <- buf
+}
+
+// frame and freeList model the hand-rolled channel free lists in the
+// streaming pipeline: Get/Put paired on the method set makes it pool-like.
+type frame struct{ vals []float64 }
+
+type freeList struct{ ch chan *frame }
+
+func (f *freeList) Get() *frame {
+	select {
+	case fr := <-f.ch:
+		return fr
+	default:
+		return &frame{}
+	}
+}
+
+func (f *freeList) Put(fr *frame) {
+	fr.vals = fr.vals[:0]
+	select {
+	case f.ch <- fr:
+	default:
+	}
+}
+
+// customLeak drops a free-list frame on the skip path.
+func customLeak(f *freeList, skip bool) {
+	fr := f.Get() // want `fr is taken from a pool here but .* can exit at line \d+ without Put`
+	if skip {
+		return
+	}
+	fr.vals = append(fr.vals, 1)
+	f.Put(fr)
+}
+
+// lookupGet is a keyed lookup, not a pool: Get takes arguments and there is
+// no paired Put, so nothing here is tracked.
+type lookupTable struct{ m map[string]int }
+
+func (l *lookupTable) Get(key string) int { return l.m[key] }
+
+func lookupOK(l *lookupTable, cond bool) int {
+	v := l.Get("x")
+	if cond {
+		return 0
+	}
+	return v
+}
+
+// culled deliberately drops oversized buffers to cap pool memory; the
+// waiver names the policy.
+func culled(big bool) {
+	//lint:allow poolflow oversized buffers are deliberately dropped to cap resident pool memory
+	buf := bufPool.Get().(*[]byte)
+	if big && len(*buf) > 1024 {
+		return
+	}
+	bufPool.Put(buf)
+}
+
+var errFailed = errorString("failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -173,6 +173,7 @@ func (g *Gate) Serve(ctx context.Context, ln net.Listener, drainTimeout time.Dur
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
+	//lint:allow goleak Serve returns when ln closes in the Shutdown below; errCh is buffered so the send never blocks
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	select {
 	case err := <-errCh:
@@ -253,8 +254,10 @@ func (g *Gate) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	healthy := g.currentRing().size()
 	switch {
 	case g.draining.Load():
+		w.Header().Set("Retry-After", g.retryAfter())
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
 	case !g.ready.Load():
+		w.Header().Set("Retry-After", g.retryAfter())
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "not ready"})
 	case healthy == 0:
 		w.Header().Set("Retry-After", g.retryAfter())
@@ -337,6 +340,7 @@ func (g *Gate) route(w http.ResponseWriter, r *http.Request, path string) {
 	rid := g.requestID(r)
 	w.Header().Set("X-Request-ID", rid)
 	if g.draining.Load() {
+		w.Header().Set("Retry-After", g.retryAfter())
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining", RequestID: rid})
 		return
 	}

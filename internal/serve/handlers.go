@@ -119,8 +119,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
+		w.Header().Set("Retry-After", "1")
 		writeError(w, r, http.StatusServiceUnavailable, "draining")
 	case !s.ready.Load():
+		w.Header().Set("Retry-After", "1")
 		writeError(w, r, http.StatusServiceUnavailable, "not ready")
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -170,6 +172,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // executes the request under the worker slot.
 func (s *Server) runAdmitted(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) (any, int, error)) {
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
 		writeError(w, r, http.StatusServiceUnavailable, "draining")
 		return
 	}

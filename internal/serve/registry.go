@@ -117,6 +117,7 @@ func (r *Registry) GetOrTrain(ctx context.Context, key ModelKey, kind picpredict
 	r.mu.Unlock()
 	r.reg.Counter(obs.ServeCacheMisses).Inc()
 
+	//lint:allow goleak train runs to completion and closes e.ready; waiters join via wait(ctx, e), so the run is bounded by the training itself
 	go r.train(e, train)
 	m, _, err = r.wait(ctx, e)
 	return m, false, err

@@ -215,6 +215,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 	s.MarkReady()
 	errCh := make(chan error, 1)
+	//lint:allow goleak Serve returns when ln closes in the Shutdown below; errCh is buffered so the send never blocks
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	select {
 	case err := <-errCh:
