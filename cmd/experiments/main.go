@@ -28,12 +28,14 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		fig    = flag.String("fig", "all", "figure: all, 1a, 1b, 5, 6, 7, 8, 9, 10a, 10b, sim, speed")
+		fig    = flag.String("fig", "all", "figure: all, 1a, 1b, 5, 6, 7, 8, 9, 10a, 10b, sim, speed, sampling, ablation, mappers, rebalance")
 		paper  = flag.Bool("paper", false, "run at the paper's full scale (599,257 particles; slow)")
 		fast   = flag.Bool("fast", false, "fast (less accurate) model training")
 		np     = flag.Int("np", 0, "override particle count")
 		steps  = flag.Int("steps", 0, "override iteration count")
 		report = flag.String("report", "", "write a markdown report of every experiment to this file")
+
+		rebalReport = flag.String("rebalance-report", "", "write a markdown report of the dynamic load-balancing study to this file")
 
 		metricsPath = flag.String("metrics", "", "write a JSON run manifest (timings, counters, artefact checksums) to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
@@ -63,6 +65,18 @@ func main() {
 	}
 	runner := figures.NewRunner(figures.Config{Spec: spec, FastModels: *fast}, os.Stdout)
 
+	if *rebalReport != "" {
+		if err := resilience.WriteFileAtomic(*rebalReport, runner.RebalanceReport); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rebalance report written to %s\n", *rebalReport)
+		run.Reg.StageDone("rebalance-report")
+		run.Artefact(*rebalReport)
+		if err := run.Finish(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *report != "" {
 		// Reports are slow to regenerate; write atomically so an interrupted
 		// run cannot clobber the previous report with a torn file.
@@ -97,6 +111,7 @@ func main() {
 		{"sampling", func() error { _, err := runner.Sampling(nil); return err }},
 		{"ablation", func() error { _, err := runner.SplitAblation(); return err }},
 		{"mappers", func() error { _, err := runner.Mappers(); return err }},
+		{"rebalance", func() error { _, err := runner.Rebalance(nil); return err }},
 	}
 
 	want := strings.Split(*fig, ",")
@@ -117,7 +132,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		log.Fatalf("no figure matches %q; use -fig all or one of 1a,1b,5,6,7,8,9,10a,10b,sim,speed,sampling,ablation,mappers", *fig)
+		log.Fatalf("no figure matches %q; use -fig all or one of 1a,1b,5,6,7,8,9,10a,10b,sim,speed,sampling,ablation,mappers,rebalance", *fig)
 	}
 	fmt.Printf("\nregenerated %d experiment(s); see EXPERIMENTS.md for paper-vs-measured records\n", ran)
 	if err := run.Finish(); err != nil {

@@ -50,6 +50,7 @@ func main() {
 		modelCap  = flag.Int("models", 8, "model registry capacity (trained model sets held in the LRU)")
 		sweepWkrs = flag.Int("sweep-workers", 4, "per-request fan-out width of /v1/optimize sweeps")
 		totalEl   = flag.Int("total-elements", 16384, "default total spectral elements for requests that omit it")
+		elementsF = flag.String("elements", "", "application element grid ex,ey,ez attached to every loaded trace — required before requests may use element/hilbert mapping or a rebalance policy")
 		gridN     = flag.Float64("n", 4, "default grid resolution per element")
 		filterEl  = flag.Float64("filter-elements", 1, "default filter size in element widths")
 		machineNm = flag.String("machine", "quartz", "default target system: quartz, vulcan, titan")
@@ -84,6 +85,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var meshDims [3]int
+	if *elementsF != "" {
+		meshDims, err = cli.ParseElements(*elementsF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *gridN < 1 {
+			log.Fatalf("-n must be at least 1 with -elements, got %g", *gridN)
+		}
+	}
 
 	ctx, stop := cli.Context()
 	defer stop()
@@ -113,7 +124,7 @@ func main() {
 		"workers": *workers, "queue": *queue,
 		"request_timeout": reqTO.String(), "drain_timeout": drainTO.String(),
 		"models": *modelCap, "sweep_workers": *sweepWkrs,
-		"total_elements": *totalEl, "n": *gridN,
+		"total_elements": *totalEl, "elements": *elementsF, "n": *gridN,
 		"filter_elements": *filterEl, "machine": *machineNm,
 		"instance_id": srv.Instance(),
 	})
@@ -121,6 +132,9 @@ func main() {
 		tr, err := cli.OpenTrace(np.Path)
 		if err != nil {
 			log.Fatalf("-trace %s: %v", np.Path, err)
+		}
+		if *elementsF != "" {
+			tr.WithMesh(meshDims[0], meshDims[1], meshDims[2], int(*gridN))
 		}
 		art, err := obs.FileArtefact(np.Path)
 		if err != nil {

@@ -9,6 +9,12 @@
 //
 //	predict -trace trace.bin -ranks 1044,2088,4176,8352 -filter 0.00428 -total-elements 16384 -n 4
 //
+// Element/hilbert mapping straight from a trace file needs the element grid
+// the application ran on (-elements ex,ey,ez; picgen prints the exact
+// values), and a -rebalance policy rides on element mapping:
+//
+//	predict -trace trace.bin -mapping element -elements 128,128,1 -rebalance threshold:1.5
+//
 // -sweep switches to capacity-planning mode: instead of one configuration
 // per rank count, it prices a whole (ranks × mapping × machine × model-kind)
 // grid through the sweep engine — sharing one workload build per rank count —
@@ -41,6 +47,8 @@ func main() {
 		wlFile    = flag.String("workload", "", "pre-generated workload file (wlgen -save); skips workload generation")
 		ranksCSV  = flag.String("ranks", "1044,2088,4176,8352", "processor counts, comma separated")
 		mappingF  = flag.String("mapping", "bin", "mapping algorithm: element, bin, hilbert")
+		rebalF    = flag.String("rebalance", "", "dynamic load-balancing policy: none, periodic:K, threshold:F, diffusion:F[/R] (element mapping only)")
+		elementsF = flag.String("elements", "", "application element grid ex,ey,ez — required for element/hilbert mapping straight from a -trace file (picgen prints the exact values)")
 		filter    = flag.Float64("filter", 0.00428, "projection filter size")
 		workers   = flag.Int("workers", 0, "parallel workload-fill workers (0 serial)")
 		totalEl   = flag.Int("total-elements", 16384, "total spectral elements of the application")
@@ -54,6 +62,7 @@ func main() {
 		sweepMode  = flag.Bool("sweep", false, "capacity-planning mode: price a configuration grid over -trace and report the ranked frontier")
 		sweepRanks = flag.String("sweep-ranks", "1044-8352:x2", "sweep rank-axis grid spec: INT or LO-HI[:xK|:+K], comma separated")
 		mappingsF  = flag.String("mappings", "bin", "sweep mapping axis, comma separated")
+		rebalsF    = flag.String("rebalances", "none", "sweep rebalance axis, comma separated (non-none entries price only element-mapping configurations)")
 		machinesF  = flag.String("machines", "quartz", "sweep machine axis, comma separated")
 		kindsF     = flag.String("model-kinds", "synthetic", "sweep model-kind axis: synthetic, wallclock, app")
 		costWeight = flag.Float64("cost-weight", 1, "sweep knee objective's cost weight (higher favours fewer ranks)")
@@ -79,6 +88,29 @@ func main() {
 	if err := cli.NonNegative("-filter", *filter); err != nil {
 		log.Fatal(err)
 	}
+	rebal, err := cli.ParseRebalance("-rebalance", *rebalF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rebal != "" && rebal != "none" && *mappingF != "element" {
+		log.Fatalf("-rebalance %s requires -mapping element, got %q", rebal, *mappingF)
+	}
+	if *wlFile != "" && *rebalF != "" {
+		log.Fatal("-rebalance is baked into a -workload artefact at wlgen time; omit it on replay")
+	}
+	// An element grid on the command line attaches the mesh a file-loaded
+	// trace lacks; element/hilbert mapping (and so any -rebalance policy)
+	// needs it when predicting straight from -trace.
+	var meshDims [3]int
+	if *elementsF != "" {
+		meshDims, err = cli.ParseElements(*elementsF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *gridN < 1 {
+			log.Fatalf("-n must be at least 1 with -elements, got %g", *gridN)
+		}
+	}
 
 	// Sweep-mode grid flags, validated up front so a typo fails before any
 	// trace load or training run.
@@ -98,6 +130,10 @@ func main() {
 			log.Fatalf("-sweep-ranks: %v", err)
 		}
 		grid.Mappings, err = cli.ParseMappings("-mappings", *mappingsF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		grid.Rebalances, err = cli.ParseRebalances("-rebalances", *rebalsF)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -127,11 +163,12 @@ func main() {
 	ctx = obs.With(ctx, run.Reg)
 	run.SetConfig(map[string]any{
 		"trace": *traceFile, "workload": *wlFile, "ranks": *ranksCSV,
-		"mapping": *mappingF, "filter": *filter, "workers": *workers,
+		"mapping": *mappingF, "rebalance": rebal, "filter": *filter, "workers": *workers,
 		"total_elements": *totalEl, "n": *gridN, "filter_elements": *filterEl,
 		"machine": *machine, "noise": *noise, "fast": *fast, "wallclock": *wallclock,
 		"sweep": *sweepMode, "sweep_ranks": *sweepRanks, "mappings": *mappingsF,
-		"machines": *machinesF, "model_kinds": *kindsF,
+		"rebalances": *rebalsF,
+		"machines":   *machinesF, "model_kinds": *kindsF,
 		"cost_weight": *costWeight, "top": *topN,
 	})
 
@@ -139,6 +176,7 @@ func main() {
 		runSweep(ctx, run, grid, sweepArgs{
 			traceFile: *traceFile, filter: *filter, filterEl: *filterEl,
 			totalEl: *totalEl, gridN: *gridN,
+			elements: *elementsF, meshDims: meshDims,
 			workers: *workers, sweepWorkers: *sweepWkrs,
 			costWeight: *costWeight, top: *topN,
 			fast: *fast, jsonOut: *jsonOut,
@@ -159,6 +197,9 @@ func main() {
 		tr, err = cli.OpenTrace(*traceFile)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *elementsF != "" {
+			tr.WithMesh(meshDims[0], meshDims[1], meshDims[2], int(*gridN))
 		}
 		fmt.Printf("trace: %d particles, %d frames\n", tr.NumParticles(), tr.Frames())
 	}
@@ -199,7 +240,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\n%8s %14s %14s %14s %10s\n", "R", "predicted (s)", "compute (s)", "comm (s)", "MAPE")
+	// The migration column only appears when a rebalance policy is active —
+	// static runs keep the historical four-column table. A replayed workload
+	// carries its policy's migrations baked in, so the artefact decides.
+	withMig := rebal != "" && rebal != "none"
+	if savedWl != nil {
+		withMig = savedWl.MigrationEpochs() > 0
+	}
+	if withMig {
+		fmt.Printf("\n%8s %14s %14s %14s %14s %7s %10s\n",
+			"R", "predicted (s)", "compute (s)", "comm (s)", "migration (s)", "epochs", "MAPE")
+	} else {
+		fmt.Printf("\n%8s %14s %14s %14s %10s\n", "R", "predicted (s)", "compute (s)", "comm (s)", "MAPE")
+	}
 	for i, ranks := range ranksList {
 		if ctx.Err() != nil {
 			log.Fatal("interrupted")
@@ -209,6 +262,7 @@ func main() {
 			wl, err = tr.GenerateWorkloadContext(ctx, picpredict.WorkloadOptions{
 				Ranks:        ranks,
 				Mapping:      picpredict.MappingKind(*mappingF),
+				Rebalance:    rebal,
 				FilterRadius: *filter,
 				Workers:      *workers,
 			})
@@ -232,8 +286,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%8d %14.5g %14.5g %14.5g %9.2f%%\n",
-			ranks, pred.Total, comp, comm, picpredict.MeanAccuracy(acc))
+		if withMig {
+			fmt.Printf("%8d %14.5g %14.5g %14.5g %14.5g %7d %9.2f%%\n",
+				ranks, pred.Total, comp, comm, pred.MigrationSec(), wl.MigrationEpochs(),
+				picpredict.MeanAccuracy(acc))
+		} else {
+			fmt.Printf("%8d %14.5g %14.5g %14.5g %9.2f%%\n",
+				ranks, pred.Total, comp, comm, picpredict.MeanAccuracy(acc))
+		}
 	}
 	run.Reg.StageDone("predict")
 	if err := run.Finish(); err != nil {
@@ -247,8 +307,10 @@ type sweepArgs struct {
 	filter, filterEl float64
 	totalEl          int
 	gridN            float64
-	workers          int // per-build workload-fill workers
-	sweepWorkers     int // evaluation fan-out (0 = engine default)
+	elements         string // -elements spec ("" = trace has no mesh)
+	meshDims         [3]int // parsed -elements grid
+	workers          int    // per-build workload-fill workers
+	sweepWorkers     int    // evaluation fan-out (0 = engine default)
 	costWeight       float64
 	top              int
 	fast             bool
@@ -262,6 +324,9 @@ func runSweep(ctx context.Context, run *cli.Run, grid sweep.Grid, a sweepArgs) {
 	tr, err := cli.OpenTrace(a.traceFile)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if a.elements != "" {
+		tr.WithMesh(a.meshDims[0], a.meshDims[1], a.meshDims[2], int(a.gridN))
 	}
 	if !a.jsonOut {
 		fmt.Printf("trace: %d particles, %d frames\n", tr.NumParticles(), tr.Frames())
@@ -322,19 +387,28 @@ func reportSweepJSON(tr *picpredict.Trace, res *sweep.Result) {
 	}
 }
 
+// mappingLabel renders a frontier point's mapping column, folding an active
+// rebalance policy into it ("element+periodic:4").
+func mappingLabel(p sweep.Point) string {
+	if p.Rebalance == "" {
+		return string(p.Mapping)
+	}
+	return string(p.Mapping) + "+" + p.Rebalance
+}
+
 // reportSweepTable prints the ranked frontier and the two headline picks.
 func reportSweepTable(res *sweep.Result, costWeight float64) {
 	fmt.Printf("sweep: %d configurations priced, %d shared workload builds\n\n",
 		res.Configs, res.SharedBuilds)
-	fmt.Printf("%8s %9s %8s %10s %14s %14s %7s\n",
+	fmt.Printf("%8s %24s %8s %10s %14s %14s %7s\n",
 		"R", "mapping", "machine", "model", "predicted (s)", "cost (R*s)", "util")
 	for _, p := range res.Frontier {
-		fmt.Printf("%8d %9s %8s %10s %14.5g %14.5g %6.1f%%\n",
-			p.Ranks, p.Mapping, p.Machine, p.Kind, p.TotalSec, p.CostRankSec, 100*p.MeanUtilization)
+		fmt.Printf("%8d %24s %8s %10s %14.5g %14.5g %6.1f%%\n",
+			p.Ranks, mappingLabel(p), p.Machine, p.Kind, p.TotalSec, p.CostRankSec, 100*p.MeanUtilization)
 	}
 	f, k := res.Fastest, res.Knee
 	fmt.Printf("\nfastest: R=%-6d %s/%s/%s at %.5g s\n",
-		f.Ranks, f.Mapping, f.Machine, f.Kind, f.TotalSec)
+		f.Ranks, mappingLabel(f), f.Machine, f.Kind, f.TotalSec)
 	fmt.Printf("knee:    R=%-6d %s/%s/%s at %.5g s (score %.4g at cost weight %g)\n",
-		k.Ranks, k.Mapping, k.Machine, k.Kind, k.TotalSec, res.KneeScore, costWeight)
+		k.Ranks, mappingLabel(k), k.Machine, k.Kind, k.TotalSec, res.KneeScore, costWeight)
 }

@@ -7,6 +7,7 @@
 //
 //	wlgen -trace trace.bin -ranks 1044 -mapping bin -filter 0.00428
 //	wlgen -trace trace.bin -ranks 4096 -mapping element -elements 128,128,1 -n 4 -heatmap heat.csv
+//	wlgen -trace trace.bin -ranks 4096 -mapping element -elements 128,128,1 -rebalance threshold:1.5 -save wl.bin
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 		cfgFile   = flag.String("config", "", "JSON configuration file (flags override its values)")
 		ranks     = flag.Int("ranks", 1044, "processor count R")
 		mappingF  = flag.String("mapping", "bin", "mapping algorithm: element, bin, hilbert")
+		rebalF    = flag.String("rebalance", "", "dynamic load-balancing policy: none, periodic:K, threshold:F, diffusion:F[/R] (element mapping only; baked into -save artefacts)")
 		filter    = flag.Float64("filter", 0, "projection filter size (ghosts + bin threshold)")
 		relaxed   = flag.Bool("relaxed", false, "relax the processor-count limit on bin splitting")
 		midpoint  = flag.Bool("midpoint", false, "use midpoint planar cuts instead of median")
@@ -99,6 +101,13 @@ func main() {
 	if err := cli.NonNegative("-filter", *filter); err != nil {
 		log.Fatal(err)
 	}
+	rebal, err := cli.ParseRebalance("-rebalance", *rebalF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rebal != "" && rebal != "none" && *mappingF != "element" {
+		log.Fatalf("-rebalance %s requires -mapping element, got %q", rebal, *mappingF)
+	}
 	if *elements != "" {
 		dims, err := cli.ParseElements(*elements)
 		if err != nil {
@@ -113,14 +122,15 @@ func main() {
 		tr.NumParticles(), tr.Frames(), tr.SampleEvery())
 	run.SetConfig(map[string]any{
 		"trace": *traceFile, "ranks": *ranks, "mapping": *mappingF,
-		"filter": *filter, "relaxed": *relaxed, "midpoint": *midpoint,
-		"workers": *workers,
+		"rebalance": rebal, "filter": *filter, "relaxed": *relaxed,
+		"midpoint": *midpoint, "workers": *workers,
 	})
 
 	start := time.Now()
 	wl, err := tr.GenerateWorkloadContext(ctx, picpredict.WorkloadOptions{
 		Ranks:         *ranks,
 		Mapping:       picpredict.MappingKind(*mappingF),
+		Rebalance:     rebal,
 		FilterRadius:  *filter,
 		RelaxedBins:   *relaxed,
 		MidpointSplit: *midpoint,
@@ -153,6 +163,11 @@ func main() {
 		totalMig += m
 	}
 	fmt.Printf("total particle migrations: %d\n", totalMig)
+	if epochs := wl.MigrationEpochs(); epochs > 0 {
+		elems, parts := wl.MigrationTotals()
+		fmt.Printf("rebalance epochs:          %d (%d elements, %d resident particles shipped)\n",
+			epochs, elems, parts)
+	}
 
 	if *series {
 		fmt.Printf("\n%10s %10s %10s %12s\n", "iteration", "peak", "busy", "migrations")

@@ -31,6 +31,10 @@ type FusedOptions struct {
 	// WorkloadOptions.
 	RelaxedBins   bool
 	MidpointSplit bool
+	// Rebalance is a dynamic load-balancing policy spec ("periodic:K",
+	// "threshold:F", "diffusion:F[/R]"; empty or "none" keeps the static
+	// decomposition). Requires MappingElement when non-none.
+	Rebalance string
 	// Workers sets the workload generator's parallel-fill worker count
 	// (0/1 serial).
 	Workers int
@@ -139,6 +143,7 @@ func RunFused(ctx context.Context, sc Scenario, opts FusedOptions) (*FusedResult
 			FilterRadius:  opts.FilterRadius,
 			RelaxedBins:   opts.RelaxedBins,
 			MidpointSplit: opts.MidpointSplit,
+			Rebalance:     opts.Rebalance,
 			Domain:        spec.Domain,
 			Elements:      spec.Elements,
 			N:             spec.N,
@@ -200,6 +205,7 @@ func RunFused(ctx context.Context, sc Scenario, opts FusedOptions) (*FusedResult
 				FilterRadius:  opts.FilterRadius,
 				RelaxedBins:   opts.RelaxedBins,
 				MidpointSplit: opts.MidpointSplit,
+				Rebalance:     opts.Rebalance,
 				Workers:       opts.Workers,
 			},
 		}

@@ -20,13 +20,13 @@ import (
 func FuzzSuppressionDirective(f *testing.F) {
 	for _, seed := range []string{
 		"//lint:allow determinism collect-then-sort keeps output stable",
-		"//lint:allow floatcmp",                      // missing reason
-		"//lint:allow",                               // bare prefix
-		"//lint:allow   ",                            // whitespace only
-		"//lint:allowdeterminism glued prefix",       // glued analyzer name
-		"//lint:allow closecheck reason with\r\nCRLF",// CRLF in reason
-		"//lint:allow ctxflow причина по-русски",     // Unicode reason
-		"//lint:allow анализатор unicode analyzer",   // Unicode analyzer name
+		"//lint:allow floatcmp",                       // missing reason
+		"//lint:allow",                                // bare prefix
+		"//lint:allow   ",                             // whitespace only
+		"//lint:allowdeterminism glued prefix",        // glued analyzer name
+		"//lint:allow closecheck reason with\r\nCRLF", // CRLF in reason
+		"//lint:allow ctxflow причина по-русски",      // Unicode reason
+		"//lint:allow анализатор unicode analyzer",    // Unicode analyzer name
 		"//lint:allow obsnil\ttab separated reason",
 		"// lint:allow determinism spaced prefix is not a directive",
 		"//lint:deny determinism wrong verb",

@@ -16,6 +16,8 @@ type simMetrics struct {
 	intervals  *obs.Counter
 	simNs      *obs.Histogram // predicted (simulated) interval wall, in ns
 	wallNs     *obs.Histogram // simulator's own per-interval compute cost
+	migNs      *obs.Histogram // predicted rebalance-migration cost per run
+	migBytes   *obs.Counter   // modeled wire bytes of rebalance transfers
 	intervalT0 time.Time
 }
 
@@ -27,6 +29,8 @@ func (p *Platform) simMetrics() *simMetrics {
 		intervals: p.Obs.Counter("bsst.intervals"),
 		simNs:     p.Obs.Histogram("bsst.interval_sim_ns"),
 		wallNs:    p.Obs.Histogram("bsst.interval_wall_ns"),
+		migNs:     p.Obs.Histogram(obs.RebalanceMigrationNs),
+		migBytes:  p.Obs.Counter(obs.RebalanceMigratedBytes),
 	}
 }
 
@@ -47,6 +51,46 @@ func (m *simMetrics) end(simulatedSec float64) {
 	m.intervals.Inc()
 	m.simNs.Observe(int64(simulatedSec * 1e9))
 	m.wallNs.Observe(time.Since(m.intervalT0).Nanoseconds())
+}
+
+// migration records one run's total predicted rebalance-migration cost and
+// the modeled wire bytes behind it.
+func (m *simMetrics) migration(totalSec, bytes float64) {
+	if m == nil {
+		return
+	}
+	m.migNs.Observe(int64(totalSec * 1e9))
+	m.migBytes.Add(int64(bytes))
+}
+
+// migEntry is one (src,dst) rebalance transfer of an interval: the element
+// and resident-particle volumes merged from the workload's two migration
+// matrices (the generator appends them in lockstep; both entry lists are
+// sorted by (src,dst), and particle pairs are a subset of element pairs).
+type migEntry struct {
+	src, dst     int
+	elems, parts int64
+}
+
+// migrationEntriesAt merges interval k's element and particle migration
+// matrices into per-pair transfer volumes.
+func migrationEntriesAt(wl *core.Workload, k int, dst []migEntry) []migEntry {
+	dst = dst[:0]
+	ee := wl.MigElemComm.At(k).Entries()
+	pe := wl.MigPartComm.At(k).Entries()
+	j := 0
+	for _, e := range ee {
+		m := migEntry{src: e.Src, dst: e.Dst, elems: e.Count}
+		for j < len(pe) && (pe[j].Src < e.Src || (pe[j].Src == e.Src && pe[j].Dst < e.Dst)) {
+			j++
+		}
+		if j < len(pe) && pe[j].Src == e.Src && pe[j].Dst == e.Dst {
+			m.parts = pe[j].Count
+			j++
+		}
+		dst = append(dst, m)
+	}
+	return dst
 }
 
 // The discrete-event engine. Components are processor ranks; each sampling
@@ -72,6 +116,10 @@ type event struct {
 	kind eventKind
 	rank int
 	seq  int // FIFO tie-break for determinism
+	// mig marks rebalance-migration arrivals so the interval accounting can
+	// split the critical path: interval wall without mig events is the
+	// compute+comm base, and anything beyond it is priced migration cost.
+	mig bool
 }
 
 type eventQueue []event
@@ -110,11 +158,14 @@ func (p *Platform) Simulate(wl *core.Workload) (*Prediction, error) {
 	}
 	pred := &Prediction{Ranks: ranks, RankBusy: make([]float64, ranks)}
 	m := p.simMetrics()
+	pointsPerElem := p.N * p.N * p.N
+	var migScratch []migEntry
+	migBytes := 0.0
 	clock := 0.0
 	var q eventQueue
 	seq := 0
-	push := func(t float64, k eventKind, r int) {
-		heap.Push(&q, event{time: t, kind: k, rank: r, seq: seq})
+	push := func(t float64, k eventKind, r int, mig bool) {
+		heap.Push(&q, event{time: t, kind: k, rank: r, seq: seq, mig: mig})
 		seq++
 	}
 	for k := 0; k < wl.RealComp.Frames(); k++ {
@@ -126,6 +177,7 @@ func (p *Platform) Simulate(wl *core.Workload) (*Prediction, error) {
 		type outMsg struct {
 			dst  int
 			time float64
+			mig  bool
 		}
 		outbox := make(map[int][]outMsg)
 		for _, e := range wl.RealComm.At(k).Entries() {
@@ -135,6 +187,17 @@ func (p *Platform) Simulate(wl *core.Workload) (*Prediction, error) {
 			for _, e := range wl.GhostComm.At(k).Entries() {
 				t := float64(sampleEvery) * p.Machine.transferTime(e.Count)
 				outbox[e.Src] = append(outbox[e.Src], outMsg{dst: e.Dst, time: t})
+			}
+		}
+		if wl.MigElemComm != nil {
+			// Rebalance transfers: the old owner ships element grid state
+			// plus resident particles to the new owner, once per epoch (not
+			// per iteration — ownership moves and stays moved).
+			migScratch = migrationEntriesAt(wl, k, migScratch)
+			for _, e := range migScratch {
+				t := p.Machine.migrationTime(e.elems, e.parts, pointsPerElem)
+				outbox[e.src] = append(outbox[e.src], outMsg{dst: e.dst, time: t, mig: true})
+				migBytes += p.Machine.migrationBytes(e.elems, e.parts, pointsPerElem)
 			}
 		}
 
@@ -153,13 +216,19 @@ func (p *Platform) Simulate(wl *core.Workload) (*Prediction, error) {
 			if c > maxCompute {
 				maxCompute = c
 			}
-			push(computeEnd[r], evComputeDone, r)
+			push(computeEnd[r], evComputeDone, r, false)
 		}
+		// baseEnd is the barrier ignoring migration arrivals; intervalEnd
+		// includes them. Their difference is the interval's migration cost.
+		baseEnd := clock
 		intervalEnd := clock
 		for len(q) > 0 {
 			ev := heap.Pop(&q).(event)
 			if ev.time > intervalEnd {
 				intervalEnd = ev.time
+			}
+			if !ev.mig && ev.time > baseEnd {
+				baseEnd = ev.time
 			}
 			if ev.kind != evComputeDone {
 				continue
@@ -168,17 +237,23 @@ func (p *Platform) Simulate(wl *core.Workload) (*Prediction, error) {
 			// migrations recorded into frame k, and the interval's ghost
 			// updates (re-sent every iteration of the superstep).
 			for _, m := range outbox[ev.rank] {
-				push(ev.time+m.time, evMsgArrive, m.dst)
+				push(ev.time+m.time, evMsgArrive, m.dst, m.mig)
 			}
 		}
 		wall := intervalEnd - clock
 		pred.IntervalWall = append(pred.IntervalWall, wall)
 		pred.Compute = append(pred.Compute, maxCompute)
-		pred.Comm = append(pred.Comm, wall-maxCompute)
+		pred.Comm = append(pred.Comm, baseEnd-clock-maxCompute)
+		if wl.MigElemComm != nil {
+			pred.Migration = append(pred.Migration, intervalEnd-baseEnd)
+		}
 		clock = intervalEnd
 		m.end(wall)
 	}
 	pred.Total = clock
+	if wl.MigElemComm != nil {
+		m.migration(pred.MigrationSec(), migBytes)
+	}
 	return pred, nil
 }
 
@@ -203,6 +278,9 @@ func (p *Platform) SimulateBSP(wl *core.Workload) (*Prediction, error) {
 	}
 	pred := &Prediction{Ranks: ranks, RankBusy: make([]float64, ranks)}
 	m := p.simMetrics()
+	pointsPerElem := p.N * p.N * p.N
+	var migScratch []migEntry
+	migBytes := 0.0
 	compute := make([]float64, ranks)
 	for k := 0; k < wl.RealComp.Frames(); k++ {
 		m.begin()
@@ -219,25 +297,42 @@ func (p *Platform) SimulateBSP(wl *core.Workload) (*Prediction, error) {
 				maxCompute = compute[r]
 			}
 		}
-		wall := maxCompute
+		base := maxCompute
 		for _, e := range wl.RealComm.At(k).Entries() {
-			if t := compute[e.Src] + p.Machine.transferTime(e.Count); t > wall {
-				wall = t
+			if t := compute[e.Src] + p.Machine.transferTime(e.Count); t > base {
+				base = t
 			}
 		}
 		if wl.GhostComm != nil {
 			for _, e := range wl.GhostComm.At(k).Entries() {
 				t := compute[e.Src] + float64(sampleEvery)*p.Machine.transferTime(e.Count)
-				if t > wall {
-					wall = t
+				if t > base {
+					base = t
 				}
 			}
 		}
+		// Migration messages extend the barrier past the compute+comm base;
+		// the excess is the interval's priced rebalance cost.
+		wall := base
+		if wl.MigElemComm != nil {
+			migScratch = migrationEntriesAt(wl, k, migScratch)
+			for _, e := range migScratch {
+				t := compute[e.src] + p.Machine.migrationTime(e.elems, e.parts, pointsPerElem)
+				if t > wall {
+					wall = t
+				}
+				migBytes += p.Machine.migrationBytes(e.elems, e.parts, pointsPerElem)
+			}
+			pred.Migration = append(pred.Migration, wall-base)
+		}
 		pred.IntervalWall = append(pred.IntervalWall, wall)
 		pred.Compute = append(pred.Compute, maxCompute)
-		pred.Comm = append(pred.Comm, wall-maxCompute)
+		pred.Comm = append(pred.Comm, base-maxCompute)
 		pred.Total += wall
 		m.end(wall)
+	}
+	if wl.MigElemComm != nil {
+		m.migration(pred.MigrationSec(), migBytes)
 	}
 	return pred, nil
 }

@@ -22,16 +22,28 @@ type Machine struct {
 	// velocity, properties — "each particle has a specific amount of data
 	// associated with it", §II-A).
 	BytesPerParticle float64
+	// BytesPerGridPoint is the payload of one grid point's field state —
+	// what a rebalance epoch ships per point when an element changes owner
+	// (conserved variables, double precision). Zero means
+	// DefaultBytesPerGridPoint.
+	BytesPerGridPoint float64
 }
+
+// DefaultBytesPerGridPoint is the grid-point payload assumed when a machine
+// model does not set one: 8 double-precision conserved/primitive variables
+// (density, 3×momentum, energy, pressure and two species fields) at 8 bytes
+// each.
+const DefaultBytesPerGridPoint = 64
 
 // Quartz returns a machine model representative of LLNL's Quartz (§IV-A):
 // Intel Xeon E5 nodes on a 100 Gb/s Intel Omni-Path fabric.
 func Quartz() Machine {
 	return Machine{
-		Name:             "quartz",
-		Latency:          1.5e-6,
-		Bandwidth:        12.5e9, // 100 Gb/s Omni-Path
-		BytesPerParticle: 96,     // 3×pos + 3×vel + props, double precision
+		Name:              "quartz",
+		Latency:           1.5e-6,
+		Bandwidth:         12.5e9, // 100 Gb/s Omni-Path
+		BytesPerParticle:  96,     // 3×pos + 3×vel + props, double precision
+		BytesPerGridPoint: DefaultBytesPerGridPoint,
 	}
 }
 
@@ -40,10 +52,11 @@ func Quartz() Machine {
 // but modest per-link bandwidth.
 func Vulcan() Machine {
 	return Machine{
-		Name:             "vulcan",
-		Latency:          2.5e-6,
-		Bandwidth:        2.0e9, // 2 GB/s per BG/Q link
-		BytesPerParticle: 96,
+		Name:              "vulcan",
+		Latency:           2.5e-6,
+		Bandwidth:         2.0e9, // 2 GB/s per BG/Q link
+		BytesPerParticle:  96,
+		BytesPerGridPoint: DefaultBytesPerGridPoint,
 	}
 }
 
@@ -51,10 +64,11 @@ func Vulcan() Machine {
 // Gemini interconnect.
 func Titan() Machine {
 	return Machine{
-		Name:             "titan",
-		Latency:          1.4e-6,
-		Bandwidth:        8.0e9,
-		BytesPerParticle: 96,
+		Name:              "titan",
+		Latency:           1.4e-6,
+		Bandwidth:         8.0e9,
+		BytesPerParticle:  96,
+		BytesPerGridPoint: DefaultBytesPerGridPoint,
 	}
 }
 
@@ -77,4 +91,29 @@ func (m Machine) transferTime(n int64) float64 {
 		return 0
 	}
 	return m.Latency + float64(n)*m.BytesPerParticle/m.Bandwidth
+}
+
+// gridPointBytes returns the configured grid-point payload, defaulted.
+func (m Machine) gridPointBytes() float64 {
+	if m.BytesPerGridPoint <= 0 {
+		return DefaultBytesPerGridPoint
+	}
+	return m.BytesPerGridPoint
+}
+
+// migrationBytes is the wire payload of one rebalance transfer: elems
+// elements of grid state (pointsPerElem grid points each) plus parts
+// resident particle records.
+func (m Machine) migrationBytes(elems, parts int64, pointsPerElem float64) float64 {
+	return float64(elems)*pointsPerElem*m.gridPointBytes() + float64(parts)*m.BytesPerParticle
+}
+
+// migrationTime is the cost of one rebalance transfer as a single LogP
+// message from old owner to new owner. Unlike ghost updates it is paid once
+// per interval, not per iteration — ownership changes at the epoch and stays.
+func (m Machine) migrationTime(elems, parts int64, pointsPerElem float64) float64 {
+	if elems <= 0 && parts <= 0 {
+		return 0
+	}
+	return m.Latency + m.migrationBytes(elems, parts, pointsPerElem)/m.Bandwidth
 }

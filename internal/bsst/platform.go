@@ -97,6 +97,11 @@ type Prediction struct {
 	// Compute and Comm split each interval's critical path into its
 	// compute and communication parts.
 	Compute, Comm []float64
+	// Migration[k] is the extra wall time interval k pays for rebalance
+	// state transfers — the interval wall with migration messages minus the
+	// wall without them, so Compute + Comm + Migration = IntervalWall. Nil
+	// when the workload carries no migration matrices (static mappings).
+	Migration []float64
 	// RankBusy is each rank's accumulated compute time across the run;
 	// dividing by Ranks×Total gives the predicted compute utilization —
 	// the simulator's view of the idle-processor pathology of Fig 1.
@@ -116,6 +121,16 @@ func (p *Prediction) MeanUtilization() float64 {
 		sum += b
 	}
 	return sum / (float64(p.Ranks) * p.Total)
+}
+
+// MigrationSec returns the total predicted migration cost across the run
+// (0 for static mappings).
+func (p *Prediction) MigrationSec() float64 {
+	sum := 0.0
+	for _, m := range p.Migration {
+		sum += m
+	}
+	return sum
 }
 
 // frameCounts returns the real and ghost counts of rank r at frame k,

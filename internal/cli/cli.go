@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"picpredict"
+	"picpredict/internal/rebalance"
 	"picpredict/internal/scenario"
 )
 
@@ -231,6 +232,50 @@ func ParseMappings(name, s string) ([]picpredict.MappingKind, error) {
 		}
 		seen[m] = true
 		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: empty list", name)
+	}
+	return out, nil
+}
+
+// ParseRebalance validates a single rebalance-policy flag value and returns
+// its canonical spelling ("" stays "", "none" stays "none", numeric
+// parameters are re-rendered shortest-form) so downstream keys and manifests
+// never see two spellings of one policy.
+func ParseRebalance(name, s string) (string, error) {
+	spec, err := rebalance.ParseSpec(s)
+	if err != nil {
+		return "", fmt.Errorf("%s: %v", name, err)
+	}
+	if s == "" {
+		return "", nil
+	}
+	return spec.String(), nil
+}
+
+// ParseRebalances parses a comma-separated rebalance-axis list (the predict
+// -rebalances sweep flag). Entries are canonicalised through ParseRebalance
+// and duplicates of the canonical form rejected — "periodic:04" after
+// "periodic:4" is a typo, not a second configuration.
+func ParseRebalances(name, s string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec, err := rebalance.ParseSpec(part)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		canon := spec.String()
+		if seen[canon] {
+			return nil, fmt.Errorf("%s: duplicate rebalance policy %q", name, canon)
+		}
+		seen[canon] = true
+		out = append(out, canon)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("%s: empty list", name)

@@ -420,3 +420,68 @@ func TestParseMachines(t *testing.T) {
 		})
 	}
 }
+
+// TestParseRebalance pins the point-mode -rebalance flag: canonicalisation,
+// the ""/"none" identities, and flag-named diagnostics.
+func TestParseRebalance(t *testing.T) {
+	for in, want := range map[string]string{
+		"":               "",
+		"none":           "none",
+		"periodic:04":    "periodic:4",
+		"threshold:1.50": "threshold:1.5",
+		"diffusion:1.2":  "diffusion:1.2/3",
+	} {
+		got, err := ParseRebalance("-rebalance", in)
+		if err != nil || got != want {
+			t.Errorf("ParseRebalance(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"periodic:0", "bogus:1", "threshold:NaN", "none:1"} {
+		_, err := ParseRebalance("-rebalance", in)
+		if err == nil {
+			t.Errorf("ParseRebalance(%q) accepted", in)
+		} else if !strings.Contains(err.Error(), "-rebalance") {
+			t.Errorf("error %q does not name the flag", err)
+		}
+	}
+}
+
+// TestParseRebalances pins the -rebalances sweep axis: canonical dedup and
+// the same list diagnostics as the other axis parsers.
+func TestParseRebalances(t *testing.T) {
+	got, err := ParseRebalances("-rebalances", " none, periodic:4 , diffusion:1.2/5,")
+	want := []string{"none", "periodic:4", "diffusion:1.2/5"}
+	if err != nil || len(got) != len(want) {
+		t.Fatalf("ParseRebalances = %v, %v; want %v", got, err, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParseRebalances = %v, want %v", got, want)
+		}
+	}
+
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty string", "", "empty list"},
+		{"only separators", " , ,", "empty list"},
+		{"bad spec", "periodic:-1", "rebalance"},
+		{"duplicate canonical", "periodic:4,periodic:04", `duplicate rebalance policy "periodic:4"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseRebalances("-rebalances", c.in)
+			if err == nil {
+				t.Fatalf("ParseRebalances(%q) accepted", c.in)
+			}
+			if !strings.Contains(err.Error(), "-rebalances") {
+				t.Errorf("error %q does not name the flag", err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q missing %q", err, c.want)
+			}
+		})
+	}
+}

@@ -81,6 +81,15 @@ type Workload struct {
 	// at interval k (ghosts are re-created every interval, so this is
 	// per-frame, not per-transition). Nil when ghosts are disabled.
 	GhostComm *sparse.Series
+
+	// MigElemComm.At(k) / MigPartComm.At(k): elements and resident
+	// particles whose ownership moved between rank pairs when the mapper
+	// rebalanced at interval k. Non-nil (with empty matrices on epoch-free
+	// intervals) exactly when the mapper is a mapping.MigrationSource; nil
+	// for static mappings. Unlike RealComm these are *state transfers* the
+	// rebalancer itself causes, priced separately by the simulator.
+	MigElemComm *sparse.Series
+	MigPartComm *sparse.Series
 }
 
 // Generator synthesises a Workload from trace frames. Feed frames in order
@@ -88,6 +97,7 @@ type Workload struct {
 type Generator struct {
 	cfg    Config
 	ghosts mapping.GhostSource
+	mig    mapping.MigrationSource // non-nil iff the mapper reports migrations
 
 	wl       *Workload
 	prev     []int // rank of each particle in the previous frame
@@ -121,6 +131,9 @@ type Generator struct {
 	obsTiles     *obs.Counter
 	ghostQueries *obs.Counter
 	ghostCopies  *obs.Counter
+	obsMigElems  *obs.Counter
+	obsMigParts  *obs.Counter
+	obsEpochs    *obs.Counter
 }
 
 // SetObs attaches an observability registry: per-frame fill latency lands
@@ -140,6 +153,9 @@ func (g *Generator) SetObs(reg *obs.Registry) {
 	g.obsTiles = reg.Counter("core.tiles")
 	g.ghostQueries = reg.Counter("core.ghost_queries")
 	g.ghostCopies = reg.Counter("core.ghost_copies")
+	g.obsMigElems = reg.Counter(obs.RebalanceMigratedElements)
+	g.obsMigParts = reg.Counter(obs.RebalanceMigratedParticles)
+	g.obsEpochs = reg.Counter(obs.RebalanceEpochs)
 }
 
 // NewGenerator validates cfg and prepares a generator.
@@ -177,6 +193,11 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	if g.ghosts != nil {
 		g.wl.GhostComp = NewCompMatrix(r)
 		g.wl.GhostComm = sparse.NewSeries(r)
+	}
+	if ms, ok := cfg.Mapper.(mapping.MigrationSource); ok {
+		g.mig = ms
+		g.wl.MigElemComm = sparse.NewSeries(r)
+		g.wl.MigPartComm = sparse.NewSeries(r)
 	}
 	if cfg.Workers > 1 {
 		g.workers = cfg.Workers
@@ -221,6 +242,24 @@ func (g *Generator) Frame(iteration int, pos []geom.Vec3) error {
 	if g.ghosts != nil {
 		gcomp = g.wl.GhostComp.AppendFrame(iteration)
 		gcomm = g.wl.GhostComm.Append()
+	}
+	if g.mig != nil {
+		// The mapper just ran this frame's (possible) rebalance inside
+		// Assign; drain what moved into this interval's migration matrices.
+		me := g.wl.MigElemComm.Append()
+		mp := g.wl.MigPartComm.Append()
+		for _, m := range g.mig.DrainMigrations() {
+			if err := me.Add(m.Src, m.Dst, m.Elements); err != nil {
+				return fmt.Errorf("core: frame %d: %w", g.frames, err)
+			}
+			if err := mp.Add(m.Src, m.Dst, m.Particles); err != nil {
+				return fmt.Errorf("core: frame %d: %w", g.frames, err)
+			}
+			if g.obsOn {
+				g.obsMigElems.Add(m.Elements)
+				g.obsMigParts.Add(m.Particles)
+			}
+		}
 	}
 
 	parallel := g.workers > 1 && len(pos) >= 4*g.workers
@@ -616,6 +655,11 @@ func (g *Generator) Finish() (*Workload, error) {
 		return nil, errors.New("core: Finish called twice")
 	}
 	g.finished = true
+	if g.obsOn {
+		if rs, ok := g.cfg.Mapper.(mapping.RebalanceStats); ok {
+			g.obsEpochs.Add(int64(rs.RebalanceEpochs()))
+		}
+	}
 	its := g.wl.RealComp.Iterations()
 	if len(its) >= 2 {
 		g.wl.SampleEvery = its[1] - its[0]

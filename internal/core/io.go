@@ -21,11 +21,13 @@ import (
 //
 //	magic "PICWKL02"
 //	frame: ranks uint32 | frames uint32 | numParticles uint64 |
-//	       sampleEvery uint32 | flags uint32 (bit0: ghost matrices present)
+//	       sampleEvery uint32 | flags uint32 (bit0: ghost matrices present,
+//	       bit1: migration matrices present)
 //	per interval k, one frame:
 //	       iteration int64 | realComp int64 × ranks |
 //	       realComm count uint32, then (src uint32, dst uint32, n int64)× |
-//	       [ghostComp int64 × ranks | ghostComm like realComm]
+//	       [ghostComp int64 × ranks | ghostComm like realComm] |
+//	       [migElemComm like realComm | migPartComm like realComm]
 //
 // Grouping each interval's rows into one checksummed frame is what makes a
 // torn workload file salvageable: every interval in front of the damage is
@@ -59,6 +61,9 @@ func (wl *Workload) Write(w io.Writer) error {
 	if wl.GhostComp != nil {
 		flags |= 1
 	}
+	if wl.MigElemComm != nil {
+		flags |= 2
+	}
 	var hdr [workloadHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(wl.Ranks))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(frames))
@@ -78,6 +83,10 @@ func (wl *Workload) Write(w io.Writer) error {
 		if wl.GhostComp != nil {
 			buf = appendCompRow(buf, wl.GhostComp.Frame(k))
 			buf = appendComm(buf, wl.GhostComm.At(k))
+		}
+		if wl.MigElemComm != nil {
+			buf = appendComm(buf, wl.MigElemComm.At(k))
+			buf = appendComm(buf, wl.MigPartComm.At(k))
 		}
 		if err := fw.WriteFrame(buf); err != nil {
 			return fmt.Errorf("core: writing workload interval %d: %w", k, err)
@@ -106,7 +115,9 @@ func appendComm(buf []byte, m *sparse.Matrix) []byte {
 
 // WriteLegacy serialises the workload in the unframed v1 layout — kept for
 // interchange with consumers of the old format and for the backward-
-// compatibility tests proving v2 readers still accept v1 files.
+// compatibility tests proving v2 readers still accept v1 files. The v1
+// layout predates migration matrices and cannot carry them; a workload with
+// migration data round-trips through v1 with that section dropped.
 func (wl *Workload) WriteLegacy(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(workloadMagicV1); err != nil {
@@ -250,6 +261,11 @@ func readWorkloadV2(br *bufio.Reader) (wl *Workload, damage error, err error) {
 		wl.GhostComp = NewCompMatrix(int(ranks))
 		wl.GhostComm = sparse.NewSeries(int(ranks))
 	}
+	migration := flags&2 != 0
+	if migration {
+		wl.MigElemComm = sparse.NewSeries(int(ranks))
+		wl.MigPartComm = sparse.NewSeries(int(ranks))
+	}
 	for k := 0; k < int(frames); k++ {
 		payload, err := fr.ReadFrame()
 		if err != nil {
@@ -259,7 +275,7 @@ func readWorkloadV2(br *bufio.Reader) (wl *Workload, damage error, err error) {
 			damage = fmt.Errorf("core: workload interval %d of %d: %w", k, frames, err)
 			break
 		}
-		if err := parseWorkloadFrame(wl, payload, ghosts); err != nil {
+		if err := parseWorkloadFrame(wl, payload, ghosts, migration); err != nil {
 			damage = fmt.Errorf("core: workload interval %d of %d: %w", k, frames, err)
 			break
 		}
@@ -273,7 +289,7 @@ func readWorkloadV2(br *bufio.Reader) (wl *Workload, damage error, err error) {
 // parseWorkloadFrame decodes one interval payload into wl, appending one
 // frame to every matrix — all-or-nothing, so a malformed payload never
 // leaves the matrices at different lengths.
-func parseWorkloadFrame(wl *Workload, payload []byte, ghosts bool) error {
+func parseWorkloadFrame(wl *Workload, payload []byte, ghosts, migration bool) error {
 	p := payload
 	take := func(n int) ([]byte, error) {
 		if len(p) < n {
@@ -339,6 +355,16 @@ func parseWorkloadFrame(wl *Workload, payload []byte, ghosts bool) error {
 			return err
 		}
 	}
+	migElem := sparse.NewMatrix(wl.Ranks)
+	migPart := sparse.NewMatrix(wl.Ranks)
+	if migration {
+		if err := readCommInto(migElem); err != nil {
+			return err
+		}
+		if err := readCommInto(migPart); err != nil {
+			return err
+		}
+	}
 	if len(p) != 0 {
 		return fmt.Errorf("core: interval payload has %d trailing bytes", len(p))
 	}
@@ -350,6 +376,14 @@ func parseWorkloadFrame(wl *Workload, payload []byte, ghosts bool) error {
 	if ghosts {
 		copy(wl.GhostComp.AppendFrame(iteration), ghostRow)
 		if err := ghostComm.AddInto(wl.GhostComm.Append()); err != nil {
+			return err
+		}
+	}
+	if migration {
+		if err := migElem.AddInto(wl.MigElemComm.Append()); err != nil {
+			return err
+		}
+		if err := migPart.AddInto(wl.MigPartComm.Append()); err != nil {
 			return err
 		}
 	}

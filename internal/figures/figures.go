@@ -60,11 +60,12 @@ type Runner struct {
 }
 
 type workloadKey struct {
-	ranks    int
-	mapping  picpredict.MappingKind
-	filter   float64
-	relaxed  bool
-	midpoint bool
+	ranks     int
+	mapping   picpredict.MappingKind
+	filter    float64
+	relaxed   bool
+	midpoint  bool
+	rebalance string
 }
 
 // NewRunner prepares a runner writing its tables to out.
@@ -93,6 +94,7 @@ func (r *Runner) workload(opts picpredict.WorkloadOptions) (*picpredict.Workload
 	key := workloadKey{
 		ranks: opts.Ranks, mapping: opts.Mapping, filter: opts.FilterRadius,
 		relaxed: opts.RelaxedBins, midpoint: opts.MidpointSplit,
+		rebalance: opts.Rebalance,
 	}
 	if wl, ok := r.workloads[key]; ok {
 		return wl, nil

@@ -318,6 +318,55 @@ func TestReportMechanics(t *testing.T) {
 	}
 }
 
+func TestRebalanceMechanics(t *testing.T) {
+	r := tinyRunner(t)
+	rows, err := r.Rebalance(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (static + 3 policies) × 3 rank configurations.
+	if len(rows) != 4*3 {
+		t.Fatalf("rebalance rows = %d, want 12", len(rows))
+	}
+	for _, row := range rows {
+		if row.TotalSec <= 0 {
+			t.Errorf("R=%d %q: total %v", row.Ranks, row.Policy, row.TotalSec)
+		}
+		if row.MigrationSec < 0 || row.MigrationSec >= row.TotalSec {
+			t.Errorf("R=%d %q: migration %v outside [0, total %v)", row.Ranks, row.Policy, row.MigrationSec, row.TotalSec)
+		}
+		if row.Policy == "" {
+			if row.Epochs != 0 || row.MigratedElements != 0 || row.Speedup != 1 {
+				t.Errorf("static row carries dynamic figures: %+v", row)
+			}
+		} else if row.Epochs > 0 && row.MigratedElements <= 0 {
+			t.Errorf("R=%d %q: %d epochs moved no elements", row.Ranks, row.Policy, row.Epochs)
+		}
+	}
+	// The dispersing bed must reward rebalancing at the largest R: at least
+	// one policy beats static bisection net of migration cost.
+	best := 0.0
+	for _, row := range rows {
+		if row.Ranks == 64 && row.Speedup > best {
+			best = row.Speedup
+		}
+	}
+	if best <= 1 {
+		t.Errorf("no policy beats static bisection at R=64 (best %.2fx)", best)
+	}
+
+	var md bytes.Buffer
+	if err := r.RebalanceReport(&md); err != nil {
+		t.Fatal(err)
+	}
+	out := md.String()
+	for _, section := range []string{"# Dynamic load balancing", "## Headline — R=64", "net of migration cost", "| R | policy |"} {
+		if !strings.Contains(out, section) {
+			t.Errorf("rebalance report missing %q", section)
+		}
+	}
+}
+
 func TestMappersMechanics(t *testing.T) {
 	r := tinyRunner(t)
 	rows, err := r.Mappers()

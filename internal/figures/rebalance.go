@@ -1,0 +1,158 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"picpredict"
+)
+
+// RebalancePolicies are the dynamic load-balancing policies the study
+// compares against static bisection (canonical internal/rebalance specs).
+var RebalancePolicies = []string{"periodic:4", "threshold:1.5", "diffusion:1.5/3"}
+
+// RebalanceRow is one (rank count, policy) outcome of the dynamic
+// load-balancing study: the end-to-end prediction with migration priced as
+// LogP messages, next to the static-bisection baseline at the same R.
+type RebalanceRow struct {
+	Ranks int
+	// Policy is the canonical rebalance spec; "" is static bisection.
+	Policy string
+	// TotalSec is the predicted application wall time, migration included.
+	TotalSec float64
+	// MigrationSec is the part of TotalSec the rebalance transfers add on
+	// top of the compute+comm barrier — 0 when every transfer hides under
+	// the slowest rank's interval (the cost is fully overlapped).
+	MigrationSec float64
+	// Epochs counts the rebalances the policy fired over the run.
+	Epochs int
+	// MigratedElements/MigratedParticles are the total state volumes the
+	// epochs moved between ranks.
+	MigratedElements, MigratedParticles int64
+	// Speedup is the static-bisection TotalSec at the same R divided by
+	// this row's TotalSec (1.0 for the static rows themselves).
+	Speedup float64
+}
+
+// Rebalance runs the dynamic load-balancing study: the element mapping
+// under static bisection and under each policy, at every configured rank
+// count, priced end to end so the speedups are net of migration cost. The
+// element mapping is the one that degrades as the particle bed disperses
+// (Fig 1's pathology) — exactly the workload rebalancing is for.
+func (r *Runner) Rebalance(policies []string) ([]RebalanceRow, error) {
+	if len(policies) == 0 {
+		policies = RebalancePolicies
+	}
+	if _, err := r.Trace(); err != nil {
+		return nil, err
+	}
+	platform, err := r.platform()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(r.out, "\n== Dynamic load balancing: element mapping, policies vs static bisection ==\n")
+	fmt.Fprintf(r.out, "%8s %18s %12s %12s %7s %10s %10s %8s\n",
+		"R", "policy", "total (s)", "migr (s)", "epochs", "mig elems", "mig parts", "speedup")
+	var rows []RebalanceRow
+	for _, ranks := range r.cfg.Ranks {
+		var staticTotal float64
+		for _, policy := range append([]string{""}, policies...) {
+			wl, err := r.workload(picpredict.WorkloadOptions{
+				Ranks:        ranks,
+				Mapping:      picpredict.MappingElement,
+				FilterRadius: r.cfg.Spec.FilterRadius(),
+				Rebalance:    policy,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pred, err := platform.SimulateBSP(wl)
+			if err != nil {
+				return nil, err
+			}
+			elems, parts := wl.MigrationTotals()
+			row := RebalanceRow{
+				Ranks:             ranks,
+				Policy:            policy,
+				TotalSec:          pred.Total,
+				MigrationSec:      pred.MigrationSec(),
+				Epochs:            wl.MigrationEpochs(),
+				MigratedElements:  elems,
+				MigratedParticles: parts,
+			}
+			if policy == "" {
+				staticTotal = row.TotalSec
+			}
+			row.Speedup = staticTotal / row.TotalSec
+			rows = append(rows, row)
+			name := row.Policy
+			if name == "" {
+				name = "static"
+			}
+			fmt.Fprintf(r.out, "%8d %18s %12.4g %12.4g %7d %10d %10d %7.2fx\n",
+				row.Ranks, name, row.TotalSec, row.MigrationSec, row.Epochs,
+				row.MigratedElements, row.MigratedParticles, row.Speedup)
+		}
+	}
+	fmt.Fprintf(r.out, "speedups are net of migration cost (LogP-priced state transfers, paid once per epoch)\n")
+	return rows, nil
+}
+
+// RebalanceReport writes the dynamic-load-balancing study as a
+// self-contained markdown report (scripts/rebalance_report.sh regenerates
+// REPORT_rebalance.md from it).
+func (r *Runner) RebalanceReport(w io.Writer) error {
+	rows, err := r.Rebalance(nil)
+	if err != nil {
+		return err
+	}
+	tr, err := r.Trace()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Dynamic load balancing — predicted speedup over static bisection\n\n")
+	fmt.Fprintf(w, "Generated %s by `scripts/rebalance_report.sh`; all numbers are deterministic (fixed seeds), so re-running reproduces them bit-for-bit.\n\n",
+		time.Now().Format(time.RFC3339))
+	fmt.Fprintf(w, "Scenario: %s bed dispersal — %d particles, %d elements, %d frames; element mapping; processor configurations %v. ",
+		r.cfg.Spec.Name(), tr.NumParticles(), r.cfg.Spec.NumElements(), tr.Frames(), r.cfg.Ranks)
+	fmt.Fprintf(w, "Every prediction below is end-to-end through the BSP simulator with rebalance state transfers priced as LogP messages (latency + bytes/bandwidth, paid once per epoch), so the speedups are **net of migration cost**.\n\n")
+
+	fmt.Fprintf(w, "| R | policy | predicted total (s) | migration (s) | epochs | elements moved | particles moved | speedup vs static |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|\n")
+	var headline []RebalanceRow
+	maxRanks := r.cfg.Ranks[0]
+	for _, ranks := range r.cfg.Ranks {
+		if ranks > maxRanks {
+			maxRanks = ranks
+		}
+	}
+	for _, row := range rows {
+		name := row.Policy
+		if name == "" {
+			name = "static bisection"
+		}
+		fmt.Fprintf(w, "| %d | %s | %.4g | %.4g | %d | %d | %d | %.2f× |\n",
+			row.Ranks, name, row.TotalSec, row.MigrationSec, row.Epochs,
+			row.MigratedElements, row.MigratedParticles, row.Speedup)
+		if row.Ranks == maxRanks {
+			headline = append(headline, row)
+		}
+	}
+
+	fmt.Fprintf(w, "\n## Headline — R=%d (paper-scale processor configuration)\n\n", maxRanks)
+	for _, row := range headline {
+		if row.Policy == "" {
+			fmt.Fprintf(w, "Static bisection of the frame-0 element decomposition predicts **%.4g s**; as the bed disperses, the initial cut goes stale and the loaded ranks serialize the run.\n\n", row.TotalSec)
+			continue
+		}
+		fmt.Fprintf(w, "- **%s**: %.4g s predicted — **%.2f× vs static**, paying %.4g s of migration over %d epoch(s) (%d elements, %d resident particles shipped).\n",
+			row.Policy, row.TotalSec, row.Speedup, row.MigrationSec, row.Epochs,
+			row.MigratedElements, row.MigratedParticles)
+	}
+
+	fmt.Fprintf(w, "\n## Reading the migration column\n\n")
+	fmt.Fprintf(w, "`migration (s)` is the *marginal* barrier extension: each epoch's transfers enter the event queue as LogP messages, and the interval charges only the time they push the barrier past the compute+comm critical path. ")
+	fmt.Fprintf(w, "A zero therefore does not mean free — it means the one-off transfers finished under the slowest rank's interval, so the rebalance was absorbed into existing slack. The element/particle volume columns show what actually moved.\n")
+	return nil
+}

@@ -43,9 +43,16 @@ type WeightedElementMapper struct {
 	// Rebalances counts partition rebuilds (epochs), an output statistic.
 	Rebalances int
 
+	// frames counts Assign calls (the current 0-based frame index).
+	frames int
+	// pending holds migrations recorded since the last drain.
+	pending []Migration
+
 	// scratch
-	elemOf  []int
-	weights []float64
+	elemOf   []int
+	weights  []float64
+	oldOwner []int
+	counts   []int64
 }
 
 // NewWeightedElementMapper builds the mapper with default parameters.
@@ -87,18 +94,93 @@ func (wm *WeightedElementMapper) Assign(dst []int, pos []geom.Vec3) error {
 	}
 
 	if wm.owner == nil || wm.overloaded(elemOf) {
+		// Snapshot the outgoing assignment (nil on the initial build, which
+		// installs rather than migrates) so the rebuild's owner diff can be
+		// priced as migration volume.
+		old := wm.oldOwner
+		if wm.owner != nil {
+			old = append(old[:0], wm.owner...)
+			wm.oldOwner = old
+		} else {
+			old = nil
+		}
 		wm.repartition(elemOf)
 		wm.Rebalances++
 		// Record what partitioning could actually achieve for this frame;
 		// future triggers adapt to it (element granularity may keep the
 		// ratio above the nominal factor for heavily clustered beds).
 		wm.baselineRatio = wm.loadRatio(elemOf)
+		if old != nil {
+			wm.recordMigrations(old, elemOf)
+		}
 	}
 	for i, e := range elemOf {
 		dst[i] = wm.owner[e]
 	}
+	wm.frames++
 	return nil
 }
+
+// recordMigrations diffs the outgoing assignment against the rebuilt one and
+// appends one Migration per changed (src,dst) rank pair, weighted by this
+// frame's resident particles.
+func (wm *WeightedElementMapper) recordMigrations(old, elemOf []int) {
+	if wm.counts == nil {
+		wm.counts = make([]int64, wm.Mesh.NumElements())
+	} else {
+		clear(wm.counts)
+	}
+	for _, e := range elemOf {
+		wm.counts[e]++
+	}
+	type volume struct{ elems, parts int64 }
+	moved := make(map[[2]int]*volume)
+	for e, src := range old {
+		dst := wm.owner[e]
+		if dst == src {
+			continue
+		}
+		k := [2]int{src, dst}
+		v := moved[k]
+		if v == nil {
+			v = &volume{}
+			moved[k] = v
+		}
+		v.elems++
+		v.parts += wm.counts[e]
+	}
+	// Collect-then-sort: map iteration order must not leak into the
+	// migration stream.
+	keys := make([][2]int, 0, len(moved))
+	for k := range moved {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, k := range keys {
+		v := moved[k]
+		wm.pending = append(wm.pending, Migration{
+			Frame: wm.frames, Src: k[0], Dst: k[1],
+			Elements: v.elems, Particles: v.parts,
+		})
+	}
+}
+
+// DrainMigrations implements MigrationSource.
+func (wm *WeightedElementMapper) DrainMigrations() []Migration {
+	out := wm.pending
+	wm.pending = nil
+	return out
+}
+
+// RebalanceEpochs implements RebalanceStats. The count matches Rebalances —
+// for this mapper the initial build goes through the same lazy-rebalance
+// machinery, so it is included.
+func (wm *WeightedElementMapper) RebalanceEpochs() int { return wm.Rebalances }
 
 // overloaded reports whether the current partition's worst rank load
 // exceeds the rebalance trigger under this frame's particle placement: the
@@ -202,4 +284,8 @@ func hilbertElementOrder(m *mesh.Mesh) []int {
 	return idx
 }
 
-var _ Mapper = (*WeightedElementMapper)(nil)
+var (
+	_ Mapper          = (*WeightedElementMapper)(nil)
+	_ MigrationSource = (*WeightedElementMapper)(nil)
+	_ RebalanceStats  = (*WeightedElementMapper)(nil)
+)

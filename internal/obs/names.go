@@ -67,6 +67,31 @@ const (
 	SweepSharedBuilds = "sweep.shared_builds"
 )
 
+// Canonical metric names of the dynamic load-balancing axis
+// (internal/rebalance policies driven through mapping.DynamicMapper /
+// WeightedElementMapper). The generator records the volume counters and the
+// epoch count at workload-build time; the BSP simulator records the priced
+// cost. Together a run manifest shows how often the mapping rebalanced, how
+// much state moved, and what the model says that movement cost.
+const (
+	// RebalanceEpochs counts assignment swaps the mapper performed over the
+	// run (WeightedElementMapper.Rebalances, DynamicMapper epoch count).
+	RebalanceEpochs = "rebalance.epochs"
+	// RebalanceMigratedElements / RebalanceMigratedParticles total the
+	// element and resident-particle state that changed owners across all
+	// epochs.
+	RebalanceMigratedElements  = "rebalance.migrated_elements"
+	RebalanceMigratedParticles = "rebalance.migrated_particles"
+	// RebalanceMigratedBytes totals the modeled wire bytes of those
+	// transfers under the machine's per-particle/per-grid-point sizes,
+	// recorded by the simulator.
+	RebalanceMigratedBytes = "rebalance.migrated_bytes"
+	// RebalanceMigrationNs is a histogram of per-prediction migration cost
+	// (the Migration column summed over intervals), in integer nanoseconds
+	// of predicted time.
+	RebalanceMigrationNs = "rebalance.migration_ns"
+)
+
 // Canonical metric names of the coordinator layer (internal/gate +
 // cmd/picgate). Per-backend counters additionally exist under the
 // GateBackendPrefix namespace: "gate.backend.<addr>.<kind>" with kind one of

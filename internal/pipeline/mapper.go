@@ -9,6 +9,7 @@ import (
 	"picpredict/internal/mapping"
 	"picpredict/internal/mesh"
 	"picpredict/internal/obs"
+	"picpredict/internal/rebalance"
 )
 
 // MapperSpec describes a particle mapping algorithm by name plus the
@@ -27,6 +28,11 @@ type MapperSpec struct {
 	RelaxedBins bool
 	// MidpointSplit switches bin cuts from median to spatial midpoint.
 	MidpointSplit bool
+	// Rebalance is a rebalance.ParseSpec policy spec ("", "none",
+	// "periodic:K", "threshold:F", "diffusion:F[/R]"). A non-none spec is
+	// only valid with element mapping and swaps the static decomposition
+	// for a mapping.DynamicMapper driven by the policy.
+	Rebalance string
 
 	// Domain, Elements and N describe the application mesh — required by
 	// the element-anchored mappings (element, hilbert, weighted, ohhelp),
@@ -41,6 +47,13 @@ type MapperSpec struct {
 func (ms MapperSpec) Build() (mapping.Mapper, *mapping.BinMapper, error) {
 	if ms.Ranks <= 0 {
 		return nil, nil, fmt.Errorf("pipeline: Ranks must be positive, got %d", ms.Ranks)
+	}
+	spec, err := rebalance.ParseSpec(ms.Rebalance)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pipeline: %w", err)
+	}
+	if !spec.None() && ms.Kind != "element" {
+		return nil, nil, fmt.Errorf("pipeline: rebalance policy %q requires element mapping, got %q", spec, ms.Kind)
 	}
 	switch ms.Kind {
 	case "bin":
@@ -67,6 +80,11 @@ func (ms MapperSpec) Build() (mapping.Mapper, *mapping.BinMapper, error) {
 			return mapping.NewHilbertMapper(m, ms.Ranks), nil, nil
 		case "weighted":
 			return mapping.NewWeightedElementMapper(m, ms.Ranks), nil, nil
+		}
+		if !spec.None() {
+			// The dynamic mapper installs the static bisection itself on the
+			// first frame and re-decomposes at policy epochs.
+			return mapping.NewDynamicMapper(m, ms.Ranks, spec.New()), nil, nil
 		}
 		d, err := mesh.Decompose(m, ms.Ranks)
 		if err != nil {

@@ -1,0 +1,99 @@
+package rebalance
+
+import (
+	"picpredict/internal/mesh"
+)
+
+// Diffusion is a local load-diffusion policy: when imbalance exceeds Factor
+// it runs up to Rounds sweeps that move boundary elements from overloaded
+// ranks to their least-loaded face-adjacent neighbor rank, never rebuilding
+// the global decomposition. Each move requires strict improvement (the
+// destination plus the element stays below the source), so a sweep that
+// cannot improve terminates early and the policy converges. Only face
+// neighbors are considered, which keeps partitions contiguous-ish and the
+// migrated state local — the cheapness that motivates diffusion over a full
+// re-bisection.
+type Diffusion struct {
+	// Factor is the imbalance trigger (> 1).
+	Factor float64
+	// Rounds bounds the number of diffusion sweeps per epoch (≥ 1).
+	Rounds int
+}
+
+// Name implements Policy.
+func (d Diffusion) Name() string {
+	return Spec{Kind: KindDiffusion, Factor: d.Factor, Rounds: d.Rounds}.String()
+}
+
+// Decide implements Policy.
+func (d Diffusion) Decide(m *mesh.Mesh, ld Load) ([]int, error) {
+	if ld.Frame == 0 || Imbalance(ld) <= d.Factor {
+		return nil, nil
+	}
+	owner := make([]int, len(ld.Owner))
+	copy(owner, ld.Owner)
+
+	loads := make([]float64, ld.Ranks)
+	total := 0.0
+	for e, r := range owner {
+		w := ld.GridLoad + float64(ld.Counts[e])
+		loads[r] += w
+		total += w
+	}
+	mean := total / float64(ld.Ranks)
+
+	grid := m.Elements
+	changed := false
+	rounds := d.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	for round := 0; round < rounds; round++ {
+		moved := false
+		// Elements are scanned in ascending id order and neighbors in the
+		// fixed −x,+x,−y,+y,−z,+z order, so sweeps are deterministic.
+		for e := range owner {
+			src := owner[e]
+			if loads[src] <= mean {
+				continue
+			}
+			w := ld.GridLoad + float64(ld.Counts[e])
+			i, j, k := grid.Coords(e)
+			best := -1
+			for _, nb := range [6][3]int{
+				{i - 1, j, k}, {i + 1, j, k},
+				{i, j - 1, k}, {i, j + 1, k},
+				{i, j, k - 1}, {i, j, k + 1},
+			} {
+				if nb[0] < 0 || nb[0] >= grid.Nx || nb[1] < 0 || nb[1] >= grid.Ny || nb[2] < 0 || nb[2] >= grid.Nz {
+					continue
+				}
+				s := owner[grid.Index(nb[0], nb[1], nb[2])]
+				if s == src {
+					continue
+				}
+				// Least-loaded neighbor rank wins; ties go to the lowest
+				// rank id (the < keeps the first/lowest seen).
+				//lint:allow floatcmp exact equality is the tie-break between candidate ranks; any epsilon would make the winner depend on scan order
+				if best == -1 || loads[s] < loads[best] || (loads[s] == loads[best] && s < best) {
+					best = s
+				}
+			}
+			if best == -1 || loads[best]+w >= loads[src] {
+				continue
+			}
+			owner[e] = best
+			loads[src] -= w
+			loads[best] += w
+			moved = true
+			changed = true
+		}
+		if !moved {
+			break
+		}
+	}
+	if !changed {
+		return nil, nil
+	}
+	return owner, nil
+}

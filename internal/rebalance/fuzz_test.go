@@ -1,0 +1,80 @@
+package rebalance
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzRebalanceSpec drives the policy-spec parser with arbitrary input:
+// every outcome must be either a valid, bounded, canonically round-tripping
+// spec or an error wrapping ErrSpec — never a panic. Specs arrive verbatim
+// from /v1/predict and /v1/optimize bodies, so the parser is a hostile-input
+// surface exactly like sweep.ParseRanks.
+func FuzzRebalanceSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"none",
+		"periodic:4",
+		"periodic:1048576",
+		"threshold:1.5",
+		"threshold:1e3",
+		"diffusion:1.2",
+		"diffusion:1.2/5",
+		" periodic : 10 ",
+		"periodic:0",
+		"threshold:NaN",
+		"diffusion:1.5/65",
+		"none:1",
+		"bogus:3",
+		"periodic:4:4",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		spec, err := ParseSpec(raw)
+		if err != nil {
+			if !errors.Is(err, ErrSpec) {
+				t.Fatalf("ParseSpec(%q): error %v does not wrap ErrSpec", raw, err)
+			}
+			if spec != (Spec{}) {
+				t.Fatalf("ParseSpec(%q): non-zero spec alongside error %v", raw, err)
+			}
+			return
+		}
+		// Bounds: accepted parameters stay within the documented caps.
+		switch spec.Kind {
+		case KindNone:
+		case KindPeriodic:
+			if spec.Every < 1 || spec.Every > maxEvery {
+				t.Fatalf("ParseSpec(%q): cadence %d out of bounds", raw, spec.Every)
+			}
+		case KindThreshold, KindDiffusion:
+			if !(spec.Factor > 1) || spec.Factor > maxFactor || math.IsNaN(spec.Factor) {
+				t.Fatalf("ParseSpec(%q): factor %v out of bounds", raw, spec.Factor)
+			}
+			if spec.Kind == KindDiffusion && (spec.Rounds < 1 || spec.Rounds > maxRounds) {
+				t.Fatalf("ParseSpec(%q): rounds %d out of bounds", raw, spec.Rounds)
+			}
+		default:
+			t.Fatalf("ParseSpec(%q): unknown kind %q accepted", raw, spec.Kind)
+		}
+		// Canonical form must round-trip to the identical spec.
+		again, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): canonical %q does not re-parse: %v", raw, spec.String(), err)
+		}
+		if again != spec {
+			t.Fatalf("ParseSpec(%q): canonical %q re-parses to %+v, want %+v", raw, spec.String(), again, spec)
+		}
+		// None specs have no policy; everything else instantiates one whose
+		// Name is the canonical form.
+		if spec.None() {
+			if spec.New() != nil {
+				t.Fatalf("ParseSpec(%q): none spec built a policy", raw)
+			}
+		} else if p := spec.New(); p == nil || p.Name() != spec.String() {
+			t.Fatalf("ParseSpec(%q): policy/Name mismatch", raw)
+		}
+	})
+}

@@ -1,0 +1,224 @@
+package rebalance
+
+import (
+	"testing"
+
+	"picpredict/internal/geom"
+	"picpredict/internal/mesh"
+)
+
+// lineMesh is a 8×1×1 strip: element e spans [e, e+1) in x.
+func lineMesh(t *testing.T) *mesh.Mesh {
+	t.Helper()
+	m, err := mesh.New(geom.Box(geom.V(0, 0, 0), geom.V(8, 1, 1)), 8, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// skewedLoad puts every particle in element 0 of a 2-rank half/half split:
+// the worst case the policies exist for.
+func skewedLoad(m *mesh.Mesh, frame int) Load {
+	n := m.NumElements()
+	owner := make([]int, n)
+	counts := make([]int64, n)
+	for e := range owner {
+		if e >= n/2 {
+			owner[e] = 1
+		}
+	}
+	counts[0] = 1000
+	return Load{Frame: frame, Ranks: 2, Owner: owner, Counts: counts, GridLoad: 0.1}
+}
+
+func TestImbalance(t *testing.T) {
+	m := lineMesh(t)
+	if got := Imbalance(Load{}); got != 0 {
+		t.Errorf("empty load imbalance = %v, want 0", got)
+	}
+	// Uniform counts on a half/half split balance perfectly.
+	ld := skewedLoad(m, 1)
+	for e := range ld.Counts {
+		ld.Counts[e] = 5
+	}
+	if got := Imbalance(ld); got != 1 {
+		t.Errorf("uniform imbalance = %v, want 1", got)
+	}
+	// All load on rank 0's side: max≈total so imbalance ≈ R.
+	ld = skewedLoad(m, 1)
+	if got := Imbalance(ld); got < 1.9 {
+		t.Errorf("skewed imbalance = %v, want ≈2", got)
+	}
+}
+
+func TestPeriodicFiresOnCadenceOnly(t *testing.T) {
+	m := lineMesh(t)
+	p := Periodic{Every: 3}
+	for frame := 0; frame < 10; frame++ {
+		got, err := p.Decide(m, skewedLoad(m, frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFire := frame != 0 && frame%3 == 0
+		if (got != nil) != wantFire {
+			t.Errorf("frame %d: fired=%v, want %v", frame, got != nil, wantFire)
+		}
+	}
+	// Degenerate cadence never fires.
+	if got, _ := (Periodic{Every: 0}).Decide(m, skewedLoad(m, 4)); got != nil {
+		t.Error("Every=0 fired")
+	}
+}
+
+func TestPeriodicRebisectionBalancesWeight(t *testing.T) {
+	m := lineMesh(t)
+	ld := skewedLoad(m, 4)
+	owner, err := Periodic{Every: 4}.Decide(m, ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner == nil {
+		t.Fatal("did not fire")
+	}
+	if len(owner) != m.NumElements() {
+		t.Fatalf("owner length %d", len(owner))
+	}
+	// The fresh assignment must not alias the input.
+	if &owner[0] == &ld.Owner[0] {
+		t.Fatal("policy returned the input slice")
+	}
+	// All weight sits in element 0, so the weighted cut gives rank 0 far
+	// fewer elements than the static half/half split.
+	n0 := 0
+	for _, r := range owner {
+		if r == 0 {
+			n0++
+		}
+	}
+	if n0 >= m.NumElements()/2 {
+		t.Errorf("rank 0 still owns %d of %d elements after weighted re-bisection", n0, m.NumElements())
+	}
+	after := Load{Frame: 4, Ranks: 2, Owner: owner, Counts: ld.Counts, GridLoad: ld.GridLoad}
+	if before, now := Imbalance(ld), Imbalance(after); now >= before {
+		t.Errorf("imbalance %v did not improve from %v", now, before)
+	}
+}
+
+func TestThresholdFiresOnImbalanceOnly(t *testing.T) {
+	m := lineMesh(t)
+	pol := Threshold{Factor: 1.5}
+	// Balanced load: never fires.
+	ld := skewedLoad(m, 5)
+	for e := range ld.Counts {
+		ld.Counts[e] = 5
+	}
+	if got, err := pol.Decide(m, ld); err != nil || got != nil {
+		t.Fatalf("balanced load fired (owner=%v err=%v)", got, err)
+	}
+	// Skewed load: fires, but never at frame 0.
+	if got, err := pol.Decide(m, skewedLoad(m, 0)); err != nil || got != nil {
+		t.Fatalf("frame 0 fired (owner=%v err=%v)", got, err)
+	}
+	got, err := pol.Decide(m, skewedLoad(m, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("skewed load did not fire")
+	}
+}
+
+func TestDiffusionMovesBoundaryElements(t *testing.T) {
+	m := lineMesh(t)
+	pol := Diffusion{Factor: 1.2, Rounds: 3}
+	// Balanced: no epoch.
+	ld := skewedLoad(m, 2)
+	for e := range ld.Counts {
+		ld.Counts[e] = 5
+	}
+	if got, err := pol.Decide(m, ld); err != nil || got != nil {
+		t.Fatalf("balanced load diffused (owner=%v err=%v)", got, err)
+	}
+
+	// Rank 0 overloaded via many mid-weight elements: diffusion sheds
+	// boundary elements to rank 1 without a global rebuild.
+	ld = skewedLoad(m, 2)
+	for e := 0; e < 4; e++ {
+		ld.Counts[e] = 100
+	}
+	got, err := pol.Decide(m, ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("overload did not diffuse")
+	}
+	movedTo1, movedTo0 := 0, 0
+	for e, r := range got {
+		if ld.Owner[e] == 0 && r == 1 {
+			movedTo1++
+		}
+		if ld.Owner[e] == 1 && r == 0 {
+			movedTo0++
+		}
+	}
+	if movedTo1 == 0 {
+		t.Error("no element moved from the overloaded rank")
+	}
+	if movedTo0 != 0 {
+		t.Errorf("%d elements moved onto the overloaded rank", movedTo0)
+	}
+	after := Load{Frame: 2, Ranks: 2, Owner: got, Counts: ld.Counts, GridLoad: ld.GridLoad}
+	if before, now := Imbalance(ld), Imbalance(after); now >= before {
+		t.Errorf("imbalance %v did not improve from %v", now, before)
+	}
+}
+
+func TestDiffusionNeverFiresAtFrameZero(t *testing.T) {
+	m := lineMesh(t)
+	if got, err := (Diffusion{Factor: 1.1, Rounds: 3}).Decide(m, skewedLoad(m, 0)); err != nil || got != nil {
+		t.Fatalf("frame 0 diffused (owner=%v err=%v)", got, err)
+	}
+}
+
+// TestPoliciesDeterministic: identical Load sequences produce identical
+// decisions, the contract the bit-identity guarantees upstream rest on.
+func TestPoliciesDeterministic(t *testing.T) {
+	m := lineMesh(t)
+	policies := []Policy{
+		Periodic{Every: 2},
+		Threshold{Factor: 1.3},
+		Diffusion{Factor: 1.3, Rounds: 4},
+	}
+	for _, pol := range policies {
+		var first [][]int
+		for rep := 0; rep < 3; rep++ {
+			var owners [][]int
+			for frame := 0; frame < 6; frame++ {
+				ld := skewedLoad(m, frame)
+				ld.Counts[frame%len(ld.Counts)] += int64(17 * frame)
+				got, err := pol.Decide(m, ld)
+				if err != nil {
+					t.Fatal(err)
+				}
+				owners = append(owners, got)
+			}
+			if rep == 0 {
+				first = owners
+				continue
+			}
+			for f := range owners {
+				a, b := first[f], owners[f]
+				if (a == nil) != (b == nil) || len(a) != len(b) {
+					t.Fatalf("%s frame %d: decision shape differs between repeats", pol.Name(), f)
+				}
+				for e := range a {
+					if a[e] != b[e] {
+						t.Fatalf("%s frame %d element %d: %d vs %d across repeats", pol.Name(), f, e, a[e], b[e])
+					}
+				}
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"picpredict"
+	"picpredict/internal/cli"
 	"picpredict/internal/obs"
 )
 
@@ -33,6 +34,11 @@ type PredictRequest struct {
 	Filter        float64 `json:"filter,omitempty"`
 	RelaxedBins   bool    `json:"relaxed_bins,omitempty"`
 	MidpointSplit bool    `json:"midpoint_split,omitempty"`
+	// Rebalance is a dynamic load-balancing policy spec ("periodic:K",
+	// "threshold:F", "diffusion:F[/R]"; default none). Like Mapping it is a
+	// per-query workload parameter — deliberately NOT part of the model key.
+	// Requires element mapping; rejected on workload replay (baked in).
+	Rebalance string `json:"rebalance,omitempty"`
 
 	// Model selects and configures the Model Generator variant.
 	Model ModelParams `json:"model,omitempty"`
@@ -78,6 +84,11 @@ type PredictResult struct {
 	CommSec         float64 `json:"comm_sec"`
 	MeanUtilization float64 `json:"mean_utilization"`
 	PeakParticles   int64   `json:"peak_particles"`
+	// MigrationSec is the priced rebalance state-transfer total; omitted
+	// (0) for static mappings. RebalanceEpochs counts the intervals that
+	// actually moved ownership.
+	MigrationSec    float64 `json:"migration_sec,omitempty"`
+	RebalanceEpochs int     `json:"rebalance_epochs,omitempty"`
 }
 
 // PredictResponse is the /v1/predict response body.
@@ -287,6 +298,18 @@ func (s *Server) predictTrace(ctx context.Context, req *PredictRequest, kind pic
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	rebal, err := cli.ParseRebalance("rebalance", req.Rebalance)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if rebal != "" && rebal != "none" && mapping != picpredict.MappingElement {
+		return nil, http.StatusBadRequest, fmt.Errorf("rebalance %q requires mapping \"element\", got %q", rebal, mapping)
+	}
+	if mapping != picpredict.MappingBin {
+		if _, _, ok := art.tr.Mesh(); !ok {
+			return nil, http.StatusBadRequest, fmt.Errorf("mapping %q needs the application element grid; start picserve with -elements ex,ey,ez", mapping)
+		}
+	}
 
 	models, hit, err := s.models(ctx, art.crc, kind, trainOpts, req.cacheOnly)
 	if err != nil {
@@ -305,6 +328,7 @@ func (s *Server) predictTrace(ctx context.Context, req *PredictRequest, kind pic
 		q.Workload = picpredict.WorkloadOptions{
 			Ranks:         ranks,
 			Mapping:       mapping,
+			Rebalance:     rebal,
 			FilterRadius:  req.Filter,
 			RelaxedBins:   req.RelaxedBins,
 			MidpointSplit: req.MidpointSplit,
@@ -320,8 +344,8 @@ func (s *Server) predictTrace(ctx context.Context, req *PredictRequest, kind pic
 
 // predictWorkload serves the replay path over a pre-generated workload.
 func (s *Server) predictWorkload(ctx context.Context, req *PredictRequest, kind picpredict.ModelKind, trainOpts picpredict.TrainOptions, q picpredict.QueryOptions) (*PredictResponse, int, error) {
-	if len(req.Ranks) != 0 || req.Mapping != "" || req.Filter != 0 {
-		return nil, http.StatusBadRequest, errors.New("workload replay: ranks/mapping/filter are baked into the artefact; omit them")
+	if len(req.Ranks) != 0 || req.Mapping != "" || req.Filter != 0 || req.Rebalance != "" {
+		return nil, http.StatusBadRequest, errors.New("workload replay: ranks/mapping/rebalance/filter are baked into the artefact; omit them")
 	}
 	art := s.workloads[req.Workload]
 	if art == nil {
@@ -386,5 +410,7 @@ func resultOf(wl *picpredict.Workload, pred *picpredict.Prediction) PredictResul
 		CommSec:         comm,
 		MeanUtilization: pred.MeanUtilization(),
 		PeakParticles:   wl.Peak(),
+		MigrationSec:    pred.MigrationSec(),
+		RebalanceEpochs: wl.MigrationEpochs(),
 	}
 }

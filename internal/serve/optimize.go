@@ -21,12 +21,15 @@ type OptimizeRequest struct {
 	// server's first-loaded trace).
 	Scenario string `json:"scenario,omitempty"`
 
-	// Ranks is the rank-axis grid spec (required); Mappings, Machines, and
-	// Kinds are the other axes (defaults bin / quartz / synthetic).
-	Ranks    string   `json:"ranks"`
-	Mappings []string `json:"mappings,omitempty"`
-	Machines []string `json:"machines,omitempty"`
-	Kinds    []string `json:"model_kinds,omitempty"`
+	// Ranks is the rank-axis grid spec (required); Mappings, Machines,
+	// Kinds, and Rebalances are the other axes (defaults bin / quartz /
+	// synthetic / none). Non-none rebalance entries require "element" on the
+	// mapping axis and price only element-mapping configurations.
+	Ranks      string   `json:"ranks"`
+	Mappings   []string `json:"mappings,omitempty"`
+	Machines   []string `json:"machines,omitempty"`
+	Kinds      []string `json:"model_kinds,omitempty"`
+	Rebalances []string `json:"rebalances,omitempty"`
 
 	// Model carries the training knobs shared by every kind (Fast, Seed,
 	// Noise). Setting Model.Kind is shorthand for a one-kind Kinds axis;
@@ -119,6 +122,15 @@ func (s *Server) optimize(ctx context.Context, req *OptimizeRequest) (*OptimizeR
 	grid.Machines = req.Machines
 	for _, k := range kinds {
 		grid.Kinds = append(grid.Kinds, picpredict.ModelKind(k))
+	}
+	grid.Rebalances = req.Rebalances
+	for _, m := range grid.Mappings {
+		if m != picpredict.MappingBin && m != "" {
+			if _, _, ok := art.tr.Mesh(); !ok {
+				return nil, http.StatusBadRequest, fmt.Errorf("mapping %q needs the application element grid; start picserve with -elements ex,ey,ez", m)
+			}
+			break
+		}
 	}
 
 	opts := sweep.Options{

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"picpredict"
+	"picpredict/internal/obs"
+)
+
+// TestPredictRebalanceParam: rebalance is a per-query workload parameter —
+// validated, element-mapping-only, and surfaced as migration figures in the
+// results without entering the model key.
+func TestPredictRebalanceParam(t *testing.T) {
+	s, st := newTestServer(t, Config{Workers: 2, Obs: obs.New()}, 0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Validation: malformed specs and non-element mappings are 400s.
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"bad spec", `{"ranks":[8],"rebalance":"periodic:0"}`},
+		{"unknown policy", `{"ranks":[8],"rebalance":"bogus:1"}`},
+		{"default bin mapping", `{"ranks":[8],"rebalance":"periodic:4"}`},
+		{"hilbert mapping", `{"ranks":[8],"mapping":"hilbert","rebalance":"periodic:4"}`},
+	} {
+		status, body := postPredict(t, ts.URL, tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", tc.name, status, body)
+		}
+		var e errorBody
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q is not {\"error\": ...}", tc.name, body)
+		}
+	}
+
+	// Happy path: element mapping + periodic policy reports per-rank
+	// migration cost and epoch counts.
+	status, raw := postPredict(t, ts.URL,
+		`{"ranks":[4],"mapping":"element","rebalance":"periodic:2","model":{"fast":true,"seed":1}}`)
+	if status != http.StatusOK {
+		t.Fatalf("rebalance predict: %d (%s)", status, raw)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Results) != 1 {
+		t.Fatalf("results = %+v, want one", pr.Results)
+	}
+	res := pr.Results[0]
+	if res.TotalSec <= 0 {
+		t.Errorf("non-positive total %g", res.TotalSec)
+	}
+	if res.RebalanceEpochs <= 0 {
+		t.Errorf("RebalanceEpochs = %d, want > 0 for the clustered test trace", res.RebalanceEpochs)
+	}
+	if res.MigrationSec <= 0 || res.MigrationSec >= res.TotalSec {
+		t.Errorf("MigrationSec %g outside (0, total %g)", res.MigrationSec, res.TotalSec)
+	}
+
+	// Not in the model key: the static and rebalanced queries above share
+	// one trained model (same kind/options fingerprint → one training run).
+	status, raw = postPredict(t, ts.URL,
+		`{"ranks":[4],"mapping":"element","model":{"fast":true,"seed":1}}`)
+	if status != http.StatusOK {
+		t.Fatalf("static predict: %d (%s)", status, raw)
+	}
+	var pr2 PredictResponse // fresh: omitempty fields must not inherit pr's
+	if err := json.Unmarshal(raw, &pr2); err != nil {
+		t.Fatal(err)
+	}
+	if pr2.Results[0].MigrationSec != 0 || pr2.Results[0].RebalanceEpochs != 0 {
+		t.Errorf("static result carries migration figures: %+v", pr2.Results[0])
+	}
+	key := Fingerprint(testCRC, picpredict.ModelSynthetic, picpredict.TrainOptions{Seed: 1, Fast: true})
+	if got := st.count(key); got != 1 {
+		t.Errorf("%d training runs across rebalance/static queries, want 1 (rebalance must stay out of the model key)", got)
+	}
+}
+
+// TestPredictRebalanceRejectedOnWorkloadReplay: a workload artefact bakes
+// its mapping in, so a rebalance param alongside it is a client error.
+func TestPredictRebalanceRejectedOnWorkloadReplay(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2, Obs: obs.New()}, 0)
+	wl, err := testTrace(t).GenerateWorkload(picpredict.WorkloadOptions{
+		Ranks: 8, Mapping: picpredict.MappingElement, FilterRadius: 0.004,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddWorkload("wl8", wl, "0xwl8"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, body := postPredict(t, ts.URL, `{"workload":"wl8","rebalance":"periodic:4","model":{"fast":true}}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("workload+rebalance: %d (%s), want 400", status, body)
+	}
+}
+
+// TestPredictElementMappingNeedsMesh: a trace loaded from a file carries no
+// element grid (picserve attaches one with -elements), so element-anchored
+// predict/optimize requests against it are 400s naming the flag — not
+// generator 500s — while bin mapping keeps working.
+func TestPredictElementMappingNeedsMesh(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2, SweepWorkers: 2, Obs: obs.New()}, 0)
+	var buf bytes.Buffer
+	if err := testTrace(t).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bare, err := picpredict.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := bare.Mesh(); ok {
+		t.Fatal("round-tripped trace unexpectedly carries a mesh")
+	}
+	if err := s.AddTrace("bare", bare, testCRC); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, body := postPredict(t, ts.URL, `{"scenario":"bare","ranks":[8],"mapping":"element","model":{"fast":true}}`)
+	if status != http.StatusBadRequest || !strings.Contains(string(body), "-elements") {
+		t.Errorf("mesh-less element predict: %d (%s), want 400 naming -elements", status, body)
+	}
+	status, body = postOptimize(t, ts.URL, `{"scenario":"bare","ranks":"4-8:x2","mappings":["element"],"model":{"fast":true}}`)
+	if status != http.StatusBadRequest || !strings.Contains(string(body), "-elements") {
+		t.Errorf("mesh-less element optimize: %d (%s), want 400 naming -elements", status, body)
+	}
+	status, body = postPredict(t, ts.URL, `{"scenario":"bare","ranks":[8],"model":{"fast":true,"seed":1}}`)
+	if status != http.StatusOK {
+		t.Errorf("mesh-less bin predict: %d (%s), want 200", status, body)
+	}
+}
+
+// TestOptimizeRebalanceAxis: /v1/optimize accepts a rebalances axis,
+// enumerates only valid (mapping, rebalance) pairs, and labels dynamic
+// frontier points with their policy and migration cost.
+func TestOptimizeRebalanceAxis(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2, SweepWorkers: 4, Obs: obs.New()}, 0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"ranks":"4-8:x2","mappings":["element","bin"],"rebalances":["none","periodic:2"],` +
+		`"filter":0.004,"model":{"fast":true,"seed":1}}`
+	status, raw := postOptimize(t, ts.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("optimize: %d (%s)", status, raw)
+	}
+	var or OptimizeResponse
+	if err := json.Unmarshal(raw, &or); err != nil {
+		t.Fatal(err)
+	}
+	sw := or.Sweep
+	if sw == nil {
+		t.Fatal("response has no sweep result")
+	}
+	// 2 ranks × (element×{none,periodic:2} + bin×{none}) = 6 configs.
+	if sw.Configs != 6 {
+		t.Errorf("configs = %d, want 6", sw.Configs)
+	}
+	dynamic := 0
+	for _, p := range sw.Frontier {
+		if p.Rebalance == "" {
+			continue
+		}
+		dynamic++
+		if p.Rebalance != "periodic:2" || string(p.Mapping) != "element" {
+			t.Errorf("dynamic frontier point %+v, want element+periodic:2", p.Config)
+		}
+	}
+	if dynamic != 2 {
+		t.Errorf("%d dynamic frontier points, want 2", dynamic)
+	}
+
+	// A dynamic policy without the element mapping on the axis is a 400.
+	status, raw = postOptimize(t, ts.URL,
+		`{"ranks":"4-8:x2","mappings":["bin"],"rebalances":["periodic:2"],"model":{"fast":true}}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("bin-only rebalance sweep: %d (%s), want 400", status, raw)
+	}
+	// And so is a malformed spec.
+	status, raw = postOptimize(t, ts.URL,
+		`{"ranks":"4-8:x2","mappings":["element"],"rebalances":["periodic:0"],"model":{"fast":true}}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("bad rebalance spec: %d (%s), want 400", status, raw)
+	}
+}

@@ -1,0 +1,174 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"picpredict"
+	"picpredict/internal/rebalance"
+)
+
+func rebalanceGrid() Grid {
+	return Grid{
+		Ranks:      []int{4, 8},
+		Mappings:   []picpredict.MappingKind{picpredict.MappingElement, picpredict.MappingBin},
+		Rebalances: []string{"none", "periodic:2"},
+		Machines:   []string{"quartz"},
+		Kinds:      []picpredict.ModelKind{picpredict.ModelSynthetic},
+	}
+}
+
+// TestRunRebalanceAxis: the rebalance dimension enumerates only valid
+// combinations — dynamic policies pair with the element mapping alone — and
+// dynamic points carry their priced migration total.
+func TestRunRebalanceAxis(t *testing.T) {
+	tr, models, _ := fixture(t)
+	res, err := Run(context.Background(), tr, rebalanceGrid(), testOptions(4), fixedModels(models))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per rank: element×{none, periodic} + bin×{none} = 3 valid combos.
+	if res.Configs != 6 {
+		t.Errorf("Configs = %d, want 6 (2 ranks × 3 valid mapping/rebalance pairs)", res.Configs)
+	}
+	if res.SharedBuilds != 6 {
+		t.Errorf("SharedBuilds = %d, want 6", res.SharedBuilds)
+	}
+	if len(res.Frontier) != 6 {
+		t.Fatalf("Frontier has %d points, want 6", len(res.Frontier))
+	}
+	dynamic, static := 0, 0
+	for _, p := range res.Frontier {
+		switch p.Rebalance {
+		case "":
+			static++
+			if p.MigrationSec != 0 {
+				t.Errorf("static point %+v has MigrationSec %g", p.Config, p.MigrationSec)
+			}
+		case "periodic:2":
+			dynamic++
+			if p.Mapping != picpredict.MappingElement {
+				t.Errorf("dynamic point on mapping %q", p.Mapping)
+			}
+			if p.MigrationSec < 0 || p.MigrationSec >= p.TotalSec {
+				t.Errorf("dynamic point MigrationSec %g outside [0, total %g)", p.MigrationSec, p.TotalSec)
+			}
+		default:
+			t.Errorf("unexpected rebalance %q in frontier", p.Rebalance)
+		}
+	}
+	if dynamic != 2 || static != 4 {
+		t.Errorf("frontier split %d dynamic / %d static, want 2/4", dynamic, static)
+	}
+	// Curves are per-(mapping, rebalance, machine, kind) families.
+	if len(res.Curves) != 3 {
+		t.Fatalf("%d curves, want 3", len(res.Curves))
+	}
+	seen := map[string]bool{}
+	for _, c := range res.Curves {
+		seen[string(c.Mapping)+"+"+c.Rebalance] = true
+		if len(c.Points) != 2 {
+			t.Errorf("curve %s/%s has %d points, want 2", c.Mapping, c.Rebalance, len(c.Points))
+		}
+	}
+	for _, want := range []string{"element+", "element+periodic:2", "bin+"} {
+		if !seen[want] {
+			t.Errorf("missing curve family %q (have %v)", want, seen)
+		}
+	}
+}
+
+// TestRunRebalanceWorkerInvariance extends the bit-identity contract to the
+// rebalance axis: frontiers are identical for any worker count.
+func TestRunRebalanceWorkerInvariance(t *testing.T) {
+	tr, models, _ := fixture(t)
+	var base *Result
+	for _, w := range []int{1, 4} {
+		opts := testOptions(w)
+		opts.BuildWorkers = w
+		res, err := Run(context.Background(), tr, rebalanceGrid(), opts, fixedModels(models))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("workers=%d: result differs", w)
+		}
+		for i := range res.Frontier {
+			got := math.Float64bits(res.Frontier[i].TotalSec)
+			want := math.Float64bits(base.Frontier[i].TotalSec)
+			if got != want {
+				t.Errorf("workers=%d frontier[%d]: total bits %#x, want %#x", w, i, got, want)
+			}
+			if math.Float64bits(res.Frontier[i].MigrationSec) != math.Float64bits(base.Frontier[i].MigrationSec) {
+				t.Errorf("workers=%d frontier[%d]: migration differs", w, i)
+			}
+		}
+	}
+}
+
+func TestGridNormalizeRebalances(t *testing.T) {
+	// Canonicalisation and dedup: none aliases collapse to "", specs to
+	// their canonical forms.
+	g, err := Grid{
+		Ranks:      []int{4},
+		Mappings:   []picpredict.MappingKind{picpredict.MappingElement},
+		Rebalances: []string{"none", "", "periodic:02", "periodic:2", "diffusion:1.50"},
+	}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"", "periodic:2", "diffusion:1.5/3"}
+	if !reflect.DeepEqual(g.Rebalances, want) {
+		t.Errorf("normalized rebalances %v, want %v", g.Rebalances, want)
+	}
+
+	// A dynamic policy without the element mapping on the axis is a spec
+	// error, not a silently empty sweep.
+	_, err = Grid{
+		Ranks:      []int{4},
+		Mappings:   []picpredict.MappingKind{picpredict.MappingBin},
+		Rebalances: []string{"periodic:2"},
+	}.normalize()
+	if !errors.Is(err, ErrSpec) {
+		t.Errorf("bin-only grid with dynamic policy: err = %v, want ErrSpec", err)
+	}
+
+	// Malformed specs wrap ErrSpec too.
+	_, err = Grid{
+		Ranks:      []int{4},
+		Mappings:   []picpredict.MappingKind{picpredict.MappingElement},
+		Rebalances: []string{"periodic:0"},
+	}.normalize()
+	if !errors.Is(err, ErrSpec) {
+		t.Errorf("bad spec: err = %v, want ErrSpec", err)
+	}
+
+	// An absent axis defaults to the static decomposition only.
+	g, err = Grid{Ranks: []int{4}}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Rebalances, []string{""}) {
+		t.Errorf("default rebalances %v, want [\"\"]", g.Rebalances)
+	}
+}
+
+// TestRebalanceSpecIsNotInParseRanks documents the separator contract: a
+// diffusion spec survives a comma-separated axis list because its rounds
+// separator is "/", never ",".
+func TestRebalanceDiffusionSpecSurvivesCSV(t *testing.T) {
+	spec, err := rebalance.ParseSpec("diffusion:1.2/5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.String(); got != "diffusion:1.2/5" {
+		t.Errorf("canonical form %q contains no comma-safe separator", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"picpredict"
 	"picpredict/internal/obs"
+	"picpredict/internal/rebalance"
 )
 
 // maxConfigs bounds one sweep's configuration count — big enough for the
@@ -16,13 +17,19 @@ import (
 const maxConfigs = 8192
 
 // Grid is the configuration space a sweep enumerates: the cross product of
-// its four axes. Empty axes default to the paper's baselines (bin mapping,
-// Quartz, the synthetic model).
+// its five axes, minus the invalid (rebalance ≠ none, mapping ≠ element)
+// combinations — rebalance policies re-cut the element decomposition, which
+// only exists under element mapping. Empty axes default to the paper's
+// baselines (bin mapping, Quartz, the synthetic model, no rebalancing).
 type Grid struct {
 	Ranks    []int
 	Mappings []picpredict.MappingKind
 	Machines []string
 	Kinds    []picpredict.ModelKind
+	// Rebalances lists dynamic load-balancing policy specs
+	// (rebalance.ParseSpec syntax); "" and "none" both mean the static
+	// decomposition and normalize to "".
+	Rebalances []string
 }
 
 // normalize validates the grid and fills defaulted axes, deduplicating each
@@ -97,10 +104,53 @@ func (g Grid) normalize() (Grid, error) {
 	}
 	g.Kinds = kinds
 
-	if n := len(g.Ranks) * len(g.Mappings) * len(g.Machines) * len(g.Kinds); n > maxConfigs {
+	if len(g.Rebalances) == 0 {
+		g.Rebalances = []string{""}
+	}
+	rebals := make([]string, 0, len(g.Rebalances))
+	seenReb := make(map[string]bool)
+	hasDynamic := false
+	for _, s := range g.Rebalances {
+		spec, err := rebalance.ParseSpec(s)
+		if err != nil {
+			return Grid{}, fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+		// "" is the canonical none so Config JSON omits the field and the
+		// pre-rebalance document shapes are preserved byte for byte.
+		canon := ""
+		if !spec.None() {
+			canon = spec.String()
+			hasDynamic = true
+		}
+		if !seenReb[canon] {
+			seenReb[canon] = true
+			rebals = append(rebals, canon)
+		}
+	}
+	g.Rebalances = rebals
+	if hasDynamic && !seenM[picpredict.MappingElement] {
+		return Grid{}, fmt.Errorf("%w: rebalance policies require the element mapping on the mapping axis", ErrSpec)
+	}
+
+	if n := g.configCount(); n > maxConfigs {
 		return Grid{}, fmt.Errorf("%w: grid enumerates %d configurations (limit %d)", ErrSpec, n, maxConfigs)
 	}
 	return g, nil
+}
+
+// configCount counts the valid grid points: the five-axis cross product
+// minus the (rebalance ≠ none, mapping ≠ element) combinations.
+func (g Grid) configCount() int {
+	pairs := 0
+	for _, m := range g.Mappings {
+		for _, reb := range g.Rebalances {
+			if reb != "" && m != picpredict.MappingElement {
+				continue
+			}
+			pairs++
+		}
+	}
+	return len(g.Ranks) * pairs * len(g.Machines) * len(g.Kinds)
 }
 
 // Config identifies one grid point.
@@ -109,6 +159,10 @@ type Config struct {
 	Mapping picpredict.MappingKind `json:"mapping"`
 	Machine string                 `json:"machine"`
 	Kind    picpredict.ModelKind   `json:"model_kind"`
+	// Rebalance is the canonical dynamic load-balancing policy spec; ""
+	// (static decomposition) is omitted from JSON so pre-rebalance sweep
+	// documents keep their exact shape.
+	Rebalance string `json:"rebalance,omitempty"`
 }
 
 // Point is one evaluated configuration: the predicted execution profile
@@ -127,6 +181,9 @@ type Point struct {
 	// CostRankSec is Ranks × TotalSec — the allocation the run would bill
 	// (rank-seconds), the sweep's cost axis.
 	CostRankSec float64 `json:"cost_rank_sec"`
+	// MigrationSec is the run total of priced rebalance state transfers;
+	// 0 (omitted) for static configurations.
+	MigrationSec float64 `json:"migration_sec,omitempty"`
 }
 
 // CurvePoint is one rank count on a strong-scaling curve.
@@ -139,13 +196,14 @@ type CurvePoint struct {
 	Efficiency float64 `json:"efficiency"`
 }
 
-// Curve is the strong-scaling series of one (mapping, machine, kind)
-// family across the swept rank counts.
+// Curve is the strong-scaling series of one (mapping, rebalance, machine,
+// kind) family across the swept rank counts.
 type Curve struct {
-	Mapping picpredict.MappingKind `json:"mapping"`
-	Machine string                 `json:"machine"`
-	Kind    picpredict.ModelKind   `json:"model_kind"`
-	Points  []CurvePoint           `json:"points"`
+	Mapping   picpredict.MappingKind `json:"mapping"`
+	Rebalance string                 `json:"rebalance,omitempty"`
+	Machine   string                 `json:"machine"`
+	Kind      picpredict.ModelKind   `json:"model_kind"`
+	Points    []CurvePoint           `json:"points"`
 }
 
 // Result is a completed sweep: the ranked frontier plus its headline picks.
@@ -211,10 +269,14 @@ type Options struct {
 	Stages bool
 }
 
-// buildKey identifies one shareable workload build.
+// buildKey identifies one shareable workload build. A rebalance policy
+// changes the generated workload (ownership moves mid-trace), so it is part
+// of the key — only configurations differing in machine or model kind share
+// a build.
 type buildKey struct {
-	ranks   int
-	mapping picpredict.MappingKind
+	ranks     int
+	mapping   picpredict.MappingKind
+	rebalance string
 }
 
 // Run prices every configuration of grid against tr and returns the ranked
@@ -250,20 +312,21 @@ func Run(ctx context.Context, tr *picpredict.Trace, grid Grid, opts Options, mod
 	if err != nil {
 		return nil, err
 	}
-	configs := make([]Config, 0, len(g.Ranks)*len(g.Mappings)*len(g.Machines)*len(g.Kinds))
+	configs := make([]Config, 0, g.configCount())
+	builds := make([]buildKey, 0, len(g.Ranks)*len(g.Mappings)*len(g.Rebalances))
 	for _, r := range g.Ranks {
 		for _, m := range g.Mappings {
-			for _, mach := range g.Machines {
-				for _, k := range g.Kinds {
-					configs = append(configs, Config{Ranks: r, Mapping: m, Machine: mach, Kind: k})
+			for _, reb := range g.Rebalances {
+				if reb != "" && m != picpredict.MappingElement {
+					continue // rebalancing only exists under element mapping
+				}
+				builds = append(builds, buildKey{ranks: r, mapping: m, rebalance: reb})
+				for _, mach := range g.Machines {
+					for _, k := range g.Kinds {
+						configs = append(configs, Config{Ranks: r, Mapping: m, Rebalance: reb, Machine: mach, Kind: k})
+					}
 				}
 			}
-		}
-	}
-	builds := make([]buildKey, 0, len(g.Ranks)*len(g.Mappings))
-	for _, r := range g.Ranks {
-		for _, m := range g.Mappings {
-			builds = append(builds, buildKey{ranks: r, mapping: m})
 		}
 	}
 	machines := make(map[string]*picpredict.MachineSpec, len(g.Machines))
@@ -294,6 +357,7 @@ func Run(ctx context.Context, tr *picpredict.Trace, grid Grid, opts Options, mod
 		wl, err := tr.GenerateWorkloadContext(ctx, picpredict.WorkloadOptions{
 			Ranks:         builds[i].ranks,
 			Mapping:       builds[i].mapping,
+			Rebalance:     builds[i].rebalance,
 			FilterRadius:  opts.Filter,
 			RelaxedBins:   opts.RelaxedBins,
 			MidpointSplit: opts.MidpointSplit,
@@ -323,7 +387,7 @@ func Run(ctx context.Context, tr *picpredict.Trace, grid Grid, opts Options, mod
 	points := make([]Point, len(configs))
 	err = runPool(ctx, opts.Workers, len(configs), func(ctx context.Context, i int) error {
 		c := configs[i]
-		wl := workloadByKey[buildKey{ranks: c.Ranks, mapping: c.Mapping}]
+		wl := workloadByKey[buildKey{ranks: c.Ranks, mapping: c.Mapping, rebalance: c.Rebalance}]
 		pred, err := picpredict.PredictWorkload(modelByKind[c.Kind], wl, picpredict.QueryOptions{
 			TotalElements:  opts.TotalElements,
 			GridN:          opts.GridN,
@@ -368,6 +432,7 @@ func pointOf(c Config, wl *picpredict.Workload, pred *picpredict.Prediction) Poi
 		MeanUtilization: pred.MeanUtilization(),
 		PeakParticles:   wl.Peak(),
 		CostRankSec:     float64(c.Ranks) * pred.Total,
+		MigrationSec:    pred.MigrationSec(),
 	}
 }
 
@@ -385,6 +450,9 @@ func less(a, b *Point) bool {
 	}
 	if a.Mapping != b.Mapping {
 		return a.Mapping < b.Mapping
+	}
+	if a.Rebalance != b.Rebalance {
+		return a.Rebalance < b.Rebalance
 	}
 	if a.Machine != b.Machine {
 		return a.Machine < b.Machine
@@ -441,17 +509,18 @@ func kneeObjective(p *Point, minTotal, minCost, costWeight float64) float64 {
 	return score
 }
 
-// curvesOf groups the points into per-(mapping, machine, kind)
+// curvesOf groups the points into per-(mapping, rebalance, machine, kind)
 // strong-scaling series.
 func curvesOf(points []Point) []Curve {
 	type family struct {
-		mapping picpredict.MappingKind
-		machine string
-		kind    picpredict.ModelKind
+		mapping   picpredict.MappingKind
+		rebalance string
+		machine   string
+		kind      picpredict.ModelKind
 	}
 	byFamily := make(map[family][]Point)
 	for _, p := range points {
-		f := family{p.Mapping, p.Machine, p.Kind}
+		f := family{p.Mapping, p.Rebalance, p.Machine, p.Kind}
 		byFamily[f] = append(byFamily[f], p)
 	}
 	families := make([]family, 0, len(byFamily))
@@ -463,6 +532,9 @@ func curvesOf(points []Point) []Curve {
 		if a.mapping != b.mapping {
 			return a.mapping < b.mapping
 		}
+		if a.rebalance != b.rebalance {
+			return a.rebalance < b.rebalance
+		}
 		if a.machine != b.machine {
 			return a.machine < b.machine
 		}
@@ -473,7 +545,7 @@ func curvesOf(points []Point) []Curve {
 		pts := byFamily[f]
 		sort.Slice(pts, func(i, j int) bool { return pts[i].Ranks < pts[j].Ranks })
 		base := pts[0] // min ranks: the strong-scaling reference
-		c := Curve{Mapping: f.mapping, Machine: f.machine, Kind: f.kind}
+		c := Curve{Mapping: f.mapping, Rebalance: f.rebalance, Machine: f.machine, Kind: f.kind}
 		for _, p := range pts {
 			cp := CurvePoint{Ranks: p.Ranks, TotalSec: p.TotalSec}
 			if p.TotalSec > 0 {

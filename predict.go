@@ -31,6 +31,10 @@ type MachineSpec struct {
 	LatencySec       float64
 	BandwidthBps     float64
 	BytesPerParticle float64
+	// BytesPerGridPoint is the per-grid-point field payload a rebalance
+	// epoch ships when an element changes owner. Zero selects the built-in
+	// default (8 double-precision field variables).
+	BytesPerGridPoint float64
 }
 
 // QuartzMachine returns the default Quartz machine model (§IV-A).
@@ -58,10 +62,11 @@ func MachineByName(name string) (MachineSpec, error) {
 
 func machineSpecOf(m bsst.Machine) MachineSpec {
 	return MachineSpec{
-		Name:             m.Name,
-		LatencySec:       m.Latency,
-		BandwidthBps:     m.Bandwidth,
-		BytesPerParticle: m.BytesPerParticle,
+		Name:              m.Name,
+		LatencySec:        m.Latency,
+		BandwidthBps:      m.Bandwidth,
+		BytesPerParticle:  m.BytesPerParticle,
+		BytesPerGridPoint: m.BytesPerGridPoint,
 	}
 }
 
@@ -76,10 +81,11 @@ func NewPlatform(models Models, opts PlatformOptions) (*Platform, error) {
 	machine := bsst.Quartz()
 	if opts.Machine != nil {
 		machine = bsst.Machine{
-			Name:             opts.Machine.Name,
-			Latency:          opts.Machine.LatencySec,
-			Bandwidth:        opts.Machine.BandwidthBps,
-			BytesPerParticle: opts.Machine.BytesPerParticle,
+			Name:              opts.Machine.Name,
+			Latency:           opts.Machine.LatencySec,
+			Bandwidth:         opts.Machine.BandwidthBps,
+			BytesPerParticle:  opts.Machine.BytesPerParticle,
+			BytesPerGridPoint: opts.Machine.BytesPerGridPoint,
 		}
 	}
 	p := &bsst.Platform{
@@ -104,6 +110,9 @@ type Prediction struct {
 	IntervalWall []float64
 	// Compute and Comm split each interval's critical path.
 	Compute, Comm []float64
+	// Migration is each interval's priced rebalance state-transfer cost, so
+	// Compute + Comm + Migration = IntervalWall. Nil for static mappings.
+	Migration []float64
 	// RankBusy is each rank's accumulated compute time across the run.
 	RankBusy []float64
 	// Total is the simulated application wall time in seconds.
@@ -123,12 +132,23 @@ func (p *Prediction) MeanUtilization() float64 {
 	return sum / (float64(p.Ranks) * p.Total)
 }
 
+// MigrationSec returns the run total of priced rebalance-migration cost
+// (0 for static mappings).
+func (p *Prediction) MigrationSec() float64 {
+	sum := 0.0
+	for _, m := range p.Migration {
+		sum += m
+	}
+	return sum
+}
+
 func fromInner(p *bsst.Prediction) *Prediction {
 	return &Prediction{
 		Ranks:        p.Ranks,
 		IntervalWall: p.IntervalWall,
 		Compute:      p.Compute,
 		Comm:         p.Comm,
+		Migration:    p.Migration,
 		RankBusy:     p.RankBusy,
 		Total:        p.Total,
 	}

@@ -1,0 +1,85 @@
+// Benchmarks for the dynamic load-balancing axis: one full
+// generate-and-predict query per policy over a clustered Hele-Shaw trace,
+// reporting the predicted wall time, the priced migration cost, and the
+// epoch count alongside the pipeline's own run time. pipeline_bench.sh
+// collects these into the rebalance section of BENCH_pipeline.json.
+package picpredict_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"picpredict"
+)
+
+var (
+	rebalBenchOnce   sync.Once
+	rebalBenchTrace  *picpredict.Trace
+	rebalBenchModels picpredict.Models
+	rebalBenchErr    error
+)
+
+// rebalBenchScenario is a bed-dispersal-like configuration: a particle
+// cluster drifting across a 48×48 element sheet, enough frames for the
+// policies to fire repeatedly.
+func rebalBenchScenario() picpredict.Scenario {
+	return picpredict.HeleShaw().
+		WithParticles(2000).
+		WithElements(48, 48, 1).
+		WithSteps(400).
+		WithSampleEvery(20)
+}
+
+func rebalBenchSetup(b *testing.B) (*picpredict.Trace, picpredict.Models) {
+	b.Helper()
+	rebalBenchOnce.Do(func() {
+		sc := rebalBenchScenario()
+		rebalBenchTrace, rebalBenchErr = sc.Run()
+		if rebalBenchErr != nil {
+			return
+		}
+		rebalBenchModels, rebalBenchErr = picpredict.TrainModels(picpredict.TrainOptions{Seed: 1, Fast: true})
+	})
+	if rebalBenchErr != nil {
+		b.Fatal(rebalBenchErr)
+	}
+	return rebalBenchTrace, rebalBenchModels
+}
+
+// benchRebalancePolicy times one trace→workload→prediction query under the
+// given policy spec ("" = static bisection) and reports the model outputs.
+func benchRebalancePolicy(b *testing.B, spec string) {
+	tr, models := rebalBenchSetup(b)
+	q := picpredict.QueryOptions{
+		Workload: picpredict.WorkloadOptions{
+			Ranks:        256,
+			Mapping:      picpredict.MappingElement,
+			Rebalance:    spec,
+			FilterRadius: rebalBenchScenario().FilterRadius(),
+		},
+		TotalElements: 16384,
+		GridN:         4,
+	}
+	var wl *picpredict.Workload
+	var pred *picpredict.Prediction
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		wl, pred, err = picpredict.PredictFromTrace(context.Background(), tr, models, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	elems, parts := wl.MigrationTotals()
+	b.ReportMetric(pred.Total, "predicted_s")
+	b.ReportMetric(pred.MigrationSec(), "migration_s")
+	b.ReportMetric(float64(wl.MigrationEpochs()), "epochs")
+	b.ReportMetric(float64(elems), "mig_elems")
+	b.ReportMetric(float64(parts), "mig_parts")
+}
+
+func BenchmarkRebalanceStatic(b *testing.B)    { benchRebalancePolicy(b, "") }
+func BenchmarkRebalancePeriodic(b *testing.B)  { benchRebalancePolicy(b, "periodic:4") }
+func BenchmarkRebalanceThreshold(b *testing.B) { benchRebalancePolicy(b, "threshold:1.5") }
+func BenchmarkRebalanceDiffusion(b *testing.B) { benchRebalancePolicy(b, "diffusion:1.5/3") }

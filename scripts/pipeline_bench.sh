@@ -9,7 +9,10 @@
 #   fused   : wall time of one fused simulate→build→predict run;
 #   sweep   : a paper-scale capacity-planning sweep (24 configurations over
 #             ranks 1044–8352), shared-build engine vs the naive
-#             one-pipeline-per-configuration loop.
+#             one-pipeline-per-configuration loop;
+#   rebalance: static bisection vs each dynamic load-balancing policy on a
+#             clustered element-mapped trace — predicted wall time, priced
+#             migration seconds, and rebalance epochs per policy.
 #
 # The acceptance numbers are speedup.fill_bin (the tiled fill must clear
 # 1.5× over the scalar fill at paper scale on the bin mapping) and
@@ -48,6 +51,10 @@ echo "== fused (single-process simulate→build→predict wall time)"
 go test -run '^$' -bench 'FusedPipeline$' -benchtime "$BENCHTIME" . \
     | tee "$workdir/fused.txt" || fail "fused benchmark failed"
 
+echo "== rebalance (static vs dynamic policies, predicted + migration cost)"
+go test -run '^$' -bench 'Rebalance' -benchtime "$BENCHTIME" . \
+    | tee "$workdir/rebalance.txt" || fail "rebalance benchmarks failed"
+
 echo "== sweep (paper-scale capacity planning, shared builds vs naive)"
 go test -run '^$' -bench 'SweepPaper' -benchtime 1x -timeout 30m ./internal/sweep/ \
     | tee "$workdir/sweep.txt" || fail "sweep benchmarks failed"
@@ -80,6 +87,7 @@ fill = parse("fill.txt")
 stream = parse("stream.txt")
 fused = parse("fused.txt")
 sweep = parse("sweep.txt")
+rebal = parse("rebalance.txt")
 
 def ms(runs, name):
     try:
@@ -118,6 +126,31 @@ doc = {
         "naive": round(sweep["BenchmarkSweepPaperNaive"]["configs_per_s"], 4),
     },
 }
+
+# Dynamic load balancing: predicted application time per policy (the model
+# output) plus the pipeline's own query wall time. migration_s is the
+# *marginal* barrier extension the priced transfers cause — 0 means the
+# epoch's messages hid entirely under the slowest rank's compute.
+static_pred = None
+rebal_doc = {}
+for policy in ("Static", "Periodic", "Threshold", "Diffusion"):
+    r = rebal.get("BenchmarkRebalance" + policy)
+    if r is None:
+        sys.exit(f"benchmark Rebalance{policy} missing from output")
+    entry = {
+        "run_ms": round(r["ms"], 1),
+        "predicted_s": round(r["predicted_s"], 6),
+        "migration_s": round(r["migration_s"], 6),
+        "epochs": int(r["epochs"]),
+        "migrated_elements": int(r["mig_elems"]),
+        "migrated_particles": int(r["mig_parts"]),
+    }
+    if policy == "Static":
+        static_pred = entry["predicted_s"]
+    else:
+        entry["predicted_speedup_vs_static"] = round(static_pred / entry["predicted_s"], 2)
+    rebal_doc[policy.lower()] = entry
+doc["rebalance"] = rebal_doc
 f = doc["fill_ms_per_frame"]
 s = doc["stream_frames_per_s"]
 sw = doc["sweep_configs_per_s"]
@@ -139,6 +172,11 @@ print(f"   stream      : {s['scalar']:.2f} -> {s['tiled']:.2f} frames/s "
 print(f"   fused run   : {doc['fused_run_ms']:.0f} ms")
 print(f"   sweep       : {sw['naive']:.3f} -> {sw['shared_build']:.3f} configs/s "
       f"({doc['speedup']['sweep_shared_build']}x)")
+for policy, entry in rebal_doc.items():
+    sp = entry.get("predicted_speedup_vs_static")
+    tail = f" ({sp}x vs static)" if sp else ""
+    print(f"   rebalance {policy:<9}: predicted {entry['predicted_s']:.4f} s, "
+          f"migration {entry['migration_s']:.6f} s, {entry['epochs']} epochs{tail}")
 PY
 
 echo "PASS: wrote $OUT"

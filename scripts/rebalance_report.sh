@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# rebalance_report.sh regenerates REPORT_rebalance.md — the dynamic
+# load-balancing study: predicted speedup of each internal/rebalance policy
+# (periodic, threshold, diffusion) over static bisection on the Hele-Shaw
+# bed-dispersal scenario, element mapping, processor configurations up to
+# the paper-scale R=8352, with rebalance migration priced as LogP messages
+# so every speedup is net of migration cost.
+#
+#   ./scripts/rebalance_report.sh               # full-budget models (~min)
+#   FAST=1 ./scripts/rebalance_report.sh        # fast model fits (smoke)
+#   OUT=elsewhere.md ./scripts/rebalance_report.sh
+#
+# Needs: go.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-REPORT_rebalance.md}
+
+args=(-rebalance-report "$OUT")
+if [[ "${FAST:-0}" != 0 ]]; then
+    args+=(-fast)
+fi
+
+go run ./cmd/experiments "${args[@]}"
+echo "PASS: wrote $OUT"

@@ -129,6 +129,13 @@ func (t *Trace) WithMesh(ex, ey, ez, n int) *Trace {
 	return t
 }
 
+// Mesh returns the attached spectral-element grid and per-element
+// resolution; ok is false when the trace carries no mesh (a trace loaded
+// with ReadTrace before WithMesh), in which case only bin mapping works.
+func (t *Trace) Mesh() (elements [3]int, n int, ok bool) {
+	return t.mesh.elements, t.mesh.n, t.mesh.elements != [3]int{}
+}
+
 // NumParticles returns N_p.
 func (t *Trace) NumParticles() int { return t.np }
 

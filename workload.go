@@ -10,6 +10,7 @@ import (
 	"picpredict/internal/metrics"
 	"picpredict/internal/obs"
 	"picpredict/internal/pipeline"
+	"picpredict/internal/sparse"
 )
 
 // MappingKind names a particle mapping algorithm.
@@ -56,6 +57,12 @@ type WorkloadOptions struct {
 	// per-frame matrix fills (0 or 1 runs serially). The workload is
 	// identical for any value.
 	Workers int
+	// Rebalance selects a dynamic load-balancing policy for element
+	// mapping ("", "none", "periodic:K", "threshold:F", "diffusion:F[/R]"
+	// — see internal/rebalance). Empty/none keeps the static decomposition.
+	// Any other value requires MappingElement and produces a workload with
+	// migration matrices the simulator prices explicitly.
+	Rebalance string
 }
 
 // Workload is the Dynamic Workload Generator output plus derived metrics:
@@ -105,6 +112,7 @@ func (t *Trace) mapperSpec(opts WorkloadOptions) pipeline.MapperSpec {
 		FilterRadius:  opts.FilterRadius,
 		RelaxedBins:   opts.RelaxedBins,
 		MidpointSplit: opts.MidpointSplit,
+		Rebalance:     opts.Rebalance,
 		Domain:        t.domain,
 		Elements:      t.mesh.elements,
 		N:             t.mesh.n,
@@ -255,6 +263,58 @@ func (w *Workload) GhostCommAt(k int) []CommEntry {
 		out[i] = CommEntry{Src: e.Src, Dst: e.Dst, Count: e.Count}
 	}
 	return out
+}
+
+// HasMigration reports whether the workload carries rebalance-migration
+// matrices (generated under a rebalance policy, or loaded from a file that
+// stored them).
+func (w *Workload) HasMigration() bool { return w.inner.MigElemComm != nil }
+
+// MigrationEpochs returns how many intervals performed a rebalance (had at
+// least one element change owners); 0 for static mappings.
+func (w *Workload) MigrationEpochs() int {
+	if w.inner.MigElemComm == nil {
+		return 0
+	}
+	epochs := 0
+	for _, n := range w.inner.MigElemComm.TotalPerFrame() {
+		if n > 0 {
+			epochs++
+		}
+	}
+	return epochs
+}
+
+// MigrationTotals returns the total elements and resident particles that
+// changed owners across all rebalance epochs (0, 0 for static mappings).
+func (w *Workload) MigrationTotals() (elements, particles int64) {
+	if w.inner.MigElemComm == nil {
+		return 0, 0
+	}
+	for _, n := range w.inner.MigElemComm.TotalPerFrame() {
+		elements += n
+	}
+	for _, n := range w.inner.MigPartComm.TotalPerFrame() {
+		particles += n
+	}
+	return elements, particles
+}
+
+// MigrationCommAt returns the non-zero rebalance-transfer entries of
+// interval k — elements (and the particles resident in them) moving from old
+// to new owners — or nil, nil when the workload has no migration matrices.
+func (w *Workload) MigrationCommAt(k int) (elements, particles []CommEntry) {
+	if w.inner.MigElemComm == nil {
+		return nil, nil
+	}
+	toEntries := func(es []sparse.Entry) []CommEntry {
+		out := make([]CommEntry, len(es))
+		for i, e := range es {
+			out[i] = CommEntry{Src: e.Src, Dst: e.Dst, Count: e.Count}
+		}
+		return out
+	}
+	return toEntries(w.inner.MigElemComm.At(k).Entries()), toEntries(w.inner.MigPartComm.At(k).Entries())
 }
 
 // WriteHeatmapCSV emits the real-particle computation matrix as CSV (one
